@@ -1,0 +1,26 @@
+//! `cargo bench` entry point that regenerates every table and figure of
+//! the paper at a reduced "quick" scale (full-scale runs: the binaries in
+//! `crates/bench/src/bin`, or `cargo run --release -p xftl-bench --bin all`).
+
+use xftl_bench::experiments::*;
+
+fn main() {
+    println!("================================================================");
+    println!(" X-FTL reproduction — all paper tables/figures (quick scale)");
+    println!(" Full scale: cargo run --release -p xftl-bench --bin all");
+    println!("================================================================\n");
+    let syn = synthetic_exp::SynScale::quick();
+    print!("{}", synthetic_exp::fig5(syn, &[1, 5, 20]));
+    print!("{}", synthetic_exp::table1(syn));
+    print!("{}", synthetic_exp::fig6(syn));
+    print!("{}", android_exp::table2(0.05));
+    print!("{}", android_exp::fig7(0.05));
+    print!("{}", tpcc_exp::tables_3_4(tpcc_exp::TpccExpScale::quick()));
+    print!("{}", fio_exp::fig8(fio_exp::FioScale::quick()));
+    print!("{}", fio_exp::fig9(fio_exp::FioScale::quick()));
+    print!(
+        "{}",
+        recovery_exp::table5(recovery_exp::RecoveryScale::quick())
+    );
+    print!("{}", ablation::all(true));
+}

@@ -1,0 +1,8 @@
+//! Runs the ablation studies (X-L2P capacity, atomic-write baseline,
+//! WAL checkpoint interval, barrier cost).
+use xftl_bench::experiments::ablation;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", ablation::all(quick));
+}

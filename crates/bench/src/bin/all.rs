@@ -1,0 +1,42 @@
+//! Regenerates every table and figure of the paper in one run.
+use xftl_bench::experiments::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let syn = if quick {
+        synthetic_exp::SynScale::quick()
+    } else {
+        synthetic_exp::SynScale::full()
+    };
+    let sweep: Vec<usize> = if quick {
+        vec![1, 5, 20]
+    } else {
+        vec![1, 5, 10, 15, 20]
+    };
+    print!("{}", synthetic_exp::fig5(syn, &sweep));
+    print!("{}", synthetic_exp::table1(syn));
+    print!("{}", synthetic_exp::fig6(syn));
+    let tr_scale = if quick { 0.05 } else { 1.0 };
+    print!("{}", android_exp::table2(tr_scale));
+    print!("{}", android_exp::fig7(tr_scale));
+    let tp = if quick {
+        tpcc_exp::TpccExpScale::quick()
+    } else {
+        tpcc_exp::TpccExpScale::full()
+    };
+    print!("{}", tpcc_exp::tables_3_4(tp));
+    let fio = if quick {
+        fio_exp::FioScale::quick()
+    } else {
+        fio_exp::FioScale::full()
+    };
+    print!("{}", fio_exp::fig8(fio));
+    print!("{}", fio_exp::fig9(fio));
+    let rec = if quick {
+        recovery_exp::RecoveryScale::quick()
+    } else {
+        recovery_exp::RecoveryScale::full()
+    };
+    print!("{}", recovery_exp::table5(rec));
+    print!("{}", ablation::all(quick));
+}

@@ -1,0 +1,24 @@
+//! Calibration helper: measures mean GC victim validity against the
+//! utilization targets behind the Figure 5 validity regimes.
+use xftl_bench::experiments::synthetic_exp::{run_cell, SynScale, Validity};
+use xftl_workloads::rig::Mode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tuples: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let txns: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let scale = SynScale { tuples, txns };
+    for mode in [Mode::Rbj, Mode::Wal, Mode::XFtl] {
+        for v in Validity::ALL {
+            let c = run_cell(mode, v, 5, scale);
+            println!(
+                "{:6} target {:3}: validity {:5.1}%  gc_runs {:5}  time {:8.2}s",
+                mode.label(),
+                v.label(),
+                c.measured_validity.map(|x| x * 100.0).unwrap_or(0.0),
+                c.snap.ftl.gc_runs,
+                c.elapsed_ns as f64 / 1e9,
+            );
+        }
+    }
+}

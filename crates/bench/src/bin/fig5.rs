@@ -1,0 +1,18 @@
+//! Regenerates Figure 5 (synthetic workload, execution time vs
+//! transaction size, three GC-validity regimes).
+use xftl_bench::experiments::synthetic_exp::{fig5, SynScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        SynScale::quick()
+    } else {
+        SynScale::full()
+    };
+    let sweep: Vec<usize> = if quick {
+        vec![1, 5, 20]
+    } else {
+        vec![1, 5, 10, 15, 20]
+    };
+    print!("{}", fig5(scale, &sweep));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 6 (FTL-side write and GC counts vs validity).
+use xftl_bench::experiments::synthetic_exp::{fig6, SynScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        fig6(if quick {
+            SynScale::quick()
+        } else {
+            SynScale::full()
+        })
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 (smartphone workload performance).
+use xftl_bench::experiments::android_exp::fig7;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", fig7(if quick { 0.05 } else { 1.0 }));
+}

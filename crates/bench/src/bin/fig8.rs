@@ -1,0 +1,14 @@
+//! Regenerates Figure 8 (FIO single-thread IOPS).
+use xftl_bench::experiments::fio_exp::{fig8, FioScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        fig8(if quick {
+            FioScale::quick()
+        } else {
+            FioScale::full()
+        })
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 9 (FIO 16 jobs, S830 vs OpenSSD X-FTL).
+use xftl_bench::experiments::fio_exp::{fig9, FioScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        fig9(if quick {
+            FioScale::quick()
+        } else {
+            FioScale::full()
+        })
+    );
+}

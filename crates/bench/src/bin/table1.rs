@@ -1,0 +1,14 @@
+//! Regenerates Table 1 (I/O count breakdown).
+use xftl_bench::experiments::synthetic_exp::{table1, SynScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        table1(if quick {
+            SynScale::quick()
+        } else {
+            SynScale::full()
+        })
+    );
+}

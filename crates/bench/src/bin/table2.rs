@@ -1,0 +1,7 @@
+//! Regenerates Table 2 (Android trace characteristics).
+use xftl_bench::experiments::android_exp::table2;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", table2(if quick { 0.05 } else { 1.0 }));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 5 (restart time after power failure).
+use xftl_bench::experiments::recovery_exp::{table5, RecoveryScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        table5(if quick {
+            RecoveryScale::quick()
+        } else {
+            RecoveryScale::full()
+        })
+    );
+}

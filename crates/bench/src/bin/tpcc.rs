@@ -1,0 +1,14 @@
+//! Regenerates Tables 3-4 (TPC-C mixes and throughput).
+use xftl_bench::experiments::tpcc_exp::{tables_3_4, TpccExpScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        tables_3_4(if quick {
+            TpccExpScale::quick()
+        } else {
+            TpccExpScale::full()
+        })
+    );
+}

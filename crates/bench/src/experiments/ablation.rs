@@ -1,0 +1,410 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **X-L2P capacity** (paper §5.3 sizes it at 500/1000 entries): does a
+//!    bigger table help or hurt? Commit writes grow with table size.
+//! 2. **X-FTL vs the per-call atomic-write FTL** (§3.3's argument): with a
+//!    steal-y buffer manager each eviction becomes its own atomic group,
+//!    costing one commit record per page; X-FTL pays one X-L2P write per
+//!    transaction regardless.
+//! 3. **WAL checkpoint interval**: the knob behind WAL's read overhead.
+//! 4. **Barrier cost**: how much of a flush is the mapping-table persist.
+
+use xftl_core::XFtl;
+use xftl_flash::{FlashChip, FlashConfig, SimClock};
+use xftl_ftl::{AtomicWriteFtl, BlockDevice, TxFlashFtl};
+use xftl_workloads::rig::{Mode, Rig, RigConfig};
+use xftl_workloads::synthetic::{self, SyntheticConfig};
+
+use crate::report::{secs, Table};
+
+/// Ablation 1: X-L2P capacity sweep on the synthetic workload.
+pub fn xl2p_capacity(quick: bool) -> String {
+    let syn = if quick {
+        SyntheticConfig {
+            tuples: 3_000,
+            txns: 60,
+            updates_per_txn: 5,
+            ..Default::default()
+        }
+    } else {
+        SyntheticConfig {
+            tuples: 20_000,
+            txns: 400,
+            updates_per_txn: 5,
+            ..Default::default()
+        }
+    };
+    let mut out = String::new();
+    out.push_str("=== Ablation: X-L2P table capacity ===\n\n");
+    let mut t = Table::new(vec!["capacity", "time (s)", "X-L2P writes", "checkpoints"]);
+    for cap in [64usize, 500, 1000, 4096] {
+        let hot = (syn.tuples as u64 / 33) * 2 + 1_200;
+        let logical = hot * 2;
+        let rig = Rig::build(RigConfig {
+            mode: Mode::XFtl,
+            xl2p_capacity: cap,
+            blocks: ((logical / 128 + 14) as usize).max(48),
+            logical_pages: logical,
+            ..RigConfig::small(Mode::XFtl)
+        });
+        let mut db = rig.open_db("s.db");
+        synthetic::load_partsupply(&mut db, &syn);
+        rig.reset_stats();
+        let r = synthetic::run_transactions(&mut db, &rig.clock, &syn);
+        drop(db);
+        let snap = rig.snapshot();
+        t.row(vec![
+            cap.to_string(),
+            secs(r.elapsed_ns),
+            snap.ftl.xl2p_writes.to_string(),
+            snap.ftl.checkpoints.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out
+}
+
+/// Ablation 2: X-FTL vs the two related-work baselines — the per-call
+/// atomic-write FTL (Park et al. \[18\]) and TxFlash's Simple Cyclic Commit
+/// (Prabhakaran et al. \[20\]) — on raw-device transactions of `group`
+/// pages each, with and without steal.
+pub fn atomic_write_baseline(quick: bool) -> String {
+    let (txns, group) = if quick {
+        (200usize, 5usize)
+    } else {
+        (2_000, 5)
+    };
+    let logical: u64 = 4_000;
+    let blocks = 64;
+    let page = vec![0xC3u8; 8192];
+    let mut out = String::new();
+    out.push_str("=== Ablation: X-FTL vs atomic-write FTL [18] vs TxFlash SCC [20] ===\n");
+    out.push_str(&format!(
+        "({txns} transactions of {group} page updates each)\n\n"
+    ));
+    let mut t = Table::new(vec![
+        "device",
+        "time (s)",
+        "flash programs",
+        "overhead pages",
+    ]);
+
+    // X-FTL: write_tx x group + one commit.
+    {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::openssd(blocks), clock.clone());
+        let mut dev = XFtl::format(chip, logical).expect("format");
+        let t0 = clock.now();
+        for i in 0..txns as u64 {
+            let tid = i + 1;
+            for p in 0..group as u64 {
+                dev.write_tx(tid, (i * group as u64 + p) % logical, &page)
+                    .expect("write_tx");
+            }
+            dev.commit(tid).expect("commit");
+        }
+        let elapsed = clock.now() - t0;
+        let s = dev.stats();
+        t.row(vec![
+            "X-FTL".to_string(),
+            secs(elapsed),
+            dev.flash_stats().programs.to_string(),
+            (s.xl2p_writes + s.meta_writes).to_string(),
+        ]);
+    }
+
+    // Atomic-write FTL, ideal case: the whole group in one call (only
+    // possible when nothing is stolen early).
+    {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::openssd(blocks), clock.clone());
+        let mut dev = AtomicWriteFtl::format(chip, logical).expect("format");
+        let t0 = clock.now();
+        for i in 0..txns as u64 {
+            let pages: Vec<(u64, &[u8])> = (0..group as u64)
+                .map(|p| ((i * group as u64 + p) % logical, page.as_slice()))
+                .collect();
+            dev.write_atomic(&pages).expect("write_atomic");
+        }
+        let elapsed = clock.now() - t0;
+        let s = dev.stats();
+        t.row(vec![
+            "atomic-write (one call/txn)".to_string(),
+            secs(elapsed),
+            dev.flash_stats().programs.to_string(),
+            (s.commit_record_writes + s.meta_writes).to_string(),
+        ]);
+    }
+
+    // TxFlash SCC: the cycle-closing marker rides on the last data page —
+    // zero overhead pages, but per-call atomicity only (no steal).
+    {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::openssd(blocks), clock.clone());
+        let mut dev = TxFlashFtl::format(chip, logical).expect("format");
+        let t0 = clock.now();
+        for i in 0..txns as u64 {
+            let tid = i + 1;
+            for p in 0..group as u64 {
+                dev.write_tx(tid, (i * group as u64 + p) % logical, &page)
+                    .expect("write_tx");
+            }
+            dev.commit(tid).expect("commit");
+        }
+        let elapsed = clock.now() - t0;
+        let s = dev.stats();
+        t.row(vec![
+            "TxFlash SCC (one cycle/txn)".to_string(),
+            secs(elapsed),
+            dev.flash_stats().programs.to_string(),
+            (s.commit_record_writes + s.xl2p_writes).to_string(),
+        ]);
+    }
+
+    // Atomic-write FTL under steal: every page eviction is its own call,
+    // so every page pays a commit record (§3.3's incompatibility).
+    {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::openssd(blocks), clock.clone());
+        let mut dev = AtomicWriteFtl::format(chip, logical).expect("format");
+        let t0 = clock.now();
+        for i in 0..txns as u64 {
+            for p in 0..group as u64 {
+                dev.write((i * group as u64 + p) % logical, &page)
+                    .expect("write");
+            }
+        }
+        let elapsed = clock.now() - t0;
+        let s = dev.stats();
+        t.row(vec![
+            "atomic-write (steal: call/page)".to_string(),
+            secs(elapsed),
+            dev.flash_stats().programs.to_string(),
+            (s.commit_record_writes + s.meta_writes).to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out
+}
+
+/// Ablation 3: WAL auto-checkpoint interval.
+pub fn wal_checkpoint_interval(quick: bool) -> String {
+    let syn = if quick {
+        SyntheticConfig {
+            tuples: 3_000,
+            txns: 80,
+            updates_per_txn: 5,
+            ..Default::default()
+        }
+    } else {
+        SyntheticConfig {
+            tuples: 20_000,
+            txns: 500,
+            updates_per_txn: 5,
+            ..Default::default()
+        }
+    };
+    let mut out = String::new();
+    out.push_str("=== Ablation: WAL checkpoint interval ===\n\n");
+    let mut t = Table::new(vec![
+        "interval (frames)",
+        "time (s)",
+        "checkpoints",
+        "db writes",
+    ]);
+    for interval in [250u32, 1000, 4000] {
+        // The WAL itself grows to `interval` frames before a checkpoint:
+        // the volume must hold it alongside the table.
+        let hot = (syn.tuples as u64 / 33) * 2 + interval as u64 + 800;
+        let logical = hot * 2;
+        let rig = Rig::build(RigConfig {
+            mode: Mode::Wal,
+            blocks: ((logical / 128 + 14) as usize).max(48),
+            logical_pages: logical,
+            ..RigConfig::small(Mode::Wal)
+        });
+        let mut db = rig.open_db("s.db");
+        db.pager_mut().wal_autocheckpoint = interval;
+        synthetic::load_partsupply(&mut db, &syn);
+        db.reset_stats();
+        rig.reset_stats();
+        let r = synthetic::run_transactions(&mut db, &rig.clock, &syn);
+        let stats = *db.pager_stats();
+        drop(db);
+        t.row(vec![
+            interval.to_string(),
+            secs(r.elapsed_ns),
+            stats.checkpoints.to_string(),
+            stats.db_writes.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out
+}
+
+/// Ablation 4: cost of the write barrier (mapping-table persist) on the
+/// plain FTL, as a function of flush frequency.
+pub fn barrier_cost(quick: bool) -> String {
+    let writes: u64 = if quick { 2_000 } else { 20_000 };
+    let logical: u64 = 4_000;
+    let page = vec![0x11u8; 8192];
+    let mut out = String::new();
+    out.push_str("=== Ablation: write-barrier (mapping persist) cost ===\n\n");
+    let mut t = Table::new(vec!["writes/flush", "time (s)", "map+meta pages"]);
+    for k in [1u64, 5, 20, 100] {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::openssd(64), clock.clone());
+        let mut dev = xftl_ftl::PageMappedFtl::format(chip, logical).expect("format");
+        let t0 = clock.now();
+        for i in 0..writes {
+            dev.write(i % logical, &page).expect("write");
+            if (i + 1) % k == 0 {
+                dev.flush().expect("flush");
+            }
+        }
+        let elapsed = clock.now() - t0;
+        let s = dev.stats();
+        t.row(vec![
+            k.to_string(),
+            secs(elapsed),
+            (s.map_writes + s.meta_writes).to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out
+}
+
+/// Ablation 5: multi-file atomic transactions (§4.3) — the SQLite master
+/// journal protocol vs X-FTL's shared transaction id.
+pub fn multi_file_commit(quick: bool) -> String {
+    use xftl_db::{begin_multi, commit_multi, Value};
+    let txns = if quick { 50 } else { 400 };
+    let files = 3usize;
+    let mut out = String::new();
+    out.push_str("=== Ablation: multi-file atomic commit (master journal vs X-FTL) ===\n");
+    out.push_str(&format!(
+        "({txns} transactions spanning {files} database files)\n\n"
+    ));
+    let mut t = Table::new(vec!["mode", "time (s)", "fsyncs", "extra files"]);
+    for mode in [Mode::Rbj, Mode::XFtl] {
+        let rig = Rig::build(RigConfig {
+            mode,
+            blocks: 96,
+            logical_pages: 8_000,
+            ..RigConfig::small(mode)
+        });
+        let mut dbs: Vec<_> = (0..files)
+            .map(|i| rig.open_db(&format!("m{i}.db")))
+            .collect();
+        for db in &mut dbs {
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+                .expect("ddl");
+            db.execute("INSERT INTO t VALUES (1, 0)").expect("seed");
+        }
+        rig.reset_stats();
+        for db in &mut dbs {
+            db.reset_stats();
+        }
+        let t0 = rig.clock.now();
+        for i in 0..txns {
+            let mut refs: Vec<&mut xftl_db::Connection<_>> = dbs.iter_mut().collect();
+            begin_multi(&mut refs).expect("begin");
+            for db in refs.iter_mut() {
+                db.execute_with("UPDATE t SET v = ? WHERE id = 1", &[Value::Int(i as i64)])
+                    .expect("update");
+            }
+            commit_multi(&mut refs, &format!("master-{i}")).expect("commit");
+        }
+        let elapsed = rig.clock.now() - t0;
+        let fsyncs: u64 = dbs.iter().map(|d| d.pager_stats().fsyncs).sum();
+        let extra = match mode {
+            Mode::Rbj => format!("{} masters + {} journals", txns, txns * files),
+            _ => "none".to_string(),
+        };
+        t.row(vec![
+            mode.label().to_string(),
+            secs(elapsed),
+            fsyncs.to_string(),
+            extra,
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out
+}
+
+/// Ablation 6: rollback-journal finalization strategy (SQLite's
+/// journal_mode DELETE vs TRUNCATE vs PERSIST), against X-FTL.
+pub fn journal_finalization(quick: bool) -> String {
+    use xftl_db::{Connection, DbJournalMode, Value};
+    let txns = if quick { 60 } else { 500 };
+    let mut out = String::new();
+    out.push_str("=== Ablation: rollback-journal finalization (DELETE/TRUNCATE/PERSIST) ===\n");
+    out.push_str(&format!("({txns} single-update transactions)\n\n"));
+    let mut t = Table::new(vec!["mode", "time (s)", "fsyncs", "dirsyncs"]);
+    let variants: [(&str, Option<DbJournalMode>); 4] = [
+        ("DELETE", Some(DbJournalMode::Rollback)),
+        ("TRUNCATE", Some(DbJournalMode::RollbackTruncate)),
+        ("PERSIST", Some(DbJournalMode::RollbackPersist)),
+        ("X-FTL (off)", None),
+    ];
+    for (label, db_mode) in variants {
+        let rig_mode = if db_mode.is_some() {
+            Mode::Rbj
+        } else {
+            Mode::XFtl
+        };
+        let rig = Rig::build(RigConfig {
+            mode: rig_mode,
+            blocks: 72,
+            logical_pages: 5_000,
+            ..RigConfig::small(rig_mode)
+        });
+        let mut db = match db_mode {
+            Some(m) => Connection::open(rig.fs.clone(), "j.db", m).expect("open"),
+            None => rig.open_db("j.db"),
+        };
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+            .expect("ddl");
+        for i in 0..50i64 {
+            db.execute_with("INSERT INTO t VALUES (?, 0)", &[Value::Int(i)])
+                .expect("seed");
+        }
+        db.reset_stats();
+        let t0 = rig.clock.now();
+        for i in 0..txns as i64 {
+            db.execute_with(
+                "UPDATE t SET v = ? WHERE id = ?",
+                &[Value::Int(i), Value::Int(i % 50)],
+            )
+            .expect("update");
+        }
+        let elapsed = rig.clock.now() - t0;
+        let s = db.pager_stats();
+        t.row(vec![
+            label.to_string(),
+            secs(elapsed),
+            s.fsyncs.to_string(),
+            s.dirsyncs.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out
+}
+
+/// All ablations.
+pub fn all(quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&xl2p_capacity(quick));
+    out.push_str(&atomic_write_baseline(quick));
+    out.push_str(&wal_checkpoint_interval(quick));
+    out.push_str(&barrier_cost(quick));
+    out.push_str(&multi_file_commit(quick));
+    out.push_str(&journal_finalization(quick));
+    out
+}

@@ -1,0 +1,149 @@
+//! Figures 8–9: the FIO-style random-write file-system benchmark.
+
+use xftl_fs::JournalMode;
+use xftl_workloads::fio::{self, FioConfig};
+use xftl_workloads::rig::{Mode, Profile, Rig, RigConfig};
+
+use crate::report::Table;
+
+/// FIO experiment scale.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct FioScale {
+    /// File size per job (paper: 4 GB; scaled down to bound simulator
+    /// memory — random-write IOPS at fixed fsync cadence is insensitive
+    /// to file size once it exceeds the page cache).
+    pub file_bytes: u64,
+    pub duration_secs: u64,
+}
+
+impl FioScale {
+    /// Default full-scale parameters.
+    pub fn full() -> Self {
+        FioScale {
+            file_bytes: 128 * 1024 * 1024,
+            duration_secs: 30,
+        }
+    }
+
+    /// Reduced scale for `cargo bench` smoke runs.
+    pub fn quick() -> Self {
+        FioScale {
+            file_bytes: 16 * 1024 * 1024,
+            duration_secs: 4,
+        }
+    }
+}
+
+/// The FS configurations of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum FsSetup {
+    XFtlOff,
+    Ordered,
+    Full,
+}
+
+impl FsSetup {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FsSetup::XFtlOff => "X-FTL (journaling off)",
+            FsSetup::Ordered => "ordered journaling",
+            FsSetup::Full => "full journaling",
+        }
+    }
+}
+
+fn fio_rig(setup: FsSetup, profile: Profile, scale: &FioScale) -> Rig {
+    let file_pages = scale.file_bytes / 8192;
+    // Plenty of logical room; over-provisioning ~60 %.
+    let logical = file_pages * 2 + 4_000;
+    let (mode, over) = match setup {
+        FsSetup::XFtlOff => (Mode::XFtl, None),
+        FsSetup::Ordered => (Mode::Wal, None), // Wal rig = ordered FS
+        FsSetup::Full => (Mode::Rbj, Some(JournalMode::Full)),
+    };
+    Rig::build(RigConfig {
+        mode,
+        profile,
+        blocks: ((logical as f64 * 1.6 / 128.0).ceil() as usize).max(64),
+        logical_pages: logical,
+        fs_mode_override: over,
+        ..RigConfig::small(mode)
+    })
+}
+
+/// One measured IOPS point.
+pub fn run_point(
+    setup: FsSetup,
+    profile: Profile,
+    jobs: usize,
+    writes_per_fsync: usize,
+    scale: &FioScale,
+) -> f64 {
+    let rig = fio_rig(setup, profile, scale);
+    let r = fio::run(
+        &rig,
+        &FioConfig {
+            jobs,
+            file_bytes: scale.file_bytes,
+            writes_per_fsync,
+            duration_secs: scale.duration_secs,
+            seed: 7,
+        },
+    );
+    r.iops
+}
+
+/// Figure 8: single-thread IOPS vs. fsync interval on the OpenSSD.
+pub fn fig8(scale: FioScale) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== Figure 8: FIO benchmark, single thread (8 KB IOPS; file {} MB, {} s) ===\n\n",
+        scale.file_bytes / (1024 * 1024),
+        scale.duration_secs
+    ));
+    let mut t = Table::new(vec!["pages/fsync", "X-FTL", "ordered", "full"]);
+    for wpf in [1usize, 5, 10, 15, 20] {
+        let x = run_point(FsSetup::XFtlOff, Profile::OpenSsd, 1, wpf, &scale);
+        let o = run_point(FsSetup::Ordered, Profile::OpenSsd, 1, wpf, &scale);
+        let f = run_point(FsSetup::Full, Profile::OpenSsd, 1, wpf, &scale);
+        t.row(vec![
+            wpf.to_string(),
+            format!("{x:.0}"),
+            format!("{o:.0}"),
+            format!("{f:.0}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out
+}
+
+/// Figure 9: 16 concurrent jobs — the S830 in ordered/full journaling
+/// against the OpenSSD running X-FTL.
+pub fn fig9(scale: FioScale) -> String {
+    let mut out = String::new();
+    out.push_str("=== Figure 9: FIO benchmark, X-FTL vs S830 SSD (16 jobs; 8 KB IOPS) ===\n\n");
+    let mut t = Table::new(vec![
+        "pages/fsync",
+        "S830 ordered",
+        "OpenSSD X-FTL",
+        "S830 full",
+    ]);
+    for wpf in [1usize, 5, 10, 15, 20] {
+        let so = run_point(FsSetup::Ordered, Profile::S830, 16, wpf, &scale);
+        let x = run_point(FsSetup::XFtlOff, Profile::OpenSsd, 16, wpf, &scale);
+        let sf = run_point(FsSetup::Full, Profile::S830, 16, wpf, &scale);
+        t.row(vec![
+            wpf.to_string(),
+            format!("{so:.0}"),
+            format!("{x:.0}"),
+            format!("{sf:.0}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out
+}

@@ -1,0 +1,8 @@
+//! One module per paper table/figure, plus ablations.
+
+pub mod ablation;
+pub mod android_exp;
+pub mod fio_exp;
+pub mod recovery_exp;
+pub mod synthetic_exp;
+pub mod tpcc_exp;

@@ -1,0 +1,24 @@
+//! # xftl-bench — harnesses regenerating every table and figure
+//!
+//! Each experiment of the paper's evaluation (§6) has a module under
+//! [`experiments`] and a binary (`cargo run --release -p xftl-bench --bin
+//! fig5` etc.). The `figures` bench target (`cargo bench`) runs every
+//! experiment at a reduced "quick" scale and prints the same tables.
+//!
+//! | paper artifact | module | binary |
+//! |---|---|---|
+//! | Figure 5 (a–c) | `experiments::synthetic_exp::fig5` | `fig5` |
+//! | Table 1 | `experiments::synthetic_exp::table1` | `table1` |
+//! | Figure 6 | `experiments::synthetic_exp::fig6` | `fig6` |
+//! | Table 2 | `experiments::android_exp::table2` | `table2` |
+//! | Figure 7 | `experiments::android_exp::fig7` | `fig7` |
+//! | Tables 3–4 | `experiments::tpcc_exp::tables_3_4` | `tpcc` |
+//! | Figure 8 | `experiments::fio_exp::fig8` | `fig8` |
+//! | Figure 9 | `experiments::fio_exp::fig9` | `fig9` |
+//! | Table 5 | `experiments::recovery_exp::table5` | `table5` |
+//! | (ablations) | `experiments::ablation` | `ablation` |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

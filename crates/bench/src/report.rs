@@ -1,0 +1,99 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A fixed-width table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                line.push_str(&format!("{cell:>w$}"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats simulated nanoseconds as seconds with 2 decimals.
+pub fn secs(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e9)
+}
+
+/// Formats simulated nanoseconds as milliseconds with 1 decimal.
+pub fn millis(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e6)
+}
+
+/// Formats a ratio like "3.5x".
+pub fn ratio(a: u64, b: u64) -> String {
+    if b == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}x", a as f64 / b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["mode", "time"]);
+        t.row(vec!["RBJ", "123.45"]);
+        t.row(vec!["X-FTL", "1.2"]);
+        let s = t.render();
+        assert!(s.contains("mode"));
+        assert!(s.contains("X-FTL"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1_500_000_000), "1.50");
+        assert_eq!(millis(2_500_000), "2.5");
+        assert_eq!(ratio(70, 20), "3.5x");
+        assert_eq!(ratio(1, 0), "-");
+    }
+}

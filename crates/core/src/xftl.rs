@@ -1,0 +1,635 @@
+//! The X-FTL device: a page-mapping FTL with transactional atomicity.
+//!
+//! `XFtl` implements the full extended command set of §4.2 — `read(tid,p)`,
+//! `write(tid,p)`, `commit(tid)`, `abort(tid)` — on top of the shared FTL
+//! engine. Because the engine is copy-on-write anyway, transactional
+//! atomicity costs almost nothing extra: a `write_tx` is an ordinary
+//! out-of-place page write whose new address is parked in the X-L2P table
+//! instead of the L2P table, and `commit` makes one small table write plus
+//! a meta-root update (Figure 4).
+//!
+//! ## Commit protocol (Figure 4)
+//!
+//! 1. flip the transaction's X-L2P entries to *Committed* in device RAM;
+//! 2. write the X-L2P table copy-on-write to fresh flash pages and point
+//!    the checkpoint root at it — **this is the durability point**;
+//! 3. re-map the committed LPNs in the L2P table, invalidating the old
+//!    versions (idempotent; recovery re-derives it from step 2's table).
+//!
+//! Old committed versions are invalidated only *after* step 2, so a crash
+//! at any instant leaves either the old committed state or the new one
+//! reachable — never neither.
+//!
+//! ## Abort
+//!
+//! Two RAM-only steps (§5.3): drop the transaction's entries and invalidate
+//! its flash pages. No flash write is needed: a crash turns in-flight
+//! transactions into aborts for free.
+
+use xftl_flash::{FlashChip, PageKind, SimClock};
+use xftl_ftl::{BlockDevice, DevCounters, DevError, FtlBase, FtlStats, Lpn, NoHook, Result, Tid};
+
+use crate::xl2p::{TxStatus, Xl2pTable};
+
+/// Default X-L2P capacity (the paper's small configuration: 500 entries,
+/// one 8 KB flash page).
+pub const DEFAULT_XL2P_CAPACITY: usize = 500;
+
+/// Simulated-time breakdown of a recovery, for the paper's Table 5: the
+/// X-L2P portion (load + fold + re-checkpoint) is what the paper reports
+/// as X-FTL's 3.5 ms "SQLite restart time"; the scan portion is the
+/// common FTL work the paper excludes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryBreakdown {
+    /// Total simulated recovery time.
+    pub total_ns: u64,
+    /// Base FTL recovery (checkpoint load + log scan) — the "common" part.
+    pub scan_ns: u64,
+    /// X-L2P processing: fold committed entries, persist the result.
+    pub xl2p_ns: u64,
+}
+
+/// The transactional FTL.
+#[derive(Debug)]
+pub struct XFtl {
+    base: FtlBase,
+    table: Xl2pTable,
+}
+
+impl XFtl {
+    /// Formats a fresh chip to export `logical_pages`, with the default
+    /// X-L2P capacity.
+    pub fn format(chip: FlashChip, logical_pages: u64) -> Result<Self> {
+        Self::format_with_capacity(chip, logical_pages, DEFAULT_XL2P_CAPACITY)
+    }
+
+    /// Formats with an explicit X-L2P capacity (500 and 1000 in the paper;
+    /// the ablation bench sweeps this).
+    pub fn format_with_capacity(
+        chip: FlashChip,
+        logical_pages: u64,
+        xl2p_capacity: usize,
+    ) -> Result<Self> {
+        Ok(XFtl {
+            base: FtlBase::format(chip, logical_pages)?,
+            table: Xl2pTable::new(xl2p_capacity),
+        })
+    }
+
+    /// Rebuilds the device from flash after a power loss.
+    ///
+    /// Implements §5.4: load the L2P checkpoint and the persisted X-L2P
+    /// table; fold entries with *Committed* status into the L2P table
+    /// (idempotent); treat entries of in-flight transactions as aborted.
+    /// Ordinary (tid = 0) post-checkpoint writes are rolled forward by
+    /// sequence number, interleaved correctly with the commit fold.
+    pub fn recover(chip: FlashChip) -> Result<Self> {
+        Self::recover_with_capacity(chip, DEFAULT_XL2P_CAPACITY)
+    }
+
+    /// [`XFtl::recover`] with an explicit X-L2P capacity.
+    pub fn recover_with_capacity(chip: FlashChip, xl2p_capacity: usize) -> Result<Self> {
+        Ok(Self::recover_with_breakdown(chip, xl2p_capacity)?.0)
+    }
+
+    /// Recovery with a simulated-time breakdown (Table 5 instrumentation).
+    pub fn recover_with_breakdown(
+        chip: FlashChip,
+        xl2p_capacity: usize,
+    ) -> Result<(Self, RecoveryBreakdown)> {
+        let clock = chip.clock().clone();
+        let t0 = clock.now();
+        let (mut base, log) = FtlBase::recover(chip)?;
+        let t_scan = clock.now();
+        // Merge plain roll-forward events with the commit fold, ordered by
+        // global program sequence (a committed transaction's pages become
+        // current at the instant its X-L2P table write hit flash).
+        let mut merged: Vec<(u64, Lpn, xftl_flash::Ppa)> = Vec::new();
+        for e in &log.events {
+            if e.kind == PageKind::Data && e.tid == 0 && e.seq > log.ckpt_seq {
+                merged.push((e.seq, e.lpn, e.ppa));
+            }
+        }
+        if let Some((table_seq, bytes)) = &log.xl2p {
+            if *table_seq > log.ckpt_seq {
+                let geo_ps = base.page_size();
+                let ppb = base.pages_per_block();
+                for entry in Xl2pTable::decode_pages(bytes, geo_ps, ppb) {
+                    if entry.status == TxStatus::Committed {
+                        merged.push((*table_seq, entry.lpn, entry.ppa));
+                    }
+                    // Active entries: implicit abort — simply not folded.
+                }
+            }
+        }
+        merged.sort_by_key(|&(seq, _, _)| seq);
+        for (_, lpn, ppa) in merged {
+            base.apply_event(lpn, ppa);
+        }
+        // Persist the recovered state and retire the old X-L2P table; the
+        // fresh checkpoint now owns every committed fold.
+        base.clear_xl2p_roots();
+        base.checkpoint(&mut NoHook)?;
+        let t_end = clock.now();
+        let breakdown = RecoveryBreakdown {
+            total_ns: t_end - t0,
+            scan_ns: t_scan - t0,
+            xl2p_ns: t_end - t_scan,
+        };
+        Ok((
+            XFtl {
+                base,
+                table: Xl2pTable::new(xl2p_capacity),
+            },
+            breakdown,
+        ))
+    }
+
+    /// Checkpoints the L2P table and releases committed X-L2P entries,
+    /// whose folds the checkpoint now covers.
+    fn checkpoint_and_release(&mut self) -> Result<()> {
+        self.base.clear_xl2p_roots();
+        self.base.checkpoint(&mut self.table)?;
+        self.table.release_committed();
+        Ok(())
+    }
+
+    /// Number of live X-L2P entries (for tests and stats).
+    pub fn xl2p_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// FTL-attributed statistics.
+    pub fn stats(&self) -> &FtlStats {
+        self.base.stats()
+    }
+
+    /// Raw media statistics.
+    pub fn flash_stats(&self) -> xftl_flash::FlashStats {
+        self.base.flash_stats()
+    }
+
+    /// Resets statistics between experiment phases.
+    pub fn reset_stats(&mut self) {
+        self.base.reset_stats();
+    }
+
+    /// Shared simulated clock.
+    pub fn clock(&self) -> SimClock {
+        self.base.clock()
+    }
+
+    /// Powers down, keeping only the flash medium.
+    pub fn into_chip(self) -> FlashChip {
+        self.base.into_chip()
+    }
+
+    /// Direct engine access, for failure injection in tests.
+    pub fn base_mut(&mut self) -> &mut FtlBase {
+        &mut self.base
+    }
+}
+
+impl BlockDevice for XFtl {
+    fn page_size(&self) -> usize {
+        self.base.page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.base.capacity_pages()
+    }
+
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        self.base.counters_mut().host_reads += 1;
+        self.base.read_committed(lpn, buf)
+    }
+
+    fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        self.base.counters_mut().host_writes += 1;
+        self.base.write_committed(lpn, buf, &mut self.table)
+    }
+
+    fn trim(&mut self, lpn: Lpn) -> Result<()> {
+        self.base.counters_mut().trims += 1;
+        self.base.trim_lpn(lpn)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.base.counters_mut().flushes += 1;
+        if self.base.has_dirty_mapping() {
+            self.checkpoint_and_release()?;
+        }
+        Ok(())
+    }
+
+    fn counters(&self) -> DevCounters {
+        *self.base.counters()
+    }
+
+    fn supports_tx(&self) -> bool {
+        true
+    }
+
+    fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        self.base.counters_mut().host_reads += 1;
+        // §5.3: if the reader wrote this page, return its own version;
+        // otherwise the committed copy from the L2P table.
+        match self.table.lookup(tid, lpn) {
+            Some(entry) => {
+                let ppa = entry.ppa;
+                self.base.read_at(ppa, buf)?;
+                Ok(())
+            }
+            None => self.base.read_committed(lpn, buf),
+        }
+    }
+
+    fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        if tid == 0 {
+            return self.write(lpn, buf);
+        }
+        self.base.counters_mut().host_writes += 1;
+        // A reused transaction id rewriting a page whose entry is still
+        // *Committed* would repurpose that entry — erasing the only
+        // persistent record of the earlier commit's fold. Persist the L2P
+        // (releasing committed entries) first, so the fold is durable
+        // before the slot is reused.
+        if self
+            .table
+            .lookup(tid, lpn)
+            .is_some_and(|e| e.status == crate::xl2p::TxStatus::Committed)
+        {
+            self.checkpoint_and_release()?;
+        }
+        // Make room: committed entries become releasable after an L2P
+        // checkpoint; a table full of *active* entries is a host error.
+        if self.table.lookup(tid, lpn).is_none() && self.table.is_full() {
+            if self.table.committed_len() > 0 {
+                self.checkpoint_and_release()?;
+            }
+            if self.table.is_full() {
+                return Err(DevError::XL2pFull);
+            }
+        }
+        let ppa = self.base.write_cow(lpn, tid, buf, &mut self.table)?;
+        match self.table.upsert(tid, lpn, ppa) {
+            Ok(None) => {}
+            Ok(Some(superseded)) => {
+                // The transaction rewrote its own page: the intermediate
+                // version is garbage immediately.
+                self.base.invalidate(superseded);
+            }
+            Err(()) => unreachable!("capacity checked above"),
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self, tid: Tid) -> Result<()> {
+        self.base.counters_mut().commits += 1;
+        if !self.table.has_tid(tid) {
+            // Read-only transaction: nothing to persist.
+            return Ok(());
+        }
+        // Step 1: flip statuses in device RAM.
+        self.table.mark_committed(tid);
+        // Step 2 (durability point): CoW-write the X-L2P table and update
+        // the checkpoint root to reference it.
+        let pages = self
+            .table
+            .encode_pages(self.base.page_size(), self.base.pages_per_block());
+        self.base.persist_xl2p(&pages, &mut self.table)?;
+        // Step 3: re-map committed LPNs; old versions become reclaimable.
+        let folds: Vec<(Lpn, xftl_flash::Ppa)> =
+            self.table.entries_of(tid).map(|e| (e.lpn, e.ppa)).collect();
+        for (lpn, ppa) in folds {
+            self.base.fold_mapping(lpn, ppa);
+        }
+        // Housekeeping: once committed entries crowd the table, persist the
+        // L2P and release them.
+        if self.table.committed_len() > self.table.capacity() / 2 {
+            self.checkpoint_and_release()?;
+        }
+        Ok(())
+    }
+
+    fn abort(&mut self, tid: Tid) -> Result<()> {
+        self.base.counters_mut().aborts += 1;
+        // §5.3: two steps, no flash writes — drop the transaction's
+        // *active* entries, invalidate their pages. Entries that already
+        // committed (and the committed versions in L2P) are untouchable:
+        // an abort arriving after a successful commit is a no-op.
+        for ppa in self.table.remove_active_of_tid(tid) {
+            self.base.invalidate(ppa);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xftl_flash::{FlashChip, FlashConfig};
+
+    fn dev() -> XFtl {
+        let chip = FlashChip::new(FlashConfig::tiny(16), SimClock::new());
+        XFtl::format_with_capacity(chip, 32, 8).unwrap()
+    }
+
+    fn page(d: &XFtl, byte: u8) -> Vec<u8> {
+        vec![byte; d.page_size()]
+    }
+
+    #[test]
+    fn transactional_write_is_invisible_until_commit() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        let new = page(&d, 2);
+        d.write(0, &old).unwrap();
+        d.write_tx(7, 0, &new).unwrap();
+        let mut out = page(&d, 0);
+        // Plain readers (and other transactions) see the committed copy.
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, old);
+        d.read_tx(9, 0, &mut out).unwrap();
+        assert_eq!(out, old);
+        // The writer sees its own version.
+        d.read_tx(7, 0, &mut out).unwrap();
+        assert_eq!(out, new);
+        // After commit, everyone sees the new version.
+        d.commit(7).unwrap();
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, new);
+    }
+
+    #[test]
+    fn abort_restores_committed_state() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        let new = page(&d, 2);
+        d.write(0, &old).unwrap();
+        d.write_tx(7, 0, &new).unwrap();
+        d.abort(7).unwrap();
+        let mut out = page(&d, 0);
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, old);
+        d.read_tx(7, 0, &mut out).unwrap();
+        assert_eq!(out, old, "aborted writer sees committed state again");
+        assert_eq!(d.xl2p_len(), 0);
+    }
+
+    #[test]
+    fn abort_writes_nothing_to_flash() {
+        let mut d = dev();
+        let a = page(&d, 1);
+        d.write_tx(3, 0, &a).unwrap();
+        let before = d.flash_stats().programs;
+        d.abort(3).unwrap();
+        assert_eq!(d.flash_stats().programs, before, "abort is RAM-only");
+    }
+
+    #[test]
+    fn commit_writes_one_table_page_and_meta() {
+        // Roomy table so the committed-release housekeeping threshold
+        // (capacity / 2) does not fire inside the measured commit.
+        let chip = FlashChip::new(FlashConfig::tiny(16), SimClock::new());
+        let mut d = XFtl::format_with_capacity(chip, 32, 24).unwrap();
+        let a = page(&d, 1);
+        for lpn in 0..5 {
+            d.write_tx(3, lpn, &a).unwrap();
+        }
+        let before = d.flash_stats().programs;
+        d.commit(3).unwrap();
+        let cost = d.flash_stats().programs - before;
+        assert_eq!(cost, 2, "commit = 1 X-L2P page + 1 meta page, got {cost}");
+    }
+
+    #[test]
+    fn commit_then_crash_is_durable() {
+        let mut d = dev();
+        let a = page(&d, 0xA1);
+        let b = page(&d, 0xB2);
+        d.write_tx(5, 3, &a).unwrap();
+        d.write_tx(5, 4, &b).unwrap();
+        d.commit(5).unwrap();
+        // Power loss with no flush after commit.
+        let mut d2 = XFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(3, &mut out).unwrap();
+        assert_eq!(out, a);
+        d2.read(4, &mut out).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn uncommitted_tx_rolls_back_on_crash() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        let new = page(&d, 2);
+        d.write(0, &old).unwrap();
+        d.flush().unwrap();
+        d.write_tx(9, 0, &new).unwrap();
+        d.write_tx(9, 1, &new).unwrap();
+        // Crash before commit: the transaction evaporates.
+        let mut d2 = XFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, old);
+        d2.read(1, &mut out).unwrap();
+        assert!(
+            out.iter().all(|&x| x == 0),
+            "never-committed page reads as zeros"
+        );
+    }
+
+    #[test]
+    fn crash_mid_commit_keeps_old_state() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        let new = page(&d, 2);
+        d.write(0, &old).unwrap();
+        d.write(1, &old).unwrap();
+        d.flush().unwrap();
+        d.write_tx(9, 0, &new).unwrap();
+        d.write_tx(9, 1, &new).unwrap();
+        // Tear the X-L2P table write itself: the commit never became
+        // durable, so recovery must roll back.
+        d.base_mut().chip_mut().arm_power_fuse(1);
+        assert!(d.commit(9).is_err());
+        let mut d2 = XFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, old);
+        d2.read(1, &mut out).unwrap();
+        assert_eq!(out, old);
+    }
+
+    #[test]
+    fn crash_right_after_table_write_commits() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        let new = page(&d, 2);
+        d.write(0, &old).unwrap();
+        d.flush().unwrap();
+        d.write_tx(9, 0, &new).unwrap();
+        // Fuse fires on the *meta* write (2nd program of the commit):
+        // table page landed, root did not -> commit is NOT durable.
+        d.base_mut().chip_mut().arm_power_fuse(2);
+        assert!(d.commit(9).is_err());
+        let mut d2 = XFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, old, "commit without root update must roll back");
+    }
+
+    #[test]
+    fn repeated_writes_by_same_tx_reuse_entry() {
+        let mut d = dev();
+        let a = page(&d, 1);
+        let b = page(&d, 2);
+        d.write_tx(4, 0, &a).unwrap();
+        d.write_tx(4, 0, &b).unwrap();
+        assert_eq!(d.xl2p_len(), 1, "same (tid, lpn) shares one entry");
+        let mut out = page(&d, 0);
+        d.read_tx(4, 0, &mut out).unwrap();
+        assert_eq!(out, b);
+        d.commit(4).unwrap();
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn xl2p_full_of_active_transactions_errors() {
+        let mut d = dev(); // capacity 8
+        let a = page(&d, 1);
+        for tid in 1..=8u64 {
+            d.write_tx(tid, tid - 1, &a).unwrap();
+        }
+        assert_eq!(d.write_tx(9, 20, &a), Err(DevError::XL2pFull));
+        // Committing one frees a slot.
+        d.commit(1).unwrap();
+        assert!(d.write_tx(9, 20, &a).is_ok());
+    }
+
+    #[test]
+    fn committed_entries_released_by_barrier() {
+        let mut d = dev();
+        let a = page(&d, 1);
+        d.write_tx(1, 0, &a).unwrap();
+        d.commit(1).unwrap();
+        assert_eq!(d.xl2p_len(), 1, "committed entry parked until checkpoint");
+        d.flush().unwrap();
+        assert_eq!(d.xl2p_len(), 0, "checkpoint releases committed entries");
+    }
+
+    #[test]
+    fn two_transactions_are_isolated() {
+        let mut d = dev();
+        let base_v = page(&d, 0x10);
+        let v1 = page(&d, 0x11);
+        let v2 = page(&d, 0x22);
+        d.write(5, &base_v).unwrap();
+        d.write_tx(1, 5, &v1).unwrap();
+        // A different page for tx 2 (SQLite is single-writer per file; the
+        // device itself does not arbitrate write-write conflicts).
+        d.write_tx(2, 6, &v2).unwrap();
+        let mut out = page(&d, 0);
+        d.read_tx(1, 5, &mut out).unwrap();
+        assert_eq!(out, v1);
+        d.read_tx(2, 5, &mut out).unwrap();
+        assert_eq!(out, base_v);
+        d.read_tx(1, 6, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+        d.read_tx(2, 6, &mut out).unwrap();
+        assert_eq!(out, v2);
+        d.commit(1).unwrap();
+        d.abort(2).unwrap();
+        d.read(5, &mut out).unwrap();
+        assert_eq!(out, v1);
+        d.read(6, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn committed_data_survives_gc_and_crash() {
+        let mut d = dev();
+        // Commit a transaction, then churn plain writes to force GC to
+        // relocate the committed pages before any checkpoint.
+        let keep = page(&d, 0x77);
+        d.write_tx(1, 30, &keep).unwrap();
+        d.write_tx(1, 31, &keep).unwrap();
+        d.commit(1).unwrap();
+        let junk = page(&d, 0x01);
+        for i in 0..300u64 {
+            d.write(i % 6, &junk).unwrap();
+        }
+        assert!(d.stats().gc_runs > 0);
+        let mut d2 = XFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(30, &mut out).unwrap();
+        assert_eq!(out, keep);
+        d2.read(31, &mut out).unwrap();
+        assert_eq!(out, keep);
+    }
+
+    #[test]
+    fn active_tx_pages_survive_gc() {
+        let mut d = dev();
+        let old = page(&d, 0x0F);
+        let new = page(&d, 0xF0);
+        d.write(30, &old).unwrap();
+        d.write_tx(1, 30, &new).unwrap();
+        // Churn to force GC while the transaction is still active: both the
+        // old committed version and the new pinned version must survive.
+        let junk = page(&d, 2);
+        for i in 0..300u64 {
+            d.write(i % 6, &junk).unwrap();
+        }
+        assert!(d.stats().gc_runs > 0);
+        let mut out = page(&d, 0);
+        d.read(30, &mut out).unwrap();
+        assert_eq!(out, old);
+        d.read_tx(1, 30, &mut out).unwrap();
+        assert_eq!(out, new);
+        d.commit(1).unwrap();
+        d.read(30, &mut out).unwrap();
+        assert_eq!(out, new);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut d = dev();
+        let a = page(&d, 5);
+        d.write_tx(1, 2, &a).unwrap();
+        d.commit(1).unwrap();
+        let d2 = XFtl::recover(d.into_chip()).unwrap();
+        let mut d3 = XFtl::recover(d2.into_chip()).unwrap();
+        let mut out = page(&d3, 0);
+        d3.read(2, &mut out).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn commit_of_unknown_tid_is_noop() {
+        let mut d = dev();
+        assert!(d.commit(42).is_ok());
+        assert!(d.abort(42).is_ok());
+    }
+
+    #[test]
+    fn interleaved_plain_and_tx_writes_recover_in_order() {
+        // A tid-0 write *after* a commit to the same page must win, and
+        // one *before* the tx write must lose, even across a crash.
+        let mut d = dev();
+        let v1 = page(&d, 1);
+        let v2 = page(&d, 2);
+        let v3 = page(&d, 3);
+        d.write(0, &v1).unwrap(); // plain
+        d.write_tx(1, 0, &v2).unwrap();
+        d.commit(1).unwrap(); // v2 current
+        d.write(0, &v3).unwrap(); // plain, after commit: v3 current
+        let mut d2 = XFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, v3);
+    }
+}

@@ -1,0 +1,509 @@
+//! The transactional logical-to-physical mapping table (X-L2P).
+//!
+//! This is the data structure at the heart of the paper (Figure 2). Each
+//! entry `(tid, lpn, new_ppa, status)` records that transaction `tid` wrote
+//! a new, still-uncommitted (or committed-but-not-yet-checkpointed) version
+//! of logical page `lpn` at physical address `new_ppa`. The entry serves
+//! the two purposes §5.3 describes:
+//!
+//! 1. it routes `read(tid, p)` to the transaction's own version while
+//!    other readers keep seeing the committed copy in the L2P table, and
+//! 2. it *pins* the new version against garbage collection while keeping
+//!    the old committed version alive for rollback.
+//!
+//! The paper sizes each entry at 16 bytes and the whole table at 500
+//! entries (8 KB — one flash page) or 1000 entries (16 KB — two pages);
+//! [`Xl2pTable::encode_pages`] reproduces that layout exactly so the table
+//! is persisted copy-on-write in whole flash pages at commit time.
+
+use std::collections::HashMap;
+
+use xftl_flash::{Oob, PageKind, Ppa};
+use xftl_ftl::{GcHook, Lpn, Tid};
+
+/// Status of the transaction owning an X-L2P entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// The transaction is in flight; its old versions are pinned.
+    Active,
+    /// Commit durably recorded; entry awaits release by the next L2P
+    /// checkpoint.
+    Committed,
+}
+
+/// One X-L2P entry. 16 bytes on flash: `tid:u32, lpn:u32, ppa:u32,
+/// status:u32` — matching the paper's entry size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Owning transaction.
+    pub tid: Tid,
+    /// Logical page the transaction wrote.
+    pub lpn: Lpn,
+    /// Physical address of the transaction's newest version of `lpn`.
+    pub ppa: Ppa,
+    /// Owning transaction's status.
+    pub status: TxStatus,
+}
+
+/// Magic prefix of a persisted X-L2P table page ("XL2PTBLE").
+const TABLE_MAGIC: u64 = 0x584C_3250_5442_4C45;
+/// Bytes per persisted entry.
+const ENTRY_BYTES: usize = 16;
+/// Page header: magic + entry count.
+const PAGE_HEADER: usize = 16;
+
+/// The in-DRAM X-L2P table with O(1) lookup by `(tid, lpn)` and by `tid`.
+#[derive(Debug)]
+pub struct Xl2pTable {
+    capacity: usize,
+    entries: Vec<Entry>,
+    by_page: HashMap<(Tid, Lpn), usize>,
+    by_tid: HashMap<Tid, Vec<usize>>,
+}
+
+impl Xl2pTable {
+    /// Creates an empty table holding at most `capacity` entries (the
+    /// paper uses 500 or 1000).
+    pub fn new(capacity: usize) -> Self {
+        Xl2pTable {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            by_page: HashMap::new(),
+            by_tid: HashMap::new(),
+        }
+    }
+
+    /// Configured maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if no further entry can be inserted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Number of entries with committed status (releasable after the next
+    /// L2P checkpoint).
+    pub fn committed_len(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.status == TxStatus::Committed)
+            .count()
+    }
+
+    /// The entry for `(tid, lpn)`, if any.
+    pub fn lookup(&self, tid: Tid, lpn: Lpn) -> Option<&Entry> {
+        self.by_page.get(&(tid, lpn)).map(|&i| &self.entries[i])
+    }
+
+    /// All entries belonging to `tid`.
+    pub fn entries_of(&self, tid: Tid) -> impl Iterator<Item = &Entry> {
+        self.by_tid
+            .get(&tid)
+            .into_iter()
+            .flat_map(|idxs| idxs.iter().map(|&i| &self.entries[i]))
+    }
+
+    /// True if `tid` owns any entry.
+    pub fn has_tid(&self, tid: Tid) -> bool {
+        self.by_tid.contains_key(&tid)
+    }
+
+    /// Inserts a new active entry, or updates the physical address of an
+    /// existing `(tid, lpn)` entry (a transaction re-writing the same page
+    /// reuses its slot — §5.3). Returns the superseded physical address
+    /// **only if it was an uncommitted intermediate version** (safe to
+    /// invalidate); a *committed* entry's old address is owned by the L2P
+    /// fold and is never reported for invalidation. Errors when the table
+    /// is full.
+    #[allow(clippy::result_unit_err)] // the only failure is "table full"
+    pub fn upsert(&mut self, tid: Tid, lpn: Lpn, ppa: Ppa) -> Result<Option<Ppa>, ()> {
+        if let Some(&i) = self.by_page.get(&(tid, lpn)) {
+            let old = self.entries[i].ppa;
+            let was_active = self.entries[i].status == TxStatus::Active;
+            self.entries[i].ppa = ppa;
+            self.entries[i].status = TxStatus::Active;
+            return Ok(was_active.then_some(old));
+        }
+        if self.is_full() {
+            return Err(());
+        }
+        let i = self.entries.len();
+        self.entries.push(Entry {
+            tid,
+            lpn,
+            ppa,
+            status: TxStatus::Active,
+        });
+        self.by_page.insert((tid, lpn), i);
+        self.by_tid.entry(tid).or_default().push(i);
+        Ok(None)
+    }
+
+    /// Flips every entry of `tid` to committed. Returns the number flipped.
+    pub fn mark_committed(&mut self, tid: Tid) -> usize {
+        let mut n = 0;
+        if let Some(idxs) = self.by_tid.get(&tid) {
+            for &i in idxs {
+                self.entries[i].status = TxStatus::Committed;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Removes the entry at slot `i` (swap-remove), fixing both indices.
+    fn remove_index(&mut self, i: usize) -> Entry {
+        let e = self.entries.swap_remove(i);
+        self.by_page.remove(&(e.tid, e.lpn));
+        let last = self.entries.len(); // old index of the moved entry
+        if let Some(v) = self.by_tid.get_mut(&e.tid) {
+            v.retain(|&slot| slot != i);
+        }
+        if i < last {
+            let moved = self.entries[i];
+            self.by_page.insert((moved.tid, moved.lpn), i);
+            if let Some(v) = self.by_tid.get_mut(&moved.tid) {
+                for slot in v.iter_mut() {
+                    if *slot == last {
+                        *slot = i;
+                    }
+                }
+            }
+        }
+        if self.by_tid.get(&e.tid).is_some_and(|v| v.is_empty()) {
+            self.by_tid.remove(&e.tid);
+        }
+        e
+    }
+
+    /// Removes every entry of `tid`, returning their physical addresses
+    /// (the abort path invalidates them).
+    pub fn remove_tid(&mut self, tid: Tid) -> Vec<Ppa> {
+        let mut ppas = Vec::new();
+        while let Some(&i) = self.by_tid.get(&tid).and_then(|v| v.first()) {
+            ppas.push(self.remove_index(i).ppa);
+        }
+        ppas
+    }
+
+    /// Removes only the *active* entries of `tid`, returning their
+    /// physical addresses. Used by abort: entries already committed are
+    /// owned by the L2P fold and must not be touched — an `abort(t)`
+    /// arriving after `commit(t)` is a no-op on the committed data.
+    pub fn remove_active_of_tid(&mut self, tid: Tid) -> Vec<Ppa> {
+        let mut ppas = Vec::new();
+        while let Some(&i) = self.by_tid.get(&tid).and_then(|v| {
+            v.iter()
+                .find(|&&i| self.entries[i].status == TxStatus::Active)
+        }) {
+            ppas.push(self.remove_index(i).ppa);
+        }
+        ppas
+    }
+
+    /// Releases every *committed* entry (called after an L2P checkpoint
+    /// has persisted their folds). Active entries — including ones whose
+    /// transaction id previously committed and was reused — stay pinned.
+    /// The released pages stay valid: they are the committed versions now
+    /// owned by the L2P table.
+    pub fn release_committed(&mut self) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].status == TxStatus::Committed {
+                self.remove_index(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Serializes the table into whole flash pages of `page_size` bytes
+    /// (the commit-time copy-on-write write of Figure 4).
+    pub fn encode_pages(&self, page_size: usize, pages_per_block: usize) -> Vec<Vec<u8>> {
+        let per_page = (page_size - PAGE_HEADER) / ENTRY_BYTES;
+        if self.entries.is_empty() {
+            // An empty table still persists as one page (a durable "no
+            // unfolded commits" statement).
+            let mut buf = vec![0u8; page_size];
+            buf[0..8].copy_from_slice(&TABLE_MAGIC.to_le_bytes());
+            return vec![buf];
+        }
+        let mut pages = Vec::new();
+        for chunk in self.entries.chunks(per_page) {
+            let mut buf = vec![0u8; page_size];
+            buf[0..8].copy_from_slice(&TABLE_MAGIC.to_le_bytes());
+            buf[8..16].copy_from_slice(&(chunk.len() as u64).to_le_bytes());
+            for (i, e) in chunk.iter().enumerate() {
+                let off = PAGE_HEADER + i * ENTRY_BYTES;
+                debug_assert!(e.tid <= u32::MAX as u64 && e.lpn <= u32::MAX as u64);
+                buf[off..off + 4].copy_from_slice(&(e.tid as u32).to_le_bytes());
+                buf[off + 4..off + 8].copy_from_slice(&(e.lpn as u32).to_le_bytes());
+                let lin = e.ppa.linear(pages_per_block) as u32;
+                buf[off + 8..off + 12].copy_from_slice(&lin.to_le_bytes());
+                let status = match e.status {
+                    TxStatus::Active => 1u32,
+                    TxStatus::Committed => 2u32,
+                };
+                buf[off + 12..off + 16].copy_from_slice(&status.to_le_bytes());
+            }
+            pages.push(buf);
+        }
+        pages
+    }
+
+    /// Parses persisted table bytes (one or more concatenated pages) back
+    /// into entries. Unknown statuses and garbage pages are skipped.
+    pub fn decode_pages(bytes: &[u8], page_size: usize, pages_per_block: usize) -> Vec<Entry> {
+        let per_page = (page_size - PAGE_HEADER) / ENTRY_BYTES;
+        let mut out = Vec::new();
+        for page in bytes.chunks(page_size) {
+            if page.len() < PAGE_HEADER {
+                continue;
+            }
+            let magic = u64::from_le_bytes(page[0..8].try_into().expect("8 bytes"));
+            if magic != TABLE_MAGIC {
+                continue;
+            }
+            let count = (u64::from_le_bytes(page[8..16].try_into().expect("8 bytes")) as usize)
+                .min(per_page);
+            for i in 0..count {
+                let off = PAGE_HEADER + i * ENTRY_BYTES;
+                let tid = u32::from_le_bytes(page[off..off + 4].try_into().expect("4")) as Tid;
+                let lpn = u32::from_le_bytes(page[off + 4..off + 8].try_into().expect("4")) as Lpn;
+                let lin = u32::from_le_bytes(page[off + 8..off + 12].try_into().expect("4")) as u64;
+                let status = u32::from_le_bytes(page[off + 12..off + 16].try_into().expect("4"));
+                let status = match status {
+                    1 => TxStatus::Active,
+                    2 => TxStatus::Committed,
+                    _ => continue,
+                };
+                out.push(Entry {
+                    tid,
+                    lpn,
+                    ppa: Ppa::from_linear(lin, pages_per_block),
+                    status,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The X-L2P table chases garbage-collected pages: when GC relocates a
+/// pinned version, the entry follows it (the L2P side is handled inside
+/// the engine).
+impl GcHook for Xl2pTable {
+    fn relocated(&mut self, oob: &Oob, old: Ppa, new: Ppa) {
+        if oob.kind != PageKind::Data || oob.tid == 0 {
+            return;
+        }
+        if let Some(&i) = self.by_page.get(&(oob.tid, oob.lpn)) {
+            if self.entries[i].ppa == old {
+                self.entries[i].ppa = new;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(b: u32, pg: u32) -> Ppa {
+        Ppa::new(b, pg)
+    }
+
+    #[test]
+    fn upsert_insert_and_update() {
+        let mut t = Xl2pTable::new(4);
+        assert_eq!(t.upsert(1, 10, p(0, 0)), Ok(None));
+        assert_eq!(t.lookup(1, 10).unwrap().ppa, p(0, 0));
+        // Same (tid, lpn) reuses the slot and reports the superseded ppa.
+        assert_eq!(t.upsert(1, 10, p(0, 1)), Ok(Some(p(0, 0))));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(1, 10).unwrap().ppa, p(0, 1));
+    }
+
+    #[test]
+    fn full_table_rejects_new_entries_but_allows_updates() {
+        let mut t = Xl2pTable::new(2);
+        t.upsert(1, 0, p(0, 0)).unwrap();
+        t.upsert(1, 1, p(0, 1)).unwrap();
+        assert!(t.is_full());
+        assert_eq!(t.upsert(2, 5, p(0, 2)), Err(()));
+        assert_eq!(t.upsert(1, 0, p(0, 3)), Ok(Some(p(0, 0))));
+    }
+
+    #[test]
+    fn commit_flips_status() {
+        let mut t = Xl2pTable::new(8);
+        t.upsert(1, 0, p(0, 0)).unwrap();
+        t.upsert(1, 1, p(0, 1)).unwrap();
+        t.upsert(2, 2, p(0, 2)).unwrap();
+        assert_eq!(t.mark_committed(1), 2);
+        assert_eq!(t.committed_len(), 2);
+        assert_eq!(t.lookup(2, 2).unwrap().status, TxStatus::Active);
+    }
+
+    #[test]
+    fn remove_tid_returns_ppas_and_fixes_indices() {
+        let mut t = Xl2pTable::new(8);
+        t.upsert(1, 0, p(0, 0)).unwrap();
+        t.upsert(2, 1, p(0, 1)).unwrap();
+        t.upsert(1, 2, p(0, 2)).unwrap();
+        t.upsert(3, 3, p(0, 3)).unwrap();
+        let mut ppas = t.remove_tid(1);
+        ppas.sort();
+        assert_eq!(ppas, vec![p(0, 0), p(0, 2)]);
+        assert_eq!(t.len(), 2);
+        // Survivors still resolvable after swap_remove index churn.
+        assert_eq!(t.lookup(2, 1).unwrap().ppa, p(0, 1));
+        assert_eq!(t.lookup(3, 3).unwrap().ppa, p(0, 3));
+        assert!(t.entries_of(2).count() == 1);
+    }
+
+    #[test]
+    fn rewrite_of_committed_entry_spares_the_committed_version() {
+        // tid commits lpn, then the reused tid rewrites it: the committed
+        // version (now owned by L2P) must not be reported for
+        // invalidation.
+        let mut t = Xl2pTable::new(8);
+        t.upsert(1, 0, p(0, 0)).unwrap();
+        t.mark_committed(1);
+        assert_eq!(
+            t.upsert(1, 0, p(0, 1)).unwrap(),
+            None,
+            "committed ppa stays valid"
+        );
+        assert_eq!(t.lookup(1, 0).unwrap().status, TxStatus::Active);
+        assert_eq!(t.lookup(1, 0).unwrap().ppa, p(0, 1));
+        // A second rewrite of the now-active entry DOES supersede.
+        assert_eq!(t.upsert(1, 0, p(0, 2)).unwrap(), Some(p(0, 1)));
+    }
+
+    #[test]
+    fn abort_after_commit_is_noop_on_committed_entries() {
+        let mut t = Xl2pTable::new(8);
+        t.upsert(4, 3, p(1, 0)).unwrap();
+        t.mark_committed(4);
+        t.upsert(4, 5, p(1, 1)).unwrap(); // reused tid, active again
+        let removed = t.remove_active_of_tid(4);
+        assert_eq!(removed, vec![p(1, 1)]);
+        assert_eq!(t.lookup(4, 3).unwrap().status, TxStatus::Committed);
+        assert!(t.lookup(4, 5).is_none());
+    }
+
+    #[test]
+    fn release_spares_active_entries_of_reused_tid() {
+        // A tid that committed and was then reused must keep its new
+        // active entries across a release.
+        let mut t = Xl2pTable::new(8);
+        t.upsert(2, 0, p(0, 0)).unwrap();
+        t.mark_committed(2);
+        t.upsert(2, 1, p(0, 1)).unwrap(); // reuse: new ACTIVE entry
+        t.release_committed();
+        assert!(t.lookup(2, 0).is_none(), "committed entry released");
+        assert_eq!(t.lookup(2, 1).unwrap().status, TxStatus::Active);
+        assert_eq!(t.lookup(2, 1).unwrap().ppa, p(0, 1));
+    }
+
+    #[test]
+    fn release_committed_keeps_active() {
+        let mut t = Xl2pTable::new(8);
+        t.upsert(1, 0, p(0, 0)).unwrap();
+        t.upsert(2, 1, p(0, 1)).unwrap();
+        t.mark_committed(1);
+        t.release_committed();
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(2, 1).is_some());
+        assert!(t.lookup(1, 0).is_none());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut t = Xl2pTable::new(500);
+        for i in 0..10u64 {
+            t.upsert(7, i, p(1, i as u32)).unwrap();
+        }
+        t.mark_committed(7);
+        t.upsert(9, 100, p(2, 0)).unwrap();
+        let pages = t.encode_pages(512, 8);
+        assert_eq!(pages.len(), 1);
+        let bytes: Vec<u8> = pages.concat();
+        let entries = Xl2pTable::decode_pages(&bytes, 512, 8);
+        assert_eq!(entries.len(), 11);
+        assert_eq!(
+            entries
+                .iter()
+                .filter(|e| e.status == TxStatus::Committed)
+                .count(),
+            10
+        );
+        assert!(entries
+            .iter()
+            .any(|e| e.tid == 9 && e.lpn == 100 && e.status == TxStatus::Active));
+    }
+
+    #[test]
+    fn paper_sizing_500_entries_fit_one_8k_page() {
+        let mut t = Xl2pTable::new(500);
+        for i in 0..500u64 {
+            t.upsert(1, i, p(0, 0)).unwrap();
+        }
+        let pages = t.encode_pages(8192, 128);
+        assert_eq!(pages.len(), 1, "500 x 16 B entries must fit one 8 KB page");
+        let mut t2 = Xl2pTable::new(1000);
+        for i in 0..1000u64 {
+            t2.upsert(1, i, p(0, 0)).unwrap();
+        }
+        assert_eq!(
+            t2.encode_pages(8192, 128).len(),
+            2,
+            "1000 entries need 16 KB"
+        );
+    }
+
+    #[test]
+    fn empty_table_persists_as_one_page() {
+        let t = Xl2pTable::new(4);
+        let pages = t.encode_pages(512, 8);
+        assert_eq!(pages.len(), 1);
+        assert!(Xl2pTable::decode_pages(&pages[0], 512, 8).is_empty());
+    }
+
+    #[test]
+    fn decode_skips_garbage() {
+        assert!(Xl2pTable::decode_pages(&[0u8; 512], 512, 8).is_empty());
+        assert!(Xl2pTable::decode_pages(&[0xFF; 512], 512, 8).is_empty());
+    }
+
+    #[test]
+    fn gc_hook_chases_relocations() {
+        let mut t = Xl2pTable::new(4);
+        t.upsert(5, 9, p(1, 2)).unwrap();
+        let oob = Oob {
+            lpn: 9,
+            seq: 100,
+            tid: 5,
+            kind: PageKind::Data,
+            aux: 0,
+        };
+        t.relocated(&oob, p(1, 2), p(3, 0));
+        assert_eq!(t.lookup(5, 9).unwrap().ppa, p(3, 0));
+        // A non-matching relocation is ignored.
+        t.relocated(&oob, p(1, 2), p(4, 0));
+        assert_eq!(t.lookup(5, 9).unwrap().ppa, p(3, 0));
+    }
+}

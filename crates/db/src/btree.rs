@@ -1,0 +1,1394 @@
+//! B+trees over pager pages: table trees (keyed by rowid, like SQLite's
+//! table B-trees) and index trees (keyed by the order-preserving encoded
+//! key from [`crate::record`]).
+//!
+//! Pages are read and written whole through the [`Pager`], so every
+//! structural change flows through the journal mode under test — B-tree
+//! splits are precisely the multi-page updates whose atomicity the paper
+//! is about. Large payloads spill to overflow page chains, which is how
+//! the Facebook trace's thumbnail blobs (§6.3.2) exercise multi-page
+//! writes per insert.
+
+use xftl_ftl::BlockDevice;
+
+use crate::error::{DbError, Result};
+use crate::pager::{PageNo, Pager};
+
+const T_TABLE_LEAF: u8 = 1;
+const T_TABLE_INT: u8 = 2;
+const T_INDEX_LEAF: u8 = 3;
+const T_INDEX_INT: u8 = 4;
+
+/// Page header bytes before the cell area.
+const HDR: usize = 12;
+
+/// A table-leaf payload: a local prefix plus an optional overflow chain.
+#[derive(Debug, Clone, PartialEq)]
+struct Payload {
+    total_len: u32,
+    local: Vec<u8>,
+    overflow: PageNo, // 0 = none
+}
+
+/// In-RAM image of one B-tree page.
+#[derive(Debug, Clone)]
+enum Node {
+    TableLeaf {
+        cells: Vec<(i64, Payload)>,
+    },
+    TableInterior {
+        right: PageNo,
+        cells: Vec<(PageNo, i64)>,
+    },
+    IndexLeaf {
+        cells: Vec<Vec<u8>>,
+    },
+    IndexInterior {
+        right: PageNo,
+        cells: Vec<(PageNo, Vec<u8>)>,
+    },
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn rd_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(buf[off..off + 2].try_into().expect("2"))
+}
+
+fn rd_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("4"))
+}
+
+fn rd_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8"))
+}
+
+impl Node {
+    fn encode(&self, page_size: usize) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(page_size);
+        match self {
+            Node::TableLeaf { cells } => {
+                out.push(T_TABLE_LEAF);
+                out.push(0);
+                out.extend_from_slice(&(cells.len() as u16).to_le_bytes());
+                put_u32(&mut out, 0);
+                put_u32(&mut out, 0);
+                for (rowid, p) in cells {
+                    put_u64(&mut out, *rowid as u64);
+                    put_u32(&mut out, p.total_len);
+                    put_u32(&mut out, p.local.len() as u32);
+                    put_u32(&mut out, p.overflow);
+                    out.extend_from_slice(&p.local);
+                }
+            }
+            Node::TableInterior { right, cells } => {
+                out.push(T_TABLE_INT);
+                out.push(0);
+                out.extend_from_slice(&(cells.len() as u16).to_le_bytes());
+                put_u32(&mut out, *right);
+                put_u32(&mut out, 0);
+                for (child, key) in cells {
+                    put_u32(&mut out, *child);
+                    put_u64(&mut out, *key as u64);
+                }
+            }
+            Node::IndexLeaf { cells } => {
+                out.push(T_INDEX_LEAF);
+                out.push(0);
+                out.extend_from_slice(&(cells.len() as u16).to_le_bytes());
+                put_u32(&mut out, 0);
+                put_u32(&mut out, 0);
+                for key in cells {
+                    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                    out.extend_from_slice(key);
+                }
+            }
+            Node::IndexInterior { right, cells } => {
+                out.push(T_INDEX_INT);
+                out.push(0);
+                out.extend_from_slice(&(cells.len() as u16).to_le_bytes());
+                put_u32(&mut out, *right);
+                put_u32(&mut out, 0);
+                for (child, key) in cells {
+                    put_u32(&mut out, *child);
+                    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                    out.extend_from_slice(key);
+                }
+            }
+        }
+        if out.len() > page_size {
+            return None;
+        }
+        out.resize(page_size, 0);
+        Some(out)
+    }
+
+    fn decode(buf: &[u8]) -> Result<Node> {
+        let count = rd_u16(buf, 2) as usize;
+        let mut off = HDR;
+        match buf[0] {
+            T_TABLE_LEAF => {
+                let mut cells = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let rowid = rd_u64(buf, off) as i64;
+                    let total_len = rd_u32(buf, off + 8);
+                    let local_len = rd_u32(buf, off + 12) as usize;
+                    let overflow = rd_u32(buf, off + 16);
+                    off += 20;
+                    let local = buf
+                        .get(off..off + local_len)
+                        .ok_or(DbError::Corrupt("leaf cell overruns page"))?
+                        .to_vec();
+                    off += local_len;
+                    cells.push((
+                        rowid,
+                        Payload {
+                            total_len,
+                            local,
+                            overflow,
+                        },
+                    ));
+                }
+                Ok(Node::TableLeaf { cells })
+            }
+            T_TABLE_INT => {
+                let right = rd_u32(buf, 4);
+                let mut cells = Vec::with_capacity(count);
+                for _ in 0..count {
+                    cells.push((rd_u32(buf, off), rd_u64(buf, off + 4) as i64));
+                    off += 12;
+                }
+                Ok(Node::TableInterior { right, cells })
+            }
+            T_INDEX_LEAF => {
+                let mut cells = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let len = rd_u16(buf, off) as usize;
+                    off += 2;
+                    cells.push(
+                        buf.get(off..off + len)
+                            .ok_or(DbError::Corrupt("index cell overruns page"))?
+                            .to_vec(),
+                    );
+                    off += len;
+                }
+                Ok(Node::IndexLeaf { cells })
+            }
+            T_INDEX_INT => {
+                let right = rd_u32(buf, 4);
+                let mut cells = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let child = rd_u32(buf, off);
+                    let len = rd_u16(buf, off + 4) as usize;
+                    off += 6;
+                    cells.push((
+                        child,
+                        buf.get(off..off + len)
+                            .ok_or(DbError::Corrupt("index cell overruns page"))?
+                            .to_vec(),
+                    ));
+                    off += len;
+                }
+                Ok(Node::IndexInterior { right, cells })
+            }
+            _ => Err(DbError::Corrupt("unknown b-tree page type")),
+        }
+    }
+}
+
+/// Visitor for table scans: receives the pager (for overflow reads by the
+/// caller), the rowid, and the row payload; returns `false` to stop.
+pub type TableVisitor<'a, D> = dyn FnMut(&mut Pager<D>, i64, Vec<u8>) -> Result<bool> + 'a;
+
+/// Result of a recursive insert: the child split, promoting a separator.
+enum Split<K> {
+    None,
+    Promoted { sep: K, right: PageNo },
+}
+
+/// Creates an empty table B-tree, returning its root page.
+pub fn create_table_tree<D: BlockDevice>(pager: &mut Pager<D>) -> Result<PageNo> {
+    let root = pager.alloc_page()?;
+    write_node(pager, root, &Node::TableLeaf { cells: Vec::new() })?;
+    Ok(root)
+}
+
+/// Creates an empty index B-tree, returning its root page.
+pub fn create_index_tree<D: BlockDevice>(pager: &mut Pager<D>) -> Result<PageNo> {
+    let root = pager.alloc_page()?;
+    write_node(pager, root, &Node::IndexLeaf { cells: Vec::new() })?;
+    Ok(root)
+}
+
+fn read_node<D: BlockDevice>(pager: &mut Pager<D>, pgno: PageNo) -> Result<Node> {
+    let page = pager.page(pgno)?;
+    Node::decode(&page)
+}
+
+fn write_node<D: BlockDevice>(pager: &mut Pager<D>, pgno: PageNo, node: &Node) -> Result<()> {
+    let page = node
+        .encode(pager.page_size())
+        .expect("caller splits before a node can overflow a page");
+    pager.put(pgno, page)
+}
+
+/// Largest payload prefix stored in-page; the rest goes to overflow pages.
+fn max_local(page_size: usize) -> usize {
+    page_size / 4
+}
+
+/// Split index such that both halves stay within a page even when cell
+/// sizes are skewed: accumulate encoded sizes until half the total, while
+/// keeping both sides non-empty.
+fn split_point_by_size<T>(cells: &[T], size_of: impl Fn(&T) -> usize) -> usize {
+    debug_assert!(cells.len() >= 2, "cannot split fewer than two cells");
+    let total: usize = cells.iter().map(&size_of).sum();
+    let mut acc = 0;
+    for (i, c) in cells.iter().enumerate() {
+        acc += size_of(c);
+        if acc * 2 >= total {
+            return (i + 1).min(cells.len() - 1).max(1);
+        }
+    }
+    cells.len() / 2
+}
+
+fn write_overflow<D: BlockDevice>(pager: &mut Pager<D>, rest: &[u8]) -> Result<PageNo> {
+    // Build the chain back to front so each page knows its successor.
+    let ps = pager.page_size();
+    let per_page = ps - 8;
+    let mut next: PageNo = 0;
+    let chunks: Vec<&[u8]> = rest.chunks(per_page).collect();
+    for chunk in chunks.iter().rev() {
+        let pgno = pager.alloc_page()?;
+        let mut page = vec![0u8; ps];
+        page[0..4].copy_from_slice(&next.to_le_bytes());
+        page[4..8].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+        page[8..8 + chunk.len()].copy_from_slice(chunk);
+        pager.put(pgno, page)?;
+        next = pgno;
+    }
+    Ok(next)
+}
+
+fn read_overflow<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    mut pgno: PageNo,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    while pgno != 0 {
+        let page = pager.page(pgno)?;
+        let next = rd_u32(&page, 0);
+        let len = rd_u32(&page, 4) as usize;
+        out.extend_from_slice(&page[8..8 + len]);
+        pgno = next;
+    }
+    Ok(())
+}
+
+fn free_overflow<D: BlockDevice>(pager: &mut Pager<D>, mut pgno: PageNo) -> Result<()> {
+    while pgno != 0 {
+        let page = pager.page(pgno)?;
+        let next = rd_u32(&page, 0);
+        pager.free_page(pgno)?;
+        pgno = next;
+    }
+    Ok(())
+}
+
+fn make_payload<D: BlockDevice>(pager: &mut Pager<D>, value: &[u8]) -> Result<Payload> {
+    let cap = max_local(pager.page_size());
+    if value.len() <= cap {
+        Ok(Payload {
+            total_len: value.len() as u32,
+            local: value.to_vec(),
+            overflow: 0,
+        })
+    } else {
+        let overflow = write_overflow(pager, &value[cap..])?;
+        Ok(Payload {
+            total_len: value.len() as u32,
+            local: value[..cap].to_vec(),
+            overflow,
+        })
+    }
+}
+
+fn payload_value<D: BlockDevice>(pager: &mut Pager<D>, p: &Payload) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(p.total_len as usize);
+    out.extend_from_slice(&p.local);
+    if p.overflow != 0 {
+        read_overflow(pager, p.overflow, &mut out)?;
+    }
+    Ok(out)
+}
+
+// --- table tree ------------------------------------------------------------
+
+/// Inserts (or replaces) `value` under `rowid`.
+pub fn table_insert<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    root: PageNo,
+    rowid: i64,
+    value: &[u8],
+) -> Result<()> {
+    let payload = make_payload(pager, value)?;
+    match table_insert_rec(pager, root, rowid, payload)? {
+        Split::None => Ok(()),
+        Split::Promoted { sep, right } => {
+            // The root keeps its page number: move its (left-half) content
+            // aside and turn the root page into an interior node.
+            let left = pager.alloc_page()?;
+            let old = read_node(pager, root)?;
+            write_node(pager, left, &old)?;
+            write_node(
+                pager,
+                root,
+                &Node::TableInterior {
+                    right,
+                    cells: vec![(left, sep)],
+                },
+            )
+        }
+    }
+}
+
+fn table_insert_rec<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    pgno: PageNo,
+    rowid: i64,
+    payload: Payload,
+) -> Result<Split<i64>> {
+    let node = read_node(pager, pgno)?;
+    match node {
+        Node::TableLeaf { mut cells } => {
+            match cells.binary_search_by_key(&rowid, |(r, _)| *r) {
+                Ok(i) => {
+                    if cells[i].1.overflow != 0 {
+                        free_overflow(pager, cells[i].1.overflow)?;
+                    }
+                    cells[i].1 = payload;
+                }
+                Err(i) => cells.insert(i, (rowid, payload)),
+            }
+            finish_table_leaf(pager, pgno, cells)
+        }
+        Node::TableInterior { right, cells } => {
+            let idx = cells.partition_point(|(_, key)| *key < rowid);
+            let child = if idx == cells.len() {
+                right
+            } else {
+                cells[idx].0
+            };
+            match table_insert_rec(pager, child, rowid, payload)? {
+                Split::None => Ok(Split::None),
+                Split::Promoted {
+                    sep,
+                    right: new_right,
+                } => {
+                    let mut cells = cells;
+                    let mut right = right;
+                    // The child kept its lower half; new_right holds the
+                    // upper half. Wire new_right after child.
+                    if idx == cells.len() {
+                        cells.push((child, sep));
+                        right = new_right;
+                    } else {
+                        cells.insert(idx, (child, sep));
+                        cells[idx + 1].0 = new_right;
+                    }
+                    finish_table_interior(pager, pgno, right, cells)
+                }
+            }
+        }
+        _ => Err(DbError::Corrupt("index node in table tree")),
+    }
+}
+
+fn finish_table_leaf<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    pgno: PageNo,
+    cells: Vec<(i64, Payload)>,
+) -> Result<Split<i64>> {
+    let node = Node::TableLeaf { cells };
+    if let Some(page) = node.encode(pager.page_size()) {
+        pager.put(pgno, page)?;
+        return Ok(Split::None);
+    }
+    let Node::TableLeaf { mut cells } = node else {
+        unreachable!()
+    };
+    let mid = split_point_by_size(&cells, |(_, p): &(i64, Payload)| 20 + p.local.len());
+    let upper = cells.split_off(mid);
+    let sep = cells.last().expect("non-empty lower half").0;
+    let right = pager.alloc_page()?;
+    write_node(pager, right, &Node::TableLeaf { cells: upper })?;
+    write_node(pager, pgno, &Node::TableLeaf { cells })?;
+    Ok(Split::Promoted { sep, right })
+}
+
+fn finish_table_interior<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    pgno: PageNo,
+    right: PageNo,
+    cells: Vec<(PageNo, i64)>,
+) -> Result<Split<i64>> {
+    let node = Node::TableInterior { right, cells };
+    if let Some(page) = node.encode(pager.page_size()) {
+        pager.put(pgno, page)?;
+        return Ok(Split::None);
+    }
+    let Node::TableInterior { right, mut cells } = node else {
+        unreachable!()
+    };
+    let mid = cells.len() / 2; // interior cells are fixed-size
+    let mut upper = cells.split_off(mid);
+    // The separator moves up; its child becomes the left node's right.
+    let (sep_child, sep_key) = upper.remove(0);
+    let new_right = pager.alloc_page()?;
+    write_node(
+        pager,
+        new_right,
+        &Node::TableInterior {
+            right,
+            cells: upper,
+        },
+    )?;
+    write_node(
+        pager,
+        pgno,
+        &Node::TableInterior {
+            right: sep_child,
+            cells,
+        },
+    )?;
+    Ok(Split::Promoted {
+        sep: sep_key,
+        right: new_right,
+    })
+}
+
+/// Fetches the value stored under `rowid`.
+pub fn table_get<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    root: PageNo,
+    rowid: i64,
+) -> Result<Option<Vec<u8>>> {
+    let mut pgno = root;
+    loop {
+        match read_node(pager, pgno)? {
+            Node::TableLeaf { cells } => {
+                return match cells.binary_search_by_key(&rowid, |(r, _)| *r) {
+                    Ok(i) => Ok(Some(payload_value(pager, &cells[i].1)?)),
+                    Err(_) => Ok(None),
+                };
+            }
+            Node::TableInterior { right, cells } => {
+                let idx = cells.partition_point(|(_, key)| *key < rowid);
+                pgno = if idx == cells.len() {
+                    right
+                } else {
+                    cells[idx].0
+                };
+            }
+            _ => return Err(DbError::Corrupt("index node in table tree")),
+        }
+    }
+}
+
+/// Walks rows with `rowid >= start` in order; the callback returns `false`
+/// to stop.
+pub fn table_scan_from<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    root: PageNo,
+    start: i64,
+    f: &mut TableVisitor<'_, D>,
+) -> Result<()> {
+    scan_table_rec(pager, root, start, f).map(|_| ())
+}
+
+fn scan_table_rec<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    pgno: PageNo,
+    start: i64,
+    f: &mut TableVisitor<'_, D>,
+) -> Result<bool> {
+    match read_node(pager, pgno)? {
+        Node::TableLeaf { cells } => {
+            let from = cells.partition_point(|(r, _)| *r < start);
+            for (rowid, payload) in &cells[from..] {
+                let value = payload_value(pager, payload)?;
+                if !f(pager, *rowid, value)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Node::TableInterior { right, cells } => {
+            let from = cells.partition_point(|(_, key)| *key < start);
+            for (child, _) in &cells[from..] {
+                if !scan_table_rec(pager, *child, start, f)? {
+                    return Ok(false);
+                }
+            }
+            scan_table_rec(pager, right, start, f)
+        }
+        _ => Err(DbError::Corrupt("index node in table tree")),
+    }
+}
+
+/// Largest rowid in the tree (for rowid assignment).
+pub fn table_last_rowid<D: BlockDevice>(pager: &mut Pager<D>, root: PageNo) -> Result<Option<i64>> {
+    let mut pgno = root;
+    loop {
+        match read_node(pager, pgno)? {
+            Node::TableLeaf { cells } => return Ok(cells.last().map(|(r, _)| *r)),
+            Node::TableInterior { right, .. } => pgno = right,
+            _ => return Err(DbError::Corrupt("index node in table tree")),
+        }
+    }
+}
+
+/// Deletes `rowid`; returns true if it existed.
+pub fn table_delete<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    root: PageNo,
+    rowid: i64,
+) -> Result<bool> {
+    let removed = table_delete_rec(pager, root, rowid)?;
+    collapse_root(pager, root)?;
+    Ok(removed)
+}
+
+fn table_delete_rec<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    pgno: PageNo,
+    rowid: i64,
+) -> Result<bool> {
+    match read_node(pager, pgno)? {
+        Node::TableLeaf { mut cells } => match cells.binary_search_by_key(&rowid, |(r, _)| *r) {
+            Ok(i) => {
+                let (_, payload) = cells.remove(i);
+                if payload.overflow != 0 {
+                    free_overflow(pager, payload.overflow)?;
+                }
+                write_node(pager, pgno, &Node::TableLeaf { cells })?;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        },
+        Node::TableInterior {
+            mut right,
+            mut cells,
+        } => {
+            let idx = cells.partition_point(|(_, key)| *key < rowid);
+            let child = if idx == cells.len() {
+                right
+            } else {
+                cells[idx].0
+            };
+            let removed = table_delete_rec(pager, child, rowid)?;
+            if removed {
+                let mut changed = false;
+                if node_is_empty_leafless(pager, child)? && !cells.is_empty() {
+                    if idx == cells.len() {
+                        let (new_right, _) = cells.pop().expect("non-empty");
+                        right = new_right;
+                    } else {
+                        cells.remove(idx);
+                    }
+                    pager.free_page(child)?;
+                    changed = true;
+                }
+                // Merge an underfull leaf with a neighbour: at its own
+                // position, or as the right neighbour of the previous one.
+                if !cells.is_empty() {
+                    let anchor = idx.min(cells.len() - 1);
+                    if merge_table_leaves(pager, &mut right, &mut cells, anchor)? {
+                        changed = true;
+                    } else if anchor > 0
+                        && merge_table_leaves(pager, &mut right, &mut cells, anchor - 1)?
+                    {
+                        changed = true;
+                    }
+                }
+                if changed {
+                    write_node(pager, pgno, &Node::TableInterior { right, cells })?;
+                }
+            }
+            Ok(removed)
+        }
+        _ => Err(DbError::Corrupt("index node in table tree")),
+    }
+}
+
+/// Serialized size of a node (for underflow detection).
+fn node_size(node: &Node) -> usize {
+    HDR + match node {
+        Node::TableLeaf { cells } => cells.iter().map(|(_, p)| 20 + p.local.len()).sum::<usize>(),
+        Node::TableInterior { cells, .. } => cells.len() * 12,
+        Node::IndexLeaf { cells } => cells.iter().map(|k| 2 + k.len()).sum::<usize>(),
+        Node::IndexInterior { cells, .. } => cells.iter().map(|(_, k)| 6 + k.len()).sum::<usize>(),
+    }
+}
+
+/// A node smaller than this fraction of a page is "underfull": deletes
+/// try to merge it with a leaf neighbour.
+fn is_underfull(node: &Node, page_size: usize) -> bool {
+    node_size(node) < page_size / 4
+}
+
+/// Tries to merge the leaf child at parent position `idx` with its right
+/// neighbour (position `idx + 1`, or the rightmost child). Fires only
+/// when one of the two is underfull and the combined cells fit in 90 % of
+/// a page. On success the left page absorbs the neighbour, the
+/// neighbour's page is freed, and the parent's arrays are fixed up;
+/// returns whether the parent changed.
+fn merge_table_leaves<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    right: &mut PageNo,
+    cells: &mut Vec<(PageNo, i64)>,
+    idx: usize,
+) -> Result<bool> {
+    if idx >= cells.len() {
+        return Ok(false); // the rightmost child has no right neighbour
+    }
+    let left_pg = cells[idx].0;
+    let neighbour_pg = if idx + 1 < cells.len() {
+        cells[idx + 1].0
+    } else {
+        *right
+    };
+    let (Node::TableLeaf { cells: lc }, Node::TableLeaf { cells: rc }) =
+        (read_node(pager, left_pg)?, read_node(pager, neighbour_pg)?)
+    else {
+        return Ok(false);
+    };
+    let ps = pager.page_size();
+    let l = Node::TableLeaf { cells: lc };
+    let r = Node::TableLeaf { cells: rc };
+    if !is_underfull(&l, ps) && !is_underfull(&r, ps) {
+        return Ok(false);
+    }
+    let (Node::TableLeaf { cells: mut cells_l }, Node::TableLeaf { cells: cells_r }) = (l, r)
+    else {
+        unreachable!()
+    };
+    cells_l.extend(cells_r);
+    let merged = Node::TableLeaf { cells: cells_l };
+    if node_size(&merged) > ps * 9 / 10 {
+        return Ok(false);
+    }
+    write_node(pager, left_pg, &merged)?;
+    // The merged node takes over the neighbour's key range: drop this
+    // entry's separator and point the neighbour's slot at the left page.
+    cells.remove(idx);
+    if idx < cells.len() {
+        cells[idx].0 = left_pg;
+    } else {
+        *right = left_pg;
+    }
+    pager.free_page(neighbour_pg)?;
+    Ok(true)
+}
+
+/// Index-tree sibling merge (same shape as [`merge_table_leaves`]).
+fn merge_index_leaves<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    right: &mut PageNo,
+    cells: &mut Vec<(PageNo, Vec<u8>)>,
+    idx: usize,
+) -> Result<bool> {
+    if idx >= cells.len() {
+        return Ok(false);
+    }
+    let left_pg = cells[idx].0;
+    let neighbour_pg = if idx + 1 < cells.len() {
+        cells[idx + 1].0
+    } else {
+        *right
+    };
+    let (Node::IndexLeaf { cells: lc }, Node::IndexLeaf { cells: rc }) =
+        (read_node(pager, left_pg)?, read_node(pager, neighbour_pg)?)
+    else {
+        return Ok(false);
+    };
+    let ps = pager.page_size();
+    let l = Node::IndexLeaf { cells: lc };
+    let r = Node::IndexLeaf { cells: rc };
+    if !is_underfull(&l, ps) && !is_underfull(&r, ps) {
+        return Ok(false);
+    }
+    let (Node::IndexLeaf { cells: mut cells_l }, Node::IndexLeaf { cells: cells_r }) = (l, r)
+    else {
+        unreachable!()
+    };
+    cells_l.extend(cells_r);
+    let merged = Node::IndexLeaf { cells: cells_l };
+    if node_size(&merged) > ps * 9 / 10 {
+        return Ok(false);
+    }
+    write_node(pager, left_pg, &merged)?;
+    cells.remove(idx);
+    if idx < cells.len() {
+        cells[idx].0 = left_pg;
+    } else {
+        *right = left_pg;
+    }
+    pager.free_page(neighbour_pg)?;
+    Ok(true)
+}
+
+/// True if the page is a leaf with no cells.
+fn node_is_empty_leafless<D: BlockDevice>(pager: &mut Pager<D>, pgno: PageNo) -> Result<bool> {
+    Ok(match read_node(pager, pgno)? {
+        Node::TableLeaf { cells } => cells.is_empty(),
+        Node::IndexLeaf { cells } => cells.is_empty(),
+        _ => false,
+    })
+}
+
+/// If the root is an interior node with no separators, absorb its only
+/// child so the tree shrinks (keeping the root page number stable).
+fn collapse_root<D: BlockDevice>(pager: &mut Pager<D>, root: PageNo) -> Result<()> {
+    loop {
+        let only_child = match read_node(pager, root)? {
+            Node::TableInterior { right, cells } if cells.is_empty() => Some(right),
+            Node::IndexInterior { right, cells } if cells.is_empty() => Some(right),
+            _ => None,
+        };
+        let Some(child) = only_child else {
+            return Ok(());
+        };
+        let node = read_node(pager, child)?;
+        write_node(pager, root, &node)?;
+        pager.free_page(child)?;
+    }
+}
+
+// --- index tree --------------------------------------------------------------
+
+/// Inserts an encoded key (keys are unique: they embed the rowid).
+pub fn index_insert<D: BlockDevice>(pager: &mut Pager<D>, root: PageNo, key: &[u8]) -> Result<()> {
+    assert!(key.len() < pager.page_size() / 4, "index key too large");
+    match index_insert_rec(pager, root, key)? {
+        Split::None => Ok(()),
+        Split::Promoted { sep, right } => {
+            let left = pager.alloc_page()?;
+            let old = read_node(pager, root)?;
+            write_node(pager, left, &old)?;
+            write_node(
+                pager,
+                root,
+                &Node::IndexInterior {
+                    right,
+                    cells: vec![(left, sep)],
+                },
+            )
+        }
+    }
+}
+
+fn index_insert_rec<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    pgno: PageNo,
+    key: &[u8],
+) -> Result<Split<Vec<u8>>> {
+    match read_node(pager, pgno)? {
+        Node::IndexLeaf { mut cells } => {
+            match cells.binary_search_by(|c| c.as_slice().cmp(key)) {
+                Ok(_) => {} // duplicate exact key: nothing to do
+                Err(i) => cells.insert(i, key.to_vec()),
+            }
+            let node = Node::IndexLeaf { cells };
+            if let Some(page) = node.encode(pager.page_size()) {
+                pager.put(pgno, page)?;
+                return Ok(Split::None);
+            }
+            let Node::IndexLeaf { mut cells } = node else {
+                unreachable!()
+            };
+            let mid = split_point_by_size(&cells, |k: &Vec<u8>| 2 + k.len());
+            let upper = cells.split_off(mid);
+            let sep = cells.last().expect("non-empty").clone();
+            let right = pager.alloc_page()?;
+            write_node(pager, right, &Node::IndexLeaf { cells: upper })?;
+            write_node(pager, pgno, &Node::IndexLeaf { cells })?;
+            Ok(Split::Promoted { sep, right })
+        }
+        Node::IndexInterior { right, cells } => {
+            let idx = cells.partition_point(|(_, k)| k.as_slice() < key);
+            let child = if idx == cells.len() {
+                right
+            } else {
+                cells[idx].0
+            };
+            match index_insert_rec(pager, child, key)? {
+                Split::None => Ok(Split::None),
+                Split::Promoted {
+                    sep,
+                    right: new_right,
+                } => {
+                    let mut cells = cells;
+                    let mut right = right;
+                    if idx == cells.len() {
+                        cells.push((child, sep));
+                        right = new_right;
+                    } else {
+                        cells.insert(idx, (child, sep));
+                        cells[idx + 1].0 = new_right;
+                    }
+                    let node = Node::IndexInterior { right, cells };
+                    if let Some(page) = node.encode(pager.page_size()) {
+                        pager.put(pgno, page)?;
+                        return Ok(Split::None);
+                    }
+                    let Node::IndexInterior { right, mut cells } = node else {
+                        unreachable!()
+                    };
+                    let mid = split_point_by_size(&cells, |(_, k): &(u32, Vec<u8>)| 6 + k.len());
+                    let mut upper = cells.split_off(mid);
+                    let (sep_child, sep_key) = upper.remove(0);
+                    let new_right2 = pager.alloc_page()?;
+                    write_node(
+                        pager,
+                        new_right2,
+                        &Node::IndexInterior {
+                            right,
+                            cells: upper,
+                        },
+                    )?;
+                    write_node(
+                        pager,
+                        pgno,
+                        &Node::IndexInterior {
+                            right: sep_child,
+                            cells,
+                        },
+                    )?;
+                    Ok(Split::Promoted {
+                        sep: sep_key,
+                        right: new_right2,
+                    })
+                }
+            }
+        }
+        _ => Err(DbError::Corrupt("table node in index tree")),
+    }
+}
+
+/// Deletes an exact key; returns true if it existed.
+pub fn index_delete<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    root: PageNo,
+    key: &[u8],
+) -> Result<bool> {
+    let removed = index_delete_rec(pager, root, key)?;
+    collapse_root(pager, root)?;
+    Ok(removed)
+}
+
+fn index_delete_rec<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    pgno: PageNo,
+    key: &[u8],
+) -> Result<bool> {
+    match read_node(pager, pgno)? {
+        Node::IndexLeaf { mut cells } => match cells.binary_search_by(|c| c.as_slice().cmp(key)) {
+            Ok(i) => {
+                cells.remove(i);
+                write_node(pager, pgno, &Node::IndexLeaf { cells })?;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        },
+        Node::IndexInterior {
+            mut right,
+            mut cells,
+        } => {
+            let idx = cells.partition_point(|(_, k)| k.as_slice() < key);
+            let child = if idx == cells.len() {
+                right
+            } else {
+                cells[idx].0
+            };
+            let removed = index_delete_rec(pager, child, key)?;
+            if removed {
+                let mut changed = false;
+                if node_is_empty_leafless(pager, child)? && !cells.is_empty() {
+                    if idx == cells.len() {
+                        let (new_right, _) = cells.pop().expect("non-empty");
+                        right = new_right;
+                    } else {
+                        cells.remove(idx);
+                    }
+                    pager.free_page(child)?;
+                    changed = true;
+                }
+                if !cells.is_empty() {
+                    let anchor = idx.min(cells.len() - 1);
+                    if merge_index_leaves(pager, &mut right, &mut cells, anchor)? {
+                        changed = true;
+                    } else if anchor > 0
+                        && merge_index_leaves(pager, &mut right, &mut cells, anchor - 1)?
+                    {
+                        changed = true;
+                    }
+                }
+                if changed {
+                    write_node(pager, pgno, &Node::IndexInterior { right, cells })?;
+                }
+            }
+            Ok(removed)
+        }
+        _ => Err(DbError::Corrupt("table node in index tree")),
+    }
+}
+
+/// Walks keys `>= start` in order; the callback returns `false` to stop.
+pub fn index_scan_from<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    root: PageNo,
+    start: &[u8],
+    f: &mut dyn FnMut(&[u8]) -> Result<bool>,
+) -> Result<()> {
+    scan_index_rec(pager, root, start, f).map(|_| ())
+}
+
+fn scan_index_rec<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    pgno: PageNo,
+    start: &[u8],
+    f: &mut dyn FnMut(&[u8]) -> Result<bool>,
+) -> Result<bool> {
+    match read_node(pager, pgno)? {
+        Node::IndexLeaf { cells } => {
+            let from = cells.partition_point(|c| c.as_slice() < start);
+            for key in &cells[from..] {
+                if !f(key)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Node::IndexInterior { right, cells } => {
+            let from = cells.partition_point(|(_, k)| k.as_slice() < start);
+            for (child, _) in &cells[from..] {
+                if !scan_index_rec(pager, *child, start, f)? {
+                    return Ok(false);
+                }
+            }
+            scan_index_rec(pager, right, start, f)
+        }
+        _ => Err(DbError::Corrupt("table node in index tree")),
+    }
+}
+
+/// Frees every page of a tree except the root itself, then resets the
+/// root to an empty leaf (DROP TABLE / DROP INDEX).
+pub fn clear_tree<D: BlockDevice>(
+    pager: &mut Pager<D>,
+    root: PageNo,
+    is_table: bool,
+) -> Result<()> {
+    clear_rec(pager, root, true)?;
+    let node = if is_table {
+        Node::TableLeaf { cells: Vec::new() }
+    } else {
+        Node::IndexLeaf { cells: Vec::new() }
+    };
+    write_node(pager, root, &node)
+}
+
+fn clear_rec<D: BlockDevice>(pager: &mut Pager<D>, pgno: PageNo, is_root: bool) -> Result<()> {
+    match read_node(pager, pgno)? {
+        Node::TableLeaf { cells } => {
+            for (_, p) in &cells {
+                if p.overflow != 0 {
+                    free_overflow(pager, p.overflow)?;
+                }
+            }
+        }
+        Node::TableInterior { right, cells } => {
+            for (child, _) in &cells {
+                clear_rec(pager, *child, false)?;
+            }
+            clear_rec(pager, right, false)?;
+        }
+        Node::IndexLeaf { .. } => {}
+        Node::IndexInterior { right, cells } => {
+            for (child, _) in &cells {
+                clear_rec(pager, *child, false)?;
+            }
+            clear_rec(pager, right, false)?;
+        }
+    }
+    if !is_root {
+        pager.free_page(pgno)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::{DbJournalMode, SharedFs};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use xftl_flash::{FlashChip, FlashConfig, SimClock};
+    use xftl_fs::{FileSystem, FsConfig, JournalMode};
+    use xftl_ftl::PageMappedFtl;
+
+    fn pager() -> Pager<PageMappedFtl> {
+        let chip = FlashChip::new(FlashConfig::tiny(220), SimClock::new());
+        let dev = PageMappedFtl::format(chip, 1600).unwrap();
+        let fs = FileSystem::mkfs(
+            dev,
+            JournalMode::Ordered,
+            FsConfig {
+                inode_count: 16,
+                journal_pages: 32,
+                cache_pages: 256,
+            },
+        )
+        .unwrap();
+        let fs: SharedFs<PageMappedFtl> = Rc::new(RefCell::new(fs));
+        Pager::open(fs, "test.db", DbJournalMode::Rollback).unwrap()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        table_insert(&mut p, root, 1, b"one").unwrap();
+        table_insert(&mut p, root, 2, b"two").unwrap();
+        p.commit().unwrap();
+        assert_eq!(table_get(&mut p, root, 1).unwrap().unwrap(), b"one");
+        assert_eq!(table_get(&mut p, root, 2).unwrap().unwrap(), b"two");
+        assert_eq!(table_get(&mut p, root, 3).unwrap(), None);
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        table_insert(&mut p, root, 1, b"v1").unwrap();
+        table_insert(&mut p, root, 1, b"v2").unwrap();
+        p.commit().unwrap();
+        assert_eq!(table_get(&mut p, root, 1).unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn thousands_of_rows_split_correctly() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        let n = 3000i64;
+        for i in 0..n {
+            let v = format!("row-{i:06}");
+            table_insert(&mut p, root, i, v.as_bytes()).unwrap();
+        }
+        p.commit().unwrap();
+        for i in (0..n).step_by(97) {
+            let got = table_get(&mut p, root, i).unwrap().unwrap();
+            assert_eq!(got, format!("row-{i:06}").as_bytes());
+        }
+        assert_eq!(table_last_rowid(&mut p, root).unwrap(), Some(n - 1));
+    }
+
+    #[test]
+    fn random_order_inserts_scan_sorted() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        // Deterministic pseudo-shuffle.
+        let n = 1000i64;
+        for i in 0..n {
+            let rowid = (i * 7919) % n;
+            table_insert(&mut p, root, rowid, format!("{rowid}").as_bytes()).unwrap();
+        }
+        p.commit().unwrap();
+        let mut seen = Vec::new();
+        table_scan_from(&mut p, root, 0, &mut |_, rowid, _| {
+            seen.push(rowid);
+            Ok(true)
+        })
+        .unwrap();
+        let expect: Vec<i64> = (0..n).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn scan_from_midpoint_and_early_stop() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        for i in 0..500i64 {
+            table_insert(&mut p, root, i, b"x").unwrap();
+        }
+        p.commit().unwrap();
+        let mut seen = Vec::new();
+        table_scan_from(&mut p, root, 250, &mut |_, rowid, _| {
+            seen.push(rowid);
+            Ok(seen.len() < 10)
+        })
+        .unwrap();
+        assert_eq!(seen, (250..260).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn delete_then_get_misses() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        for i in 0..800i64 {
+            table_insert(&mut p, root, i, format!("{i}").as_bytes()).unwrap();
+        }
+        for i in (0..800i64).step_by(2) {
+            assert!(table_delete(&mut p, root, i).unwrap());
+        }
+        assert!(!table_delete(&mut p, root, 0).unwrap());
+        p.commit().unwrap();
+        for i in 0..800i64 {
+            let got = table_get(&mut p, root, i).unwrap();
+            if i % 2 == 0 {
+                assert!(got.is_none(), "rowid {i} should be gone");
+            } else {
+                assert_eq!(got.unwrap(), format!("{i}").as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn delete_everything_leaves_usable_tree() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        for i in 0..600i64 {
+            table_insert(&mut p, root, i, b"payload-payload").unwrap();
+        }
+        for i in 0..600i64 {
+            assert!(table_delete(&mut p, root, i).unwrap());
+        }
+        assert_eq!(table_last_rowid(&mut p, root).unwrap(), None);
+        // Reusable after total deletion.
+        table_insert(&mut p, root, 42, b"back").unwrap();
+        p.commit().unwrap();
+        assert_eq!(table_get(&mut p, root, 42).unwrap().unwrap(), b"back");
+    }
+
+    #[test]
+    fn skewed_cell_sizes_split_by_size() {
+        // Many tiny cells plus interleaved near-max-local cells: a split
+        // by cell count would leave one half overflowing the page.
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        let big = vec![0xBBu8; max_local(p.page_size())];
+        for i in 0..400i64 {
+            if i % 10 == 0 {
+                table_insert(&mut p, root, i, &big).unwrap();
+            } else {
+                table_insert(&mut p, root, i, b"t").unwrap();
+            }
+        }
+        p.commit().unwrap();
+        for i in (0..400i64).step_by(10) {
+            assert_eq!(table_get(&mut p, root, i).unwrap().unwrap(), big);
+        }
+        assert_eq!(table_get(&mut p, root, 1).unwrap().unwrap(), b"t");
+    }
+
+    #[test]
+    fn overflow_payload_roundtrip() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        // A blob much larger than a tiny 512-byte page (thumbnail-style).
+        let blob: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        table_insert(&mut p, root, 7, &blob).unwrap();
+        p.commit().unwrap();
+        assert_eq!(table_get(&mut p, root, 7).unwrap().unwrap(), blob);
+    }
+
+    #[test]
+    fn overflow_pages_freed_on_delete() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        let blob = vec![9u8; 4000];
+        table_insert(&mut p, root, 1, &blob).unwrap();
+        let grown = p.page_count();
+        table_delete(&mut p, root, 1).unwrap();
+        // Freed pages are reusable: a second insert must not grow the file.
+        table_insert(&mut p, root, 2, &blob).unwrap();
+        p.commit().unwrap();
+        assert!(p.page_count() <= grown + 1, "overflow chain leaked");
+    }
+
+    #[test]
+    fn index_insert_scan_ordered() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_index_tree(&mut p).unwrap();
+        for i in 0..1200i64 {
+            let key =
+                crate::record::encode_index_key(&[crate::value::Value::Int((i * 37) % 1200)], i);
+            index_insert(&mut p, root, &key).unwrap();
+        }
+        p.commit().unwrap();
+        let mut last: Option<Vec<u8>> = None;
+        let mut count = 0;
+        index_scan_from(&mut p, root, &[], &mut |k| {
+            if let Some(prev) = &last {
+                assert!(prev.as_slice() <= k, "index out of order");
+            }
+            last = Some(k.to_vec());
+            count += 1;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(count, 1200);
+    }
+
+    #[test]
+    fn index_delete_removes_exact_key() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_index_tree(&mut p).unwrap();
+        let k1 = crate::record::encode_index_key(&[crate::value::Value::Int(5)], 1);
+        let k2 = crate::record::encode_index_key(&[crate::value::Value::Int(5)], 2);
+        index_insert(&mut p, root, &k1).unwrap();
+        index_insert(&mut p, root, &k2).unwrap();
+        assert!(index_delete(&mut p, root, &k1).unwrap());
+        assert!(!index_delete(&mut p, root, &k1).unwrap());
+        p.commit().unwrap();
+        let mut count = 0;
+        index_scan_from(&mut p, root, &[], &mut |_| {
+            count += 1;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn clear_tree_resets_and_frees() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        for i in 0..500i64 {
+            table_insert(&mut p, root, i, b"0123456789abcdef").unwrap();
+        }
+        clear_tree(&mut p, root, true).unwrap();
+        assert_eq!(table_last_rowid(&mut p, root).unwrap(), None);
+        // Space was recycled: refilling should not balloon the file.
+        let before = p.page_count();
+        for i in 0..500i64 {
+            table_insert(&mut p, root, i, b"0123456789abcdef").unwrap();
+        }
+        p.commit().unwrap();
+        assert!(p.page_count() <= before + 2);
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+    use crate::pager::{DbJournalMode, SharedFs};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use xftl_flash::{FlashChip, FlashConfig, SimClock};
+    use xftl_fs::{FileSystem, FsConfig, JournalMode};
+    use xftl_ftl::PageMappedFtl;
+
+    fn pager() -> Pager<PageMappedFtl> {
+        let chip = FlashChip::new(FlashConfig::tiny(260), SimClock::new());
+        let dev = PageMappedFtl::format(chip, 2_000).unwrap();
+        let fs = FileSystem::mkfs(
+            dev,
+            JournalMode::Ordered,
+            FsConfig {
+                inode_count: 16,
+                journal_pages: 32,
+                cache_pages: 256,
+            },
+        )
+        .unwrap();
+        let fs: SharedFs<PageMappedFtl> = Rc::new(RefCell::new(fs));
+        Pager::open(fs, "merge.db", DbJournalMode::Rollback).unwrap()
+    }
+
+    #[test]
+    fn mass_delete_merges_leaves_and_reclaims_pages() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_table_tree(&mut p).unwrap();
+        for i in 0..2_000i64 {
+            table_insert(&mut p, root, i, b"sixteen-bytes-xx").unwrap();
+        }
+        let full_pages = p.page_count();
+        // Delete 95% of the rows, scattered.
+        for i in 0..2_000i64 {
+            if i % 20 != 0 {
+                table_delete(&mut p, root, i).unwrap();
+            }
+        }
+        // Survivors intact.
+        for i in (0..2_000i64).step_by(20) {
+            assert!(table_get(&mut p, root, i).unwrap().is_some(), "rowid {i}");
+        }
+        // Freed pages are reusable: inserting a fresh batch must not grow
+        // the file beyond its prior footprint.
+        for i in 10_000..11_500i64 {
+            table_insert(&mut p, root, i, b"sixteen-bytes-xx").unwrap();
+        }
+        p.commit().unwrap();
+        assert!(
+            p.page_count() <= full_pages + 2,
+            "merging should have recycled leaves: {} vs {}",
+            p.page_count(),
+            full_pages
+        );
+        // Order preserved across merges.
+        let mut last = i64::MIN;
+        table_scan_from(&mut p, root, i64::MIN, &mut |_, rowid, _| {
+            assert!(rowid > last);
+            last = rowid;
+            Ok(true)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn index_mass_delete_merges() {
+        let mut p = pager();
+        p.begin().unwrap();
+        let root = create_index_tree(&mut p).unwrap();
+        let key = |i: i64| crate::record::encode_index_key(&[crate::value::Value::Int(i)], i);
+        for i in 0..3_000i64 {
+            index_insert(&mut p, root, &key(i)).unwrap();
+        }
+        for i in 0..3_000i64 {
+            if i % 10 != 0 {
+                assert!(index_delete(&mut p, root, &key(i)).unwrap());
+            }
+        }
+        p.commit().unwrap();
+        let mut n = 0;
+        index_scan_from(&mut p, root, &[], &mut |_| {
+            n += 1;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(n, 300);
+    }
+}

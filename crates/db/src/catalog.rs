@@ -1,0 +1,314 @@
+//! The schema catalog, persisted SQLite-style: a master table (rooted at
+//! the header's `schema_root`) stores one record per object —
+//! `(type, name, tbl_name, rootpage, sql)` — and the in-RAM catalog is
+//! rebuilt by re-parsing the stored `CREATE` statements at open time.
+
+use std::collections::HashMap;
+
+use xftl_ftl::BlockDevice;
+
+use crate::btree;
+use crate::error::{DbError, Result};
+use crate::pager::{PageNo, Pager};
+use crate::record::{decode_record, encode_record};
+use crate::sql::{self, ColDef, Stmt};
+use crate::value::Value;
+
+/// In-RAM description of a table.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    /// Table name as declared.
+    pub name: String,
+    /// Column definitions in declaration order.
+    pub cols: Vec<ColDef>,
+    /// Root page of the table's B-tree.
+    pub root: PageNo,
+    /// Column index of the `INTEGER PRIMARY KEY` rowid alias, if any.
+    pub rowid_alias: Option<usize>,
+    /// Next auto-assigned rowid (cached; seeded from the tree's max).
+    pub next_rowid: i64,
+    /// Master-table rowid of this object's record.
+    pub master_rowid: i64,
+}
+
+impl TableInfo {
+    /// Index of a column by name (case-insensitive).
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.cols
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// In-RAM description of an index.
+#[derive(Debug, Clone)]
+pub struct IndexInfo {
+    /// Index name.
+    pub name: String,
+    /// Owning table (normalized lowercase).
+    pub table: String,
+    /// Indexed column names, in order.
+    pub cols: Vec<String>,
+    /// Column positions in the table, aligned with `cols`.
+    pub col_idxs: Vec<usize>,
+    /// Root page of the index B-tree.
+    pub root: PageNo,
+    /// Master-table rowid of this object's record.
+    pub master_rowid: i64,
+}
+
+/// The schema catalog of one database.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableInfo>,
+    indexes: HashMap<String, IndexInfo>,
+    next_master_rowid: i64,
+}
+
+fn norm(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    /// Loads the catalog from the master table (if one exists).
+    pub fn load<D: BlockDevice>(pager: &mut Pager<D>) -> Result<Catalog> {
+        let mut cat = Catalog {
+            next_master_rowid: 1,
+            ..Default::default()
+        };
+        let root = pager.schema_root();
+        if root == 0 {
+            return Ok(cat);
+        }
+        let mut records: Vec<(i64, Vec<Value>)> = Vec::new();
+        btree::table_scan_from(pager, root, i64::MIN, &mut |_, rowid, rec| {
+            records.push((rowid, decode_record(&rec)?));
+            Ok(true)
+        })?;
+        for (rowid, rec) in records {
+            cat.next_master_rowid = cat.next_master_rowid.max(rowid + 1);
+            let [Value::Text(kind), Value::Text(_name), Value::Text(_tbl), Value::Int(rootpage), Value::Text(sql_text)] =
+                rec.as_slice()
+            else {
+                return Err(DbError::Corrupt("malformed master record"));
+            };
+            match (kind.as_str(), sql::parse(sql_text)?) {
+                ("table", Stmt::CreateTable { name, cols, .. }) => {
+                    let rowid_alias = cols.iter().position(|c| c.is_pk);
+                    let root = *rootpage as PageNo;
+                    let next_rowid = btree::table_last_rowid(pager, root)?.unwrap_or(0) + 1;
+                    cat.tables.insert(
+                        norm(&name),
+                        TableInfo {
+                            name,
+                            cols,
+                            root,
+                            rowid_alias,
+                            next_rowid,
+                            master_rowid: rowid,
+                        },
+                    );
+                }
+                (
+                    "index",
+                    Stmt::CreateIndex {
+                        name, table, cols, ..
+                    },
+                ) => {
+                    let tinfo = cat
+                        .tables
+                        .get(&norm(&table))
+                        .ok_or(DbError::Corrupt("index before its table in master"))?;
+                    let col_idxs = cols
+                        .iter()
+                        .map(|c| {
+                            tinfo
+                                .col_index(c)
+                                .ok_or(DbError::Corrupt("index column missing"))
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    cat.indexes.insert(
+                        norm(&name),
+                        IndexInfo {
+                            name,
+                            table: norm(&table),
+                            cols,
+                            col_idxs,
+                            root: *rootpage as PageNo,
+                            master_rowid: rowid,
+                        },
+                    );
+                }
+                _ => return Err(DbError::Corrupt("master record kind/sql mismatch")),
+            }
+        }
+        Ok(cat)
+    }
+
+    fn master_root<D: BlockDevice>(&mut self, pager: &mut Pager<D>) -> Result<PageNo> {
+        let root = pager.schema_root();
+        if root != 0 {
+            return Ok(root);
+        }
+        let root = btree::create_table_tree(pager)?;
+        pager.set_schema_root(root)?;
+        Ok(root)
+    }
+
+    /// Registers a new table from its parsed definition, persisting the
+    /// CREATE statement in the master table.
+    pub fn create_table<D: BlockDevice>(
+        &mut self,
+        pager: &mut Pager<D>,
+        name: &str,
+        cols: &[ColDef],
+        raw_sql: &str,
+    ) -> Result<()> {
+        if self.tables.contains_key(&norm(name)) {
+            return Err(DbError::Exists(name.to_string()));
+        }
+        let master = self.master_root(pager)?;
+        let root = btree::create_table_tree(pager)?;
+        let master_rowid = self.next_master_rowid;
+        self.next_master_rowid += 1;
+        let rec = encode_record(&[
+            Value::Text("table".into()),
+            Value::Text(name.into()),
+            Value::Text(name.into()),
+            Value::Int(root as i64),
+            Value::Text(raw_sql.into()),
+        ]);
+        btree::table_insert(pager, master, master_rowid, &rec)?;
+        let rowid_alias = cols.iter().position(|c| c.is_pk);
+        self.tables.insert(
+            norm(name),
+            TableInfo {
+                name: name.to_string(),
+                cols: cols.to_vec(),
+                root,
+                rowid_alias,
+                next_rowid: 1,
+                master_rowid,
+            },
+        );
+        Ok(())
+    }
+
+    /// Registers a new index, persisting its CREATE statement.
+    pub fn create_index<D: BlockDevice>(
+        &mut self,
+        pager: &mut Pager<D>,
+        name: &str,
+        table: &str,
+        cols: &[String],
+        raw_sql: &str,
+    ) -> Result<()> {
+        if self.indexes.contains_key(&norm(name)) {
+            return Err(DbError::Exists(name.to_string()));
+        }
+        let tinfo = self
+            .tables
+            .get(&norm(table))
+            .ok_or_else(|| DbError::Unknown(table.to_string()))?;
+        let col_idxs = cols
+            .iter()
+            .map(|c| {
+                tinfo
+                    .col_index(c)
+                    .ok_or_else(|| DbError::Unknown(format!("{table}.{c}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let table_key = norm(table);
+        let master = self.master_root(pager)?;
+        let root = btree::create_index_tree(pager)?;
+        let master_rowid = self.next_master_rowid;
+        self.next_master_rowid += 1;
+        let rec = encode_record(&[
+            Value::Text("index".into()),
+            Value::Text(name.into()),
+            Value::Text(table.into()),
+            Value::Int(root as i64),
+            Value::Text(raw_sql.into()),
+        ]);
+        btree::table_insert(pager, master, master_rowid, &rec)?;
+        self.indexes.insert(
+            norm(name),
+            IndexInfo {
+                name: name.to_string(),
+                table: table_key,
+                cols: cols.to_vec(),
+                col_idxs,
+                root,
+                master_rowid,
+            },
+        );
+        Ok(())
+    }
+
+    /// Drops a table, its indexes, and their pages.
+    pub fn drop_table<D: BlockDevice>(&mut self, pager: &mut Pager<D>, name: &str) -> Result<()> {
+        let info = self
+            .tables
+            .remove(&norm(name))
+            .ok_or_else(|| DbError::Unknown(name.to_string()))?;
+        let master = pager.schema_root();
+        btree::clear_tree(pager, info.root, true)?;
+        pager.free_page(info.root)?;
+        btree::table_delete(pager, master, info.master_rowid)?;
+        let dependents: Vec<String> = self
+            .indexes
+            .values()
+            .filter(|ix| ix.table == norm(name))
+            .map(|ix| ix.name.clone())
+            .collect();
+        for ix in dependents {
+            self.drop_index(pager, &ix)?;
+        }
+        Ok(())
+    }
+
+    /// Drops one index.
+    pub fn drop_index<D: BlockDevice>(&mut self, pager: &mut Pager<D>, name: &str) -> Result<()> {
+        let info = self
+            .indexes
+            .remove(&norm(name))
+            .ok_or_else(|| DbError::Unknown(name.to_string()))?;
+        btree::clear_tree(pager, info.root, false)?;
+        pager.free_page(info.root)?;
+        btree::table_delete(pager, pager.schema_root(), info.master_rowid)?;
+        Ok(())
+    }
+
+    /// The table named `name`.
+    pub fn table(&self, name: &str) -> Result<&TableInfo> {
+        self.tables
+            .get(&norm(name))
+            .ok_or_else(|| DbError::Unknown(name.to_string()))
+    }
+
+    /// Mutable access (rowid counter updates).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableInfo> {
+        self.tables
+            .get_mut(&norm(name))
+            .ok_or_else(|| DbError::Unknown(name.to_string()))
+    }
+
+    /// True if the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&norm(name))
+    }
+
+    /// The indexes defined on `table`.
+    pub fn indexes_of(&self, table: &str) -> Vec<IndexInfo> {
+        self.indexes
+            .values()
+            .filter(|ix| ix.table == norm(table))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of tables (for tests).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}

@@ -1,0 +1,173 @@
+//! The connection: the `sqlite3*`-equivalent handle.
+//!
+//! A [`Connection`] owns one database file's pager and catalog. Statements
+//! run inside the open explicit transaction if there is one (`BEGIN` ...
+//! `COMMIT`), otherwise each statement is auto-wrapped in its own
+//! transaction — SQLite's autocommit behaviour, which is what makes the
+//! per-transaction journal costs of Figure 1 so dominant for the
+//! one-statement transactions typical of smartphone apps.
+
+use xftl_ftl::{BlockDevice, Tid};
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, Result};
+use crate::exec::{run_stmt, ExecOutcome};
+use crate::pager::{DbJournalMode, Pager, PagerStats, SharedFs};
+use crate::sql::{parse, Stmt};
+use crate::value::Value;
+
+/// A connection to one database file.
+#[derive(Debug)]
+pub struct Connection<D: BlockDevice> {
+    pager: Pager<D>,
+    catalog: Catalog,
+    explicit_tx: bool,
+}
+
+impl<D: BlockDevice> Connection<D> {
+    /// Opens (creating if needed) the database `name` on the shared file
+    /// system, running in the given journal mode. Recovery — rolling back
+    /// a hot journal, rebuilding the WAL index — happens here, exactly as
+    /// in SQLite's first access after a crash (§6.4).
+    pub fn open(fs: SharedFs<D>, name: &str, mode: DbJournalMode) -> Result<Self> {
+        let mut pager = Pager::open(fs, name, mode)?;
+        let catalog = Catalog::load(&mut pager)?;
+        Ok(Connection {
+            pager,
+            catalog,
+            explicit_tx: false,
+        })
+    }
+
+    /// Executes one SQL statement without parameters.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        self.execute_with(sql, &[])
+    }
+
+    /// Executes one SQL statement with `?` positional parameters.
+    pub fn execute_with(&mut self, sql: &str, params: &[Value]) -> Result<ExecOutcome> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Stmt::Begin => {
+                if self.explicit_tx {
+                    return Err(DbError::TxState("nested BEGIN"));
+                }
+                self.pager.begin()?;
+                self.explicit_tx = true;
+                Ok(ExecOutcome::Done { rows_affected: 0 })
+            }
+            Stmt::Commit => {
+                if !self.explicit_tx {
+                    return Err(DbError::TxState("COMMIT without BEGIN"));
+                }
+                self.explicit_tx = false;
+                self.pager.commit()?;
+                Ok(ExecOutcome::Done { rows_affected: 0 })
+            }
+            Stmt::Rollback => {
+                if !self.explicit_tx {
+                    return Err(DbError::TxState("ROLLBACK without BEGIN"));
+                }
+                self.explicit_tx = false;
+                self.pager.rollback()?;
+                // In-RAM schema may reflect rolled-back DDL: reload.
+                self.catalog = Catalog::load(&mut self.pager)?;
+                Ok(ExecOutcome::Done { rows_affected: 0 })
+            }
+            stmt => {
+                if self.explicit_tx {
+                    run_stmt(&mut self.pager, &mut self.catalog, &stmt, params, sql)
+                } else {
+                    // Autocommit: one transaction per statement.
+                    self.pager.begin()?;
+                    match run_stmt(&mut self.pager, &mut self.catalog, &stmt, params, sql) {
+                        Ok(out) => {
+                            self.pager.commit()?;
+                            Ok(out)
+                        }
+                        Err(e) => {
+                            self.pager.rollback()?;
+                            self.catalog = Catalog::load(&mut self.pager)?;
+                            Err(e)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience: runs a SELECT and returns its rows.
+    pub fn query(&mut self, sql: &str) -> Result<Vec<Vec<Value>>> {
+        Ok(match self.execute(sql)? {
+            ExecOutcome::Rows { rows, .. } => rows,
+            ExecOutcome::Done { .. } => Vec::new(),
+        })
+    }
+
+    /// Convenience: runs a parameterized SELECT and returns its rows.
+    pub fn query_with(&mut self, sql: &str, params: &[Value]) -> Result<Vec<Vec<Value>>> {
+        Ok(match self.execute_with(sql, params)? {
+            ExecOutcome::Rows { rows, .. } => rows,
+            ExecOutcome::Done { .. } => Vec::new(),
+        })
+    }
+
+    /// Forces a WAL checkpoint (no-op in other modes).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.pager.wal_checkpoint()
+    }
+
+    /// Pager statistics (DB/journal write counts, fsyncs).
+    pub fn pager_stats(&self) -> &PagerStats {
+        self.pager.stats()
+    }
+
+    /// Resets pager statistics.
+    pub fn reset_stats(&mut self) {
+        self.pager.reset_stats();
+    }
+
+    /// Direct pager access (benches tune cache size / checkpoint interval).
+    pub fn pager_mut(&mut self) -> &mut Pager<D> {
+        &mut self.pager
+    }
+
+    /// Number of tables in the schema.
+    pub fn table_count(&self) -> usize {
+        self.catalog.table_count()
+    }
+
+    // --- multi-file transaction plumbing (used by `multidb`) ---------------
+
+    /// Begins a transaction controlled by an external coordinator
+    /// (optionally joining a shared device transaction id in Off mode).
+    /// Statements then run inside it until `end_external` /
+    /// `rollback_external`.
+    pub fn begin_external(&mut self, tid: Option<Tid>) -> Result<()> {
+        if self.explicit_tx {
+            return Err(DbError::TxState("transaction already active"));
+        }
+        match tid {
+            Some(tid) => self.pager.begin_with_tid(tid)?,
+            None => self.pager.begin()?,
+        }
+        self.explicit_tx = true;
+        Ok(())
+    }
+
+    /// Marks the externally-coordinated transaction finished (the
+    /// coordinator already committed at the pager level).
+    pub fn end_external(&mut self) {
+        self.explicit_tx = false;
+    }
+
+    /// Rolls an externally-coordinated transaction back.
+    pub fn rollback_external(&mut self) -> Result<()> {
+        self.explicit_tx = false;
+        if self.pager.in_tx() {
+            self.pager.rollback()?;
+            self.catalog = Catalog::load(&mut self.pager)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,1035 @@
+//! End-to-end database tests across all three journal modes, including
+//! crash recovery (the behaviours behind §6.4 / Table 5).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xftl_core::XFtl;
+use xftl_flash::{FlashChip, FlashConfig, SimClock};
+use xftl_fs::{FileSystem, FsConfig, JournalMode};
+use xftl_ftl::PageMappedFtl;
+
+use crate::db::Connection;
+use crate::error::DbError;
+use crate::pager::{DbJournalMode, SharedFs};
+use crate::value::Value;
+
+const BLOCKS: usize = 300;
+const LOGICAL: u64 = 2200;
+
+fn fs_plain() -> SharedFs<PageMappedFtl> {
+    let chip = FlashChip::new(FlashConfig::tiny(BLOCKS), SimClock::new());
+    let dev = PageMappedFtl::format(chip, LOGICAL).unwrap();
+    let fs = FileSystem::mkfs(
+        dev,
+        JournalMode::Ordered,
+        FsConfig {
+            inode_count: 32,
+            journal_pages: 48,
+            cache_pages: 512,
+        },
+    )
+    .unwrap();
+    Rc::new(RefCell::new(fs))
+}
+
+fn fs_tx() -> SharedFs<XFtl> {
+    let chip = FlashChip::new(FlashConfig::tiny(BLOCKS), SimClock::new());
+    let dev = XFtl::format(chip, LOGICAL).unwrap();
+    let fs = FileSystem::mkfs(
+        dev,
+        JournalMode::Off,
+        FsConfig {
+            inode_count: 32,
+            journal_pages: 48,
+            cache_pages: 512,
+        },
+    )
+    .unwrap();
+    Rc::new(RefCell::new(fs))
+}
+
+fn conn(mode: DbJournalMode) -> Connection<PageMappedFtl> {
+    Connection::open(fs_plain(), "t.db", mode).unwrap()
+}
+
+#[test]
+fn create_insert_select() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, score REAL)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'alice', 9.5)")
+        .unwrap();
+    db.execute("INSERT INTO t (name, score) VALUES ('bob', 7.0)")
+        .unwrap();
+    let rows = db
+        .query("SELECT id, name, score FROM t ORDER BY id")
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(
+        rows[0],
+        vec![Value::Int(1), Value::Text("alice".into()), Value::Real(9.5)]
+    );
+    assert_eq!(
+        rows[1][0],
+        Value::Int(2),
+        "auto rowid continues after explicit one"
+    );
+}
+
+#[test]
+fn update_and_delete() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    for i in 1..=10 {
+        db.execute_with(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Int(i), Value::Int(i * 10)],
+        )
+        .unwrap();
+    }
+    let n = db
+        .execute("UPDATE t SET v = v + 1 WHERE id > 5")
+        .unwrap()
+        .affected();
+    assert_eq!(n, 5);
+    let rows = db.query("SELECT v FROM t WHERE id = 6").unwrap();
+    assert_eq!(rows[0][0], Value::Int(61));
+    let n = db.execute("DELETE FROM t WHERE v < 30").unwrap().affected();
+    assert_eq!(n, 2);
+    let rows = db.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rows[0][0], Value::Int(8));
+}
+
+#[test]
+fn pk_lookup_uses_point_access() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        .unwrap();
+    db.execute("BEGIN").unwrap();
+    for i in 1..=500 {
+        db.execute_with("INSERT INTO t VALUES (?, 'x')", &[Value::Int(i)])
+            .unwrap();
+    }
+    db.execute("COMMIT").unwrap();
+    let rows = db.query("SELECT id FROM t WHERE id = 250").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(250)]]);
+    let rows = db
+        .query("SELECT COUNT(*) FROM t WHERE id >= 100 AND id <= 199")
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Int(100));
+}
+
+#[test]
+fn secondary_index_is_used_and_maintained() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE users (id INTEGER PRIMARY KEY, email TEXT, age INT)")
+        .unwrap();
+    db.execute("CREATE INDEX idx_email ON users (email)")
+        .unwrap();
+    db.execute("BEGIN").unwrap();
+    for i in 1..=200 {
+        db.execute_with(
+            "INSERT INTO users VALUES (?, ?, ?)",
+            &[
+                Value::Int(i),
+                Value::Text(format!("u{i}@x.com")),
+                Value::Int(i % 40),
+            ],
+        )
+        .unwrap();
+    }
+    db.execute("COMMIT").unwrap();
+    let rows = db
+        .query("SELECT id FROM users WHERE email = 'u42@x.com'")
+        .unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(42)]]);
+    // Update moves the row in the index.
+    db.execute("UPDATE users SET email = 'changed@x.com' WHERE id = 42")
+        .unwrap();
+    assert!(db
+        .query("SELECT id FROM users WHERE email = 'u42@x.com'")
+        .unwrap()
+        .is_empty());
+    let rows = db
+        .query("SELECT id FROM users WHERE email = 'changed@x.com'")
+        .unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(42)]]);
+    // Delete removes it.
+    db.execute("DELETE FROM users WHERE id = 42").unwrap();
+    assert!(db
+        .query("SELECT id FROM users WHERE email = 'changed@x.com'")
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn index_created_after_data_is_backfilled() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, tag TEXT)")
+        .unwrap();
+    for i in 1..=50 {
+        db.execute_with(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Int(i), Value::Text(format!("tag{}", i % 5))],
+        )
+        .unwrap();
+    }
+    db.execute("CREATE INDEX i_tag ON t (tag)").unwrap();
+    let rows = db
+        .query("SELECT COUNT(*) FROM t WHERE tag = 'tag3'")
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Int(10));
+}
+
+#[test]
+fn join_nested_loop() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, bid INT)")
+        .unwrap();
+    db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, name TEXT)")
+        .unwrap();
+    db.execute("INSERT INTO b VALUES (1, 'one'), (2, 'two')")
+        .unwrap();
+    db.execute("INSERT INTO a VALUES (10, 1), (11, 2), (12, 1)")
+        .unwrap();
+    let rows = db
+        .query("SELECT a.id, b.name FROM a JOIN b ON a.bid = b.id WHERE b.name = 'one' ORDER BY id")
+        .unwrap();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(10), Value::Text("one".into())],
+            vec![Value::Int(12), Value::Text("one".into())]
+        ]
+    );
+}
+
+#[test]
+fn aggregates() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    db.execute("INSERT INTO t (v) VALUES (1), (2), (3), (3), (NULL)")
+        .unwrap();
+    let rows = db
+        .query(
+            "SELECT COUNT(*), COUNT(v), COUNT(DISTINCT v), SUM(v), MIN(v), MAX(v), AVG(v) FROM t",
+        )
+        .unwrap();
+    assert_eq!(
+        rows[0],
+        vec![
+            Value::Int(5),
+            Value::Int(4),
+            Value::Int(3),
+            Value::Int(9),
+            Value::Int(1),
+            Value::Int(3),
+            Value::Real(2.25),
+        ]
+    );
+}
+
+#[test]
+fn like_and_between() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, s TEXT)")
+        .unwrap();
+    db.execute("INSERT INTO t (s) VALUES ('apple'), ('apricot'), ('banana')")
+        .unwrap();
+    let rows = db
+        .query("SELECT s FROM t WHERE s LIKE 'ap%' ORDER BY s")
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    let rows = db
+        .query("SELECT COUNT(*) FROM t WHERE id BETWEEN 2 AND 3")
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Int(2));
+}
+
+#[test]
+fn blob_roundtrip_through_overflow() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE thumbs (id INTEGER PRIMARY KEY, img BLOB)")
+        .unwrap();
+    // Bigger than a tiny 512-byte page: forced through overflow chains.
+    let blob: Vec<u8> = (0..3000).map(|i| (i % 256) as u8).collect();
+    db.execute_with(
+        "INSERT INTO thumbs VALUES (1, ?)",
+        &[Value::Blob(blob.clone())],
+    )
+    .unwrap();
+    let rows = db.query("SELECT img FROM thumbs WHERE id = 1").unwrap();
+    assert_eq!(rows[0][0], Value::Blob(blob));
+}
+
+#[test]
+fn explicit_transaction_commit_and_rollback() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    db.execute("INSERT INTO t VALUES (2, 20)").unwrap();
+    db.execute("COMMIT").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("UPDATE t SET v = 999").unwrap();
+    db.execute("DELETE FROM t WHERE id = 1").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)]
+        ]
+    );
+}
+
+#[test]
+fn rollback_in_all_modes_restores_state() {
+    for (name, mode) in [
+        ("rbj", DbJournalMode::Rollback),
+        ("wal", DbJournalMode::Wal),
+    ] {
+        let mut db = conn(mode);
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+        db.execute("BEGIN").unwrap();
+        db.execute("UPDATE t SET v = 2").unwrap();
+        db.execute("ROLLBACK").unwrap();
+        let rows = db.query("SELECT v FROM t").unwrap();
+        assert_eq!(rows[0][0], Value::Int(1), "mode {name}");
+    }
+    // Off mode over X-FTL.
+    let mut db = Connection::open(fs_tx(), "t.db", DbJournalMode::Off).unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("UPDATE t SET v = 2").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    let rows = db.query("SELECT v FROM t").unwrap();
+    assert_eq!(rows[0][0], Value::Int(1), "mode off");
+}
+
+#[test]
+fn constraint_violation_and_or_replace() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    let err = db.execute("INSERT INTO t VALUES (1, 20)").unwrap_err();
+    assert!(matches!(err, DbError::Constraint(_)));
+    db.execute("INSERT OR REPLACE INTO t VALUES (1, 20)")
+        .unwrap();
+    assert_eq!(db.query("SELECT v FROM t").unwrap()[0][0], Value::Int(20));
+}
+
+#[test]
+fn drop_table_frees_and_forgets() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        .unwrap();
+    db.execute("INSERT INTO t (v) VALUES ('x')").unwrap();
+    db.execute("DROP TABLE t").unwrap();
+    assert!(matches!(
+        db.execute("SELECT * FROM t"),
+        Err(DbError::Unknown(_))
+    ));
+    // Name reusable.
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (5)").unwrap();
+    assert_eq!(db.query("SELECT a FROM t").unwrap()[0][0], Value::Int(5));
+}
+
+#[test]
+fn schema_persists_across_reopen() {
+    let fs = fs_plain();
+    {
+        let mut db = Connection::open(Rc::clone(&fs), "app.db", DbJournalMode::Rollback).unwrap();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            .unwrap();
+        db.execute("CREATE INDEX iv ON t (v)").unwrap();
+        db.execute("INSERT INTO t (v) VALUES ('persisted')")
+            .unwrap();
+    }
+    let mut db = Connection::open(fs, "app.db", DbJournalMode::Rollback).unwrap();
+    let rows = db.query("SELECT id FROM t WHERE v = 'persisted'").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(1)]]);
+    db.execute("INSERT INTO t (v) VALUES ('two')").unwrap();
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(2)
+    );
+}
+
+#[test]
+fn wal_reads_see_wal_content_before_checkpoint() {
+    let mut db = conn(DbJournalMode::Wal);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, 100)").unwrap();
+    // No checkpoint yet (threshold 1000): read must come from the WAL.
+    assert!(db.pager_stats().checkpoints == 0);
+    assert_eq!(
+        db.query("SELECT v FROM t WHERE id = 1").unwrap()[0][0],
+        Value::Int(100)
+    );
+    db.checkpoint().unwrap();
+    assert_eq!(db.pager_stats().checkpoints, 1);
+    assert_eq!(
+        db.query("SELECT v FROM t WHERE id = 1").unwrap()[0][0],
+        Value::Int(100)
+    );
+}
+
+#[test]
+fn wal_autocheckpoint_fires() {
+    let mut db = conn(DbJournalMode::Wal);
+    db.pager_mut().wal_autocheckpoint = 20;
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    for i in 0..30 {
+        db.execute_with("INSERT INTO t (v) VALUES (?)", &[Value::Int(i)])
+            .unwrap();
+    }
+    assert!(db.pager_stats().checkpoints >= 1);
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(30)
+    );
+}
+
+// --- crash recovery --------------------------------------------------------
+
+/// Runs a committed transaction plus an uncommitted one, crashes the
+/// device, reopens, and checks atomicity + durability.
+fn crash_roundtrip_plain(mode: DbJournalMode) {
+    let fs = fs_plain();
+    {
+        let mut db = Connection::open(Rc::clone(&fs), "c.db", mode).unwrap();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+        // Uncommitted transaction in flight at crash time.
+        db.execute("BEGIN").unwrap();
+        db.execute("UPDATE t SET v = 999 WHERE id = 1").unwrap();
+        // no COMMIT — connection and FS dropped (process crash), then the
+        // device loses power too.
+    }
+    let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
+    let dev = fs_inner.into_device();
+    let dev = PageMappedFtl::recover(dev.into_chip()).unwrap();
+    let fs = FileSystem::mount(dev, JournalMode::Ordered, 512).unwrap();
+    let fs = Rc::new(RefCell::new(fs));
+    let mut db = Connection::open(fs, "c.db", mode).unwrap();
+    let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)]
+        ],
+        "mode {mode:?}"
+    );
+}
+
+#[test]
+fn crash_recovery_rollback_mode() {
+    crash_roundtrip_plain(DbJournalMode::Rollback);
+}
+
+#[test]
+fn crash_recovery_wal_mode() {
+    crash_roundtrip_plain(DbJournalMode::Wal);
+}
+
+#[test]
+fn crash_recovery_off_mode_xftl() {
+    let fs = fs_tx();
+    {
+        let mut db = Connection::open(Rc::clone(&fs), "c.db", DbJournalMode::Off).unwrap();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+        db.execute("BEGIN").unwrap();
+        db.execute("UPDATE t SET v = 999 WHERE id = 1").unwrap();
+        // crash before COMMIT
+    }
+    let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
+    let dev = fs_inner.into_device();
+    let dev = XFtl::recover(dev.into_chip()).unwrap();
+    let fs = FileSystem::mount(dev, JournalMode::Off, 512).unwrap();
+    let fs = Rc::new(RefCell::new(fs));
+    let mut db = Connection::open(fs, "c.db", DbJournalMode::Off).unwrap();
+    let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)]
+        ]
+    );
+}
+
+#[test]
+fn hot_journal_is_rolled_back_on_open() {
+    let fs = fs_plain();
+    {
+        let mut db = Connection::open(Rc::clone(&fs), "c.db", DbJournalMode::Rollback).unwrap();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    }
+    {
+        let mut db = Connection::open(Rc::clone(&fs), "c.db", DbJournalMode::Rollback).unwrap();
+        db.execute("BEGIN").unwrap();
+        db.execute("UPDATE t SET v = 777 WHERE id = 1").unwrap();
+        // Force the dirty page and journal to storage mid-transaction
+        // through cache pressure (the steal path).
+        db.pager_mut().set_cache_capacity(4);
+        for i in 0..40 {
+            db.execute_with("INSERT INTO t (v) VALUES (?)", &[Value::Int(i)])
+                .unwrap();
+        }
+        // Process dies without COMMIT; journal file remains (hot).
+    }
+    assert!(fs.borrow().exists("c.db-journal"), "journal must be hot");
+    let mut db = Connection::open(Rc::clone(&fs), "c.db", DbJournalMode::Rollback).unwrap();
+    assert!(
+        !fs.borrow().exists("c.db-journal"),
+        "recovery deletes the journal"
+    );
+    let rows = db.query("SELECT v FROM t WHERE id = 1").unwrap();
+    assert_eq!(rows[0][0], Value::Int(10), "uncommitted update rolled back");
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(1)
+    );
+}
+
+#[test]
+fn steal_spills_and_commit_still_works() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v BLOB)")
+        .unwrap();
+    db.pager_mut().set_cache_capacity(6);
+    db.execute("BEGIN").unwrap();
+    let blob = vec![7u8; 300];
+    for i in 1..=60 {
+        db.execute_with(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Int(i), Value::Blob(blob.clone())],
+        )
+        .unwrap();
+    }
+    db.execute("COMMIT").unwrap();
+    assert!(db.pager_stats().spills > 0, "steal must have happened");
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(60)
+    );
+}
+
+#[test]
+fn multi_database_files_share_one_fs() {
+    let fs = fs_plain();
+    let mut db1 = Connection::open(Rc::clone(&fs), "one.db", DbJournalMode::Rollback).unwrap();
+    let mut db2 = Connection::open(Rc::clone(&fs), "two.db", DbJournalMode::Rollback).unwrap();
+    db1.execute("CREATE TABLE a (x INT)").unwrap();
+    db2.execute("CREATE TABLE b (y INT)").unwrap();
+    db1.execute("INSERT INTO a VALUES (1)").unwrap();
+    db2.execute("INSERT INTO b VALUES (2)").unwrap();
+    assert_eq!(db1.query("SELECT x FROM a").unwrap()[0][0], Value::Int(1));
+    assert_eq!(db2.query("SELECT y FROM b").unwrap()[0][0], Value::Int(2));
+    assert!(matches!(
+        db1.execute("SELECT y FROM b"),
+        Err(DbError::Unknown(_))
+    ));
+}
+
+#[test]
+fn fsync_counts_match_figure1_shape() {
+    // RBJ: 3 fsyncs per update transaction; WAL: 1; Off: 1 (at the FS).
+    let mut rbj = conn(DbJournalMode::Rollback);
+    rbj.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    rbj.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+    rbj.reset_stats();
+    rbj.execute("UPDATE t SET v = 1 WHERE id = 1").unwrap();
+    assert_eq!(
+        rbj.pager_stats().fsyncs,
+        3,
+        "journal data + journal header + db"
+    );
+
+    let mut wal = conn(DbJournalMode::Wal);
+    wal.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    wal.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+    wal.reset_stats();
+    wal.execute("UPDATE t SET v = 1 WHERE id = 1").unwrap();
+    assert_eq!(wal.pager_stats().fsyncs, 1, "single WAL fsync");
+
+    let mut off = Connection::open(fs_tx(), "t.db", DbJournalMode::Off).unwrap();
+    off.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    off.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+    off.reset_stats();
+    off.execute("UPDATE t SET v = 1 WHERE id = 1").unwrap();
+    assert_eq!(
+        off.pager_stats().fsyncs,
+        1,
+        "single fsync carrying the commit"
+    );
+    assert_eq!(off.pager_stats().journal_writes, 0, "no journal at all");
+}
+
+#[test]
+fn select_without_from() {
+    let mut db = conn(DbJournalMode::Rollback);
+    let rows = db.query("SELECT 1 + 2 * 3, 'x'").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(7), Value::Text("x".into())]]);
+}
+
+#[test]
+fn order_by_desc_and_limit() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    for i in 1..=10 {
+        db.execute_with("INSERT INTO t (v) VALUES (?)", &[Value::Int(i)])
+            .unwrap();
+    }
+    let rows = db.query("SELECT v FROM t ORDER BY v DESC LIMIT 3").unwrap();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(10)],
+            vec![Value::Int(9)],
+            vec![Value::Int(8)]
+        ]
+    );
+}
+
+// --- multi-file transactions (§4.3) -----------------------------------------
+
+mod multi {
+    use super::*;
+    use crate::multidb::{begin_multi, commit_multi, rollback_multi};
+    use xftl_ftl::BlockDevice;
+
+    fn two_dbs<D: xftl_ftl::BlockDevice>(
+        fs: &SharedFs<D>,
+        mode: DbJournalMode,
+    ) -> (Connection<D>, Connection<D>) {
+        let mut a = Connection::open(Rc::clone(fs), "a.db", mode).unwrap();
+        let mut b = Connection::open(Rc::clone(fs), "b.db", mode).unwrap();
+        a.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+            .unwrap();
+        b.execute("CREATE TABLE u (id INTEEGER, w INT)")
+            .unwrap_or_else(|_| {
+                b.execute("CREATE TABLE u (id INTEGER PRIMARY KEY, w INT)")
+                    .unwrap()
+            });
+        (a, b)
+    }
+
+    #[test]
+    fn multi_commit_applies_both_rbj() {
+        let fs = fs_plain();
+        let (mut a, mut b) = two_dbs(&fs, DbJournalMode::Rollback);
+        begin_multi(&mut [&mut a, &mut b]).unwrap();
+        a.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        b.execute("INSERT INTO u VALUES (1, 20)").unwrap();
+        commit_multi(&mut [&mut a, &mut b], "group-master").unwrap();
+        assert_eq!(a.query("SELECT v FROM t").unwrap()[0][0], Value::Int(10));
+        assert_eq!(b.query("SELECT w FROM u").unwrap()[0][0], Value::Int(20));
+        assert!(!fs.borrow().exists("group-master"));
+        assert!(!fs.borrow().exists("a.db-journal"));
+    }
+
+    #[test]
+    fn multi_commit_applies_both_xftl() {
+        let fs = fs_tx();
+        let (mut a, mut b) = two_dbs(&fs, DbJournalMode::Off);
+        begin_multi(&mut [&mut a, &mut b]).unwrap();
+        a.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        b.execute("INSERT INTO u VALUES (1, 20)").unwrap();
+        let commits_before = fs.borrow().device().counters().commits;
+        commit_multi(&mut [&mut a, &mut b], "unused-master").unwrap();
+        assert_eq!(
+            fs.borrow().device().counters().commits - commits_before,
+            1,
+            "one device commit seals the whole group"
+        );
+        assert_eq!(a.query("SELECT v FROM t").unwrap()[0][0], Value::Int(10));
+        assert_eq!(b.query("SELECT w FROM u").unwrap()[0][0], Value::Int(20));
+        assert!(
+            !fs.borrow().exists("unused-master"),
+            "X-FTL needs no master file"
+        );
+    }
+
+    #[test]
+    fn multi_rollback_undoes_both() {
+        let fs = fs_tx();
+        let (mut a, mut b) = two_dbs(&fs, DbJournalMode::Off);
+        a.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+        b.execute("INSERT INTO u VALUES (1, 1)").unwrap();
+        begin_multi(&mut [&mut a, &mut b]).unwrap();
+        a.execute("UPDATE t SET v = 99").unwrap();
+        b.execute("UPDATE u SET w = 99").unwrap();
+        rollback_multi(&mut [&mut a, &mut b]).unwrap();
+        assert_eq!(a.query("SELECT v FROM t").unwrap()[0][0], Value::Int(1));
+        assert_eq!(b.query("SELECT w FROM u").unwrap()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn crash_before_master_delete_rolls_back_both() {
+        // Power fails after phase 1 (journals reference the master, DB
+        // files written) but before the master's deletion: recovery must
+        // roll BOTH databases back.
+        let fs = fs_plain();
+        {
+            let (mut a, mut b) = two_dbs(&fs, DbJournalMode::Rollback);
+            a.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+            b.execute("INSERT INTO u VALUES (1, 1)").unwrap();
+            begin_multi(&mut [&mut a, &mut b]).unwrap();
+            a.execute("UPDATE t SET v = 99").unwrap();
+            b.execute("UPDATE u SET w = 99").unwrap();
+            // Reproduce phase 1 by hand, then "crash" (drop everything).
+            {
+                let mut fsb = fs.borrow_mut();
+                let ino = fsb.create("m1").unwrap();
+                fsb.write(ino, 0, b"a.db-journal\nb.db-journal", None)
+                    .unwrap();
+                fsb.fsync(ino, None).unwrap();
+            }
+            a.pager_mut().master_commit_prepare("m1").unwrap();
+            b.pager_mut().master_commit_prepare("m1").unwrap();
+            // crash here: master still exists
+        }
+        let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
+        let dev = PageMappedFtl::recover(fs_inner.into_device().into_chip()).unwrap();
+        let fs = Rc::new(RefCell::new(
+            FileSystem::mount(dev, JournalMode::Ordered, 512).unwrap(),
+        ));
+        let mut a = Connection::open(Rc::clone(&fs), "a.db", DbJournalMode::Rollback).unwrap();
+        let mut b = Connection::open(Rc::clone(&fs), "b.db", DbJournalMode::Rollback).unwrap();
+        assert_eq!(a.query("SELECT v FROM t").unwrap()[0][0], Value::Int(1));
+        assert_eq!(b.query("SELECT w FROM u").unwrap()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn crash_after_master_delete_commits_both() {
+        // Power fails after the master's deletion but before the child
+        // journals are cleaned up: both databases must show the new state
+        // (the stale journals are ignored because their master is gone).
+        let fs = fs_plain();
+        {
+            let (mut a, mut b) = two_dbs(&fs, DbJournalMode::Rollback);
+            a.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+            b.execute("INSERT INTO u VALUES (1, 1)").unwrap();
+            begin_multi(&mut [&mut a, &mut b]).unwrap();
+            a.execute("UPDATE t SET v = 99").unwrap();
+            b.execute("UPDATE u SET w = 99").unwrap();
+            {
+                let mut fsb = fs.borrow_mut();
+                let ino = fsb.create("m2").unwrap();
+                fsb.write(ino, 0, b"a.db-journal\nb.db-journal", None)
+                    .unwrap();
+                fsb.fsync(ino, None).unwrap();
+            }
+            a.pager_mut().master_commit_prepare("m2").unwrap();
+            b.pager_mut().master_commit_prepare("m2").unwrap();
+            {
+                let mut fsb = fs.borrow_mut();
+                fsb.unlink("m2").unwrap();
+                fsb.sync_meta(None).unwrap();
+            }
+            // crash here: child journals still exist, master gone
+        }
+        let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
+        let dev = PageMappedFtl::recover(fs_inner.into_device().into_chip()).unwrap();
+        let fs = Rc::new(RefCell::new(
+            FileSystem::mount(dev, JournalMode::Ordered, 512).unwrap(),
+        ));
+        assert!(
+            fs.borrow().exists("a.db-journal"),
+            "stale journal present pre-open"
+        );
+        let mut a = Connection::open(Rc::clone(&fs), "a.db", DbJournalMode::Rollback).unwrap();
+        let mut b = Connection::open(Rc::clone(&fs), "b.db", DbJournalMode::Rollback).unwrap();
+        assert_eq!(a.query("SELECT v FROM t").unwrap()[0][0], Value::Int(99));
+        assert_eq!(b.query("SELECT w FROM u").unwrap()[0][0], Value::Int(99));
+        assert!(
+            !fs.borrow().exists("a.db-journal"),
+            "stale journal cleaned on open"
+        );
+    }
+
+    #[test]
+    fn crash_mid_group_rolls_back_both_xftl() {
+        let fs = fs_tx();
+        {
+            let (mut a, mut b) = two_dbs(&fs, DbJournalMode::Off);
+            a.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+            b.execute("INSERT INTO u VALUES (1, 1)").unwrap();
+            begin_multi(&mut [&mut a, &mut b]).unwrap();
+            a.execute("UPDATE t SET v = 99").unwrap();
+            b.execute("UPDATE u SET w = 99").unwrap();
+            // Flush a's pages under the shared tid but crash before the
+            // single device commit.
+            a.pager_mut().commit_off_deferred().unwrap();
+            // crash
+        }
+        let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
+        let dev = XFtl::recover(fs_inner.into_device().into_chip()).unwrap();
+        let fs = Rc::new(RefCell::new(
+            FileSystem::mount(dev, JournalMode::Off, 512).unwrap(),
+        ));
+        let mut a = Connection::open(Rc::clone(&fs), "a.db", DbJournalMode::Off).unwrap();
+        let mut b = Connection::open(Rc::clone(&fs), "b.db", DbJournalMode::Off).unwrap();
+        assert_eq!(a.query("SELECT v FROM t").unwrap()[0][0], Value::Int(1));
+        assert_eq!(b.query("SELECT w FROM u").unwrap()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn wal_groups_are_rejected() {
+        let fs = fs_plain();
+        let (mut a, mut b) = two_dbs(&fs, DbJournalMode::Wal);
+        assert!(matches!(
+            begin_multi(&mut [&mut a, &mut b]),
+            Err(DbError::TxState(_))
+        ));
+    }
+}
+
+// --- GROUP BY ----------------------------------------------------------------
+
+#[test]
+fn group_by_with_aggregates() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE sales (id INTEGER PRIMARY KEY, region TEXT, amount INT)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO sales (region, amount) VALUES \
+         ('east', 10), ('west', 5), ('east', 20), ('west', 7), ('north', 1)",
+    )
+    .unwrap();
+    let rows = db
+        .query("SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region ORDER BY region")
+        .unwrap();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Text("east".into()), Value::Int(2), Value::Int(30)],
+            vec![Value::Text("north".into()), Value::Int(1), Value::Int(1)],
+            vec![Value::Text("west".into()), Value::Int(2), Value::Int(12)],
+        ]
+    );
+}
+
+#[test]
+fn group_by_multiple_columns_and_where() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, a INT, b INT, v INT)")
+        .unwrap();
+    for (a, b, v) in [(1, 1, 10), (1, 2, 20), (1, 1, 30), (2, 1, 40), (2, 1, 5)] {
+        db.execute_with(
+            "INSERT INTO t (a, b, v) VALUES (?, ?, ?)",
+            &[Value::Int(a), Value::Int(b), Value::Int(v)],
+        )
+        .unwrap();
+    }
+    let rows = db
+        .query("SELECT a, b, MAX(v) FROM t WHERE v >= 10 GROUP BY a, b ORDER BY a")
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+    // (1,1)->30, (1,2)->20, (2,1)->40; BTreeMap key order = (a,b) ascending.
+    assert_eq!(rows[0], vec![Value::Int(1), Value::Int(1), Value::Int(30)]);
+    assert_eq!(rows[1], vec![Value::Int(1), Value::Int(2), Value::Int(20)]);
+    assert_eq!(rows[2], vec![Value::Int(2), Value::Int(1), Value::Int(40)]);
+}
+
+#[test]
+fn group_by_with_limit() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, g INT)")
+        .unwrap();
+    for i in 0..20 {
+        db.execute_with("INSERT INTO t (g) VALUES (?)", &[Value::Int(i % 5)])
+            .unwrap();
+    }
+    let rows = db
+        .query("SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY g LIMIT 2")
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0], vec![Value::Int(0), Value::Int(4)]);
+}
+
+#[test]
+fn group_by_rejects_star() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, g INT)")
+        .unwrap();
+    assert!(db.execute("SELECT * FROM t GROUP BY g").is_err());
+}
+
+// --- journal finalization variants (TRUNCATE / PERSIST) ----------------------
+
+#[test]
+fn truncate_and_persist_modes_commit_and_recover() {
+    for mode in [
+        DbJournalMode::RollbackTruncate,
+        DbJournalMode::RollbackPersist,
+    ] {
+        let fs = fs_plain();
+        {
+            let mut db = Connection::open(Rc::clone(&fs), "v.db", mode).unwrap();
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+                .unwrap();
+            db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+            db.execute("BEGIN").unwrap();
+            db.execute("UPDATE t SET v = 999 WHERE id = 1").unwrap();
+            // crash without COMMIT
+        }
+        let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
+        let dev = PageMappedFtl::recover(fs_inner.into_device().into_chip()).unwrap();
+        let fs = Rc::new(RefCell::new(
+            FileSystem::mount(dev, JournalMode::Ordered, 512).unwrap(),
+        ));
+        let mut db = Connection::open(fs, "v.db", mode).unwrap();
+        let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)]
+            ],
+            "{mode:?}"
+        );
+    }
+}
+
+#[test]
+fn persist_mode_leaves_cold_journal_file() {
+    let fs = fs_plain();
+    let mut db = Connection::open(Rc::clone(&fs), "p.db", DbJournalMode::RollbackPersist).unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+    // The journal file persists between transactions with a zeroed header.
+    assert!(fs.borrow().exists("p.db-journal"));
+    db.execute("UPDATE t SET v = 2").unwrap();
+    assert_eq!(db.query("SELECT v FROM t").unwrap()[0][0], Value::Int(2));
+    // Re-open: the zeroed header must not look like a hot journal.
+    drop(db);
+    let mut db2 = Connection::open(Rc::clone(&fs), "p.db", DbJournalMode::RollbackPersist).unwrap();
+    assert_eq!(db2.query("SELECT v FROM t").unwrap()[0][0], Value::Int(2));
+}
+
+#[test]
+fn truncate_mode_reuses_empty_journal() {
+    let fs = fs_plain();
+    let mut db =
+        Connection::open(Rc::clone(&fs), "tr.db", DbJournalMode::RollbackTruncate).unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+        .unwrap();
+    for i in 0..5 {
+        db.execute_with("INSERT INTO t (v) VALUES (?)", &[Value::Int(i)])
+            .unwrap();
+    }
+    assert!(fs.borrow().exists("tr.db-journal"));
+    let jino = fs.borrow().open("tr.db-journal").unwrap();
+    assert_eq!(
+        fs.borrow().size(jino).unwrap(),
+        0,
+        "journal truncated after commit"
+    );
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM t").unwrap()[0][0],
+        Value::Int(5)
+    );
+}
+
+#[test]
+fn persist_mode_avoids_metadata_churn() {
+    // PERSIST should issue no directory syncs after warm-up; DELETE does
+    // one per transaction.
+    let run = |mode: DbJournalMode| {
+        let fs = fs_plain();
+        let mut db = Connection::open(Rc::clone(&fs), "m.db", mode).unwrap();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+        db.reset_stats();
+        for i in 0..10 {
+            db.execute_with("UPDATE t SET v = ? WHERE id = 1", &[Value::Int(i)])
+                .unwrap();
+        }
+        db.pager_stats().dirsyncs
+    };
+    assert_eq!(
+        run(DbJournalMode::Rollback),
+        10,
+        "DELETE: one dirsync per txn"
+    );
+    assert_eq!(run(DbJournalMode::RollbackPersist), 0, "PERSIST: none");
+}
+
+#[test]
+fn in_list_having_offset_end_to_end() {
+    let mut db = conn(DbJournalMode::Rollback);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, g INT, v INT)")
+        .unwrap();
+    for i in 0..12 {
+        db.execute_with(
+            "INSERT INTO t (g, v) VALUES (?, ?)",
+            &[Value::Int(i % 4), Value::Int(i)],
+        )
+        .unwrap();
+    }
+    // IN list.
+    let rows = db
+        .query("SELECT COUNT(*) FROM t WHERE g IN (1, 3)")
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Int(6));
+    // NOT IN.
+    let rows = db
+        .query("SELECT COUNT(*) FROM t WHERE g NOT IN (0, 1, 2)")
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Int(3));
+    // HAVING on aggregates.
+    // sums: g0=12, g1=15, g2=18, g3=21 — only g3 exceeds 18.
+    let rows = db
+        .query("SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) > 18 ORDER BY g")
+        .unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(3), Value::Int(21)]]);
+    let rows = db
+        .query("SELECT g FROM t GROUP BY g HAVING SUM(v) >= 18 ORDER BY g")
+        .unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+    // OFFSET pagination.
+    let rows = db
+        .query("SELECT id FROM t ORDER BY id LIMIT 3 OFFSET 4")
+        .unwrap();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(5)],
+            vec![Value::Int(6)],
+            vec![Value::Int(7)]
+        ]
+    );
+    // OFFSET with GROUP BY.
+    let rows = db
+        .query("SELECT g FROM t GROUP BY g ORDER BY g LIMIT 2 OFFSET 1")
+        .unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+}

@@ -1,0 +1,62 @@
+//! Error type for database operations.
+
+use std::fmt;
+
+use xftl_fs::FsError;
+use xftl_ftl::DevError;
+
+/// Errors surfaced by the embedded database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Underlying file-system error.
+    Fs(FsError),
+    /// SQL syntax error with a human-readable message.
+    Parse(String),
+    /// Unknown table, index or column.
+    Unknown(String),
+    /// Schema object already exists.
+    Exists(String),
+    /// Statement is invalid against the schema (arity mismatch, etc.).
+    Schema(String),
+    /// Type error during evaluation.
+    Type(String),
+    /// Constraint violation (duplicate primary key).
+    Constraint(String),
+    /// No transaction is active / a transaction is already active.
+    TxState(&'static str),
+    /// Database file is corrupt.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Fs(e) => write!(f, "storage error: {e}"),
+            DbError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            DbError::Unknown(m) => write!(f, "no such object: {m}"),
+            DbError::Exists(m) => write!(f, "object already exists: {m}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::TxState(m) => write!(f, "transaction state error: {m}"),
+            DbError::Corrupt(m) => write!(f, "database corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<FsError> for DbError {
+    fn from(e: FsError) -> Self {
+        DbError::Fs(e)
+    }
+}
+
+impl From<DevError> for DbError {
+    fn from(e: DevError) -> Self {
+        DbError::Fs(FsError::Dev(e))
+    }
+}
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, DbError>;

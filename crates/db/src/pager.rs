@@ -1,0 +1,1060 @@
+//! The pager: page-level storage, transactions, and the three journal
+//! modes of the paper.
+//!
+//! | mode       | commit protocol (per §2.1–§2.2 and Figure 1)             |
+//! |------------|-----------------------------------------------------------|
+//! | `Rollback` | copy originals to `<db>-journal`, fsync, fsync header,    |
+//! |            | write pages to the DB file, fsync, delete the journal      |
+//! | `Wal`      | append new versions to `<db>-wal`, one fsync; checkpoint   |
+//! |            | into the DB file every 1000 frames                         |
+//! | `Off`      | write pages straight to the DB file tagged with the        |
+//! |            | transaction id; one `fsync(tid)` = device `commit`        |
+//!
+//! The buffer pool is managed *steal/force* exactly as SQLite's (§2.1):
+//! every commit force-writes the transaction's dirty pages, and under
+//! memory pressure uncommitted dirty pages spill to storage early — via
+//! the journal-sync-then-spill dance in `Rollback` mode, an uncommitted
+//! WAL frame in `Wal` mode, and a tid-tagged `write_tx` in `Off` mode.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use xftl_fs::{FileSystem, Ino};
+use xftl_ftl::{BlockDevice, Tid};
+
+use crate::error::{DbError, Result};
+
+/// Journal mode of one database connection (PRAGMA journal_mode analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbJournalMode {
+    /// SQLite's default rollback-journal (DELETE) mode: the journal file
+    /// is deleted at commit.
+    Rollback,
+    /// Rollback journal finalized by truncation to zero length
+    /// (`PRAGMA journal_mode=TRUNCATE`) — avoids the per-transaction
+    /// create/unlink metadata churn.
+    RollbackTruncate,
+    /// Rollback journal finalized by zeroing its header
+    /// (`PRAGMA journal_mode=PERSIST`) — one page write instead of any
+    /// file-system metadata operation.
+    RollbackPersist,
+    /// Write-ahead log mode.
+    Wal,
+    /// Journaling off — transactional atomicity delegated to X-FTL.
+    Off,
+}
+
+impl DbJournalMode {
+    /// True for any of the three rollback-journal variants.
+    pub fn is_rollback(self) -> bool {
+        matches!(
+            self,
+            DbJournalMode::Rollback
+                | DbJournalMode::RollbackTruncate
+                | DbJournalMode::RollbackPersist
+        )
+    }
+}
+
+/// A file system shared by several database files (Gmail uses 2, Facebook
+/// 11 — Table 2).
+pub type SharedFs<D> = Rc<RefCell<FileSystem<D>>>;
+
+/// Database page number (page 0 is the header).
+pub type PageNo = u32;
+
+/// Magic of the DB header page ("XFTLSQL1").
+const DB_MAGIC: u64 = 0x5846_544C_5351_4C31;
+/// Magic of a rollback-journal header.
+const RJ_MAGIC: u64 = 0x524A_4F55_524E_414C;
+/// Magic of a WAL header.
+const WAL_MAGIC: u64 = 0x5741_4C48_4452_5F31;
+/// Bytes of a WAL frame header preceding each page image.
+const WAL_FRAME_HDR: u64 = 64;
+
+/// Pager-attributed I/O counts (the "SQLite DB / Journal" columns of
+/// Table 1 come from here).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Pages written to the database file.
+    pub db_writes: u64,
+    /// Page-equivalents written to the rollback journal or WAL
+    /// (headers included).
+    pub journal_writes: u64,
+    /// fsync calls issued by the pager.
+    pub fsyncs: u64,
+    /// Pages read (from DB file or WAL).
+    pub reads: u64,
+    /// WAL checkpoints performed.
+    pub checkpoints: u64,
+    /// Directory syncs after journal deletion (SQLite's dirsync, which
+    /// makes the rollback-journal commit point durable).
+    pub dirsyncs: u64,
+    /// Dirty pages spilled before commit (steal events).
+    pub spills: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+    tick: u64,
+}
+
+/// The pager over one database file.
+#[derive(Debug)]
+pub struct Pager<D: BlockDevice> {
+    fs: SharedFs<D>,
+    pub(crate) name: String,
+    db_ino: Ino,
+    mode: DbJournalMode,
+    page_size: usize,
+    cache: HashMap<PageNo, Frame>,
+    cache_cap: usize,
+    tick: u64,
+
+    /// Committed page count (header field), plus in-tx growth.
+    page_count: u32,
+    freelist_head: u32,
+    schema_root: u32,
+
+    in_tx: bool,
+    tid: Option<Tid>,
+    dirty_in_tx: HashSet<PageNo>,
+
+    // Rollback-journal state.
+    journal_ino: Option<Ino>,
+    journaled: Vec<PageNo>,
+    journaled_set: HashSet<PageNo>,
+    journal_synced_records: u32,
+    /// Master-journal name recorded in the journal header during a
+    /// multi-file commit (§4.3 / SQLite's master journal protocol).
+    master_name: Option<String>,
+    /// Page count at transaction start (journal restores it on rollback).
+    tx_orig_page_count: u32,
+
+    // WAL state.
+    wal_ino: Option<Ino>,
+    /// page -> byte offset of the latest committed (or own-tx) frame image.
+    wal_index: HashMap<PageNo, u64>,
+    /// Append offset in the WAL file.
+    wal_end: u64,
+    /// Frames since the last checkpoint.
+    wal_frames: u32,
+    /// Frames appended by the open transaction, with the index entry they
+    /// displaced (restored on rollback).
+    tx_frames: Vec<(PageNo, Option<u64>)>,
+    /// File offset just past the last *committed* frame.
+    wal_last_commit_end: u64,
+    /// Checkpoint threshold in frames (SQLite default: 1000).
+    pub wal_autocheckpoint: u32,
+
+    stats: PagerStats,
+}
+
+impl<D: BlockDevice> Pager<D> {
+    /// Opens (creating if necessary) the database file `name`, recovering
+    /// from a hot rollback journal or an existing WAL as appropriate.
+    pub fn open(fs: SharedFs<D>, name: &str, mode: DbJournalMode) -> Result<Self> {
+        let page_size = fs.borrow().page_size();
+        let existing = fs.borrow().exists(name);
+        let db_ino = if existing {
+            fs.borrow().open(name)?
+        } else {
+            fs.borrow_mut().create(name)?
+        };
+        let mut pager = Pager {
+            fs,
+            name: name.to_string(),
+            db_ino,
+            mode,
+            page_size,
+            cache: HashMap::new(),
+            // SQLite's default cache_size is ~2 MB; with the paper's 8 KB
+            // pages that is 256 frames.
+            cache_cap: 256,
+            tick: 0,
+            page_count: 1,
+            freelist_head: 0,
+            schema_root: 0,
+            in_tx: false,
+            tid: None,
+            dirty_in_tx: HashSet::new(),
+            journal_ino: None,
+            journaled: Vec::new(),
+            journaled_set: HashSet::new(),
+            journal_synced_records: 0,
+            master_name: None,
+            tx_orig_page_count: 1,
+            wal_ino: None,
+            wal_index: HashMap::new(),
+            wal_end: 0,
+            wal_frames: 0,
+            tx_frames: Vec::new(),
+            wal_last_commit_end: 0,
+            wal_autocheckpoint: 1000,
+            stats: PagerStats::default(),
+        };
+        if mode.is_rollback() {
+            pager.recover_hot_journal()?;
+        }
+        if mode == DbJournalMode::Wal {
+            // The newest header may live in the WAL: index it first.
+            pager.wal_open()?;
+        }
+        if existing {
+            pager.load_header()?;
+        } else {
+            // Fresh database: header page 0.
+            let mut hdr = vec![0u8; page_size];
+            hdr[0..8].copy_from_slice(&DB_MAGIC.to_le_bytes());
+            hdr[8..12].copy_from_slice(&1u32.to_le_bytes());
+            pager.fs.borrow_mut().write(db_ino, 0, &hdr, None)?;
+            pager.stats.db_writes += 1;
+        }
+        Ok(pager)
+    }
+
+    /// Bytes per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pager statistics.
+    pub fn stats(&self) -> &PagerStats {
+        &self.stats
+    }
+
+    /// Resets statistics between experiment phases.
+    pub fn reset_stats(&mut self) {
+        self.stats = PagerStats::default();
+    }
+
+    /// Root page of the schema table (0 = not yet created).
+    pub fn schema_root(&self) -> PageNo {
+        self.schema_root
+    }
+
+    /// Records the schema root (dirties the header).
+    pub fn set_schema_root(&mut self, pgno: PageNo) -> Result<()> {
+        self.schema_root = pgno;
+        self.write_header()
+    }
+
+    /// Shared file system handle.
+    pub fn shared_fs(&self) -> SharedFs<D> {
+        Rc::clone(&self.fs)
+    }
+
+    fn load_header(&mut self) -> Result<()> {
+        let hdr = self.read_page_raw(0)?;
+        let magic = u64::from_le_bytes(hdr[0..8].try_into().expect("8"));
+        if magic == 0 {
+            // The file was created but its header never reached storage
+            // before a crash: treat as a fresh, empty database (SQLite
+            // does the same for zero-length files).
+            self.page_count = 1;
+            self.freelist_head = 0;
+            self.schema_root = 0;
+            return Ok(());
+        }
+        if magic != DB_MAGIC {
+            return Err(DbError::Corrupt("bad database header magic"));
+        }
+        self.page_count = u32::from_le_bytes(hdr[8..12].try_into().expect("4"));
+        self.freelist_head = u32::from_le_bytes(hdr[12..16].try_into().expect("4"));
+        self.schema_root = u32::from_le_bytes(hdr[16..20].try_into().expect("4"));
+        Ok(())
+    }
+
+    fn write_header(&mut self) -> Result<()> {
+        let mut hdr = self.page(0)?;
+        hdr[0..8].copy_from_slice(&DB_MAGIC.to_le_bytes());
+        hdr[8..12].copy_from_slice(&self.page_count.to_le_bytes());
+        hdr[12..16].copy_from_slice(&self.freelist_head.to_le_bytes());
+        hdr[16..20].copy_from_slice(&self.schema_root.to_le_bytes());
+        self.put(0, hdr)
+    }
+
+    // --- transactions -------------------------------------------------------
+
+    /// True if a transaction is open.
+    pub fn in_tx(&self) -> bool {
+        self.in_tx
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.in_tx {
+            return Err(DbError::TxState("transaction already active"));
+        }
+        self.in_tx = true;
+        self.tx_orig_page_count = self.page_count;
+        if self.mode == DbJournalMode::Off {
+            self.tid = Some(self.fs.borrow_mut().begin_tx());
+        }
+        Ok(())
+    }
+
+    /// Commits the open transaction using the mode's protocol.
+    pub fn commit(&mut self) -> Result<()> {
+        if !self.in_tx {
+            return Err(DbError::TxState("no transaction active"));
+        }
+        if self.dirty_in_tx.is_empty() && self.journal_ino.is_none() {
+            // Read-only transaction: nothing to make durable.
+            self.end_tx();
+            return Ok(());
+        }
+        match self.mode {
+            m if m.is_rollback() => self.commit_rollback_mode()?,
+            DbJournalMode::Wal => self.commit_wal_mode()?,
+            _ => self.commit_off_mode()?,
+        }
+        self.end_tx();
+        Ok(())
+    }
+
+    /// Rolls the open transaction back.
+    pub fn rollback(&mut self) -> Result<()> {
+        if !self.in_tx {
+            return Err(DbError::TxState("no transaction active"));
+        }
+        match self.mode {
+            m if m.is_rollback() => self.rollback_journal_mode()?,
+            DbJournalMode::Wal => {
+                // Frames spilled by this transaction are forgotten; index
+                // entries they displaced come back, and the file tail is
+                // rewound so the next transaction overwrites them.
+                for (pgno, prev) in std::mem::take(&mut self.tx_frames).into_iter().rev() {
+                    match prev {
+                        Some(off) => {
+                            self.wal_index.insert(pgno, off);
+                        }
+                        None => {
+                            self.wal_index.remove(&pgno);
+                        }
+                    }
+                }
+                self.wal_end = self.wal_last_commit_end;
+                self.drop_dirty_cache();
+            }
+            _ => {
+                self.drop_dirty_cache();
+                let tid = self.tid.expect("Off-mode tx has a tid");
+                self.fs.borrow_mut().abort_tx(tid)?;
+            }
+        }
+        self.page_count = self.tx_orig_page_count;
+        self.load_header()?;
+        self.end_tx();
+        Ok(())
+    }
+
+    fn end_tx(&mut self) {
+        self.in_tx = false;
+        self.tid = None;
+        self.dirty_in_tx.clear();
+        self.journaled.clear();
+        self.journaled_set.clear();
+        self.journal_synced_records = 0;
+        self.master_name = None;
+        self.tx_frames.clear();
+    }
+
+    fn drop_dirty_cache(&mut self) {
+        let dirty: Vec<PageNo> = std::mem::take(&mut self.dirty_in_tx).into_iter().collect();
+        for pgno in dirty {
+            self.cache.remove(&pgno);
+        }
+    }
+
+    // --- rollback-journal protocol -------------------------------------------
+
+    fn journal_name(&self) -> String {
+        format!("{}-journal", self.name)
+    }
+
+    fn ensure_journal(&mut self) -> Result<Ino> {
+        if let Some(ino) = self.journal_ino {
+            return Ok(ino);
+        }
+        // DELETE mode creates the journal per transaction (Figure 1);
+        // TRUNCATE/PERSIST reuse the file left by the previous commit.
+        let name = self.journal_name();
+        let existing = self.fs.borrow().open(&name).ok();
+        let ino = match existing {
+            Some(ino) => ino,
+            None => self.fs.borrow_mut().create(&name)?,
+        };
+        // Header placeholder (record count 0) fills the first page.
+        let hdr = self.encode_journal_header(0);
+        self.fs.borrow_mut().write(ino, 0, &hdr, None)?;
+        self.stats.journal_writes += 1;
+        self.journal_ino = Some(ino);
+        Ok(ino)
+    }
+
+    /// Finalizes the journal after a successful commit, rollback, or
+    /// recovery — the step whose durability is the rollback-journal commit
+    /// point. The strategy is the journal-mode knob: DELETE unlinks (plus
+    /// dirsync), TRUNCATE shrinks to zero, PERSIST zeroes the header.
+    fn finalize_journal(&mut self) -> Result<()> {
+        let Some(ino) = self.journal_ino.take() else {
+            return Ok(());
+        };
+        match self.mode {
+            DbJournalMode::RollbackTruncate => {
+                self.fs.borrow_mut().truncate(ino, 0)?;
+                self.fs.borrow_mut().sync_meta(None)?;
+                self.stats.dirsyncs += 1;
+            }
+            DbJournalMode::RollbackPersist => {
+                let zero = vec![0u8; self.page_size];
+                self.fs.borrow_mut().write(ino, 0, &zero, None)?;
+                self.stats.journal_writes += 1;
+                self.fs.borrow_mut().fsync(ino, None)?;
+                self.stats.fsyncs += 1;
+            }
+            _ => {
+                self.fs.borrow_mut().unlink(&self.journal_name())?;
+                self.fs.borrow_mut().sync_meta(None)?;
+                self.stats.dirsyncs += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn encode_journal_header(&self, records: u32) -> Vec<u8> {
+        let mut hdr = vec![0u8; self.page_size];
+        hdr[0..8].copy_from_slice(&RJ_MAGIC.to_le_bytes());
+        hdr[8..12].copy_from_slice(&records.to_le_bytes());
+        hdr[12..16].copy_from_slice(&self.tx_orig_page_count.to_le_bytes());
+        for (i, pgno) in self.journaled.iter().take(records as usize).enumerate() {
+            let off = 16 + i * 4;
+            hdr[off..off + 4].copy_from_slice(&pgno.to_le_bytes());
+        }
+        // Master-journal name in the trailing 256 bytes of the header.
+        if let Some(m) = &self.master_name {
+            let tail = self.page_size - 256;
+            let bytes = m.as_bytes();
+            let len = bytes.len().min(250);
+            hdr[tail..tail + 2].copy_from_slice(&(len as u16).to_le_bytes());
+            hdr[tail + 2..tail + 2 + len].copy_from_slice(&bytes[..len]);
+        }
+        hdr
+    }
+
+    fn decode_master_name(&self, hdr: &[u8]) -> Option<String> {
+        let tail = self.page_size - 256;
+        let len = u16::from_le_bytes(hdr[tail..tail + 2].try_into().expect("2")) as usize;
+        if len == 0 || len > 250 {
+            return None;
+        }
+        Some(String::from_utf8_lossy(&hdr[tail + 2..tail + 2 + len]).into_owned())
+    }
+
+    /// Copies the pre-transaction image of `pgno` into the journal (done
+    /// once per page per transaction, *before* the page is modified).
+    fn journal_original(&mut self, pgno: PageNo) -> Result<()> {
+        if self.journaled_set.contains(&pgno) || pgno >= self.tx_orig_page_count {
+            return Ok(()); // already saved, or the page is new in this tx
+        }
+        let original = match self.cache.get(&pgno) {
+            Some(f) if !f.dirty => f.data.clone(),
+            Some(_) => unreachable!("page journaled after modification"),
+            None => self.read_page_raw(pgno)?,
+        };
+        let ino = self.ensure_journal()?;
+        let slot = self.journaled.len() as u64;
+        let off = (1 + slot) * self.page_size as u64;
+        self.fs.borrow_mut().write(ino, off, &original, None)?;
+        self.stats.journal_writes += 1;
+        self.journaled.push(pgno);
+        self.journaled_set.insert(pgno);
+        Ok(())
+    }
+
+    /// Syncs the journal so far (records + header). Needed before any
+    /// uncommitted page may spill to the DB file, and at commit.
+    fn sync_journal(&mut self) -> Result<()> {
+        let Some(ino) = self.journal_ino else {
+            return Ok(());
+        };
+        // fsync #1: the record pages.
+        self.fs.borrow_mut().fsync(ino, None)?;
+        self.stats.fsyncs += 1;
+        // Header with the final record count, then fsync #2.
+        let hdr = self.encode_journal_header(self.journaled.len() as u32);
+        self.fs.borrow_mut().write(ino, 0, &hdr, None)?;
+        self.stats.journal_writes += 1;
+        self.fs.borrow_mut().fsync(ino, None)?;
+        self.stats.fsyncs += 1;
+        self.journal_synced_records = self.journaled.len() as u32;
+        Ok(())
+    }
+
+    fn commit_rollback_mode(&mut self) -> Result<()> {
+        self.write_header()?;
+        self.sync_journal()?;
+        // Force: write every dirty page to the database file.
+        let mut dirty: Vec<PageNo> = self.dirty_in_tx.iter().copied().collect();
+        dirty.sort_unstable();
+        for pgno in dirty {
+            let data = match self.cache.get_mut(&pgno) {
+                Some(f) => {
+                    f.dirty = false;
+                    f.data.clone()
+                }
+                // Spilled under cache pressure: already written home; the
+                // fsync below makes it durable.
+                None => continue,
+            };
+            self.fs.borrow_mut().write(
+                self.db_ino,
+                pgno as u64 * self.page_size as u64,
+                &data,
+                None,
+            )?;
+            self.stats.db_writes += 1;
+        }
+        self.fs.borrow_mut().fsync(self.db_ino, None)?;
+        self.stats.fsyncs += 1;
+        // Commit point: finalize the journal (delete / truncate / zero
+        // per the mode), durably, so a stale journal can never roll the
+        // transaction back after a crash.
+        self.finalize_journal()?;
+        Ok(())
+    }
+
+    fn rollback_journal_mode(&mut self) -> Result<()> {
+        // Undo spilled pages from the journal, drop cached changes.
+        self.drop_dirty_cache();
+        if let Some(ino) = self.journal_ino {
+            // Only records already synced could have mattered; restoring
+            // all journaled originals is always safe.
+            let records = self.journaled.clone();
+            for (i, pgno) in records.iter().enumerate() {
+                let mut buf = vec![0u8; self.page_size];
+                let off = (1 + i as u64) * self.page_size as u64;
+                self.fs.borrow_mut().read(ino, off, &mut buf, None)?;
+                self.fs.borrow_mut().write(
+                    self.db_ino,
+                    *pgno as u64 * self.page_size as u64,
+                    &buf,
+                    None,
+                )?;
+                self.stats.db_writes += 1;
+            }
+            self.fs.borrow_mut().fsync(self.db_ino, None)?;
+            self.stats.fsyncs += 1;
+            self.journal_ino = Some(ino);
+            self.finalize_journal()?;
+        }
+        Ok(())
+    }
+
+    /// Open-time hot-journal recovery (§6.4: copy originals back, delete
+    /// the journal).
+    fn recover_hot_journal(&mut self) -> Result<()> {
+        let jname = self.journal_name();
+        let Ok(ino) = self.fs.borrow().open(&jname) else {
+            return Ok(());
+        };
+        let mut hdr = vec![0u8; self.page_size];
+        let n = self.fs.borrow_mut().read(ino, 0, &mut hdr, None)?;
+        let valid =
+            n == self.page_size && u64::from_le_bytes(hdr[0..8].try_into().expect("8")) == RJ_MAGIC;
+        if valid {
+            // A journal naming a master is hot only while the master file
+            // exists; a missing master means the group transaction already
+            // committed (the master's deletion is the group commit point).
+            if let Some(master) = self.decode_master_name(&hdr) {
+                if !self.fs.borrow().exists(&master) {
+                    self.fs.borrow_mut().unlink(&jname)?;
+                    self.fs.borrow_mut().sync_meta(None)?;
+                    self.stats.dirsyncs += 1;
+                    return Ok(());
+                }
+            }
+            let records = u32::from_le_bytes(hdr[8..12].try_into().expect("4"));
+            for i in 0..records {
+                let off = 16 + (i as usize) * 4;
+                let pgno = u32::from_le_bytes(hdr[off..off + 4].try_into().expect("4"));
+                let mut buf = vec![0u8; self.page_size];
+                let foff = (1 + i as u64) * self.page_size as u64;
+                self.fs.borrow_mut().read(ino, foff, &mut buf, None)?;
+                self.fs.borrow_mut().write(
+                    self.db_ino,
+                    pgno as u64 * self.page_size as u64,
+                    &buf,
+                    None,
+                )?;
+                self.stats.db_writes += 1;
+            }
+            if records > 0 {
+                self.fs.borrow_mut().fsync(self.db_ino, None)?;
+                self.stats.fsyncs += 1;
+            }
+        }
+        self.journal_ino = Some(ino);
+        self.finalize_journal()?;
+        Ok(())
+    }
+
+    // --- WAL protocol ---------------------------------------------------------
+
+    fn wal_name(&self) -> String {
+        format!("{}-wal", self.name)
+    }
+
+    /// Opens (or creates) the WAL and rebuilds the in-RAM index from the
+    /// committed frames (§6.4's WAL recovery path when the file is found
+    /// after a crash).
+    fn wal_open(&mut self) -> Result<()> {
+        let wname = self.wal_name();
+        let exists = self.fs.borrow().exists(&wname);
+        let ino = if exists {
+            self.fs.borrow().open(&wname)?
+        } else {
+            let ino = self.fs.borrow_mut().create(&wname)?;
+            let mut hdr = vec![0u8; WAL_FRAME_HDR as usize];
+            hdr[0..8].copy_from_slice(&WAL_MAGIC.to_le_bytes());
+            self.fs.borrow_mut().write(ino, 0, &hdr, None)?;
+            ino
+        };
+        self.wal_ino = Some(ino);
+        self.wal_index.clear();
+        self.wal_frames = 0;
+        self.wal_end = WAL_FRAME_HDR;
+        self.wal_last_commit_end = WAL_FRAME_HDR;
+        if !exists {
+            return Ok(());
+        }
+        // Scan committed frames.
+        let size = self.fs.borrow().size(ino)?;
+        let frame_len = WAL_FRAME_HDR + self.page_size as u64;
+        let mut off = WAL_FRAME_HDR;
+        let mut pending: Vec<(PageNo, u64)> = Vec::new();
+        while off + frame_len <= size {
+            let mut fh = vec![0u8; WAL_FRAME_HDR as usize];
+            self.fs.borrow_mut().read(ino, off, &mut fh, None)?;
+            let pgno = u32::from_le_bytes(fh[0..4].try_into().expect("4"));
+            let commit_size = u32::from_le_bytes(fh[4..8].try_into().expect("4"));
+            let magic_ok = u64::from_le_bytes(fh[8..16].try_into().expect("8")) == WAL_MAGIC;
+            if !magic_ok {
+                break;
+            }
+            pending.push((pgno, off + WAL_FRAME_HDR));
+            self.wal_frames += 1;
+            off += frame_len;
+            if commit_size != 0 {
+                // Commit frame: everything pending becomes visible.
+                for (p, o) in pending.drain(..) {
+                    self.wal_index.insert(p, o);
+                }
+                self.page_count = self.page_count.max(commit_size);
+                self.wal_end = off;
+                self.wal_last_commit_end = off;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one frame; returns the payload offset.
+    fn wal_append_frame(&mut self, pgno: PageNo, data: &[u8], commit_size: u32) -> Result<u64> {
+        let ino = self.wal_ino.expect("WAL open in Wal mode");
+        let mut frame = Vec::with_capacity(WAL_FRAME_HDR as usize + data.len());
+        let mut fh = vec![0u8; WAL_FRAME_HDR as usize];
+        fh[0..4].copy_from_slice(&pgno.to_le_bytes());
+        fh[4..8].copy_from_slice(&commit_size.to_le_bytes());
+        fh[8..16].copy_from_slice(&WAL_MAGIC.to_le_bytes());
+        frame.extend_from_slice(&fh);
+        frame.extend_from_slice(data);
+        let off = self.wal_end;
+        self.fs.borrow_mut().write(ino, off, &frame, None)?;
+        // Page-equivalents: a frame is a bit more than one page.
+        self.stats.journal_writes += 1;
+        self.wal_end = off + frame.len() as u64;
+        self.wal_frames += 1;
+        Ok(off + WAL_FRAME_HDR)
+    }
+
+    fn commit_wal_mode(&mut self) -> Result<()> {
+        self.write_header()?;
+        let mut dirty: Vec<PageNo> = self.dirty_in_tx.iter().copied().collect();
+        dirty.sort_unstable();
+        let last = dirty.len().saturating_sub(1);
+        for (i, pgno) in dirty.iter().enumerate() {
+            // A spilled page already has an (uncommitted) frame; re-read it
+            // so the final, commit-flagged frame sequence stays intact.
+            let data = match self.cache.get_mut(pgno) {
+                Some(f) => {
+                    f.dirty = false;
+                    f.data.clone()
+                }
+                None => self.read_page_raw(*pgno)?,
+            };
+            let commit_size = if i == last { self.page_count } else { 0 };
+            let off = self.wal_append_frame(*pgno, &data, commit_size)?;
+            self.wal_index.insert(*pgno, off);
+        }
+        let ino = self.wal_ino.expect("WAL open");
+        self.fs.borrow_mut().fsync(ino, None)?;
+        self.stats.fsyncs += 1;
+        self.wal_last_commit_end = self.wal_end;
+        if self.wal_frames >= self.wal_autocheckpoint {
+            self.wal_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Copies the newest version of every WAL-resident page into the
+    /// database file and resets the log (SQLite's checkpoint).
+    pub fn wal_checkpoint(&mut self) -> Result<()> {
+        if self.wal_index.is_empty() {
+            return Ok(());
+        }
+        self.stats.checkpoints += 1;
+        let mut entries: Vec<(PageNo, u64)> =
+            self.wal_index.iter().map(|(&p, &o)| (p, o)).collect();
+        entries.sort_unstable();
+        let ino = self.wal_ino.expect("WAL open");
+        for (pgno, off) in entries {
+            let mut buf = vec![0u8; self.page_size];
+            self.fs.borrow_mut().read(ino, off, &mut buf, None)?;
+            self.fs.borrow_mut().write(
+                self.db_ino,
+                pgno as u64 * self.page_size as u64,
+                &buf,
+                None,
+            )?;
+            self.stats.db_writes += 1;
+        }
+        self.fs.borrow_mut().fsync(self.db_ino, None)?;
+        self.stats.fsyncs += 1;
+        self.fs.borrow_mut().truncate(ino, WAL_FRAME_HDR)?;
+        self.wal_index.clear();
+        self.wal_frames = 0;
+        self.wal_end = WAL_FRAME_HDR;
+        self.wal_last_commit_end = WAL_FRAME_HDR;
+        Ok(())
+    }
+
+    // --- Off (X-FTL) protocol ---------------------------------------------------
+
+    fn commit_off_mode(&mut self) -> Result<()> {
+        self.write_header()?;
+        let tid = self.tid.expect("Off-mode tx has a tid");
+        let mut dirty: Vec<PageNo> = self.dirty_in_tx.iter().copied().collect();
+        dirty.sort_unstable();
+        for pgno in dirty {
+            let data = match self.cache.get_mut(&pgno) {
+                Some(f) => {
+                    f.dirty = false;
+                    f.data.clone()
+                }
+                // Spilled: already stolen to the device under this tid.
+                None => continue,
+            };
+            self.fs.borrow_mut().write(
+                self.db_ino,
+                pgno as u64 * self.page_size as u64,
+                &data,
+                Some(tid),
+            )?;
+            self.stats.db_writes += 1;
+        }
+        // Single fsync: force-write plus device commit (§4.3).
+        self.fs.borrow_mut().fsync(self.db_ino, Some(tid))?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    // --- multi-file transactions (§4.3) ---------------------------------------
+
+    /// Name of this database's rollback journal file.
+    pub fn journal_file_name(&self) -> String {
+        self.journal_name()
+    }
+
+    /// Journal mode of this pager.
+    pub fn mode(&self) -> DbJournalMode {
+        self.mode
+    }
+
+    /// The device transaction id of the open transaction (Off mode).
+    pub fn current_tid(&self) -> Option<Tid> {
+        self.tid
+    }
+
+    /// Begins a transaction that shares `tid` with other databases on the
+    /// same file system (`Off` mode only): all of their updates commit
+    /// atomically with one device `commit(tid)`.
+    pub fn begin_with_tid(&mut self, tid: Tid) -> Result<()> {
+        if self.mode != DbJournalMode::Off {
+            return Err(DbError::TxState("shared-tid transactions need Off mode"));
+        }
+        if self.in_tx {
+            return Err(DbError::TxState("transaction already active"));
+        }
+        self.in_tx = true;
+        self.tx_orig_page_count = self.page_count;
+        self.tid = Some(tid);
+        Ok(())
+    }
+
+    /// Multi-file commit, `Off` mode: flushes this database's pages under
+    /// the shared tid without the device commit (the coordinator issues it
+    /// once for the whole group).
+    pub fn commit_off_deferred(&mut self) -> Result<()> {
+        if !self.in_tx {
+            return Err(DbError::TxState("no transaction active"));
+        }
+        let tid = self.tid.expect("Off-mode tx has a tid");
+        self.write_header()?;
+        let mut dirty: Vec<PageNo> = self.dirty_in_tx.iter().copied().collect();
+        dirty.sort_unstable();
+        for pgno in dirty {
+            let data = match self.cache.get_mut(&pgno) {
+                Some(f) => {
+                    f.dirty = false;
+                    f.data.clone()
+                }
+                None => continue, // spilled: already on the device under tid
+            };
+            self.fs.borrow_mut().write(
+                self.db_ino,
+                pgno as u64 * self.page_size as u64,
+                &data,
+                Some(tid),
+            )?;
+            self.stats.db_writes += 1;
+        }
+        self.fs.borrow_mut().fsync_defer_commit(self.db_ino, tid)?;
+        self.stats.fsyncs += 1;
+        self.end_tx();
+        Ok(())
+    }
+
+    /// Multi-file commit, rollback mode, phase 1: records the master
+    /// journal name in this database's journal header, syncs the journal,
+    /// and force-writes the database pages — but keeps the journal, so the
+    /// transaction stays revocable until the master is deleted.
+    pub fn master_commit_prepare(&mut self, master: &str) -> Result<()> {
+        if !self.mode.is_rollback() {
+            return Err(DbError::TxState("master journals need rollback mode"));
+        }
+        if !self.in_tx {
+            return Err(DbError::TxState("no transaction active"));
+        }
+        self.write_header()?;
+        if self.dirty_in_tx.is_empty() && self.journal_ino.is_none() {
+            return Ok(()); // read-only participant
+        }
+        self.ensure_journal()?;
+        self.master_name = Some(master.to_string());
+        self.sync_journal()?;
+        let mut dirty: Vec<PageNo> = self.dirty_in_tx.iter().copied().collect();
+        dirty.sort_unstable();
+        for pgno in dirty {
+            let data = match self.cache.get_mut(&pgno) {
+                Some(f) => {
+                    f.dirty = false;
+                    f.data.clone()
+                }
+                None => continue,
+            };
+            self.fs.borrow_mut().write(
+                self.db_ino,
+                pgno as u64 * self.page_size as u64,
+                &data,
+                None,
+            )?;
+            self.stats.db_writes += 1;
+        }
+        self.fs.borrow_mut().fsync(self.db_ino, None)?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Multi-file commit, rollback mode, phase 2 (after the master journal
+    /// has been deleted): removes this database's journal and ends the
+    /// transaction.
+    pub fn master_commit_cleanup(&mut self) -> Result<()> {
+        if let Some(_ino) = self.journal_ino.take() {
+            self.fs.borrow_mut().unlink(&self.journal_name())?;
+            self.fs.borrow_mut().sync_meta(None)?;
+            self.stats.dirsyncs += 1;
+        }
+        self.end_tx();
+        Ok(())
+    }
+
+    // --- page access ---------------------------------------------------------
+
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Reads a page bypassing the pager cache (recovery paths).
+    fn read_page_raw(&mut self, pgno: PageNo) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; self.page_size];
+        self.stats.reads += 1;
+        if self.mode == DbJournalMode::Wal {
+            if let Some(&off) = self.wal_index.get(&pgno) {
+                let ino = self.wal_ino.expect("WAL open");
+                self.fs.borrow_mut().read(ino, off, &mut buf, None)?;
+                return Ok(buf);
+            }
+        }
+        let tid = self.tid;
+        self.fs.borrow_mut().read(
+            self.db_ino,
+            pgno as u64 * self.page_size as u64,
+            &mut buf,
+            tid,
+        )?;
+        Ok(buf)
+    }
+
+    /// Returns a copy of page `pgno`.
+    pub fn page(&mut self, pgno: PageNo) -> Result<Vec<u8>> {
+        if let Some(f) = self.cache.get_mut(&pgno) {
+            f.tick = self.tick + 1;
+            self.tick += 1;
+            return Ok(f.data.clone());
+        }
+        let data = self.read_page_raw(pgno)?;
+        let tick = self.touch();
+        self.cache.insert(
+            pgno,
+            Frame {
+                data: data.clone(),
+                dirty: false,
+                tick,
+            },
+        );
+        self.evict_if_needed()?;
+        Ok(data)
+    }
+
+    /// Writes page `pgno` (transaction required). In rollback mode the
+    /// original is journaled first.
+    pub fn put(&mut self, pgno: PageNo, data: Vec<u8>) -> Result<()> {
+        assert_eq!(data.len(), self.page_size, "whole pages only");
+        if !self.in_tx {
+            return Err(DbError::TxState("page write outside a transaction"));
+        }
+        if self.mode.is_rollback() && !self.dirty_in_tx.contains(&pgno) {
+            self.journal_original(pgno)?;
+        }
+        let tick = self.touch();
+        self.cache.insert(
+            pgno,
+            Frame {
+                data,
+                dirty: true,
+                tick,
+            },
+        );
+        self.dirty_in_tx.insert(pgno);
+        self.evict_if_needed()?;
+        Ok(())
+    }
+
+    /// Allocates a page (freelist first, then file growth).
+    pub fn alloc_page(&mut self) -> Result<PageNo> {
+        if self.freelist_head != 0 {
+            let pgno = self.freelist_head;
+            let page = self.page(pgno)?;
+            self.freelist_head = u32::from_le_bytes(page[0..4].try_into().expect("4"));
+            self.write_header()?;
+            return Ok(pgno);
+        }
+        let pgno = self.page_count;
+        self.page_count += 1;
+        self.write_header()?;
+        // Materialize the new page so reads within the tx see zeros.
+        self.put(pgno, vec![0u8; self.page_size])?;
+        Ok(pgno)
+    }
+
+    /// Returns a page to the freelist.
+    pub fn free_page(&mut self, pgno: PageNo) -> Result<()> {
+        let mut page = vec![0u8; self.page_size];
+        page[0..4].copy_from_slice(&self.freelist_head.to_le_bytes());
+        self.put(pgno, page)?;
+        self.freelist_head = pgno;
+        self.write_header()
+    }
+
+    /// Number of pages in the database file.
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    fn evict_if_needed(&mut self) -> Result<()> {
+        while self.cache.len() > self.cache_cap {
+            // Prefer clean victims.
+            let victim = self
+                .cache
+                .iter()
+                .filter(|(_, f)| !f.dirty)
+                .min_by_key(|(_, f)| f.tick)
+                .map(|(&p, _)| p)
+                .or_else(|| {
+                    self.cache
+                        .iter()
+                        .min_by_key(|(_, f)| f.tick)
+                        .map(|(&p, _)| p)
+                });
+            let Some(pgno) = victim else { break };
+            let frame = self.cache.remove(&pgno).expect("victim exists");
+            if !frame.dirty {
+                continue;
+            }
+            // Steal: spill an uncommitted page.
+            self.stats.spills += 1;
+            match self.mode {
+                m if m.is_rollback() => {
+                    // The original must be durably journaled before the DB
+                    // file may be overwritten.
+                    if (self.journal_synced_records as usize) < self.journaled.len() {
+                        self.sync_journal()?;
+                    }
+                    self.fs.borrow_mut().write(
+                        self.db_ino,
+                        pgno as u64 * self.page_size as u64,
+                        &frame.data,
+                        None,
+                    )?;
+                    self.stats.db_writes += 1;
+                }
+                DbJournalMode::Wal => {
+                    let off = self.wal_append_frame(pgno, &frame.data, 0)?;
+                    let prev = self.wal_index.insert(pgno, off);
+                    self.tx_frames.push((pgno, prev));
+                }
+                _ => {
+                    let tid = self.tid.expect("Off-mode tx has a tid");
+                    self.fs.borrow_mut().write(
+                        self.db_ino,
+                        pgno as u64 * self.page_size as u64,
+                        &frame.data,
+                        Some(tid),
+                    )?;
+                    self.stats.db_writes += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shrinks the pager cache (tests exercise the steal path with this).
+    pub fn set_cache_capacity(&mut self, pages: usize) {
+        self.cache_cap = pages.max(4);
+    }
+}

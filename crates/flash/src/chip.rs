@@ -1,0 +1,619 @@
+//! The simulated NAND array.
+//!
+//! [`FlashChip`] models the raw medium the FTL programs against. It enforces
+//! the datasheet constraints that make flash management hard — erase before
+//! program, whole-block erases, in-order programming within a block — and
+//! charges realistic latencies to the shared [`SimClock`]. Flash contents
+//! survive a simulated power loss; everything above this layer (mapping
+//! tables, caches) does not.
+
+use crate::clock::SimClock;
+use crate::config::FlashConfig;
+use crate::error::{FlashError, Result};
+use crate::stats::FlashStats;
+use std::fmt;
+
+/// Physical page address: (block, page-within-block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ppa {
+    /// Erase-block index.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl Ppa {
+    /// Creates a physical page address.
+    pub fn new(block: u32, page: u32) -> Self {
+        Ppa { block, page }
+    }
+
+    /// Linear index of this address in the given geometry.
+    pub fn linear(&self, pages_per_block: usize) -> u64 {
+        self.block as u64 * pages_per_block as u64 + self.page as u64
+    }
+
+    /// Inverse of [`Ppa::linear`].
+    pub fn from_linear(linear: u64, pages_per_block: usize) -> Self {
+        Ppa {
+            block: (linear / pages_per_block as u64) as u32,
+            page: (linear % pages_per_block as u64) as u32,
+        }
+    }
+}
+
+impl fmt::Display for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.block, self.page)
+    }
+}
+
+/// What a programmed page holds, from the FTL's point of view. Stored in the
+/// out-of-band (spare) area so that crash recovery can rebuild mapping state
+/// by scanning the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// Host data page; `lpn` is its logical page number.
+    Data,
+    /// A persisted slab of the L2P mapping table; `lpn` is the map-page index.
+    Map,
+    /// FTL meta/checkpoint root block page.
+    Meta,
+    /// A persisted copy of the X-L2P transactional table.
+    XL2p,
+    /// Commit record of the per-call atomic-write baseline FTL (Park et
+    /// al. \[18\] in the paper's related work).
+    Commit,
+}
+
+/// Out-of-band metadata programmed atomically with each page.
+///
+/// Real NAND provides a spare area per page (64 bytes in the modelled chip);
+/// we represent the fields the FTL needs as a typed struct. `seq` is a
+/// device-global monotone program counter used to order pages during
+/// recovery scans, exactly as log-structured FTLs do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Oob {
+    /// Logical page number (or table-specific index for Map/Meta/XL2p pages).
+    pub lpn: u64,
+    /// Device-global program sequence number.
+    pub seq: u64,
+    /// Transaction id that wrote this page; 0 for non-transactional writes.
+    pub tid: u64,
+    /// Role of the page.
+    pub kind: PageKind,
+    /// FTL-specific auxiliary word (e.g. TxFlash's cyclic-commit link:
+    /// position within the transaction plus the cycle-closing flag).
+    pub aux: u32,
+}
+
+impl Oob {
+    /// OOB for an ordinary non-transactional data page.
+    pub fn data(lpn: u64) -> Self {
+        Oob {
+            lpn,
+            seq: 0,
+            tid: 0,
+            kind: PageKind::Data,
+            aux: 0,
+        }
+    }
+}
+
+/// State of one physical page.
+#[derive(Debug, Clone)]
+enum Page {
+    Erased,
+    Programmed {
+        data: Box<[u8]>,
+        oob: Oob,
+    },
+    /// Power was lost mid-program; contents are garbage and the embedded
+    /// checksum fails. Reads return [`FlashError::TornPage`].
+    Torn,
+}
+
+/// One erase block.
+#[derive(Debug, Clone)]
+struct Block {
+    pages: Vec<Page>,
+    /// Index of the next page that may legally be programmed.
+    write_point: u32,
+    erase_count: u64,
+}
+
+impl Block {
+    fn new(pages_per_block: usize) -> Self {
+        Block {
+            pages: vec![Page::Erased; pages_per_block],
+            write_point: 0,
+            erase_count: 0,
+        }
+    }
+}
+
+/// Outcome of probing a page during a recovery scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageProbe {
+    /// Never programmed since the last erase.
+    Erased,
+    /// Programmed; OOB metadata attached.
+    Programmed(Oob),
+    /// Interrupted program; must be treated as invalid.
+    Torn,
+}
+
+/// The simulated NAND array.
+///
+/// All operations advance the shared clock by their modelled cost and update
+/// [`FlashStats`] counters. A `FlashChip` survives power loss: the owning
+/// device is dropped and a new one is built around the same chip via the
+/// FTL's recovery path.
+#[derive(Debug, Clone)]
+pub struct FlashChip {
+    config: FlashConfig,
+    blocks: Vec<Block>,
+    seq: u64,
+    clock: SimClock,
+    stats: FlashStats,
+    /// Remaining program/erase operations before a simulated power loss.
+    fuse: Option<u64>,
+    /// Set once the fuse fires; all operations fail until `rearm` is called
+    /// by the recovery path.
+    dead: bool,
+}
+
+impl FlashChip {
+    /// Creates a fully erased array with the given configuration, charging
+    /// time to `clock`.
+    pub fn new(config: FlashConfig, clock: SimClock) -> Self {
+        let blocks = (0..config.geometry.blocks)
+            .map(|_| Block::new(config.geometry.pages_per_block))
+            .collect();
+        FlashChip {
+            config,
+            blocks,
+            seq: 1,
+            clock,
+            stats: FlashStats::default(),
+            fuse: None,
+            dead: false,
+        }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &FlashConfig {
+        &self.config
+    }
+
+    /// Shared clock handle.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    /// Resets operation counters (the clock is unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats = FlashStats::default();
+    }
+
+    /// Next value the global program sequence counter will take.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.dead {
+            Err(FlashError::PowerLost)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_range(&self, ppa: Ppa) -> Result<()> {
+        if (ppa.block as usize) < self.config.geometry.blocks
+            && (ppa.page as usize) < self.config.geometry.pages_per_block
+        {
+            Ok(())
+        } else {
+            Err(FlashError::OutOfRange(ppa))
+        }
+    }
+
+    /// Decrements the power fuse; returns true if it fires on this op.
+    fn fuse_fires(&mut self) -> bool {
+        match &mut self.fuse {
+            Some(0) | None => false,
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    self.dead = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Arms a power-loss fuse: after `ops` more program/erase operations the
+    /// device dies, tearing the in-flight program. Used by failure-injection
+    /// tests. `ops` must be at least 1.
+    pub fn arm_power_fuse(&mut self, ops: u64) {
+        assert!(ops >= 1, "fuse must allow at least one operation");
+        self.fuse = Some(ops);
+    }
+
+    /// Disarms any pending power fuse.
+    pub fn disarm_power_fuse(&mut self) {
+        self.fuse = None;
+    }
+
+    /// Brings a dead chip back online after a simulated power cycle. Torn
+    /// pages stay torn; programmed data is retained; the fuse is cleared.
+    pub fn power_cycle(&mut self) {
+        self.dead = false;
+        self.fuse = None;
+    }
+
+    /// True if the power fuse has fired and the chip is offline.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Reads a full page into `buf`, returning its OOB metadata.
+    pub fn read(&mut self, ppa: Ppa, buf: &mut [u8]) -> Result<Oob> {
+        self.check_alive()?;
+        self.check_range(ppa)?;
+        let page_size = self.config.geometry.page_size;
+        if buf.len() != page_size {
+            return Err(FlashError::BadBufferSize {
+                expected: page_size,
+                got: buf.len(),
+            });
+        }
+        let t = &self.config.timings;
+        let cost = t.cmd_overhead_ns
+            + t.scaled(t.read_ns)
+            + t.scaled(page_size as u64 * t.channel_ns_per_byte);
+        self.clock.advance(cost);
+        self.stats.reads += 1;
+        self.stats.busy_read_ns += cost;
+        match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
+            Page::Erased => Err(FlashError::ReadErased(ppa)),
+            Page::Torn => Err(FlashError::TornPage(ppa)),
+            Page::Programmed { data, oob } => {
+                buf.copy_from_slice(data);
+                Ok(*oob)
+            }
+        }
+    }
+
+    /// Reads only the OOB metadata of a page (cheap; used by recovery scans
+    /// and GC validity checks).
+    pub fn probe(&mut self, ppa: Ppa) -> Result<PageProbe> {
+        self.check_alive()?;
+        self.check_range(ppa)?;
+        let t = &self.config.timings;
+        // OOB-only read: command overhead plus transfer of the spare area.
+        let cost = t.cmd_overhead_ns / 4
+            + t.scaled(t.read_ns / 8)
+            + t.scaled(self.config.geometry.oob_bytes as u64 * t.channel_ns_per_byte);
+        self.clock.advance(cost);
+        self.stats.oob_reads += 1;
+        self.stats.busy_read_ns += cost;
+        Ok(
+            match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
+                Page::Erased => PageProbe::Erased,
+                Page::Torn => PageProbe::Torn,
+                Page::Programmed { oob, .. } => PageProbe::Programmed(*oob),
+            },
+        )
+    }
+
+    /// Programs a page. Fails if the page is not erased or is not the next
+    /// in-order page of its block. On success the OOB is stamped with the
+    /// next global sequence number, which is returned inside the final OOB.
+    pub fn program(&mut self, ppa: Ppa, data: &[u8], mut oob: Oob) -> Result<Oob> {
+        self.check_alive()?;
+        self.check_range(ppa)?;
+        let page_size = self.config.geometry.page_size;
+        if data.len() != page_size {
+            return Err(FlashError::BadBufferSize {
+                expected: page_size,
+                got: data.len(),
+            });
+        }
+        let block = &self.blocks[ppa.block as usize];
+        match &block.pages[ppa.page as usize] {
+            Page::Erased => {}
+            _ => return Err(FlashError::ProgramOverwrite(ppa)),
+        }
+        if ppa.page != block.write_point {
+            return Err(FlashError::ProgramOutOfOrder {
+                ppa,
+                expected_page: block.write_point,
+            });
+        }
+        let t = &self.config.timings;
+        let cost = t.cmd_overhead_ns
+            + t.scaled(page_size as u64 * t.channel_ns_per_byte)
+            + t.scaled(t.program_ns);
+        self.clock.advance(cost);
+        self.stats.programs += 1;
+        self.stats.busy_program_ns += cost;
+
+        if self.fuse.is_some() {
+            let fires = match &mut self.fuse {
+                Some(n) => {
+                    *n -= 1;
+                    *n == 0
+                }
+                None => false,
+            };
+            if fires {
+                self.dead = true;
+                let block = &mut self.blocks[ppa.block as usize];
+                block.pages[ppa.page as usize] = Page::Torn;
+                block.write_point = ppa.page + 1;
+                self.stats.torn_pages += 1;
+                return Err(FlashError::PowerLost);
+            }
+        }
+        oob.seq = self.seq;
+        self.seq += 1;
+        let block = &mut self.blocks[ppa.block as usize];
+        block.pages[ppa.page as usize] = Page::Programmed {
+            data: data.into(),
+            oob,
+        };
+        block.write_point = ppa.page + 1;
+        Ok(oob)
+    }
+
+    /// Erases a whole block, returning all its pages to the erased state.
+    pub fn erase(&mut self, block: u32) -> Result<()> {
+        self.check_alive()?;
+        self.check_range(Ppa::new(block, 0))?;
+        if self.fuse_fires() {
+            // Erase is modelled as atomic: power loss before it takes effect.
+            return Err(FlashError::PowerLost);
+        }
+        let t = &self.config.timings;
+        let cost = t.cmd_overhead_ns + t.scaled(t.erase_ns);
+        self.clock.advance(cost);
+        self.stats.erases += 1;
+        self.stats.busy_erase_ns += cost;
+        let b = &mut self.blocks[block as usize];
+        for p in &mut b.pages {
+            *p = Page::Erased;
+        }
+        b.write_point = 0;
+        b.erase_count += 1;
+        Ok(())
+    }
+
+    /// Next in-order programmable page index of `block`, or `None` if full.
+    pub fn write_point(&self, block: u32) -> Option<u32> {
+        let b = &self.blocks[block as usize];
+        if (b.write_point as usize) < self.config.geometry.pages_per_block {
+            Some(b.write_point)
+        } else {
+            None
+        }
+    }
+
+    /// Lifetime erase count of `block` (for wear statistics).
+    pub fn erase_count(&self, block: u32) -> u64 {
+        self.blocks[block as usize].erase_count
+    }
+
+    /// True if the page has never been programmed since its last erase.
+    pub fn is_erased(&self, ppa: Ppa) -> bool {
+        matches!(
+            self.blocks[ppa.block as usize].pages[ppa.page as usize],
+            Page::Erased
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> FlashChip {
+        FlashChip::new(FlashConfig::tiny(4), SimClock::new())
+    }
+
+    fn page(chip: &FlashChip, byte: u8) -> Vec<u8> {
+        vec![byte; chip.config().geometry.page_size]
+    }
+
+    #[test]
+    fn program_then_read_roundtrip() {
+        let mut c = chip();
+        let data = page(&c, 0xAB);
+        let oob = c.program(Ppa::new(0, 0), &data, Oob::data(42)).unwrap();
+        assert_eq!(oob.lpn, 42);
+        assert_eq!(oob.seq, 1);
+        let mut buf = page(&c, 0);
+        let read_oob = c.read(Ppa::new(0, 0), &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(read_oob, oob);
+    }
+
+    #[test]
+    fn read_of_erased_page_fails() {
+        let mut c = chip();
+        let mut buf = page(&c, 0);
+        assert_eq!(
+            c.read(Ppa::new(1, 0), &mut buf),
+            Err(FlashError::ReadErased(Ppa::new(1, 0)))
+        );
+    }
+
+    #[test]
+    fn overwrite_rejected() {
+        let mut c = chip();
+        let data = page(&c, 1);
+        c.program(Ppa::new(0, 0), &data, Oob::data(1)).unwrap();
+        c.program(Ppa::new(0, 1), &data, Oob::data(2)).unwrap();
+        assert_eq!(
+            c.program(Ppa::new(0, 0), &data, Oob::data(3)),
+            Err(FlashError::ProgramOverwrite(Ppa::new(0, 0)))
+        );
+    }
+
+    #[test]
+    fn out_of_order_program_rejected() {
+        let mut c = chip();
+        let data = page(&c, 1);
+        assert_eq!(
+            c.program(Ppa::new(0, 3), &data, Oob::data(1)),
+            Err(FlashError::ProgramOutOfOrder {
+                ppa: Ppa::new(0, 3),
+                expected_page: 0
+            })
+        );
+    }
+
+    #[test]
+    fn erase_resets_block() {
+        let mut c = chip();
+        let data = page(&c, 9);
+        for i in 0..8 {
+            c.program(Ppa::new(2, i), &data, Oob::data(i as u64))
+                .unwrap();
+        }
+        assert_eq!(c.write_point(2), None);
+        c.erase(2).unwrap();
+        assert_eq!(c.write_point(2), Some(0));
+        assert_eq!(c.erase_count(2), 1);
+        assert!(c.is_erased(Ppa::new(2, 5)));
+        // Programmable again from page 0.
+        c.program(Ppa::new(2, 0), &data, Oob::data(7)).unwrap();
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone() {
+        let mut c = chip();
+        let data = page(&c, 3);
+        let a = c.program(Ppa::new(0, 0), &data, Oob::data(1)).unwrap();
+        let b = c.program(Ppa::new(1, 0), &data, Oob::data(2)).unwrap();
+        assert!(b.seq > a.seq);
+    }
+
+    #[test]
+    fn clock_advances_with_operations() {
+        let mut c = chip();
+        let t0 = c.clock().now();
+        let data = page(&c, 3);
+        c.program(Ppa::new(0, 0), &data, Oob::data(1)).unwrap();
+        let t1 = c.clock().now();
+        assert!(t1 > t0);
+        let mut buf = page(&c, 0);
+        c.read(Ppa::new(0, 0), &mut buf).unwrap();
+        assert!(c.clock().now() > t1);
+    }
+
+    #[test]
+    fn program_costs_more_than_read() {
+        let mut c = chip();
+        let data = page(&c, 3);
+        let t0 = c.clock().now();
+        c.program(Ppa::new(0, 0), &data, Oob::data(1)).unwrap();
+        let prog_cost = c.clock().now() - t0;
+        let mut buf = page(&c, 0);
+        let t1 = c.clock().now();
+        c.read(Ppa::new(0, 0), &mut buf).unwrap();
+        let read_cost = c.clock().now() - t1;
+        assert!(prog_cost > read_cost);
+    }
+
+    #[test]
+    fn probe_reports_states() {
+        let mut c = chip();
+        assert_eq!(c.probe(Ppa::new(0, 0)).unwrap(), PageProbe::Erased);
+        let data = page(&c, 3);
+        let oob = c.program(Ppa::new(0, 0), &data, Oob::data(5)).unwrap();
+        assert_eq!(c.probe(Ppa::new(0, 0)).unwrap(), PageProbe::Programmed(oob));
+    }
+
+    #[test]
+    fn power_fuse_tears_inflight_program() {
+        let mut c = chip();
+        let data = page(&c, 3);
+        c.program(Ppa::new(0, 0), &data, Oob::data(1)).unwrap();
+        c.arm_power_fuse(1);
+        assert_eq!(
+            c.program(Ppa::new(0, 1), &data, Oob::data(2)),
+            Err(FlashError::PowerLost)
+        );
+        assert!(c.is_dead());
+        // Everything fails until power-cycled.
+        let mut buf = page(&c, 0);
+        assert_eq!(c.read(Ppa::new(0, 0), &mut buf), Err(FlashError::PowerLost));
+        c.power_cycle();
+        // Survivor page intact, torn page detectable.
+        assert!(c.read(Ppa::new(0, 0), &mut buf).is_ok());
+        assert_eq!(c.probe(Ppa::new(0, 1)).unwrap(), PageProbe::Torn);
+        assert_eq!(
+            c.read(Ppa::new(0, 1), &mut buf),
+            Err(FlashError::TornPage(Ppa::new(0, 1)))
+        );
+        // Write point moved past the torn page: block still usable in order.
+        assert_eq!(c.write_point(0), Some(2));
+        c.program(Ppa::new(0, 2), &data, Oob::data(3)).unwrap();
+    }
+
+    #[test]
+    fn fuse_counts_down_across_ops() {
+        let mut c = chip();
+        let data = page(&c, 3);
+        c.arm_power_fuse(3);
+        c.program(Ppa::new(0, 0), &data, Oob::data(1)).unwrap();
+        c.program(Ppa::new(0, 1), &data, Oob::data(2)).unwrap();
+        assert_eq!(
+            c.program(Ppa::new(0, 2), &data, Oob::data(3)),
+            Err(FlashError::PowerLost)
+        );
+    }
+
+    #[test]
+    fn bad_buffer_size_rejected() {
+        let mut c = chip();
+        assert!(matches!(
+            c.program(Ppa::new(0, 0), &[0u8; 3], Oob::data(1)),
+            Err(FlashError::BadBufferSize { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut c = chip();
+        let data = page(&c, 3);
+        c.program(Ppa::new(0, 0), &data, Oob::data(1)).unwrap();
+        let mut buf = page(&c, 0);
+        c.read(Ppa::new(0, 0), &mut buf).unwrap();
+        c.erase(1).unwrap();
+        c.probe(Ppa::new(0, 0)).unwrap();
+        let s = c.stats();
+        assert_eq!(s.programs, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.erases, 1);
+        assert_eq!(s.oob_reads, 1);
+        assert!(s.busy_program_ns > 0 && s.busy_read_ns > 0 && s.busy_erase_ns > 0);
+    }
+
+    #[test]
+    fn linear_ppa_roundtrip() {
+        let ppa = Ppa::new(3, 5);
+        let lin = ppa.linear(8);
+        assert_eq!(lin, 29);
+        assert_eq!(Ppa::from_linear(lin, 8), ppa);
+    }
+}

@@ -1,0 +1,177 @@
+//! Flash geometry and timing configuration.
+//!
+//! The defaults model the paper's testbed: an OpenSSD development board with
+//! Samsung K9LCG08U1M MLC NAND (8 KB pages, 128 pages per block) behind an
+//! Indilinx Barefoot controller on SATA 2.0. A second profile models the
+//! one-generation-newer Samsung S830 consumer SSD used in Figure 9.
+
+use crate::clock::{Nanos, MICRO};
+
+/// Per-operation NAND latencies plus controller/interface costs.
+///
+/// These are *model parameters*, not claims about the exact silicon: the
+/// reproduction validates relative shapes (who wins, by what factor), so the
+/// values only need to sit in the right regime (MLC program ≫ read ≫ bus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashTimings {
+    /// Array-to-register read time (tR).
+    pub read_ns: Nanos,
+    /// Register-to-array program time (tPROG).
+    pub program_ns: Nanos,
+    /// Block erase time (tBERS).
+    pub erase_ns: Nanos,
+    /// Flash channel transfer cost per byte (register <-> controller DRAM).
+    pub channel_ns_per_byte: Nanos,
+    /// Fixed firmware/controller overhead charged per flash command.
+    pub cmd_overhead_ns: Nanos,
+    /// Degree of internal parallelism (channels x ways). Latencies for bulk
+    /// operations are divided by this factor to model a multi-channel
+    /// controller; the OpenSSD firmware in the paper drives chips mostly
+    /// serially, so its factor is 1.
+    pub parallelism: u32,
+}
+
+impl FlashTimings {
+    /// MLC-class timings matching the OpenSSD/Barefoot era.
+    pub const OPENSSD: FlashTimings = FlashTimings {
+        read_ns: 150 * MICRO,
+        program_ns: 900 * MICRO,
+        erase_ns: 2_600 * MICRO,
+        channel_ns_per_byte: 25,      // ~40 MB/s flash channel
+        cmd_overhead_ns: 120 * MICRO, // 87.5 MHz ARM firmware path
+        parallelism: 1,
+    };
+
+    /// A one-generation-newer consumer SSD (Samsung S830 in the paper):
+    /// faster NAND and channels, some parallelism, leaner firmware — about
+    /// 2-3x the OpenSSD on small random writes, matching the Figure 9 gap.
+    pub const S830: FlashTimings = FlashTimings {
+        read_ns: 60 * MICRO,
+        program_ns: 700 * MICRO,
+        erase_ns: 2_200 * MICRO,
+        channel_ns_per_byte: 8, // ~125 MB/s flash channel
+        cmd_overhead_ns: 45 * MICRO,
+        parallelism: 2,
+    };
+
+    /// Effective latency of one bulk operation after applying parallelism.
+    pub fn scaled(&self, raw: Nanos) -> Nanos {
+        raw / self.parallelism.max(1) as u64
+    }
+}
+
+/// Physical layout of the simulated NAND array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashGeometry {
+    /// Bytes per flash page (paper: 8 KB).
+    pub page_size: usize,
+    /// Pages per erase block (paper: 128).
+    pub pages_per_block: usize,
+    /// Total erase blocks in the array.
+    pub blocks: usize,
+    /// Bytes of out-of-band (spare) area per page available for FTL
+    /// metadata; modelled as a typed struct rather than raw bytes.
+    pub oob_bytes: usize,
+}
+
+impl FlashGeometry {
+    /// The paper's chip: 8 KB pages, 128 pages/block. Block count is chosen
+    /// by the caller to size the drive.
+    pub fn openssd(blocks: usize) -> Self {
+        FlashGeometry {
+            page_size: 8 * 1024,
+            pages_per_block: 128,
+            blocks,
+            oob_bytes: 64,
+        }
+    }
+
+    /// A small geometry for unit tests: 512 B pages, 8 pages/block.
+    pub fn tiny(blocks: usize) -> Self {
+        FlashGeometry {
+            page_size: 512,
+            pages_per_block: 8,
+            blocks,
+            oob_bytes: 64,
+        }
+    }
+
+    /// Total pages in the array.
+    pub fn total_pages(&self) -> usize {
+        self.blocks * self.pages_per_block
+    }
+
+    /// Total raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() as u64 * self.page_size as u64
+    }
+}
+
+/// Complete flash device model: geometry plus timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashConfig {
+    /// Physical layout of the array.
+    pub geometry: FlashGeometry,
+    /// Operation latency model.
+    pub timings: FlashTimings,
+}
+
+impl FlashConfig {
+    /// OpenSSD-like device with the given number of blocks.
+    pub fn openssd(blocks: usize) -> Self {
+        FlashConfig {
+            geometry: FlashGeometry::openssd(blocks),
+            timings: FlashTimings::OPENSSD,
+        }
+    }
+
+    /// S830-like device with the given number of blocks.
+    pub fn s830(blocks: usize) -> Self {
+        FlashConfig {
+            geometry: FlashGeometry::openssd(blocks),
+            timings: FlashTimings::S830,
+        }
+    }
+
+    /// Tiny geometry with OpenSSD timings, for tests.
+    pub fn tiny(blocks: usize) -> Self {
+        FlashConfig {
+            geometry: FlashGeometry::tiny(blocks),
+            timings: FlashTimings::OPENSSD,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn openssd_geometry_matches_paper() {
+        let g = FlashGeometry::openssd(16);
+        assert_eq!(g.page_size, 8192);
+        assert_eq!(g.pages_per_block, 128);
+        assert_eq!(g.total_pages(), 16 * 128);
+        assert_eq!(g.capacity_bytes(), 16 * 128 * 8192);
+    }
+
+    #[test]
+    fn parallelism_scales_latency() {
+        let t = FlashTimings::S830;
+        assert_eq!(t.scaled(800), 800 / t.parallelism as u64);
+        let t1 = FlashTimings::OPENSSD;
+        assert_eq!(t1.scaled(800), 800);
+    }
+
+    #[test]
+    fn profiles_are_ordered_by_speed() {
+        // The newer device must be strictly faster on every axis the
+        // Figure 9 comparison depends on.
+        let old = FlashTimings::OPENSSD;
+        let new = FlashTimings::S830;
+        assert!(new.read_ns < old.read_ns);
+        assert!(new.program_ns < old.program_ns);
+        assert!(new.cmd_overhead_ns < old.cmd_overhead_ns);
+        assert!(new.parallelism > old.parallelism);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for raw flash operations.
+
+use std::fmt;
+
+use crate::chip::Ppa;
+
+/// Errors surfaced by the simulated NAND array.
+///
+/// The simulator is strict: operations that real NAND silently corrupts or
+/// that a datasheet forbids (overwriting a programmed page, programming
+/// pages out of order within a block, reading a torn page) are hard errors,
+/// so FTL bugs fail loudly in tests instead of laundering bad data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// Physical address outside the configured geometry.
+    OutOfRange(Ppa),
+    /// Attempt to program a page that is not in the erased state.
+    ProgramOverwrite(Ppa),
+    /// Pages within a block must be programmed in ascending order
+    /// (an MLC/ONFI constraint the paper's FTL also respects).
+    ProgramOutOfOrder {
+        /// The out-of-order address.
+        ppa: Ppa,
+        /// The page index the block expects next.
+        expected_page: u32,
+    },
+    /// Attempt to read a page that was never programmed since last erase.
+    ReadErased(Ppa),
+    /// The page was being programmed when power was lost; its contents are
+    /// indeterminate and the embedded checksum does not verify.
+    TornPage(Ppa),
+    /// Buffer length does not match the configured page size.
+    BadBufferSize {
+        /// Configured page size in bytes.
+        expected: usize,
+        /// Provided buffer length.
+        got: usize,
+    },
+    /// A scheduled power-loss fuse fired; the device is now offline until
+    /// it is rebuilt through recovery.
+    PowerLost,
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::OutOfRange(ppa) => write!(f, "physical address {ppa} out of range"),
+            FlashError::ProgramOverwrite(ppa) => {
+                write!(f, "program to non-erased page {ppa}")
+            }
+            FlashError::ProgramOutOfOrder { ppa, expected_page } => write!(
+                f,
+                "out-of-order program at {ppa}; next programmable page in block is {expected_page}"
+            ),
+            FlashError::ReadErased(ppa) => write!(f, "read of erased page {ppa}"),
+            FlashError::TornPage(ppa) => write!(f, "torn (interrupted-program) page {ppa}"),
+            FlashError::BadBufferSize { expected, got } => {
+                write!(f, "buffer size {got} does not match page size {expected}")
+            }
+            FlashError::PowerLost => write!(f, "simulated power loss: device offline"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+/// Result alias for flash operations.
+pub type Result<T> = std::result::Result<T, FlashError>;

@@ -1,0 +1,92 @@
+//! Operation counters for the flash array.
+//!
+//! These counters feed the paper's FTL-side columns in Table 1 and the bar
+//! charts in Figure 6 (pages written, garbage-collection frequency). The
+//! chip layer counts raw media operations; the FTL layer adds logical
+//! counters (host writes vs. GC copy-backs) on top.
+
+use std::ops::Sub;
+
+use crate::clock::Nanos;
+
+/// Cumulative raw-media operation counts and busy time.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlashStats {
+    /// Full-page reads.
+    pub reads: u64,
+    /// Page programs (includes pages torn by power loss).
+    pub programs: u64,
+    /// Block erases.
+    pub erases: u64,
+    /// OOB-only probes (recovery scans, GC validity checks).
+    pub oob_reads: u64,
+    /// Pages left torn by an interrupted program.
+    pub torn_pages: u64,
+    /// Simulated time spent in read operations.
+    pub busy_read_ns: Nanos,
+    /// Simulated time spent in program operations.
+    pub busy_program_ns: Nanos,
+    /// Simulated time spent in erase operations.
+    pub busy_erase_ns: Nanos,
+}
+
+impl FlashStats {
+    /// Total simulated media busy time.
+    pub fn busy_ns(&self) -> Nanos {
+        self.busy_read_ns + self.busy_program_ns + self.busy_erase_ns
+    }
+}
+
+impl Sub for FlashStats {
+    type Output = FlashStats;
+
+    /// Difference of two snapshots, for measuring one experiment phase.
+    fn sub(self, rhs: FlashStats) -> FlashStats {
+        FlashStats {
+            reads: self.reads - rhs.reads,
+            programs: self.programs - rhs.programs,
+            erases: self.erases - rhs.erases,
+            oob_reads: self.oob_reads - rhs.oob_reads,
+            torn_pages: self.torn_pages - rhs.torn_pages,
+            busy_read_ns: self.busy_read_ns - rhs.busy_read_ns,
+            busy_program_ns: self.busy_program_ns - rhs.busy_program_ns,
+            busy_erase_ns: self.busy_erase_ns - rhs.busy_erase_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff() {
+        let a = FlashStats {
+            reads: 10,
+            programs: 20,
+            erases: 3,
+            ..Default::default()
+        };
+        let b = FlashStats {
+            reads: 4,
+            programs: 5,
+            erases: 1,
+            ..Default::default()
+        };
+        let d = a - b;
+        assert_eq!(d.reads, 6);
+        assert_eq!(d.programs, 15);
+        assert_eq!(d.erases, 2);
+    }
+
+    #[test]
+    fn busy_total_sums_categories() {
+        let s = FlashStats {
+            busy_read_ns: 1,
+            busy_program_ns: 2,
+            busy_erase_ns: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.busy_ns(), 6);
+    }
+}

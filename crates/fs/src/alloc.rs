@@ -1,0 +1,209 @@
+//! Block bitmap allocator.
+//!
+//! One bit per device page, covering the whole volume; the metadata
+//! regions are pre-marked used at mkfs. The allocator remembers which
+//! bitmap *pages* changed so the file system can journal exactly those.
+
+use crate::error::{FsError, Result};
+
+/// In-RAM copy of the block bitmap with dirty-page tracking.
+#[derive(Debug, Clone)]
+pub struct BlockBitmap {
+    bits: Vec<u64>,
+    total: u64,
+    /// Rotating search cursor (next-fit).
+    cursor: u64,
+    /// Bits per bitmap page, for dirty tracking.
+    bits_per_page: u64,
+    dirty_pages: Vec<bool>,
+    free_count: u64,
+}
+
+impl BlockBitmap {
+    /// All-free bitmap for `total` pages, stored across pages of
+    /// `page_size` bytes.
+    pub fn new(total: u64, page_size: usize) -> Self {
+        let bits_per_page = (page_size * 8) as u64;
+        let pages = total.div_ceil(bits_per_page) as usize;
+        BlockBitmap {
+            bits: vec![0; (total as usize).div_ceil(64)],
+            total,
+            cursor: 0,
+            bits_per_page,
+            dirty_pages: vec![false; pages],
+            free_count: total,
+        }
+    }
+
+    /// Loads a bitmap from its on-device pages (concatenated).
+    pub fn from_bytes(bytes: &[u8], total: u64, page_size: usize) -> Self {
+        let mut bm = BlockBitmap::new(total, page_size);
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            if i >= bm.bits.len() {
+                break;
+            }
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            bm.bits[i] = u64::from_le_bytes(w);
+        }
+        bm.free_count = total - bm.bits.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+        bm.dirty_pages.fill(false);
+        bm
+    }
+
+    /// Serializes one bitmap page (`page_idx`) for journaling/writing.
+    pub fn encode_page(&self, page_idx: usize, page_size: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; page_size];
+        let words_per_page = page_size / 8;
+        let start = page_idx * words_per_page;
+        for i in 0..words_per_page {
+            if start + i >= self.bits.len() {
+                break;
+            }
+            buf[i * 8..i * 8 + 8].copy_from_slice(&self.bits[start + i].to_le_bytes());
+        }
+        buf
+    }
+
+    /// True if page `lpn` is allocated.
+    pub fn is_set(&self, lpn: u64) -> bool {
+        self.bits[(lpn / 64) as usize] & (1 << (lpn % 64)) != 0
+    }
+
+    /// Marks `lpn` allocated (mkfs pre-marking and replay).
+    pub fn set(&mut self, lpn: u64) {
+        if !self.is_set(lpn) {
+            self.bits[(lpn / 64) as usize] |= 1 << (lpn % 64);
+            self.free_count -= 1;
+            self.mark_dirty(lpn);
+        }
+    }
+
+    /// Frees `lpn`.
+    pub fn clear(&mut self, lpn: u64) {
+        if self.is_set(lpn) {
+            self.bits[(lpn / 64) as usize] &= !(1 << (lpn % 64));
+            self.free_count += 1;
+            self.mark_dirty(lpn);
+        }
+    }
+
+    fn mark_dirty(&mut self, lpn: u64) {
+        self.dirty_pages[(lpn / self.bits_per_page) as usize] = true;
+    }
+
+    /// Allocates one page at or after `min_lpn`, next-fit from the cursor.
+    pub fn alloc(&mut self, min_lpn: u64) -> Result<u64> {
+        if self.free_count == 0 {
+            return Err(FsError::NoSpace);
+        }
+        let start = self.cursor.max(min_lpn);
+        // Two passes: [start, total) then [min_lpn, start).
+        for lpn in (start..self.total).chain(min_lpn..start) {
+            if !self.is_set(lpn) {
+                self.set(lpn);
+                self.cursor = lpn + 1;
+                if self.cursor >= self.total {
+                    self.cursor = min_lpn;
+                }
+                return Ok(lpn);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Number of free pages.
+    pub fn free(&self) -> u64 {
+        self.free_count
+    }
+
+    /// Indices of dirty bitmap pages, clearing the flags.
+    pub fn take_dirty_pages(&mut self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, d) in self.dirty_pages.iter_mut().enumerate() {
+            if *d {
+                out.push(i);
+                *d = false;
+            }
+        }
+        out
+    }
+
+    /// Indices of dirty bitmap pages without clearing.
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        self.dirty_pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free() {
+        let mut bm = BlockBitmap::new(128, 512);
+        let a = bm.alloc(10).unwrap();
+        assert!(a >= 10);
+        assert!(bm.is_set(a));
+        assert_eq!(bm.free(), 127);
+        bm.clear(a);
+        assert!(!bm.is_set(a));
+        assert_eq!(bm.free(), 128);
+    }
+
+    #[test]
+    fn alloc_respects_min() {
+        let mut bm = BlockBitmap::new(128, 512);
+        for _ in 0..20 {
+            assert!(bm.alloc(64).unwrap() >= 64);
+        }
+    }
+
+    #[test]
+    fn alloc_wraps_around() {
+        let mut bm = BlockBitmap::new(16, 512);
+        let mut got = Vec::new();
+        for _ in 0..12 {
+            got.push(bm.alloc(4).unwrap());
+        }
+        // Free an early one; the allocator must find it again.
+        bm.clear(got[0]);
+        assert_eq!(bm.alloc(4).unwrap(), got[0]);
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let mut bm = BlockBitmap::new(8, 512);
+        for _ in 0..8 {
+            bm.alloc(0).unwrap();
+        }
+        assert_eq!(bm.alloc(0), Err(FsError::NoSpace));
+    }
+
+    #[test]
+    fn roundtrip_via_pages() {
+        let mut bm = BlockBitmap::new(128, 64); // 512 bits/page -> 1 page
+        bm.set(0);
+        bm.set(64);
+        bm.set(127);
+        let page = bm.encode_page(0, 64);
+        let bm2 = BlockBitmap::from_bytes(&page, 128, 64);
+        assert!(bm2.is_set(0) && bm2.is_set(64) && bm2.is_set(127));
+        assert!(!bm2.is_set(1));
+        assert_eq!(bm2.free(), 125);
+    }
+
+    #[test]
+    fn dirty_page_tracking() {
+        let mut bm = BlockBitmap::new(2048, 64); // 512 bits per page -> 4 pages
+        bm.set(0);
+        bm.set(513);
+        let dirty = bm.take_dirty_pages();
+        assert_eq!(dirty, vec![0, 1]);
+        assert!(bm.take_dirty_pages().is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! On-device layout: superblock and inode formats.
+//!
+//! The volume is divided into fixed regions, ext-style:
+//!
+//! ```text
+//! lpn 0            superblock
+//! [it_start ..)    inode table        (128 B per inode)
+//! [bm_start ..)    block bitmap       (1 bit per device page)
+//! [jr_start ..)    journal region     (header page + circular log)
+//! [data_start ..)  data blocks        (file contents, block-map pages)
+//! ```
+
+use crate::error::{FsError, Result};
+
+/// Inode number. Inode 0 is always the root directory.
+pub type Ino = u32;
+
+/// Bytes per on-disk inode.
+pub const INODE_BYTES: usize = 128;
+/// Number of direct block pointers per inode.
+pub const NDIRECT: usize = 8;
+/// Superblock magic ("XFTL-FS1").
+pub const SB_MAGIC: u64 = 0x5846_544C_2D46_5331;
+
+/// What an inode slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InodeKind {
+    /// Unused inode slot.
+    Free,
+    /// Regular file.
+    File,
+    /// Directory (only the root, inode 0, in this volume layout).
+    Dir,
+}
+
+/// An in-RAM inode. `direct` holds the first [`NDIRECT`] block addresses;
+/// larger files chain additional block-map pages from `map_root`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inode {
+    /// What the slot holds.
+    pub kind: InodeKind,
+    /// Logical file size in bytes.
+    pub size: u64,
+    /// Modification "time" (simulated ns); metadata-dirtying like ext4's.
+    pub mtime: u64,
+    /// First block-map page (0 = none).
+    pub map_root: u64,
+    /// Direct block pointers (0 = hole).
+    pub direct: [u64; NDIRECT],
+}
+
+impl Inode {
+    /// A freshly-freed inode slot.
+    pub fn free() -> Self {
+        Inode {
+            kind: InodeKind::Free,
+            size: 0,
+            mtime: 0,
+            map_root: 0,
+            direct: [0; NDIRECT],
+        }
+    }
+
+    /// Serializes into `INODE_BYTES` at `buf[off..]`.
+    pub fn encode(&self, buf: &mut [u8], off: usize) {
+        let kind = match self.kind {
+            InodeKind::Free => 0u32,
+            InodeKind::File => 1,
+            InodeKind::Dir => 2,
+        };
+        buf[off..off + 4].copy_from_slice(&kind.to_le_bytes());
+        buf[off + 8..off + 16].copy_from_slice(&self.size.to_le_bytes());
+        buf[off + 16..off + 24].copy_from_slice(&self.mtime.to_le_bytes());
+        buf[off + 24..off + 32].copy_from_slice(&self.map_root.to_le_bytes());
+        for (i, d) in self.direct.iter().enumerate() {
+            let o = off + 32 + i * 8;
+            buf[o..o + 8].copy_from_slice(&d.to_le_bytes());
+        }
+    }
+
+    /// Parses an inode from `buf[off..]`.
+    pub fn decode(buf: &[u8], off: usize) -> Inode {
+        let kind = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+        let kind = match kind {
+            1 => InodeKind::File,
+            2 => InodeKind::Dir,
+            _ => InodeKind::Free,
+        };
+        let g = |o: usize| u64::from_le_bytes(buf[off + o..off + o + 8].try_into().expect("8"));
+        let mut direct = [0u64; NDIRECT];
+        for (i, d) in direct.iter_mut().enumerate() {
+            *d = g(32 + i * 8);
+        }
+        Inode {
+            kind,
+            size: g(8),
+            mtime: g(16),
+            map_root: g(24),
+            direct,
+        }
+    }
+}
+
+/// Parsed superblock / region map of a volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Device pages in the volume.
+    pub total_pages: u64,
+    /// Bytes per page.
+    pub page_size: u32,
+    /// Inode slots in the table.
+    pub inode_count: u32,
+    /// First page of the inode table.
+    pub it_start: u64,
+    /// Pages in the inode table.
+    pub it_pages: u64,
+    /// First page of the block bitmap.
+    pub bm_start: u64,
+    /// Pages in the block bitmap.
+    pub bm_pages: u64,
+    /// First page of the journal region (its header page).
+    pub jr_start: u64,
+    /// Pages in the journal region.
+    pub jr_pages: u64,
+    /// First allocatable data page.
+    pub data_start: u64,
+}
+
+impl Superblock {
+    /// Computes the region map for a device of `total_pages` pages of
+    /// `page_size` bytes, with `inode_count` inodes and a journal of
+    /// `journal_pages` pages.
+    pub fn layout(
+        total_pages: u64,
+        page_size: usize,
+        inode_count: u32,
+        journal_pages: u64,
+    ) -> Result<Superblock> {
+        let inodes_per_page = (page_size / INODE_BYTES) as u64;
+        let it_pages = (inode_count as u64).div_ceil(inodes_per_page);
+        let bits_per_page = (page_size * 8) as u64;
+        let bm_pages = total_pages.div_ceil(bits_per_page);
+        let it_start = 1;
+        let bm_start = it_start + it_pages;
+        let jr_start = bm_start + bm_pages;
+        let data_start = jr_start + journal_pages;
+        if data_start + 8 > total_pages {
+            return Err(FsError::NoSpace);
+        }
+        Ok(Superblock {
+            total_pages,
+            page_size: page_size as u32,
+            inode_count,
+            it_start,
+            it_pages,
+            bm_start,
+            bm_pages,
+            jr_start,
+            jr_pages: journal_pages,
+            data_start,
+        })
+    }
+
+    /// Inodes per inode-table page.
+    pub fn inodes_per_page(&self) -> u64 {
+        (self.page_size as usize / INODE_BYTES) as u64
+    }
+
+    /// Serializes into one device page.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.page_size as usize];
+        buf[0..8].copy_from_slice(&SB_MAGIC.to_le_bytes());
+        let fields = [
+            self.total_pages,
+            self.page_size as u64,
+            self.inode_count as u64,
+            self.it_start,
+            self.it_pages,
+            self.bm_start,
+            self.bm_pages,
+            self.jr_start,
+            self.jr_pages,
+            self.data_start,
+        ];
+        for (i, f) in fields.iter().enumerate() {
+            let o = 8 + i * 8;
+            buf[o..o + 8].copy_from_slice(&f.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Parses a superblock page.
+    pub fn decode(buf: &[u8]) -> Result<Superblock> {
+        if buf.len() < 88 {
+            return Err(FsError::BadSuperblock);
+        }
+        let g = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8"));
+        if g(0) != SB_MAGIC {
+            return Err(FsError::BadSuperblock);
+        }
+        Ok(Superblock {
+            total_pages: g(8),
+            page_size: g(16) as u32,
+            inode_count: g(24) as u32,
+            it_start: g(32),
+            it_pages: g(40),
+            bm_start: g(48),
+            bm_pages: g(56),
+            jr_start: g(64),
+            jr_pages: g(72),
+            data_start: g(80),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = Superblock::layout(4096, 512, 64, 32).unwrap();
+        let buf = sb.encode();
+        assert_eq!(Superblock::decode(&buf).unwrap(), sb);
+    }
+
+    #[test]
+    fn layout_regions_are_disjoint_and_ordered() {
+        let sb = Superblock::layout(4096, 512, 64, 32).unwrap();
+        assert_eq!(sb.it_start, 1);
+        assert!(sb.bm_start >= sb.it_start + sb.it_pages);
+        assert!(sb.jr_start >= sb.bm_start + sb.bm_pages);
+        assert_eq!(sb.data_start, sb.jr_start + sb.jr_pages);
+        assert!(sb.data_start < sb.total_pages);
+    }
+
+    #[test]
+    fn layout_rejects_tiny_volume() {
+        assert_eq!(Superblock::layout(16, 512, 64, 32), Err(FsError::NoSpace));
+    }
+
+    #[test]
+    fn inode_roundtrip() {
+        let mut ino = Inode::free();
+        ino.kind = InodeKind::File;
+        ino.size = 123456;
+        ino.mtime = 99;
+        ino.map_root = 77;
+        ino.direct[0] = 100;
+        ino.direct[7] = 107;
+        let mut buf = vec![0u8; 512];
+        ino.encode(&mut buf, 128);
+        assert_eq!(Inode::decode(&buf, 128), ino);
+    }
+
+    #[test]
+    fn bad_superblock_rejected() {
+        assert_eq!(Superblock::decode(&[0u8; 512]), Err(FsError::BadSuperblock));
+    }
+}

@@ -1,0 +1,95 @@
+//! File-system level I/O statistics (the "File System" and "fsync calls"
+//! columns of the paper's Table 1).
+
+use std::ops::Sub;
+
+/// Cause-attributed file-system I/O counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FsStats {
+    /// `fsync` calls served.
+    pub fsyncs: u64,
+    /// Device flush (write-barrier) commands issued.
+    pub barriers: u64,
+    /// File data pages written to their home location.
+    pub data_writes: u64,
+    /// Metadata pages written (inode table, bitmap, directory, block maps).
+    pub meta_writes: u64,
+    /// Pages written into the journal (descriptors, images, commit pages).
+    pub journal_writes: u64,
+    /// Home pages written by journal checkpoints.
+    pub checkpoint_writes: u64,
+    /// Dirty pages written back by cache eviction (the *steal* path).
+    pub evictions: u64,
+    /// Device page reads issued (cache misses).
+    pub reads: u64,
+}
+
+impl FsStats {
+    /// All pages this layer wrote to the device, from any cause.
+    pub fn total_writes(&self) -> u64 {
+        self.data_writes
+            + self.meta_writes
+            + self.journal_writes
+            + self.checkpoint_writes
+            + self.evictions
+    }
+
+    /// Pages written for purposes other than file data — the paper's
+    /// "File System" write column.
+    pub fn overhead_writes(&self) -> u64 {
+        self.meta_writes + self.journal_writes + self.checkpoint_writes
+    }
+}
+
+impl Sub for FsStats {
+    type Output = FsStats;
+
+    fn sub(self, rhs: FsStats) -> FsStats {
+        FsStats {
+            fsyncs: self.fsyncs - rhs.fsyncs,
+            barriers: self.barriers - rhs.barriers,
+            data_writes: self.data_writes - rhs.data_writes,
+            meta_writes: self.meta_writes - rhs.meta_writes,
+            journal_writes: self.journal_writes - rhs.journal_writes,
+            checkpoint_writes: self.checkpoint_writes - rhs.checkpoint_writes,
+            evictions: self.evictions - rhs.evictions,
+            reads: self.reads - rhs.reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = FsStats {
+            data_writes: 1,
+            meta_writes: 2,
+            journal_writes: 3,
+            checkpoint_writes: 4,
+            evictions: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_writes(), 15);
+        assert_eq!(s.overhead_writes(), 9);
+    }
+
+    #[test]
+    fn diff() {
+        let a = FsStats {
+            fsyncs: 5,
+            barriers: 9,
+            ..Default::default()
+        };
+        let b = FsStats {
+            fsyncs: 2,
+            barriers: 4,
+            ..Default::default()
+        };
+        let d = a - b;
+        assert_eq!(d.fsyncs, 3);
+        assert_eq!(d.barriers, 5);
+    }
+}

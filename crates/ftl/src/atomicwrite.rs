@@ -1,0 +1,357 @@
+//! Baseline: the per-call atomic-write FTL (Park et al., cited as \[18\]).
+//!
+//! This device guarantees atomicity *per write call*: all pages passed to a
+//! single [`AtomicWriteFtl::write_atomic`] land together or not at all,
+//! sealed by a commit-record page programmed after the data pages. It is
+//! the approach the paper contrasts X-FTL against in §3.3: because the
+//! atomic unit is one call, a buffer manager that *steals* (evicts dirty
+//! pages of uncommitted transactions at arbitrary times) cannot map a
+//! database transaction onto it — each eviction becomes its own atomic
+//! group. The ablation bench quantifies the extra commit-record writes this
+//! costs relative to X-FTL's single X-L2P write per transaction.
+
+use xftl_flash::{FlashChip, Oob, PageKind, Ppa, SimClock};
+
+use crate::base::{FtlBase, GcHook, NoHook, RecoveryLog};
+use crate::dev::{BlockDevice, DevCounters, Lpn, Tid};
+use crate::error::Result;
+use crate::stats::FtlStats;
+
+/// Magic prefix of a commit-record page ("AWRECORD").
+const RECORD_MAGIC: u64 = 0x4157_5245_434F_5244;
+
+/// GC hook that chases commit records and in-flight group pages.
+#[derive(Debug, Default)]
+struct RecordHook {
+    /// Live (not yet checkpoint-covered) commit-record pages.
+    records: Vec<Ppa>,
+    /// Data pages of the group currently being written, before fold.
+    pending: Vec<(Lpn, Ppa)>,
+}
+
+impl GcHook for RecordHook {
+    fn relocated(&mut self, oob: &Oob, old: Ppa, new: Ppa) {
+        match oob.kind {
+            PageKind::Commit => {
+                if let Some(slot) = self.records.iter_mut().find(|p| **p == old) {
+                    *slot = new;
+                }
+            }
+            PageKind::Data => {
+                if let Some((_, p)) = self
+                    .pending
+                    .iter_mut()
+                    .find(|(lpn, p)| *lpn == oob.lpn && *p == old)
+                {
+                    *p = new;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The per-call atomic-write FTL.
+#[derive(Debug)]
+pub struct AtomicWriteFtl {
+    base: FtlBase,
+    hook: RecordHook,
+    next_group: Tid,
+}
+
+impl AtomicWriteFtl {
+    /// Formats a fresh chip to export `logical_pages`.
+    pub fn format(chip: FlashChip, logical_pages: u64) -> Result<Self> {
+        Ok(AtomicWriteFtl {
+            base: FtlBase::format(chip, logical_pages)?,
+            hook: RecordHook::default(),
+            next_group: 1,
+        })
+    }
+
+    /// Rebuilds the device after a power loss. Data pages of groups whose
+    /// commit record made it to flash are rolled forward; groups without a
+    /// record vanish — the per-call all-or-nothing guarantee.
+    pub fn recover(chip: FlashChip) -> Result<Self> {
+        let (mut base, log) = FtlBase::recover(chip)?;
+        Self::replay(&mut base, &log);
+        base.checkpoint(&mut NoHook)?;
+        Ok(AtomicWriteFtl {
+            base,
+            hook: RecordHook::default(),
+            next_group: 1,
+        })
+    }
+
+    fn replay(base: &mut FtlBase, log: &RecoveryLog) {
+        // Sequence number of each group's commit record (records before
+        // the checkpoint are not in the log; their groups are covered by
+        // the checkpointed L2P).
+        let mut record_seq: Vec<(Tid, u64)> = Vec::new();
+        for e in &log.events {
+            if e.kind == PageKind::Commit {
+                record_seq.push((e.tid, e.seq));
+            }
+        }
+        // A group's pages become current at the record's sequence; merge
+        // with plain roll-forward events in that order.
+        let mut folds: Vec<(u64, crate::dev::Lpn, xftl_flash::Ppa)> = Vec::new();
+        for e in &log.events {
+            if e.kind != PageKind::Data {
+                continue;
+            }
+            if e.tid == 0 {
+                if e.seq > log.ckpt_seq {
+                    folds.push((e.seq, e.lpn, e.ppa));
+                }
+            } else if e.seq <= log.tx_horizon {
+                // Orphan from an earlier life; its group id may have been
+                // reused since, so it must not join a newer record.
+            } else if let Some(&(_, rec)) = record_seq
+                .iter()
+                .filter(|&&(tid, seq)| tid == e.tid && seq > e.seq)
+                .min_by_key(|&&(_, seq)| seq)
+            {
+                folds.push((rec, e.lpn, e.ppa));
+            }
+        }
+        folds.sort_by_key(|&(seq, _, _)| seq);
+        for (_, lpn, ppa) in folds {
+            base.apply_event(lpn, ppa);
+        }
+    }
+
+    /// Writes `pages` as one atomic group: every page lands, then a commit
+    /// record seals the group. Returns the group id.
+    pub fn write_atomic(&mut self, pages: &[(Lpn, &[u8])]) -> Result<Tid> {
+        let group = self.next_group;
+        self.next_group += 1;
+        self.hook.pending.clear();
+        for (lpn, data) in pages {
+            match self.base.write_cow(*lpn, group, data, &mut self.hook) {
+                Ok(ppa) => self.hook.pending.push((*lpn, ppa)),
+                Err(e) => {
+                    // Per-call rollback: orphan the pages already written.
+                    for (_, ppa) in self.hook.pending.drain(..) {
+                        self.base.invalidate(ppa);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let record = self.encode_record(group, pages);
+        let rec_ppa =
+            self.base
+                .program_raw(PageKind::Commit, group, group, &record, &mut self.hook)?;
+        self.hook.records.push(rec_ppa);
+        self.base.counters_mut().commits += 1;
+        let pending = std::mem::take(&mut self.hook.pending);
+        for (lpn, ppa) in pending {
+            self.base.fold_mapping(lpn, ppa);
+        }
+        self.release_records_if_needed()?;
+        Ok(group)
+    }
+
+    /// Commit-record pages stay valid (un-reclaimable) until a mapping
+    /// checkpoint covers the groups they seal. Cap their number so a
+    /// flush-averse host cannot fill the drive with records.
+    fn release_records_if_needed(&mut self) -> Result<()> {
+        let cap = self.base.pages_per_block() / 2;
+        if self.hook.records.len() >= cap {
+            self.base.checkpoint(&mut self.hook)?;
+            for ppa in self.hook.records.drain(..) {
+                self.base.invalidate(ppa);
+            }
+        }
+        Ok(())
+    }
+
+    fn encode_record(&self, group: Tid, pages: &[(Lpn, &[u8])]) -> Vec<u8> {
+        let mut buf = vec![0u8; self.base.page_size()];
+        buf[0..8].copy_from_slice(&RECORD_MAGIC.to_le_bytes());
+        buf[8..16].copy_from_slice(&group.to_le_bytes());
+        buf[16..24].copy_from_slice(&(pages.len() as u64).to_le_bytes());
+        for (i, (lpn, _)) in pages.iter().enumerate() {
+            let off = 24 + i * 8;
+            buf[off..off + 8].copy_from_slice(&lpn.to_le_bytes());
+        }
+        buf
+    }
+
+    /// FTL-attributed statistics.
+    pub fn stats(&self) -> &FtlStats {
+        self.base.stats()
+    }
+
+    /// Raw media statistics.
+    pub fn flash_stats(&self) -> xftl_flash::FlashStats {
+        self.base.flash_stats()
+    }
+
+    /// Resets statistics between experiment phases.
+    pub fn reset_stats(&mut self) {
+        self.base.reset_stats();
+    }
+
+    /// Shared simulated clock.
+    pub fn clock(&self) -> SimClock {
+        self.base.clock()
+    }
+
+    /// Powers down, keeping only the flash.
+    pub fn into_chip(self) -> FlashChip {
+        self.base.into_chip()
+    }
+
+    /// Direct engine access for failure injection in tests.
+    pub fn base_mut(&mut self) -> &mut FtlBase {
+        &mut self.base
+    }
+}
+
+impl BlockDevice for AtomicWriteFtl {
+    fn page_size(&self) -> usize {
+        self.base.page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.base.capacity_pages()
+    }
+
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        self.base.counters_mut().host_reads += 1;
+        self.base.read_committed(lpn, buf)
+    }
+
+    /// A plain write is a single-page atomic group — this is exactly the
+    /// per-call overhead §3.3 criticizes.
+    fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        self.base.counters_mut().host_writes += 1;
+        self.write_atomic(&[(lpn, buf)])?;
+        Ok(())
+    }
+
+    fn trim(&mut self, lpn: Lpn) -> Result<()> {
+        self.base.counters_mut().trims += 1;
+        self.base.trim_lpn(lpn)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.base.counters_mut().flushes += 1;
+        if self.base.has_dirty_mapping() {
+            self.base.checkpoint(&mut self.hook)?;
+            // Checkpointed L2P now covers every sealed group; records can go.
+            for ppa in self.hook.records.drain(..) {
+                self.base.invalidate(ppa);
+            }
+        }
+        Ok(())
+    }
+
+    fn counters(&self) -> DevCounters {
+        *self.base.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xftl_flash::FlashConfig;
+
+    fn dev() -> AtomicWriteFtl {
+        let chip = FlashChip::new(FlashConfig::tiny(16), SimClock::new());
+        AtomicWriteFtl::format(chip, 32).unwrap()
+    }
+
+    fn page(d: &AtomicWriteFtl, byte: u8) -> Vec<u8> {
+        vec![byte; d.page_size()]
+    }
+
+    #[test]
+    fn atomic_group_lands_together() {
+        let mut d = dev();
+        let a = page(&d, 1);
+        let b = page(&d, 2);
+        d.write_atomic(&[(0, &a), (1, &b)]).unwrap();
+        let mut out = page(&d, 0);
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, a);
+        d.read(1, &mut out).unwrap();
+        assert_eq!(out, b);
+        assert_eq!(d.stats().commit_record_writes, 1);
+    }
+
+    #[test]
+    fn group_without_record_rolls_back_on_crash() {
+        let mut d = dev();
+        let a = page(&d, 1);
+        let b = page(&d, 2);
+        d.write_atomic(&[(0, &a), (1, &b)]).unwrap();
+        d.flush().unwrap();
+        // Tear the power during the second group: fuse allows the first
+        // data page, kills the second, so no commit record is written.
+        let c = page(&d, 7);
+        let e = page(&d, 8);
+        d.base_mut().chip_mut().arm_power_fuse(2);
+        assert!(d.write_atomic(&[(0, &c), (1, &e)]).is_err());
+        let mut d2 = AtomicWriteFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, a, "unsealed group must not surface");
+        d2.read(1, &mut out).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn sealed_group_survives_crash_without_flush() {
+        let mut d = dev();
+        let a = page(&d, 3);
+        let b = page(&d, 4);
+        d.write_atomic(&[(2, &a), (3, &b)]).unwrap();
+        // No flush: the commit record alone must make the group durable.
+        let mut d2 = AtomicWriteFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(2, &mut out).unwrap();
+        assert_eq!(out, a);
+        d2.read(3, &mut out).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn every_plain_write_pays_a_record() {
+        let mut d = dev();
+        let a = page(&d, 1);
+        for lpn in 0..5 {
+            d.write(lpn, &a).unwrap();
+        }
+        // 5 data pages + 5 commit records: the per-call overhead X-FTL avoids.
+        assert_eq!(d.stats().data_writes, 5);
+        assert_eq!(d.stats().commit_record_writes, 5);
+    }
+
+    #[test]
+    fn survives_gc_churn() {
+        let mut d = dev();
+        for i in 0..400u64 {
+            let data = vec![(i % 250) as u8; d.page_size()];
+            d.write_atomic(&[(i % 6, &data), ((i + 1) % 6, &data)])
+                .unwrap();
+        }
+        assert!(d.stats().gc_runs > 0);
+        let mut out = vec![0u8; d.page_size()];
+        d.read(5, &mut out).unwrap(); // must not error
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut d = dev();
+        let a = page(&d, 9);
+        d.write_atomic(&[(0, &a)]).unwrap();
+        let d2 = AtomicWriteFtl::recover(d.into_chip()).unwrap();
+        let mut d3 = AtomicWriteFtl::recover(d2.into_chip()).unwrap();
+        let mut out = page(&d3, 0);
+        d3.read(0, &mut out).unwrap();
+        assert_eq!(out, a);
+    }
+}

@@ -1,0 +1,1254 @@
+//! Shared FTL machinery: block allocation, the in-RAM L2P table, greedy
+//! garbage collection, checkpointing, and the crash-recovery scan.
+//!
+//! Both device personalities in this reproduction are thin assemblies of
+//! this engine:
+//!
+//! * [`crate::pagemap::PageMappedFtl`] — the OpenSSD's original FTL: plain
+//!   page mapping with copy-on-write updates and greedy GC.
+//! * `xftl_core::XFtl` — the paper's contribution: the same engine plus the
+//!   transactional X-L2P table, commit/abort commands and GC pinning.
+//!
+//! The engine exposes copy-on-write primitives (`write_cow`) that do *not*
+//! touch the L2P table, alongside committed-state operations
+//! (`write_committed`), so a wrapper can implement either semantics.
+//!
+//! ## Persistence model
+//!
+//! Block 0 is a reserved *meta ring*: checkpoint-root pages are appended to
+//! it and the newest valid one wins at recovery (the paper assumes the
+//! meta-block pointer update is atomic; appending versioned root pages is
+//! the standard way firmware realizes that assumption). A checkpoint writes
+//! every dirty L2P slab into the normal log frontier (kind = `Map`) and
+//! then a fresh meta page. Crash recovery loads the newest checkpoint and
+//! rolls the L2P forward by replaying data pages whose OOB sequence number
+//! exceeds the checkpoint's, in sequence order — transactional pages
+//! (OOB `tid != 0`) are *not* replayed here; the X-FTL layer resolves them
+//! through the persisted X-L2P table.
+
+use std::collections::VecDeque;
+
+use xftl_flash::{FlashChip, Oob, PageKind, PageProbe, Ppa, SimClock};
+
+use crate::dev::{DevCounters, Lpn, Tid};
+use crate::error::{DevError, Result};
+use crate::meta::{self, MetaPage};
+use crate::stats::FtlStats;
+use crate::validity::ValidityMap;
+
+/// Reserved block indices for the meta (checkpoint-root) ring. Two blocks
+/// alternate so there is always one valid root on flash: when the current
+/// block fills up, the *other* block is erased and written — never the one
+/// holding the latest root. (This realizes the paper's assumption that
+/// the meta-block pointer update is atomic.)
+const META_BLOCKS: [u32; 2] = [0, 1];
+/// First block available for data/mapping allocation.
+const FIRST_POOL_BLOCK: u32 = 2;
+
+/// GC starts when the free-block pool drops below this.
+const GC_LOW_WATER: usize = 3;
+
+/// Minimum spare physical blocks the constructor insists on beyond the
+/// exported capacity (frontier + GC headroom + mapping churn).
+const MIN_SPARE_BLOCKS: usize = 4;
+
+/// Garbage-collection victim-selection policy.
+///
+/// * `Greedy` picks the block with the fewest valid pages — the modern
+///   default, which compacts cold data into dense blocks and then ignores
+///   it.
+/// * `Fifo` cycles through data blocks in allocation order, like the
+///   simple firmware of the OpenSSD era. Under FIFO, cold (aged) data is
+///   re-copied every cycle, so the mean victim validity tracks the
+///   drive's overall utilization — this is exactly the "controlled aging"
+///   knob of the paper's §6.3.1 (GC validity 30/50/70 %).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)] // the two policies are described above
+pub enum GcPolicy {
+    #[default]
+    Greedy,
+    Fifo,
+}
+
+/// Callback invoked when garbage collection moves a live page, so mapping
+/// state outside the engine (the X-L2P table, atomic-write commit records)
+/// can chase the page to its new address.
+pub trait GcHook {
+    /// `oob` is the page's metadata as originally written; the page now
+    /// lives at `new` instead of `old`.
+    fn relocated(&mut self, oob: &Oob, old: Ppa, new: Ppa);
+}
+
+/// Hook for devices with no mapping state outside the L2P table.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHook;
+
+impl GcHook for NoHook {
+    fn relocated(&mut self, _oob: &Oob, _old: Ppa, _new: Ppa) {}
+}
+
+/// One page programmed after the last checkpoint, discovered by the
+/// recovery scan. Data events with `tid == 0` are replayed directly;
+/// `tid != 0` events are resolved by the transactional layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanEvent {
+    /// Global program sequence number (defines replay order).
+    pub seq: u64,
+    /// Logical page (or table-specific tag).
+    pub lpn: Lpn,
+    /// Transaction id recorded in the OOB.
+    pub tid: Tid,
+    /// Where the page sits on flash.
+    pub ppa: Ppa,
+    /// Role of the page.
+    pub kind: PageKind,
+    /// Auxiliary OOB word as written.
+    pub aux: u32,
+}
+
+/// Lifetime erase-count distribution across the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WearSummary {
+    /// Fewest erases of any block.
+    pub min: u64,
+    /// Most erases of any block.
+    pub max: u64,
+    /// Total erases across the array.
+    pub total: u64,
+    /// Number of blocks.
+    pub blocks: u32,
+}
+
+impl WearSummary {
+    /// Mean erases per block.
+    pub fn mean(&self) -> f64 {
+        self.total as f64 / self.blocks.max(1) as f64
+    }
+}
+
+/// Everything recovery learned beyond the checkpoint itself.
+#[derive(Debug, Clone)]
+pub struct RecoveryLog {
+    /// Post-checkpoint pages in ascending sequence order.
+    pub events: Vec<ScanEvent>,
+    /// Concatenated contents of the persisted X-L2P table pages, if the
+    /// checkpoint pointed at any: `(newest_program_seq, raw_bytes)`.
+    pub xl2p: Option<(u64, Vec<u8>)>,
+    /// Sequence number the loaded checkpoint covers; only X-L2P tables
+    /// written after it carry unfolded commits.
+    pub ckpt_seq: u64,
+    /// The *previous* boot's transaction horizon: transactional pages at
+    /// or before it belong to dead transactions of earlier lives (unless
+    /// already folded via the checkpoint).
+    pub tx_horizon: u64,
+}
+
+/// The shared FTL engine. See the module docs for the division of labour
+/// between this type and the device personalities wrapping it.
+#[derive(Debug)]
+pub struct FtlBase {
+    chip: FlashChip,
+    logical_pages: u64,
+    l2p: Vec<Option<Ppa>>,
+    /// Flash home of each persisted L2P slab.
+    map_locs: Vec<Option<Ppa>>,
+    /// Slabs whose in-RAM entries differ from their persisted copy.
+    map_dirty: Vec<bool>,
+    /// Locations of the persisted X-L2P table pages (owned by the X-FTL
+    /// layer; stored here because they ride in the meta page and are
+    /// GC-relocatable).
+    xl2p_roots: Vec<Ppa>,
+    valid: ValidityMap,
+    /// Class of each block: 0 = free/unknown, 1 = data, 2 = mapping.
+    block_class: Vec<u8>,
+    /// Victim-selection policy.
+    gc_policy: GcPolicy,
+    /// Data blocks in allocation order (FIFO victim cursor).
+    alloc_order: VecDeque<u32>,
+    /// Open write block for host data pages, if any.
+    frontier_data: Option<u32>,
+    /// Open write block for mapping-class pages (L2P slabs, X-L2P tables,
+    /// commit records). Real FTLs — the OpenSSD included — segregate map
+    /// blocks from data blocks; mixing them would let short-lived mapping
+    /// pages pollute the data blocks' GC validity.
+    frontier_map: Option<u32>,
+    free_blocks: VecDeque<u32>,
+    in_free: Vec<bool>,
+    /// Meta block currently being appended to (index into META_BLOCKS).
+    meta_cur: usize,
+    /// Sequence number covered by the last full checkpoint.
+    ckpt_seq: u64,
+    /// Sequence of the most recent power-cycle recovery (see
+    /// [`crate::meta::MetaPage::tx_horizon`]).
+    tx_horizon: u64,
+    stats: FtlStats,
+    counters: DevCounters,
+    scratch: Vec<u8>,
+    /// Guards against re-entering GC from a checkpoint issued inside GC.
+    in_gc: bool,
+}
+
+impl FtlBase {
+    /// Formats a fresh chip to export `logical_pages` pages.
+    ///
+    /// # Panics
+    /// If the geometry cannot hold `logical_pages` plus mapping/GC headroom
+    /// (a configuration error, not a runtime condition).
+    pub fn format(mut chip: FlashChip, logical_pages: u64) -> Result<FtlBase> {
+        let geo = chip.config().geometry;
+        let slabs = (logical_pages as usize).div_ceil(meta::entries_per_slab(geo.page_size));
+        // Reserve pointer slots for up to 8 X-L2P table pages.
+        assert!(
+            slabs + 8 <= MetaPage::max_pointers(geo.page_size),
+            "L2P needs {slabs} slabs; one meta page indexes at most {}",
+            MetaPage::max_pointers(geo.page_size)
+        );
+        let data_blocks = geo.blocks.saturating_sub(META_BLOCKS.len());
+        let needed_blocks =
+            (logical_pages as usize + slabs).div_ceil(geo.pages_per_block) + MIN_SPARE_BLOCKS;
+        assert!(
+            data_blocks >= needed_blocks,
+            "geometry too small: {data_blocks} data blocks < {needed_blocks} required \
+             for {logical_pages} logical pages"
+        );
+        // A formatted chip starts erased except for the initial meta page.
+        for mb in META_BLOCKS {
+            if chip.write_point(mb) != Some(0) {
+                chip.erase(mb)?;
+            }
+        }
+        let mut base = FtlBase {
+            logical_pages,
+            l2p: vec![None; logical_pages as usize],
+            map_locs: vec![None; slabs],
+            map_dirty: vec![false; slabs],
+            xl2p_roots: Vec::new(),
+            valid: ValidityMap::new(geo.blocks, geo.pages_per_block),
+            block_class: vec![0; geo.blocks],
+            gc_policy: GcPolicy::Greedy,
+            alloc_order: VecDeque::new(),
+            frontier_data: None,
+            frontier_map: None,
+            free_blocks: (FIRST_POOL_BLOCK..geo.blocks as u32).collect(),
+            in_free: {
+                let mut v = vec![true; geo.blocks];
+                for mb in META_BLOCKS {
+                    v[mb as usize] = false;
+                }
+                v
+            },
+            meta_cur: 0,
+            ckpt_seq: 0,
+            tx_horizon: 0,
+            stats: FtlStats::default(),
+            counters: DevCounters::default(),
+            scratch: vec![0u8; geo.page_size],
+            in_gc: false,
+            chip,
+        };
+        base.write_meta()?;
+        base.ckpt_seq = base.chip.next_seq() - 1;
+        Ok(base)
+    }
+
+    // --- accessors -------------------------------------------------------
+
+    /// Bytes per page.
+    pub fn page_size(&self) -> usize {
+        self.chip.config().geometry.page_size
+    }
+
+    /// Pages per erase block.
+    pub fn pages_per_block(&self) -> usize {
+        self.chip.config().geometry.pages_per_block
+    }
+
+    /// Exported logical capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Shared simulated clock.
+    pub fn clock(&self) -> SimClock {
+        self.chip.clock().clone()
+    }
+
+    /// FTL-attributed operation statistics.
+    pub fn stats(&self) -> &FtlStats {
+        &self.stats
+    }
+
+    /// Host-visible command counters (maintained by the wrapping device).
+    pub fn counters(&self) -> &DevCounters {
+        &self.counters
+    }
+
+    /// Mutable access to the host-visible counters for the wrapping device.
+    pub fn counters_mut(&mut self) -> &mut DevCounters {
+        &mut self.counters
+    }
+
+    /// Raw media statistics from the chip.
+    pub fn flash_stats(&self) -> xftl_flash::FlashStats {
+        *self.chip.stats()
+    }
+
+    /// Per-block wear summary (lifetime erase counts). The paper argues
+    /// X-FTL "doubles the life span" by halving writes; this exposes the
+    /// erase distribution behind that claim.
+    pub fn wear(&self) -> WearSummary {
+        let blocks = self.chip.config().geometry.blocks as u32;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut total = 0u64;
+        for b in 0..blocks {
+            let e = self.chip.erase_count(b);
+            min = min.min(e);
+            max = max.max(e);
+            total += e;
+        }
+        WearSummary {
+            min,
+            max,
+            total,
+            blocks,
+        }
+    }
+
+    /// Resets FTL and chip statistics (the clock is unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats = FtlStats::default();
+        self.counters = DevCounters::default();
+        self.chip.reset_stats();
+    }
+
+    /// Direct chip access, for failure injection in tests and benches.
+    pub fn chip_mut(&mut self) -> &mut FlashChip {
+        &mut self.chip
+    }
+
+    /// Consumes the device, returning the flash medium — the only thing
+    /// that survives a power loss. Recover with [`FtlBase::recover`].
+    pub fn into_chip(self) -> FlashChip {
+        self.chip
+    }
+
+    /// Current committed mapping of `lpn`.
+    pub fn l2p_get(&self, lpn: Lpn) -> Option<Ppa> {
+        self.l2p[lpn as usize]
+    }
+
+    /// Number of free (fully erased, pooled) blocks.
+    pub fn free_block_count(&self) -> usize {
+        self.free_blocks.len()
+            + usize::from(self.frontier_data.is_some())
+            + usize::from(self.frontier_map.is_some())
+    }
+
+    /// True if any L2P slab has un-persisted changes.
+    pub fn has_dirty_mapping(&self) -> bool {
+        self.map_dirty.iter().any(|&d| d)
+    }
+
+    /// Locations of the persisted X-L2P table pages recorded in the meta
+    /// page (empty when no table is live).
+    pub fn xl2p_roots(&self) -> &[Ppa] {
+        &self.xl2p_roots
+    }
+
+    fn check_lpn(&self, lpn: Lpn) -> Result<()> {
+        if lpn < self.logical_pages {
+            Ok(())
+        } else {
+            Err(DevError::BadLpn(lpn))
+        }
+    }
+
+    // --- allocation and GC -----------------------------------------------
+
+    /// Next free slot in the appropriate log frontier, opening a new
+    /// block as needed. Mapping-class pages (`Map`, `XL2p`, `Commit`) use
+    /// their own frontier so they never share blocks with host data.
+    fn alloc_slot(&mut self, kind: PageKind) -> Result<Ppa> {
+        let map_class = matches!(kind, PageKind::Map | PageKind::XL2p | PageKind::Commit);
+        loop {
+            let frontier = if map_class {
+                &mut self.frontier_map
+            } else {
+                &mut self.frontier_data
+            };
+            if let Some(b) = *frontier {
+                if let Some(wp) = self.chip.write_point(b) {
+                    return Ok(Ppa::new(b, wp));
+                }
+                *frontier = None;
+            }
+            match self.free_blocks.pop_front() {
+                Some(b) => {
+                    self.in_free[b as usize] = false;
+                    self.block_class[b as usize] = if map_class { 2 } else { 1 };
+                    if map_class {
+                        self.frontier_map = Some(b);
+                    } else {
+                        self.alloc_order.push_back(b);
+                        self.frontier_data = Some(b);
+                    }
+                }
+                None => return Err(DevError::OutOfSpace),
+            }
+        }
+    }
+
+    /// Runs garbage collection until the free pool is back above the low
+    ///-water mark. Wrappers call this before host writes.
+    pub fn maybe_gc(&mut self, hook: &mut dyn GcHook) -> Result<()> {
+        if self.in_gc {
+            return Ok(()); // a checkpoint inside GC must not re-enter
+        }
+        while self.free_blocks.len() < GC_LOW_WATER {
+            self.in_gc = true;
+            let r = self.gc_once(hook);
+            self.in_gc = false;
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Sets the GC victim-selection policy (the experiment rig uses FIFO
+    /// to reproduce the paper's aged-drive regimes).
+    pub fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc_policy = policy;
+    }
+
+    fn is_victim_candidate(&self, b: u32) -> bool {
+        !(b < FIRST_POOL_BLOCK
+            || self.in_free[b as usize]
+            || Some(b) == self.frontier_data
+            || Some(b) == self.frontier_map
+            || self.chip.write_point(b) == Some(0))
+    }
+
+    /// Greedy fallback: fewest valid pages among closed, non-free,
+    /// non-meta blocks.
+    fn pick_victim_greedy(&self) -> Option<u32> {
+        let geo = self.chip.config().geometry;
+        let mut best: Option<(u32, u32)> = None;
+        for b in FIRST_POOL_BLOCK..geo.blocks as u32 {
+            if !self.is_victim_candidate(b) {
+                continue;
+            }
+            let count = self.valid.valid_in_block(b);
+            if best.is_none_or(|(_, c)| count < c) {
+                best = Some((b, count));
+            }
+        }
+        // A fully valid victim cannot gain space; give up rather than churn.
+        match best {
+            Some((b, c)) if (c as usize) < geo.pages_per_block => Some(b),
+            _ => None,
+        }
+    }
+
+    fn pick_victim(&mut self) -> Option<u32> {
+        if self.gc_policy == GcPolicy::Fifo {
+            let ppb = self.chip.config().geometry.pages_per_block as u32;
+            // Oldest closed data block that yields at least one page.
+            for _ in 0..self.alloc_order.len() {
+                let Some(b) = self.alloc_order.pop_front() else {
+                    break;
+                };
+                if !self.is_victim_candidate(b) || self.block_class[b as usize] != 1 {
+                    // Stale entry (erased/reused) or currently open: drop
+                    // it; it re-enters the queue when reallocated.
+                    if Some(b) == self.frontier_data {
+                        self.alloc_order.push_back(b);
+                    }
+                    continue;
+                }
+                if self.valid.valid_in_block(b) * 10 >= ppb * 9 {
+                    // (Nearly) fully valid: collecting it would copy ~a
+                    // whole block to reclaim a page or two. Recycle to the
+                    // back and try the next — even simple firmware bounds
+                    // its write amplification this way.
+                    self.alloc_order.push_back(b);
+                    continue;
+                }
+                return Some(b);
+            }
+        }
+        self.pick_victim_greedy()
+    }
+
+    /// Collects one victim block: copies its live pages to the frontier,
+    /// fixes every table that pointed at them, erases it.
+    fn gc_once(&mut self, hook: &mut dyn GcHook) -> Result<()> {
+        let victim = self.pick_victim().ok_or(DevError::OutOfSpace)?;
+        let geo = self.chip.config().geometry;
+        let mut meta_stale = false;
+        // Set when a *committed* page that carries transactional cycle
+        // metadata (TxFlash's aux link) is re-stamped: the remaining cycle
+        // members lose their recovery evidence, so the L2P fold must be
+        // persisted before the victim is erased.
+        let mut need_ckpt = false;
+        let mut copied = 0u64;
+        for page in 0..geo.pages_per_block as u32 {
+            let old = Ppa::new(victim, page);
+            if !self.valid.is_valid(old) {
+                continue;
+            }
+            let mut buf = std::mem::take(&mut self.scratch);
+            let oob = self.chip.read(old, &mut buf)?;
+            let dst = self.alloc_slot(oob.kind)?;
+            // A GC copy of the *committed* version of a data page is
+            // re-stamped tid = 0 so the recovery roll-forward treats it as
+            // committed state even if its writer's X-L2P entry is long gone.
+            let mut new_oob = oob;
+            if oob.kind == PageKind::Data && self.l2p[oob.lpn as usize] == Some(old) {
+                if oob.tid != 0 && oob.aux != 0 {
+                    need_ckpt = true;
+                }
+                new_oob.tid = 0;
+                new_oob.aux = 0;
+            }
+            self.chip.program(dst, &buf, new_oob)?;
+            self.scratch = buf;
+            self.stats.gc_copies += 1;
+            copied += 1;
+            self.valid.mark_invalid(old);
+            self.valid.mark_valid(dst);
+            match oob.kind {
+                PageKind::Data => {
+                    if self.l2p[oob.lpn as usize] == Some(old) {
+                        self.l2p[oob.lpn as usize] = Some(dst);
+                        self.mark_slab_dirty(oob.lpn);
+                    }
+                }
+                PageKind::Map => {
+                    let idx = oob.lpn as usize;
+                    if self.map_locs.get(idx).copied().flatten() == Some(old) {
+                        self.map_locs[idx] = Some(dst);
+                        meta_stale = true;
+                    }
+                }
+                PageKind::XL2p => {
+                    if let Some(slot) = self.xl2p_roots.iter_mut().find(|p| **p == old) {
+                        *slot = dst;
+                        meta_stale = true;
+                    }
+                }
+                PageKind::Commit => {}
+                PageKind::Meta => unreachable!("meta blocks are never GC victims"),
+            }
+            hook.relocated(&oob, old, dst);
+        }
+        if need_ckpt {
+            // Persist the folded mapping before the originals vanish: a
+            // crash after the erase must not depend on the (now broken)
+            // cycle for recovery.
+            self.checkpoint_internal(hook)?;
+            meta_stale = false; // checkpoint wrote a fresh meta root
+        }
+        self.chip.erase(victim)?;
+        self.free_blocks.push_back(victim);
+        self.in_free[victim as usize] = true;
+        self.stats.gc_runs += 1;
+        // The validity ratio (the paper's aging knob) concerns *data*
+        // blocks; recycling nearly-dead mapping blocks is bookkept apart.
+        if self.block_class[victim as usize] == 1 {
+            self.stats.gc_victim_pages += geo.pages_per_block as u64;
+            self.stats.gc_valid_pages += copied;
+        } else {
+            self.stats.gc_map_runs += 1;
+        }
+        self.block_class[victim as usize] = 0;
+        if meta_stale {
+            // The checkpoint root must chase relocated map/X-L2P pages
+            // immediately, or a crash would leave it pointing into an
+            // erased block.
+            self.write_meta()?;
+        }
+        Ok(())
+    }
+
+    // --- page I/O ---------------------------------------------------------
+
+    /// Reads the committed version of `lpn`. Unmapped pages read as zeros
+    /// (the device never returns stale neighbours' data).
+    pub fn read_committed(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        self.check_lpn(lpn)?;
+        match self.l2p[lpn as usize] {
+            Some(ppa) => {
+                self.chip.read(ppa, buf)?;
+            }
+            None => {
+                let overhead = self.chip.config().timings.cmd_overhead_ns / 4;
+                self.chip.clock().advance(overhead);
+                buf.fill(0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a page at a known physical address (e.g. an X-L2P version).
+    pub fn read_at(&mut self, ppa: Ppa, buf: &mut [u8]) -> Result<Oob> {
+        Ok(self.chip.read(ppa, buf)?)
+    }
+
+    /// Programs a page of any kind into the log frontier and marks it
+    /// valid. Does not touch the L2P table — callers decide the mapping
+    /// semantics. Runs GC first if space is low.
+    pub fn program_raw(
+        &mut self,
+        kind: PageKind,
+        lpn: Lpn,
+        tid: Tid,
+        buf: &[u8],
+        hook: &mut dyn GcHook,
+    ) -> Result<Ppa> {
+        self.program_raw_aux(kind, lpn, tid, 0, buf, hook)
+    }
+
+    /// [`FtlBase::program_raw`] with an explicit auxiliary OOB word (used
+    /// by the TxFlash baseline's cyclic-commit links).
+    pub fn program_raw_aux(
+        &mut self,
+        kind: PageKind,
+        lpn: Lpn,
+        tid: Tid,
+        aux: u32,
+        buf: &[u8],
+        hook: &mut dyn GcHook,
+    ) -> Result<Ppa> {
+        self.maybe_gc(hook)?;
+        let dst = self.alloc_slot(kind)?;
+        self.chip.program(
+            dst,
+            buf,
+            Oob {
+                lpn,
+                seq: 0,
+                tid,
+                kind,
+                aux,
+            },
+        )?;
+        self.valid.mark_valid(dst);
+        match kind {
+            PageKind::Data => self.stats.data_writes += 1,
+            PageKind::Map => self.stats.map_writes += 1,
+            PageKind::XL2p => self.stats.xl2p_writes += 1,
+            PageKind::Commit => self.stats.commit_record_writes += 1,
+            PageKind::Meta => unreachable!("meta pages go through write_meta"),
+        }
+        Ok(dst)
+    }
+
+    /// Copy-on-write data write that leaves the committed mapping intact
+    /// (the X-FTL `write(tid, p)` path).
+    pub fn write_cow(
+        &mut self,
+        lpn: Lpn,
+        tid: Tid,
+        buf: &[u8],
+        hook: &mut dyn GcHook,
+    ) -> Result<Ppa> {
+        self.check_lpn(lpn)?;
+        self.program_raw(PageKind::Data, lpn, tid, buf, hook)
+    }
+
+    /// Ordinary page write: copy-on-write plus immediate L2P update,
+    /// invalidating the previous version (the plain-FTL path).
+    pub fn write_committed(&mut self, lpn: Lpn, buf: &[u8], hook: &mut dyn GcHook) -> Result<()> {
+        let dst = self.write_cow(lpn, 0, buf, hook)?;
+        self.fold_mapping(lpn, dst);
+        Ok(())
+    }
+
+    /// Points the committed mapping of `lpn` at `ppa`, invalidating the
+    /// previous version. Used by plain writes and by X-FTL commit folds.
+    pub fn fold_mapping(&mut self, lpn: Lpn, ppa: Ppa) {
+        let old = self.l2p[lpn as usize];
+        if old == Some(ppa) {
+            return;
+        }
+        if let Some(old) = old {
+            self.valid.mark_invalid(old);
+        }
+        self.l2p[lpn as usize] = Some(ppa);
+        self.valid.mark_valid(ppa);
+        self.mark_slab_dirty(lpn);
+    }
+
+    /// Marks a physical page dead (superseded or aborted version).
+    pub fn invalidate(&mut self, ppa: Ppa) {
+        self.valid.mark_invalid(ppa);
+    }
+
+    /// Drops the committed mapping of `lpn` and reclaims its flash copy.
+    pub fn trim_lpn(&mut self, lpn: Lpn) -> Result<()> {
+        self.check_lpn(lpn)?;
+        if let Some(old) = self.l2p[lpn as usize].take() {
+            self.valid.mark_invalid(old);
+            self.mark_slab_dirty(lpn);
+        }
+        Ok(())
+    }
+
+    fn mark_slab_dirty(&mut self, lpn: Lpn) {
+        let slab = meta::slab_of(lpn, self.page_size());
+        self.map_dirty[slab] = true;
+    }
+
+    // --- persistence -------------------------------------------------------
+
+    /// Appends a fresh checkpoint-root page to the meta ring.
+    fn write_meta(&mut self) -> Result<()> {
+        let geo = self.chip.config().geometry;
+        let page = MetaPage {
+            logical_pages: self.logical_pages,
+            ckpt_seq: self.ckpt_seq,
+            tx_horizon: self.tx_horizon,
+            xl2p_roots: self.xl2p_roots.clone(),
+            map_locs: self.map_locs.clone(),
+        };
+        let buf = page.encode(geo.page_size, geo.pages_per_block);
+        let (block, wp) = match self.chip.write_point(META_BLOCKS[self.meta_cur]) {
+            Some(wp) => (META_BLOCKS[self.meta_cur], wp),
+            None => {
+                // Current ring full: switch to the sibling block. The
+                // latest valid root stays readable in the full block until
+                // the new one is programmed, so a crash at any instant
+                // leaves a recoverable root.
+                self.meta_cur = 1 - self.meta_cur;
+                let other = META_BLOCKS[self.meta_cur];
+                self.chip.erase(other)?;
+                (other, 0)
+            }
+        };
+        self.chip.program(
+            Ppa::new(block, wp),
+            &buf,
+            Oob {
+                lpn: 0,
+                seq: 0,
+                tid: 0,
+                kind: PageKind::Meta,
+                aux: 0,
+            },
+        )?;
+        self.stats.meta_writes += 1;
+        Ok(())
+    }
+
+    /// Persists every dirty L2P slab and a new checkpoint root. After this
+    /// returns, the committed mapping survives power loss without replay.
+    pub fn checkpoint(&mut self, hook: &mut dyn GcHook) -> Result<()> {
+        self.checkpoint_internal(hook)
+    }
+
+    fn checkpoint_internal(&mut self, hook: &mut dyn GcHook) -> Result<()> {
+        for slab in 0..self.map_dirty.len() {
+            if !self.map_dirty[slab] {
+                continue;
+            }
+            let geo = self.chip.config().geometry;
+            let buf = meta::encode_slab(&self.l2p, slab, geo.page_size, geo.pages_per_block);
+            let old = self.map_locs[slab];
+            let dst = self.program_raw(PageKind::Map, slab as u64, 0, &buf, hook)?;
+            if let Some(old) = old {
+                self.valid.mark_invalid(old);
+            }
+            self.map_locs[slab] = Some(dst);
+            self.map_dirty[slab] = false;
+        }
+        // The new root covers everything programmed so far.
+        self.ckpt_seq = self.chip.next_seq() - 1;
+        self.write_meta()?;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Persists the X-L2P table (the X-FTL commit path, Figure 4): the
+    /// table pages are written copy-on-write to fresh locations and the
+    /// checkpoint root is updated to point at them. The L2P slabs are *not*
+    /// rewritten — recovery re-folds committed entries from the persisted
+    /// table.
+    pub fn persist_xl2p(&mut self, table_pages: &[Vec<u8>], hook: &mut dyn GcHook) -> Result<()> {
+        let mut new_roots = Vec::with_capacity(table_pages.len());
+        for (i, page) in table_pages.iter().enumerate() {
+            new_roots.push(self.program_raw(PageKind::XL2p, i as u64, 0, page, hook)?);
+        }
+        for old in std::mem::replace(&mut self.xl2p_roots, new_roots) {
+            self.valid.mark_invalid(old);
+        }
+        self.write_meta()
+    }
+
+    /// Drops the persisted X-L2P table references (after their entries have
+    /// been folded and checkpointed).
+    pub fn clear_xl2p_roots(&mut self) {
+        for old in std::mem::take(&mut self.xl2p_roots) {
+            self.valid.mark_invalid(old);
+        }
+    }
+
+    // --- recovery -----------------------------------------------------------
+
+    /// Rebuilds device state from the flash contents after a power loss.
+    ///
+    /// Loads the newest checkpoint, replays nothing yet: the returned
+    /// [`RecoveryLog`] carries every post-checkpoint page in sequence
+    /// order plus the persisted X-L2P table bytes. The wrapping device
+    /// personality decides which events to apply (plain FTL: `tid == 0`
+    /// data pages via [`FtlBase::apply_event`]; X-FTL: those merged with
+    /// the committed X-L2P entries).
+    pub fn recover(mut chip: FlashChip) -> Result<(FtlBase, RecoveryLog)> {
+        chip.power_cycle();
+        let geo = chip.config().geometry;
+
+        // 1. Newest valid checkpoint root across both meta blocks.
+        let mut newest: Option<(u64, usize, MetaPage)> = None;
+        let mut buf = vec![0u8; geo.page_size];
+        for (idx, mb) in META_BLOCKS.iter().enumerate() {
+            for page in 0..geo.pages_per_block as u32 {
+                let ppa = Ppa::new(*mb, page);
+                match chip.probe(ppa)? {
+                    PageProbe::Erased => break,
+                    PageProbe::Torn => continue,
+                    PageProbe::Programmed(oob) => {
+                        if oob.kind != PageKind::Meta {
+                            continue;
+                        }
+                        if chip.read(ppa, &mut buf).is_err() {
+                            continue;
+                        }
+                        if let Some(m) = MetaPage::decode(&buf, geo.pages_per_block) {
+                            if newest.as_ref().is_none_or(|(s, _, _)| oob.seq > *s) {
+                                newest = Some((oob.seq, idx, m));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let (_, meta_cur, meta_page) = newest.ok_or(DevError::NotFormatted)?;
+        let logical_pages = meta_page.logical_pages;
+
+        // 2. Load the checkpointed L2P.
+        let mut l2p: Vec<Option<Ppa>> = vec![None; logical_pages as usize];
+        for (slab, loc) in meta_page.map_locs.iter().enumerate() {
+            if let Some(ppa) = loc {
+                chip.read(*ppa, &mut buf)?;
+                meta::decode_slab(&mut l2p, slab, &buf, geo.pages_per_block);
+            }
+        }
+
+        // 3. Scan the log for post-checkpoint pages and rebuild occupancy.
+        let mut valid = ValidityMap::new(geo.blocks, geo.pages_per_block);
+        for loc in meta_page.map_locs.iter().flatten() {
+            valid.mark_valid(*loc);
+        }
+        for root in &meta_page.xl2p_roots {
+            valid.mark_valid(*root);
+        }
+        for entry in l2p.iter().flatten() {
+            valid.mark_valid(*entry);
+        }
+        let mut events = Vec::new();
+        let mut free_blocks = VecDeque::new();
+        let mut in_free = vec![false; geo.blocks];
+        let mut block_class = vec![0u8; geo.blocks];
+        for b in FIRST_POOL_BLOCK..geo.blocks as u32 {
+            let mut programmed_any = false;
+            for page in 0..geo.pages_per_block as u32 {
+                let ppa = Ppa::new(b, page);
+                match chip.probe(ppa)? {
+                    PageProbe::Erased => break,
+                    PageProbe::Torn => {
+                        programmed_any = true;
+                    }
+                    PageProbe::Programmed(oob) => {
+                        programmed_any = true;
+                        if block_class[b as usize] == 0 {
+                            block_class[b as usize] =
+                                if oob.kind == PageKind::Data { 1 } else { 2 };
+                        }
+                        // Post-checkpoint pages are roll-forward events.
+                        // Transaction-tagged data pages are kept at ANY
+                        // sequence: a transaction may straddle a checkpoint
+                        // (pages before it, commit evidence after it), and
+                        // only the wrapping personality can tell.
+                        let relevant = match oob.kind {
+                            PageKind::Data => oob.seq > meta_page.ckpt_seq || oob.tid != 0,
+                            PageKind::Commit => oob.seq > meta_page.ckpt_seq,
+                            _ => false,
+                        };
+                        if relevant {
+                            events.push(ScanEvent {
+                                seq: oob.seq,
+                                lpn: oob.lpn,
+                                tid: oob.tid,
+                                ppa,
+                                kind: oob.kind,
+                                aux: oob.aux,
+                            });
+                        }
+                    }
+                }
+            }
+            if !programmed_any {
+                free_blocks.push_back(b);
+                in_free[b as usize] = true;
+            }
+        }
+        events.sort_by_key(|e| e.seq);
+
+        // 4. Pull the persisted X-L2P table pages, if any.
+        let xl2p = if meta_page.xl2p_roots.is_empty() {
+            None
+        } else {
+            let mut bytes = Vec::with_capacity(meta_page.xl2p_roots.len() * geo.page_size);
+            let mut seq = 0;
+            for root in &meta_page.xl2p_roots {
+                let oob = chip.read(*root, &mut buf)?;
+                seq = seq.max(oob.seq);
+                bytes.extend_from_slice(&buf);
+            }
+            Some((seq, bytes))
+        };
+
+        let slabs = meta_page.map_locs.len();
+        let ckpt_seq = meta_page.ckpt_seq;
+        let prev_horizon = meta_page.tx_horizon;
+        let chip_next_seq = chip.next_seq();
+        let base = FtlBase {
+            logical_pages,
+            l2p,
+            map_locs: meta_page.map_locs,
+            map_dirty: vec![false; slabs],
+            xl2p_roots: meta_page.xl2p_roots,
+            valid,
+            block_class: block_class.clone(),
+            gc_policy: GcPolicy::Greedy,
+            // Recovered data blocks re-enter the FIFO queue in index order
+            // (allocation age is unknown after a crash).
+            alloc_order: (FIRST_POOL_BLOCK..geo.blocks as u32)
+                .filter(|&b| block_class[b as usize] == 1)
+                .collect(),
+            frontier_data: None,
+            frontier_map: None,
+            free_blocks,
+            in_free,
+            meta_cur,
+            ckpt_seq: meta_page.ckpt_seq,
+            // This boot's recovery establishes a new horizon: no live
+            // transaction's evidence predates the scan we just did. The
+            // personality's post-recovery checkpoint persists it.
+            tx_horizon: chip_next_seq,
+            stats: FtlStats::default(),
+            counters: DevCounters::default(),
+            scratch: vec![0u8; geo.page_size],
+            in_gc: false,
+            chip,
+        };
+        Ok((
+            base,
+            RecoveryLog {
+                events,
+                xl2p,
+                ckpt_seq,
+                tx_horizon: prev_horizon,
+            },
+        ))
+    }
+
+    /// Replays one recovered data event: re-points the mapping of `lpn` at
+    /// `ppa`. Events must be applied in ascending sequence order.
+    pub fn apply_event(&mut self, lpn: Lpn, ppa: Ppa) {
+        if (lpn as usize) < self.l2p.len() {
+            self.fold_mapping(lpn, ppa);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xftl_flash::FlashConfig;
+
+    fn base(blocks: usize, logical: u64) -> FtlBase {
+        let chip = FlashChip::new(FlashConfig::tiny(blocks), SimClock::new());
+        FtlBase::format(chip, logical).unwrap()
+    }
+
+    fn page(b: &FtlBase, byte: u8) -> Vec<u8> {
+        vec![byte; b.page_size()]
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut f = base(16, 32);
+        let data = page(&f, 0x5A);
+        f.write_committed(7, &data, &mut NoHook).unwrap();
+        let mut out = page(&f, 0);
+        f.read_committed(7, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn unmapped_reads_zeros() {
+        let mut f = base(16, 32);
+        let mut out = page(&f, 0xFF);
+        f.read_committed(3, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn bad_lpn_rejected() {
+        let mut f = base(16, 32);
+        let data = page(&f, 1);
+        assert_eq!(
+            f.write_committed(32, &data, &mut NoHook),
+            Err(DevError::BadLpn(32))
+        );
+        let mut out = page(&f, 0);
+        assert_eq!(f.read_committed(99, &mut out), Err(DevError::BadLpn(99)));
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_version() {
+        let mut f = base(16, 32);
+        let a = page(&f, 1);
+        let b = page(&f, 2);
+        f.write_committed(0, &a, &mut NoHook).unwrap();
+        let old = f.l2p_get(0).unwrap();
+        f.write_committed(0, &b, &mut NoHook).unwrap();
+        let new = f.l2p_get(0).unwrap();
+        assert_ne!(old, new);
+        assert!(!f.valid.is_valid(old));
+        assert!(f.valid.is_valid(new));
+        let mut out = page(&f, 0);
+        f.read_committed(0, &mut out).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut f = base(16, 32);
+        let a = page(&f, 1);
+        f.write_committed(5, &a, &mut NoHook).unwrap();
+        f.trim_lpn(5).unwrap();
+        assert_eq!(f.l2p_get(5), None);
+        let mut out = page(&f, 9);
+        f.read_committed(5, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn gc_reclaims_overwritten_space() {
+        // 16 tiny blocks of 8 pages; 32 logical pages. Overwrite a small
+        // working set far beyond physical capacity: GC must keep up.
+        let mut f = base(16, 32);
+        for i in 0..600u64 {
+            let data = vec![(i % 251) as u8; f.page_size()];
+            f.write_committed(i % 8, &data, &mut NoHook).unwrap();
+        }
+        assert!(f.stats().gc_runs > 0, "GC should have run");
+        // All 8 live pages still readable with their last content.
+        for lpn in 0..8u64 {
+            let mut out = vec![0u8; f.page_size()];
+            f.read_committed(lpn, &mut out).unwrap();
+            let last_i = (592 + lpn) % 251; // last write of this lpn was i = 592+lpn
+            assert_eq!(out[0] as u64, last_i);
+        }
+    }
+
+    #[test]
+    fn gc_copies_only_valid_pages() {
+        let mut f = base(16, 32);
+        for i in 0..600u64 {
+            let data = vec![i as u8; f.page_size()];
+            f.write_committed(i % 4, &data, &mut NoHook).unwrap();
+        }
+        let s = f.stats();
+        // With only 4 live pages, victims are mostly garbage.
+        let validity = s.mean_gc_validity().unwrap();
+        assert!(
+            validity < 0.5,
+            "victim validity {validity} unexpectedly high"
+        );
+    }
+
+    #[test]
+    fn checkpoint_clears_dirty_flags() {
+        let mut f = base(16, 32);
+        let a = page(&f, 1);
+        f.write_committed(0, &a, &mut NoHook).unwrap();
+        assert!(f.has_dirty_mapping());
+        f.checkpoint(&mut NoHook).unwrap();
+        assert!(!f.has_dirty_mapping());
+        assert_eq!(f.stats().checkpoints, 1);
+        assert!(f.stats().map_writes >= 1);
+    }
+
+    #[test]
+    fn recover_after_clean_checkpoint() {
+        let mut f = base(16, 32);
+        let a = page(&f, 7);
+        f.write_committed(3, &a, &mut NoHook).unwrap();
+        f.checkpoint(&mut NoHook).unwrap();
+        let chip = f.into_chip();
+        let (mut g, log) = FtlBase::recover(chip).unwrap();
+        assert!(log.events.is_empty(), "no post-checkpoint events expected");
+        let mut out = page(&g, 0);
+        g.read_committed(3, &mut out).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn recover_rolls_forward_unsynced_writes() {
+        let mut f = base(16, 32);
+        let a = page(&f, 1);
+        let b = page(&f, 2);
+        f.write_committed(3, &a, &mut NoHook).unwrap();
+        f.checkpoint(&mut NoHook).unwrap();
+        f.write_committed(3, &b, &mut NoHook).unwrap(); // not checkpointed
+        let chip = f.into_chip();
+        let (mut g, log) = FtlBase::recover(chip).unwrap();
+        assert_eq!(log.events.len(), 1);
+        for e in &log.events {
+            if e.kind == PageKind::Data && e.tid == 0 {
+                g.apply_event(e.lpn, e.ppa);
+            }
+        }
+        let mut out = page(&g, 0);
+        g.read_committed(3, &mut out).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn recover_ignores_transactional_pages() {
+        let mut f = base(16, 32);
+        let a = page(&f, 1);
+        let t = page(&f, 9);
+        f.write_committed(3, &a, &mut NoHook).unwrap();
+        f.checkpoint(&mut NoHook).unwrap();
+        // A tid-tagged CoW write (as X-FTL would issue) must not clobber
+        // the committed state during plain roll-forward.
+        f.write_cow(3, 42, &t, &mut NoHook).unwrap();
+        let chip = f.into_chip();
+        let (mut g, log) = FtlBase::recover(chip).unwrap();
+        for e in &log.events {
+            if e.kind == PageKind::Data && e.tid == 0 {
+                g.apply_event(e.lpn, e.ppa);
+            }
+        }
+        let mut out = page(&g, 0);
+        g.read_committed(3, &mut out).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn recover_survives_torn_meta_write() {
+        let mut f = base(16, 32);
+        let a = page(&f, 1);
+        f.write_committed(3, &a, &mut NoHook).unwrap();
+        f.checkpoint(&mut NoHook).unwrap();
+        // Tear the next meta write mid-program.
+        f.chip_mut().arm_power_fuse(1);
+        let r = f.checkpoint(&mut NoHook);
+        assert!(r.is_err());
+        let chip = f.into_chip();
+        let (mut g, _) = FtlBase::recover(chip).unwrap();
+        let mut out = page(&g, 0);
+        g.read_committed(3, &mut out).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn meta_ring_wraps_when_full() {
+        let mut f = base(16, 32);
+        // Tiny geometry: 8 pages in the meta ring. Checkpoint often enough
+        // to wrap it several times.
+        let a = page(&f, 1);
+        for i in 0..40u64 {
+            f.write_committed(i % 4, &a, &mut NoHook).unwrap();
+            f.checkpoint(&mut NoHook).unwrap();
+        }
+        let chip = f.into_chip();
+        let (mut g, _) = FtlBase::recover(chip).unwrap();
+        let mut out = page(&g, 0);
+        g.read_committed(0, &mut out).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn recovery_preserves_data_across_gc_churn() {
+        let mut f = base(16, 32);
+        // Fill all 32 logical pages with known content.
+        for lpn in 0..32u64 {
+            let data = vec![lpn as u8 + 1; f.page_size()];
+            f.write_committed(lpn, &data, &mut NoHook).unwrap();
+        }
+        f.checkpoint(&mut NoHook).unwrap();
+        // Churn a few pages to force GC relocations of checkpointed pages.
+        for i in 0..300u64 {
+            let data = vec![0xEE; f.page_size()];
+            f.write_committed(i % 4, &data, &mut NoHook).unwrap();
+        }
+        assert!(f.stats().gc_runs > 0);
+        let chip = f.into_chip();
+        let (mut g, log) = FtlBase::recover(chip).unwrap();
+        for e in &log.events {
+            if e.kind == PageKind::Data && e.tid == 0 {
+                g.apply_event(e.lpn, e.ppa);
+            }
+        }
+        // Untouched pages must still hold their checkpointed content even
+        // though GC may have physically moved them.
+        for lpn in 4..32u64 {
+            let mut out = vec![0u8; g.page_size()];
+            g.read_committed(lpn, &mut out).unwrap();
+            assert_eq!(out[0] as u64, lpn + 1, "lpn {lpn} corrupted");
+        }
+        for lpn in 0..4u64 {
+            let mut out = vec![0u8; g.page_size()];
+            g.read_committed(lpn, &mut out).unwrap();
+            assert_eq!(out[0], 0xEE);
+        }
+    }
+
+    #[test]
+    fn out_of_space_when_overfilled() {
+        // Fill the whole exported capacity, then keep overwriting: the
+        // spare blocks must absorb the churn without OutOfSpace.
+        let chip = FlashChip::new(FlashConfig::tiny(12), SimClock::new());
+        let mut f = FtlBase::format(chip, 24).unwrap();
+        let data = vec![1u8; f.page_size()];
+        for lpn in 0..24u64 {
+            f.write_committed(lpn, &data, &mut NoHook).unwrap();
+        }
+        // Keep overwriting; the drive has spare for this, it must not fail.
+        for i in 0..200u64 {
+            f.write_committed(i % 24, &data, &mut NoHook).unwrap();
+        }
+        assert!(f.free_block_count() >= 1);
+    }
+
+    #[test]
+    fn persist_xl2p_updates_roots_and_meta() {
+        let mut f = base(16, 32);
+        let table = vec![vec![0xABu8; f.page_size()], vec![0xCDu8; f.page_size()]];
+        f.persist_xl2p(&table, &mut NoHook).unwrap();
+        let roots = f.xl2p_roots().to_vec();
+        assert_eq!(roots.len(), 2);
+        let chip = f.into_chip();
+        let (mut g, log) = FtlBase::recover(chip).unwrap();
+        assert_eq!(g.xl2p_roots(), roots.as_slice());
+        let (_, bytes) = log.xl2p.unwrap();
+        assert_eq!(&bytes[..g.page_size()], table[0].as_slice());
+        assert_eq!(&bytes[g.page_size()..], table[1].as_slice());
+        g.clear_xl2p_roots();
+        assert!(g.xl2p_roots().is_empty());
+    }
+}

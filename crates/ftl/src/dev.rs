@@ -1,0 +1,148 @@
+//! The storage-device abstraction and its transactional extension.
+//!
+//! [`BlockDevice`] is the Rust analogue of the paper's (extended) SATA
+//! command set. The base commands — `read`, `write`, `trim`, `flush` — are
+//! what any page-mapping SSD exposes. The transactional extension —
+//! `read_tx(tid, p)`, `write_tx(tid, p)`, `commit(tid)`, `abort(tid)` — is
+//! exactly the interface §4.2 of the paper adds (tid-tagged reads/writes
+//! plus commit/abort piggybacked on the trim command). Devices that do not
+//! implement the extension return [`DevError::Unsupported`], mirroring a
+//! drive that rejects unknown commands.
+
+use crate::error::{DevError, Result};
+
+/// Logical page number, the host-visible address unit (one 8 KB page).
+pub type Lpn = u64;
+
+/// Transaction identifier. Ids are allocated by the *file system* (per the
+/// paper's §5.2, because SQLite is a library and cannot coordinate ids
+/// across processes). `0` is reserved for non-transactional traffic.
+pub type Tid = u64;
+
+/// Reserved id meaning "not part of any transaction".
+pub const NO_TID: Tid = 0;
+
+/// Host-visible counters a device keeps; these feed the paper's Table 1.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DevCounters {
+    /// Host page writes (both plain and tid-tagged).
+    pub host_writes: u64,
+    /// Host page reads (both plain and tid-tagged).
+    pub host_reads: u64,
+    /// Flush/barrier commands.
+    pub flushes: u64,
+    /// Commit commands.
+    pub commits: u64,
+    /// Abort commands.
+    pub aborts: u64,
+    /// Trim commands.
+    pub trims: u64,
+}
+
+/// A (possibly transactional) page-addressed storage device.
+///
+/// All data commands move whole pages; `page_size()` tells the host how big
+/// a page is. Implementations charge simulated latency for every command.
+pub trait BlockDevice {
+    /// Bytes per logical page.
+    fn page_size(&self) -> usize;
+
+    /// Number of logical pages the device exports.
+    fn capacity_pages(&self) -> u64;
+
+    /// Reads logical page `lpn` into `buf` (committed state).
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes logical page `lpn` (non-transactional; durably replaces the
+    /// previous version only after the next `flush`).
+    fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()>;
+
+    /// Declares logical page `lpn` unused so its flash copy may be
+    /// reclaimed.
+    fn trim(&mut self, lpn: Lpn) -> Result<()>;
+
+    /// Write barrier: persists the mapping state so that everything written
+    /// before the flush survives power loss. Models the barrier/FUA
+    /// behaviour journaling file systems rely on (§6.3.4).
+    fn flush(&mut self) -> Result<()>;
+
+    /// Host-visible command counters.
+    fn counters(&self) -> DevCounters;
+
+    // --- transactional extension (X-FTL commands, §4.2) ---
+
+    /// True if the device implements the transactional command set.
+    fn supports_tx(&self) -> bool {
+        false
+    }
+
+    /// Reads page `lpn` as seen by transaction `tid`: the transaction's own
+    /// uncommitted version if it wrote one, otherwise the committed copy.
+    fn read_tx(&mut self, _tid: Tid, _lpn: Lpn, _buf: &mut [u8]) -> Result<()> {
+        Err(DevError::Unsupported("read_tx"))
+    }
+
+    /// Copy-on-write page write on behalf of transaction `tid`; the old
+    /// committed copy stays readable and reclaimable only after commit.
+    fn write_tx(&mut self, _tid: Tid, _lpn: Lpn, _buf: &[u8]) -> Result<()> {
+        Err(DevError::Unsupported("write_tx"))
+    }
+
+    /// Atomically and durably commits every page written by `tid`.
+    fn commit(&mut self, _tid: Tid) -> Result<()> {
+        Err(DevError::Unsupported("commit"))
+    }
+
+    /// Discards every page written by `tid`; the committed copies remain.
+    fn abort(&mut self, _tid: Tid) -> Result<()> {
+        Err(DevError::Unsupported("abort"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A do-nothing device to exercise the trait's defaults.
+    struct Null;
+
+    impl BlockDevice for Null {
+        fn page_size(&self) -> usize {
+            512
+        }
+        fn capacity_pages(&self) -> u64 {
+            0
+        }
+        fn read(&mut self, _: Lpn, _: &mut [u8]) -> Result<()> {
+            Ok(())
+        }
+        fn write(&mut self, _: Lpn, _: &[u8]) -> Result<()> {
+            Ok(())
+        }
+        fn trim(&mut self, _: Lpn) -> Result<()> {
+            Ok(())
+        }
+        fn flush(&mut self) -> Result<()> {
+            Ok(())
+        }
+        fn counters(&self) -> DevCounters {
+            DevCounters::default()
+        }
+    }
+
+    #[test]
+    fn tx_commands_default_to_unsupported() {
+        let mut d = Null;
+        assert!(!d.supports_tx());
+        assert_eq!(
+            d.write_tx(1, 0, &[]),
+            Err(DevError::Unsupported("write_tx"))
+        );
+        assert_eq!(
+            d.read_tx(1, 0, &mut []),
+            Err(DevError::Unsupported("read_tx"))
+        );
+        assert_eq!(d.commit(1), Err(DevError::Unsupported("commit")));
+        assert_eq!(d.abort(1), Err(DevError::Unsupported("abort")));
+    }
+}

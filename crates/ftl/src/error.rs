@@ -1,0 +1,66 @@
+//! Error type for device-level (FTL) operations.
+
+use std::fmt;
+
+use xftl_flash::FlashError;
+
+use crate::dev::{Lpn, Tid};
+
+/// Errors surfaced by a simulated storage device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevError {
+    /// Underlying flash medium error (including simulated power loss).
+    Flash(FlashError),
+    /// The device does not implement this command (e.g. transactional
+    /// commands on the plain page-mapping FTL).
+    Unsupported(&'static str),
+    /// Logical page number beyond the exported capacity.
+    BadLpn(Lpn),
+    /// The device ran out of free blocks even after garbage collection;
+    /// the drive is over-filled for its over-provisioning.
+    OutOfSpace,
+    /// A commit/abort named a transaction with no entries in the X-L2P
+    /// table. Committing an empty (read-only) transaction is *not* an
+    /// error; this fires only for ids the device has never seen.
+    UnknownTid(Tid),
+    /// The X-L2P table is full of entries belonging to still-active
+    /// transactions; the host must commit or abort something first.
+    /// (The paper sizes the table at 500–1000 entries and argues a few
+    /// tens suffice for SQLite's concurrency level.)
+    XL2pFull,
+    /// The flash contains no valid format/checkpoint metadata to recover
+    /// from.
+    NotFormatted,
+}
+
+impl fmt::Display for DevError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DevError::Flash(e) => write!(f, "flash error: {e}"),
+            DevError::Unsupported(cmd) => write!(f, "command not supported by device: {cmd}"),
+            DevError::BadLpn(lpn) => write!(f, "logical page {lpn} beyond exported capacity"),
+            DevError::OutOfSpace => write!(f, "no reclaimable space left on device"),
+            DevError::UnknownTid(tid) => write!(f, "unknown transaction id {tid}"),
+            DevError::XL2pFull => write!(f, "X-L2P table full of active transactions"),
+            DevError::NotFormatted => write!(f, "no valid device format metadata found"),
+        }
+    }
+}
+
+impl std::error::Error for DevError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DevError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for DevError {
+    fn from(e: FlashError) -> Self {
+        DevError::Flash(e)
+    }
+}
+
+/// Result alias for device operations.
+pub type Result<T> = std::result::Result<T, DevError>;

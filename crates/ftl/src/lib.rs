@@ -1,0 +1,58 @@
+//! # xftl-ftl — device abstraction and flash translation layers
+//!
+//! This crate provides everything between the raw NAND (`xftl-flash`) and
+//! the transactional X-FTL (`xftl-core`):
+//!
+//! * [`dev::BlockDevice`] — the storage command set, including the paper's
+//!   transactional SATA extension (`read_tx`/`write_tx`/`commit`/`abort`).
+//! * [`sata::SataLink`] — host-interface latency model (SATA 2/3).
+//! * [`base::FtlBase`] — the shared FTL engine: log-structured allocation,
+//!   in-RAM L2P with slab-granular persistence, greedy garbage collection,
+//!   checkpoint-root meta ring, and crash-recovery scanning.
+//! * [`pagemap::PageMappedFtl`] — the OpenSSD's original FTL (the paper's
+//!   baseline device for SQLite's RBJ and WAL modes).
+//! * [`atomicwrite::AtomicWriteFtl`] — the per-call atomic-write FTL of
+//!   Park et al., the related-work baseline of §3.3.
+//! * [`txflash::TxFlashFtl`] — TxFlash's Simple Cyclic Commit (Prabhakaran
+//!   et al.), the second related-work baseline.
+//!
+//! ```
+//! use xftl_flash::{FlashChip, FlashConfig, SimClock};
+//! use xftl_ftl::dev::BlockDevice;
+//! use xftl_ftl::pagemap::PageMappedFtl;
+//!
+//! let clock = SimClock::new();
+//! let chip = FlashChip::new(FlashConfig::tiny(16), clock.clone());
+//! let mut dev = PageMappedFtl::format(chip, 32).unwrap();
+//! let page = vec![7u8; dev.page_size()];
+//! dev.write(0, &page).unwrap();
+//! dev.flush().unwrap();
+//! // Power loss: only the flash medium survives.
+//! let mut dev = PageMappedFtl::recover(dev.into_chip()).unwrap();
+//! let mut out = vec![0u8; dev.page_size()];
+//! dev.read(0, &mut out).unwrap();
+//! assert_eq!(out, page);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atomicwrite;
+pub mod base;
+pub mod dev;
+pub mod error;
+pub mod meta;
+pub mod pagemap;
+pub mod sata;
+pub mod stats;
+pub mod txflash;
+pub mod validity;
+
+pub use atomicwrite::AtomicWriteFtl;
+pub use base::{FtlBase, GcHook, GcPolicy, NoHook, RecoveryLog, ScanEvent, WearSummary};
+pub use dev::{BlockDevice, DevCounters, Lpn, Tid, NO_TID};
+pub use error::{DevError, Result};
+pub use pagemap::PageMappedFtl;
+pub use sata::{LinkConfig, SataLink};
+pub use stats::FtlStats;
+pub use txflash::TxFlashFtl;
+pub use validity::ValidityMap;

@@ -1,0 +1,255 @@
+//! On-flash formats for FTL metadata: the checkpoint root ("meta") page and
+//! L2P mapping slabs.
+//!
+//! The layouts are deliberately simple fixed little-endian layouts so they
+//! double as documentation of what the firmware persists:
+//!
+//! * **Meta page** — the checkpoint root, written to the reserved meta
+//!   block (block 0). Holds the exported capacity, the checkpoint sequence
+//!   number, the flash location of the persisted X-L2P table (if any), and
+//!   the locations of every L2P mapping slab.
+//! * **Map slab** — one page-sized slice of the L2P table:
+//!   `page_size / 8` entries of 8 bytes each (`0` = unmapped, otherwise
+//!   linear physical address + 1).
+
+use xftl_flash::Ppa;
+
+use crate::dev::Lpn;
+
+/// Magic number identifying a meta page ("XFTLMETA" as bytes).
+pub const META_MAGIC: u64 = 0x5846_544C_4D45_5441;
+/// Current on-flash format version.
+pub const META_VERSION: u64 = 1;
+
+/// Fixed header size of a meta page in bytes (7 u64 fields).
+const META_HEADER: usize = 56;
+
+/// Parsed contents of a meta (checkpoint-root) page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaPage {
+    /// Number of logical pages the device exports.
+    pub logical_pages: u64,
+    /// Global program sequence number at checkpoint time; recovery rolls
+    /// forward only pages programmed after this.
+    pub ckpt_seq: u64,
+    /// Sequence number of the most recent power-cycle recovery. In-flight
+    /// transactional evidence (cyclic-commit links, commit records) never
+    /// spans a power cycle, so pages at or before this horizon cannot
+    /// belong to a live transaction.
+    pub tx_horizon: u64,
+    /// Locations of the persisted X-L2P table pages, in order (empty when
+    /// no table is live; more than one page for large table configurations).
+    pub xl2p_roots: Vec<Ppa>,
+    /// Flash location of each L2P mapping slab (`None` = never persisted,
+    /// meaning every entry of that slab is unmapped).
+    pub map_locs: Vec<Option<Ppa>>,
+}
+
+fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"))
+}
+
+fn encode_opt_ppa(p: Option<Ppa>, pages_per_block: usize) -> u64 {
+    match p {
+        None => 0,
+        Some(ppa) => ppa.linear(pages_per_block) + 1,
+    }
+}
+
+fn decode_opt_ppa(v: u64, pages_per_block: usize) -> Option<Ppa> {
+    if v == 0 {
+        None
+    } else {
+        Some(Ppa::from_linear(v - 1, pages_per_block))
+    }
+}
+
+impl MetaPage {
+    /// Maximum combined number of X-L2P roots and map slabs a meta page of
+    /// `page_size` can index.
+    pub fn max_pointers(page_size: usize) -> usize {
+        (page_size - META_HEADER) / 8
+    }
+
+    /// Serializes into a full flash page.
+    ///
+    /// # Panics
+    /// If the pointer lists do not fit in `page_size` (the device
+    /// constructor validates this).
+    pub fn encode(&self, page_size: usize, pages_per_block: usize) -> Vec<u8> {
+        assert!(
+            self.map_locs.len() + self.xl2p_roots.len() <= Self::max_pointers(page_size),
+            "mapping pointers overflow a single meta page"
+        );
+        let mut buf = vec![0u8; page_size];
+        put_u64(&mut buf, 0, META_MAGIC);
+        put_u64(&mut buf, 8, META_VERSION);
+        put_u64(&mut buf, 16, self.logical_pages);
+        put_u64(&mut buf, 24, self.ckpt_seq);
+        put_u64(&mut buf, 32, self.tx_horizon);
+        put_u64(&mut buf, 40, self.xl2p_roots.len() as u64);
+        put_u64(&mut buf, 48, self.map_locs.len() as u64);
+        let mut off = META_HEADER;
+        for root in &self.xl2p_roots {
+            put_u64(&mut buf, off, encode_opt_ppa(Some(*root), pages_per_block));
+            off += 8;
+        }
+        for loc in &self.map_locs {
+            put_u64(&mut buf, off, encode_opt_ppa(*loc, pages_per_block));
+            off += 8;
+        }
+        buf
+    }
+
+    /// Parses a meta page; `None` if the magic/version/shape is wrong.
+    pub fn decode(buf: &[u8], pages_per_block: usize) -> Option<MetaPage> {
+        if buf.len() < META_HEADER || get_u64(buf, 0) != META_MAGIC {
+            return None;
+        }
+        if get_u64(buf, 8) != META_VERSION {
+            return None;
+        }
+        let roots = get_u64(buf, 40) as usize;
+        let count = get_u64(buf, 48) as usize;
+        if META_HEADER + (roots + count) * 8 > buf.len() {
+            return None;
+        }
+        let mut off = META_HEADER;
+        let mut xl2p_roots = Vec::with_capacity(roots);
+        for _ in 0..roots {
+            xl2p_roots.push(decode_opt_ppa(get_u64(buf, off), pages_per_block)?);
+            off += 8;
+        }
+        let mut map_locs = Vec::with_capacity(count);
+        for _ in 0..count {
+            map_locs.push(decode_opt_ppa(get_u64(buf, off), pages_per_block));
+            off += 8;
+        }
+        Some(MetaPage {
+            logical_pages: get_u64(buf, 16),
+            ckpt_seq: get_u64(buf, 24),
+            tx_horizon: get_u64(buf, 32),
+            xl2p_roots,
+            map_locs,
+        })
+    }
+}
+
+/// Entries of the L2P table stored per mapping slab page.
+pub fn entries_per_slab(page_size: usize) -> usize {
+    page_size / 8
+}
+
+/// Serializes one L2P slab (`slab_idx`) from the in-RAM table.
+pub fn encode_slab(
+    l2p: &[Option<Ppa>],
+    slab_idx: usize,
+    page_size: usize,
+    pages_per_block: usize,
+) -> Vec<u8> {
+    let eps = entries_per_slab(page_size);
+    let mut buf = vec![0u8; page_size];
+    let start = slab_idx * eps;
+    for i in 0..eps {
+        let entry = l2p.get(start + i).copied().flatten();
+        put_u64(&mut buf, i * 8, encode_opt_ppa(entry, pages_per_block));
+    }
+    buf
+}
+
+/// Loads one slab page back into the in-RAM table.
+pub fn decode_slab(l2p: &mut [Option<Ppa>], slab_idx: usize, buf: &[u8], pages_per_block: usize) {
+    let eps = entries_per_slab(buf.len());
+    let start = slab_idx * eps;
+    for i in 0..eps {
+        if start + i >= l2p.len() {
+            break;
+        }
+        l2p[start + i] = decode_opt_ppa(get_u64(buf, i * 8), pages_per_block);
+    }
+}
+
+/// Which slab an LPN's mapping entry lives in.
+pub fn slab_of(lpn: Lpn, page_size: usize) -> usize {
+    (lpn as usize) / entries_per_slab(page_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PPB: usize = 8;
+
+    #[test]
+    fn meta_roundtrip() {
+        let m = MetaPage {
+            logical_pages: 100,
+            ckpt_seq: 42,
+            tx_horizon: 17,
+            xl2p_roots: vec![Ppa::new(3, 4), Ppa::new(5, 6)],
+            map_locs: vec![None, Some(Ppa::new(1, 2)), None],
+        };
+        let buf = m.encode(512, PPB);
+        assert_eq!(MetaPage::decode(&buf, PPB), Some(m));
+    }
+
+    #[test]
+    fn meta_rejects_garbage() {
+        assert_eq!(MetaPage::decode(&[0u8; 512], PPB), None);
+        assert_eq!(MetaPage::decode(&[0xFFu8; 512], PPB), None);
+    }
+
+    #[test]
+    fn meta_rejects_wrong_version() {
+        let m = MetaPage {
+            logical_pages: 1,
+            ckpt_seq: 0,
+            tx_horizon: 0,
+            xl2p_roots: vec![],
+            map_locs: vec![],
+        };
+        let mut buf = m.encode(512, PPB);
+        put_u64(&mut buf, 8, 99);
+        assert_eq!(MetaPage::decode(&buf, PPB), None);
+    }
+
+    #[test]
+    fn slab_roundtrip() {
+        let page_size = 512;
+        let eps = entries_per_slab(page_size);
+        let mut l2p: Vec<Option<Ppa>> = vec![None; eps * 2];
+        l2p[3] = Some(Ppa::new(1, 1));
+        l2p[eps] = Some(Ppa::new(2, 7));
+        let slab0 = encode_slab(&l2p, 0, page_size, PPB);
+        let slab1 = encode_slab(&l2p, 1, page_size, PPB);
+        let mut out: Vec<Option<Ppa>> = vec![None; eps * 2];
+        decode_slab(&mut out, 0, &slab0, PPB);
+        decode_slab(&mut out, 1, &slab1, PPB);
+        assert_eq!(out, l2p);
+    }
+
+    #[test]
+    fn slab_of_partitions_lpns() {
+        let ps = 512;
+        let eps = entries_per_slab(ps) as u64;
+        assert_eq!(slab_of(0, ps), 0);
+        assert_eq!(slab_of(eps - 1, ps), 0);
+        assert_eq!(slab_of(eps, ps), 1);
+    }
+
+    #[test]
+    fn short_l2p_padded_with_unmapped() {
+        // A slab page can cover more entries than the table holds; the
+        // excess encodes as unmapped and decodes without overrunning.
+        let ps = 512;
+        let l2p = vec![Some(Ppa::new(0, 1)); 3];
+        let slab = encode_slab(&l2p, 0, ps, PPB);
+        let mut out = vec![None; 3];
+        decode_slab(&mut out, 0, &slab, PPB);
+        assert_eq!(out, l2p);
+    }
+}

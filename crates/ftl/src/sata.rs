@@ -1,0 +1,227 @@
+//! Host interface (SATA link) latency model.
+//!
+//! The paper's OpenSSD talks SATA 2.0 (3 Gb/s); the S830 comparison drive
+//! talks SATA 3.0. Every command crosses the link, paying a fixed protocol
+//! overhead plus a per-byte transfer cost for data commands. [`SataLink`]
+//! wraps any [`BlockDevice`] and charges these costs to the shared clock,
+//! so host-side layers see realistic end-to-end latencies.
+
+use xftl_flash::{Nanos, SimClock};
+
+use crate::dev::{BlockDevice, DevCounters, Lpn, Tid};
+use crate::error::Result;
+
+/// Link speed and protocol overhead parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Per-command protocol/dispatch overhead (FIS exchange, host driver).
+    pub cmd_ns: Nanos,
+    /// Transfer cost per byte of payload.
+    pub ns_per_byte: Nanos,
+}
+
+impl LinkConfig {
+    /// SATA 2.0, ~300 MB/s: the OpenSSD's interface.
+    pub const SATA2: LinkConfig = LinkConfig {
+        cmd_ns: 20_000,
+        ns_per_byte: 3,
+    };
+
+    /// SATA 3.0, ~600 MB/s: the S830's interface.
+    pub const SATA3: LinkConfig = LinkConfig {
+        cmd_ns: 10_000,
+        ns_per_byte: 2,
+    };
+}
+
+/// A [`BlockDevice`] seen across a SATA link.
+#[derive(Debug)]
+pub struct SataLink<D: BlockDevice> {
+    inner: D,
+    config: LinkConfig,
+    clock: SimClock,
+}
+
+impl<D: BlockDevice> SataLink<D> {
+    /// Wraps `inner`, charging link costs to `clock`.
+    pub fn new(inner: D, config: LinkConfig, clock: SimClock) -> Self {
+        SataLink {
+            inner,
+            config,
+            clock,
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped device.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwraps the link.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn charge(&self, payload: usize) {
+        self.clock
+            .advance(self.config.cmd_ns + payload as u64 * self.config.ns_per_byte);
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for SataLink<D> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.inner.capacity_pages()
+    }
+
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        self.charge(buf.len());
+        self.inner.read(lpn, buf)
+    }
+
+    fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        self.charge(buf.len());
+        self.inner.write(lpn, buf)
+    }
+
+    fn trim(&mut self, lpn: Lpn) -> Result<()> {
+        self.charge(0);
+        self.inner.trim(lpn)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.charge(0);
+        self.inner.flush()
+    }
+
+    fn counters(&self) -> DevCounters {
+        self.inner.counters()
+    }
+
+    fn supports_tx(&self) -> bool {
+        self.inner.supports_tx()
+    }
+
+    fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        self.charge(buf.len());
+        self.inner.read_tx(tid, lpn, buf)
+    }
+
+    fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        self.charge(buf.len());
+        self.inner.write_tx(tid, lpn, buf)
+    }
+
+    fn commit(&mut self, tid: Tid) -> Result<()> {
+        // commit/abort ride on the trim command (§5.2): payload-free.
+        self.charge(0);
+        self.inner.commit(tid)
+    }
+
+    fn abort(&mut self, tid: Tid) -> Result<()> {
+        self.charge(0);
+        self.inner.abort(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagemap::PageMappedFtl;
+    use xftl_flash::{FlashChip, FlashConfig};
+
+    fn linked() -> (SataLink<PageMappedFtl>, SimClock) {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::tiny(16), clock.clone());
+        let dev = PageMappedFtl::format(chip, 32).unwrap();
+        (SataLink::new(dev, LinkConfig::SATA2, clock.clone()), clock)
+    }
+
+    #[test]
+    fn link_charges_transfer_time() {
+        let (mut link, clock) = linked();
+        let page = link.page_size();
+        let data = vec![1u8; page];
+        let t0 = clock.now();
+        link.write(0, &data).unwrap();
+        let write_cost = clock.now() - t0;
+        // Link cost alone would be cmd + page*3ns; total must exceed it.
+        assert!(write_cost > LinkConfig::SATA2.cmd_ns + page as u64 * 3);
+    }
+
+    #[test]
+    fn link_is_transparent_for_data() {
+        let (mut link, _) = linked();
+        let data = vec![0x42u8; link.page_size()];
+        link.write(3, &data).unwrap();
+        let mut out = vec![0u8; link.page_size()];
+        link.read(3, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(link.counters().host_writes, 1);
+    }
+
+    #[test]
+    fn sata3_is_faster_than_sata2() {
+        let clock2 = SimClock::new();
+        let chip2 = FlashChip::new(FlashConfig::tiny(16), clock2.clone());
+        let mut l2 = SataLink::new(
+            PageMappedFtl::format(chip2, 32).unwrap(),
+            LinkConfig::SATA2,
+            clock2.clone(),
+        );
+        let clock3 = SimClock::new();
+        let chip3 = FlashChip::new(FlashConfig::tiny(16), clock3.clone());
+        let mut l3 = SataLink::new(
+            PageMappedFtl::format(chip3, 32).unwrap(),
+            LinkConfig::SATA3,
+            clock3.clone(),
+        );
+        let data = vec![1u8; l2.page_size()];
+        let a = clock2.now();
+        l2.write(0, &data).unwrap();
+        let cost2 = clock2.now() - a;
+        let b = clock3.now();
+        l3.write(0, &data).unwrap();
+        let cost3 = clock3.now() - b;
+        assert!(cost3 < cost2);
+    }
+}
+
+#[cfg(test)]
+mod tx_link_tests {
+    use super::*;
+    use xftl_flash::{FlashChip, FlashConfig};
+
+    #[test]
+    fn link_forwards_transactional_commands_with_costs() {
+        use crate::txflash::TxFlashFtl;
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::tiny(16), clock.clone());
+        let dev = TxFlashFtl::format(chip, 32).unwrap();
+        let mut link = SataLink::new(dev, LinkConfig::SATA2, clock.clone());
+        assert!(link.supports_tx());
+        let page = vec![5u8; link.page_size()];
+        let t0 = clock.now();
+        link.write_tx(3, 0, &page).unwrap();
+        let tx_write_cost = clock.now() - t0;
+        assert!(tx_write_cost >= LinkConfig::SATA2.cmd_ns + page.len() as u64 * 3);
+        let t1 = clock.now();
+        link.commit(3).unwrap();
+        assert!(
+            clock.now() - t1 >= LinkConfig::SATA2.cmd_ns,
+            "commit pays link cost"
+        );
+        let mut out = vec![0u8; link.page_size()];
+        link.read(0, &mut out).unwrap();
+        assert_eq!(out, page);
+        link.abort(9).unwrap(); // unknown tid forwards cleanly
+    }
+}

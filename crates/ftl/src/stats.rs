@@ -1,0 +1,125 @@
+//! FTL-level statistics.
+//!
+//! These are the "FTL-side" counters of the paper's Table 1 and Figure 6:
+//! pages written (host data, GC copy-backs, mapping, metadata), pages read,
+//! garbage-collection frequency, and erase counts. Raw media totals live in
+//! [`xftl_flash::FlashStats`]; this struct attributes them to causes.
+
+use std::ops::Sub;
+
+/// Cause-attributed FTL operation counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FtlStats {
+    /// Host data pages programmed (plain and transactional).
+    pub data_writes: u64,
+    /// Pages copied by garbage collection.
+    pub gc_copies: u64,
+    /// Garbage-collection runs (one victim block each).
+    pub gc_runs: u64,
+    /// GC runs that recycled mapping-class blocks (excluded from the
+    /// validity ratio).
+    pub gc_map_runs: u64,
+    /// Pages inspected in *data* GC victims, for the validity ratio.
+    pub gc_victim_pages: u64,
+    /// Valid pages found in *data* GC victims.
+    pub gc_valid_pages: u64,
+    /// L2P mapping slabs written by checkpoints.
+    pub map_writes: u64,
+    /// Meta (checkpoint-root) pages written.
+    pub meta_writes: u64,
+    /// Persisted X-L2P table pages written (X-FTL only).
+    pub xl2p_writes: u64,
+    /// Commit-record pages written (atomic-write baseline only).
+    pub commit_record_writes: u64,
+    /// Checkpoints taken (mapping-table persist events).
+    pub checkpoints: u64,
+}
+
+impl FtlStats {
+    /// All pages programmed by the FTL, from any cause.
+    pub fn total_writes(&self) -> u64 {
+        self.data_writes
+            + self.gc_copies
+            + self.map_writes
+            + self.meta_writes
+            + self.xl2p_writes
+            + self.commit_record_writes
+    }
+
+    /// Mean fraction of valid pages in *data* GC victim blocks, if any
+    /// data-block GC ran. This is the "GC validity" knob of Figures 5/6.
+    pub fn mean_gc_validity(&self) -> Option<f64> {
+        if self.gc_victim_pages == 0 {
+            None
+        } else {
+            Some(self.gc_valid_pages as f64 / self.gc_victim_pages as f64)
+        }
+    }
+}
+
+impl Sub for FtlStats {
+    type Output = FtlStats;
+
+    fn sub(self, rhs: FtlStats) -> FtlStats {
+        FtlStats {
+            data_writes: self.data_writes - rhs.data_writes,
+            gc_copies: self.gc_copies - rhs.gc_copies,
+            gc_runs: self.gc_runs - rhs.gc_runs,
+            gc_map_runs: self.gc_map_runs - rhs.gc_map_runs,
+            gc_victim_pages: self.gc_victim_pages - rhs.gc_victim_pages,
+            gc_valid_pages: self.gc_valid_pages - rhs.gc_valid_pages,
+            map_writes: self.map_writes - rhs.map_writes,
+            meta_writes: self.meta_writes - rhs.meta_writes,
+            xl2p_writes: self.xl2p_writes - rhs.xl2p_writes,
+            commit_record_writes: self.commit_record_writes - rhs.commit_record_writes,
+            checkpoints: self.checkpoints - rhs.checkpoints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_causes() {
+        let s = FtlStats {
+            data_writes: 1,
+            gc_copies: 2,
+            map_writes: 3,
+            meta_writes: 4,
+            xl2p_writes: 5,
+            commit_record_writes: 6,
+            ..Default::default()
+        };
+        assert_eq!(s.total_writes(), 21);
+    }
+
+    #[test]
+    fn validity_ratio() {
+        let s = FtlStats {
+            gc_victim_pages: 100,
+            gc_valid_pages: 37,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_gc_validity(), Some(0.37));
+        assert_eq!(FtlStats::default().mean_gc_validity(), None);
+    }
+
+    #[test]
+    fn diff_subtracts_fieldwise() {
+        let a = FtlStats {
+            data_writes: 10,
+            gc_runs: 4,
+            ..Default::default()
+        };
+        let b = FtlStats {
+            data_writes: 3,
+            gc_runs: 1,
+            ..Default::default()
+        };
+        let d = a - b;
+        assert_eq!(d.data_writes, 7);
+        assert_eq!(d.gc_runs, 3);
+    }
+}

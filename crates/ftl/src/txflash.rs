@@ -1,0 +1,441 @@
+//! Baseline: TxFlash's Simple Cyclic Commit (Prabhakaran, Rodeheffer,
+//! Zhou — OSDI 2008; the paper's citation \[20\]).
+//!
+//! SCC eliminates the separate commit record: every page of a transaction
+//! carries, in its out-of-band area, its position within the transaction,
+//! and the *last* page carries a cycle-closing marker with the total
+//! count. A transaction is committed iff its cycle is complete on flash —
+//! zero extra pages per commit.
+//!
+//! To let the closing marker ride on a data page under our streaming
+//! `write_tx` interface, the device write-behind-buffers the most recent
+//! page of each transaction in controller RAM and programs it on the next
+//! write (plain link) or at `commit` (closing link). Power loss drops the
+//! buffer, which is exactly SCC's abort semantics: an unclosed cycle never
+//! commits.
+//!
+//! Like the atomic-write FTL — and unlike X-FTL — TxFlash supports
+//! atomicity only for the pages the host groups explicitly, and its
+//! cycles must be written contiguously per transaction id; it cannot keep
+//! an old committed version readable for *other* transactions while a
+//! writer is in flight on the same page (the §3.3 contrast). Our
+//! implementation does pin the old version until commit, as SCC's
+//! versioned pages do.
+
+use std::collections::HashMap;
+
+use xftl_flash::{FlashChip, Oob, PageKind, Ppa, SimClock};
+
+use crate::base::{FtlBase, GcHook, NoHook, RecoveryLog};
+use crate::dev::{BlockDevice, DevCounters, Lpn, Tid};
+use crate::error::Result;
+use crate::stats::FtlStats;
+
+/// Cycle-closing flag in the auxiliary OOB word; the low 31 bits hold the
+/// page's 1-based position (or, on the closing page, the total count).
+const CLOSE: u32 = 1 << 31;
+
+/// GC hook: chases relocated in-flight transaction pages.
+#[derive(Debug, Default)]
+struct SccHook {
+    programmed: HashMap<Tid, Vec<(Lpn, Ppa)>>,
+}
+
+impl GcHook for SccHook {
+    fn relocated(&mut self, oob: &Oob, old: Ppa, new: Ppa) {
+        if oob.kind != PageKind::Data || oob.tid == 0 {
+            return;
+        }
+        if let Some(pages) = self.programmed.get_mut(&oob.tid) {
+            for (lpn, ppa) in pages.iter_mut() {
+                if *ppa == old && *lpn == oob.lpn {
+                    *ppa = new;
+                }
+            }
+        }
+    }
+}
+
+/// The Simple-Cyclic-Commit FTL.
+#[derive(Debug)]
+pub struct TxFlashFtl {
+    base: FtlBase,
+    pending: HashMap<Tid, Option<(Lpn, Vec<u8>)>>,
+    hook: SccHook,
+}
+
+impl TxFlashFtl {
+    /// Formats a fresh chip to export `logical_pages`.
+    pub fn format(chip: FlashChip, logical_pages: u64) -> Result<Self> {
+        Ok(TxFlashFtl {
+            base: FtlBase::format(chip, logical_pages)?,
+            pending: HashMap::new(),
+            hook: SccHook::default(),
+        })
+    }
+
+    /// Rebuilds the device after a power loss: transactions whose cycle is
+    /// complete (positions `1..=n` present plus a closing page of count
+    /// `n`) are rolled forward; incomplete cycles vanish.
+    pub fn recover(chip: FlashChip) -> Result<Self> {
+        let (mut base, log) = FtlBase::recover(chip)?;
+        Self::replay(&mut base, &log);
+        base.checkpoint(&mut NoHook)?;
+        Ok(TxFlashFtl {
+            base,
+            pending: HashMap::new(),
+            hook: SccHook::default(),
+        })
+    }
+
+    fn replay(base: &mut FtlBase, log: &RecoveryLog) {
+        // Group each tid's pages into *runs*: a run ends at a cycle-closing
+        // page, so a reused transaction id yields separate runs, each
+        // judged on its own. GC may duplicate positions (relocated copies
+        // keep their link word), so coverage is set-based. A committed
+        // run's pages become current at the instant the cycle closed —
+        // exactly like X-FTL's table-write seq — so folds are merged with
+        // plain roll-forward events at the *close* sequence. Runs that
+        // closed before the checkpoint are already covered by the
+        // checkpointed L2P and are skipped.
+        type Run = Vec<(u64, crate::dev::Lpn, Ppa, u32)>; // (seq, lpn, ppa, pos)
+        let mut open: HashMap<Tid, Run> = HashMap::new();
+        let mut folds: Vec<(u64, crate::dev::Lpn, Ppa)> = Vec::new();
+        for e in &log.events {
+            match e.kind {
+                PageKind::Data if e.tid == 0 => {
+                    if e.seq > log.ckpt_seq {
+                        folds.push((e.seq, e.lpn, e.ppa));
+                    }
+                }
+                PageKind::Data if e.seq <= log.tx_horizon => {
+                    // A dead transaction from an earlier life: its cycle
+                    // can never complete (the write buffer died with it).
+                }
+                PageKind::Data => {
+                    let run = open.entry(e.tid).or_default();
+                    run.push((e.seq, e.lpn, e.ppa, e.aux & !CLOSE));
+                    if e.aux & CLOSE != 0 {
+                        let n = e.aux & !CLOSE;
+                        let run = open.remove(&e.tid).unwrap_or_default();
+                        let close_seq = e.seq;
+                        let mut seen = vec![false; n as usize + 1];
+                        for &(_, _, _, p) in &run {
+                            if (p as usize) < seen.len() {
+                                seen[p as usize] = true;
+                            }
+                        }
+                        let complete = seen.iter().skip(1).all(|&s| s);
+                        if complete && close_seq > log.ckpt_seq {
+                            // Latest version per lpn within the run.
+                            let mut newest: HashMap<crate::dev::Lpn, (u64, Ppa)> = HashMap::new();
+                            for (seq, lpn, ppa, _) in run {
+                                let slot = newest.entry(lpn).or_insert((seq, ppa));
+                                if seq > slot.0 {
+                                    *slot = (seq, ppa);
+                                }
+                            }
+                            for (lpn, (_, ppa)) in newest {
+                                folds.push((close_seq, lpn, ppa));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        folds.sort_by_key(|&(seq, _, _)| seq);
+        for (_, lpn, ppa) in folds {
+            base.apply_event(lpn, ppa);
+        }
+    }
+
+    /// Programs the buffered page of `tid` with the given link word.
+    fn flush_pending(&mut self, tid: Tid, close: bool) -> Result<()> {
+        let Some(slot) = self.pending.get_mut(&tid) else {
+            return Ok(());
+        };
+        let Some((lpn, data)) = slot.take() else {
+            return Ok(());
+        };
+        let position = self.hook.programmed.get(&tid).map_or(0, |v| v.len()) as u32 + 1;
+        let aux = if close { CLOSE | position } else { position };
+        let ppa =
+            self.base
+                .program_raw_aux(PageKind::Data, lpn, tid, aux, &data, &mut self.hook)?;
+        self.hook
+            .programmed
+            .entry(tid)
+            .or_default()
+            .push((lpn, ppa));
+        Ok(())
+    }
+
+    /// FTL-attributed statistics.
+    pub fn stats(&self) -> &FtlStats {
+        self.base.stats()
+    }
+
+    /// Raw media statistics.
+    pub fn flash_stats(&self) -> xftl_flash::FlashStats {
+        self.base.flash_stats()
+    }
+
+    /// Shared simulated clock.
+    pub fn clock(&self) -> SimClock {
+        self.base.clock()
+    }
+
+    /// Powers down, keeping only the flash.
+    pub fn into_chip(self) -> FlashChip {
+        self.base.into_chip()
+    }
+
+    /// Direct engine access for failure injection in tests.
+    pub fn base_mut(&mut self) -> &mut FtlBase {
+        &mut self.base
+    }
+}
+
+impl BlockDevice for TxFlashFtl {
+    fn page_size(&self) -> usize {
+        self.base.page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.base.capacity_pages()
+    }
+
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        self.base.counters_mut().host_reads += 1;
+        self.base.read_committed(lpn, buf)
+    }
+
+    fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        self.base.counters_mut().host_writes += 1;
+        self.base.write_committed(lpn, buf, &mut self.hook)
+    }
+
+    fn trim(&mut self, lpn: Lpn) -> Result<()> {
+        self.base.counters_mut().trims += 1;
+        self.base.trim_lpn(lpn)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.base.counters_mut().flushes += 1;
+        if self.base.has_dirty_mapping() {
+            self.base.checkpoint(&mut self.hook)?;
+        }
+        Ok(())
+    }
+
+    fn counters(&self) -> DevCounters {
+        *self.base.counters()
+    }
+
+    fn supports_tx(&self) -> bool {
+        true
+    }
+
+    fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        self.base.counters_mut().host_reads += 1;
+        // Own writes first: the buffered page, then the newest programmed
+        // version of the page, then the committed copy.
+        if let Some(Some((plpn, data))) = self.pending.get(&tid) {
+            if *plpn == lpn {
+                buf.copy_from_slice(data);
+                return Ok(());
+            }
+        }
+        if let Some(pages) = self.hook.programmed.get(&tid) {
+            if let Some((_, ppa)) = pages.iter().rev().find(|(l, _)| *l == lpn) {
+                let ppa = *ppa;
+                self.base.read_at(ppa, buf)?;
+                return Ok(());
+            }
+        }
+        self.base.read_committed(lpn, buf)
+    }
+
+    fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        if tid == 0 {
+            return self.write(lpn, buf);
+        }
+        self.base.counters_mut().host_writes += 1;
+        // Program the previously buffered page with a plain link, then
+        // buffer this one (it may turn out to be the cycle-closing page).
+        self.flush_pending(tid, false)?;
+        self.pending.insert(tid, Some((lpn, buf.to_vec())));
+        Ok(())
+    }
+
+    fn commit(&mut self, tid: Tid) -> Result<()> {
+        self.base.counters_mut().commits += 1;
+        self.flush_pending(tid, true)?;
+        self.pending.remove(&tid);
+        let Some(pages) = self.hook.programmed.remove(&tid) else {
+            return Ok(()); // read-only transaction
+        };
+        // The cycle is durably closed: fold the newest version of every
+        // page into the committed mapping.
+        for (lpn, ppa) in pages {
+            self.base.fold_mapping(lpn, ppa);
+        }
+        Ok(())
+    }
+
+    fn abort(&mut self, tid: Tid) -> Result<()> {
+        self.base.counters_mut().aborts += 1;
+        self.pending.remove(&tid);
+        if let Some(pages) = self.hook.programmed.remove(&tid) {
+            for (_, ppa) in pages {
+                self.base.invalidate(ppa);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xftl_flash::FlashConfig;
+
+    fn dev() -> TxFlashFtl {
+        let chip = FlashChip::new(FlashConfig::tiny(16), SimClock::new());
+        TxFlashFtl::format(chip, 32).unwrap()
+    }
+
+    fn page(d: &TxFlashFtl, byte: u8) -> Vec<u8> {
+        vec![byte; d.page_size()]
+    }
+
+    #[test]
+    fn commit_costs_zero_extra_pages() {
+        let mut d = dev();
+        let a = page(&d, 1);
+        for lpn in 0..5 {
+            d.write_tx(7, lpn, &a).unwrap();
+        }
+        let before = d.flash_stats().programs;
+        d.commit(7).unwrap();
+        let after = d.flash_stats().programs;
+        // Commit programs exactly the one buffered page — the cycle closer
+        // rides on data, no commit record, no table write.
+        assert_eq!(after - before, 1, "SCC's zero-overhead commit");
+        assert_eq!(d.stats().data_writes, 5);
+        let mut out = page(&d, 0);
+        d.read(3, &mut out).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn uncommitted_invisible_and_abort_rolls_back() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        let new = page(&d, 2);
+        d.write(0, &old).unwrap();
+        d.write_tx(3, 0, &new).unwrap();
+        let mut out = page(&d, 0);
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, old);
+        d.read_tx(3, 0, &mut out).unwrap();
+        assert_eq!(out, new, "writer sees its own buffered page");
+        d.abort(3).unwrap();
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, old);
+    }
+
+    #[test]
+    fn crash_with_open_cycle_rolls_back() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        let new = page(&d, 2);
+        d.write(0, &old).unwrap();
+        d.write(1, &old).unwrap();
+        d.flush().unwrap();
+        d.write_tx(9, 0, &new).unwrap();
+        d.write_tx(9, 1, &new).unwrap(); // first page programmed, second buffered
+                                         // crash before commit
+        let mut d2 = TxFlashFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, old);
+        d2.read(1, &mut out).unwrap();
+        assert_eq!(out, old);
+    }
+
+    #[test]
+    fn committed_cycle_survives_crash() {
+        let mut d = dev();
+        let a = page(&d, 0xA0);
+        let b = page(&d, 0xB0);
+        d.write_tx(5, 2, &a).unwrap();
+        d.write_tx(5, 3, &b).unwrap();
+        d.commit(5).unwrap();
+        // No flush: the closed cycle alone is the durability evidence.
+        let mut d2 = TxFlashFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(2, &mut out).unwrap();
+        assert_eq!(out, a);
+        d2.read(3, &mut out).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn crash_one_op_before_close_rolls_back() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        d.write(0, &old).unwrap();
+        d.flush().unwrap();
+        let new = page(&d, 2);
+        d.write_tx(4, 0, &new).unwrap();
+        d.write_tx(4, 1, &new).unwrap();
+        // The commit's closing program is torn.
+        d.base_mut().chip_mut().arm_power_fuse(1);
+        assert!(d.commit(4).is_err());
+        let mut d2 = TxFlashFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, old, "torn closing page must not commit the cycle");
+    }
+
+    #[test]
+    fn rewrites_within_tx_use_latest_version() {
+        let mut d = dev();
+        let v1 = page(&d, 1);
+        let v2 = page(&d, 2);
+        d.write_tx(6, 0, &v1).unwrap();
+        d.write_tx(6, 0, &v2).unwrap();
+        d.commit(6).unwrap();
+        let mut out = page(&d, 0);
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, v2);
+    }
+
+    #[test]
+    fn survives_gc_churn_mid_transaction() {
+        let mut d = dev();
+        let keep = page(&d, 0x77);
+        d.write_tx(1, 30, &keep).unwrap();
+        d.write_tx(1, 31, &keep).unwrap(); // page 30 programmed, 31 buffered
+        let junk = page(&d, 2);
+        for i in 0..300u64 {
+            d.write(i % 6, &junk).unwrap();
+        }
+        assert!(d.stats().gc_runs > 0);
+        d.commit(1).unwrap();
+        let mut out = page(&d, 0);
+        d.read(30, &mut out).unwrap();
+        assert_eq!(out, keep);
+        d.read(31, &mut out).unwrap();
+        assert_eq!(out, keep);
+    }
+
+    #[test]
+    fn commit_of_unknown_tid_is_noop() {
+        let mut d = dev();
+        assert!(d.commit(42).is_ok());
+        assert!(d.abort(42).is_ok());
+    }
+}

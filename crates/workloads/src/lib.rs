@@ -1,0 +1,20 @@
+//! # xftl-workloads — the paper's workload generators and experiment rig
+//!
+//! * [`rig`] — assembles the full stack (flash → FTL → SATA → FS → DB)
+//!   for one experimental configuration, with crash/recover plumbing and
+//!   cross-layer statistics snapshots.
+//! * [`synthetic`] — the partsupp update workload of §6.3.1.
+//! * [`android`] — statement-stream synthesizers matching Table 2's
+//!   published Android trace statistics.
+//! * [`tpcc`] — TPC-C with the paper's four transaction mixes.
+//! * [`fio`] — the random-write file-system benchmark of §6.3.4.
+
+#![warn(missing_docs)]
+
+pub mod android;
+pub mod fio;
+pub mod rig;
+pub mod synthetic;
+pub mod tpcc;
+
+pub use rig::{Aging, AnyDev, Mode, Profile, Rig, RigConfig, Snapshot};

@@ -1,0 +1,565 @@
+//! Experiment rig: assembles the full stack — flash chip, FTL personality,
+//! SATA link, file system, database — for one experimental configuration,
+//! and provides crash/recover plumbing and cross-layer statistics
+//! snapshots (the rows of the paper's Table 1).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xftl_core::XFtl;
+use xftl_db::{Connection, DbJournalMode, SharedFs};
+use xftl_flash::{FlashChip, FlashConfig, Nanos, SimClock};
+use xftl_fs::{FileSystem, FsConfig, FsStats, JournalMode};
+use xftl_ftl::{
+    AtomicWriteFtl, BlockDevice, DevCounters, FtlStats, GcPolicy, LinkConfig, Lpn, PageMappedFtl,
+    Result, SataLink, Tid,
+};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three system configurations the paper compares (§6.3): SQLite in
+/// rollback or WAL mode over the original FTL, or journaling off over
+/// X-FTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Rollback journal on the plain page-mapping FTL, ext4 ordered.
+    Rbj,
+    /// Write-ahead log on the plain page-mapping FTL, ext4 ordered.
+    Wal,
+    /// Journaling off on X-FTL; file-system journaling off too.
+    XFtl,
+}
+
+impl Mode {
+    /// The SQLite journal mode for this configuration.
+    pub fn db_mode(self) -> DbJournalMode {
+        match self {
+            Mode::Rbj => DbJournalMode::Rollback,
+            Mode::Wal => DbJournalMode::Wal,
+            Mode::XFtl => DbJournalMode::Off,
+        }
+    }
+
+    /// The file-system journal mode for this configuration.
+    pub fn fs_mode(self) -> JournalMode {
+        match self {
+            Mode::Rbj | Mode::Wal => JournalMode::Ordered,
+            Mode::XFtl => JournalMode::Off,
+        }
+    }
+
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Rbj => "RBJ",
+            Mode::Wal => "WAL",
+            Mode::XFtl => "X-FTL",
+        }
+    }
+}
+
+/// Hardware profile: the OpenSSD development board or the newer Samsung
+/// S830 consumer SSD of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Profile {
+    OpenSsd,
+    S830,
+}
+
+/// A device of any FTL personality behind its SATA link.
+#[derive(Debug)]
+#[allow(missing_docs)]
+pub enum AnyDev {
+    Plain(SataLink<PageMappedFtl>),
+    X(SataLink<XFtl>),
+    AtomicW(SataLink<AtomicWriteFtl>),
+}
+
+macro_rules! fwd {
+    ($self:ident, $d:ident => $body:expr) => {
+        match $self {
+            AnyDev::Plain($d) => $body,
+            AnyDev::X($d) => $body,
+            AnyDev::AtomicW($d) => $body,
+        }
+    };
+}
+
+impl BlockDevice for AnyDev {
+    fn page_size(&self) -> usize {
+        fwd!(self, d => d.page_size())
+    }
+    fn capacity_pages(&self) -> u64 {
+        fwd!(self, d => d.capacity_pages())
+    }
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        fwd!(self, d => d.read(lpn, buf))
+    }
+    fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        fwd!(self, d => d.write(lpn, buf))
+    }
+    fn trim(&mut self, lpn: Lpn) -> Result<()> {
+        fwd!(self, d => d.trim(lpn))
+    }
+    fn flush(&mut self) -> Result<()> {
+        fwd!(self, d => d.flush())
+    }
+    fn counters(&self) -> DevCounters {
+        fwd!(self, d => d.counters())
+    }
+    fn supports_tx(&self) -> bool {
+        fwd!(self, d => d.supports_tx())
+    }
+    fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        fwd!(self, d => d.read_tx(tid, lpn, buf))
+    }
+    fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        fwd!(self, d => d.write_tx(tid, lpn, buf))
+    }
+    fn commit(&mut self, tid: Tid) -> Result<()> {
+        fwd!(self, d => d.commit(tid))
+    }
+    fn abort(&mut self, tid: Tid) -> Result<()> {
+        fwd!(self, d => d.abort(tid))
+    }
+}
+
+impl AnyDev {
+    /// FTL-attributed statistics of whichever personality is inside.
+    pub fn ftl_stats(&self) -> FtlStats {
+        match self {
+            AnyDev::Plain(d) => *d.inner().stats(),
+            AnyDev::X(d) => *d.inner().stats(),
+            AnyDev::AtomicW(d) => *d.inner().stats(),
+        }
+    }
+
+    /// Raw flash statistics.
+    pub fn flash_stats(&self) -> xftl_flash::FlashStats {
+        match self {
+            AnyDev::Plain(d) => d.inner().flash_stats(),
+            AnyDev::X(d) => d.inner().flash_stats(),
+            AnyDev::AtomicW(d) => d.inner().flash_stats(),
+        }
+    }
+
+    /// Resets device statistics (chip + FTL counters).
+    pub fn reset_stats(&mut self) {
+        match self {
+            AnyDev::Plain(d) => d.inner_mut().reset_stats(),
+            AnyDev::X(d) => d.inner_mut().reset_stats(),
+            AnyDev::AtomicW(d) => d.inner_mut().reset_stats(),
+        }
+    }
+}
+
+/// Rig parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RigConfig {
+    /// System configuration under test.
+    pub mode: Mode,
+    /// Hardware profile.
+    pub profile: Profile,
+    /// Flash blocks (128 pages of 8 KB each on the OpenSSD geometry).
+    pub blocks: usize,
+    /// Logical pages the device exports.
+    pub logical_pages: u64,
+    /// OS page-cache capacity (pages).
+    pub fs_cache_pages: usize,
+    /// X-L2P capacity when `mode == XFtl`.
+    pub xl2p_capacity: usize,
+    /// Pre-format aging: fraction of the logical space filled with cold
+    /// data, plus churn rounds, to set the GC validity regime (Figure 5's
+    /// 30/50/70 % knob). `None` = fresh drive.
+    pub aging: Option<Aging>,
+    /// Overrides the file-system journal mode implied by `mode` (the FIO
+    /// benchmark compares ext4 *full* journaling, which no SQLite mode
+    /// maps to).
+    pub fs_mode_override: Option<JournalMode>,
+    /// GC victim policy; the aged-drive experiments use `Fifo` (the
+    /// OpenSSD-era behaviour that makes victim validity track utilization).
+    pub gc_policy: GcPolicy,
+    /// Seed for aging and workload randomness.
+    pub seed: u64,
+}
+
+/// Aging parameters: fill the drive, then churn, before mkfs.
+#[derive(Debug, Clone, Copy)]
+pub struct Aging {
+    /// Fraction of logical pages written with cold data.
+    pub fill: f64,
+    /// Random overwrites, as a multiple of the filled page count.
+    pub churn: f64,
+}
+
+impl RigConfig {
+    /// A small configuration for tests (tiny geometry is NOT used here:
+    /// the rig always uses the paper's 8 KB/128 geometry).
+    pub fn small(mode: Mode) -> RigConfig {
+        RigConfig {
+            mode,
+            profile: Profile::OpenSsd,
+            blocks: 64,
+            logical_pages: 5_000,
+            fs_cache_pages: 1024,
+            xl2p_capacity: 500,
+            aging: None,
+            fs_mode_override: None,
+            gc_policy: GcPolicy::Greedy,
+            seed: 42,
+        }
+    }
+}
+
+impl RigConfig {
+    /// The effective file-system journal mode.
+    pub fn fs_mode(&self) -> JournalMode {
+        self.fs_mode_override.unwrap_or_else(|| self.mode.fs_mode())
+    }
+}
+
+/// The assembled stack.
+pub struct Rig {
+    /// The mounted file system (shared with open connections).
+    pub fs: SharedFs<AnyDev>,
+    /// The simulated clock every layer charges.
+    pub clock: SimClock,
+    cfg: RigConfig,
+}
+
+/// A cross-layer statistics snapshot (one Table 1 row, plus extras).
+#[derive(Debug, Clone, Copy, Default)]
+#[allow(missing_docs)]
+pub struct Snapshot {
+    pub fs: FsStats,
+    pub ftl: FtlStats,
+    pub flash: xftl_flash::FlashStats,
+    pub dev: DevCounters,
+    pub now_ns: Nanos,
+}
+
+impl Rig {
+    /// Builds the stack: flash → (aging) → FTL → SATA link → mkfs.
+    pub fn build(cfg: RigConfig) -> Rig {
+        let clock = SimClock::new();
+        let flash_cfg = match cfg.profile {
+            Profile::OpenSsd => FlashConfig::openssd(cfg.blocks),
+            Profile::S830 => FlashConfig::s830(cfg.blocks),
+        };
+        let link = match cfg.profile {
+            Profile::OpenSsd => LinkConfig::SATA2,
+            Profile::S830 => LinkConfig::SATA3,
+        };
+        let chip = FlashChip::new(flash_cfg, clock.clone());
+        let mut dev = match cfg.mode {
+            Mode::XFtl => AnyDev::X(SataLink::new(
+                XFtl::format_with_capacity(chip, cfg.logical_pages, cfg.xl2p_capacity)
+                    .expect("format"),
+                link,
+                clock.clone(),
+            )),
+            _ => AnyDev::Plain(SataLink::new(
+                PageMappedFtl::format(chip, cfg.logical_pages).expect("format"),
+                link,
+                clock.clone(),
+            )),
+        };
+        match &mut dev {
+            AnyDev::Plain(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
+            AnyDev::X(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
+            AnyDev::AtomicW(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
+        }
+        if let Some(aging) = cfg.aging {
+            age_device(&mut dev, aging, cfg.seed);
+        }
+        let fs = FileSystem::mkfs(
+            dev,
+            cfg.fs_mode(),
+            FsConfig {
+                inode_count: 256,
+                journal_pages: 256.min(cfg.logical_pages / 8).max(16),
+                cache_pages: cfg.fs_cache_pages,
+            },
+        )
+        .expect("mkfs");
+        Rig {
+            fs: Rc::new(RefCell::new(fs)),
+            clock,
+            cfg,
+        }
+    }
+
+    /// Opens a database on the rig, in the mode's journal configuration.
+    pub fn open_db(&self, name: &str) -> Connection<AnyDev> {
+        Connection::open(Rc::clone(&self.fs), name, self.cfg.mode.db_mode()).expect("open db")
+    }
+
+    /// The configuration this rig was built with.
+    pub fn config(&self) -> &RigConfig {
+        &self.cfg
+    }
+
+    /// Cross-layer statistics snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let fs = self.fs.borrow();
+        let dev = fs.device();
+        let (ftl, flash) = match dev {
+            AnyDev::Plain(d) => (*d.inner().stats(), d.inner().flash_stats()),
+            AnyDev::X(d) => (*d.inner().stats(), d.inner().flash_stats()),
+            AnyDev::AtomicW(d) => (*d.inner().stats(), d.inner().flash_stats()),
+        };
+        Snapshot {
+            fs: *fs.stats(),
+            ftl,
+            flash,
+            dev: dev.counters(),
+            now_ns: self.clock.now(),
+        }
+    }
+
+    /// Resets all statistics layers (clock keeps running).
+    pub fn reset_stats(&self) {
+        let mut fs = self.fs.borrow_mut();
+        fs.reset_stats();
+        fs.device_mut().reset_stats();
+    }
+
+    /// Dismantles the rig into its parts for custom crash experiments
+    /// (Table 5 needs per-phase recovery timing). All `Connection`s must
+    /// have been dropped.
+    pub fn teardown(self) -> (FileSystem<AnyDev>, SimClock, RigConfig) {
+        let Rig { fs, clock, cfg } = self;
+        let fs = Rc::try_unwrap(fs)
+            .expect("connections still open")
+            .into_inner();
+        (fs, clock, cfg)
+    }
+
+    /// Reassembles a rig around a recovered device.
+    pub fn reassemble(dev: AnyDev, clock: SimClock, cfg: RigConfig) -> Rig {
+        let fs = FileSystem::mount(dev, cfg.fs_mode(), cfg.fs_cache_pages).expect("mount");
+        Rig {
+            fs: Rc::new(RefCell::new(fs)),
+            clock,
+            cfg,
+        }
+    }
+
+    /// Simulates a power loss and full recovery: the file system and all
+    /// caches are dropped, the device is rebuilt from flash through its
+    /// recovery path, and the volume is re-mounted. Returns the recovered
+    /// rig and the simulated time the *device-level* recovery took.
+    ///
+    /// All `Connection`s into the old rig must have been dropped.
+    pub fn crash_and_recover(self) -> (Rig, Nanos) {
+        let Rig { fs, clock, cfg } = self;
+        let fs = Rc::try_unwrap(fs)
+            .expect("connections still open")
+            .into_inner();
+        let dev = fs.into_device();
+        let t0 = clock.now();
+        let dev = match dev {
+            AnyDev::Plain(link) => {
+                let chip = link.into_inner().into_chip();
+                AnyDev::Plain(SataLink::new(
+                    PageMappedFtl::recover(chip).expect("recover"),
+                    link_for(cfg.profile),
+                    clock.clone(),
+                ))
+            }
+            AnyDev::X(link) => {
+                let chip = link.into_inner().into_chip();
+                AnyDev::X(SataLink::new(
+                    XFtl::recover_with_capacity(chip, cfg.xl2p_capacity).expect("recover"),
+                    link_for(cfg.profile),
+                    clock.clone(),
+                ))
+            }
+            AnyDev::AtomicW(link) => {
+                let chip = link.into_inner().into_chip();
+                AnyDev::AtomicW(SataLink::new(
+                    AtomicWriteFtl::recover(chip).expect("recover"),
+                    link_for(cfg.profile),
+                    clock.clone(),
+                ))
+            }
+        };
+        let recovery_ns = clock.now() - t0;
+        let mut dev = dev;
+        match &mut dev {
+            AnyDev::Plain(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
+            AnyDev::X(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
+            AnyDev::AtomicW(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
+        }
+        let fs = FileSystem::mount(dev, cfg.fs_mode(), cfg.fs_cache_pages).expect("mount");
+        (
+            Rig {
+                fs: Rc::new(RefCell::new(fs)),
+                clock,
+                cfg,
+            },
+            recovery_ns,
+        )
+    }
+}
+
+/// SATA link parameters for a hardware profile.
+pub fn link_for(profile: Profile) -> LinkConfig {
+    match profile {
+        Profile::OpenSsd => LinkConfig::SATA2,
+        Profile::S830 => LinkConfig::SATA3,
+    }
+}
+
+/// Ages the raw device before mkfs: fills a fraction of the logical space
+/// with cold data (pages the FS will never trim), then churns random
+/// overwrites so garbage collection reaches its steady state. This is the
+/// reproduction of §6.3.1's "controlled aging" that sets the ratio of
+/// valid pages carried by GC.
+pub fn age_device(dev: &mut AnyDev, aging: Aging, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let logical = dev.capacity_pages();
+    let ps = dev.page_size();
+    let filled = ((logical as f64) * aging.fill) as u64;
+    let mut page = vec![0u8; ps];
+    // Cold fill occupies the TAIL of the logical space so the file
+    // system's metadata and data regions (allocated low-first) stay
+    // usable.
+    let cold_start = logical - filled;
+    for lpn in cold_start..logical {
+        page[0] = lpn as u8;
+        dev.write(lpn, &page).expect("aging fill");
+    }
+    let churn_ops = (filled as f64 * aging.churn) as u64;
+    for _ in 0..churn_ops {
+        let lpn = cold_start + rng.gen_range(0..filled.max(1));
+        page[0] = lpn as u8;
+        dev.write(lpn, &page).expect("aging churn");
+    }
+    dev.flush().expect("aging flush");
+    dev.reset_stats();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_builds_and_runs_sql_in_all_modes() {
+        for mode in [Mode::Rbj, Mode::Wal, Mode::XFtl] {
+            let rig = Rig::build(RigConfig::small(mode));
+            let mut db = rig.open_db("t.db");
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+                .unwrap();
+            db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+            let rows = db.query("SELECT v FROM t WHERE id = 1").unwrap();
+            assert_eq!(rows[0][0], xftl_db::Value::Int(10), "{mode:?}");
+            assert!(rig.clock.now() > 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_layers() {
+        let rig = Rig::build(RigConfig::small(Mode::Rbj));
+        let mut db = rig.open_db("t.db");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        drop(db);
+        let snap = rig.snapshot();
+        assert!(snap.fs.fsyncs > 0);
+        assert!(snap.ftl.data_writes > 0);
+        assert!(snap.flash.programs > 0);
+        assert!(snap.now_ns > 0);
+    }
+
+    #[test]
+    fn crash_and_recover_preserves_committed_data() {
+        for mode in [Mode::Rbj, Mode::Wal, Mode::XFtl] {
+            let rig = Rig::build(RigConfig::small(mode));
+            {
+                let mut db = rig.open_db("t.db");
+                db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+                    .unwrap();
+                db.execute("INSERT INTO t VALUES (1, 77)").unwrap();
+            }
+            let (rig, recovery_ns) = rig.crash_and_recover();
+            assert!(recovery_ns > 0);
+            let mut db = rig.open_db("t.db");
+            let rows = db.query("SELECT v FROM t WHERE id = 1").unwrap();
+            assert_eq!(rows[0][0], xftl_db::Value::Int(77), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn aging_drives_gc_validity_up() {
+        // A heavily-aged drive must show a higher mean GC victim validity
+        // than a fresh one under the same workload.
+        let run = |aging: Option<Aging>| {
+            let rig = Rig::build(RigConfig {
+                aging,
+                ..RigConfig::small(Mode::XFtl)
+            });
+            let mut db = rig.open_db("t.db");
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+                .unwrap();
+            let filler = "x".repeat(400);
+            for i in 0..3000i64 {
+                db.execute_with(
+                    "INSERT OR REPLACE INTO t VALUES (?, ?)",
+                    &[
+                        xftl_db::Value::Int(i % 300),
+                        xftl_db::Value::Text(filler.clone()),
+                    ],
+                )
+                .unwrap();
+            }
+            drop(db);
+            rig.snapshot().ftl.mean_gc_validity()
+        };
+        let fresh = run(None);
+        let aged = run(Some(Aging {
+            fill: 0.85,
+            churn: 1.0,
+        }));
+        let aged_v = aged.expect("aged drive must garbage-collect");
+        if let Some(fresh_v) = fresh {
+            assert!(
+                aged_v > fresh_v,
+                "aged validity {aged_v} should exceed fresh {fresh_v}"
+            );
+        }
+        assert!(aged_v > 0.3, "aged validity {aged_v} unexpectedly low");
+    }
+
+    #[test]
+    fn xftl_mode_beats_wal_beats_rbj_on_updates() {
+        // The paper's headline ordering, on a small update-only workload.
+        let time_for = |mode: Mode| {
+            let rig = Rig::build(RigConfig::small(mode));
+            let mut db = rig.open_db("t.db");
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+                .unwrap();
+            for i in 0..50i64 {
+                db.execute_with("INSERT INTO t VALUES (?, 0)", &[xftl_db::Value::Int(i)])
+                    .unwrap();
+            }
+            let t0 = rig.clock.now();
+            for i in 0..100i64 {
+                db.execute_with(
+                    "UPDATE t SET v = v + 1 WHERE id = ?",
+                    &[xftl_db::Value::Int(i % 50)],
+                )
+                .unwrap();
+            }
+            rig.clock.now() - t0
+        };
+        let rbj = time_for(Mode::Rbj);
+        let wal = time_for(Mode::Wal);
+        let xftl = time_for(Mode::XFtl);
+        assert!(xftl < wal, "X-FTL ({xftl} ns) should beat WAL ({wal} ns)");
+        assert!(wal < rbj, "WAL ({wal} ns) should beat RBJ ({rbj} ns)");
+    }
+}

@@ -1,0 +1,12 @@
+//! # xftl-repro — workspace root
+//!
+//! This crate exists to host the runnable [examples](../examples) and the
+//! cross-crate [integration tests](../tests); the library surface simply
+//! re-exports the workspace crates for convenient one-import use.
+
+pub use xftl_core as core;
+pub use xftl_db as db;
+pub use xftl_flash as flash;
+pub use xftl_fs as fs;
+pub use xftl_ftl as ftl;
+pub use xftl_workloads as workloads;

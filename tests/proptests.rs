@@ -1,0 +1,513 @@
+//! Property-based tests: core data structures checked against reference
+//! models under arbitrary operation sequences.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use xftl_core::XFtl;
+use xftl_db::pager::{DbJournalMode, Pager, SharedFs};
+use xftl_db::record::{
+    decode_record, encode_index_key, encode_index_prefix, encode_record, index_key_rowid,
+};
+use xftl_db::{btree, Value};
+use xftl_flash::{FlashChip, FlashConfig, SimClock};
+use xftl_fs::{FileSystem, FsConfig, JournalMode};
+use xftl_ftl::{BlockDevice, PageMappedFtl};
+
+// --- generators ---------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e12f64..1.0e12).prop_map(Value::Real),
+        "[a-zA-Z0-9 _%\\x00-\\x7f]{0,40}".prop_map(Value::Text),
+        proptest::collection::vec(any::<u8>(), 0..60).prop_map(Value::Blob),
+    ]
+}
+
+// --- record format -------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any row survives the record encoding round trip.
+    #[test]
+    fn record_roundtrip(row in proptest::collection::vec(arb_value(), 0..8)) {
+        let enc = encode_record(&row);
+        let dec = decode_record(&enc).expect("well-formed record decodes");
+        prop_assert_eq!(dec.len(), row.len());
+        for (a, b) in dec.iter().zip(&row) {
+            match (a, b) {
+                (Value::Real(x), Value::Real(y)) => prop_assert!(x == y || (x.is_nan() && y.is_nan())),
+                _ => prop_assert_eq!(a, b),
+            }
+        }
+    }
+
+    /// Truncated records never decode successfully into the full row
+    /// (decoding either errors or yields fewer/equal values — it must not
+    /// fabricate data or panic).
+    #[test]
+    fn record_truncation_is_safe(
+        row in proptest::collection::vec(arb_value(), 1..6),
+        cut in 1usize..32,
+    ) {
+        let enc = encode_record(&row);
+        let cut = cut.min(enc.len());
+        let _ = decode_record(&enc[..enc.len() - cut]); // must not panic
+    }
+
+    /// The index key encoding preserves SQL comparison order.
+    #[test]
+    fn index_key_order_preserving(a in arb_value(), b in arb_value()) {
+        // NaN has no total order in SQL; skip it.
+        let is_nan = |v: &Value| matches!(v, Value::Real(r) if r.is_nan());
+        prop_assume!(!is_nan(&a) && !is_nan(&b));
+        let ka = encode_index_prefix(std::slice::from_ref(&a));
+        let kb = encode_index_prefix(std::slice::from_ref(&b));
+        let cmp_vals = a.sort_cmp(&b);
+        if cmp_vals == std::cmp::Ordering::Less {
+            prop_assert!(ka < kb, "{a:?} < {b:?} but keys disagree");
+        } else if cmp_vals == std::cmp::Ordering::Greater {
+            prop_assert!(ka > kb, "{a:?} > {b:?} but keys disagree");
+        }
+    }
+
+    /// Rowids embedded in composite keys always come back intact.
+    #[test]
+    fn index_key_rowid_roundtrip(v in arb_value(), rowid in any::<i64>()) {
+        let key = encode_index_key(&[v], rowid);
+        prop_assert_eq!(index_key_rowid(&key).expect("rowid"), rowid);
+    }
+}
+
+// --- B-tree vs BTreeMap model ---------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(i64, Vec<u8>),
+    Delete(i64),
+    Get(i64),
+}
+
+fn arb_tree_ops() -> impl Strategy<Value = Vec<TreeOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0i64..500, proptest::collection::vec(any::<u8>(), 0..120))
+                .prop_map(|(k, v)| TreeOp::Insert(k, v)),
+            (0i64..500).prop_map(TreeOp::Delete),
+            (0i64..500).prop_map(TreeOp::Get),
+        ],
+        1..120,
+    )
+}
+
+fn test_pager() -> Pager<PageMappedFtl> {
+    let chip = FlashChip::new(FlashConfig::tiny(220), SimClock::new());
+    let dev = PageMappedFtl::format(chip, 1_600).unwrap();
+    let fs = FileSystem::mkfs(
+        dev,
+        JournalMode::Ordered,
+        FsConfig {
+            inode_count: 16,
+            journal_pages: 32,
+            cache_pages: 256,
+        },
+    )
+    .unwrap();
+    let fs: SharedFs<PageMappedFtl> = Rc::new(RefCell::new(fs));
+    Pager::open(fs, "prop.db", DbJournalMode::Rollback).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The table B-tree behaves exactly like a BTreeMap under arbitrary
+    /// insert/delete/get sequences, including ordered iteration.
+    #[test]
+    fn btree_matches_model(ops in arb_tree_ops()) {
+        let mut pager = test_pager();
+        pager.begin().unwrap();
+        let root = btree::create_table_tree(&mut pager).unwrap();
+        let mut model: BTreeMap<i64, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    btree::table_insert(&mut pager, root, *k, v).unwrap();
+                    model.insert(*k, v.clone());
+                }
+                TreeOp::Delete(k) => {
+                    let removed = btree::table_delete(&mut pager, root, *k).unwrap();
+                    prop_assert_eq!(removed, model.remove(k).is_some());
+                }
+                TreeOp::Get(k) => {
+                    let got = btree::table_get(&mut pager, root, *k).unwrap();
+                    prop_assert_eq!(got.as_deref(), model.get(k).map(|v| v.as_slice()));
+                }
+            }
+        }
+        // Final state: ordered scan equals the model.
+        let mut scanned = Vec::new();
+        btree::table_scan_from(&mut pager, root, i64::MIN, &mut |_, rowid, val| {
+            scanned.push((rowid, val));
+            Ok(true)
+        })
+        .unwrap();
+        let expect: Vec<(i64, Vec<u8>)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expect);
+        pager.commit().unwrap();
+    }
+}
+
+// --- file system vs byte-vector model ---------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Write { off: u64, len: usize, byte: u8 },
+    Read { off: u64, len: usize },
+    Truncate { size: u64 },
+    Fsync,
+}
+
+fn arb_fs_ops() -> impl Strategy<Value = Vec<FsOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..40_000, 1usize..3_000, any::<u8>()).prop_map(|(off, len, byte)| FsOp::Write {
+                off,
+                len,
+                byte
+            }),
+            (0u64..45_000, 1usize..3_000).prop_map(|(off, len)| FsOp::Read { off, len }),
+            (0u64..40_000).prop_map(|size| FsOp::Truncate { size }),
+            Just(FsOp::Fsync),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Byte-granular file I/O matches a plain Vec<u8> model, across cache
+    /// pressure and fsyncs.
+    #[test]
+    fn fs_matches_model(ops in arb_fs_ops()) {
+        let chip = FlashChip::new(FlashConfig::tiny(300), SimClock::new());
+        let dev = PageMappedFtl::format(chip, 2_200).unwrap();
+        let mut fs = FileSystem::mkfs(
+            dev,
+            JournalMode::Ordered,
+            FsConfig { inode_count: 8, journal_pages: 32, cache_pages: 16 },
+        )
+        .unwrap();
+        let f = fs.create("model").unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for op in &ops {
+            match op {
+                FsOp::Write { off, len, byte } => {
+                    let data = vec![*byte; *len];
+                    fs.write(f, *off, &data, None).unwrap();
+                    let end = *off as usize + *len;
+                    if model.len() < end {
+                        model.resize(end, 0);
+                    }
+                    model[*off as usize..end].fill(*byte);
+                }
+                FsOp::Read { off, len } => {
+                    let mut buf = vec![0u8; *len];
+                    let n = fs.read(f, *off, &mut buf, None).unwrap();
+                    let expect_n = model.len().saturating_sub(*off as usize).min(*len);
+                    prop_assert_eq!(n, expect_n);
+                    if n > 0 {
+                        prop_assert_eq!(&buf[..n], &model[*off as usize..*off as usize + n]);
+                    }
+                }
+                FsOp::Truncate { size } => {
+                    fs.truncate(f, *size).unwrap();
+                    model.truncate(*size as usize);
+                }
+                FsOp::Fsync => fs.fsync(f, None).unwrap(),
+            }
+            prop_assert_eq!(fs.size(f).unwrap(), model.len() as u64);
+        }
+        // Durability: sync, remount, and compare the whole file.
+        let dev = fs.unmount().unwrap();
+        let mut fs = FileSystem::mount(dev, JournalMode::Ordered, 16).unwrap();
+        let f = fs.open("model").unwrap();
+        let mut buf = vec![0u8; model.len()];
+        let n = fs.read(f, 0, &mut buf, None).unwrap();
+        prop_assert_eq!(n, model.len());
+        prop_assert_eq!(buf, model);
+    }
+}
+
+// --- X-FTL transactional semantics vs model ------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TxOp {
+    Write { tid: u64, lpn: u64, byte: u8 },
+    PlainWrite { lpn: u64, byte: u8 },
+    Commit { tid: u64 },
+    Abort { tid: u64 },
+    Flush,
+    Crash,
+}
+
+fn arb_tx_ops() -> impl Strategy<Value = Vec<TxOp>> {
+    // Host contract (§3.3/§4.3): X-FTL does not arbitrate write-write
+    // conflicts — SQLite's database-level write lock guarantees a single
+    // writer per page. The generator honours that contract by giving each
+    // transaction id its own page-number stripe (lpn % 4 == tid - 1) and
+    // keeping plain writes on pages 20..24.
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (1u64..5, 0u64..5, any::<u8>())
+                .prop_map(|(tid, row, byte)| TxOp::Write { tid, lpn: row * 4 + (tid - 1), byte }),
+            2 => (20u64..24, any::<u8>()).prop_map(|(lpn, byte)| TxOp::PlainWrite { lpn, byte }),
+            2 => (1u64..5).prop_map(|tid| TxOp::Commit { tid }),
+            1 => (1u64..5).prop_map(|tid| TxOp::Abort { tid }),
+            1 => Just(TxOp::Flush),
+            1 => Just(TxOp::Crash),
+        ],
+        1..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// X-FTL's committed state always equals a model where transactional
+    /// writes become visible only at commit, vanish on abort, and crashes
+    /// abort everything in flight while preserving all committed data.
+    #[test]
+    fn xftl_transactions_match_model(ops in arb_tx_ops()) {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::tiny(40), clock);
+        let mut dev = XFtl::format_with_capacity(chip, 24, 64).unwrap();
+        let ps = dev.page_size();
+        // committed[lpn] and per-tid pending writes.
+        let mut committed: HashMap<u64, u8> = HashMap::new();
+        let mut pending: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                TxOp::Write { tid, lpn, byte } => {
+                    dev.write_tx(*tid, *lpn, &vec![*byte; ps]).unwrap();
+                    pending.entry(*tid).or_default().insert(*lpn, *byte);
+                }
+                TxOp::PlainWrite { lpn, byte } => {
+                    dev.write(*lpn, &vec![*byte; ps]).unwrap();
+                    committed.insert(*lpn, *byte);
+                }
+                TxOp::Commit { tid } => {
+                    dev.commit(*tid).unwrap();
+                    for (lpn, byte) in pending.remove(tid).unwrap_or_default() {
+                        committed.insert(lpn, byte);
+                    }
+                }
+                TxOp::Abort { tid } => {
+                    dev.abort(*tid).unwrap();
+                    pending.remove(tid);
+                }
+                TxOp::Flush => dev.flush().unwrap(),
+                TxOp::Crash => {
+                    dev = XFtl::recover_with_capacity(dev.into_chip(), 64).unwrap();
+                    pending.clear();
+                }
+            }
+            // Committed view must match the model at every step.
+            let mut buf = vec![0u8; ps];
+            for lpn in 0..24u64 {
+                dev.read(lpn, &mut buf).unwrap();
+                let expect = committed.get(&lpn).copied().unwrap_or(0);
+                prop_assert_eq!(buf[0], expect, "lpn {} after {:?}", lpn, op);
+            }
+            // Each in-flight transaction sees its own writes.
+            for (tid, writes) in &pending {
+                for (lpn, byte) in writes {
+                    dev.read_tx(*tid, *lpn, &mut buf).unwrap();
+                    prop_assert_eq!(buf[0], *byte);
+                }
+            }
+        }
+        // Final crash: only committed state survives.
+        let mut dev = XFtl::recover_with_capacity(dev.into_chip(), 64).unwrap();
+        let mut buf = vec![0u8; ps];
+        for lpn in 0..24u64 {
+            dev.read(lpn, &mut buf).unwrap();
+            prop_assert_eq!(buf[0], committed.get(&lpn).copied().unwrap_or(0));
+        }
+    }
+}
+
+// --- TxFlash SCC semantics vs model ------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The TxFlash baseline obeys the same transactional model as X-FTL
+    /// (visible at commit, gone on abort/crash), via its cyclic-commit
+    /// mechanism instead of a mapping table.
+    #[test]
+    fn txflash_transactions_match_model(ops in arb_tx_ops()) {
+        use xftl_ftl::TxFlashFtl;
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::tiny(40), clock);
+        let mut dev = TxFlashFtl::format(chip, 24).unwrap();
+        let ps = dev.page_size();
+        let mut committed: HashMap<u64, u8> = HashMap::new();
+        let mut pending: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                TxOp::Write { tid, lpn, byte } => {
+                    dev.write_tx(*tid, *lpn, &vec![*byte; ps]).unwrap();
+                    pending.entry(*tid).or_default().insert(*lpn, *byte);
+                }
+                TxOp::PlainWrite { lpn, byte } => {
+                    dev.write(*lpn, &vec![*byte; ps]).unwrap();
+                    committed.insert(*lpn, *byte);
+                }
+                TxOp::Commit { tid } => {
+                    dev.commit(*tid).unwrap();
+                    for (lpn, byte) in pending.remove(tid).unwrap_or_default() {
+                        committed.insert(lpn, byte);
+                    }
+                }
+                TxOp::Abort { tid } => {
+                    dev.abort(*tid).unwrap();
+                    pending.remove(tid);
+                }
+                TxOp::Flush => dev.flush().unwrap(),
+                TxOp::Crash => {
+                    dev = TxFlashFtl::recover(dev.into_chip()).unwrap();
+                    pending.clear();
+                }
+            }
+            let mut buf = vec![0u8; ps];
+            for lpn in 0..24u64 {
+                dev.read(lpn, &mut buf).unwrap();
+                let expect = committed.get(&lpn).copied().unwrap_or(0);
+                prop_assert_eq!(buf[0], expect, "lpn {} after {:?}", lpn, op);
+            }
+            for (tid, writes) in &pending {
+                for (lpn, byte) in writes {
+                    dev.read_tx(*tid, *lpn, &mut buf).unwrap();
+                    prop_assert_eq!(buf[0], *byte);
+                }
+            }
+        }
+        let mut dev = TxFlashFtl::recover(dev.into_chip()).unwrap();
+        let mut buf = vec![0u8; ps];
+        for lpn in 0..24u64 {
+            dev.read(lpn, &mut buf).unwrap();
+            prop_assert_eq!(buf[0], committed.get(&lpn).copied().unwrap_or(0));
+        }
+    }
+}
+
+// --- SQL engine vs key-value model ---------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SqlOp {
+    Insert { id: i64, v: i64 },
+    Update { id: i64, v: i64 },
+    Delete { id: i64 },
+    Rollbacked { id: i64, v: i64 },
+}
+
+fn arb_sql_ops() -> impl Strategy<Value = Vec<SqlOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0i64..40, any::<i64>()).prop_map(|(id, v)| SqlOp::Insert { id, v }),
+            2 => (0i64..40, any::<i64>()).prop_map(|(id, v)| SqlOp::Update { id, v }),
+            1 => (0i64..40).prop_map(|id| SqlOp::Delete { id }),
+            1 => (0i64..40, any::<i64>()).prop_map(|(id, v)| SqlOp::Rollbacked { id, v }),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The SQL engine over the full stack matches a BTreeMap model under
+    /// arbitrary insert/update/delete sequences, including rolled-back
+    /// transactions and a crash at the end.
+    #[test]
+    fn sql_engine_matches_model(ops in arb_sql_ops()) {
+        use xftl_core::XFtl;
+        use xftl_db::{Connection, DbJournalMode, Value};
+        let chip = FlashChip::new(FlashConfig::tiny(300), SimClock::new());
+        let dev = XFtl::format(chip, 2_200).unwrap();
+        let fs = FileSystem::mkfs(
+            dev,
+            JournalMode::Off,
+            FsConfig { inode_count: 16, journal_pages: 32, cache_pages: 256 },
+        )
+        .unwrap();
+        let fs = Rc::new(RefCell::new(fs));
+        let mut db = Connection::open(Rc::clone(&fs), "prop.db", DbJournalMode::Off).unwrap();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)").unwrap();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                SqlOp::Insert { id, v } => {
+                    db.execute_with(
+                        "INSERT OR REPLACE INTO t VALUES (?, ?)",
+                        &[Value::Int(*id), Value::Int(*v)],
+                    )
+                    .unwrap();
+                    model.insert(*id, *v);
+                }
+                SqlOp::Update { id, v } => {
+                    let n = db
+                        .execute_with(
+                            "UPDATE t SET v = ? WHERE id = ?",
+                            &[Value::Int(*v), Value::Int(*id)],
+                        )
+                        .unwrap()
+                        .affected();
+                    if model.contains_key(id) {
+                        prop_assert_eq!(n, 1);
+                        model.insert(*id, *v);
+                    } else {
+                        prop_assert_eq!(n, 0);
+                    }
+                }
+                SqlOp::Delete { id } => {
+                    let n = db
+                        .execute_with("DELETE FROM t WHERE id = ?", &[Value::Int(*id)])
+                        .unwrap()
+                        .affected();
+                    prop_assert_eq!(n, u64::from(model.remove(id).is_some()));
+                }
+                SqlOp::Rollbacked { id, v } => {
+                    db.execute("BEGIN").unwrap();
+                    db.execute_with(
+                        "INSERT OR REPLACE INTO t VALUES (?, ?)",
+                        &[Value::Int(*id), Value::Int(*v)],
+                    )
+                    .unwrap();
+                    db.execute("ROLLBACK").unwrap();
+                    // model unchanged
+                }
+            }
+        }
+        // Full table scan matches the model.
+        let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
+        let expect: Vec<Vec<Value>> =
+            model.iter().map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)]).collect();
+        prop_assert_eq!(&rows, &expect);
+        // Crash and reopen: autocommitted state survives.
+        drop(db);
+        let fs_inner = Rc::try_unwrap(fs).ok().expect("sole owner").into_inner();
+        let dev = XFtl::recover(fs_inner.into_device().into_chip()).unwrap();
+        let fs = Rc::new(RefCell::new(FileSystem::mount(dev, JournalMode::Off, 256).unwrap()));
+        let mut db = Connection::open(fs, "prop.db", DbJournalMode::Off).unwrap();
+        let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
+        prop_assert_eq!(&rows, &expect);
+    }
+}
