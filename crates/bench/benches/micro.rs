@@ -1,127 +1,141 @@
-//! Criterion micro-benchmarks of the implementation's hot paths.
+//! Micro-benchmarks of the implementation's hot paths.
 //!
 //! These measure *host* (wall-clock) performance of the simulator
 //! machinery, complementing the figure harnesses which report *simulated*
 //! time. Useful to keep the simulator fast enough to run the paper-scale
-//! experiments.
+//! experiments. Self-timed (no external bench framework): each case runs
+//! a calibration pass, then enough iterations to fill ~0.2 s, and reports
+//! mean ns/iteration.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::cell::RefCell;
+use std::hint::black_box;
 use std::rc::Rc;
+use std::time::Instant;
 
 use xftl_core::{XFtl, Xl2pTable};
 use xftl_db::{record, Connection, DbJournalMode, Value};
-use xftl_flash::{FlashChip, FlashConfig, Oob, Ppa, SimClock};
+use xftl_flash::{FlashChip, FlashConfigBuilder, Oob, Ppa, SimClock};
 use xftl_fs::{FileSystem, FsConfig, JournalMode};
-use xftl_ftl::{BlockDevice, PageMappedFtl, TxFlashFtl};
+use xftl_ftl::{BlockDevice, PageMappedFtl, TxBlockDevice, TxFlashFtl};
 
-fn bench_flash(c: &mut Criterion) {
-    c.bench_function("flash/program_8k", |b| {
-        let clock = SimClock::new();
-        let mut chip = FlashChip::new(FlashConfig::openssd(64), clock);
-        let page = vec![0xAAu8; 8192];
-        let mut i = 0u64;
-        b.iter(|| {
-            let ppa = Ppa::from_linear(i % (63 * 128), 128);
-            // Reuse blocks by erasing when full.
-            if ppa.page == 0 && !chip.is_erased(ppa) {
-                chip.erase(ppa.block).unwrap();
-            }
-            chip.program(ppa, &page, Oob::data(i)).unwrap();
-            i += 1;
-        });
+/// Times `f` and prints mean ns/iter: one warm-up pass, then a measured
+/// run sized so each case takes roughly 0.2 s of wall clock.
+fn bench(name: &str, mut f: impl FnMut()) {
+    const CALIBRATION: u32 = 32;
+    let t0 = Instant::now();
+    for _ in 0..CALIBRATION {
+        f();
+    }
+    let per_iter = t0.elapsed().as_nanos().max(1) / CALIBRATION as u128;
+    let iters = (200_000_000 / per_iter).clamp(8, 2_000_000) as u32;
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean = t1.elapsed().as_nanos() / iters as u128;
+    println!("{name:<40} {mean:>12} ns/iter  ({iters} iters)");
+}
+
+fn bench_flash() {
+    let clock = SimClock::new();
+    let mut chip = FlashChip::new(FlashConfigBuilder::openssd().blocks(64).build(), clock);
+    let page = vec![0xAAu8; 8192];
+    let mut i = 0u64;
+    bench("flash/program_8k", || {
+        let ppa = Ppa::from_linear(i % (63 * 128), 128);
+        // Reuse blocks by erasing when full.
+        if ppa.page == 0 && !chip.is_erased(ppa) {
+            chip.erase(ppa.block).unwrap();
+        }
+        chip.program(ppa, &page, Oob::data(i)).unwrap();
+        i += 1;
     });
 }
 
-fn bench_device(c: &mut Criterion) {
-    c.bench_function("ftl/plain_write", |b| {
+fn bench_device() {
+    {
         let clock = SimClock::new();
-        let chip = FlashChip::new(FlashConfig::openssd(64), clock);
+        let chip = FlashChip::new(FlashConfigBuilder::openssd().blocks(64).build(), clock);
         let mut dev = PageMappedFtl::format(chip, 4000).unwrap();
         let page = vec![0x11u8; 8192];
         let mut i = 0u64;
-        b.iter(|| {
+        bench("ftl/plain_write", || {
             dev.write(i % 4000, &page).unwrap();
             i += 1;
         });
-    });
-    c.bench_function("txflash/write_tx_commit_5pages", |b| {
+    }
+    {
         let clock = SimClock::new();
-        let chip = FlashChip::new(FlashConfig::openssd(64), clock);
+        let chip = FlashChip::new(FlashConfigBuilder::openssd().blocks(64).build(), clock);
         let mut dev = TxFlashFtl::format(chip, 4000).unwrap();
         let page = vec![0x33u8; 8192];
         let mut tid = 1u64;
-        b.iter(|| {
+        bench("txflash/write_tx_commit_5pages", || {
             for p in 0..5u64 {
                 dev.write_tx(tid, (tid * 5 + p) % 4000, &page).unwrap();
             }
             dev.commit(tid).unwrap();
             tid += 1;
         });
-    });
-    c.bench_function("xftl/write_tx_commit_5pages", |b| {
+    }
+    {
         let clock = SimClock::new();
-        let chip = FlashChip::new(FlashConfig::openssd(64), clock);
+        let chip = FlashChip::new(FlashConfigBuilder::openssd().blocks(64).build(), clock);
         let mut dev = XFtl::format(chip, 4000).unwrap();
         let page = vec![0x22u8; 8192];
         let mut tid = 1u64;
-        b.iter(|| {
+        bench("xftl/write_tx_commit_5pages", || {
             for p in 0..5u64 {
                 dev.write_tx(tid, (tid * 5 + p) % 4000, &page).unwrap();
             }
             dev.commit(tid).unwrap();
             tid += 1;
         });
-    });
+    }
 }
 
-fn bench_xl2p(c: &mut Criterion) {
-    c.bench_function("xl2p/upsert_lookup", |b| {
-        b.iter_batched(
-            || Xl2pTable::new(500),
-            |mut t| {
-                for i in 0..400u64 {
-                    t.upsert(i % 8 + 1, i, Ppa::new(1, (i % 128) as u32))
-                        .unwrap();
-                }
-                for i in 0..400u64 {
-                    criterion::black_box(t.lookup(i % 8 + 1, i));
-                }
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    c.bench_function("xl2p/encode_500_entries", |b| {
+fn bench_xl2p() {
+    bench("xl2p/upsert_lookup", || {
         let mut t = Xl2pTable::new(500);
-        for i in 0..500u64 {
-            t.upsert(1, i, Ppa::new(1, 0)).unwrap();
+        for i in 0..400u64 {
+            t.upsert(i % 8 + 1, i, Ppa::new(1, (i % 128) as u32))
+                .unwrap();
         }
-        b.iter(|| criterion::black_box(t.encode_pages(8192, 128)));
+        for i in 0..400u64 {
+            black_box(t.lookup(i % 8 + 1, i));
+        }
+    });
+    let mut t = Xl2pTable::new(500);
+    for i in 0..500u64 {
+        t.upsert(1, i, Ppa::new(1, 0)).unwrap();
+    }
+    bench("xl2p/encode_500_entries", || {
+        black_box(t.encode_pages(8192, 128));
     });
 }
 
-fn bench_record(c: &mut Criterion) {
+fn bench_record() {
     let row = vec![
         Value::Int(42),
         Value::Text("a moderately sized text field for the row".into()),
         Value::Real(3.25),
         Value::Blob(vec![7u8; 64]),
     ];
-    c.bench_function("record/encode", |b| {
-        b.iter(|| criterion::black_box(record::encode_record(&row)));
+    bench("record/encode", || {
+        black_box(record::encode_record(&row));
     });
     let enc = record::encode_record(&row);
-    c.bench_function("record/decode", |b| {
-        b.iter(|| criterion::black_box(record::decode_record(&enc).unwrap()));
+    bench("record/decode", || {
+        black_box(record::decode_record(&enc).unwrap());
     });
 }
 
-fn bench_sql(c: &mut Criterion) {
+fn bench_sql() {
     fn db() -> Connection<XFtl> {
         let clock = SimClock::new();
-        let chip = FlashChip::new(FlashConfig::openssd(80), clock);
+        let chip = FlashChip::new(FlashConfigBuilder::openssd().blocks(80).build(), clock);
         let dev = XFtl::format(chip, 6000).unwrap();
-        let fs = FileSystem::mkfs(dev, JournalMode::Off, FsConfig::default()).unwrap();
+        let fs = FileSystem::mkfs_tx(dev, JournalMode::Off, FsConfig::default()).unwrap();
         let fs = Rc::new(RefCell::new(fs));
         let mut db = Connection::open(fs, "bench.db", DbJournalMode::Off).unwrap();
         db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
@@ -132,34 +146,33 @@ fn bench_sql(c: &mut Criterion) {
         }
         db
     }
-    c.bench_function("sql/point_select", |b| {
+    {
         let mut d = db();
         let mut i = 0i64;
-        b.iter(|| {
+        bench("sql/point_select", || {
             let rows = d
                 .query_with("SELECT v FROM t WHERE id = ?", &[Value::Int(i % 500)])
                 .unwrap();
-            criterion::black_box(rows);
+            black_box(rows);
             i += 1;
         });
-    });
-    c.bench_function("sql/update_txn", |b| {
+    }
+    {
         let mut d = db();
         let mut i = 0i64;
-        b.iter(|| {
+        bench("sql/update_txn", || {
             d.execute_with("UPDATE t SET v = 'x' WHERE id = ?", &[Value::Int(i % 500)])
                 .unwrap();
             i += 1;
         });
-    });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_flash,
-    bench_device,
-    bench_xl2p,
-    bench_record,
-    bench_sql
-);
-criterion_main!(benches);
+fn main() {
+    println!("host-performance micro-benchmarks (wall clock, not simulated time)");
+    bench_flash();
+    bench_device();
+    bench_xl2p();
+    bench_record();
+    bench_sql();
+}

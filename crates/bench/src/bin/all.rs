@@ -32,6 +32,7 @@ fn main() {
     };
     print!("{}", fio_exp::fig8(fio));
     print!("{}", fio_exp::fig9(fio));
+    print!("{}", channel_exp::channel_scaling(fio));
     let rec = if quick {
         recovery_exp::RecoveryScale::quick()
     } else {

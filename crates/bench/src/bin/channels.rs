@@ -1,0 +1,16 @@
+//! Regenerates the channel-scaling ablation (FIO IOPS vs channel count,
+//! plus per-channel busy time and queue-depth stats).
+use xftl_bench::experiments::channel_exp::channel_scaling;
+use xftl_bench::experiments::fio_exp::FioScale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        channel_scaling(if quick {
+            FioScale::quick()
+        } else {
+            FioScale::full()
+        })
+    );
+}

@@ -10,8 +10,8 @@
 //! 4. **Barrier cost**: how much of a flush is the mapping-table persist.
 
 use xftl_core::XFtl;
-use xftl_flash::{FlashChip, FlashConfig, SimClock};
-use xftl_ftl::{AtomicWriteFtl, BlockDevice, TxFlashFtl};
+use xftl_flash::{FlashChip, FlashConfigBuilder, SimClock};
+use xftl_ftl::{AtomicWriteFtl, BlockDevice, TxBlockDevice, TxFlashFtl};
 use xftl_workloads::rig::{Mode, Rig, RigConfig};
 use xftl_workloads::synthetic::{self, SyntheticConfig};
 
@@ -93,7 +93,10 @@ pub fn atomic_write_baseline(quick: bool) -> String {
     // X-FTL: write_tx x group + one commit.
     {
         let clock = SimClock::new();
-        let chip = FlashChip::new(FlashConfig::openssd(blocks), clock.clone());
+        let chip = FlashChip::new(
+            FlashConfigBuilder::openssd().blocks(blocks).build(),
+            clock.clone(),
+        );
         let mut dev = XFtl::format(chip, logical).expect("format");
         let t0 = clock.now();
         for i in 0..txns as u64 {
@@ -118,7 +121,10 @@ pub fn atomic_write_baseline(quick: bool) -> String {
     // possible when nothing is stolen early).
     {
         let clock = SimClock::new();
-        let chip = FlashChip::new(FlashConfig::openssd(blocks), clock.clone());
+        let chip = FlashChip::new(
+            FlashConfigBuilder::openssd().blocks(blocks).build(),
+            clock.clone(),
+        );
         let mut dev = AtomicWriteFtl::format(chip, logical).expect("format");
         let t0 = clock.now();
         for i in 0..txns as u64 {
@@ -141,7 +147,10 @@ pub fn atomic_write_baseline(quick: bool) -> String {
     // zero overhead pages, but per-call atomicity only (no steal).
     {
         let clock = SimClock::new();
-        let chip = FlashChip::new(FlashConfig::openssd(blocks), clock.clone());
+        let chip = FlashChip::new(
+            FlashConfigBuilder::openssd().blocks(blocks).build(),
+            clock.clone(),
+        );
         let mut dev = TxFlashFtl::format(chip, logical).expect("format");
         let t0 = clock.now();
         for i in 0..txns as u64 {
@@ -166,7 +175,10 @@ pub fn atomic_write_baseline(quick: bool) -> String {
     // so every page pays a commit record (§3.3's incompatibility).
     {
         let clock = SimClock::new();
-        let chip = FlashChip::new(FlashConfig::openssd(blocks), clock.clone());
+        let chip = FlashChip::new(
+            FlashConfigBuilder::openssd().blocks(blocks).build(),
+            clock.clone(),
+        );
         let mut dev = AtomicWriteFtl::format(chip, logical).expect("format");
         let t0 = clock.now();
         for i in 0..txns as u64 {
@@ -256,7 +268,10 @@ pub fn barrier_cost(quick: bool) -> String {
     let mut t = Table::new(vec!["writes/flush", "time (s)", "map+meta pages"]);
     for k in [1u64, 5, 20, 100] {
         let clock = SimClock::new();
-        let chip = FlashChip::new(FlashConfig::openssd(64), clock.clone());
+        let chip = FlashChip::new(
+            FlashConfigBuilder::openssd().blocks(64).build(),
+            clock.clone(),
+        );
         let mut dev = xftl_ftl::PageMappedFtl::format(chip, logical).expect("format");
         let t0 = clock.now();
         for i in 0..writes {

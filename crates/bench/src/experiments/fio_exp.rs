@@ -122,7 +122,10 @@ pub fn fig8(scale: FioScale) -> String {
 }
 
 /// Figure 9: 16 concurrent jobs — the S830 in ordered/full journaling
-/// against the OpenSSD running X-FTL.
+/// against the OpenSSD running X-FTL. The S830's IOPS advantage comes
+/// from its array structure (4 channels x 2 ways vs the OpenSSD's single
+/// channel) plus newer NAND timings; the paper's point is that X-FTL on
+/// the old board still lands between the new drive's journaling modes.
 pub fn fig9(scale: FioScale) -> String {
     let mut out = String::new();
     out.push_str("=== Figure 9: FIO benchmark, X-FTL vs S830 SSD (16 jobs; 8 KB IOPS) ===\n\n");

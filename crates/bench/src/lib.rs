@@ -17,6 +17,7 @@
 //! | Figure 9 | `experiments::fio_exp::fig9` | `fig9` |
 //! | Table 5 | `experiments::recovery_exp::table5` | `table5` |
 //! | (ablations) | `experiments::ablation` | `ablation` |
+//! | (channel scaling) | `experiments::channel_exp::channel_scaling` | `channels` |
 
 #![warn(missing_docs)]
 

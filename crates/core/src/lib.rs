@@ -16,7 +16,7 @@
 //! ```
 //! use xftl_core::XFtl;
 //! use xftl_flash::{FlashChip, FlashConfig, SimClock};
-//! use xftl_ftl::BlockDevice;
+//! use xftl_ftl::{BlockDevice, TxBlockDevice};
 //!
 //! let clock = SimClock::new();
 //! let chip = FlashChip::new(FlashConfig::tiny(16), clock.clone());

@@ -27,7 +27,10 @@
 //! transactions into aborts for free.
 
 use xftl_flash::{FlashChip, PageKind, SimClock};
-use xftl_ftl::{BlockDevice, DevCounters, DevError, FtlBase, FtlStats, Lpn, NoHook, Result, Tid};
+use xftl_ftl::{
+    BlockDevice, CmdId, CmdQueue, DevCounters, DevError, FtlBase, FtlStats, IoCmd, Lpn, NoHook,
+    Result, Tid, TxBlockDevice,
+};
 
 use crate::xl2p::{TxStatus, Xl2pTable};
 
@@ -54,6 +57,7 @@ pub struct RecoveryBreakdown {
 pub struct XFtl {
     base: FtlBase,
     table: Xl2pTable,
+    queue: CmdQueue,
 }
 
 impl XFtl {
@@ -73,6 +77,7 @@ impl XFtl {
         Ok(XFtl {
             base: FtlBase::format(chip, logical_pages)?,
             table: Xl2pTable::new(xl2p_capacity),
+            queue: CmdQueue::default(),
         })
     }
 
@@ -140,6 +145,7 @@ impl XFtl {
             XFtl {
                 base,
                 table: Xl2pTable::new(xl2p_capacity),
+                queue: CmdQueue::default(),
             },
             breakdown,
         ))
@@ -152,6 +158,47 @@ impl XFtl {
         self.base.checkpoint(&mut self.table)?;
         self.table.release_committed();
         Ok(())
+    }
+
+    /// Pre-write bookkeeping shared by `write_tx` and `submit_tx`: ensure
+    /// the X-L2P table can absorb an entry for `(tid, lpn)`.
+    fn reserve_tx_slot(&mut self, tid: Tid, lpn: Lpn) -> Result<()> {
+        // A reused transaction id rewriting a page whose entry is still
+        // *Committed* would repurpose that entry — erasing the only
+        // persistent record of the earlier commit's fold. Persist the L2P
+        // (releasing committed entries) first, so the fold is durable
+        // before the slot is reused.
+        if self
+            .table
+            .lookup(tid, lpn)
+            .is_some_and(|e| e.status == crate::xl2p::TxStatus::Committed)
+        {
+            self.checkpoint_and_release()?;
+        }
+        // Make room: committed entries become releasable after an L2P
+        // checkpoint; a table full of *active* entries is a host error.
+        if self.table.lookup(tid, lpn).is_none() && self.table.is_full() {
+            if self.table.committed_len() > 0 {
+                self.checkpoint_and_release()?;
+            }
+            if self.table.is_full() {
+                return Err(DevError::XL2pFull);
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-write bookkeeping shared by `write_tx` and `submit_tx`.
+    fn record_tx_write(&mut self, tid: Tid, lpn: Lpn, ppa: xftl_flash::Ppa) {
+        match self.table.upsert(tid, lpn, ppa) {
+            Ok(None) => {}
+            Ok(Some(superseded)) => {
+                // The transaction rewrote its own page: the intermediate
+                // version is garbage immediately.
+                self.base.invalidate(superseded);
+            }
+            Err(()) => unreachable!("capacity checked by reserve_tx_slot"),
+        }
     }
 
     /// Number of live X-L2P entries (for tests and stats).
@@ -216,6 +263,9 @@ impl BlockDevice for XFtl {
 
     fn flush(&mut self) -> Result<()> {
         self.base.counters_mut().flushes += 1;
+        // A flush is also a full queue barrier.
+        self.base.drain();
+        self.queue.retire(CmdId(u64::MAX));
         if self.base.has_dirty_mapping() {
             self.checkpoint_and_release()?;
         }
@@ -226,10 +276,37 @@ impl BlockDevice for XFtl {
         *self.base.counters()
     }
 
-    fn supports_tx(&self) -> bool {
-        true
+    fn submit(&mut self, cmds: &[IoCmd<'_>]) -> Result<CmdId> {
+        self.base.counters_mut().batches += 1;
+        let mut done = 0;
+        for cmd in cmds {
+            match cmd {
+                IoCmd::Write { lpn, data } => {
+                    self.base.counters_mut().host_writes += 1;
+                    done = done.max(self.base.write_committed_queued(
+                        *lpn,
+                        data,
+                        &mut self.table,
+                    )?);
+                }
+                IoCmd::Trim { lpn } => {
+                    self.base.counters_mut().trims += 1;
+                    self.base.trim_lpn(*lpn)?;
+                }
+            }
+        }
+        Ok(self.queue.issue(done))
     }
 
+    fn complete_until(&mut self, barrier: CmdId) -> Result<()> {
+        if let Some(done) = self.queue.retire(barrier) {
+            self.base.wait_for(done);
+        }
+        Ok(())
+    }
+}
+
+impl TxBlockDevice for XFtl {
     fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
         self.base.counters_mut().host_reads += 1;
         // §5.3: if the reader wrote this page, return its own version;
@@ -249,45 +326,22 @@ impl BlockDevice for XFtl {
             return self.write(lpn, buf);
         }
         self.base.counters_mut().host_writes += 1;
-        // A reused transaction id rewriting a page whose entry is still
-        // *Committed* would repurpose that entry — erasing the only
-        // persistent record of the earlier commit's fold. Persist the L2P
-        // (releasing committed entries) first, so the fold is durable
-        // before the slot is reused.
-        if self
-            .table
-            .lookup(tid, lpn)
-            .is_some_and(|e| e.status == crate::xl2p::TxStatus::Committed)
-        {
-            self.checkpoint_and_release()?;
-        }
-        // Make room: committed entries become releasable after an L2P
-        // checkpoint; a table full of *active* entries is a host error.
-        if self.table.lookup(tid, lpn).is_none() && self.table.is_full() {
-            if self.table.committed_len() > 0 {
-                self.checkpoint_and_release()?;
-            }
-            if self.table.is_full() {
-                return Err(DevError::XL2pFull);
-            }
-        }
+        self.reserve_tx_slot(tid, lpn)?;
         let ppa = self.base.write_cow(lpn, tid, buf, &mut self.table)?;
-        match self.table.upsert(tid, lpn, ppa) {
-            Ok(None) => {}
-            Ok(Some(superseded)) => {
-                // The transaction rewrote its own page: the intermediate
-                // version is garbage immediately.
-                self.base.invalidate(superseded);
-            }
-            Err(()) => unreachable!("capacity checked above"),
-        }
+        self.record_tx_write(tid, lpn, ppa);
         Ok(())
     }
 
     fn commit(&mut self, tid: Tid) -> Result<()> {
         self.base.counters_mut().commits += 1;
+        // Commit is a full queue barrier: the X-L2P table write below
+        // drains the chip, so retiring every outstanding ticket here
+        // keeps the ledger bounded even for hosts that never flush.
+        self.queue.retire(CmdId(u64::MAX));
         if !self.table.has_tid(tid) {
-            // Read-only transaction: nothing to persist.
+            // Read-only transaction: nothing to persist, but commit is
+            // still a queue barrier for earlier batches.
+            self.base.drain();
             return Ok(());
         }
         // Step 1: flip statuses in device RAM.
@@ -321,7 +375,34 @@ impl BlockDevice for XFtl {
         for ppa in self.table.remove_active_of_tid(tid) {
             self.base.invalidate(ppa);
         }
+        // Whatever batches the aborting host had in flight are dead; no
+        // one will wait on their tickets.
+        self.queue.retire(CmdId(u64::MAX));
         Ok(())
+    }
+
+    fn submit_tx(&mut self, tid: Tid, pages: &[(Lpn, &[u8])]) -> Result<CmdId> {
+        self.base.counters_mut().batches += 1;
+        let mut done = 0;
+        for (lpn, data) in pages {
+            self.base.counters_mut().host_writes += 1;
+            if tid == 0 {
+                done = done.max(
+                    self.base
+                        .write_committed_queued(*lpn, data, &mut self.table)?,
+                );
+                continue;
+            }
+            self.reserve_tx_slot(tid, *lpn)?;
+            let (ppa, d) = self
+                .base
+                .write_cow_queued(*lpn, tid, data, &mut self.table)?;
+            done = done.max(d);
+            self.record_tx_write(tid, *lpn, ppa);
+        }
+        // No wait here: commit(tid) drains before the X-L2P table write,
+        // so the durability point still covers every page of the batch.
+        Ok(self.queue.issue(done))
     }
 }
 
@@ -613,6 +694,52 @@ mod tests {
         let mut d = dev();
         assert!(d.commit(42).is_ok());
         assert!(d.abort(42).is_ok());
+    }
+
+    #[test]
+    fn batched_tx_writes_overlap_across_channels() {
+        let cfg = xftl_flash::FlashConfigBuilder::tiny().channels(4).build();
+        let chip = FlashChip::new(cfg, SimClock::new());
+        let mut d = XFtl::format_with_capacity(chip, 32, 24).unwrap();
+        let clock = d.clock();
+        let data = vec![0x5Au8; d.page_size()];
+        let t0 = clock.now();
+        for lpn in 0..4u64 {
+            d.write_tx(1, lpn, &data).unwrap();
+        }
+        d.commit(1).unwrap();
+        let serial = clock.now() - t0;
+        let batch: Vec<(Lpn, &[u8])> = (4..8u64).map(|lpn| (lpn, &data[..])).collect();
+        let t1 = clock.now();
+        d.submit_tx(2, &batch).unwrap();
+        d.commit(2).unwrap();
+        let batched = clock.now() - t1;
+        assert!(
+            batched < serial,
+            "queued tx batch + commit ({batched} ns) must beat serial ({serial} ns)"
+        );
+        let mut out = page(&d, 0);
+        for lpn in 4..8u64 {
+            d.read(lpn, &mut out).unwrap();
+            assert_eq!(out, data, "lpn {lpn} committed");
+        }
+        assert_eq!(d.counters().batches, 1);
+    }
+
+    #[test]
+    fn batched_tx_writes_roll_back_on_crash_before_commit() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        let new = page(&d, 2);
+        d.write(0, &old).unwrap();
+        d.flush().unwrap();
+        let batch: Vec<(Lpn, &[u8])> = vec![(0, &new[..]), (1, &new[..])];
+        d.submit_tx(5, &batch).unwrap();
+        // Crash with the batch dispatched but never committed.
+        let mut d2 = XFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, old);
     }
 
     #[test]

@@ -610,10 +610,9 @@ fn table_delete_rec<D: BlockDevice>(
                 // position, or as the right neighbour of the previous one.
                 if !cells.is_empty() {
                     let anchor = idx.min(cells.len() - 1);
-                    if merge_table_leaves(pager, &mut right, &mut cells, anchor)? {
-                        changed = true;
-                    } else if anchor > 0
-                        && merge_table_leaves(pager, &mut right, &mut cells, anchor - 1)?
+                    if merge_table_leaves(pager, &mut right, &mut cells, anchor)?
+                        || (anchor > 0
+                            && merge_table_leaves(pager, &mut right, &mut cells, anchor - 1)?)
                     {
                         changed = true;
                     }
@@ -933,10 +932,9 @@ fn index_delete_rec<D: BlockDevice>(
                 }
                 if !cells.is_empty() {
                     let anchor = idx.min(cells.len() - 1);
-                    if merge_index_leaves(pager, &mut right, &mut cells, anchor)? {
-                        changed = true;
-                    } else if anchor > 0
-                        && merge_index_leaves(pager, &mut right, &mut cells, anchor - 1)?
+                    if merge_index_leaves(pager, &mut right, &mut cells, anchor)?
+                        || (anchor > 0
+                            && merge_index_leaves(pager, &mut right, &mut cells, anchor - 1)?)
                     {
                         changed = true;
                     }

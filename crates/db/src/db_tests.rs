@@ -36,7 +36,7 @@ fn fs_plain() -> SharedFs<PageMappedFtl> {
 fn fs_tx() -> SharedFs<XFtl> {
     let chip = FlashChip::new(FlashConfig::tiny(BLOCKS), SimClock::new());
     let dev = XFtl::format(chip, LOGICAL).unwrap();
-    let fs = FileSystem::mkfs(
+    let fs = FileSystem::mkfs_tx(
         dev,
         JournalMode::Off,
         FsConfig {
@@ -463,7 +463,7 @@ fn crash_recovery_off_mode_xftl() {
     let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
     let dev = fs_inner.into_device();
     let dev = XFtl::recover(dev.into_chip()).unwrap();
-    let fs = FileSystem::mount(dev, JournalMode::Off, 512).unwrap();
+    let fs = FileSystem::mount_tx(dev, JournalMode::Off, 512).unwrap();
     let fs = Rc::new(RefCell::new(fs));
     let mut db = Connection::open(fs, "c.db", DbJournalMode::Off).unwrap();
     let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
@@ -791,7 +791,7 @@ mod multi {
         let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
         let dev = XFtl::recover(fs_inner.into_device().into_chip()).unwrap();
         let fs = Rc::new(RefCell::new(
-            FileSystem::mount(dev, JournalMode::Off, 512).unwrap(),
+            FileSystem::mount_tx(dev, JournalMode::Off, 512).unwrap(),
         ));
         let mut a = Connection::open(Rc::clone(&fs), "a.db", DbJournalMode::Off).unwrap();
         let mut b = Connection::open(Rc::clone(&fs), "b.db", DbJournalMode::Off).unwrap();

@@ -19,7 +19,7 @@
 //! let clock = SimClock::new();
 //! let chip = FlashChip::new(FlashConfig::tiny(220), clock.clone());
 //! let dev = XFtl::format(chip, 1600).unwrap();
-//! let fs = FileSystem::mkfs(dev, JournalMode::Off, FsConfig::default()).unwrap();
+//! let fs = FileSystem::mkfs_tx(dev, JournalMode::Off, FsConfig::default()).unwrap();
 //! let fs = Rc::new(RefCell::new(fs));
 //!
 //! let mut db = Connection::open(fs, "app.db", DbJournalMode::Off).unwrap();

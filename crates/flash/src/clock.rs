@@ -53,6 +53,13 @@ impl SimClock {
         self.now_ns.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Advances the clock to `instant` if it lies in the future; a no-op
+    /// otherwise. Used to wait for the completion of overlapped flash
+    /// operations, whose finish times are absolute timestamps.
+    pub fn advance_to(&self, instant: Nanos) {
+        self.now_ns.fetch_max(instant, Ordering::Relaxed);
+    }
+
     /// Current instant expressed in seconds as a float (for reports).
     pub fn now_secs(&self) -> f64 {
         self.now() as f64 / SECOND as f64
@@ -122,6 +129,17 @@ mod tests {
         let b = a.clone();
         b.advance(7);
         assert_eq!(a.now(), 7);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = SimClock::new();
+        c.advance_to(100);
+        assert_eq!(c.now(), 100);
+        c.advance_to(40); // already past: no-op
+        assert_eq!(c.now(), 100);
+        c.advance_to(250);
+        assert_eq!(c.now(), 250);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! The defaults model the paper's testbed: an OpenSSD development board with
 //! Samsung K9LCG08U1M MLC NAND (8 KB pages, 128 pages per block) behind an
 //! Indilinx Barefoot controller on SATA 2.0. A second profile models the
-//! one-generation-newer Samsung S830 consumer SSD used in Figure 9.
+//! one-generation-newer Samsung S830 consumer SSD used in Figure 9, whose
+//! advantage comes from faster NAND *and* internal channel/way parallelism
+//! (modelled structurally by the chip layer, not as a latency divisor).
 
 use crate::clock::{Nanos, MICRO};
 
@@ -24,11 +26,6 @@ pub struct FlashTimings {
     pub channel_ns_per_byte: Nanos,
     /// Fixed firmware/controller overhead charged per flash command.
     pub cmd_overhead_ns: Nanos,
-    /// Degree of internal parallelism (channels x ways). Latencies for bulk
-    /// operations are divided by this factor to model a multi-channel
-    /// controller; the OpenSSD firmware in the paper drives chips mostly
-    /// serially, so its factor is 1.
-    pub parallelism: u32,
 }
 
 impl FlashTimings {
@@ -39,11 +36,11 @@ impl FlashTimings {
         erase_ns: 2_600 * MICRO,
         channel_ns_per_byte: 25,      // ~40 MB/s flash channel
         cmd_overhead_ns: 120 * MICRO, // 87.5 MHz ARM firmware path
-        parallelism: 1,
     };
 
     /// A one-generation-newer consumer SSD (Samsung S830 in the paper):
-    /// faster NAND and channels, some parallelism, leaner firmware — about
+    /// faster NAND and channels plus a leaner firmware path. Combined with
+    /// the S830 geometry's 4 channels × 2 ways this lands the drive about
     /// 2-3x the OpenSSD on small random writes, matching the Figure 9 gap.
     pub const S830: FlashTimings = FlashTimings {
         read_ns: 60 * MICRO,
@@ -51,13 +48,7 @@ impl FlashTimings {
         erase_ns: 2_200 * MICRO,
         channel_ns_per_byte: 8, // ~125 MB/s flash channel
         cmd_overhead_ns: 45 * MICRO,
-        parallelism: 2,
     };
-
-    /// Effective latency of one bulk operation after applying parallelism.
-    pub fn scaled(&self, raw: Nanos) -> Nanos {
-        raw / self.parallelism.max(1) as u64
-    }
 }
 
 /// Physical layout of the simulated NAND array.
@@ -72,17 +63,29 @@ pub struct FlashGeometry {
     /// Bytes of out-of-band (spare) area per page available for FTL
     /// metadata; modelled as a typed struct rather than raw bytes.
     pub oob_bytes: usize,
+    /// Independent flash channels (buses). Physical blocks are striped
+    /// across channels (`channel = block % channels`), so operations on
+    /// blocks of distinct channels overlap in time.
+    pub channels: u32,
+    /// Chips (ways) per channel. Ways share their channel's bus but have
+    /// independent cell arrays, so cell work overlaps while transfers
+    /// serialize on the shared bus.
+    pub ways: u32,
 }
 
 impl FlashGeometry {
-    /// The paper's chip: 8 KB pages, 128 pages/block. Block count is chosen
-    /// by the caller to size the drive.
+    /// The paper's chip: 8 KB pages, 128 pages/block, and a single
+    /// channel/way — the OpenSSD firmware in the paper drives its chips
+    /// mostly serially. Block count is chosen by the caller to size the
+    /// drive.
     pub fn openssd(blocks: usize) -> Self {
         FlashGeometry {
             page_size: 8 * 1024,
             pages_per_block: 128,
             blocks,
             oob_bytes: 64,
+            channels: 1,
+            ways: 1,
         }
     }
 
@@ -93,6 +96,8 @@ impl FlashGeometry {
             pages_per_block: 8,
             blocks,
             oob_bytes: 64,
+            channels: 1,
+            ways: 1,
         }
     }
 
@@ -104,6 +109,27 @@ impl FlashGeometry {
     /// Total raw capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.total_pages() as u64 * self.page_size as u64
+    }
+
+    /// Independent (channel, way) units in the array.
+    pub fn units(&self) -> usize {
+        (self.channels.max(1) * self.ways.max(1)) as usize
+    }
+
+    /// Channel a physical block lives on.
+    pub fn channel_of(&self, block: u32) -> usize {
+        (block as usize) % self.channels.max(1) as usize
+    }
+
+    /// Independent-unit index (channel × way) a physical block lives on.
+    /// Blocks stripe first across channels, then across ways within a
+    /// channel, so consecutive block numbers land on distinct buses.
+    pub fn unit_of(&self, block: u32) -> usize {
+        let channels = self.channels.max(1) as usize;
+        let ways = self.ways.max(1) as usize;
+        let ch = (block as usize) % channels;
+        let way = (block as usize / channels) % ways;
+        ch * ways + way
     }
 }
 
@@ -125,10 +151,15 @@ impl FlashConfig {
         }
     }
 
-    /// S830-like device with the given number of blocks.
+    /// S830-like device with the given number of blocks: newer NAND
+    /// timings and a 4-channel × 2-way array.
     pub fn s830(blocks: usize) -> Self {
         FlashConfig {
-            geometry: FlashGeometry::openssd(blocks),
+            geometry: FlashGeometry {
+                channels: 4,
+                ways: 2,
+                ..FlashGeometry::openssd(blocks)
+            },
             timings: FlashTimings::S830,
         }
     }
@@ -139,6 +170,97 @@ impl FlashConfig {
             geometry: FlashGeometry::tiny(blocks),
             timings: FlashTimings::OPENSSD,
         }
+    }
+
+    /// Starts a [`FlashConfigBuilder`] from the OpenSSD profile.
+    pub fn builder() -> FlashConfigBuilder {
+        FlashConfigBuilder::openssd()
+    }
+}
+
+/// Fluent construction of a [`FlashConfig`] from a profile preset plus
+/// overrides, replacing bare-struct literals at call sites.
+///
+/// ```
+/// use xftl_flash::FlashConfigBuilder;
+/// let cfg = FlashConfigBuilder::s830().blocks(256).channels(8).build();
+/// assert_eq!(cfg.geometry.blocks, 256);
+/// assert_eq!(cfg.geometry.channels, 8);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FlashConfigBuilder {
+    config: FlashConfig,
+}
+
+impl FlashConfigBuilder {
+    /// Starts from the paper's OpenSSD testbed profile (64 blocks; resize
+    /// with [`blocks`](Self::blocks)).
+    pub fn openssd() -> Self {
+        FlashConfigBuilder {
+            config: FlashConfig::openssd(64),
+        }
+    }
+
+    /// Starts from the Figure 9 S830 profile (64 blocks, 4 channels × 2
+    /// ways).
+    pub fn s830() -> Self {
+        FlashConfigBuilder {
+            config: FlashConfig::s830(64),
+        }
+    }
+
+    /// Starts from the tiny unit-test profile (16 blocks).
+    pub fn tiny() -> Self {
+        FlashConfigBuilder {
+            config: FlashConfig::tiny(16),
+        }
+    }
+
+    /// Sets the number of erase blocks (drive size).
+    pub fn blocks(mut self, blocks: usize) -> Self {
+        self.config.geometry.blocks = blocks;
+        self
+    }
+
+    /// Sets the page size in bytes.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.config.geometry.page_size = bytes;
+        self
+    }
+
+    /// Sets the number of pages per erase block.
+    pub fn pages_per_block(mut self, pages: usize) -> Self {
+        self.config.geometry.pages_per_block = pages;
+        self
+    }
+
+    /// Sets the number of independent flash channels.
+    pub fn channels(mut self, channels: u32) -> Self {
+        self.config.geometry.channels = channels.max(1);
+        self
+    }
+
+    /// Sets the number of ways (chips) per channel.
+    pub fn ways(mut self, ways: u32) -> Self {
+        self.config.geometry.ways = ways.max(1);
+        self
+    }
+
+    /// Replaces the whole geometry.
+    pub fn geometry(mut self, geometry: FlashGeometry) -> Self {
+        self.config.geometry = geometry;
+        self
+    }
+
+    /// Replaces the whole timing model.
+    pub fn timings(mut self, timings: FlashTimings) -> Self {
+        self.config.timings = timings;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> FlashConfig {
+        self.config
     }
 }
 
@@ -153,25 +275,55 @@ mod tests {
         assert_eq!(g.pages_per_block, 128);
         assert_eq!(g.total_pages(), 16 * 128);
         assert_eq!(g.capacity_bytes(), 16 * 128 * 8192);
+        assert_eq!(g.units(), 1);
     }
 
     #[test]
-    fn parallelism_scales_latency() {
-        let t = FlashTimings::S830;
-        assert_eq!(t.scaled(800), 800 / t.parallelism as u64);
-        let t1 = FlashTimings::OPENSSD;
-        assert_eq!(t1.scaled(800), 800);
+    fn blocks_stripe_across_channels_then_ways() {
+        let g = FlashGeometry {
+            channels: 4,
+            ways: 2,
+            ..FlashGeometry::openssd(64)
+        };
+        assert_eq!(g.units(), 8);
+        // Consecutive blocks land on distinct channels...
+        assert_eq!(g.channel_of(0), 0);
+        assert_eq!(g.channel_of(1), 1);
+        assert_eq!(g.channel_of(3), 3);
+        assert_eq!(g.channel_of(4), 0);
+        // ...and wrap onto the second way after one channel sweep.
+        assert_eq!(g.unit_of(0), 0);
+        assert_ne!(g.unit_of(0), g.unit_of(4));
+        assert_eq!(g.unit_of(0), g.unit_of(8));
     }
 
     #[test]
     fn profiles_are_ordered_by_speed() {
         // The newer device must be strictly faster on every axis the
-        // Figure 9 comparison depends on.
-        let old = FlashTimings::OPENSSD;
-        let new = FlashTimings::S830;
-        assert!(new.read_ns < old.read_ns);
-        assert!(new.program_ns < old.program_ns);
-        assert!(new.cmd_overhead_ns < old.cmd_overhead_ns);
-        assert!(new.parallelism > old.parallelism);
+        // Figure 9 comparison depends on: NAND latencies, firmware path,
+        // and the degree of structural parallelism.
+        let old = FlashConfig::openssd(64);
+        let new = FlashConfig::s830(64);
+        assert!(new.timings.read_ns < old.timings.read_ns);
+        assert!(new.timings.program_ns < old.timings.program_ns);
+        assert!(new.timings.cmd_overhead_ns < old.timings.cmd_overhead_ns);
+        assert!(new.geometry.units() > old.geometry.units());
+        assert_eq!(new.geometry.channels, 4);
+        assert_eq!(new.geometry.ways, 2);
+    }
+
+    #[test]
+    fn builder_overrides_profile_fields() {
+        let cfg = FlashConfig::builder()
+            .blocks(128)
+            .channels(2)
+            .ways(4)
+            .build();
+        assert_eq!(cfg.geometry.blocks, 128);
+        assert_eq!(cfg.geometry.channels, 2);
+        assert_eq!(cfg.geometry.ways, 4);
+        assert_eq!(cfg.timings, FlashTimings::OPENSSD);
+        let tiny = FlashConfigBuilder::tiny().blocks(40).build();
+        assert_eq!(tiny, FlashConfig::tiny(40));
     }
 }

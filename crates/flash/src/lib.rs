@@ -49,6 +49,6 @@ pub mod stats;
 
 pub use chip::{FlashChip, Oob, PageKind, PageProbe, Ppa};
 pub use clock::{Nanos, SimClock, Stopwatch};
-pub use config::{FlashConfig, FlashGeometry, FlashTimings};
+pub use config::{FlashConfig, FlashConfigBuilder, FlashGeometry, FlashTimings};
 pub use error::{FlashError, Result};
-pub use stats::FlashStats;
+pub use stats::{FlashStats, MAX_CHANNELS, QUEUE_DEPTH_BUCKETS};

@@ -7,6 +7,18 @@
 //! it learned through `fsync(ino, tid)`/`ioctl(abort, tid)`, and lets the
 //! device guarantee atomicity.
 //!
+//! Whether the device speaks the transactional command set is a
+//! compile-time property: `Off` mode is only reachable through the
+//! [`FileSystem::mkfs_tx`]/[`FileSystem::mount_tx`] constructors, which
+//! require `D: TxBlockDevice` and capture the extended commands in a
+//! dispatch table ([`TxOps`]). The plain constructors reject `Off`
+//! up front — there is no runtime capability probe to fail later.
+//!
+//! Multi-page flushes ride the queued submission path
+//! ([`BlockDevice::submit`] / [`TxBlockDevice::submit_tx`]): an fsync
+//! hands the device the whole page set as one batch, which a
+//! channel-parallel FTL overlaps across its flash channels.
+//!
 //! The volume has a single root directory (the workloads of the paper keep
 //! SQLite databases, journals and WAL files side by side in one
 //! directory), byte-granular file I/O through a write-back page cache with
@@ -22,8 +34,9 @@
 //! transaction is assumed to be the volume's only in-flight mutator.
 
 use std::collections::HashMap;
+use std::fmt;
 
-use xftl_ftl::{BlockDevice, Lpn, Tid};
+use xftl_ftl::{BlockDevice, CmdId, IoCmd, Lpn, Tid, TxBlockDevice};
 
 use crate::alloc::BlockBitmap;
 use crate::cache::PageCache;
@@ -62,6 +75,51 @@ impl Default for FsConfig {
             journal_pages: 256,
             cache_pages: 512,
         }
+    }
+}
+
+/// Dispatch table for the transactional device commands.
+///
+/// `FileSystem<D>` stays generic over plain [`BlockDevice`]s, but `Off`
+/// mode needs the [`TxBlockDevice`] command set. The `*_tx` constructors
+/// capture the extension's methods as function pointers here, so the
+/// capability is fixed at compile time (the constructor simply does not
+/// exist for a non-transactional `D`) while every other code path stays
+/// monomorphic over `D: BlockDevice`.
+struct TxOps<D> {
+    read_tx: fn(&mut D, Tid, Lpn, &mut [u8]) -> xftl_ftl::Result<()>,
+    write_tx: fn(&mut D, Tid, Lpn, &[u8]) -> xftl_ftl::Result<()>,
+    commit: fn(&mut D, Tid) -> xftl_ftl::Result<()>,
+    abort: fn(&mut D, Tid) -> xftl_ftl::Result<()>,
+    submit_tx: SubmitTxFn<D>,
+}
+
+/// Signature of [`TxBlockDevice::submit_tx`] as a plain function pointer.
+type SubmitTxFn<D> = fn(&mut D, Tid, &[(Lpn, &[u8])]) -> xftl_ftl::Result<CmdId>;
+
+impl<D: TxBlockDevice> TxOps<D> {
+    fn new() -> Self {
+        TxOps {
+            read_tx: D::read_tx,
+            write_tx: D::write_tx,
+            commit: D::commit,
+            abort: D::abort,
+            submit_tx: D::submit_tx,
+        }
+    }
+}
+
+impl<D> Clone for TxOps<D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<D> Copy for TxOps<D> {}
+
+impl<D> fmt::Debug for TxOps<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TxOps")
     }
 }
 
@@ -107,14 +165,40 @@ pub struct FileSystem<D: BlockDevice> {
     /// Monotone counter standing in for mtime.
     op_counter: u64,
     stats: FsStats,
+    /// Transactional command table; `Some` iff mounted via a `*_tx`
+    /// constructor. `Off` mode guarantees it is present.
+    tx: Option<TxOps<D>>,
 }
 
 impl<D: BlockDevice> FileSystem<D> {
-    /// Formats `dev` and mounts the fresh volume.
-    pub fn mkfs(mut dev: D, mode: JournalMode, cfg: FsConfig) -> Result<Self> {
-        if mode == JournalMode::Off && !dev.supports_tx() {
+    /// Formats `dev` and mounts the fresh volume in a journaling mode.
+    ///
+    /// `Off` mode is rejected with [`FsError::NeedsTxDevice`]: it needs
+    /// the transactional command set, which only the [`FileSystem::
+    /// mkfs_tx`] constructor (for `D: TxBlockDevice`) can wire up.
+    pub fn mkfs(dev: D, mode: JournalMode, cfg: FsConfig) -> Result<Self> {
+        if mode == JournalMode::Off {
             return Err(FsError::NeedsTxDevice);
         }
+        Self::mkfs_with(dev, mode, cfg, None)
+    }
+
+    /// Formats a transactional device and mounts the fresh volume. Any
+    /// journal mode works — including `Off`, where the device (X-FTL)
+    /// provides atomicity instead of a journal.
+    pub fn mkfs_tx(dev: D, mode: JournalMode, cfg: FsConfig) -> Result<Self>
+    where
+        D: TxBlockDevice,
+    {
+        Self::mkfs_with(dev, mode, cfg, Some(TxOps::new()))
+    }
+
+    fn mkfs_with(
+        mut dev: D,
+        mode: JournalMode,
+        cfg: FsConfig,
+        tx: Option<TxOps<D>>,
+    ) -> Result<Self> {
         let ps = dev.page_size();
         let sb = Superblock::layout(dev.capacity_pages(), ps, cfg.inode_count, cfg.journal_pages)?;
         dev.write(0, &sb.encode())?;
@@ -152,14 +236,35 @@ impl<D: BlockDevice> FileSystem<D> {
             next_tid: 1,
             op_counter: 1,
             stats: FsStats::default(),
+            tx,
         })
     }
 
-    /// Mounts an existing volume, replaying the journal first.
-    pub fn mount(mut dev: D, mode: JournalMode, cache_pages: usize) -> Result<Self> {
-        if mode == JournalMode::Off && !dev.supports_tx() {
+    /// Mounts an existing volume in a journaling mode, replaying the
+    /// journal first. Like [`FileSystem::mkfs`], `Off` mode is rejected;
+    /// use [`FileSystem::mount_tx`].
+    pub fn mount(dev: D, mode: JournalMode, cache_pages: usize) -> Result<Self> {
+        if mode == JournalMode::Off {
             return Err(FsError::NeedsTxDevice);
         }
+        Self::mount_with(dev, mode, cache_pages, None)
+    }
+
+    /// Mounts an existing volume on a transactional device (any mode,
+    /// including `Off`), replaying the journal first.
+    pub fn mount_tx(dev: D, mode: JournalMode, cache_pages: usize) -> Result<Self>
+    where
+        D: TxBlockDevice,
+    {
+        Self::mount_with(dev, mode, cache_pages, Some(TxOps::new()))
+    }
+
+    fn mount_with(
+        mut dev: D,
+        mode: JournalMode,
+        cache_pages: usize,
+        tx: Option<TxOps<D>>,
+    ) -> Result<Self> {
         let ps = dev.page_size();
         let mut buf = vec![0u8; ps];
         dev.read(0, &mut buf)?;
@@ -199,9 +304,16 @@ impl<D: BlockDevice> FileSystem<D> {
             next_tid: 1,
             op_counter: 1,
             stats: FsStats::default(),
+            tx,
         };
         fs.dir = fs.load_dir()?;
         Ok(fs)
+    }
+
+    /// The transactional command table, or the error every tx-dependent
+    /// path reports when the volume was mounted without one.
+    fn tx_ops(&self) -> Result<TxOps<D>> {
+        self.tx.ok_or(FsError::NeedsTxDevice)
     }
 
     // --- accessors ---------------------------------------------------------
@@ -535,22 +647,25 @@ impl<D: BlockDevice> FileSystem<D> {
         if self.mode != JournalMode::Off {
             return Err(FsError::NeedsTxDevice);
         }
+        let ops = self.tx_ops()?;
         self.stats.fsyncs += 1;
         let dirty = self.cache.dirty_of(ino);
+        let mut pages: Vec<(Lpn, Vec<u8>)> = Vec::with_capacity(dirty.len());
         for lpn in dirty {
-            let data = {
-                let p = self.cache.get_mut(lpn).expect("dirty page in cache");
-                p.dirty = false;
-                p.tid = None;
-                p.data.clone()
-            };
-            self.dev.write_tx(tid, lpn, &data)?;
-            self.stats.data_writes += 1;
+            let p = self.cache.get_mut(lpn).expect("dirty page in cache");
+            p.dirty = false;
+            p.tid = None;
+            pages.push((lpn, p.data.clone()));
         }
+        self.stats.data_writes += pages.len() as u64;
         let metas = self.collect_meta_images()?;
-        for (lpn, img) in &metas {
-            self.dev.write_tx(tid, *lpn, img)?;
-            self.stats.meta_writes += 1;
+        self.stats.meta_writes += metas.len() as u64;
+        pages.extend(metas);
+        if !pages.is_empty() {
+            // One queued batch; the deferred commit is the barrier that
+            // waits for it.
+            let batch: Vec<(Lpn, &[u8])> = pages.iter().map(|(l, d)| (*l, d.as_slice())).collect();
+            (ops.submit_tx)(&mut self.dev, tid, &batch)?;
         }
         Ok(())
     }
@@ -561,7 +676,8 @@ impl<D: BlockDevice> FileSystem<D> {
         if self.mode != JournalMode::Off {
             return Err(FsError::NeedsTxDevice);
         }
-        self.dev.commit(tid)?;
+        let ops = self.tx_ops()?;
+        (ops.commit)(&mut self.dev, tid)?;
         self.stats.barriers += 1;
         Ok(())
     }
@@ -573,40 +689,51 @@ impl<D: BlockDevice> FileSystem<D> {
         }
         match self.mode {
             JournalMode::Off => {
+                let ops = self.tx_ops()?;
                 let tid = match tid {
                     Some(t) => t,
                     None => self.begin_tx(),
                 };
+                // The whole transaction — data pages plus dirty metadata —
+                // goes to the device as one queued batch, which a
+                // channel-parallel FTL overlaps across its channels.
+                let mut pages: Vec<(Lpn, Vec<u8>)> = Vec::with_capacity(dirty.len());
                 for &lpn in dirty {
-                    let data = {
-                        let p = self.cache.get_mut(lpn).expect("dirty page in cache");
-                        p.dirty = false;
-                        p.tid = None;
-                        p.data.clone()
-                    };
-                    self.dev.write_tx(tid, lpn, &data)?;
-                    self.stats.data_writes += 1;
+                    let p = self.cache.get_mut(lpn).expect("dirty page in cache");
+                    p.dirty = false;
+                    p.tid = None;
+                    pages.push((lpn, p.data.clone()));
                 }
+                self.stats.data_writes += pages.len() as u64;
                 let metas = self.collect_meta_images()?;
-                for (lpn, img) in &metas {
-                    self.dev.write_tx(tid, *lpn, img)?;
-                    self.stats.meta_writes += 1;
-                }
-                // One command replaces both barriers: the device makes the
-                // whole transaction durable and atomic.
-                self.dev.commit(tid)?;
+                self.stats.meta_writes += metas.len() as u64;
+                pages.extend(metas);
+                let batch: Vec<(Lpn, &[u8])> =
+                    pages.iter().map(|(l, d)| (*l, d.as_slice())).collect();
+                (ops.submit_tx)(&mut self.dev, tid, &batch)?;
+                // One command replaces both barriers: the device waits for
+                // the queued batch and makes the whole transaction durable
+                // and atomic.
+                (ops.commit)(&mut self.dev, tid)?;
                 self.stats.barriers += 1;
             }
             JournalMode::Ordered => {
-                // Data first, in place.
+                // Data first, in place — one queued batch; the journal
+                // barrier below completes the queue before the commit
+                // page can land.
+                let mut pages: Vec<(Lpn, Vec<u8>)> = Vec::with_capacity(dirty.len());
                 for &lpn in dirty {
-                    let data = {
-                        let p = self.cache.get_mut(lpn).expect("dirty page in cache");
-                        p.dirty = false;
-                        p.data.clone()
-                    };
-                    self.dev.write(lpn, &data)?;
-                    self.stats.data_writes += 1;
+                    let p = self.cache.get_mut(lpn).expect("dirty page in cache");
+                    p.dirty = false;
+                    pages.push((lpn, p.data.clone()));
+                }
+                self.stats.data_writes += pages.len() as u64;
+                if !pages.is_empty() {
+                    let cmds: Vec<IoCmd<'_>> = pages
+                        .iter()
+                        .map(|(l, d)| IoCmd::Write { lpn: *l, data: d })
+                        .collect();
+                    self.dev.submit(&cmds)?;
                 }
                 let metas = self.collect_meta_images()?;
                 self.journal_txn(&metas)?;
@@ -668,7 +795,8 @@ impl<D: BlockDevice> FileSystem<D> {
     pub fn abort_tx(&mut self, tid: Tid) -> Result<()> {
         self.cache.drop_tid(tid);
         if self.mode == JournalMode::Off {
-            self.dev.abort(tid)?;
+            let ops = self.tx_ops()?;
+            (ops.abort)(&mut self.dev, tid)?;
         }
         self.reload_metadata()
     }
@@ -682,11 +810,19 @@ impl<D: BlockDevice> FileSystem<D> {
     }
 
     /// Issues the deferred discard commands; called after a metadata
-    /// commit has made the freeing durable.
+    /// commit has made the freeing durable. The whole discard set goes
+    /// out as one queued batch.
     fn flush_trims(&mut self) -> Result<()> {
-        for lpn in std::mem::take(&mut self.pending_trims) {
-            self.dev.trim(lpn)?;
+        if self.pending_trims.is_empty() {
+            return Ok(());
         }
+        let cmds: Vec<IoCmd<'_>> = self
+            .pending_trims
+            .iter()
+            .map(|&lpn| IoCmd::Trim { lpn })
+            .collect();
+        self.dev.submit(&cmds)?;
+        self.pending_trims.clear();
         Ok(())
     }
 
@@ -716,7 +852,10 @@ impl<D: BlockDevice> FileSystem<D> {
     fn read_dev_page(&mut self, lpn: Lpn, buf: &mut [u8], tid: Option<Tid>) -> Result<()> {
         self.stats.reads += 1;
         match (self.mode, tid) {
-            (JournalMode::Off, Some(t)) => self.dev.read_tx(t, lpn, buf)?,
+            (JournalMode::Off, Some(t)) => {
+                let ops = self.tx_ops()?;
+                (ops.read_tx)(&mut self.dev, t, lpn, buf)?;
+            }
             _ => self.dev.read(lpn, buf)?,
         }
         Ok(())
@@ -904,7 +1043,8 @@ impl<D: BlockDevice> FileSystem<D> {
                 (JournalMode::Off, Some(tid)) => {
                     // Steal: the uncommitted page reaches the device tagged
                     // with its transaction; X-FTL parks it in the X-L2P.
-                    self.dev.write_tx(tid, lpn, &page.data)?;
+                    let ops = self.tx_ops()?;
+                    (ops.write_tx)(&mut self.dev, tid, lpn, &page.data)?;
                 }
                 (JournalMode::Full, _) => {
                     // Full journaling may not write data home before its

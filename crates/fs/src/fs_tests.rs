@@ -34,7 +34,7 @@ fn fs_ordered() -> FileSystem<PageMappedFtl> {
 }
 
 fn fs_off() -> FileSystem<XFtl> {
-    FileSystem::mkfs(tx_dev(), JournalMode::Off, cfg()).unwrap()
+    FileSystem::mkfs_tx(tx_dev(), JournalMode::Off, cfg()).unwrap()
 }
 
 #[test]
@@ -211,7 +211,7 @@ fn crash_after_fsync_preserves_data_off() {
     fs.fsync(f, Some(tid)).unwrap();
     let dev = fs.into_device();
     let dev = XFtl::recover(dev.into_chip()).unwrap();
-    let mut fs2 = FileSystem::mount(dev, JournalMode::Off, 64).unwrap();
+    let mut fs2 = FileSystem::mount_tx(dev, JournalMode::Off, 64).unwrap();
     let f2 = fs2.open("crashme").unwrap();
     let mut buf = [0u8; 12];
     fs2.read(f2, 0, &mut buf, None).unwrap();
@@ -235,7 +235,7 @@ fn crash_mid_transaction_rolls_back_off_mode() {
     }
     let dev = fs.into_device();
     let dev = XFtl::recover(dev.into_chip()).unwrap();
-    let mut fs2 = FileSystem::mount(dev, JournalMode::Off, 64).unwrap();
+    let mut fs2 = FileSystem::mount_tx(dev, JournalMode::Off, 64).unwrap();
     let f2 = fs2.open("db").unwrap();
     let mut buf = [0u8; 12];
     fs2.read(f2, 0, &mut buf, None).unwrap();
@@ -263,7 +263,7 @@ fn abort_tx_restores_committed_state() {
 fn abort_after_steal_rolls_back_device_writes() {
     // A tiny cache forces dirty transactional pages to be stolen
     // (write_tx'd to the device) before commit; abort must undo them.
-    let mut fs = FileSystem::mkfs(
+    let mut fs = FileSystem::mkfs_tx(
         tx_dev(),
         JournalMode::Off,
         FsConfig {
@@ -289,9 +289,31 @@ fn abort_after_steal_rolls_back_device_writes() {
 }
 
 #[test]
-fn off_mode_requires_tx_device() {
+fn off_mode_requires_tx_constructor() {
+    // The plain constructors cannot wire the transactional command set,
+    // even when the device would support it.
     let r = FileSystem::mkfs(plain_dev(), JournalMode::Off, cfg());
     assert!(matches!(r, Err(FsError::NeedsTxDevice)));
+    let r = FileSystem::mkfs(tx_dev(), JournalMode::Off, cfg());
+    assert!(matches!(r, Err(FsError::NeedsTxDevice)));
+    let r = FileSystem::mount(tx_dev(), JournalMode::Off, 64);
+    assert!(matches!(r, Err(FsError::NeedsTxDevice)));
+}
+
+#[test]
+fn off_fsync_submits_one_batch() {
+    let mut fs = fs_off();
+    let ps = fs.page_size();
+    let f = fs.create("b").unwrap();
+    let tid = fs.begin_tx();
+    fs.write(f, 0, &vec![3u8; ps * 4], Some(tid)).unwrap();
+    let before = fs.device().counters().batches;
+    fs.fsync(f, Some(tid)).unwrap();
+    assert_eq!(
+        fs.device().counters().batches - before,
+        1,
+        "every page of the fsync rides one queued batch"
+    );
 }
 
 #[test]
@@ -395,7 +417,7 @@ fn many_files_round_trip_after_remount() {
 
 #[test]
 fn cache_pressure_steals_and_still_reads_back() {
-    let mut fs = FileSystem::mkfs(
+    let mut fs = FileSystem::mkfs_tx(
         tx_dev(),
         JournalMode::Off,
         FsConfig {

@@ -11,7 +11,7 @@
 //! to the device; a missing or mismatched commit page ends the replay —
 //! the classic all-or-nothing redo log.
 
-use xftl_ftl::{BlockDevice, Lpn};
+use xftl_ftl::{BlockDevice, IoCmd, Lpn};
 
 use crate::error::{FsError, Result};
 use crate::layout::Superblock;
@@ -187,13 +187,28 @@ impl Journal {
         for (i, (home, _)) in entries.iter().enumerate() {
             put_u64(&mut desc, 24 + i * 8, *home);
         }
-        dev.write(self.abs(self.head_off), &desc)?;
+        // Descriptor plus page images leave as one queued batch; the
+        // caller's barrier (flush before the commit page) completes it.
+        let mut slots = Vec::with_capacity(entries.len() + 1);
+        slots.push(self.abs(self.head_off));
         self.head_off = self.wrap(self.head_off + 1);
         for (home, image) in entries {
-            dev.write(self.abs(self.head_off), image)?;
+            slots.push(self.abs(self.head_off));
             self.head_off = self.wrap(self.head_off + 1);
             self.pending.push((*home, image.clone()));
         }
+        let mut cmds = Vec::with_capacity(slots.len());
+        cmds.push(IoCmd::Write {
+            lpn: slots[0],
+            data: &desc,
+        });
+        for (i, (_, image)) in entries.iter().enumerate() {
+            cmds.push(IoCmd::Write {
+                lpn: slots[i + 1],
+                data: image,
+            });
+        }
+        dev.submit(&cmds)?;
         self.live_pages += entries.len() as u64 + 2;
         Ok(entries.len() as u64 + 1)
     }
@@ -218,11 +233,20 @@ impl Journal {
         if self.pending.is_empty() && self.tail_off == self.head_off {
             return Ok(0);
         }
-        let mut written = 0;
-        for (home, image) in std::mem::take(&mut self.pending) {
-            dev.write(home, &image)?;
-            written += 1;
+        let pending = std::mem::take(&mut self.pending);
+        if !pending.is_empty() {
+            // Home writes in one queued batch; the flush below is the
+            // barrier that completes it.
+            let cmds: Vec<IoCmd<'_>> = pending
+                .iter()
+                .map(|(home, image)| IoCmd::Write {
+                    lpn: *home,
+                    data: image,
+                })
+                .collect();
+            dev.submit(&cmds)?;
         }
+        let written = pending.len() as u64;
         dev.flush()?;
         self.tail_off = self.head_off;
         self.tail_seq = self.next_seq;

@@ -20,7 +20,9 @@
 //! let clock = SimClock::new();
 //! let chip = FlashChip::new(FlashConfig::tiny(64), clock.clone());
 //! let dev = XFtl::format(chip, 400).unwrap();
-//! let mut fs = FileSystem::mkfs(dev, JournalMode::Off, FsConfig::default()).unwrap();
+//! // `Off` mode needs the transactional command set, so it is only
+//! // reachable through the `*_tx` constructors (`D: TxBlockDevice`).
+//! let mut fs = FileSystem::mkfs_tx(dev, JournalMode::Off, FsConfig::default()).unwrap();
 //!
 //! let f = fs.create("hello.db").unwrap();
 //! let tid = fs.begin_tx();

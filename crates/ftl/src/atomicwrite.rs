@@ -122,14 +122,24 @@ impl AtomicWriteFtl {
     }
 
     /// Writes `pages` as one atomic group: every page lands, then a commit
-    /// record seals the group. Returns the group id.
+    /// record seals the group. Returns the group id. The data pages of the
+    /// group ride the device queue, overlapping across channels; the
+    /// record is chained after the last of them, then awaited — the call
+    /// returns when the group is durable.
     pub fn write_atomic(&mut self, pages: &[(Lpn, &[u8])]) -> Result<Tid> {
         let group = self.next_group;
         self.next_group += 1;
         self.hook.pending.clear();
+        let mut data_done = 0;
         for (lpn, data) in pages {
-            match self.base.write_cow(*lpn, group, data, &mut self.hook) {
-                Ok(ppa) => self.hook.pending.push((*lpn, ppa)),
+            match self
+                .base
+                .write_cow_queued(*lpn, group, data, &mut self.hook)
+            {
+                Ok((ppa, done)) => {
+                    data_done = data_done.max(done);
+                    self.hook.pending.push((*lpn, ppa));
+                }
                 Err(e) => {
                     // Per-call rollback: orphan the pages already written.
                     for (_, ppa) in self.hook.pending.drain(..) {
@@ -140,9 +150,16 @@ impl AtomicWriteFtl {
             }
         }
         let record = self.encode_record(group, pages);
-        let rec_ppa =
-            self.base
-                .program_raw(PageKind::Commit, group, group, &record, &mut self.hook)?;
+        let (rec_ppa, rec_done) = self.base.program_raw_queued(
+            PageKind::Commit,
+            group,
+            group,
+            0,
+            &record,
+            data_done,
+            &mut self.hook,
+        )?;
+        self.base.wait_for(rec_done);
         self.hook.records.push(rec_ppa);
         self.base.counters_mut().commits += 1;
         let pending = std::mem::take(&mut self.hook.pending);
@@ -239,6 +256,7 @@ impl BlockDevice for AtomicWriteFtl {
 
     fn flush(&mut self) -> Result<()> {
         self.base.counters_mut().flushes += 1;
+        self.base.drain();
         if self.base.has_dirty_mapping() {
             self.base.checkpoint(&mut self.hook)?;
             // Checkpointed L2P now covers every sealed group; records can go.

@@ -28,7 +28,7 @@
 
 use std::collections::VecDeque;
 
-use xftl_flash::{FlashChip, Oob, PageKind, PageProbe, Ppa, SimClock};
+use xftl_flash::{FlashChip, Nanos, Oob, PageKind, PageProbe, Ppa, SimClock};
 
 use crate::dev::{DevCounters, Lpn, Tid};
 use crate::error::{DevError, Result};
@@ -165,8 +165,13 @@ pub struct FtlBase {
     gc_policy: GcPolicy,
     /// Data blocks in allocation order (FIFO victim cursor).
     alloc_order: VecDeque<u32>,
-    /// Open write block for host data pages, if any.
-    frontier_data: Option<u32>,
+    /// Open write blocks for host data pages, one per flash channel, so
+    /// consecutive page allocations stripe across channels and queued
+    /// programs can overlap (the write-interleaving real multi-channel
+    /// firmware does).
+    frontiers_data: Vec<Option<u32>>,
+    /// Round-robin cursor over `frontiers_data`.
+    data_cursor: usize,
     /// Open write block for mapping-class pages (L2P slabs, X-L2P tables,
     /// commit records). Real FTLs — the OpenSSD included — segregate map
     /// blocks from data blocks; mixing them would let short-lived mapping
@@ -227,7 +232,8 @@ impl FtlBase {
             block_class: vec![0; geo.blocks],
             gc_policy: GcPolicy::Greedy,
             alloc_order: VecDeque::new(),
-            frontier_data: None,
+            frontiers_data: vec![None; geo.channels.max(1) as usize],
+            data_cursor: 0,
             frontier_map: None,
             free_blocks: (FIRST_POOL_BLOCK..geo.blocks as u32).collect(),
             in_free: {
@@ -341,7 +347,7 @@ impl FtlBase {
     /// Number of free (fully erased, pooled) blocks.
     pub fn free_block_count(&self) -> usize {
         self.free_blocks.len()
-            + usize::from(self.frontier_data.is_some())
+            + self.frontiers_data.iter().filter(|f| f.is_some()).count()
             + usize::from(self.frontier_map.is_some())
     }
 
@@ -368,35 +374,64 @@ impl FtlBase {
 
     /// Next free slot in the appropriate log frontier, opening a new
     /// block as needed. Mapping-class pages (`Map`, `XL2p`, `Commit`) use
-    /// their own frontier so they never share blocks with host data.
+    /// their own frontier so they never share blocks with host data. Data
+    /// pages rotate over one frontier per channel, so back-to-back page
+    /// allocations land on different channels and queued programs overlap.
     fn alloc_slot(&mut self, kind: PageKind) -> Result<Ppa> {
         let map_class = matches!(kind, PageKind::Map | PageKind::XL2p | PageKind::Commit);
-        loop {
-            let frontier = if map_class {
-                &mut self.frontier_map
-            } else {
-                &mut self.frontier_data
-            };
-            if let Some(b) = *frontier {
-                if let Some(wp) = self.chip.write_point(b) {
-                    return Ok(Ppa::new(b, wp));
-                }
-                *frontier = None;
-            }
-            match self.free_blocks.pop_front() {
-                Some(b) => {
-                    self.in_free[b as usize] = false;
-                    self.block_class[b as usize] = if map_class { 2 } else { 1 };
-                    if map_class {
-                        self.frontier_map = Some(b);
-                    } else {
-                        self.alloc_order.push_back(b);
-                        self.frontier_data = Some(b);
+        if map_class {
+            loop {
+                if let Some(b) = self.frontier_map {
+                    if let Some(wp) = self.chip.write_point(b) {
+                        return Ok(Ppa::new(b, wp));
                     }
+                    self.frontier_map = None;
                 }
-                None => return Err(DevError::OutOfSpace),
+                match self.free_blocks.pop_front() {
+                    Some(b) => {
+                        self.in_free[b as usize] = false;
+                        self.block_class[b as usize] = 2;
+                        self.frontier_map = Some(b);
+                    }
+                    None => return Err(DevError::OutOfSpace),
+                }
             }
         }
+        let channels = self.frontiers_data.len();
+        for i in 0..channels {
+            let ch = (self.data_cursor + i) % channels;
+            if let Some(b) = self.frontiers_data[ch] {
+                if let Some(wp) = self.chip.write_point(b) {
+                    self.data_cursor = (ch + 1) % channels;
+                    return Ok(Ppa::new(b, wp));
+                }
+                self.frontiers_data[ch] = None;
+            }
+            if let Some(b) = self.pop_free_for_channel(ch) {
+                self.in_free[b as usize] = false;
+                self.block_class[b as usize] = 1;
+                self.alloc_order.push_back(b);
+                self.frontiers_data[ch] = Some(b);
+                self.data_cursor = (ch + 1) % channels;
+                return Ok(Ppa::new(b, 0));
+            }
+        }
+        Err(DevError::OutOfSpace)
+    }
+
+    /// Pops a free block that physically lives on channel `ch`, falling
+    /// back to any free block: a frontier fed from the wrong channel still
+    /// beats an idle one (the stripe self-heals as blocks recycle).
+    fn pop_free_for_channel(&mut self, ch: usize) -> Option<u32> {
+        let geo = self.chip.config().geometry;
+        if let Some(pos) = self
+            .free_blocks
+            .iter()
+            .position(|&b| geo.channel_of(b) == ch)
+        {
+            return self.free_blocks.remove(pos);
+        }
+        self.free_blocks.pop_front()
     }
 
     /// Runs garbage collection until the free pool is back above the low
@@ -423,7 +458,7 @@ impl FtlBase {
     fn is_victim_candidate(&self, b: u32) -> bool {
         !(b < FIRST_POOL_BLOCK
             || self.in_free[b as usize]
-            || Some(b) == self.frontier_data
+            || self.frontiers_data.contains(&Some(b))
             || Some(b) == self.frontier_map
             || self.chip.write_point(b) == Some(0))
     }
@@ -460,7 +495,7 @@ impl FtlBase {
                 if !self.is_victim_candidate(b) || self.block_class[b as usize] != 1 {
                     // Stale entry (erased/reused) or currently open: drop
                     // it; it re-enters the queue when reallocated.
-                    if Some(b) == self.frontier_data {
+                    if self.frontiers_data.contains(&Some(b)) {
                         self.alloc_order.push_back(b);
                     }
                     continue;
@@ -497,7 +532,11 @@ impl FtlBase {
                 continue;
             }
             let mut buf = std::mem::take(&mut self.scratch);
-            let oob = self.chip.read(old, &mut buf)?;
+            // Copy-backs ride the device queue: the read and the program
+            // of one page are chained (`not_before`), but copies of
+            // different pages overlap when source and destination sit on
+            // different channels, so GC steals less host time.
+            let (oob, read_done) = self.chip.read_queued(old, &mut buf, 0)?;
             let dst = self.alloc_slot(oob.kind)?;
             // A GC copy of the *committed* version of a data page is
             // re-stamped tid = 0 so the recovery roll-forward treats it as
@@ -510,7 +549,7 @@ impl FtlBase {
                 new_oob.tid = 0;
                 new_oob.aux = 0;
             }
-            self.chip.program(dst, &buf, new_oob)?;
+            self.chip.program_queued(dst, &buf, new_oob, read_done)?;
             self.scratch = buf;
             self.stats.gc_copies += 1;
             copied += 1;
@@ -548,7 +587,9 @@ impl FtlBase {
             self.checkpoint_internal(hook)?;
             meta_stale = false; // checkpoint wrote a fresh meta root
         }
-        self.chip.erase(victim)?;
+        // The erase is queued too; the chip's per-unit busy tracking
+        // already orders it after the in-flight reads from this block.
+        self.chip.erase_queued(victim, 0)?;
         self.free_blocks.push_back(victim);
         self.in_free[victim as usize] = true;
         self.stats.gc_runs += 1;
@@ -633,6 +674,46 @@ impl FtlBase {
             },
         )?;
         self.valid.mark_valid(dst);
+        self.note_program(kind);
+        Ok(dst)
+    }
+
+    /// Queued variant of [`FtlBase::program_raw_aux`]: dispatches the
+    /// program into the device queue and returns the destination plus its
+    /// media completion time without blocking the clock, so callers can
+    /// overlap a batch of pages across channels. `not_before` chains the
+    /// program after a data dependency (e.g. the read that produced `buf`).
+    #[allow(clippy::too_many_arguments)] // mirrors `program_raw_aux` plus the queue knobs
+    pub fn program_raw_queued(
+        &mut self,
+        kind: PageKind,
+        lpn: Lpn,
+        tid: Tid,
+        aux: u32,
+        buf: &[u8],
+        not_before: Nanos,
+        hook: &mut dyn GcHook,
+    ) -> Result<(Ppa, Nanos)> {
+        self.maybe_gc(hook)?;
+        let dst = self.alloc_slot(kind)?;
+        let (_, done) = self.chip.program_queued(
+            dst,
+            buf,
+            Oob {
+                lpn,
+                seq: 0,
+                tid,
+                kind,
+                aux,
+            },
+            not_before,
+        )?;
+        self.valid.mark_valid(dst);
+        self.note_program(kind);
+        Ok((dst, done))
+    }
+
+    fn note_program(&mut self, kind: PageKind) {
         match kind {
             PageKind::Data => self.stats.data_writes += 1,
             PageKind::Map => self.stats.map_writes += 1,
@@ -640,7 +721,6 @@ impl FtlBase {
             PageKind::Commit => self.stats.commit_record_writes += 1,
             PageKind::Meta => unreachable!("meta pages go through write_meta"),
         }
-        Ok(dst)
     }
 
     /// Copy-on-write data write that leaves the committed mapping intact
@@ -656,12 +736,51 @@ impl FtlBase {
         self.program_raw(PageKind::Data, lpn, tid, buf, hook)
     }
 
+    /// Queued copy-on-write data write (the device's batched `write_tx`
+    /// path): returns the new location and its completion time.
+    pub fn write_cow_queued(
+        &mut self,
+        lpn: Lpn,
+        tid: Tid,
+        buf: &[u8],
+        hook: &mut dyn GcHook,
+    ) -> Result<(Ppa, Nanos)> {
+        self.check_lpn(lpn)?;
+        self.program_raw_queued(PageKind::Data, lpn, tid, 0, buf, 0, hook)
+    }
+
     /// Ordinary page write: copy-on-write plus immediate L2P update,
     /// invalidating the previous version (the plain-FTL path).
     pub fn write_committed(&mut self, lpn: Lpn, buf: &[u8], hook: &mut dyn GcHook) -> Result<()> {
         let dst = self.write_cow(lpn, 0, buf, hook)?;
         self.fold_mapping(lpn, dst);
         Ok(())
+    }
+
+    /// Queued committed write (the device's batched `write` path): the
+    /// mapping updates immediately, the media time is returned for the
+    /// caller's completion bookkeeping.
+    pub fn write_committed_queued(
+        &mut self,
+        lpn: Lpn,
+        buf: &[u8],
+        hook: &mut dyn GcHook,
+    ) -> Result<Nanos> {
+        let (dst, done) = self.write_cow_queued(lpn, 0, buf, hook)?;
+        self.fold_mapping(lpn, dst);
+        Ok(done)
+    }
+
+    /// Full queue barrier: advances the clock past every queued flash
+    /// operation and returns the instant the array went idle.
+    pub fn drain(&mut self) -> Nanos {
+        self.chip.drain()
+    }
+
+    /// Partial queue barrier: advances the clock to `completion` (a time
+    /// returned by one of the `_queued` methods).
+    pub fn wait_for(&mut self, completion: Nanos) {
+        self.chip.wait_for(completion)
     }
 
     /// Points the committed mapping of `lpn` at `ppa`, invalidating the
@@ -703,6 +822,9 @@ impl FtlBase {
 
     /// Appends a fresh checkpoint-root page to the meta ring.
     fn write_meta(&mut self) -> Result<()> {
+        // Durability barrier: the root must not land before the pages it
+        // points at have finished on their channels.
+        self.chip.drain();
         let geo = self.chip.config().geometry;
         let page = MetaPage {
             logical_pages: self.logical_pages,
@@ -754,7 +876,10 @@ impl FtlBase {
             let geo = self.chip.config().geometry;
             let buf = meta::encode_slab(&self.l2p, slab, geo.page_size, geo.pages_per_block);
             let old = self.map_locs[slab];
-            let dst = self.program_raw(PageKind::Map, slab as u64, 0, &buf, hook)?;
+            // Slab writes are queued rather than awaited one by one;
+            // write_meta below is the barrier.
+            let (dst, _) =
+                self.program_raw_queued(PageKind::Map, slab as u64, 0, 0, &buf, 0, hook)?;
             if let Some(old) = old {
                 self.valid.mark_invalid(old);
             }
@@ -776,7 +901,9 @@ impl FtlBase {
     pub fn persist_xl2p(&mut self, table_pages: &[Vec<u8>], hook: &mut dyn GcHook) -> Result<()> {
         let mut new_roots = Vec::with_capacity(table_pages.len());
         for (i, page) in table_pages.iter().enumerate() {
-            new_roots.push(self.program_raw(PageKind::XL2p, i as u64, 0, page, hook)?);
+            let (dst, _) =
+                self.program_raw_queued(PageKind::XL2p, i as u64, 0, 0, page, 0, hook)?;
+            new_roots.push(dst);
         }
         for old in std::mem::replace(&mut self.xl2p_roots, new_roots) {
             self.valid.mark_invalid(old);
@@ -935,7 +1062,8 @@ impl FtlBase {
             alloc_order: (FIRST_POOL_BLOCK..geo.blocks as u32)
                 .filter(|&b| block_class[b as usize] == 1)
                 .collect(),
-            frontier_data: None,
+            frontiers_data: vec![None; geo.channels.max(1) as usize],
+            data_cursor: 0,
             frontier_map: None,
             free_blocks,
             in_free,
@@ -1233,6 +1361,25 @@ mod tests {
             f.write_committed(i % 24, &data, &mut NoHook).unwrap();
         }
         assert!(f.free_block_count() >= 1);
+    }
+
+    #[test]
+    fn data_writes_stripe_across_channels() {
+        let cfg = xftl_flash::FlashConfigBuilder::tiny().channels(2).build();
+        let chip = FlashChip::new(cfg, SimClock::new());
+        let mut f = FtlBase::format(chip, 32).unwrap();
+        let data = vec![1u8; f.page_size()];
+        let geo = f.chip.config().geometry;
+        let mut chans = Vec::new();
+        for lpn in 0..4u64 {
+            f.write_committed(lpn, &data, &mut NoHook).unwrap();
+            chans.push(geo.channel_of(f.l2p_get(lpn).unwrap().block));
+        }
+        assert_eq!(
+            chans,
+            vec![0, 1, 0, 1],
+            "consecutive writes alternate channels"
+        );
     }
 
     #[test]

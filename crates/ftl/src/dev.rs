@@ -1,15 +1,24 @@
 //! The storage-device abstraction and its transactional extension.
 //!
-//! [`BlockDevice`] is the Rust analogue of the paper's (extended) SATA
-//! command set. The base commands — `read`, `write`, `trim`, `flush` — are
-//! what any page-mapping SSD exposes. The transactional extension —
-//! `read_tx(tid, p)`, `write_tx(tid, p)`, `commit(tid)`, `abort(tid)` — is
-//! exactly the interface §4.2 of the paper adds (tid-tagged reads/writes
-//! plus commit/abort piggybacked on the trim command). Devices that do not
-//! implement the extension return [`DevError::Unsupported`], mirroring a
-//! drive that rejects unknown commands.
+//! [`BlockDevice`] is the Rust analogue of the paper's SATA command set:
+//! `read`, `write`, `trim`, `flush` — what any page-mapping SSD exposes —
+//! plus an NCQ-style batched submission path ([`BlockDevice::submit`] /
+//! [`BlockDevice::complete_until`]) that lets hosts issue multi-page writes
+//! as one queued batch the device may overlap across its flash channels.
+//!
+//! The transactional command set — `read_tx(tid, p)`, `write_tx(tid, p)`,
+//! `commit(tid)`, `abort(tid)` — is exactly the interface §4.2 of the paper
+//! adds (tid-tagged reads/writes plus commit/abort piggybacked on the trim
+//! command). It lives in the separate [`TxBlockDevice`] extension trait:
+//! whether a device speaks it is a compile-time property of the type, not a
+//! runtime probe, so hosts that need transactions take `D: TxBlockDevice`
+//! and the "command not supported" failure mode does not exist.
 
-use crate::error::{DevError, Result};
+use std::collections::VecDeque;
+
+use xftl_flash::Nanos;
+
+use crate::error::Result;
 
 /// Logical page number, the host-visible address unit (one 8 KB page).
 pub type Lpn = u64;
@@ -21,6 +30,75 @@ pub type Tid = u64;
 
 /// Reserved id meaning "not part of any transaction".
 pub const NO_TID: Tid = 0;
+
+/// One command of a batched submission (see [`BlockDevice::submit`]).
+#[derive(Debug, Clone, Copy)]
+pub enum IoCmd<'a> {
+    /// Write `data` (one full page) to logical page `lpn`.
+    Write {
+        /// Destination logical page.
+        lpn: Lpn,
+        /// Page contents; must be exactly `page_size()` bytes.
+        data: &'a [u8],
+    },
+    /// Declare logical page `lpn` unused.
+    Trim {
+        /// The page to trim.
+        lpn: Lpn,
+    },
+}
+
+/// Completion ticket for a queued batch.
+///
+/// Tickets are ordered: waiting on a ticket with [`BlockDevice::
+/// complete_until`] also waits for every batch submitted before it.
+/// [`CmdId::IMMEDIATE`] means the batch completed synchronously at
+/// submission (the default for devices without a queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CmdId(pub u64);
+
+impl CmdId {
+    /// Ticket of a batch that completed before `submit` returned.
+    pub const IMMEDIATE: CmdId = CmdId(0);
+}
+
+/// Ticket ledger for queueing devices: pairs each issued [`CmdId`] with
+/// the simulated-clock instant its batch completes on the media. Devices
+/// embed one and use it to implement `submit`/`complete_until`.
+#[derive(Debug, Default)]
+pub struct CmdQueue {
+    issued: u64,
+    pending: VecDeque<(u64, Nanos)>,
+}
+
+impl CmdQueue {
+    /// Mints the next ticket for a batch completing at `done`.
+    pub fn issue(&mut self, done: Nanos) -> CmdId {
+        self.issued += 1;
+        self.pending.push_back((self.issued, done));
+        CmdId(self.issued)
+    }
+
+    /// Retires every ticket up to `barrier` and returns the latest
+    /// completion time among them (`None` when nothing that old is still
+    /// outstanding — e.g. [`CmdId::IMMEDIATE`] or a re-waited ticket).
+    pub fn retire(&mut self, barrier: CmdId) -> Option<Nanos> {
+        let mut latest: Option<Nanos> = None;
+        while let Some(&(id, done)) = self.pending.front() {
+            if id > barrier.0 {
+                break;
+            }
+            self.pending.pop_front();
+            latest = Some(latest.map_or(done, |m| m.max(done)));
+        }
+        latest
+    }
+
+    /// Number of tickets not yet retired.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+}
 
 /// Host-visible counters a device keeps; these feed the paper's Table 1.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -37,9 +115,11 @@ pub struct DevCounters {
     pub aborts: u64,
     /// Trim commands.
     pub trims: u64,
+    /// Queued batches accepted via `submit`/`submit_tx`.
+    pub batches: u64,
 }
 
-/// A (possibly transactional) page-addressed storage device.
+/// A page-addressed storage device.
 ///
 /// All data commands move whole pages; `page_size()` tells the host how big
 /// a page is. Implementations charge simulated latency for every command.
@@ -63,39 +143,71 @@ pub trait BlockDevice {
 
     /// Write barrier: persists the mapping state so that everything written
     /// before the flush survives power loss. Models the barrier/FUA
-    /// behaviour journaling file systems rely on (§6.3.4).
+    /// behaviour journaling file systems rely on (§6.3.4). Also a full
+    /// queue barrier: every batch submitted earlier has completed when
+    /// `flush` returns.
     fn flush(&mut self) -> Result<()>;
 
     /// Host-visible command counters.
     fn counters(&self) -> DevCounters;
 
-    // --- transactional extension (X-FTL commands, §4.2) ---
+    // --- batched submission (NCQ-style) ---
 
-    /// True if the device implements the transactional command set.
-    fn supports_tx(&self) -> bool {
-        false
+    /// Queues a batch of writes/trims. The device may reorder service
+    /// across its internal channels but completes the batch atomically with
+    /// respect to [`BlockDevice::complete_until`] on the returned ticket.
+    /// The default implementation services the batch synchronously and
+    /// returns [`CmdId::IMMEDIATE`]; queueing devices return a real ticket
+    /// and only dispatch the commands, letting them overlap.
+    fn submit(&mut self, cmds: &[IoCmd<'_>]) -> Result<CmdId> {
+        for cmd in cmds {
+            match cmd {
+                IoCmd::Write { lpn, data } => self.write(*lpn, data)?,
+                IoCmd::Trim { lpn } => self.trim(*lpn)?,
+            }
+        }
+        Ok(CmdId::IMMEDIATE)
     }
 
+    /// Waits until the batch identified by `barrier` — and every batch
+    /// submitted before it — has completed on the media. Completion is a
+    /// *timing* property (simulated clock); it does not imply the mapping
+    /// is durable, which still takes a `flush`/`commit`.
+    fn complete_until(&mut self, _barrier: CmdId) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// The transactional command extension (X-FTL commands, §4.2).
+///
+/// Implemented only by devices that physically support tid-tagged
+/// copy-on-write state: X-FTL itself, the TxFlash/atomic-write baselines,
+/// and pass-through layers above them. Hosts that need transactions bound
+/// `D: TxBlockDevice` and get the commands unconditionally.
+pub trait TxBlockDevice: BlockDevice {
     /// Reads page `lpn` as seen by transaction `tid`: the transaction's own
     /// uncommitted version if it wrote one, otherwise the committed copy.
-    fn read_tx(&mut self, _tid: Tid, _lpn: Lpn, _buf: &mut [u8]) -> Result<()> {
-        Err(DevError::Unsupported("read_tx"))
-    }
+    fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()>;
 
     /// Copy-on-write page write on behalf of transaction `tid`; the old
     /// committed copy stays readable and reclaimable only after commit.
-    fn write_tx(&mut self, _tid: Tid, _lpn: Lpn, _buf: &[u8]) -> Result<()> {
-        Err(DevError::Unsupported("write_tx"))
-    }
+    fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()>;
 
     /// Atomically and durably commits every page written by `tid`.
-    fn commit(&mut self, _tid: Tid) -> Result<()> {
-        Err(DevError::Unsupported("commit"))
-    }
+    fn commit(&mut self, tid: Tid) -> Result<()>;
 
     /// Discards every page written by `tid`; the committed copies remain.
-    fn abort(&mut self, _tid: Tid) -> Result<()> {
-        Err(DevError::Unsupported("abort"))
+    fn abort(&mut self, tid: Tid) -> Result<()>;
+
+    /// Queues a batch of tid-tagged copy-on-write page writes. Like
+    /// [`BlockDevice::submit`] but on the transactional path: the writes
+    /// stay invisible until `commit(tid)`, which is also a queue barrier.
+    /// The default services the batch synchronously.
+    fn submit_tx(&mut self, tid: Tid, pages: &[(Lpn, &[u8])]) -> Result<CmdId> {
+        for (lpn, data) in pages {
+            self.write_tx(tid, *lpn, data)?;
+        }
+        Ok(CmdId::IMMEDIATE)
     }
 }
 
@@ -103,23 +215,30 @@ pub trait BlockDevice {
 mod tests {
     use super::*;
 
-    /// A do-nothing device to exercise the trait's defaults.
-    struct Null;
+    /// A recording device to exercise the trait's default batch paths.
+    #[derive(Default)]
+    struct Rec {
+        writes: Vec<Lpn>,
+        trims: Vec<Lpn>,
+        tx_writes: Vec<(Tid, Lpn)>,
+    }
 
-    impl BlockDevice for Null {
+    impl BlockDevice for Rec {
         fn page_size(&self) -> usize {
             512
         }
         fn capacity_pages(&self) -> u64 {
-            0
+            64
         }
         fn read(&mut self, _: Lpn, _: &mut [u8]) -> Result<()> {
             Ok(())
         }
-        fn write(&mut self, _: Lpn, _: &[u8]) -> Result<()> {
+        fn write(&mut self, lpn: Lpn, _: &[u8]) -> Result<()> {
+            self.writes.push(lpn);
             Ok(())
         }
-        fn trim(&mut self, _: Lpn) -> Result<()> {
+        fn trim(&mut self, lpn: Lpn) -> Result<()> {
+            self.trims.push(lpn);
             Ok(())
         }
         fn flush(&mut self) -> Result<()> {
@@ -130,19 +249,52 @@ mod tests {
         }
     }
 
+    impl TxBlockDevice for Rec {
+        fn read_tx(&mut self, _: Tid, _: Lpn, _: &mut [u8]) -> Result<()> {
+            Ok(())
+        }
+        fn write_tx(&mut self, tid: Tid, lpn: Lpn, _: &[u8]) -> Result<()> {
+            self.tx_writes.push((tid, lpn));
+            Ok(())
+        }
+        fn commit(&mut self, _: Tid) -> Result<()> {
+            Ok(())
+        }
+        fn abort(&mut self, _: Tid) -> Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
-    fn tx_commands_default_to_unsupported() {
-        let mut d = Null;
-        assert!(!d.supports_tx());
-        assert_eq!(
-            d.write_tx(1, 0, &[]),
-            Err(DevError::Unsupported("write_tx"))
-        );
-        assert_eq!(
-            d.read_tx(1, 0, &mut []),
-            Err(DevError::Unsupported("read_tx"))
-        );
-        assert_eq!(d.commit(1), Err(DevError::Unsupported("commit")));
-        assert_eq!(d.abort(1), Err(DevError::Unsupported("abort")));
+    fn default_submit_services_batch_in_order() {
+        let mut d = Rec::default();
+        let page = [0u8; 512];
+        let id = d
+            .submit(&[
+                IoCmd::Write {
+                    lpn: 3,
+                    data: &page,
+                },
+                IoCmd::Trim { lpn: 9 },
+                IoCmd::Write {
+                    lpn: 4,
+                    data: &page,
+                },
+            ])
+            .unwrap();
+        assert_eq!(id, CmdId::IMMEDIATE);
+        assert_eq!(d.writes, vec![3, 4]);
+        assert_eq!(d.trims, vec![9]);
+        d.complete_until(id).unwrap(); // no-op for a sync device
+    }
+
+    #[test]
+    fn default_submit_tx_tags_every_page() {
+        let mut d = Rec::default();
+        let page = [0u8; 512];
+        let batch: Vec<(Lpn, &[u8])> = vec![(10, &page[..]), (11, &page[..])];
+        let id = d.submit_tx(7, &batch).unwrap();
+        assert_eq!(id, CmdId::IMMEDIATE);
+        assert_eq!(d.tx_writes, vec![(7, 10), (7, 11)]);
     }
 }

@@ -11,9 +11,6 @@ use crate::dev::{Lpn, Tid};
 pub enum DevError {
     /// Underlying flash medium error (including simulated power loss).
     Flash(FlashError),
-    /// The device does not implement this command (e.g. transactional
-    /// commands on the plain page-mapping FTL).
-    Unsupported(&'static str),
     /// Logical page number beyond the exported capacity.
     BadLpn(Lpn),
     /// The device ran out of free blocks even after garbage collection;
@@ -37,7 +34,6 @@ impl fmt::Display for DevError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DevError::Flash(e) => write!(f, "flash error: {e}"),
-            DevError::Unsupported(cmd) => write!(f, "command not supported by device: {cmd}"),
             DevError::BadLpn(lpn) => write!(f, "logical page {lpn} beyond exported capacity"),
             DevError::OutOfSpace => write!(f, "no reclaimable space left on device"),
             DevError::UnknownTid(tid) => write!(f, "unknown transaction id {tid}"),

@@ -3,8 +3,10 @@
 //! This crate provides everything between the raw NAND (`xftl-flash`) and
 //! the transactional X-FTL (`xftl-core`):
 //!
-//! * [`dev::BlockDevice`] — the storage command set, including the paper's
-//!   transactional SATA extension (`read_tx`/`write_tx`/`commit`/`abort`).
+//! * [`dev::BlockDevice`] — the standard storage command set plus the
+//!   NCQ-style batched submission path (`submit`/`complete_until`), and
+//!   [`dev::TxBlockDevice`] — the paper's transactional SATA extension
+//!   (`read_tx`/`write_tx`/`commit`/`abort`) as a compile-time capability.
 //! * [`sata::SataLink`] — host-interface latency model (SATA 2/3).
 //! * [`base::FtlBase`] — the shared FTL engine: log-structured allocation,
 //!   in-RAM L2P with slab-granular persistence, greedy garbage collection,
@@ -49,7 +51,7 @@ pub mod validity;
 
 pub use atomicwrite::AtomicWriteFtl;
 pub use base::{FtlBase, GcHook, GcPolicy, NoHook, RecoveryLog, ScanEvent, WearSummary};
-pub use dev::{BlockDevice, DevCounters, Lpn, Tid, NO_TID};
+pub use dev::{BlockDevice, CmdId, CmdQueue, DevCounters, IoCmd, Lpn, Tid, TxBlockDevice, NO_TID};
 pub use error::{DevError, Result};
 pub use pagemap::PageMappedFtl;
 pub use sata::{LinkConfig, SataLink};

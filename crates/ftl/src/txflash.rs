@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use xftl_flash::{FlashChip, Oob, PageKind, Ppa, SimClock};
 
 use crate::base::{FtlBase, GcHook, NoHook, RecoveryLog};
-use crate::dev::{BlockDevice, DevCounters, Lpn, Tid};
+use crate::dev::{BlockDevice, DevCounters, Lpn, Tid, TxBlockDevice};
 use crate::error::Result;
 use crate::stats::FtlStats;
 
@@ -103,10 +103,12 @@ impl TxFlashFtl {
         let mut folds: Vec<(u64, crate::dev::Lpn, Ppa)> = Vec::new();
         for e in &log.events {
             match e.kind {
+                PageKind::Data if e.tid == 0 && e.seq > log.ckpt_seq => {
+                    folds.push((e.seq, e.lpn, e.ppa));
+                }
                 PageKind::Data if e.tid == 0 => {
-                    if e.seq > log.ckpt_seq {
-                        folds.push((e.seq, e.lpn, e.ppa));
-                    }
+                    // Non-transactional write already covered by the
+                    // checkpointed L2P.
                 }
                 PageKind::Data if e.seq <= log.tx_horizon => {
                     // A dead transaction from an earlier life: its cycle
@@ -223,6 +225,7 @@ impl BlockDevice for TxFlashFtl {
 
     fn flush(&mut self) -> Result<()> {
         self.base.counters_mut().flushes += 1;
+        self.base.drain();
         if self.base.has_dirty_mapping() {
             self.base.checkpoint(&mut self.hook)?;
         }
@@ -232,11 +235,9 @@ impl BlockDevice for TxFlashFtl {
     fn counters(&self) -> DevCounters {
         *self.base.counters()
     }
+}
 
-    fn supports_tx(&self) -> bool {
-        true
-    }
-
+impl TxBlockDevice for TxFlashFtl {
     fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
         self.base.counters_mut().host_reads += 1;
         // Own writes first: the buffered page, then the newest programmed

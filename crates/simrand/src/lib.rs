@@ -1,0 +1,222 @@
+//! # xftl-simrand — deterministic PRNG, dependency-free
+//!
+//! The workspace builds in hermetic environments with no access to
+//! crates.io, so the `rand` crate is replaced by this shim: it exposes the
+//! exact API subset the workloads use (`rngs::StdRng`, `SeedableRng::
+//! seed_from_u64`, `Rng::gen_range`/`gen_bool`) over an xoshiro256**
+//! generator. The workspace manifest aliases this package as `rand`, so
+//! call sites are source-compatible with the real crate.
+//!
+//! Determinism is the point, not statistical quality: every workload seed
+//! maps to one fixed operation sequence, which the determinism tests rely
+//! on. Range sampling uses simple rejection-free reduction; the slight
+//! modulo bias is irrelevant at the range sizes the workloads draw from.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose whole stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types a [`Range`]/[`RangeInclusive`] can sample, used by
+/// [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Draws one value uniformly from `[low, high]` (inclusive bounds).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The raw generator interface: a stream of 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 high-quality mantissa bits, as the real crate uses.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let span = (high as i128) - (low as i128) + 1;
+                let draw = (rng.next_u64() as u128 % span as u128) as i128;
+                (low as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                low + unit * (high - low)
+            }
+        }
+        impl OneStep for $t {
+            // Floats sample from the half-open range already; the unit draw
+            // in [0, 1) never lands exactly on the upper bound for any
+            // non-degenerate range, so "stepping down" is the identity.
+            fn step_down(self) -> Self { self }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+impl<T: SampleUniform + PartialOrd + OneStep> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_inclusive(rng, self.start, self.end.step_down())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Decrement by one, to convert a half-open bound into an inclusive one.
+pub trait OneStep {
+    /// `self - 1` in the type's own arithmetic.
+    fn step_down(self) -> Self;
+}
+
+macro_rules! impl_one_step {
+    ($($t:ty),*) => {$(
+        impl OneStep for $t {
+            fn step_down(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_one_step!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// An xoshiro256** generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Not the same stream as the real `StdRng` (which is ChaCha-based),
+    /// but every consumer in this workspace only requires that a fixed
+    /// seed yields a fixed stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 seeding, as the xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(10i64..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(5u32..=9);
+            assert!((5..=9).contains(&y));
+            let z = r.gen_range(0usize..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

@@ -4,9 +4,10 @@
 //! fsync every 1/5/10/15/20 writes, comparing ext4 ordered and full
 //! journaling against journaling-off over X-FTL. Figure 8 uses a single
 //! thread; Figure 9 uses 16 concurrent threads on a newer drive. Threads
-//! are simulated as round-robin jobs over a serial device — the device has
-//! no internal parallelism to exploit, so interleaving order is what
-//! matters, not host-side concurrency.
+//! are simulated as round-robin jobs: interleaving order stands in for
+//! host-side concurrency, while device-side parallelism is real — each
+//! fsync submits its dirty pages as one queued batch that the flash array
+//! overlaps across its channels.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

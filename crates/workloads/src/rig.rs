@@ -8,11 +8,11 @@ use std::rc::Rc;
 
 use xftl_core::XFtl;
 use xftl_db::{Connection, DbJournalMode, SharedFs};
-use xftl_flash::{FlashChip, FlashConfig, Nanos, SimClock};
+use xftl_flash::{FlashChip, FlashConfigBuilder, Nanos, SimClock};
 use xftl_fs::{FileSystem, FsConfig, FsStats, JournalMode};
 use xftl_ftl::{
-    AtomicWriteFtl, BlockDevice, DevCounters, FtlStats, GcPolicy, LinkConfig, Lpn, PageMappedFtl,
-    Result, SataLink, Tid,
+    AtomicWriteFtl, BlockDevice, CmdId, DevCounters, FtlStats, GcPolicy, IoCmd, LinkConfig, Lpn,
+    PageMappedFtl, Result, SataLink, Tid, TxBlockDevice,
 };
 
 use rand::rngs::StdRng;
@@ -109,20 +109,49 @@ impl BlockDevice for AnyDev {
     fn counters(&self) -> DevCounters {
         fwd!(self, d => d.counters())
     }
-    fn supports_tx(&self) -> bool {
-        fwd!(self, d => d.supports_tx())
+    fn submit(&mut self, cmds: &[IoCmd<'_>]) -> Result<CmdId> {
+        fwd!(self, d => d.submit(cmds))
     }
+    fn complete_until(&mut self, barrier: CmdId) -> Result<()> {
+        fwd!(self, d => d.complete_until(barrier))
+    }
+}
+
+/// The rig erases the FTL personality behind an enum, so the compile-time
+/// `TxBlockDevice` capability becomes a rig-level invariant instead: only
+/// [`AnyDev::X`] actually speaks the transactional commands, and the rig
+/// builds `Off`-mode volumes only over that personality. Reaching a tx
+/// command on another personality is a rig configuration bug and panics.
+impl TxBlockDevice for AnyDev {
     fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
-        fwd!(self, d => d.read_tx(tid, lpn, buf))
+        match self {
+            AnyDev::X(d) => d.read_tx(tid, lpn, buf),
+            _ => panic!("rig bug: transactional command on a non-X-FTL personality"),
+        }
     }
     fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
-        fwd!(self, d => d.write_tx(tid, lpn, buf))
+        match self {
+            AnyDev::X(d) => d.write_tx(tid, lpn, buf),
+            _ => panic!("rig bug: transactional command on a non-X-FTL personality"),
+        }
     }
     fn commit(&mut self, tid: Tid) -> Result<()> {
-        fwd!(self, d => d.commit(tid))
+        match self {
+            AnyDev::X(d) => d.commit(tid),
+            _ => panic!("rig bug: transactional command on a non-X-FTL personality"),
+        }
     }
     fn abort(&mut self, tid: Tid) -> Result<()> {
-        fwd!(self, d => d.abort(tid))
+        match self {
+            AnyDev::X(d) => d.abort(tid),
+            _ => panic!("rig bug: transactional command on a non-X-FTL personality"),
+        }
+    }
+    fn submit_tx(&mut self, tid: Tid, pages: &[(Lpn, &[u8])]) -> Result<CmdId> {
+        match self {
+            AnyDev::X(d) => d.submit_tx(tid, pages),
+            _ => panic!("rig bug: transactional command on a non-X-FTL personality"),
+        }
     }
 }
 
@@ -181,6 +210,10 @@ pub struct RigConfig {
     /// GC victim policy; the aged-drive experiments use `Fifo` (the
     /// OpenSSD-era behaviour that makes victim validity track utilization).
     pub gc_policy: GcPolicy,
+    /// Overrides the hardware profile's flash channel count — the knob of
+    /// the channel-scaling experiment. `None` keeps the profile's default
+    /// (OpenSSD: 1, S830: 4).
+    pub channels: Option<u32>,
     /// Seed for aging and workload randomness.
     pub seed: u64,
 }
@@ -208,6 +241,7 @@ impl RigConfig {
             aging: None,
             fs_mode_override: None,
             gc_policy: GcPolicy::Greedy,
+            channels: None,
             seed: 42,
         }
     }
@@ -244,10 +278,15 @@ impl Rig {
     /// Builds the stack: flash → (aging) → FTL → SATA link → mkfs.
     pub fn build(cfg: RigConfig) -> Rig {
         let clock = SimClock::new();
-        let flash_cfg = match cfg.profile {
-            Profile::OpenSsd => FlashConfig::openssd(cfg.blocks),
-            Profile::S830 => FlashConfig::s830(cfg.blocks),
-        };
+        let mut builder = match cfg.profile {
+            Profile::OpenSsd => FlashConfigBuilder::openssd(),
+            Profile::S830 => FlashConfigBuilder::s830(),
+        }
+        .blocks(cfg.blocks);
+        if let Some(ch) = cfg.channels {
+            builder = builder.channels(ch);
+        }
+        let flash_cfg = builder.build();
         let link = match cfg.profile {
             Profile::OpenSsd => LinkConfig::SATA2,
             Profile::S830 => LinkConfig::SATA3,
@@ -274,15 +313,15 @@ impl Rig {
         if let Some(aging) = cfg.aging {
             age_device(&mut dev, aging, cfg.seed);
         }
-        let fs = FileSystem::mkfs(
-            dev,
-            cfg.fs_mode(),
-            FsConfig {
-                inode_count: 256,
-                journal_pages: 256.min(cfg.logical_pages / 8).max(16),
-                cache_pages: cfg.fs_cache_pages,
-            },
-        )
+        let fs_cfg = FsConfig {
+            inode_count: 256,
+            journal_pages: 256.min(cfg.logical_pages / 8).max(16),
+            cache_pages: cfg.fs_cache_pages,
+        };
+        let fs = match cfg.fs_mode() {
+            JournalMode::Off => FileSystem::mkfs_tx(dev, JournalMode::Off, fs_cfg),
+            mode => FileSystem::mkfs(dev, mode, fs_cfg),
+        }
         .expect("mkfs");
         Rig {
             fs: Rc::new(RefCell::new(fs)),
@@ -339,12 +378,20 @@ impl Rig {
 
     /// Reassembles a rig around a recovered device.
     pub fn reassemble(dev: AnyDev, clock: SimClock, cfg: RigConfig) -> Rig {
-        let fs = FileSystem::mount(dev, cfg.fs_mode(), cfg.fs_cache_pages).expect("mount");
+        let fs = Self::mount_any(dev, &cfg);
         Rig {
             fs: Rc::new(RefCell::new(fs)),
             clock,
             cfg,
         }
+    }
+
+    fn mount_any(dev: AnyDev, cfg: &RigConfig) -> FileSystem<AnyDev> {
+        match cfg.fs_mode() {
+            JournalMode::Off => FileSystem::mount_tx(dev, JournalMode::Off, cfg.fs_cache_pages),
+            mode => FileSystem::mount(dev, mode, cfg.fs_cache_pages),
+        }
+        .expect("mount")
     }
 
     /// Simulates a power loss and full recovery: the file system and all
@@ -393,7 +440,7 @@ impl Rig {
             AnyDev::X(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
             AnyDev::AtomicW(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
         }
-        let fs = FileSystem::mount(dev, cfg.fs_mode(), cfg.fs_cache_pages).expect("mount");
+        let fs = Self::mount_any(dev, &cfg);
         (
             Rig {
                 fs: Rc::new(RefCell::new(fs)),
@@ -532,6 +579,66 @@ mod tests {
             );
         }
         assert!(aged_v > 0.3, "aged validity {aged_v} unexpectedly low");
+    }
+
+    #[test]
+    fn same_seed_runs_are_bit_identical() {
+        // The channel model is queued but threadless: everything advances
+        // on the simulated clock, so two identical runs must produce
+        // byte-for-byte identical statistics at every layer.
+        let run = || {
+            let rig = Rig::build(RigConfig {
+                channels: Some(4),
+                ..RigConfig::small(Mode::XFtl)
+            });
+            let mut db = rig.open_db("t.db");
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+                .unwrap();
+            for i in 0..200i64 {
+                db.execute_with(
+                    "INSERT OR REPLACE INTO t VALUES (?, ?)",
+                    &[
+                        xftl_db::Value::Int(i % 40),
+                        xftl_db::Value::Text("payload".repeat(30)),
+                    ],
+                )
+                .unwrap();
+            }
+            drop(db);
+            format!("{:?}", rig.snapshot())
+        };
+        assert_eq!(run(), run(), "simulation must be deterministic");
+    }
+
+    #[test]
+    fn more_channels_run_the_same_workload_faster() {
+        let time_with = |channels: u32| {
+            let rig = Rig::build(RigConfig {
+                channels: Some(channels),
+                ..RigConfig::small(Mode::XFtl)
+            });
+            let mut db = rig.open_db("t.db");
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+                .unwrap();
+            let t0 = rig.clock.now();
+            for i in 0..120i64 {
+                db.execute_with(
+                    "INSERT OR REPLACE INTO t VALUES (?, ?)",
+                    &[
+                        xftl_db::Value::Int(i % 30),
+                        xftl_db::Value::Text("x".repeat(600)),
+                    ],
+                )
+                .unwrap();
+            }
+            rig.clock.now() - t0
+        };
+        let one = time_with(1);
+        let four = time_with(4);
+        assert!(
+            four < one,
+            "4 channels ({four} ns) should beat 1 channel ({one} ns)"
+        );
     }
 
     #[test]

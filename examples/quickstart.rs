@@ -9,15 +9,19 @@ use std::rc::Rc;
 
 use xftl_core::XFtl;
 use xftl_db::{Connection, DbJournalMode, Value};
-use xftl_flash::{FlashChip, FlashConfig, SimClock};
+use xftl_flash::{FlashChip, FlashConfigBuilder, SimClock};
 use xftl_fs::{FileSystem, FsConfig, JournalMode};
-use xftl_ftl::BlockDevice;
+use xftl_ftl::{BlockDevice, TxBlockDevice};
 
 fn main() {
-    // 1. A simulated OpenSSD-class flash chip (8 KB pages, 128 pages per
-    //    block) sharing one simulated clock with everything above it.
+    // 1. A simulated OpenSSD-class flash array (8 KB pages, 128 pages per
+    //    block, one channel) sharing one simulated clock with everything
+    //    above it. Try `.channels(4)` to watch the total time drop.
     let clock = SimClock::new();
-    let chip = FlashChip::new(FlashConfig::openssd(64), clock.clone());
+    let chip = FlashChip::new(
+        FlashConfigBuilder::openssd().blocks(64).build(),
+        clock.clone(),
+    );
 
     // 2. X-FTL: the transactional flash translation layer.
     let mut dev = XFtl::format(chip, 5_000).expect("format");
@@ -43,8 +47,9 @@ fn main() {
     );
 
     // 3. The ext4-like file system in journaling-OFF mode: X-FTL supplies
-    //    the atomicity its journal would have.
-    let fs = FileSystem::mkfs(dev, JournalMode::Off, FsConfig::default()).expect("mkfs");
+    //    the atomicity its journal would have. `Off` mode requires the
+    //    transactional command set, so it goes through `mkfs_tx`.
+    let fs = FileSystem::mkfs_tx(dev, JournalMode::Off, FsConfig::default()).expect("mkfs");
     let fs = Rc::new(RefCell::new(fs));
 
     // 4. The SQLite-like database, also journaling OFF.

@@ -17,6 +17,7 @@ use xftl_ftl::PageMappedFtl;
 const BLOCKS: usize = 300;
 const LOGICAL: u64 = 2_200;
 
+#[derive(Debug)]
 enum Dev {
     Plain(PageMappedFtl),
     X(XFtl),
@@ -34,23 +35,25 @@ fn build(mode: DbJournalMode) -> (Rc<RefCell<FileSystem<Dev>>>, SimClock) {
     } else {
         JournalMode::Ordered
     };
-    let fs = FileSystem::mkfs(
-        dev,
-        fs_mode,
-        FsConfig {
-            inode_count: 32,
-            journal_pages: 48,
-            cache_pages: 256,
-        },
-    )
+    let cfg = FsConfig {
+        inode_count: 32,
+        journal_pages: 48,
+        cache_pages: 256,
+    };
+    // `Off` mode needs the transactional constructor; `Dev` carries the
+    // X-FTL personality in exactly that case.
+    let fs = match fs_mode {
+        JournalMode::Off => FileSystem::mkfs_tx(dev, fs_mode, cfg),
+        _ => FileSystem::mkfs(dev, fs_mode, cfg),
+    }
     .unwrap();
     (Rc::new(RefCell::new(fs)), clock)
 }
 
-// Forward the device trait through the enum.
+// Forward the device traits through the enum.
 mod devimpl {
     use super::Dev;
-    use xftl_ftl::{BlockDevice, DevCounters, Lpn, Result, Tid};
+    use xftl_ftl::{BlockDevice, CmdId, DevCounters, IoCmd, Lpn, Result, Tid, TxBlockDevice};
 
     impl BlockDevice for Dev {
         fn page_size(&self) -> usize {
@@ -95,31 +98,52 @@ mod devimpl {
                 Dev::X(d) => d.counters(),
             }
         }
-        fn supports_tx(&self) -> bool {
-            matches!(self, Dev::X(_))
+        fn submit(&mut self, cmds: &[IoCmd<'_>]) -> Result<CmdId> {
+            match self {
+                Dev::Plain(d) => d.submit(cmds),
+                Dev::X(d) => d.submit(cmds),
+            }
         }
+        fn complete_until(&mut self, barrier: CmdId) -> Result<()> {
+            match self {
+                Dev::Plain(d) => d.complete_until(barrier),
+                Dev::X(d) => d.complete_until(barrier),
+            }
+        }
+    }
+
+    /// The enum erases the compile-time tx capability, so this impl
+    /// reintroduces it at runtime: `build` only pairs `Off` mode with the
+    /// `X` personality, and only `Off` mode issues these commands.
+    impl TxBlockDevice for Dev {
         fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
             match self {
-                Dev::Plain(d) => d.read_tx(tid, lpn, buf),
                 Dev::X(d) => d.read_tx(tid, lpn, buf),
+                Dev::Plain(_) => panic!("test bug: tx command on the page-mapping personality"),
             }
         }
         fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
             match self {
-                Dev::Plain(d) => d.write_tx(tid, lpn, buf),
                 Dev::X(d) => d.write_tx(tid, lpn, buf),
+                Dev::Plain(_) => panic!("test bug: tx command on the page-mapping personality"),
             }
         }
         fn commit(&mut self, tid: Tid) -> Result<()> {
             match self {
-                Dev::Plain(d) => d.commit(tid),
                 Dev::X(d) => d.commit(tid),
+                Dev::Plain(_) => panic!("test bug: tx command on the page-mapping personality"),
             }
         }
         fn abort(&mut self, tid: Tid) -> Result<()> {
             match self {
-                Dev::Plain(d) => d.abort(tid),
                 Dev::X(d) => d.abort(tid),
+                Dev::Plain(_) => panic!("test bug: tx command on the page-mapping personality"),
+            }
+        }
+        fn submit_tx(&mut self, tid: Tid, pages: &[(Lpn, &[u8])]) -> Result<CmdId> {
+            match self {
+                Dev::X(d) => d.submit_tx(tid, pages),
+                Dev::Plain(_) => panic!("test bug: tx command on the page-mapping personality"),
             }
         }
     }
@@ -197,18 +221,18 @@ fn crash_sweep(mode: DbJournalMode) {
         if crashed {
             positions_tested += 1;
             // Power-cycle and recover the device, remount, reopen.
-            let fs_inner = Rc::try_unwrap(fs).ok().expect("sole owner").into_inner();
+            let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
             let dev = fs_inner.into_device();
             let dev = match dev {
                 Dev::Plain(d) => Dev::Plain(PageMappedFtl::recover(d.into_chip()).unwrap()),
                 Dev::X(d) => Dev::X(XFtl::recover(d.into_chip()).unwrap()),
             };
-            let fs_mode = if mode == DbJournalMode::Off {
-                JournalMode::Off
+            let fs = if mode == DbJournalMode::Off {
+                FileSystem::mount_tx(dev, JournalMode::Off, 256)
             } else {
-                JournalMode::Ordered
-            };
-            let fs = FileSystem::mount(dev, fs_mode, 256).unwrap();
+                FileSystem::mount(dev, JournalMode::Ordered, 256)
+            }
+            .unwrap();
             let fs = Rc::new(RefCell::new(fs));
             let mut db = Connection::open(fs, "m.db", mode).unwrap();
             let rows = db
@@ -259,7 +283,7 @@ fn crash_during_recovery_is_idempotent() {
         let fuse = if mode == DbJournalMode::Off { 45 } else { 150 };
         let (committed, crashed) = run_until_crash(&fs, mode, fuse);
         assert!(crashed, "{fuse}-op fuse must fire mid-schedule ({mode:?})");
-        let fs_inner = Rc::try_unwrap(fs).ok().expect("sole owner").into_inner();
+        let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
         let mut chip = match fs_inner.into_device() {
             Dev::Plain(d) => d.into_chip(),
             Dev::X(d) => d.into_chip(),
@@ -286,12 +310,13 @@ fn crash_during_recovery_is_idempotent() {
             DbJournalMode::Off => Dev::X(XFtl::recover(chip).unwrap()),
             _ => Dev::Plain(PageMappedFtl::recover(chip).unwrap()),
         };
-        let fs_mode = if mode == DbJournalMode::Off {
-            JournalMode::Off
+        let fs = if mode == DbJournalMode::Off {
+            FileSystem::mount_tx(dev, JournalMode::Off, 256)
         } else {
-            JournalMode::Ordered
-        };
-        let fs = Rc::new(RefCell::new(FileSystem::mount(dev, fs_mode, 256).unwrap()));
+            FileSystem::mount(dev, JournalMode::Ordered, 256)
+        }
+        .unwrap();
+        let fs = Rc::new(RefCell::new(fs));
         let mut db = Connection::open(fs, "m.db", mode).unwrap();
         let rows = db.query("SELECT COUNT(*) FROM t").unwrap();
         let count = rows[0][0].as_i64().unwrap();

@@ -1,11 +1,16 @@
-//! Property-based tests: core data structures checked against reference
-//! models under arbitrary operation sequences.
+//! Randomized model tests: core data structures checked against reference
+//! models under pseudo-random operation sequences.
+//!
+//! Formerly written with `proptest`; the workspace now builds hermetically
+//! with no external crates, so each family runs a fixed number of cases
+//! from the deterministic in-tree PRNG instead. Every failure message
+//! carries the case seed, so a red run reproduces exactly.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use xftl_core::XFtl;
 use xftl_db::pager::{DbJournalMode, Pager, SharedFs};
@@ -15,73 +20,106 @@ use xftl_db::record::{
 use xftl_db::{btree, Value};
 use xftl_flash::{FlashChip, FlashConfig, SimClock};
 use xftl_fs::{FileSystem, FsConfig, JournalMode};
-use xftl_ftl::{BlockDevice, PageMappedFtl};
+use xftl_ftl::{BlockDevice, PageMappedFtl, TxBlockDevice};
+
+/// One generator per (family, case): fully determined by the pair, so any
+/// failing case replays from its printed seed alone.
+fn case_rng(family: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(family.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case)
+}
 
 // --- generators ---------------------------------------------------------------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
-        (-1.0e12f64..1.0e12).prop_map(Value::Real),
-        "[a-zA-Z0-9 _%\\x00-\\x7f]{0,40}".prop_map(Value::Text),
-        proptest::collection::vec(any::<u8>(), 0..60).prop_map(Value::Blob),
-    ]
+fn rand_bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.gen_range(0u8..=255)).collect()
+}
+
+fn rand_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0u32..5) {
+        0 => Value::Null,
+        1 => Value::Int(rng.gen_range(i64::MIN..=i64::MAX)),
+        2 => Value::Real(rng.gen_range(-1.0e12f64..1.0e12)),
+        3 => {
+            let len = rng.gen_range(0usize..40);
+            Value::Text((0..len).map(|_| rng.gen_range(0u8..0x80) as char).collect())
+        }
+        _ => Value::Blob(rand_bytes(rng, 60)),
+    }
 }
 
 // --- record format -------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Any row survives the record encoding round trip.
-    #[test]
-    fn record_roundtrip(row in proptest::collection::vec(arb_value(), 0..8)) {
+/// Any row survives the record encoding round trip.
+#[test]
+fn record_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = case_rng(1, case);
+        let row: Vec<Value> = (0..rng.gen_range(0usize..8))
+            .map(|_| rand_value(&mut rng))
+            .collect();
         let enc = encode_record(&row);
         let dec = decode_record(&enc).expect("well-formed record decodes");
-        prop_assert_eq!(dec.len(), row.len());
+        assert_eq!(dec.len(), row.len(), "case {case}");
         for (a, b) in dec.iter().zip(&row) {
             match (a, b) {
-                (Value::Real(x), Value::Real(y)) => prop_assert!(x == y || (x.is_nan() && y.is_nan())),
-                _ => prop_assert_eq!(a, b),
+                (Value::Real(x), Value::Real(y)) => {
+                    assert!(x == y || (x.is_nan() && y.is_nan()), "case {case}")
+                }
+                _ => assert_eq!(a, b, "case {case}"),
             }
         }
     }
+}
 
-    /// Truncated records never decode successfully into the full row
-    /// (decoding either errors or yields fewer/equal values — it must not
-    /// fabricate data or panic).
-    #[test]
-    fn record_truncation_is_safe(
-        row in proptest::collection::vec(arb_value(), 1..6),
-        cut in 1usize..32,
-    ) {
+/// Truncated records never decode successfully into the full row (decoding
+/// either errors or yields fewer/equal values — it must not fabricate data
+/// or panic).
+#[test]
+fn record_truncation_is_safe() {
+    for case in 0..256u64 {
+        let mut rng = case_rng(2, case);
+        let row: Vec<Value> = (0..rng.gen_range(1usize..6))
+            .map(|_| rand_value(&mut rng))
+            .collect();
         let enc = encode_record(&row);
-        let cut = cut.min(enc.len());
+        let cut = rng.gen_range(1usize..32).min(enc.len());
         let _ = decode_record(&enc[..enc.len() - cut]); // must not panic
     }
+}
 
-    /// The index key encoding preserves SQL comparison order.
-    #[test]
-    fn index_key_order_preserving(a in arb_value(), b in arb_value()) {
+/// The index key encoding preserves SQL comparison order.
+#[test]
+fn index_key_order_preserving() {
+    for case in 0..512u64 {
+        let mut rng = case_rng(3, case);
+        let a = rand_value(&mut rng);
+        let b = rand_value(&mut rng);
         // NaN has no total order in SQL; skip it.
         let is_nan = |v: &Value| matches!(v, Value::Real(r) if r.is_nan());
-        prop_assume!(!is_nan(&a) && !is_nan(&b));
+        if is_nan(&a) || is_nan(&b) {
+            continue;
+        }
         let ka = encode_index_prefix(std::slice::from_ref(&a));
         let kb = encode_index_prefix(std::slice::from_ref(&b));
         let cmp_vals = a.sort_cmp(&b);
         if cmp_vals == std::cmp::Ordering::Less {
-            prop_assert!(ka < kb, "{a:?} < {b:?} but keys disagree");
+            assert!(ka < kb, "case {case}: {a:?} < {b:?} but keys disagree");
         } else if cmp_vals == std::cmp::Ordering::Greater {
-            prop_assert!(ka > kb, "{a:?} > {b:?} but keys disagree");
+            assert!(ka > kb, "case {case}: {a:?} > {b:?} but keys disagree");
         }
     }
+}
 
-    /// Rowids embedded in composite keys always come back intact.
-    #[test]
-    fn index_key_rowid_roundtrip(v in arb_value(), rowid in any::<i64>()) {
+/// Rowids embedded in composite keys always come back intact.
+#[test]
+fn index_key_rowid_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = case_rng(4, case);
+        let v = rand_value(&mut rng);
+        let rowid = rng.gen_range(i64::MIN..=i64::MAX);
         let key = encode_index_key(&[v], rowid);
-        prop_assert_eq!(index_key_rowid(&key).expect("rowid"), rowid);
+        assert_eq!(index_key_rowid(&key).expect("rowid"), rowid, "case {case}");
     }
 }
 
@@ -94,16 +132,19 @@ enum TreeOp {
     Get(i64),
 }
 
-fn arb_tree_ops() -> impl Strategy<Value = Vec<TreeOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0i64..500, proptest::collection::vec(any::<u8>(), 0..120))
-                .prop_map(|(k, v)| TreeOp::Insert(k, v)),
-            (0i64..500).prop_map(TreeOp::Delete),
-            (0i64..500).prop_map(TreeOp::Get),
-        ],
-        1..120,
-    )
+fn rand_tree_ops(rng: &mut StdRng) -> Vec<TreeOp> {
+    let n = rng.gen_range(1usize..120);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..3) {
+            0 => {
+                let k = rng.gen_range(0i64..500);
+                let v = rand_bytes(rng, 120);
+                TreeOp::Insert(k, v)
+            }
+            1 => TreeOp::Delete(rng.gen_range(0i64..500)),
+            _ => TreeOp::Get(rng.gen_range(0i64..500)),
+        })
+        .collect()
 }
 
 fn test_pager() -> Pager<PageMappedFtl> {
@@ -123,13 +164,13 @@ fn test_pager() -> Pager<PageMappedFtl> {
     Pager::open(fs, "prop.db", DbJournalMode::Rollback).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The table B-tree behaves exactly like a BTreeMap under arbitrary
-    /// insert/delete/get sequences, including ordered iteration.
-    #[test]
-    fn btree_matches_model(ops in arb_tree_ops()) {
+/// The table B-tree behaves exactly like a BTreeMap under arbitrary
+/// insert/delete/get sequences, including ordered iteration.
+#[test]
+fn btree_matches_model() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(5, case);
+        let ops = rand_tree_ops(&mut rng);
         let mut pager = test_pager();
         pager.begin().unwrap();
         let root = btree::create_table_tree(&mut pager).unwrap();
@@ -142,11 +183,15 @@ proptest! {
                 }
                 TreeOp::Delete(k) => {
                     let removed = btree::table_delete(&mut pager, root, *k).unwrap();
-                    prop_assert_eq!(removed, model.remove(k).is_some());
+                    assert_eq!(removed, model.remove(k).is_some(), "case {case}");
                 }
                 TreeOp::Get(k) => {
                     let got = btree::table_get(&mut pager, root, *k).unwrap();
-                    prop_assert_eq!(got.as_deref(), model.get(k).map(|v| v.as_slice()));
+                    assert_eq!(
+                        got.as_deref(),
+                        model.get(k).map(|v| v.as_slice()),
+                        "case {case}"
+                    );
                 }
             }
         }
@@ -158,7 +203,7 @@ proptest! {
         })
         .unwrap();
         let expect: Vec<(i64, Vec<u8>)> = model.into_iter().collect();
-        prop_assert_eq!(scanned, expect);
+        assert_eq!(scanned, expect, "case {case}");
         pager.commit().unwrap();
     }
 }
@@ -173,35 +218,44 @@ enum FsOp {
     Fsync,
 }
 
-fn arb_fs_ops() -> impl Strategy<Value = Vec<FsOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..40_000, 1usize..3_000, any::<u8>()).prop_map(|(off, len, byte)| FsOp::Write {
-                off,
-                len,
-                byte
-            }),
-            (0u64..45_000, 1usize..3_000).prop_map(|(off, len)| FsOp::Read { off, len }),
-            (0u64..40_000).prop_map(|size| FsOp::Truncate { size }),
-            Just(FsOp::Fsync),
-        ],
-        1..60,
-    )
+fn rand_fs_ops(rng: &mut StdRng) -> Vec<FsOp> {
+    let n = rng.gen_range(1usize..60);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..4) {
+            0 => FsOp::Write {
+                off: rng.gen_range(0u64..40_000),
+                len: rng.gen_range(1usize..3_000),
+                byte: rng.gen_range(0u8..=255),
+            },
+            1 => FsOp::Read {
+                off: rng.gen_range(0u64..45_000),
+                len: rng.gen_range(1usize..3_000),
+            },
+            2 => FsOp::Truncate {
+                size: rng.gen_range(0u64..40_000),
+            },
+            _ => FsOp::Fsync,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Byte-granular file I/O matches a plain Vec<u8> model, across cache
-    /// pressure and fsyncs.
-    #[test]
-    fn fs_matches_model(ops in arb_fs_ops()) {
+/// Byte-granular file I/O matches a plain Vec<u8> model, across cache
+/// pressure and fsyncs.
+#[test]
+fn fs_matches_model() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(6, case);
+        let ops = rand_fs_ops(&mut rng);
         let chip = FlashChip::new(FlashConfig::tiny(300), SimClock::new());
         let dev = PageMappedFtl::format(chip, 2_200).unwrap();
         let mut fs = FileSystem::mkfs(
             dev,
             JournalMode::Ordered,
-            FsConfig { inode_count: 8, journal_pages: 32, cache_pages: 16 },
+            FsConfig {
+                inode_count: 8,
+                journal_pages: 32,
+                cache_pages: 16,
+            },
         )
         .unwrap();
         let f = fs.create("model").unwrap();
@@ -221,9 +275,13 @@ proptest! {
                     let mut buf = vec![0u8; *len];
                     let n = fs.read(f, *off, &mut buf, None).unwrap();
                     let expect_n = model.len().saturating_sub(*off as usize).min(*len);
-                    prop_assert_eq!(n, expect_n);
+                    assert_eq!(n, expect_n, "case {case}");
                     if n > 0 {
-                        prop_assert_eq!(&buf[..n], &model[*off as usize..*off as usize + n]);
+                        assert_eq!(
+                            &buf[..n],
+                            &model[*off as usize..*off as usize + n],
+                            "case {case}"
+                        );
                     }
                 }
                 FsOp::Truncate { size } => {
@@ -232,7 +290,7 @@ proptest! {
                 }
                 FsOp::Fsync => fs.fsync(f, None).unwrap(),
             }
-            prop_assert_eq!(fs.size(f).unwrap(), model.len() as u64);
+            assert_eq!(fs.size(f).unwrap(), model.len() as u64, "case {case}");
         }
         // Durability: sync, remount, and compare the whole file.
         let dev = fs.unmount().unwrap();
@@ -240,8 +298,8 @@ proptest! {
         let f = fs.open("model").unwrap();
         let mut buf = vec![0u8; model.len()];
         let n = fs.read(f, 0, &mut buf, None).unwrap();
-        prop_assert_eq!(n, model.len());
-        prop_assert_eq!(buf, model);
+        assert_eq!(n, model.len(), "case {case}");
+        assert_eq!(buf, model, "case {case}");
     }
 }
 
@@ -257,34 +315,48 @@ enum TxOp {
     Crash,
 }
 
-fn arb_tx_ops() -> impl Strategy<Value = Vec<TxOp>> {
+fn rand_tx_ops(rng: &mut StdRng) -> Vec<TxOp> {
     // Host contract (§3.3/§4.3): X-FTL does not arbitrate write-write
     // conflicts — SQLite's database-level write lock guarantees a single
     // writer per page. The generator honours that contract by giving each
     // transaction id its own page-number stripe (lpn % 4 == tid - 1) and
     // keeping plain writes on pages 20..24.
-    proptest::collection::vec(
-        prop_oneof![
-            4 => (1u64..5, 0u64..5, any::<u8>())
-                .prop_map(|(tid, row, byte)| TxOp::Write { tid, lpn: row * 4 + (tid - 1), byte }),
-            2 => (20u64..24, any::<u8>()).prop_map(|(lpn, byte)| TxOp::PlainWrite { lpn, byte }),
-            2 => (1u64..5).prop_map(|tid| TxOp::Commit { tid }),
-            1 => (1u64..5).prop_map(|tid| TxOp::Abort { tid }),
-            1 => Just(TxOp::Flush),
-            1 => Just(TxOp::Crash),
-        ],
-        1..50,
-    )
+    let n = rng.gen_range(1usize..50);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..11) {
+            0..=3 => {
+                let tid = rng.gen_range(1u64..5);
+                let row = rng.gen_range(0u64..5);
+                TxOp::Write {
+                    tid,
+                    lpn: row * 4 + (tid - 1),
+                    byte: rng.gen_range(0u8..=255),
+                }
+            }
+            4 | 5 => TxOp::PlainWrite {
+                lpn: rng.gen_range(20u64..24),
+                byte: rng.gen_range(0u8..=255),
+            },
+            6 | 7 => TxOp::Commit {
+                tid: rng.gen_range(1u64..5),
+            },
+            8 => TxOp::Abort {
+                tid: rng.gen_range(1u64..5),
+            },
+            9 => TxOp::Flush,
+            _ => TxOp::Crash,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// X-FTL's committed state always equals a model where transactional
-    /// writes become visible only at commit, vanish on abort, and crashes
-    /// abort everything in flight while preserving all committed data.
-    #[test]
-    fn xftl_transactions_match_model(ops in arb_tx_ops()) {
+/// X-FTL's committed state always equals a model where transactional
+/// writes become visible only at commit, vanish on abort, and crashes
+/// abort everything in flight while preserving all committed data.
+#[test]
+fn xftl_transactions_match_model() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(7, case);
+        let ops = rand_tx_ops(&mut rng);
         let clock = SimClock::new();
         let chip = FlashChip::new(FlashConfig::tiny(40), clock);
         let mut dev = XFtl::format_with_capacity(chip, 24, 64).unwrap();
@@ -323,13 +395,13 @@ proptest! {
             for lpn in 0..24u64 {
                 dev.read(lpn, &mut buf).unwrap();
                 let expect = committed.get(&lpn).copied().unwrap_or(0);
-                prop_assert_eq!(buf[0], expect, "lpn {} after {:?}", lpn, op);
+                assert_eq!(buf[0], expect, "case {case}: lpn {lpn} after {op:?}");
             }
             // Each in-flight transaction sees its own writes.
             for (tid, writes) in &pending {
                 for (lpn, byte) in writes {
                     dev.read_tx(*tid, *lpn, &mut buf).unwrap();
-                    prop_assert_eq!(buf[0], *byte);
+                    assert_eq!(buf[0], *byte, "case {case}");
                 }
             }
         }
@@ -338,22 +410,26 @@ proptest! {
         let mut buf = vec![0u8; ps];
         for lpn in 0..24u64 {
             dev.read(lpn, &mut buf).unwrap();
-            prop_assert_eq!(buf[0], committed.get(&lpn).copied().unwrap_or(0));
+            assert_eq!(
+                buf[0],
+                committed.get(&lpn).copied().unwrap_or(0),
+                "case {case}: lpn {lpn} after recovery"
+            );
         }
     }
 }
 
 // --- TxFlash SCC semantics vs model ------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The TxFlash baseline obeys the same transactional model as X-FTL
-    /// (visible at commit, gone on abort/crash), via its cyclic-commit
-    /// mechanism instead of a mapping table.
-    #[test]
-    fn txflash_transactions_match_model(ops in arb_tx_ops()) {
-        use xftl_ftl::TxFlashFtl;
+/// The TxFlash baseline obeys the same transactional model as X-FTL
+/// (visible at commit, gone on abort/crash), via its cyclic-commit
+/// mechanism instead of a mapping table.
+#[test]
+fn txflash_transactions_match_model() {
+    use xftl_ftl::TxFlashFtl;
+    for case in 0..48u64 {
+        let mut rng = case_rng(8, case);
+        let ops = rand_tx_ops(&mut rng);
         let clock = SimClock::new();
         let chip = FlashChip::new(FlashConfig::tiny(40), clock);
         let mut dev = TxFlashFtl::format(chip, 24).unwrap();
@@ -390,12 +466,12 @@ proptest! {
             for lpn in 0..24u64 {
                 dev.read(lpn, &mut buf).unwrap();
                 let expect = committed.get(&lpn).copied().unwrap_or(0);
-                prop_assert_eq!(buf[0], expect, "lpn {} after {:?}", lpn, op);
+                assert_eq!(buf[0], expect, "case {case}: lpn {lpn} after {op:?}");
             }
             for (tid, writes) in &pending {
                 for (lpn, byte) in writes {
                     dev.read_tx(*tid, *lpn, &mut buf).unwrap();
-                    prop_assert_eq!(buf[0], *byte);
+                    assert_eq!(buf[0], *byte, "case {case}");
                 }
             }
         }
@@ -403,7 +479,11 @@ proptest! {
         let mut buf = vec![0u8; ps];
         for lpn in 0..24u64 {
             dev.read(lpn, &mut buf).unwrap();
-            prop_assert_eq!(buf[0], committed.get(&lpn).copied().unwrap_or(0));
+            assert_eq!(
+                buf[0],
+                committed.get(&lpn).copied().unwrap_or(0),
+                "case {case}: lpn {lpn} after recovery"
+            );
         }
     }
 }
@@ -418,39 +498,47 @@ enum SqlOp {
     Rollbacked { id: i64, v: i64 },
 }
 
-fn arb_sql_ops() -> impl Strategy<Value = Vec<SqlOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            3 => (0i64..40, any::<i64>()).prop_map(|(id, v)| SqlOp::Insert { id, v }),
-            2 => (0i64..40, any::<i64>()).prop_map(|(id, v)| SqlOp::Update { id, v }),
-            1 => (0i64..40).prop_map(|id| SqlOp::Delete { id }),
-            1 => (0i64..40, any::<i64>()).prop_map(|(id, v)| SqlOp::Rollbacked { id, v }),
-        ],
-        1..40,
-    )
+fn rand_sql_ops(rng: &mut StdRng) -> Vec<SqlOp> {
+    let n = rng.gen_range(1usize..40);
+    (0..n)
+        .map(|_| {
+            let id = rng.gen_range(0i64..40);
+            let v = rng.gen_range(i64::MIN..=i64::MAX);
+            match rng.gen_range(0u32..7) {
+                0..=2 => SqlOp::Insert { id, v },
+                3 | 4 => SqlOp::Update { id, v },
+                5 => SqlOp::Delete { id },
+                _ => SqlOp::Rollbacked { id, v },
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The SQL engine over the full stack matches a BTreeMap model under
-    /// arbitrary insert/update/delete sequences, including rolled-back
-    /// transactions and a crash at the end.
-    #[test]
-    fn sql_engine_matches_model(ops in arb_sql_ops()) {
-        use xftl_core::XFtl;
-        use xftl_db::{Connection, DbJournalMode, Value};
+/// The SQL engine over the full stack matches a BTreeMap model under
+/// arbitrary insert/update/delete sequences, including rolled-back
+/// transactions and a crash at the end.
+#[test]
+fn sql_engine_matches_model() {
+    use xftl_db::{Connection, DbJournalMode};
+    for case in 0..32u64 {
+        let mut rng = case_rng(9, case);
+        let ops = rand_sql_ops(&mut rng);
         let chip = FlashChip::new(FlashConfig::tiny(300), SimClock::new());
         let dev = XFtl::format(chip, 2_200).unwrap();
-        let fs = FileSystem::mkfs(
+        let fs = FileSystem::mkfs_tx(
             dev,
             JournalMode::Off,
-            FsConfig { inode_count: 16, journal_pages: 32, cache_pages: 256 },
+            FsConfig {
+                inode_count: 16,
+                journal_pages: 32,
+                cache_pages: 256,
+            },
         )
         .unwrap();
         let fs = Rc::new(RefCell::new(fs));
         let mut db = Connection::open(Rc::clone(&fs), "prop.db", DbJournalMode::Off).unwrap();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)").unwrap();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+            .unwrap();
         let mut model: BTreeMap<i64, i64> = BTreeMap::new();
         for op in &ops {
             match op {
@@ -471,10 +559,10 @@ proptest! {
                         .unwrap()
                         .affected();
                     if model.contains_key(id) {
-                        prop_assert_eq!(n, 1);
+                        assert_eq!(n, 1, "case {case}");
                         model.insert(*id, *v);
                     } else {
-                        prop_assert_eq!(n, 0);
+                        assert_eq!(n, 0, "case {case}");
                     }
                 }
                 SqlOp::Delete { id } => {
@@ -482,7 +570,7 @@ proptest! {
                         .execute_with("DELETE FROM t WHERE id = ?", &[Value::Int(*id)])
                         .unwrap()
                         .affected();
-                    prop_assert_eq!(n, u64::from(model.remove(id).is_some()));
+                    assert_eq!(n, u64::from(model.remove(id).is_some()), "case {case}");
                 }
                 SqlOp::Rollbacked { id, v } => {
                     db.execute("BEGIN").unwrap();
@@ -498,16 +586,20 @@ proptest! {
         }
         // Full table scan matches the model.
         let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
-        let expect: Vec<Vec<Value>> =
-            model.iter().map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)]).collect();
-        prop_assert_eq!(&rows, &expect);
+        let expect: Vec<Vec<Value>> = model
+            .iter()
+            .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)])
+            .collect();
+        assert_eq!(&rows, &expect, "case {case}");
         // Crash and reopen: autocommitted state survives.
         drop(db);
-        let fs_inner = Rc::try_unwrap(fs).ok().expect("sole owner").into_inner();
+        let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
         let dev = XFtl::recover(fs_inner.into_device().into_chip()).unwrap();
-        let fs = Rc::new(RefCell::new(FileSystem::mount(dev, JournalMode::Off, 256).unwrap()));
+        let fs = Rc::new(RefCell::new(
+            FileSystem::mount_tx(dev, JournalMode::Off, 256).unwrap(),
+        ));
         let mut db = Connection::open(fs, "prop.db", DbJournalMode::Off).unwrap();
         let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
-        prop_assert_eq!(&rows, &expect);
+        assert_eq!(&rows, &expect, "case {case}");
     }
 }
