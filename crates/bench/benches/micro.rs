@@ -7,10 +7,14 @@
 //! a calibration pass, then enough iterations to fill ~0.2 s, and reports
 //! mean ns/iteration.
 
+// Bench code: unwrap on setup failure aborts the measurement loudly,
+// which is the desired failure mode (same rationale as tests).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::rc::Rc;
-use std::time::Instant;
+use std::time::Instant; // lint-sim: allow — this bench measures *host* time by design
 
 use xftl_core::{XFtl, Xl2pTable};
 use xftl_db::{record, Connection, DbJournalMode, Value};
@@ -22,13 +26,13 @@ use xftl_ftl::{BlockDevice, PageMappedFtl, TxBlockDevice, TxFlashFtl};
 /// run sized so each case takes roughly 0.2 s of wall clock.
 fn bench(name: &str, mut f: impl FnMut()) {
     const CALIBRATION: u32 = 32;
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // lint-sim: allow
     for _ in 0..CALIBRATION {
         f();
     }
     let per_iter = t0.elapsed().as_nanos().max(1) / CALIBRATION as u128;
     let iters = (200_000_000 / per_iter).clamp(8, 2_000_000) as u32;
-    let t1 = Instant::now();
+    let t1 = Instant::now(); // lint-sim: allow
     for _ in 0..iters {
         f();
     }

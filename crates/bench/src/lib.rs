@@ -20,6 +20,13 @@
 //! | (channel scaling) | `experiments::channel_exp::channel_scaling` | `channels` |
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Benchmark harnesses are experiment code, not device firmware: a failed SQL
+// statement or device command means the experiment itself is broken, and
+// panicking with the error is the desired failure mode — the same
+// rationale clippy.toml applies to tests. The simulator stack (flash,
+// ftl, core, fs, db) keeps the strict wall.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod experiments;
 pub mod report;

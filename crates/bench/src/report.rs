@@ -24,7 +24,7 @@ impl Table {
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
         let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate().take(cols) {
                 widths[i] = widths[i].max(cell.len());

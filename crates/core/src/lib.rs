@@ -39,9 +39,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod xftl;
 pub mod xl2p;
 
 pub use xftl::{RecoveryBreakdown, XFtl, DEFAULT_XL2P_CAPACITY};
-pub use xl2p::{Entry, TxStatus, Xl2pTable};
+pub use xl2p::{Entry, TxStatus, Xl2pError, Xl2pTable};

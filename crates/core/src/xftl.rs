@@ -32,7 +32,7 @@ use xftl_ftl::{
     Result, Tid, TxBlockDevice,
 };
 
-use crate::xl2p::{TxStatus, Xl2pTable};
+use crate::xl2p::{TxStatus, Xl2pError, Xl2pTable};
 
 /// Default X-L2P capacity (the paper's small configuration: 500 entries,
 /// one 8 KB flash page).
@@ -197,7 +197,7 @@ impl XFtl {
                 // version is garbage immediately.
                 self.base.invalidate(superseded);
             }
-            Err(()) => unreachable!("capacity checked by reserve_tx_slot"),
+            Err(Xl2pError::Full) => unreachable!("capacity checked by reserve_tx_slot"),
         }
     }
 
@@ -234,6 +234,16 @@ impl XFtl {
     /// Direct engine access, for failure injection in tests.
     pub fn base_mut(&mut self) -> &mut FtlBase {
         &mut self.base
+    }
+
+    /// Read-only engine access, for the verify oracle's audits.
+    pub fn base(&self) -> &FtlBase {
+        &self.base
+    }
+
+    /// Read-only X-L2P table access, for the verify oracle's audits.
+    pub fn xl2p(&self) -> &Xl2pTable {
+        &self.table
     }
 }
 
@@ -589,6 +599,29 @@ mod tests {
         // Committing one frees a slot.
         d.commit(1).unwrap();
         assert!(d.write_tx(9, 20, &a).is_ok());
+    }
+
+    #[test]
+    fn xl2p_full_recovers_via_abort() {
+        // The table-full abort path: when every slot belongs to an active
+        // transaction, aborting one must free its slots immediately (no
+        // checkpoint needed) and leave the committed image untouched.
+        let mut d = dev(); // capacity 8
+        let a = page(&d, 1);
+        for tid in 1..=8u64 {
+            d.write_tx(tid, tid - 1, &a).unwrap();
+        }
+        assert_eq!(d.write_tx(9, 20, &a), Err(DevError::XL2pFull));
+        d.abort(3).unwrap();
+        assert_eq!(d.xl2p_len(), 7, "abort released exactly tid 3's slot");
+        d.write_tx(9, 20, &a).unwrap();
+        // The failed write left no trace: tid 9 owns only lpn 20.
+        let mut out = page(&d, 0);
+        d.read_tx(9, 2, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0), "aborted tid 3's page is gone");
+        d.commit(9).unwrap();
+        d.read(20, &mut out).unwrap();
+        assert_eq!(out, a);
     }
 
     #[test]

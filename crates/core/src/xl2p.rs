@@ -17,9 +17,37 @@
 //! is persisted copy-on-write in whole flash pages at commit time.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use xftl_flash::{Oob, PageKind, Ppa};
-use xftl_ftl::{GcHook, Lpn, Tid};
+use xftl_ftl::{DevError, GcHook, Lpn, Tid};
+
+/// Errors raised by the X-L2P table itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Xl2pError {
+    /// The table holds `capacity` entries and none can be evicted here:
+    /// the caller must release committed entries (checkpoint) or make the
+    /// host commit/abort an active transaction first.
+    Full,
+}
+
+impl fmt::Display for Xl2pError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Xl2pError::Full => write!(f, "X-L2P table is full"),
+        }
+    }
+}
+
+impl std::error::Error for Xl2pError {}
+
+impl From<Xl2pError> for DevError {
+    fn from(e: Xl2pError) -> Self {
+        match e {
+            Xl2pError::Full => DevError::XL2pFull,
+        }
+    }
+}
 
 /// Status of the transaction owning an X-L2P entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +79,20 @@ const TABLE_MAGIC: u64 = 0x584C_3250_5442_4C45;
 const ENTRY_BYTES: usize = 16;
 /// Page header: magic + entry count.
 const PAGE_HEADER: usize = 16;
+
+/// Little-endian u64 at `off` (callers guarantee the bounds).
+fn get_u64(page: &[u8], off: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&page[off..off + 8]);
+    u64::from_le_bytes(bytes)
+}
+
+/// Little-endian u32 at `off` (callers guarantee the bounds).
+fn get_u32(page: &[u8], off: usize) -> u32 {
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(&page[off..off + 4]);
+    u32::from_le_bytes(bytes)
+}
 
 /// The in-DRAM X-L2P table with O(1) lookup by `(tid, lpn)` and by `tid`.
 #[derive(Debug)]
@@ -102,6 +144,11 @@ impl Xl2pTable {
             .count()
     }
 
+    /// All entries in insertion order, for audits and diagnostics.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+
     /// The entry for `(tid, lpn)`, if any.
     pub fn lookup(&self, tid: Tid, lpn: Lpn) -> Option<&Entry> {
         self.by_page.get(&(tid, lpn)).map(|&i| &self.entries[i])
@@ -125,10 +172,9 @@ impl Xl2pTable {
     /// reuses its slot — §5.3). Returns the superseded physical address
     /// **only if it was an uncommitted intermediate version** (safe to
     /// invalidate); a *committed* entry's old address is owned by the L2P
-    /// fold and is never reported for invalidation. Errors when the table
-    /// is full.
-    #[allow(clippy::result_unit_err)] // the only failure is "table full"
-    pub fn upsert(&mut self, tid: Tid, lpn: Lpn, ppa: Ppa) -> Result<Option<Ppa>, ()> {
+    /// fold and is never reported for invalidation. Errors with
+    /// [`Xl2pError::Full`] when the table cannot absorb a new entry.
+    pub fn upsert(&mut self, tid: Tid, lpn: Lpn, ppa: Ppa) -> Result<Option<Ppa>, Xl2pError> {
         if let Some(&i) = self.by_page.get(&(tid, lpn)) {
             let old = self.entries[i].ppa;
             let was_active = self.entries[i].status == TxStatus::Active;
@@ -137,7 +183,7 @@ impl Xl2pTable {
             return Ok(was_active.then_some(old));
         }
         if self.is_full() {
-            return Err(());
+            return Err(Xl2pError::Full);
         }
         let i = self.entries.len();
         self.entries.push(Entry {
@@ -182,7 +228,7 @@ impl Xl2pTable {
                 }
             }
         }
-        if self.by_tid.get(&e.tid).is_some_and(|v| v.is_empty()) {
+        if self.by_tid.get(&e.tid).is_some_and(Vec::is_empty) {
             self.by_tid.remove(&e.tid);
         }
         e
@@ -272,18 +318,17 @@ impl Xl2pTable {
             if page.len() < PAGE_HEADER {
                 continue;
             }
-            let magic = u64::from_le_bytes(page[0..8].try_into().expect("8 bytes"));
+            let magic = get_u64(page, 0);
             if magic != TABLE_MAGIC {
                 continue;
             }
-            let count = (u64::from_le_bytes(page[8..16].try_into().expect("8 bytes")) as usize)
-                .min(per_page);
+            let count = (get_u64(page, 8) as usize).min(per_page);
             for i in 0..count {
                 let off = PAGE_HEADER + i * ENTRY_BYTES;
-                let tid = u32::from_le_bytes(page[off..off + 4].try_into().expect("4")) as Tid;
-                let lpn = u32::from_le_bytes(page[off + 4..off + 8].try_into().expect("4")) as Lpn;
-                let lin = u32::from_le_bytes(page[off + 8..off + 12].try_into().expect("4")) as u64;
-                let status = u32::from_le_bytes(page[off + 12..off + 16].try_into().expect("4"));
+                let tid = Tid::from(get_u32(page, off));
+                let lpn = Lpn::from(get_u32(page, off + 4));
+                let lin = u64::from(get_u32(page, off + 8));
+                let status = get_u32(page, off + 12);
                 let status = match status {
                     1 => TxStatus::Active,
                     2 => TxStatus::Committed,
@@ -342,8 +387,17 @@ mod tests {
         t.upsert(1, 0, p(0, 0)).unwrap();
         t.upsert(1, 1, p(0, 1)).unwrap();
         assert!(t.is_full());
-        assert_eq!(t.upsert(2, 5, p(0, 2)), Err(()));
+        assert_eq!(t.upsert(2, 5, p(0, 2)), Err(Xl2pError::Full));
         assert_eq!(t.upsert(1, 0, p(0, 3)), Ok(Some(p(0, 0))));
+    }
+
+    #[test]
+    fn full_error_converts_to_dev_error() {
+        let mut t = Xl2pTable::new(1);
+        t.upsert(1, 0, p(0, 0)).unwrap();
+        let err = t.upsert(2, 1, p(0, 1)).unwrap_err();
+        assert_eq!(DevError::from(err), DevError::XL2pFull);
+        assert_eq!(err.to_string(), "X-L2P table is full");
     }
 
     #[test]

@@ -58,15 +58,21 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 fn rd_u16(buf: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes(buf[off..off + 2].try_into().expect("2"))
+    let mut b = [0u8; 2];
+    b.copy_from_slice(&buf[off..off + 2]);
+    u16::from_le_bytes(b)
 }
 
 fn rd_u32(buf: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes(buf[off..off + 4].try_into().expect("4"))
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(b)
 }
 
 fn rd_u64(buf: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8"))
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
 }
 
 impl Node {
@@ -232,9 +238,9 @@ fn read_node<D: BlockDevice>(pager: &mut Pager<D>, pgno: PageNo) -> Result<Node>
 }
 
 fn write_node<D: BlockDevice>(pager: &mut Pager<D>, pgno: PageNo, node: &Node) -> Result<()> {
-    let page = node
-        .encode(pager.page_size())
-        .expect("caller splits before a node can overflow a page");
+    let Some(page) = node.encode(pager.page_size()) else {
+        unreachable!("caller splits before a node can overflow a page")
+    };
     pager.put(pgno, page)
 }
 
@@ -426,7 +432,9 @@ fn finish_table_leaf<D: BlockDevice>(
     };
     let mid = split_point_by_size(&cells, |(_, p): &(i64, Payload)| 20 + p.local.len());
     let upper = cells.split_off(mid);
-    let sep = cells.last().expect("non-empty lower half").0;
+    let Some(&(sep, _)) = cells.last() else {
+        unreachable!("non-empty lower half")
+    };
     let right = pager.alloc_page()?;
     write_node(pager, right, &Node::TableLeaf { cells: upper })?;
     write_node(pager, pgno, &Node::TableLeaf { cells })?;
@@ -598,7 +606,9 @@ fn table_delete_rec<D: BlockDevice>(
                 let mut changed = false;
                 if node_is_empty_leafless(pager, child)? && !cells.is_empty() {
                     if idx == cells.len() {
-                        let (new_right, _) = cells.pop().expect("non-empty");
+                        let Some((new_right, _)) = cells.pop() else {
+                            unreachable!("non-empty")
+                        };
                         right = new_right;
                     } else {
                         cells.remove(idx);
@@ -815,7 +825,9 @@ fn index_insert_rec<D: BlockDevice>(
             };
             let mid = split_point_by_size(&cells, |k: &Vec<u8>| 2 + k.len());
             let upper = cells.split_off(mid);
-            let sep = cells.last().expect("non-empty").clone();
+            let Some(sep) = cells.last().cloned() else {
+                unreachable!("non-empty")
+            };
             let right = pager.alloc_page()?;
             write_node(pager, right, &Node::IndexLeaf { cells: upper })?;
             write_node(pager, pgno, &Node::IndexLeaf { cells })?;
@@ -922,7 +934,9 @@ fn index_delete_rec<D: BlockDevice>(
                 let mut changed = false;
                 if node_is_empty_leafless(pager, child)? && !cells.is_empty() {
                     if idx == cells.len() {
-                        let (new_right, _) = cells.pop().expect("non-empty");
+                        let Some((new_right, _)) = cells.pop() else {
+                            unreachable!("non-empty")
+                        };
                         right = new_right;
                     } else {
                         cells.remove(idx);

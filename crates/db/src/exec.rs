@@ -546,7 +546,7 @@ fn join_tables<D: BlockDevice>(
         let mut next = Vec::new();
         for tuple in tuples {
             for (_, inner) in &inner_rows {
-                let mut rows: Vec<&[Value]> = tuple.iter().map(|r| r.as_slice()).collect();
+                let mut rows: Vec<&[Value]> = tuple.iter().map(Vec::as_slice).collect();
                 rows.push(inner.as_slice());
                 let ctx = Ctx {
                     bindings: &bindings,
@@ -589,7 +589,7 @@ fn run_select<D: BlockDevice>(
     // Residual WHERE over the joined tuples.
     let mut kept: Vec<Vec<Vec<Value>>> = Vec::new();
     for tuple in joined.tuples {
-        let rows: Vec<&[Value]> = tuple.iter().map(|r| r.as_slice()).collect();
+        let rows: Vec<&[Value]> = tuple.iter().map(Vec::as_slice).collect();
         let ctx = Ctx {
             bindings: &joined.bindings,
             rows,
@@ -637,7 +637,7 @@ fn run_select<D: BlockDevice>(
     if let Some((col, desc)) = order_by {
         let mut keyed: Vec<(Value, Vec<Vec<Value>>)> = Vec::with_capacity(kept.len());
         for tuple in kept {
-            let rows: Vec<&[Value]> = tuple.iter().map(|r| r.as_slice()).collect();
+            let rows: Vec<&[Value]> = tuple.iter().map(Vec::as_slice).collect();
             let ctx = Ctx {
                 bindings: &joined.bindings,
                 rows,
@@ -671,7 +671,7 @@ fn run_select<D: BlockDevice>(
     }
     let mut rows = Vec::with_capacity(kept.len());
     for tuple in &kept {
-        let ctx_rows: Vec<&[Value]> = tuple.iter().map(|r| r.as_slice()).collect();
+        let ctx_rows: Vec<&[Value]> = tuple.iter().map(Vec::as_slice).collect();
         let ctx = Ctx {
             bindings: &joined.bindings,
             rows: ctx_rows,
@@ -713,7 +713,7 @@ fn run_grouped(
     let mut groups: std::collections::BTreeMap<Vec<u8>, Vec<Vec<Vec<Value>>>> =
         std::collections::BTreeMap::new();
     for tuple in kept {
-        let rows: Vec<&[Value]> = tuple.iter().map(|r| r.as_slice()).collect();
+        let rows: Vec<&[Value]> = tuple.iter().map(Vec::as_slice).collect();
         let ctx = Ctx { bindings, rows };
         let key_vals: Vec<Value> = group_by
             .iter()
@@ -788,14 +788,14 @@ fn eval_aggregate(
             );
         }
         let rows: Vec<&[Value]> = match tuples.first() {
-            Some(t) => t.iter().map(|r| r.as_slice()).collect(),
+            Some(t) => t.iter().map(Vec::as_slice).collect(),
             None => return Ok(Value::Null),
         };
         return eval(expr, &Ctx { bindings, rows }, params);
     };
     let mut vals = Vec::new();
     for tuple in tuples {
-        let rows: Vec<&[Value]> = tuple.iter().map(|r| r.as_slice()).collect();
+        let rows: Vec<&[Value]> = tuple.iter().map(Vec::as_slice).collect();
         let ctx = Ctx { bindings, rows };
         match arg {
             None => vals.push(Value::Int(1)),
@@ -817,28 +817,28 @@ fn eval_aggregate(
             if vals.is_empty() {
                 Value::Null
             } else if vals.iter().all(|v| matches!(v, Value::Int(_))) {
-                Value::Int(vals.iter().filter_map(|v| v.as_i64()).sum())
+                Value::Int(vals.iter().filter_map(Value::as_i64).sum())
             } else {
-                Value::Real(vals.iter().filter_map(|v| v.as_f64()).sum())
+                Value::Real(vals.iter().filter_map(Value::as_f64).sum())
             }
         }
         AggFn::Avg => {
             if vals.is_empty() {
                 Value::Null
             } else {
-                let sum: f64 = vals.iter().filter_map(|v| v.as_f64()).sum();
+                let sum: f64 = vals.iter().filter_map(Value::as_f64).sum();
                 Value::Real(sum / vals.len() as f64)
             }
         }
         AggFn::Min => vals
             .iter()
             .cloned()
-            .min_by(|a, b| a.sort_cmp(b))
+            .min_by(Value::sort_cmp)
             .unwrap_or(Value::Null),
         AggFn::Max => vals
             .iter()
             .cloned()
-            .max_by(|a, b| a.sort_cmp(b))
+            .max_by(Value::sort_cmp)
             .unwrap_or(Value::Null),
     })
 }
@@ -884,7 +884,7 @@ pub fn run_stmt<D: BlockDevice>(
                 .indexes_of(table)
                 .into_iter()
                 .find(|i| i.name.eq_ignore_ascii_case(name))
-                .expect("just created");
+                .ok_or(DbError::Corrupt("index vanished after creation"))?;
             for (rowid, row) in rows {
                 let key = index_keys_for(&info, &ix, &row, rowid);
                 btree::index_insert(pager, ix.root, &key)?;

@@ -25,6 +25,27 @@ use xftl_ftl::{BlockDevice, Tid};
 
 use crate::error::{DbError, Result};
 
+/// Little-endian u64 at `off` (callers guarantee the bounds).
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(bytes)
+}
+
+/// Little-endian u32 at `off` (callers guarantee the bounds).
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(bytes)
+}
+
+/// Little-endian u16 at `off` (callers guarantee the bounds).
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    let mut bytes = [0u8; 2];
+    bytes.copy_from_slice(&buf[off..off + 2]);
+    u16::from_le_bytes(bytes)
+}
+
 /// Journal mode of one database connection (PRAGMA journal_mode analogue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DbJournalMode {
@@ -249,7 +270,7 @@ impl<D: BlockDevice> Pager<D> {
 
     fn load_header(&mut self) -> Result<()> {
         let hdr = self.read_page_raw(0)?;
-        let magic = u64::from_le_bytes(hdr[0..8].try_into().expect("8"));
+        let magic = get_u64(&hdr, 0);
         if magic == 0 {
             // The file was created but its header never reached storage
             // before a crash: treat as a fresh, empty database (SQLite
@@ -262,9 +283,9 @@ impl<D: BlockDevice> Pager<D> {
         if magic != DB_MAGIC {
             return Err(DbError::Corrupt("bad database header magic"));
         }
-        self.page_count = u32::from_le_bytes(hdr[8..12].try_into().expect("4"));
-        self.freelist_head = u32::from_le_bytes(hdr[12..16].try_into().expect("4"));
-        self.schema_root = u32::from_le_bytes(hdr[16..20].try_into().expect("4"));
+        self.page_count = get_u32(&hdr, 8);
+        self.freelist_head = get_u32(&hdr, 12);
+        self.schema_root = get_u32(&hdr, 16);
         Ok(())
     }
 
@@ -342,7 +363,9 @@ impl<D: BlockDevice> Pager<D> {
             }
             _ => {
                 self.drop_dirty_cache();
-                let tid = self.tid.expect("Off-mode tx has a tid");
+                let Some(tid) = self.tid else {
+                    unreachable!("Off-mode tx has a tid")
+                };
                 self.fs.borrow_mut().abort_tx(tid)?;
             }
         }
@@ -448,7 +471,7 @@ impl<D: BlockDevice> Pager<D> {
 
     fn decode_master_name(&self, hdr: &[u8]) -> Option<String> {
         let tail = self.page_size - 256;
-        let len = u16::from_le_bytes(hdr[tail..tail + 2].try_into().expect("2")) as usize;
+        let len = usize::from(get_u16(hdr, tail));
         if len == 0 || len > 250 {
             return None;
         }
@@ -564,8 +587,7 @@ impl<D: BlockDevice> Pager<D> {
         };
         let mut hdr = vec![0u8; self.page_size];
         let n = self.fs.borrow_mut().read(ino, 0, &mut hdr, None)?;
-        let valid =
-            n == self.page_size && u64::from_le_bytes(hdr[0..8].try_into().expect("8")) == RJ_MAGIC;
+        let valid = n == self.page_size && get_u64(&hdr, 0) == RJ_MAGIC;
         if valid {
             // A journal naming a master is hot only while the master file
             // exists; a missing master means the group transaction already
@@ -578,10 +600,10 @@ impl<D: BlockDevice> Pager<D> {
                     return Ok(());
                 }
             }
-            let records = u32::from_le_bytes(hdr[8..12].try_into().expect("4"));
+            let records = get_u32(&hdr, 8);
             for i in 0..records {
                 let off = 16 + (i as usize) * 4;
-                let pgno = u32::from_le_bytes(hdr[off..off + 4].try_into().expect("4"));
+                let pgno = get_u32(&hdr, off);
                 let mut buf = vec![0u8; self.page_size];
                 let foff = (1 + i as u64) * self.page_size as u64;
                 self.fs.borrow_mut().read(ino, foff, &mut buf, None)?;
@@ -640,9 +662,9 @@ impl<D: BlockDevice> Pager<D> {
         while off + frame_len <= size {
             let mut fh = vec![0u8; WAL_FRAME_HDR as usize];
             self.fs.borrow_mut().read(ino, off, &mut fh, None)?;
-            let pgno = u32::from_le_bytes(fh[0..4].try_into().expect("4"));
-            let commit_size = u32::from_le_bytes(fh[4..8].try_into().expect("4"));
-            let magic_ok = u64::from_le_bytes(fh[8..16].try_into().expect("8")) == WAL_MAGIC;
+            let pgno = get_u32(&fh, 0);
+            let commit_size = get_u32(&fh, 4);
+            let magic_ok = get_u64(&fh, 8) == WAL_MAGIC;
             if !magic_ok {
                 break;
             }
@@ -664,7 +686,9 @@ impl<D: BlockDevice> Pager<D> {
 
     /// Appends one frame; returns the payload offset.
     fn wal_append_frame(&mut self, pgno: PageNo, data: &[u8], commit_size: u32) -> Result<u64> {
-        let ino = self.wal_ino.expect("WAL open in Wal mode");
+        let Some(ino) = self.wal_ino else {
+            unreachable!("WAL open in Wal mode")
+        };
         let mut frame = Vec::with_capacity(WAL_FRAME_HDR as usize + data.len());
         let mut fh = vec![0u8; WAL_FRAME_HDR as usize];
         fh[0..4].copy_from_slice(&pgno.to_le_bytes());
@@ -700,7 +724,9 @@ impl<D: BlockDevice> Pager<D> {
             let off = self.wal_append_frame(*pgno, &data, commit_size)?;
             self.wal_index.insert(*pgno, off);
         }
-        let ino = self.wal_ino.expect("WAL open");
+        let Some(ino) = self.wal_ino else {
+            unreachable!("WAL open")
+        };
         self.fs.borrow_mut().fsync(ino, None)?;
         self.stats.fsyncs += 1;
         self.wal_last_commit_end = self.wal_end;
@@ -720,7 +746,9 @@ impl<D: BlockDevice> Pager<D> {
         let mut entries: Vec<(PageNo, u64)> =
             self.wal_index.iter().map(|(&p, &o)| (p, o)).collect();
         entries.sort_unstable();
-        let ino = self.wal_ino.expect("WAL open");
+        let Some(ino) = self.wal_ino else {
+            unreachable!("WAL open")
+        };
         for (pgno, off) in entries {
             let mut buf = vec![0u8; self.page_size];
             self.fs.borrow_mut().read(ino, off, &mut buf, None)?;
@@ -746,7 +774,9 @@ impl<D: BlockDevice> Pager<D> {
 
     fn commit_off_mode(&mut self) -> Result<()> {
         self.write_header()?;
-        let tid = self.tid.expect("Off-mode tx has a tid");
+        let Some(tid) = self.tid else {
+            unreachable!("Off-mode tx has a tid")
+        };
         let mut dirty: Vec<PageNo> = self.dirty_in_tx.iter().copied().collect();
         dirty.sort_unstable();
         for pgno in dirty {
@@ -812,7 +842,9 @@ impl<D: BlockDevice> Pager<D> {
         if !self.in_tx {
             return Err(DbError::TxState("no transaction active"));
         }
-        let tid = self.tid.expect("Off-mode tx has a tid");
+        let Some(tid) = self.tid else {
+            unreachable!("Off-mode tx has a tid")
+        };
         self.write_header()?;
         let mut dirty: Vec<PageNo> = self.dirty_in_tx.iter().copied().collect();
         dirty.sort_unstable();
@@ -905,7 +937,9 @@ impl<D: BlockDevice> Pager<D> {
         self.stats.reads += 1;
         if self.mode == DbJournalMode::Wal {
             if let Some(&off) = self.wal_index.get(&pgno) {
-                let ino = self.wal_ino.expect("WAL open");
+                let Some(ino) = self.wal_ino else {
+                    unreachable!("WAL open")
+                };
                 self.fs.borrow_mut().read(ino, off, &mut buf, None)?;
                 return Ok(buf);
             }
@@ -970,7 +1004,7 @@ impl<D: BlockDevice> Pager<D> {
         if self.freelist_head != 0 {
             let pgno = self.freelist_head;
             let page = self.page(pgno)?;
-            self.freelist_head = u32::from_le_bytes(page[0..4].try_into().expect("4"));
+            self.freelist_head = get_u32(&page, 0);
             self.write_header()?;
             return Ok(pgno);
         }
@@ -1012,7 +1046,9 @@ impl<D: BlockDevice> Pager<D> {
                         .map(|(&p, _)| p)
                 });
             let Some(pgno) = victim else { break };
-            let frame = self.cache.remove(&pgno).expect("victim exists");
+            let Some(frame) = self.cache.remove(&pgno) else {
+                unreachable!("victim exists")
+            };
             if !frame.dirty {
                 continue;
             }
@@ -1039,7 +1075,9 @@ impl<D: BlockDevice> Pager<D> {
                     self.tx_frames.push((pgno, prev));
                 }
                 _ => {
-                    let tid = self.tid.expect("Off-mode tx has a tid");
+                    let Some(tid) = self.tid else {
+                        unreachable!("Off-mode tx has a tid")
+                    };
                     self.fs.borrow_mut().write(
                         self.db_ino,
                         pgno as u64 * self.page_size as u64,

@@ -100,20 +100,20 @@ pub fn decode_record(buf: &[u8]) -> Result<Vec<Value>> {
         let v = match t {
             0 => Value::Null,
             6 => {
-                let bytes: [u8; 8] = buf
+                let src = buf
                     .get(body..body + 8)
-                    .ok_or(DbError::Corrupt("record body truncated"))?
-                    .try_into()
-                    .expect("8 bytes");
+                    .ok_or(DbError::Corrupt("record body truncated"))?;
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(src);
                 body += 8;
                 Value::Int(i64::from_be_bytes(bytes))
             }
             7 => {
-                let bytes: [u8; 8] = buf
+                let src = buf
                     .get(body..body + 8)
-                    .ok_or(DbError::Corrupt("record body truncated"))?
-                    .try_into()
-                    .expect("8 bytes");
+                    .ok_or(DbError::Corrupt("record body truncated"))?;
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(src);
                 body += 8;
                 Value::Real(f64::from_be_bytes(bytes))
             }
@@ -227,7 +227,8 @@ pub fn index_key_rowid(key: &[u8]) -> Result<i64> {
     if key.len() < 8 {
         return Err(DbError::Corrupt("index key too short"));
     }
-    let bytes: [u8; 8] = key[key.len() - 8..].try_into().expect("8 bytes");
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&key[key.len() - 8..]);
     Ok((u64::from_be_bytes(bytes) ^ 0x8000_0000_0000_0000) as i64)
 }
 

@@ -643,6 +643,18 @@ impl FlashChip {
         self.do_erase(block, not_before, false)
     }
 
+    /// Reads a page's state and OOB metadata without charging simulated
+    /// time or touching statistics. This is **not** a host command — it is
+    /// the introspection hook the `xftl-verify` oracle uses to audit the
+    /// array between operations without perturbing the timing model.
+    pub fn probe_silent(&self, ppa: Ppa) -> PageProbe {
+        match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
+            Page::Erased => PageProbe::Erased,
+            Page::Torn => PageProbe::Torn,
+            Page::Programmed { oob, .. } => PageProbe::Programmed(*oob),
+        }
+    }
+
     /// Next in-order programmable page index of `block`, or `None` if full.
     pub fn write_point(&self, block: u32) -> Option<u32> {
         let b = &self.blocks[block as usize];

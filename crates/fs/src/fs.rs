@@ -45,6 +45,27 @@ use crate::journal::Journal;
 use crate::layout::{Ino, Inode, InodeKind, Superblock, NDIRECT};
 use crate::stats::FsStats;
 
+/// Little-endian u64 at `off` (callers guarantee the bounds).
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(bytes)
+}
+
+/// Little-endian u32 at `off` (callers guarantee the bounds).
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(bytes)
+}
+
+/// Little-endian u16 at `off` (callers guarantee the bounds).
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    let mut bytes = [0u8; 2];
+    bytes.copy_from_slice(&buf[off..off + 2]);
+    u16::from_le_bytes(bytes)
+}
+
 /// Journal mode of the volume (ext4's `data=ordered`, `data=journal`, and
 /// the paper's journaling-off-over-X-FTL configuration).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -469,7 +490,9 @@ impl<D: BlockDevice> FileSystem<D> {
                 }
                 self.cache.insert(lpn, ino, page, false, None);
             }
-            let p = self.cache.get_mut(lpn).expect("just inserted");
+            let Some(p) = self.cache.get_mut(lpn) else {
+                unreachable!("just inserted")
+            };
             p.data[in_page..in_page + take].copy_from_slice(&rest[..take]);
             p.dirty = true;
             if tid.is_some() {
@@ -551,7 +574,9 @@ impl<D: BlockDevice> FileSystem<D> {
                     self.read_dev_page(lpn, &mut page, None)?;
                     self.cache.insert(lpn, ino, page, false, None);
                 }
-                let p = self.cache.get_mut(lpn).expect("just inserted");
+                let Some(p) = self.cache.get_mut(lpn) else {
+                    unreachable!("just inserted")
+                };
                 p.data[cut..].fill(0);
                 p.dirty = true;
             }
@@ -652,7 +677,9 @@ impl<D: BlockDevice> FileSystem<D> {
         let dirty = self.cache.dirty_of(ino);
         let mut pages: Vec<(Lpn, Vec<u8>)> = Vec::with_capacity(dirty.len());
         for lpn in dirty {
-            let p = self.cache.get_mut(lpn).expect("dirty page in cache");
+            let Some(p) = self.cache.get_mut(lpn) else {
+                unreachable!("dirty page in cache")
+            };
             p.dirty = false;
             p.tid = None;
             pages.push((lpn, p.data.clone()));
@@ -699,7 +726,9 @@ impl<D: BlockDevice> FileSystem<D> {
                 // channel-parallel FTL overlaps across its channels.
                 let mut pages: Vec<(Lpn, Vec<u8>)> = Vec::with_capacity(dirty.len());
                 for &lpn in dirty {
-                    let p = self.cache.get_mut(lpn).expect("dirty page in cache");
+                    let Some(p) = self.cache.get_mut(lpn) else {
+                        unreachable!("dirty page in cache")
+                    };
                     p.dirty = false;
                     p.tid = None;
                     pages.push((lpn, p.data.clone()));
@@ -723,7 +752,9 @@ impl<D: BlockDevice> FileSystem<D> {
                 // page can land.
                 let mut pages: Vec<(Lpn, Vec<u8>)> = Vec::with_capacity(dirty.len());
                 for &lpn in dirty {
-                    let p = self.cache.get_mut(lpn).expect("dirty page in cache");
+                    let Some(p) = self.cache.get_mut(lpn) else {
+                        unreachable!("dirty page in cache")
+                    };
                     p.dirty = false;
                     pages.push((lpn, p.data.clone()));
                 }
@@ -743,7 +774,9 @@ impl<D: BlockDevice> FileSystem<D> {
                 // are owed at checkpoint (each page written twice).
                 let mut entries: Vec<(Lpn, Vec<u8>)> = Vec::with_capacity(dirty.len());
                 for &lpn in dirty {
-                    let p = self.cache.get_mut(lpn).expect("dirty page in cache");
+                    let Some(p) = self.cache.get_mut(lpn) else {
+                        unreachable!("dirty page in cache")
+                    };
                     p.dirty = false;
                     entries.push((lpn, p.data.clone()));
                 }
@@ -868,7 +901,9 @@ impl<D: BlockDevice> FileSystem<D> {
             return Ok((lpn != 0).then_some(lpn));
         }
         self.load_map(ino)?;
-        let map = self.maps.get(&ino).expect("loaded above");
+        let Some(map) = self.maps.get(&ino) else {
+            unreachable!("loaded above")
+        };
         let i = idx as usize - NDIRECT;
         Ok(map.entries.get(i).copied().filter(|&l| l != 0))
     }
@@ -898,12 +933,16 @@ impl<D: BlockDevice> FileSystem<D> {
         // Grow the entry array and the chain to cover index i.
         let needed_pages = (i + 1).div_ceil(epp);
         loop {
-            let map = self.maps.get_mut(&ino).expect("loaded by block_of");
+            let Some(map) = self.maps.get_mut(&ino) else {
+                unreachable!("loaded by block_of")
+            };
             if map.pages.len() >= needed_pages {
                 break;
             }
             let new_page = self.bitmap.alloc(self.sb.data_start)?;
-            let map = self.maps.get_mut(&ino).expect("loaded");
+            let Some(map) = self.maps.get_mut(&ino) else {
+                unreachable!("loaded")
+            };
             if let Some(last) = map.dirty.last_mut() {
                 *last = true; // previous tail gains a next pointer
             }
@@ -914,7 +953,9 @@ impl<D: BlockDevice> FileSystem<D> {
                 self.mark_inode_dirty(ino);
             }
         }
-        let map = self.maps.get_mut(&ino).expect("loaded");
+        let Some(map) = self.maps.get_mut(&ino) else {
+            unreachable!("loaded")
+        };
         if map.entries.len() <= i {
             map.entries.resize(i + 1, 0);
         }
@@ -937,12 +978,11 @@ impl<D: BlockDevice> FileSystem<D> {
             self.dev.read(next, &mut buf)?;
             map.pages.push(next);
             map.dirty.push(false);
-            next = u64::from_le_bytes(buf[0..8].try_into().expect("8"));
-            let count = u64::from_le_bytes(buf[8..16].try_into().expect("8")) as usize;
+            next = get_u64(&buf, 0);
+            let count = get_u64(&buf, 8) as usize;
             for i in 0..count {
                 let o = 16 + i * 8;
-                map.entries
-                    .push(u64::from_le_bytes(buf[o..o + 8].try_into().expect("8")));
+                map.entries.push(get_u64(&buf, o));
             }
         }
         self.maps.insert(ino, map);
@@ -1010,7 +1050,9 @@ impl<D: BlockDevice> FileSystem<D> {
                 let img = self.encode_map_page(ino, p);
                 let lpn = self.maps[&ino].pages[p];
                 out.push((lpn, img));
-                self.maps.get_mut(&ino).expect("present").dirty[p] = false;
+                if let Some(m) = self.maps.get_mut(&ino) {
+                    m.dirty[p] = false;
+                }
             }
         }
         // Inode-table pages.
@@ -1217,14 +1259,14 @@ fn decode_dir(bytes: &[u8]) -> Vec<(String, Ino)> {
     if bytes.len() < 4 {
         return out;
     }
-    let count = u32::from_le_bytes(bytes[0..4].try_into().expect("4")) as usize;
+    let count = get_u32(bytes, 0) as usize;
     let mut off = 4;
     for _ in 0..count {
         if off + 6 > bytes.len() {
             break;
         }
-        let ino = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4"));
-        let len = u16::from_le_bytes(bytes[off + 4..off + 6].try_into().expect("2")) as usize;
+        let ino = get_u32(bytes, off);
+        let len = usize::from(get_u16(bytes, off + 4));
         off += 6;
         if off + len > bytes.len() {
             break;

@@ -48,7 +48,9 @@ fn put_u64(buf: &mut [u8], off: usize, v: u64) {
 }
 
 fn get_u64(buf: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(bytes)
 }
 
 impl Journal {

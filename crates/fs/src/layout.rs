@@ -80,13 +80,21 @@ impl Inode {
 
     /// Parses an inode from `buf[off..]`.
     pub fn decode(buf: &[u8], off: usize) -> Inode {
-        let kind = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+        let kind = {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&buf[off..off + 4]);
+            u32::from_le_bytes(b)
+        };
         let kind = match kind {
             1 => InodeKind::File,
             2 => InodeKind::Dir,
             _ => InodeKind::Free,
         };
-        let g = |o: usize| u64::from_le_bytes(buf[off + o..off + o + 8].try_into().expect("8"));
+        let g = |o: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[off + o..off + o + 8]);
+            u64::from_le_bytes(b)
+        };
         let mut direct = [0u64; NDIRECT];
         for (i, d) in direct.iter_mut().enumerate() {
             *d = g(32 + i * 8);
@@ -194,7 +202,11 @@ impl Superblock {
         if buf.len() < 88 {
             return Err(FsError::BadSuperblock);
         }
-        let g = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8"));
+        let g = |o: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[o..o + 8]);
+            u64::from_le_bytes(b)
+        };
         if g(0) != SB_MAGIC {
             return Err(FsError::BadSuperblock);
         }

@@ -328,6 +328,11 @@ impl FtlBase {
         self.chip.reset_stats();
     }
 
+    /// Read-only chip access, for the verify oracle's physics audits.
+    pub fn chip(&self) -> &FlashChip {
+        &self.chip
+    }
+
     /// Direct chip access, for failure injection in tests and benches.
     pub fn chip_mut(&mut self) -> &mut FlashChip {
         &mut self.chip
@@ -780,7 +785,7 @@ impl FtlBase {
     /// Partial queue barrier: advances the clock to `completion` (a time
     /// returned by one of the `_queued` methods).
     pub fn wait_for(&mut self, completion: Nanos) {
-        self.chip.wait_for(completion)
+        self.chip.wait_for(completion);
     }
 
     /// Points the committed mapping of `lpn` at `ppa`, invalidating the
@@ -941,7 +946,7 @@ impl FtlBase {
                 let ppa = Ppa::new(*mb, page);
                 match chip.probe(ppa)? {
                     PageProbe::Erased => break,
-                    PageProbe::Torn => continue,
+                    PageProbe::Torn => {}
                     PageProbe::Programmed(oob) => {
                         if oob.kind != PageKind::Meta {
                             continue;

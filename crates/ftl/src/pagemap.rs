@@ -75,6 +75,11 @@ impl PageMappedFtl {
     pub fn base_mut(&mut self) -> &mut FtlBase {
         &mut self.base
     }
+
+    /// Read-only engine access, for the verify oracle's audits.
+    pub fn base(&self) -> &FtlBase {
+        &self.base
+    }
 }
 
 impl BlockDevice for PageMappedFtl {

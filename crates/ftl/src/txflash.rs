@@ -160,7 +160,7 @@ impl TxFlashFtl {
         let Some((lpn, data)) = slot.take() else {
             return Ok(());
         };
-        let position = self.hook.programmed.get(&tid).map_or(0, |v| v.len()) as u32 + 1;
+        let position = self.hook.programmed.get(&tid).map_or(0, Vec::len) as u32 + 1;
         let aux = if close { CLOSE | position } else { position };
         let ppa =
             self.base
@@ -196,6 +196,11 @@ impl TxFlashFtl {
     /// Direct engine access for failure injection in tests.
     pub fn base_mut(&mut self) -> &mut FtlBase {
         &mut self.base
+    }
+
+    /// Read-only engine access, for the verify oracle's audits.
+    pub fn base(&self) -> &FtlBase {
+        &self.base
     }
 }
 

@@ -13,6 +13,7 @@
 //! modulo bias is irrelevant at the range sizes the workloads draw from.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 

@@ -1,0 +1,958 @@
+//! The shadow-model oracle.
+//!
+//! [`ShadowDevice`] wraps a real device and mirrors every host command
+//! into [`ShadowModel`], a trivially-correct reference: a committed page
+//! image plus one uncommitted page map per transaction. The model never
+//! issues device commands of its own during normal operation (so wrapped
+//! runs are timing-identical to bare ones); it only *checks* the bytes the
+//! host reads anyway. The single exception is
+//! [`ShadowDevice::verify_recovered`], which sweeps every modeled page
+//! after a crash + recovery and therefore advances the simulated clock.
+//!
+//! ## In-doubt worlds
+//!
+//! When a command *fails* (most often because a power fuse tripped
+//! mid-operation) the device is allowed to land in more than one state:
+//!
+//! * a failed plain write or trim leaves that page holding either the old
+//!   or the new value — two worlds, tracked per page;
+//! * a failed `commit` leaves the whole transaction either entirely
+//!   applied or entirely discarded — two worlds for the *set* of pages,
+//!   all-or-nothing;
+//! * a failed `submit_tx` batch may have recorded any prefix of the batch
+//!   in the transaction's uncommitted view — tracked per page of the
+//!   batch.
+//!
+//! Later reads collapse the worlds: an observed value must match one of
+//! the candidates (else the oracle panics), and once observed, the
+//! survivor becomes the single truth. A torn commit that exposes the new
+//! value for one page and the old value for another is caught exactly by
+//! this narrowing: the first read commits the model to one world and the
+//! second read contradicts it.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+use xftl_ftl::{BlockDevice, CmdId, DevCounters, IoCmd, Lpn, Result, Tid, TxBlockDevice, NO_TID};
+
+/// Short printable digest of a page's contents for panic diagnostics.
+fn digest(data: &[u8]) -> String {
+    let mut s = String::from("[");
+    for b in data.iter().take(8) {
+        let _ = write!(s, "{b:02x}");
+    }
+    if data.len() > 8 {
+        s.push('…');
+    }
+    let _ = write!(s, "; {} B]", data.len());
+    s
+}
+
+/// A failed commit: the device may hold the whole transaction or none of
+/// it. Pages the host overwrites afterwards drop out (their outcome is no
+/// longer observable).
+#[derive(Debug, Clone)]
+struct DoubtTx {
+    tid: Tid,
+    pages: BTreeMap<Lpn, Vec<u8>>,
+}
+
+/// The trivially-correct in-memory reference model of a transactional
+/// block device. See the [module docs](self) for the in-doubt machinery.
+#[derive(Debug)]
+pub struct ShadowModel {
+    page_size: usize,
+    /// Committed page image; absent pages read as zeros.
+    committed: HashMap<Lpn, Vec<u8>>,
+    /// Uncommitted per-transaction views (copy-on-write overlays).
+    pending: HashMap<Tid, BTreeMap<Lpn, Vec<u8>>>,
+    /// Pages a failed `submit_tx` may or may not have recorded for a tid.
+    pending_doubt: HashMap<Tid, BTreeMap<Lpn, Vec<u8>>>,
+    /// Extra candidate values for pages whose plain write/trim failed.
+    doubt_pages: HashMap<Lpn, Vec<Vec<u8>>>,
+    /// Pages trimmed since the last successful `flush`, with the values a
+    /// crash may resurrect: a trim only edits the RAM mapping table, so
+    /// until a checkpoint lands, recovery's roll-forward scan can re-find
+    /// the old data page and bring the pre-trim value back.
+    unsynced_trims: HashMap<Lpn, Vec<Vec<u8>>>,
+    /// Failed commits awaiting all-or-nothing resolution.
+    doubt_txns: Vec<DoubtTx>,
+    checked_reads: u64,
+}
+
+impl ShadowModel {
+    /// Fresh model for a freshly formatted device (all pages read zeros).
+    pub fn new(page_size: usize) -> Self {
+        ShadowModel {
+            page_size,
+            committed: HashMap::new(),
+            pending: HashMap::new(),
+            pending_doubt: HashMap::new(),
+            doubt_pages: HashMap::new(),
+            unsynced_trims: HashMap::new(),
+            doubt_txns: Vec::new(),
+            checked_reads: 0,
+        }
+    }
+
+    /// Bytes per page the model was built for.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of reads the oracle has checked so far.
+    pub fn checked_reads(&self) -> u64 {
+        self.checked_reads
+    }
+
+    /// Number of unresolved in-doubt pages and transactions.
+    pub fn doubt_count(&self) -> usize {
+        self.doubt_pages.len() + self.doubt_txns.len()
+    }
+
+    /// Models a power loss: every uncommitted transaction view dies with
+    /// the device RAM. In-doubt worlds persist — they describe the flash.
+    /// Trims that never reached a checkpoint become in-doubt pages: the
+    /// recovery scan may resurrect the pre-trim value.
+    pub fn crash(&mut self) {
+        self.pending.clear();
+        self.pending_doubt.clear();
+        let trims: Vec<(Lpn, Vec<Vec<u8>>)> = self.unsynced_trims.drain().collect();
+        for (lpn, cands) in trims {
+            // A committed value implies a durable program newer than any
+            // page the trim unmapped; resurrection is impossible there.
+            if !self.committed.contains_key(&lpn) {
+                self.doubt_pages.entry(lpn).or_default().extend(cands);
+            }
+        }
+    }
+
+    /// Every page the model has an opinion about (committed or in doubt).
+    pub fn tracked_lpns(&self) -> BTreeSet<Lpn> {
+        let mut s: BTreeSet<Lpn> = self.committed.keys().copied().collect();
+        s.extend(self.doubt_pages.keys().copied());
+        s.extend(self.unsynced_trims.keys().copied());
+        for tx in &self.doubt_txns {
+            s.extend(tx.pages.keys().copied());
+        }
+        s
+    }
+
+    fn committed_bytes(&self, lpn: Lpn) -> &[u8] {
+        static ZEROS: [u8; 0] = [];
+        match self.committed.get(&lpn) {
+            Some(v) => v,
+            // Unwritten pages read as zeros; compare against a lazily
+            // produced slice by special-casing in `committed_matches`.
+            None => &ZEROS,
+        }
+    }
+
+    fn committed_matches(&self, lpn: Lpn, observed: &[u8]) -> bool {
+        let base = self.committed_bytes(lpn);
+        if base.is_empty() {
+            observed.iter().all(|&b| b == 0)
+        } else {
+            base == observed
+        }
+    }
+
+    /// True if `observed` is consistent with *some* allowed world for the
+    /// committed view of `lpn` (base value, failed-write candidates, or a
+    /// failed commit's new value). Non-mutating.
+    fn committed_view_matches(&self, lpn: Lpn, observed: &[u8]) -> bool {
+        if self.committed_matches(lpn, observed) {
+            return true;
+        }
+        if let Some(cands) = self.doubt_pages.get(&lpn) {
+            if cands.iter().any(|c| c == observed) {
+                return true;
+            }
+        }
+        self.doubt_txns
+            .iter()
+            .any(|tx| tx.pages.get(&lpn).is_some_and(|v| v == observed))
+    }
+
+    /// Checks one observed read and narrows in-doubt worlds accordingly.
+    /// `reader` is `Some(tid)` for `read_tx`, `None` for a plain read.
+    ///
+    /// # Panics
+    /// When the observed bytes match no allowed world.
+    pub fn check_read(&mut self, reader: Option<Tid>, lpn: Lpn, observed: &[u8]) {
+        self.checked_reads += 1;
+        if let Some(tid) = reader.filter(|&t| t != NO_TID) {
+            let sure = self.pending.get(&tid).and_then(|m| m.get(&lpn)).cloned();
+            let doubt = self
+                .pending_doubt
+                .get(&tid)
+                .and_then(|m| m.get(&lpn))
+                .cloned();
+            match (sure, doubt) {
+                // Read-your-own-writes: a transaction must see its own
+                // uncommitted version, exactly.
+                (Some(v), None) => {
+                    assert!(
+                        v == observed,
+                        "shadow oracle: read_tx(tid={tid}, lpn={lpn}) returned {} but the \
+                         transaction's own uncommitted write was {} — read-your-own-writes \
+                         violated",
+                        digest(observed),
+                        digest(&v),
+                    );
+                    return;
+                }
+                // A failed submit_tx left this page maybe-recorded for
+                // `tid`: the batch value, the earlier sure value, or (when
+                // nothing was surely pending) the committed view are the
+                // allowed worlds.
+                (sure_opt, Some(dv)) => {
+                    let sure_ok = sure_opt.as_ref().is_some_and(|v| v == observed);
+                    let doubt_ok = dv == observed;
+                    let committed_ok =
+                        sure_opt.is_none() && self.committed_view_matches(lpn, observed);
+                    assert!(
+                        sure_ok || doubt_ok || committed_ok,
+                        "shadow oracle: read_tx(tid={tid}, lpn={lpn}) returned {} but no \
+                         allowed world holds it (failed batch value {}, prior pending \
+                         value {})",
+                        digest(observed),
+                        digest(&dv),
+                        sure_opt.as_ref().map_or_else(String::new, |v| digest(v)),
+                    );
+                    if doubt_ok && !sure_ok && !committed_ok {
+                        // The batch page did land: promote it to a real
+                        // uncommitted write.
+                        self.pending.entry(tid).or_default().insert(lpn, dv);
+                        self.drop_pending_doubt(tid, lpn);
+                    } else if !doubt_ok {
+                        self.drop_pending_doubt(tid, lpn);
+                        if committed_ok {
+                            self.resolve_committed(lpn, observed);
+                        }
+                    }
+                    return;
+                }
+                // No uncommitted version for this tid: falls through to
+                // the committed view — which is also the isolation check,
+                // because other transactions' pending writes are never
+                // allowed values.
+                (None, None) => {}
+            }
+        }
+        let ok = self.committed_view_matches(lpn, observed);
+        let who = match reader {
+            Some(t) => format!("read_tx(tid={t}, lpn={lpn})"),
+            None => format!("read(lpn={lpn})"),
+        };
+        let doubt_tids: Vec<Tid> = self
+            .doubt_txns
+            .iter()
+            .filter(|tx| tx.pages.contains_key(&lpn))
+            .map(|tx| tx.tid)
+            .collect();
+        assert!(
+            ok,
+            "shadow oracle: {who} returned {}, expected committed value {} \
+             ({} failed-write candidate(s), in-doubt commit(s) of tids {doubt_tids:?} \
+             on this page) — isolation or durability violated",
+            digest(observed),
+            digest(self.committed_bytes(lpn)),
+            self.doubt_pages.get(&lpn).map_or(0, Vec::len),
+        );
+        self.resolve_committed(lpn, observed);
+    }
+
+    fn drop_pending_doubt(&mut self, tid: Tid, lpn: Lpn) {
+        if let Some(m) = self.pending_doubt.get_mut(&tid) {
+            m.remove(&lpn);
+            if m.is_empty() {
+                self.pending_doubt.remove(&tid);
+            }
+        }
+    }
+
+    /// Collapses in-doubt worlds for `lpn` after observing its committed
+    /// value. A failed commit whose new value was observed (and differs
+    /// from the old) is thereby *proven committed*: all of its pages merge
+    /// into the committed image, so a later read seeing another of its
+    /// pages still holding the old value panics — that is the torn-commit
+    /// (all-or-nothing) check.
+    fn resolve_committed(&mut self, lpn: Lpn, observed: &[u8]) {
+        let any_doubt = self.doubt_pages.contains_key(&lpn)
+            || self.doubt_txns.iter().any(|tx| tx.pages.contains_key(&lpn));
+        if !any_doubt {
+            return;
+        }
+        let base_matches = self.committed_matches(lpn, observed);
+        let mut i = 0;
+        while i < self.doubt_txns.len() {
+            let Some(v) = self.doubt_txns[i].pages.get(&lpn) else {
+                i += 1;
+                continue;
+            };
+            let new_matches = v == observed;
+            if new_matches && !base_matches {
+                // Outcome proven: the commit made it to flash.
+                let tx = self.doubt_txns.remove(i);
+                for (l, val) in tx.pages {
+                    self.committed.insert(l, val);
+                }
+            } else if base_matches && !new_matches {
+                // Outcome proven: the commit never became durable.
+                self.doubt_txns.remove(i);
+            } else if !base_matches && !new_matches {
+                // Some other world explains this page; this transaction's
+                // outcome is no longer observable through it.
+                self.doubt_txns[i].pages.remove(&lpn);
+                if self.doubt_txns[i].pages.is_empty() {
+                    self.doubt_txns.remove(i);
+                } else {
+                    i += 1;
+                }
+            } else {
+                // Old and new value coincide here: no information.
+                i += 1;
+            }
+        }
+        self.committed.insert(lpn, observed.to_vec());
+        self.doubt_pages.remove(&lpn);
+    }
+
+    /// A plain write (or committed page of a successful commit) landed.
+    fn apply_write(&mut self, lpn: Lpn, data: &[u8]) {
+        self.committed.insert(lpn, data.to_vec());
+        self.doubt_pages.remove(&lpn);
+        // The fresh program carries the newest sequence number, so the
+        // roll-forward scan can never resurrect a pre-trim page here.
+        self.unsynced_trims.remove(&lpn);
+        // Any in-doubt commit outcome for this page is now unobservable.
+        let mut i = 0;
+        while i < self.doubt_txns.len() {
+            self.doubt_txns[i].pages.remove(&lpn);
+            if self.doubt_txns[i].pages.is_empty() {
+                self.doubt_txns.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn apply_trim(&mut self, lpn: Lpn) {
+        // Everything a crash could resurrect: the pre-trim committed
+        // value, any failed-write candidates still on flash, and values
+        // recorded by earlier trims of the same page.
+        let mut resurrectable = self.unsynced_trims.remove(&lpn).unwrap_or_default();
+        if let Some(old) = self.committed.get(&lpn) {
+            if !old.is_empty() {
+                resurrectable.push(old.clone());
+            }
+        }
+        if let Some(cands) = self.doubt_pages.get(&lpn) {
+            resurrectable.extend(cands.iter().cloned());
+        }
+        self.apply_write(lpn, &[]);
+        self.committed.remove(&lpn); // absent = zeros
+        if !resurrectable.is_empty() {
+            self.unsynced_trims.insert(lpn, resurrectable);
+        }
+    }
+
+    /// A successful flush checkpoints the mapping table: every trim issued
+    /// so far is durable and can no longer resurrect.
+    fn apply_flush(&mut self) {
+        self.unsynced_trims.clear();
+    }
+
+    /// A plain write/trim failed: the page holds either the old or the
+    /// attempted value. An empty candidate models "trimmed to zeros".
+    fn doubt_write(&mut self, lpn: Lpn, data: &[u8]) {
+        let cand = if data.is_empty() {
+            vec![0; self.page_size]
+        } else {
+            data.to_vec()
+        };
+        self.doubt_pages.entry(lpn).or_default().push(cand);
+    }
+
+    fn apply_tx_write(&mut self, tid: Tid, lpn: Lpn, data: &[u8]) {
+        self.pending
+            .entry(tid)
+            .or_default()
+            .insert(lpn, data.to_vec());
+        self.drop_pending_doubt(tid, lpn);
+    }
+
+    fn apply_commit(&mut self, tid: Tid) {
+        if let Some(pages) = self.pending.remove(&tid) {
+            for (lpn, data) in pages {
+                self.apply_write(lpn, &data);
+            }
+        }
+        // Maybe-recorded batch pages become per-page committed doubts:
+        // each was either part of the committed transaction or never
+        // existed.
+        if let Some(pages) = self.pending_doubt.remove(&tid) {
+            for (lpn, data) in pages {
+                self.doubt_write(lpn, &data);
+            }
+        }
+    }
+
+    fn doubt_commit(&mut self, tid: Tid) {
+        let mut pages = self.pending.remove(&tid).unwrap_or_default();
+        if let Some(doubt) = self.pending_doubt.remove(&tid) {
+            // A maybe-recorded page that the failed commit maybe
+            // published: fold it into per-page doubt (superset of the
+            // reachable worlds, never excludes the real one).
+            for (lpn, data) in doubt {
+                self.doubt_write(lpn, &data);
+            }
+        }
+        pages.retain(|_, v| !v.is_empty());
+        if !pages.is_empty() {
+            self.doubt_txns.push(DoubtTx { tid, pages });
+        }
+    }
+
+    fn apply_abort(&mut self, tid: Tid) {
+        self.pending.remove(&tid);
+        self.pending_doubt.remove(&tid);
+    }
+
+    fn doubt_submit_tx(&mut self, tid: Tid, pages: &[(Lpn, &[u8])]) {
+        let m = self.pending_doubt.entry(tid).or_default();
+        for (lpn, data) in pages {
+            // Only pages not already surely-pending are in doubt; a
+            // re-write of a surely-pending page keeps the old sure value
+            // as one world and the new value as the other — approximate
+            // by moving it to doubt with the *new* value and leaving the
+            // old value reachable via the committed view only if it was
+            // committed. To stay sound (never reject a reachable state)
+            // we union both: keep the sure entry AND record the doubt.
+            m.insert(*lpn, data.to_vec());
+        }
+    }
+}
+
+/// A verifying wrapper around a real block device.
+///
+/// Forwards every command to the wrapped device, then mirrors the outcome
+/// into a [`ShadowModel`] and asserts that everything the host reads is a
+/// value the specification allows. Construction assumes a freshly
+/// formatted device (all pages read as zeros).
+///
+/// To take the stack through a power cycle, use [`ShadowDevice::into_parts`]
+/// to recover the inner device, then [`ShadowDevice::resume`] with the
+/// surviving model, then [`ShadowDevice::verify_recovered`] to sweep the
+/// committed image for durability.
+#[derive(Debug)]
+pub struct ShadowDevice<D> {
+    inner: D,
+    model: ShadowModel,
+}
+
+impl<D: BlockDevice> ShadowDevice<D> {
+    /// Wraps a freshly formatted device.
+    pub fn new(inner: D) -> Self {
+        let model = ShadowModel::new(inner.page_size());
+        ShadowDevice { inner, model }
+    }
+
+    /// Re-wraps a device after crash recovery with the model that
+    /// witnessed the pre-crash history. Uncommitted transactions are
+    /// discarded from the model (recovery implicitly aborts them).
+    pub fn resume(inner: D, mut model: ShadowModel) -> Self {
+        assert!(
+            model.page_size() == inner.page_size(),
+            "shadow oracle: resumed device page size {} != model page size {}",
+            inner.page_size(),
+            model.page_size(),
+        );
+        model.crash();
+        ShadowDevice { inner, model }
+    }
+
+    /// Splits the wrapper, e.g. to power-cycle and recover the device.
+    pub fn into_parts(self) -> (D, ShadowModel) {
+        (self.inner, self.model)
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped device — the escape hatch tests use
+    /// to arm power fuses. Commands issued directly on the inner device
+    /// bypass the model; only use it for failure injection and probes.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// The reference model (for assertions on oracle state in tests).
+    pub fn model(&self) -> &ShadowModel {
+        &self.model
+    }
+
+    /// Reads back every page the model tracks and checks each against the
+    /// committed image — the durability sweep after crash + recovery.
+    /// Returns the number of pages checked. Advances the simulated clock
+    /// (these are real device reads).
+    ///
+    /// # Panics
+    /// When any page fails to read or holds a value outside the model's
+    /// allowed worlds.
+    pub fn verify_recovered(&mut self) -> usize {
+        let lpns: Vec<Lpn> = self.model.tracked_lpns().into_iter().collect();
+        let mut buf = vec![0u8; self.model.page_size()];
+        for &lpn in &lpns {
+            match self.inner.read(lpn, &mut buf) {
+                Ok(()) => self.model.check_read(None, lpn, &buf),
+                Err(e) => panic!(
+                    "shadow oracle: read(lpn={lpn}) failed during post-recovery \
+                     durability sweep: {e:?}"
+                ),
+            }
+        }
+        lpns.len()
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for ShadowDevice<D> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.inner.capacity_pages()
+    }
+
+    fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        self.inner.read(lpn, buf)?;
+        self.model.check_read(None, lpn, buf);
+        Ok(())
+    }
+
+    fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        match self.inner.write(lpn, buf) {
+            Ok(()) => {
+                self.model.apply_write(lpn, buf);
+                Ok(())
+            }
+            Err(e) => {
+                self.model.doubt_write(lpn, buf);
+                Err(e)
+            }
+        }
+    }
+
+    fn trim(&mut self, lpn: Lpn) -> Result<()> {
+        match self.inner.trim(lpn) {
+            Ok(()) => {
+                self.model.apply_trim(lpn);
+                Ok(())
+            }
+            Err(e) => {
+                self.model.doubt_write(lpn, &[]);
+                Err(e)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        // Durability of plain writes is modeled eagerly: the log-structured
+        // FTLs roll forward all committed data pages at recovery whether or
+        // not a flush intervened, so the committed image is unchanged here.
+        // Trims are the exception — only the checkpoint a flush forces
+        // makes them durable.
+        self.inner.flush()?;
+        self.model.apply_flush();
+        Ok(())
+    }
+
+    fn counters(&self) -> DevCounters {
+        self.inner.counters()
+    }
+
+    fn submit(&mut self, cmds: &[IoCmd<'_>]) -> Result<CmdId> {
+        match self.inner.submit(cmds) {
+            Ok(id) => {
+                for cmd in cmds {
+                    match cmd {
+                        IoCmd::Write { lpn, data } => self.model.apply_write(*lpn, data),
+                        IoCmd::Trim { lpn } => self.model.apply_trim(*lpn),
+                    }
+                }
+                Ok(id)
+            }
+            Err(e) => {
+                // Any prefix of the batch may have been serviced.
+                for cmd in cmds {
+                    match cmd {
+                        IoCmd::Write { lpn, data } => self.model.doubt_write(*lpn, data),
+                        IoCmd::Trim { lpn } => self.model.doubt_write(*lpn, &[]),
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn complete_until(&mut self, barrier: CmdId) -> Result<()> {
+        self.inner.complete_until(barrier)
+    }
+}
+
+impl<D: TxBlockDevice> TxBlockDevice for ShadowDevice<D> {
+    fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_tx(tid, lpn, buf)?;
+        self.model.check_read(Some(tid), lpn, buf);
+        Ok(())
+    }
+
+    fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        match self.inner.write_tx(tid, lpn, buf) {
+            Ok(()) => {
+                if tid == NO_TID {
+                    // tid 0 is non-transactional traffic by contract.
+                    self.model.apply_write(lpn, buf);
+                } else {
+                    self.model.apply_tx_write(tid, lpn, buf);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if tid == NO_TID {
+                    self.model.doubt_write(lpn, buf);
+                }
+                // For tid != 0 a failed write_tx records nothing in the
+                // transaction's view (or the device is dead and the view
+                // dies at recovery): the model stays unchanged.
+                Err(e)
+            }
+        }
+    }
+
+    fn commit(&mut self, tid: Tid) -> Result<()> {
+        match self.inner.commit(tid) {
+            Ok(()) => {
+                self.model.apply_commit(tid);
+                Ok(())
+            }
+            Err(e) => {
+                self.model.doubt_commit(tid);
+                Err(e)
+            }
+        }
+    }
+
+    fn abort(&mut self, tid: Tid) -> Result<()> {
+        match self.inner.abort(tid) {
+            Ok(()) => {
+                self.model.apply_abort(tid);
+                Ok(())
+            }
+            // A failed abort means the device died mid-command; the
+            // transaction's view is gone either way, but resolution waits
+            // for the post-recovery `resume`, which discards it.
+            Err(e) => Err(e),
+        }
+    }
+
+    fn submit_tx(&mut self, tid: Tid, pages: &[(Lpn, &[u8])]) -> Result<CmdId> {
+        match self.inner.submit_tx(tid, pages) {
+            Ok(id) => {
+                for (lpn, data) in pages {
+                    if tid == NO_TID {
+                        self.model.apply_write(*lpn, data);
+                    } else {
+                        self.model.apply_tx_write(tid, *lpn, data);
+                    }
+                }
+                Ok(id)
+            }
+            Err(e) => {
+                if tid == NO_TID {
+                    for (lpn, data) in pages {
+                        self.model.doubt_write(*lpn, data);
+                    }
+                } else {
+                    // Any prefix may have been recorded in the tid's view.
+                    self.model.doubt_submit_tx(tid, pages);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xftl_core::XFtl;
+    use xftl_flash::{FlashChip, FlashConfig, SimClock};
+
+    fn fresh(blocks: usize, logical: u64) -> ShadowDevice<XFtl> {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::tiny(blocks), clock);
+        ShadowDevice::new(XFtl::format(chip, logical).unwrap())
+    }
+
+    fn page(dev: &ShadowDevice<XFtl>, fill: u8) -> Vec<u8> {
+        vec![fill; dev.page_size()]
+    }
+
+    #[test]
+    fn clean_transaction_history_passes() {
+        let mut dev = fresh(24, 48);
+        let old = page(&dev, 1);
+        let new = page(&dev, 2);
+        let mut buf = page(&dev, 0);
+
+        dev.write(5, &old).unwrap();
+        dev.write_tx(7, 5, &new).unwrap();
+
+        // Read-your-own-writes for tid 7; isolation for everyone else.
+        dev.read_tx(7, 5, &mut buf).unwrap();
+        assert_eq!(buf, new);
+        dev.read(5, &mut buf).unwrap();
+        assert_eq!(buf, old);
+        dev.read_tx(9, 5, &mut buf).unwrap();
+        assert_eq!(buf, old);
+
+        dev.commit(7).unwrap();
+        dev.read(5, &mut buf).unwrap();
+        assert_eq!(buf, new);
+
+        // Abort path: tid 9 writes and discards.
+        dev.write_tx(9, 6, &old).unwrap();
+        dev.abort(9).unwrap();
+        dev.read(6, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert!(dev.model().checked_reads() >= 5);
+    }
+
+    #[test]
+    fn batched_submit_tx_is_mirrored() {
+        let mut dev = fresh(24, 48);
+        let a = page(&dev, 3);
+        let b = page(&dev, 4);
+        let batch: Vec<(Lpn, &[u8])> = vec![(10, &a[..]), (11, &b[..])];
+        let id = dev.submit_tx(6, &batch).unwrap();
+        dev.commit(6).unwrap(); // commit is a queue barrier
+        let _ = id;
+        let mut buf = page(&dev, 0);
+        dev.read(10, &mut buf).unwrap();
+        assert_eq!(buf, a);
+        dev.read(11, &mut buf).unwrap();
+        assert_eq!(buf, b);
+    }
+
+    #[test]
+    fn committed_image_survives_power_cycle() {
+        let mut dev = fresh(24, 48);
+        let keep = page(&dev, 5);
+        let lose = page(&dev, 6);
+        dev.write(1, &keep).unwrap();
+        dev.write_tx(3, 2, &lose).unwrap();
+        dev.commit(3).unwrap();
+        dev.write_tx(4, 8, &lose).unwrap(); // stays uncommitted
+
+        let (ftl, model) = dev.into_parts();
+        let mut chip = ftl.into_chip();
+        chip.power_cycle();
+        let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+        let checked = dev.verify_recovered();
+        assert!(checked >= 2);
+
+        let mut buf = page(&dev, 0);
+        dev.read(8, &mut buf).unwrap(); // uncommitted tx rolled back
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unsynced_trim_may_resurrect_across_crash() {
+        let mut dev = fresh(24, 48);
+        let old = page(&dev, 9);
+        dev.write(2, &old).unwrap();
+        dev.flush().unwrap();
+        // Trim without a flush: the mapping edit lives only in FTL RAM,
+        // so the crash may legally bring `old` back (roll-forward re-finds
+        // the data page) or keep the page trimmed.
+        dev.trim(2).unwrap();
+        let mut buf = page(&dev, 0);
+        dev.read(2, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "trimmed page reads zeros");
+
+        let (ftl, model) = dev.into_parts();
+        let mut chip = ftl.into_chip();
+        chip.power_cycle();
+        let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+        // Whichever world the device picked, the sweep must accept it.
+        dev.verify_recovered();
+
+        // A flushed trim, by contrast, must stay trimmed.
+        dev.trim(2).unwrap();
+        dev.flush().unwrap();
+        let (ftl, model) = dev.into_parts();
+        let mut chip = ftl.into_chip();
+        chip.power_cycle();
+        let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+        dev.verify_recovered();
+        dev.read(2, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "flushed trim is durable");
+    }
+
+    #[test]
+    fn torn_commit_resolves_to_one_world() {
+        let mut dev = fresh(24, 48);
+        let old = page(&dev, 7);
+        let new = page(&dev, 8);
+        dev.write(0, &old).unwrap();
+        dev.write(1, &old).unwrap();
+        dev.write_tx(5, 0, &new).unwrap();
+        dev.write_tx(5, 1, &new).unwrap();
+
+        // Tear the commit on its first flash program.
+        dev.inner_mut().base_mut().chip_mut().arm_power_fuse(1);
+        assert!(dev.commit(5).is_err());
+        assert_eq!(dev.model().doubt_count(), 1);
+
+        let (ftl, model) = dev.into_parts();
+        let mut chip = ftl.into_chip();
+        chip.power_cycle();
+        let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+        dev.verify_recovered();
+        // Whichever world survived, both pages must agree (all-or-nothing):
+        // verify_recovered read both pages, so the doubt is fully resolved.
+        assert_eq!(dev.model().doubt_count(), 0);
+        let mut a = page(&dev, 0);
+        let mut b = page(&dev, 0);
+        dev.read(0, &mut a).unwrap();
+        dev.read(1, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    /// Deliberately broken FTL: `abort` reports success but forgets to
+    /// drop the transaction's copy-on-write pages, so a later commit of
+    /// the same tid (or a read through it) exposes rolled-back data.
+    struct BrokenAbort(XFtl);
+
+    impl BlockDevice for BrokenAbort {
+        fn page_size(&self) -> usize {
+            self.0.page_size()
+        }
+        fn capacity_pages(&self) -> u64 {
+            self.0.capacity_pages()
+        }
+        fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+            self.0.read(lpn, buf)
+        }
+        fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+            self.0.write(lpn, buf)
+        }
+        fn trim(&mut self, lpn: Lpn) -> Result<()> {
+            self.0.trim(lpn)
+        }
+        fn flush(&mut self) -> Result<()> {
+            self.0.flush()
+        }
+        fn counters(&self) -> DevCounters {
+            self.0.counters()
+        }
+    }
+
+    impl TxBlockDevice for BrokenAbort {
+        fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+            self.0.read_tx(tid, lpn, buf)
+        }
+        fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
+            self.0.write_tx(tid, lpn, buf)
+        }
+        fn commit(&mut self, tid: Tid) -> Result<()> {
+            self.0.commit(tid)
+        }
+        fn abort(&mut self, _tid: Tid) -> Result<()> {
+            Ok(()) // the seeded bug: rollback dropped on the floor
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow oracle")]
+    fn mutation_broken_abort_is_caught() {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::tiny(24), clock);
+        let mut dev = ShadowDevice::new(BrokenAbort(XFtl::format(chip, 48).unwrap()));
+        let old = vec![1u8; dev.page_size()];
+        let new = vec![2u8; dev.page_size()];
+        dev.write(0, &old).unwrap();
+        dev.write_tx(7, 0, &new).unwrap();
+        dev.abort(7).unwrap();
+        // The broken device still holds tid 7's page; committing now
+        // publishes data the host rolled back. The oracle fires on the
+        // next read.
+        dev.commit(7).unwrap();
+        let mut buf = vec![0u8; dev.page_size()];
+        dev.read(0, &mut buf).unwrap();
+    }
+
+    /// Deliberately broken FTL: `write_tx` writes in place (plain write),
+    /// leaking uncommitted data to every reader.
+    struct LeakyWriteTx(XFtl);
+
+    impl BlockDevice for LeakyWriteTx {
+        fn page_size(&self) -> usize {
+            self.0.page_size()
+        }
+        fn capacity_pages(&self) -> u64 {
+            self.0.capacity_pages()
+        }
+        fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+            self.0.read(lpn, buf)
+        }
+        fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+            self.0.write(lpn, buf)
+        }
+        fn trim(&mut self, lpn: Lpn) -> Result<()> {
+            self.0.trim(lpn)
+        }
+        fn flush(&mut self) -> Result<()> {
+            self.0.flush()
+        }
+        fn counters(&self) -> DevCounters {
+            self.0.counters()
+        }
+    }
+
+    impl TxBlockDevice for LeakyWriteTx {
+        fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+            self.0.read_tx(tid, lpn, buf)
+        }
+        fn write_tx(&mut self, _tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
+            self.0.write(lpn, buf) // the seeded bug: no copy-on-write
+        }
+        fn commit(&mut self, tid: Tid) -> Result<()> {
+            self.0.commit(tid)
+        }
+        fn abort(&mut self, tid: Tid) -> Result<()> {
+            self.0.abort(tid)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow oracle")]
+    fn mutation_isolation_leak_is_caught() {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::tiny(24), clock);
+        let mut dev = ShadowDevice::new(LeakyWriteTx(XFtl::format(chip, 48).unwrap()));
+        let old = vec![1u8; dev.page_size()];
+        let new = vec![2u8; dev.page_size()];
+        dev.write(0, &old).unwrap();
+        dev.write_tx(7, 0, &new).unwrap();
+        // A plain read must still see the old value; the leaky device
+        // exposes tid 7's uncommitted write.
+        let mut buf = vec![0u8; dev.page_size()];
+        dev.read(0, &mut buf).unwrap();
+    }
+}

@@ -459,7 +459,7 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             match (x, y) {
                 (TraceOp::Stmt { sql: s1, .. }, TraceOp::Stmt { sql: s2, .. }) => {
-                    assert_eq!(s1, s2)
+                    assert_eq!(s1, s2);
                 }
                 (TraceOp::Begin(f1), TraceOp::Begin(f2)) => assert_eq!(f1, f2),
                 (TraceOp::Commit(f1), TraceOp::Commit(f2)) => assert_eq!(f1, f2),

@@ -10,6 +10,13 @@
 //! * [`fio`] — the random-write file-system benchmark of §6.3.4.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Workload drivers are experiment code, not device firmware: a failed SQL
+// statement or device command means the experiment itself is broken, and
+// panicking with the error is the desired failure mode — the same
+// rationale clippy.toml applies to tests. The simulator stack (flash,
+// ftl, core, fs, db) keeps the strict wall.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod android;
 pub mod fio;

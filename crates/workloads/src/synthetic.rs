@@ -166,7 +166,7 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let elapsed = |_: ()| {
+        let elapsed = |(): ()| {
             let rig = Rig::build(RigConfig::small(Mode::Wal));
             let mut db = rig.open_db("s.db");
             let cfg = tiny_cfg();

@@ -4,6 +4,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Test/demo code: unwrap/expect on a setup failure is the right failure
+// mode here; clippy.toml's `allow-unwrap-in-tests` only covers `#[test]`
+// fns, not the shared helpers, so the allow is restated file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

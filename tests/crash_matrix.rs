@@ -5,6 +5,11 @@
 //! pages, half-written journals, unsealed X-L2P tables) gets hit by some
 //! fuse position.
 
+// Test/demo code: unwrap/expect on a setup failure is the right failure
+// mode here; clippy.toml's `allow-unwrap-in-tests` only covers `#[test]`
+// fns, not the shared helpers, so the allow is restated file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -13,22 +18,143 @@ use xftl_db::{Connection, DbJournalMode, Value};
 use xftl_flash::{FlashChip, FlashConfig, SimClock};
 use xftl_fs::{FileSystem, FsConfig, JournalMode};
 use xftl_ftl::PageMappedFtl;
+#[cfg(feature = "verify")]
+use xftl_verify::ShadowDevice;
 
 const BLOCKS: usize = 300;
 const LOGICAL: u64 = 2_200;
 
+// --- verify wiring ------------------------------------------------------
+// With the `verify` feature, both device personalities run behind the
+// shadow oracle for the whole sweep: every command the FS/DB stack issues
+// is mirrored into the reference model, every read is checked against the
+// worlds the crash semantics allow, and each recovery ends with a
+// durability sweep plus a flash-physics audit. Without the feature, the
+// aliases collapse to the bare FTLs and the helpers are identities.
+
+#[cfg(feature = "verify")]
+type PlainDev = ShadowDevice<PageMappedFtl>;
+#[cfg(not(feature = "verify"))]
+type PlainDev = PageMappedFtl;
+
+#[cfg(feature = "verify")]
+type XDev = ShadowDevice<XFtl>;
+#[cfg(not(feature = "verify"))]
+type XDev = XFtl;
+
+fn wrap_plain(d: PageMappedFtl) -> PlainDev {
+    #[cfg(feature = "verify")]
+    {
+        ShadowDevice::new(d)
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        d
+    }
+}
+
+fn wrap_x(d: XFtl) -> XDev {
+    #[cfg(feature = "verify")]
+    {
+        ShadowDevice::new(d)
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        d
+    }
+}
+
+fn plain_ftl(d: &PlainDev) -> &PageMappedFtl {
+    #[cfg(feature = "verify")]
+    {
+        d.inner()
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        d
+    }
+}
+
+fn plain_ftl_mut(d: &mut PlainDev) -> &mut PageMappedFtl {
+    #[cfg(feature = "verify")]
+    {
+        d.inner_mut()
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        d
+    }
+}
+
+fn x_ftl(d: &XDev) -> &XFtl {
+    #[cfg(feature = "verify")]
+    {
+        d.inner()
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        d
+    }
+}
+
+fn x_ftl_mut(d: &mut XDev) -> &mut XFtl {
+    #[cfg(feature = "verify")]
+    {
+        d.inner_mut()
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        d
+    }
+}
+
+/// Recovers a crashed device. Under `verify` the oracle carries its model
+/// across the power cycle, sweeps the committed image for durability, and
+/// audits the flash metadata before handing the device back.
+fn recover_plain(d: PlainDev) -> PlainDev {
+    #[cfg(feature = "verify")]
+    {
+        let (inner, model) = d.into_parts();
+        let recovered = PageMappedFtl::recover(inner.into_chip()).unwrap();
+        let mut dev = ShadowDevice::resume(recovered, model);
+        dev.verify_recovered();
+        dev.audit();
+        dev
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        PageMappedFtl::recover(d.into_chip()).unwrap()
+    }
+}
+
+fn recover_x(d: XDev) -> XDev {
+    #[cfg(feature = "verify")]
+    {
+        let (inner, model) = d.into_parts();
+        let recovered = XFtl::recover(inner.into_chip()).unwrap();
+        let mut dev = ShadowDevice::resume(recovered, model);
+        dev.verify_recovered();
+        dev.audit();
+        dev
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        XFtl::recover(d.into_chip()).unwrap()
+    }
+}
+
 #[derive(Debug)]
 enum Dev {
-    Plain(PageMappedFtl),
-    X(XFtl),
+    Plain(PlainDev),
+    X(XDev),
 }
 
 fn build(mode: DbJournalMode) -> (Rc<RefCell<FileSystem<Dev>>>, SimClock) {
     let clock = SimClock::new();
     let chip = FlashChip::new(FlashConfig::tiny(BLOCKS), clock.clone());
     let dev = match mode {
-        DbJournalMode::Off => Dev::X(XFtl::format(chip, LOGICAL).unwrap()),
-        _ => Dev::Plain(PageMappedFtl::format(chip, LOGICAL).unwrap()),
+        DbJournalMode::Off => Dev::X(wrap_x(XFtl::format(chip, LOGICAL).unwrap())),
+        _ => Dev::Plain(wrap_plain(PageMappedFtl::format(chip, LOGICAL).unwrap())),
     };
     let fs_mode = if mode == DbJournalMode::Off {
         JournalMode::Off
@@ -158,9 +284,8 @@ fn run_until_crash(
     mode: DbJournalMode,
     fuse: u64,
 ) -> (u32, bool) {
-    let mut db = match Connection::open(Rc::clone(fs), "m.db", mode) {
-        Ok(db) => db,
-        Err(_) => return (0, true), // fuse tripped during open/recovery
+    let Ok(mut db) = Connection::open(Rc::clone(fs), "m.db", mode) else {
+        return (0, true); // fuse tripped during open/recovery
     };
     if db
         .execute("CREATE TABLE IF NOT EXISTS t (id INTEGER PRIMARY KEY, batch INT)")
@@ -173,8 +298,8 @@ fn run_until_crash(
     {
         let mut fsb = fs.borrow_mut();
         match fsb.device_mut() {
-            Dev::Plain(d) => d.base_mut().chip_mut().arm_power_fuse(fuse),
-            Dev::X(d) => d.base_mut().chip_mut().arm_power_fuse(fuse),
+            Dev::Plain(d) => plain_ftl_mut(d).base_mut().chip_mut().arm_power_fuse(fuse),
+            Dev::X(d) => x_ftl_mut(d).base_mut().chip_mut().arm_power_fuse(fuse),
         }
     }
     let mut committed = 0u32;
@@ -207,8 +332,10 @@ fn crash_sweep(mode: DbJournalMode) {
     let total_ops = {
         let fsb = fs.borrow();
         match fsb.device() {
-            Dev::Plain(d) => d.flash_stats().programs + d.flash_stats().erases,
-            Dev::X(d) => d.flash_stats().programs + d.flash_stats().erases,
+            Dev::Plain(d) => {
+                plain_ftl(d).flash_stats().programs + plain_ftl(d).flash_stats().erases
+            }
+            Dev::X(d) => x_ftl(d).flash_stats().programs + x_ftl(d).flash_stats().erases,
         }
     };
     // Sweep fuse positions across the whole run.
@@ -224,8 +351,8 @@ fn crash_sweep(mode: DbJournalMode) {
             let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
             let dev = fs_inner.into_device();
             let dev = match dev {
-                Dev::Plain(d) => Dev::Plain(PageMappedFtl::recover(d.into_chip()).unwrap()),
-                Dev::X(d) => Dev::X(XFtl::recover(d.into_chip()).unwrap()),
+                Dev::Plain(d) => Dev::Plain(recover_plain(d)),
+                Dev::X(d) => Dev::X(recover_x(d)),
             };
             let fs = if mode == DbJournalMode::Off {
                 FileSystem::mount_tx(dev, JournalMode::Off, 256)
@@ -284,6 +411,18 @@ fn crash_during_recovery_is_idempotent() {
         let (committed, crashed) = run_until_crash(&fs, mode, fuse);
         assert!(crashed, "{fuse}-op fuse must fire mid-schedule ({mode:?})");
         let fs_inner = Rc::try_unwrap(fs).expect("sole owner").into_inner();
+        #[cfg(feature = "verify")]
+        let (mut chip, model) = match fs_inner.into_device() {
+            Dev::Plain(d) => {
+                let (ftl, model) = d.into_parts();
+                (ftl.into_chip(), model)
+            }
+            Dev::X(d) => {
+                let (ftl, model) = d.into_parts();
+                (ftl.into_chip(), model)
+            }
+        };
+        #[cfg(not(feature = "verify"))]
         let mut chip = match fs_inner.into_device() {
             Dev::Plain(d) => d.into_chip(),
             Dev::X(d) => d.into_chip(),
@@ -293,19 +432,32 @@ fn crash_during_recovery_is_idempotent() {
         for recovery_fuse in [2u64, 5, 9] {
             chip.power_cycle();
             chip.arm_power_fuse(recovery_fuse);
-            let result = match mode {
-                DbJournalMode::Off => XFtl::recover(chip.clone()).map(Dev::X),
-                _ => PageMappedFtl::recover(chip.clone()).map(Dev::Plain),
-            };
-            // Whether this attempt survived its fuse or died, retry on the
-            // same flash image until one completes.
-            if let Ok(dev) = result {
-                drop(dev);
+            // Whether this attempt survives its fuse or dies, retry on
+            // the same flash image until one completes.
+            match mode {
+                DbJournalMode::Off => drop(XFtl::recover(chip.clone())),
+                _ => drop(PageMappedFtl::recover(chip.clone())),
             }
         }
         // Final, uninterrupted recovery.
         chip.power_cycle();
         chip.disarm_power_fuse();
+        #[cfg(feature = "verify")]
+        let dev = match mode {
+            DbJournalMode::Off => {
+                let mut d = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+                d.verify_recovered();
+                d.audit();
+                Dev::X(d)
+            }
+            _ => {
+                let mut d = ShadowDevice::resume(PageMappedFtl::recover(chip).unwrap(), model);
+                d.verify_recovered();
+                d.audit();
+                Dev::Plain(d)
+            }
+        };
+        #[cfg(not(feature = "verify"))]
         let dev = match mode {
             DbJournalMode::Off => Dev::X(XFtl::recover(chip).unwrap()),
             _ => Dev::Plain(PageMappedFtl::recover(chip).unwrap()),
@@ -330,4 +482,82 @@ fn crash_during_recovery_is_idempotent() {
             "{mode:?}: torn batch visible after re-crashed recovery"
         );
     }
+}
+
+/// Drive a commit into the power fuse so the X-L2P persist is torn
+/// mid-program, then recover under the oracle: the transaction must
+/// resolve all-or-nothing (the oracle's world-narrowing panics on a torn
+/// commit) and the flash metadata must audit green afterwards.
+#[cfg(feature = "verify")]
+#[test]
+fn oracle_fuse_mid_commit_resolves_all_or_nothing() {
+    use xftl_ftl::{BlockDevice, TxBlockDevice};
+    let chip = FlashChip::new(FlashConfig::tiny(40), SimClock::new());
+    let mut dev = ShadowDevice::new(XFtl::format(chip, 64).unwrap());
+    let ps = dev.page_size();
+    let old = vec![0x11u8; ps];
+    let new = vec![0x22u8; ps];
+    for lpn in 0..6u64 {
+        dev.write(lpn, &old).unwrap();
+    }
+    dev.flush().unwrap();
+    for lpn in 0..6u64 {
+        dev.write_tx(3, lpn, &new).unwrap();
+    }
+    // The commit persists the X-L2P table and a checkpoint root — several
+    // programs. A two-op fuse dies in the middle of that sequence.
+    dev.inner_mut().base_mut().chip_mut().arm_power_fuse(2);
+    assert!(dev.commit(3).is_err(), "fuse must kill the commit");
+
+    let (ftl, model) = dev.into_parts();
+    let mut chip = ftl.into_chip();
+    chip.power_cycle();
+    let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+    dev.verify_recovered();
+    dev.audit();
+
+    // Every page must land in the same world as the first one read.
+    let mut buf = vec![0u8; ps];
+    dev.read(0, &mut buf).unwrap();
+    let world = buf[0];
+    assert!(world == 0x11 || world == 0x22, "unknown world {world:#x}");
+    for lpn in 1..6u64 {
+        dev.read(lpn, &mut buf).unwrap();
+        assert_eq!(buf[0], world, "torn commit: lpn {lpn} in another world");
+    }
+}
+
+/// Recover twice in a row with no intervening traffic: the second
+/// recovery must reproduce exactly the committed image the first one
+/// produced — recovery is idempotent, as witnessed by the oracle's
+/// durability sweep and the flash audit.
+#[cfg(feature = "verify")]
+#[test]
+fn oracle_double_recovery_is_idempotent() {
+    use xftl_ftl::{BlockDevice, TxBlockDevice};
+    let chip = FlashChip::new(FlashConfig::tiny(40), SimClock::new());
+    let mut dev = ShadowDevice::new(XFtl::format(chip, 64).unwrap());
+    let ps = dev.page_size();
+    for lpn in 0..8u64 {
+        let fill = u8::try_from(lpn).unwrap() + 1;
+        dev.write(lpn, &vec![fill; ps]).unwrap();
+    }
+    dev.write_tx(5, 0, &vec![0xEEu8; ps]).unwrap(); // in-flight, must die
+
+    let (ftl, model) = dev.into_parts();
+    let mut chip = ftl.into_chip();
+    chip.power_cycle();
+    let first = XFtl::recover(chip).unwrap();
+    // Power-cycle again immediately: recovery's own writes (checkpoint,
+    // meta ring append) must leave a state that recovers to the same
+    // image.
+    let mut chip = first.into_chip();
+    chip.power_cycle();
+    let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+    assert!(dev.verify_recovered() >= 8);
+    dev.audit();
+
+    let mut buf = vec![0u8; ps];
+    dev.read(0, &mut buf).unwrap();
+    assert_eq!(buf[0], 1, "in-flight tx write survived double recovery");
 }

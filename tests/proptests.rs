@@ -6,6 +6,11 @@
 //! from the deterministic in-tree PRNG instead. Every failure message
 //! carries the case seed, so a red run reproduces exactly.
 
+// Test/demo code: unwrap/expect on a setup failure is the right failure
+// mode here; clippy.toml's `allow-unwrap-in-tests` only covers `#[test]`
+// fns, not the shared helpers, so the allow is restated file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
@@ -20,7 +25,7 @@ use xftl_db::record::{
 use xftl_db::{btree, Value};
 use xftl_flash::{FlashChip, FlashConfig, SimClock};
 use xftl_fs::{FileSystem, FsConfig, JournalMode};
-use xftl_ftl::{BlockDevice, PageMappedFtl, TxBlockDevice};
+use xftl_ftl::{BlockDevice, PageMappedFtl, TxBlockDevice, TxFlashFtl};
 
 /// One generator per (family, case): fully determined by the pair, so any
 /// failing case replays from its printed seed alone.
@@ -64,7 +69,7 @@ fn record_roundtrip() {
         for (a, b) in dec.iter().zip(&row) {
             match (a, b) {
                 (Value::Real(x), Value::Real(y)) => {
-                    assert!(x == y || (x.is_nan() && y.is_nan()), "case {case}")
+                    assert!(x == y || (x.is_nan() && y.is_nan()), "case {case}");
                 }
                 _ => assert_eq!(a, b, "case {case}"),
             }
@@ -189,7 +194,7 @@ fn btree_matches_model() {
                     let got = btree::table_get(&mut pager, root, *k).unwrap();
                     assert_eq!(
                         got.as_deref(),
-                        model.get(k).map(|v| v.as_slice()),
+                        model.get(k).map(Vec::as_slice),
                         "case {case}"
                     );
                 }
@@ -349,6 +354,71 @@ fn rand_tx_ops(rng: &mut StdRng) -> Vec<TxOp> {
         .collect()
 }
 
+// With the `verify` feature the FTL model tests run through the shadow
+// oracle: every command is mirrored into `ShadowDevice`'s reference
+// model, every read is checked against it, and each crash/recovery is
+// followed by a durability sweep plus a flash-physics audit. The op
+// loops below are oblivious to the wrapping — they only use the device
+// traits, which the wrapper forwards.
+#[cfg(feature = "verify")]
+use xftl_verify::ShadowDevice;
+
+#[cfg(feature = "verify")]
+type XDev = ShadowDevice<XFtl>;
+#[cfg(not(feature = "verify"))]
+type XDev = XFtl;
+
+fn x_format(chip: FlashChip, logical: u64, xl2p_cap: usize) -> XDev {
+    let dev = XFtl::format_with_capacity(chip, logical, xl2p_cap).unwrap();
+    #[cfg(feature = "verify")]
+    let dev = ShadowDevice::new(dev);
+    dev
+}
+
+fn x_crash(dev: XDev, xl2p_cap: usize) -> XDev {
+    #[cfg(feature = "verify")]
+    {
+        let (inner, model) = dev.into_parts();
+        let recovered = XFtl::recover_with_capacity(inner.into_chip(), xl2p_cap).unwrap();
+        let mut dev = ShadowDevice::resume(recovered, model);
+        dev.verify_recovered();
+        dev.audit();
+        dev
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        XFtl::recover_with_capacity(dev.into_chip(), xl2p_cap).unwrap()
+    }
+}
+
+#[cfg(feature = "verify")]
+type TDev = ShadowDevice<TxFlashFtl>;
+#[cfg(not(feature = "verify"))]
+type TDev = TxFlashFtl;
+
+fn t_format(chip: FlashChip, logical: u64) -> TDev {
+    let dev = TxFlashFtl::format(chip, logical).unwrap();
+    #[cfg(feature = "verify")]
+    let dev = ShadowDevice::new(dev);
+    dev
+}
+
+fn t_crash(dev: TDev) -> TDev {
+    #[cfg(feature = "verify")]
+    {
+        let (inner, model) = dev.into_parts();
+        let recovered = TxFlashFtl::recover(inner.into_chip()).unwrap();
+        let mut dev = ShadowDevice::resume(recovered, model);
+        dev.verify_recovered();
+        dev.audit();
+        dev
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        TxFlashFtl::recover(dev.into_chip()).unwrap()
+    }
+}
+
 /// X-FTL's committed state always equals a model where transactional
 /// writes become visible only at commit, vanish on abort, and crashes
 /// abort everything in flight while preserving all committed data.
@@ -359,7 +429,7 @@ fn xftl_transactions_match_model() {
         let ops = rand_tx_ops(&mut rng);
         let clock = SimClock::new();
         let chip = FlashChip::new(FlashConfig::tiny(40), clock);
-        let mut dev = XFtl::format_with_capacity(chip, 24, 64).unwrap();
+        let mut dev = x_format(chip, 24, 64);
         let ps = dev.page_size();
         // committed[lpn] and per-tid pending writes.
         let mut committed: HashMap<u64, u8> = HashMap::new();
@@ -386,7 +456,7 @@ fn xftl_transactions_match_model() {
                 }
                 TxOp::Flush => dev.flush().unwrap(),
                 TxOp::Crash => {
-                    dev = XFtl::recover_with_capacity(dev.into_chip(), 64).unwrap();
+                    dev = x_crash(dev, 64);
                     pending.clear();
                 }
             }
@@ -406,7 +476,7 @@ fn xftl_transactions_match_model() {
             }
         }
         // Final crash: only committed state survives.
-        let mut dev = XFtl::recover_with_capacity(dev.into_chip(), 64).unwrap();
+        let mut dev = x_crash(dev, 64);
         let mut buf = vec![0u8; ps];
         for lpn in 0..24u64 {
             dev.read(lpn, &mut buf).unwrap();
@@ -426,13 +496,12 @@ fn xftl_transactions_match_model() {
 /// mechanism instead of a mapping table.
 #[test]
 fn txflash_transactions_match_model() {
-    use xftl_ftl::TxFlashFtl;
     for case in 0..48u64 {
         let mut rng = case_rng(8, case);
         let ops = rand_tx_ops(&mut rng);
         let clock = SimClock::new();
         let chip = FlashChip::new(FlashConfig::tiny(40), clock);
-        let mut dev = TxFlashFtl::format(chip, 24).unwrap();
+        let mut dev = t_format(chip, 24);
         let ps = dev.page_size();
         let mut committed: HashMap<u64, u8> = HashMap::new();
         let mut pending: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
@@ -458,7 +527,7 @@ fn txflash_transactions_match_model() {
                 }
                 TxOp::Flush => dev.flush().unwrap(),
                 TxOp::Crash => {
-                    dev = TxFlashFtl::recover(dev.into_chip()).unwrap();
+                    dev = t_crash(dev);
                     pending.clear();
                 }
             }
@@ -475,7 +544,7 @@ fn txflash_transactions_match_model() {
                 }
             }
         }
-        let mut dev = TxFlashFtl::recover(dev.into_chip()).unwrap();
+        let mut dev = t_crash(dev);
         let mut buf = vec![0u8; ps];
         for lpn in 0..24u64 {
             dev.read(lpn, &mut buf).unwrap();

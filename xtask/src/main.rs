@@ -1,0 +1,187 @@
+//! # xtask — repository automation
+//!
+//! Run with `cargo run -p xtask -- <command>`. The only command today is
+//! `lint-sim`, the determinism wall: the whole simulator is driven by the
+//! shared [`SimClock`], so any host wall-clock read, host sleep, or
+//! OS-seeded randomness inside simulator code silently breaks
+//! reproducibility without failing a single test. `lint-sim` greps the
+//! source tree for the banned constructs and fails loudly instead.
+//!
+//! A line that legitimately needs the host clock (e.g. a benchmark
+//! harness measuring *host* elapsed time) carries a
+//! `lint-sim: allow` marker comment and is skipped.
+//!
+//! `lint-sim` also enforces that every crate root carries
+//! `#![forbid(unsafe_code)]`, keeping the workspace-level deny from being
+//! re-allowed locally.
+//!
+//! [`SimClock`]: ../xftl_flash/clock/struct.SimClock.html
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The waiver marker: a matched line containing this string is accepted.
+const ALLOW_MARKER: &str = "lint-sim: allow";
+
+/// Banned source constructs. Assembled with `concat!` so this file does
+/// not itself contain the contiguous tokens it bans.
+fn banned_patterns() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            concat!("std::time::", "Instant"),
+            "host wall clock (use SimClock)",
+        ),
+        (
+            concat!("Instant::", "now"),
+            "host wall clock (use SimClock)",
+        ),
+        (concat!("System", "Time"), "host wall clock (use SimClock)"),
+        (
+            concat!("thread::", "sleep"),
+            "host sleep (simulated time never needs it)",
+        ),
+        (
+            concat!("thread_", "rng"),
+            "OS-seeded randomness (use a seeded StdRng)",
+        ),
+        (
+            concat!("from_", "entropy"),
+            "OS-seeded randomness (use a seeded StdRng)",
+        ),
+    ]
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans simulator source for banned wall-clock / entropy constructs and
+/// checks every crate root forbids `unsafe`. Returns the number of
+/// violations found, printing each.
+fn lint_sim(root: &Path) -> usize {
+    let banned = banned_patterns();
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests", "examples"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut violations = 0;
+    let mut report = String::new();
+    for file in &files {
+        let Ok(text) = fs::read_to_string(file) else {
+            continue;
+        };
+        for (idx, line) in text.lines().enumerate() {
+            if line.contains(ALLOW_MARKER) {
+                continue;
+            }
+            for (pat, why) in &banned {
+                if line.contains(pat) {
+                    violations += 1;
+                    let _ = writeln!(report, "{}:{}: `{pat}` — {why}", file.display(), idx + 1,);
+                }
+            }
+        }
+    }
+
+    // Crate-root unsafe wall: every lib.rs under crates/, plus this file.
+    let mut roots: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let lib = entry.path().join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots.push(root.join("xtask/src/main.rs"));
+    roots.sort();
+    for lib in &roots {
+        let Ok(text) = fs::read_to_string(lib) else {
+            continue;
+        };
+        if !text.contains(concat!("#![forbid(", "unsafe_code)]")) {
+            violations += 1;
+            let _ = writeln!(
+                report,
+                "{}: crate root missing #![forbid(unsafe_code)]",
+                lib.display(),
+            );
+        }
+    }
+
+    print!("{report}");
+    println!(
+        "lint-sim: scanned {} files, {} crate roots, {violations} violation(s)",
+        files.len(),
+        roots.len(),
+    );
+    violations
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    // CARGO_MANIFEST_DIR points at xtask/; the repo root is its parent.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+    match args.get(1).map(String::as_str) {
+        Some("lint-sim") => {
+            if lint_sim(&root) == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint-sim");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_do_not_match_their_own_definitions() {
+        // This file assembles patterns with concat!, so linting the xtask
+        // source itself (not scanned, but belt and braces) finds nothing.
+        let text = fs::read_to_string(file!()).unwrap_or_default();
+        for (pat, _) in banned_patterns() {
+            for line in text.lines() {
+                if line.contains(ALLOW_MARKER) {
+                    continue;
+                }
+                assert!(!line.contains(pat), "self-match on pattern {pat}: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn repo_passes_lint_sim() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+        assert_eq!(lint_sim(&root), 0);
+    }
+}
