@@ -22,5 +22,6 @@ fn main() {
         "{}",
         recovery_exp::table5(recovery_exp::RecoveryScale::quick())
     );
+    print!("{}", fault_exp::fault_sweep(fault_exp::FaultScale::quick()));
     print!("{}", ablation::all(true));
 }

@@ -39,5 +39,11 @@ fn main() {
         recovery_exp::RecoveryScale::full()
     };
     print!("{}", recovery_exp::table5(rec));
+    let fl = if quick {
+        fault_exp::FaultScale::quick()
+    } else {
+        fault_exp::FaultScale::full()
+    };
+    print!("{}", fault_exp::fault_sweep(fl));
     print!("{}", ablation::all(quick));
 }

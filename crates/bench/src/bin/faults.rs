@@ -1,0 +1,15 @@
+//! Regenerates the fault-rate ablation (commit latency, throughput and
+//! block retirement vs background NAND fault severity).
+use xftl_bench::experiments::fault_exp::{fault_sweep, FaultScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!(
+        "{}",
+        fault_sweep(if quick {
+            FaultScale::quick()
+        } else {
+            FaultScale::full()
+        })
+    );
+}

@@ -1,0 +1,346 @@
+//! Fault-rate ablation: throughput and commit latency as the NAND
+//! misbehaves.
+//!
+//! Not a paper figure — X-FTL's evaluation ran on healthy silicon — but
+//! the measurable form of the claim §5 takes for granted: transactional
+//! atomicity must not come at the price of reliability plumbing. The
+//! sweep installs a background [`FaultEnv`] on the chip (program status
+//! failures, erase failures that permanently retire blocks, correctable
+//! and uncorrectable read errors) and re-runs the synthetic partsupp
+//! workload at increasing severity, comparing X-FTL against the RBJ and
+//! WAL baselines. The claim under test: commit latency degrades
+//! *gracefully* — bounded retries, no retry storms — even when the fault
+//! environment retires more than 5 % of the physical blocks.
+
+use xftl_workloads::rig::{FaultEnv, Mode, Rig, RigConfig, Snapshot};
+use xftl_workloads::synthetic::{self, SyntheticConfig};
+
+use crate::report::{millis, Table};
+
+/// Scale of the fault sweep.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct FaultScale {
+    pub tuples: usize,
+    pub txns: usize,
+}
+
+impl FaultScale {
+    /// The report-quality configuration.
+    pub fn full() -> Self {
+        FaultScale {
+            tuples: 20_000,
+            txns: 600,
+        }
+    }
+
+    /// A fast configuration for `cargo bench` smoke runs and tests.
+    pub fn quick() -> Self {
+        FaultScale {
+            tuples: 9_000,
+            txns: 250,
+        }
+    }
+
+    /// Exported logical pages: table leaves plus WAL/journal headroom.
+    fn logical_pages(&self) -> u64 {
+        (self.tuples as u64 / 30) + 2_200
+    }
+
+    /// Physical blocks: tight enough around the logical space that the
+    /// write frontier cycles and GC (hence erase traffic, hence
+    /// erase-failure exposure) reaches steady state during the run, with
+    /// enough spare blocks that the extreme regime's retirements don't
+    /// starve the free pool. Steady-state erase count tracks program
+    /// volume, not slack, so the extra headroom doesn't reduce exposure.
+    fn blocks(&self) -> usize {
+        (self.logical_pages() / 128 + 18) as usize
+    }
+}
+
+/// One severity step of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Severity {
+    /// Report label (the order-of-magnitude of the program-fail rate).
+    pub label: &'static str,
+    /// The fault environment, `None` for the healthy-silicon baseline.
+    pub env: Option<FaultEnv>,
+}
+
+/// The swept severities: healthy silicon, then background rates rising
+/// from 10⁻⁴ to a deliberately brutal regime whose erase-failure rate
+/// retires well past 5 % of the physical blocks over a report-scale
+/// run. (Retirement needs erase traffic, and erase traffic needs GC
+/// churn, so the short `quick()` runs retire little — the graceful-
+/// degradation test uses its own harsher environment instead.)
+pub const FAULT_SWEEP: [Severity; 5] = [
+    Severity {
+        label: "clean",
+        env: None,
+    },
+    Severity {
+        label: "1e-4",
+        env: Some(FaultEnv {
+            seed: 0xFA_001,
+            program_fail: 1e-4,
+            erase_fail: 1e-4,
+            read_flip: 1e-3,
+            uncorrectable: 1e-4,
+        }),
+    },
+    Severity {
+        label: "1e-3",
+        env: Some(FaultEnv {
+            seed: 0xFA_002,
+            program_fail: 1e-3,
+            erase_fail: 1e-3,
+            read_flip: 1e-2,
+            uncorrectable: 2e-4,
+        }),
+    },
+    Severity {
+        label: "1e-2",
+        env: Some(FaultEnv {
+            seed: 0xFA_003,
+            program_fail: 1e-2,
+            erase_fail: 2e-2,
+            read_flip: 5e-2,
+            uncorrectable: 5e-4,
+        }),
+    },
+    Severity {
+        label: "extreme",
+        env: Some(FaultEnv {
+            seed: 0xFA_004,
+            program_fail: 1.5e-2,
+            erase_fail: 6e-2,
+            read_flip: 8e-2,
+            uncorrectable: 1e-3,
+        }),
+    },
+];
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPoint {
+    /// Mean commit (whole-transaction) latency, nanoseconds.
+    pub commit_ns: u64,
+    /// Transactions per simulated second.
+    pub tps: f64,
+    /// Flash operations (reads + programs) per simulated second.
+    pub iops: f64,
+    /// Physical blocks the rig was built with.
+    pub blocks: usize,
+    /// Full statistics behind the point.
+    pub snap: Snapshot,
+}
+
+impl FaultPoint {
+    /// Fraction of physical blocks the FTL retired during the run.
+    pub fn retired_fraction(&self) -> f64 {
+        self.snap.ftl.bad_block_retirements as f64 / self.blocks as f64
+    }
+}
+
+/// Runs one (mode, severity) cell: build a rig over the fault
+/// environment, load partsupp, run the transaction phase.
+pub fn run_point(mode: Mode, env: Option<FaultEnv>, scale: &FaultScale) -> FaultPoint {
+    let blocks = scale.blocks();
+    let rig = Rig::build(RigConfig {
+        blocks,
+        logical_pages: scale.logical_pages(),
+        fault: env,
+        // Small OS page cache so the read path actually reaches flash —
+        // otherwise every SELECT hits DRAM and the read-fault classes
+        // (bit flips, uncorrectable errors) never get exercised.
+        fs_cache_pages: 64,
+        ..RigConfig::small(mode)
+    });
+    let syn = SyntheticConfig {
+        tuples: scale.tuples,
+        txns: scale.txns,
+        ..SyntheticConfig::default()
+    };
+    let mut db = rig.open_db("fault.db");
+    synthetic::load_partsupply(&mut db, &syn);
+    rig.reset_stats();
+    db.reset_stats();
+    let result = synthetic::run_transactions(&mut db, &rig.clock, &syn);
+    drop(db);
+    let snap = rig.snapshot();
+    let secs = result.elapsed_ns as f64 / 1e9;
+    FaultPoint {
+        commit_ns: result.elapsed_ns / result.txns as u64,
+        tps: result.txns as f64 / secs,
+        iops: (snap.flash.reads + snap.flash.programs) as f64 / secs,
+        blocks,
+        snap,
+    }
+}
+
+/// Runs one baseline cell, absorbing a mid-run `OutOfSpace` panic into
+/// `None`: a journaling mode whose write amplification drives enough
+/// erase traffic that block retirements exhaust the free pool really is
+/// dead at that severity, and the sweep reports that as a result rather
+/// than refusing to print the table.
+fn try_point(mode: Mode, env: Option<FaultEnv>, scale: &FaultScale) -> Option<FaultPoint> {
+    // Silence the default hook while the panic is expected: a dead
+    // baseline is a table cell, not a backtrace.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let got =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_point(mode, env, scale))).ok();
+    std::panic::set_hook(prev);
+    got
+}
+
+fn cell_ms(p: Option<&FaultPoint>) -> String {
+    p.map_or_else(|| "dead".into(), |p| millis(p.commit_ns))
+}
+
+/// The full experiment: commit latency and throughput vs fault severity
+/// for the three journaling modes, then the X-FTL fault-handling detail
+/// behind each severity.
+pub fn fault_sweep(scale: FaultScale) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== Fault sweep: synthetic partsupp ({} tuples, {} txns, 5 updates/txn) ===\n\
+         (background NAND fault rates per op; commit latency in ms/txn)\n\n",
+        scale.tuples, scale.txns
+    ));
+    let mut t = Table::new(vec![
+        "faults",
+        "RBJ ms",
+        "WAL ms",
+        "X-FTL ms",
+        "X-FTL tps",
+        "X-FTL IOPS",
+        "retired",
+    ]);
+    let mut x_points: Vec<FaultPoint> = Vec::new();
+    let mut any_dead = false;
+    for sev in FAULT_SWEEP {
+        let rbj = try_point(Mode::Rbj, sev.env, &scale);
+        let wal = try_point(Mode::Wal, sev.env, &scale);
+        // X-FTL must survive every severity in the sweep; a panic here is
+        // a genuine harness failure, not a reportable outcome.
+        let x = run_point(Mode::XFtl, sev.env, &scale);
+        any_dead |= rbj.is_none() || wal.is_none();
+        t.row(vec![
+            sev.label.to_string(),
+            cell_ms(rbj.as_ref()),
+            cell_ms(wal.as_ref()),
+            millis(x.commit_ns),
+            format!("{:.0}", x.tps),
+            format!("{:.0}", x.iops),
+            format!(
+                "{}/{} ({:.1}%)",
+                x.snap.ftl.bad_block_retirements,
+                x.blocks,
+                100.0 * x.retired_fraction()
+            ),
+        ]);
+        x_points.push(x);
+    }
+    out.push_str(&t.render());
+    if any_dead {
+        out.push_str(
+            "(dead: journaling write amplification drove enough erase traffic that \
+             block retirements exhausted the device's free pool)\n",
+        );
+    }
+    out.push('\n');
+
+    out.push_str("Fault handling inside the X-FTL runs:\n\n");
+    let mut d = Table::new(vec![
+        "faults",
+        "pgm fails",
+        "pgm retries",
+        "erase fails",
+        "corrected",
+        "uncorrectable",
+        "read retries",
+        "stall ms",
+    ]);
+    for (sev, p) in FAULT_SWEEP.iter().zip(&x_points) {
+        let f = &p.snap.flash;
+        let l = &p.snap.ftl;
+        d.row(vec![
+            sev.label.to_string(),
+            f.program_fails.to_string(),
+            l.program_retries.to_string(),
+            f.erase_fails.to_string(),
+            f.corrected_reads.to_string(),
+            f.uncorrectable_reads.to_string(),
+            l.read_retries.to_string(),
+            millis(f.fault_stall_ns),
+        ]);
+    }
+    out.push_str(&d.render());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FTL_PROGRAM_RETRY_LIMIT: u64 = 8;
+
+    /// Harsher than `FAULT_SWEEP`'s extreme: the quick scale's short
+    /// transaction phase drives little GC, so forcing >= 5 % block
+    /// retirement within it takes program-fail churn (each failure
+    /// abandons a frontier, multiplying garbage and hence erases) on
+    /// top of a high erase-failure rate. Report-scale runs reach the
+    /// same retired fraction at the sweep's gentler rates.
+    const TORTURE: FaultEnv = FaultEnv {
+        seed: 0xFA_0FF,
+        program_fail: 3e-2,
+        erase_fail: 8e-2,
+        read_flip: 8e-2,
+        uncorrectable: 1e-3,
+    };
+
+    #[test]
+    fn xftl_degrades_gracefully_to_heavy_block_retirement() {
+        let scale = FaultScale::quick();
+        let clean = run_point(Mode::XFtl, None, &scale);
+        let extreme = run_point(Mode::XFtl, Some(TORTURE), &scale);
+        // The brutal regime must actually exercise every fault class…
+        let f = &extreme.snap.flash;
+        assert!(f.program_fails > 0, "program faults never fired");
+        assert!(f.erase_fails > 0, "erase faults never fired");
+        assert!(f.corrected_reads > 0, "correctable read faults never fired");
+        // …and retire a meaningful slice of the device.
+        assert!(
+            extreme.retired_fraction() >= 0.05,
+            "expected >= 5% of blocks retired, got {}/{}",
+            extreme.snap.ftl.bad_block_retirements,
+            extreme.blocks
+        );
+        // Graceful degradation: every failed program is re-driven within
+        // the bounded retry budget (no retry storms)…
+        let l = &extreme.snap.ftl;
+        assert!(l.program_retries >= f.program_fails);
+        assert!(l.program_retries <= f.program_fails * FTL_PROGRAM_RETRY_LIMIT);
+        // …and commit latency stays the same order of magnitude as on
+        // healthy silicon even with a fifth of erases failing.
+        assert!(
+            extreme.commit_ns < clean.commit_ns * 10,
+            "commit latency exploded: {} ns vs clean {} ns",
+            extreme.commit_ns,
+            clean.commit_ns
+        );
+    }
+
+    #[test]
+    fn fault_severity_monotonically_costs_time() {
+        let scale = FaultScale::quick();
+        let clean = run_point(Mode::XFtl, None, &scale);
+        let heavy = run_point(Mode::XFtl, FAULT_SWEEP[3].env, &scale);
+        // Fault handling charges real simulated time, so a heavy fault
+        // regime can only slow the same workload down.
+        assert!(heavy.snap.flash.fault_stall_ns > 0);
+        assert!(heavy.commit_ns >= clean.commit_ns);
+    }
+}

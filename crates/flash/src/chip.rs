@@ -31,6 +31,7 @@
 use crate::clock::{Nanos, SimClock};
 use crate::config::FlashConfig;
 use crate::error::{FlashError, Result};
+use crate::fault::{FaultKind, FaultOp, FaultPlan};
 use crate::stats::{FlashStats, MAX_CHANNELS, QUEUE_DEPTH_BUCKETS};
 use std::fmt;
 
@@ -153,6 +154,25 @@ impl Block {
     }
 }
 
+/// Reliability state of one erase block, as the device's own status
+/// reporting exposes it. Health is physical state: it survives power
+/// cycles (real firmware derives it from bad-block marks in the spare
+/// area) and is independent of any FTL bookkeeping above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockHealth {
+    /// No operation on this block has ever failed.
+    #[default]
+    Good,
+    /// At least one program in this block reported status failure since
+    /// its last successful erase. The block may still hold valid data; a
+    /// successful erase returns it to [`BlockHealth::Good`].
+    Suspect,
+    /// An erase reported status failure. The block is permanently bad:
+    /// every future erase fails with [`FlashError::EraseFailed`] and the
+    /// FTL must never allocate from it again.
+    Retired,
+}
+
 /// Outcome of probing a page during a recovery scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PageProbe {
@@ -201,6 +221,12 @@ pub struct FlashChip {
     /// Set once the fuse fires; all operations fail until `rearm` is called
     /// by the recovery path.
     dead: bool,
+    /// Per-block reliability state (physical; survives power cycles).
+    health: Vec<BlockHealth>,
+    /// Installed per-operation fault schedule, if any. Survives power
+    /// cycles: the fault environment is a property of the silicon, not of
+    /// the boot.
+    fault: Option<FaultPlan>,
 }
 
 impl FlashChip {
@@ -221,6 +247,8 @@ impl FlashChip {
             outstanding: Vec::new(),
             fuse: None,
             dead: false,
+            health: vec![BlockHealth::Good; config.geometry.blocks],
+            fault: None,
         }
     }
 
@@ -327,18 +355,68 @@ impl FlashChip {
         self.fuse = None;
     }
 
-    /// Brings a dead chip back online after a simulated power cycle. Torn
-    /// pages stay torn; programmed data is retained; the device queue is
-    /// lost with power; the fuse is cleared.
+    /// Brings the chip back online after a simulated power cycle, with an
+    /// explicit reset contract so fault-injection tests cannot leak state
+    /// between injections.
+    ///
+    /// **Reset** (state that dies with power): the dead flag, any armed
+    /// fuse, the queue of outstanding completions, and the channel/unit
+    /// busy-until timestamps — a queued operation that never completed
+    /// must not make the first command of the next boot wait on a phantom
+    /// busy bus.
+    ///
+    /// **Retained** (physical state): flash contents including torn
+    /// pages, the global program sequence counter (recovery re-derives it
+    /// from the media), per-block erase counts and [`BlockHealth`]
+    /// (bad-block marks live in the spare area), any installed
+    /// [`FaultPlan`] (the fault environment is a property of the
+    /// silicon), and cumulative [`FlashStats`] (host-side measurement;
+    /// use [`FlashChip::reset_stats`] to zero them explicitly).
     pub fn power_cycle(&mut self) {
         self.dead = false;
         self.fuse = None;
         self.outstanding.clear();
+        for t in &mut self.chan_busy {
+            *t = 0;
+        }
+        for t in &mut self.unit_busy {
+            *t = 0;
+        }
     }
 
     /// True if the power fuse has fired and the chip is offline.
     pub fn is_dead(&self) -> bool {
         self.dead
+    }
+
+    /// Installs (replacing any previous) a per-operation fault schedule.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Removes and returns the installed fault plan, if any.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Reliability state of `block`.
+    pub fn block_health(&self, block: u32) -> BlockHealth {
+        self.health[block as usize]
+    }
+
+    /// Blocks the device has permanently retired, in ascending order.
+    pub fn retired_blocks(&self) -> Vec<u32> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| **h == BlockHealth::Retired)
+            .map(|(b, _)| b as u32)
+            .collect()
     }
 
     /// Records the queue depth an arriving command observes.
@@ -445,13 +523,36 @@ impl FlashChip {
         } else {
             self.outstanding.push(sched.done);
         }
+        let lpn = match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
+            Page::Erased => return Err(FlashError::ReadErased(ppa)),
+            Page::Torn => return Err(FlashError::TornPage(ppa)),
+            Page::Programmed { oob, .. } => oob.lpn,
+        };
+        // Fault model: bit flips surface on valid programmed pages. The
+        // stall of the ECC failure path is charged to the serial firmware
+        // dispatch clock (the controller blocks on correction/retry).
+        if let Some(plan) = &mut self.fault {
+            if let Some(FaultKind::ReadFlips(bits)) = plan.decide(FaultOp::Read, ppa, Some(lpn)) {
+                let ecc = plan.ecc_config();
+                if bits <= ecc.correctable_bits {
+                    self.stats.corrected_reads += 1;
+                    self.stats.fault_stall_ns += ecc.correction_ns;
+                    self.clock.advance(ecc.correction_ns);
+                } else {
+                    self.stats.uncorrectable_reads += 1;
+                    self.stats.fault_stall_ns += ecc.uncorrectable_ns;
+                    self.clock.advance(ecc.uncorrectable_ns);
+                    return Err(FlashError::Uncorrectable(ppa));
+                }
+            }
+        }
         match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
-            Page::Erased => Err(FlashError::ReadErased(ppa)),
-            Page::Torn => Err(FlashError::TornPage(ppa)),
             Page::Programmed { data, oob } => {
                 buf.copy_from_slice(data);
                 Ok((*oob, sched.done))
             }
+            // Checked Programmed above; nothing mutates page state between.
+            _ => Err(FlashError::ReadErased(ppa)),
         }
     }
 
@@ -477,7 +578,10 @@ impl FlashChip {
     }
 
     /// Reads only the OOB metadata of a page (cheap; used by recovery scans
-    /// and GC validity checks).
+    /// and GC validity checks). Exempt from read-fault injection: the
+    /// spare area carries its own stronger ECC in the modelled chip, so
+    /// recovery scans see page *state* reliably even when page *data*
+    /// does not decode.
     pub fn probe(&mut self, ppa: Ppa) -> Result<PageProbe> {
         self.check_alive()?;
         self.check_range(ppa)?;
@@ -560,6 +664,34 @@ impl FlashChip {
                 return Err(FlashError::PowerLost);
             }
         }
+        // Fault model: a program-status failure leaves the page unreadable
+        // (same observable state as a torn page: garbage that fails the
+        // checksum), advances the write point past it, and flags the block
+        // suspect. Detected by the status poll after the full tPROG, so
+        // the scheduled media time stands; the extra firmware handling is
+        // charged on top.
+        if let Some(plan) = &mut self.fault {
+            if let Some(FaultKind::ProgramFail) = plan.decide(FaultOp::Program, ppa, Some(oob.lpn))
+            {
+                let ecc = plan.ecc_config();
+                self.stats.program_fails += 1;
+                self.stats.torn_pages += 1;
+                self.stats.fault_stall_ns += ecc.program_fail_ns;
+                let block = &mut self.blocks[ppa.block as usize];
+                block.pages[ppa.page as usize] = Page::Torn;
+                block.write_point = ppa.page + 1;
+                if self.health[ppa.block as usize] == BlockHealth::Good {
+                    self.health[ppa.block as usize] = BlockHealth::Suspect;
+                }
+                if sync {
+                    self.clock.advance_to(sched.done);
+                } else {
+                    self.outstanding.push(sched.done);
+                }
+                self.clock.advance(ecc.program_fail_ns);
+                return Err(FlashError::ProgramFailed(ppa));
+            }
+        }
         oob.seq = self.seq;
         self.seq += 1;
         let block = &mut self.blocks[ppa.block as usize];
@@ -615,6 +747,20 @@ impl FlashChip {
         self.stats.erases += 1;
         self.stats.busy_erase_ns += self.config.timings.cmd_overhead_ns + sched.service;
         self.note_channel_busy(&sched);
+        // Fault model: a retired block fails every erase; otherwise the
+        // plan may inject a first failure, which retires the block. Either
+        // way the cells end up wiped (write point reset, erase counted) —
+        // the failure is the device refusing to certify the block, not the
+        // charge pump doing nothing — so a buggy FTL *can* still program a
+        // retired block, which is exactly what the verify auditor catches.
+        let fails = self.health[block as usize] == BlockHealth::Retired
+            || match &mut self.fault {
+                Some(plan) => matches!(
+                    plan.decide(FaultOp::Erase, Ppa::new(block, 0), None),
+                    Some(FaultKind::EraseFail)
+                ),
+                None => false,
+            };
         let b = &mut self.blocks[block as usize];
         for p in &mut b.pages {
             *p = Page::Erased;
@@ -625,6 +771,22 @@ impl FlashChip {
             self.clock.advance_to(sched.done);
         } else {
             self.outstanding.push(sched.done);
+        }
+        if fails {
+            let stall = self
+                .fault
+                .as_ref()
+                .map_or_else(crate::fault::EccConfig::default, FaultPlan::ecc_config)
+                .erase_fail_ns;
+            self.stats.erase_fails += 1;
+            self.stats.fault_stall_ns += stall;
+            self.clock.advance(stall);
+            self.health[block as usize] = BlockHealth::Retired;
+            return Err(FlashError::EraseFailed(block));
+        }
+        if self.health[block as usize] == BlockHealth::Suspect {
+            // A clean erase clears the suspicion left by a program fail.
+            self.health[block as usize] = BlockHealth::Good;
         }
         Ok(sched.done)
     }
@@ -1053,6 +1215,214 @@ mod tests {
             + t.program_ns
             + c.config().geometry.page_size as u64 * t.channel_ns_per_byte;
         assert!(elapsed < serial);
+    }
+
+    // --- fault injection ------------------------------------------------------
+
+    use crate::fault::{FaultKind, FaultPlan, FaultTrigger};
+
+    #[test]
+    fn program_fail_tears_page_and_marks_block_suspect() {
+        let mut c = chip();
+        c.set_fault_plan(
+            FaultPlan::new(1).trigger(FaultTrigger::new(FaultKind::ProgramFail).on_block(2)),
+        );
+        let data = page(&c, 3);
+        assert_eq!(
+            c.program(Ppa::new(2, 0), &data, Oob::data(1)),
+            Err(FlashError::ProgramFailed(Ppa::new(2, 0)))
+        );
+        // The failed page is unreadable and the write point moved past it.
+        assert_eq!(c.probe(Ppa::new(2, 0)).unwrap(), PageProbe::Torn);
+        assert_eq!(c.write_point(2), Some(1));
+        assert_eq!(c.block_health(2), BlockHealth::Suspect);
+        assert_eq!(c.stats().program_fails, 1);
+        // Trigger consumed: the retry in the same block succeeds.
+        c.program(Ppa::new(2, 1), &data, Oob::data(1)).unwrap();
+        // A clean erase rehabilitates the suspect block.
+        c.erase(2).unwrap();
+        assert_eq!(c.block_health(2), BlockHealth::Good);
+    }
+
+    #[test]
+    fn erase_fail_retires_block_permanently() {
+        let mut c = chip();
+        let data = page(&c, 5);
+        c.program(Ppa::new(3, 0), &data, Oob::data(1)).unwrap();
+        c.set_fault_plan(
+            FaultPlan::new(1).trigger(FaultTrigger::new(FaultKind::EraseFail).on_block(3)),
+        );
+        assert_eq!(c.erase(3), Err(FlashError::EraseFailed(3)));
+        assert_eq!(c.block_health(3), BlockHealth::Retired);
+        assert_eq!(c.retired_blocks(), vec![3]);
+        // The trigger was consumed, yet every later erase still fails:
+        // retirement is permanent device state.
+        assert_eq!(c.erase(3), Err(FlashError::EraseFailed(3)));
+        assert_eq!(c.stats().erase_fails, 2);
+        // The cells did wipe (the device just refuses to certify them), so
+        // a buggy FTL could still program here — the auditor's job.
+        assert!(c.is_erased(Ppa::new(3, 0)));
+        c.program(Ppa::new(3, 0), &data, Oob::data(2)).unwrap();
+    }
+
+    #[test]
+    fn correctable_read_succeeds_with_stall() {
+        let mut c = chip();
+        let data = page(&c, 7);
+        c.program(Ppa::new(2, 0), &data, Oob::data(9)).unwrap();
+        c.set_fault_plan(
+            FaultPlan::new(1)
+                .trigger(FaultTrigger::new(FaultKind::ReadFlips(1)).on_ppa(Ppa::new(2, 0))),
+        );
+        let before = c.clock().now();
+        let mut buf = page(&c, 0);
+        let oob = c.read(Ppa::new(2, 0), &mut buf).unwrap();
+        assert_eq!(oob.lpn, 9);
+        assert_eq!(buf, data);
+        assert_eq!(c.stats().corrected_reads, 1);
+        let plain_chip_read_cost = {
+            let mut c2 = chip();
+            c2.program(Ppa::new(2, 0), &data, Oob::data(9)).unwrap();
+            let t = c2.clock().now();
+            c2.read(Ppa::new(2, 0), &mut buf).unwrap();
+            c2.clock().now() - t
+        };
+        assert!(
+            c.clock().now() - before > plain_chip_read_cost,
+            "correction must cost extra simulated time"
+        );
+    }
+
+    #[test]
+    fn uncorrectable_read_fails_but_preserves_page() {
+        let mut c = chip();
+        let data = page(&c, 7);
+        c.program(Ppa::new(2, 0), &data, Oob::data(9)).unwrap();
+        c.set_fault_plan(
+            FaultPlan::new(1)
+                .trigger(FaultTrigger::new(FaultKind::ReadFlips(1_000)).on_ppa(Ppa::new(2, 0))),
+        );
+        let mut buf = page(&c, 0);
+        assert_eq!(
+            c.read(Ppa::new(2, 0), &mut buf),
+            Err(FlashError::Uncorrectable(Ppa::new(2, 0)))
+        );
+        assert_eq!(c.stats().uncorrectable_reads, 1);
+        assert!(c.stats().fault_stall_ns > 0);
+        // Transient: the one-shot trigger is spent, the retry decodes.
+        assert!(c.read(Ppa::new(2, 0), &mut buf).is_ok());
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn sticky_uncorrectable_models_dead_page() {
+        let mut c = chip();
+        let data = page(&c, 7);
+        c.program(Ppa::new(2, 0), &data, Oob::data(9)).unwrap();
+        c.set_fault_plan(
+            FaultPlan::new(1).trigger(
+                FaultTrigger::new(FaultKind::ReadFlips(1_000))
+                    .on_ppa(Ppa::new(2, 0))
+                    .sticky(),
+            ),
+        );
+        let mut buf = page(&c, 0);
+        for _ in 0..3 {
+            assert!(matches!(
+                c.read(Ppa::new(2, 0), &mut buf),
+                Err(FlashError::Uncorrectable(_))
+            ));
+        }
+        // The OOB still probes fine: recovery scans keep working.
+        assert!(matches!(
+            c.probe(Ppa::new(2, 0)).unwrap(),
+            PageProbe::Programmed(_)
+        ));
+    }
+
+    #[test]
+    fn fault_plan_survives_power_cycle() {
+        let mut c = chip();
+        let data = page(&c, 1);
+        c.set_fault_plan(
+            FaultPlan::new(1).trigger(FaultTrigger::new(FaultKind::EraseFail).on_block(2)),
+        );
+        c.program(Ppa::new(3, 0), &data, Oob::data(1)).unwrap();
+        assert_eq!(c.erase(2), Err(FlashError::EraseFailed(2)));
+        c.arm_power_fuse(1);
+        let _ = c.program(Ppa::new(3, 1), &data, Oob::data(2));
+        assert!(c.is_dead());
+        c.power_cycle();
+        // Health and the plan survived the cycle.
+        assert_eq!(c.block_health(2), BlockHealth::Retired);
+        assert!(c.fault_plan().is_some());
+        assert_eq!(c.erase(2), Err(FlashError::EraseFailed(2)));
+    }
+
+    #[test]
+    fn power_cycle_resets_queue_timing_state() {
+        // A queued program dies with power. Without the explicit
+        // busy-timestamp reset, the next boot's first command would wait
+        // on a phantom busy channel left by the dead operation.
+        let mut c = chip();
+        let data = page(&c, 1);
+        c.program_queued(Ppa::new(0, 0), &data, Oob::data(0), 0)
+            .unwrap();
+        c.arm_power_fuse(1);
+        assert_eq!(
+            c.program_queued(Ppa::new(0, 1), &data, Oob::data(1), 0),
+            Err(FlashError::PowerLost)
+        );
+        c.power_cycle();
+        assert_eq!(c.outstanding_ops(), 0);
+        let fresh_cost = {
+            let mut c2 = chip();
+            let t = c2.clock().now();
+            c2.program(Ppa::new(1, 0), &data, Oob::data(2)).unwrap();
+            c2.clock().now() - t
+        };
+        let t = c.clock().now();
+        c.program(Ppa::new(1, 0), &data, Oob::data(2)).unwrap();
+        let post_cycle_cost = c.clock().now() - t;
+        assert_eq!(
+            post_cycle_cost, fresh_cost,
+            "first program after a power cycle must not inherit queue waits"
+        );
+    }
+
+    #[test]
+    fn background_faults_are_deterministic() {
+        let run = || {
+            let mut c = chip_with(2, 1, 16);
+            c.set_fault_plan(FaultPlan::background(42, 0.05, 0.05, 0.1, 0.02));
+            let data = page(&c, 9);
+            let mut buf = page(&c, 0);
+            for round in 0..4u64 {
+                for b in 2..16u32 {
+                    for p in 0..8u32 {
+                        let _ = c.program(Ppa::new(b, p), &data, Oob::data(round));
+                    }
+                }
+                for b in 2..16u32 {
+                    for p in 0..8u32 {
+                        let _ = c.read(Ppa::new(b, p), &mut buf);
+                    }
+                }
+                for b in 2..16u32 {
+                    let _ = c.erase(b);
+                }
+            }
+            (c.clock().now(), *c.stats(), c.retired_blocks())
+        };
+        let (t1, s1, r1) = run();
+        let (t2, s2, r2) = run();
+        assert_eq!((t1, s1, r1.clone()), (t2, s2, r2));
+        // The rates were high enough that every fault class fired.
+        assert!(s1.program_fails > 0);
+        assert!(s1.erase_fails > 0);
+        assert!(s1.corrected_reads > 0);
+        assert!(s1.uncorrectable_reads > 0);
+        assert!(!r1.is_empty());
     }
 
     #[test]

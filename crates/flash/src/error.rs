@@ -39,6 +39,19 @@ pub enum FlashError {
     /// A scheduled power-loss fuse fired; the device is now offline until
     /// it is rebuilt through recovery.
     PowerLost,
+    /// The program reported status failure (injected by a
+    /// [`crate::FaultPlan`]): the page is left unreadable and the block is
+    /// marked suspect. The FTL must re-execute the write elsewhere.
+    ProgramFailed(Ppa),
+    /// The erase reported status failure: the block is permanently
+    /// retired and every future erase of it fails the same way. The FTL
+    /// must drop it from the free pool and record it in the bad-block
+    /// table.
+    EraseFailed(u32),
+    /// The read returned more bit errors than the ECC can correct. The
+    /// stored data is not returned; whether a retry can succeed depends on
+    /// the fault plan (transient background flips vs. a sticky trigger).
+    Uncorrectable(Ppa),
 }
 
 impl fmt::Display for FlashError {
@@ -58,6 +71,15 @@ impl fmt::Display for FlashError {
                 write!(f, "buffer size {got} does not match page size {expected}")
             }
             FlashError::PowerLost => write!(f, "simulated power loss: device offline"),
+            FlashError::ProgramFailed(ppa) => {
+                write!(f, "program-status failure at {ppa}; block marked suspect")
+            }
+            FlashError::EraseFailed(block) => {
+                write!(f, "erase-status failure; block {block} retired")
+            }
+            FlashError::Uncorrectable(ppa) => {
+                write!(f, "uncorrectable ECC error reading {ppa}")
+            }
         }
     }
 }

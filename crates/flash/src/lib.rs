@@ -24,6 +24,18 @@
 //! behind the paper's recovery experiment (Table 5) and our failure
 //! injection tests.
 //!
+//! ## Per-operation faults
+//!
+//! Beyond whole-device power loss, a [`FaultPlan`] (see [`fault`]) injects
+//! the failures real MLC NAND exhibits per operation: program-status
+//! failures (page unreadable, block suspect), erase-status failures
+//! (block permanently retired — see [`BlockHealth`]), and read bit-flips
+//! against a configurable ECC model ([`EccConfig`]) that corrects up to N
+//! bits and otherwise fails with [`FlashError::Uncorrectable`]. Plans are
+//! seeded and fully deterministic, schedulable by op index, block, page,
+//! or LPN, and charge realistic retry/correction latencies to the shared
+//! clock.
+//!
 //! ## Example
 //!
 //! ```
@@ -46,10 +58,12 @@ pub mod chip;
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod stats;
 
-pub use chip::{FlashChip, Oob, PageKind, PageProbe, Ppa};
+pub use chip::{BlockHealth, FlashChip, Oob, PageKind, PageProbe, Ppa};
 pub use clock::{Nanos, SimClock, Stopwatch};
 pub use config::{FlashConfig, FlashConfigBuilder, FlashGeometry, FlashTimings};
 pub use error::{FlashError, Result};
+pub use fault::{EccConfig, FaultKind, FaultOp, FaultPlan, FaultTrigger};
 pub use stats::{FlashStats, MAX_CHANNELS, QUEUE_DEPTH_BUCKETS};

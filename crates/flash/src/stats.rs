@@ -34,6 +34,18 @@ pub struct FlashStats {
     pub oob_reads: u64,
     /// Pages left torn by an interrupted program.
     pub torn_pages: u64,
+    /// Programs that reported status failure (fault injection).
+    pub program_fails: u64,
+    /// Erases that reported status failure; each first failure retires
+    /// its block permanently.
+    pub erase_fails: u64,
+    /// Reads that needed (and got) in-line ECC correction.
+    pub corrected_reads: u64,
+    /// Reads that exceeded the ECC correction strength.
+    pub uncorrectable_reads: u64,
+    /// Extra simulated time spent in fault handling: ECC correction
+    /// stalls, failed-program status polls, failed-erase retries.
+    pub fault_stall_ns: Nanos,
     /// Simulated time spent in read operations.
     pub busy_read_ns: Nanos,
     /// Simulated time spent in program operations.
@@ -104,6 +116,11 @@ impl Sub for FlashStats {
             erases: self.erases - rhs.erases,
             oob_reads: self.oob_reads - rhs.oob_reads,
             torn_pages: self.torn_pages - rhs.torn_pages,
+            program_fails: self.program_fails - rhs.program_fails,
+            erase_fails: self.erase_fails - rhs.erase_fails,
+            corrected_reads: self.corrected_reads - rhs.corrected_reads,
+            uncorrectable_reads: self.uncorrectable_reads - rhs.uncorrectable_reads,
+            fault_stall_ns: self.fault_stall_ns - rhs.fault_stall_ns,
             busy_read_ns: self.busy_read_ns - rhs.busy_read_ns,
             busy_program_ns: self.busy_program_ns - rhs.busy_program_ns,
             busy_erase_ns: self.busy_erase_ns - rhs.busy_erase_ns,

@@ -28,7 +28,7 @@
 
 use std::collections::VecDeque;
 
-use xftl_flash::{FlashChip, Nanos, Oob, PageKind, PageProbe, Ppa, SimClock};
+use xftl_flash::{FlashChip, FlashError, Nanos, Oob, PageKind, PageProbe, Ppa, SimClock};
 
 use crate::dev::{DevCounters, Lpn, Tid};
 use crate::error::{DevError, Result};
@@ -51,6 +51,35 @@ const GC_LOW_WATER: usize = 3;
 /// Minimum spare physical blocks the constructor insists on beyond the
 /// exported capacity (frontier + GC headroom + mapping churn).
 const MIN_SPARE_BLOCKS: usize = 4;
+
+/// Bounded re-execution attempts for a program that reported status
+/// failure. Each retry abandons the failing frontier and lands on a
+/// different block, so hitting the limit means either an absurd injected
+/// fault rate or an exhausted free pool — never a loop on one bad block.
+const PROGRAM_RETRY_LIMIT: usize = 8;
+
+/// Bounded re-issues of a read that failed ECC before the error is
+/// surfaced to the caller. Background bit-flip bursts are transient, so a
+/// re-read usually decodes; a persistently dead page still fails after
+/// the retries.
+const READ_RETRY_LIMIT: usize = 4;
+
+/// Reads `ppa` with bounded re-issue on uncorrectable ECC errors,
+/// returning the final result and the number of retries consumed. Free
+/// function so the recovery path (no `FtlBase` yet) can share it.
+fn read_with_retries(
+    chip: &mut FlashChip,
+    ppa: Ppa,
+    buf: &mut [u8],
+) -> (xftl_flash::Result<Oob>, u64) {
+    let mut r = chip.read(ppa, buf);
+    let mut retries = 0u64;
+    while (retries as usize) < READ_RETRY_LIMIT && matches!(r, Err(FlashError::Uncorrectable(_))) {
+        retries += 1;
+        r = chip.read(ppa, buf);
+    }
+    (r, retries)
+}
 
 /// Garbage-collection victim-selection policy.
 ///
@@ -179,6 +208,10 @@ pub struct FtlBase {
     frontier_map: Option<u32>,
     free_blocks: VecDeque<u32>,
     in_free: Vec<bool>,
+    /// The bad-block table: blocks permanently retired after an erase
+    /// failure. Never allocated from, never GC victims, persisted in the
+    /// meta page and unioned with the chip's health marks at recovery.
+    bad_blocks: Vec<bool>,
     /// Meta block currently being appended to (index into META_BLOCKS).
     meta_cur: usize,
     /// Sequence number covered by the last full checkpoint.
@@ -222,6 +255,12 @@ impl FtlBase {
                 chip.erase(mb)?;
             }
         }
+        // Re-formatting a worn chip: blocks it already retired stay out of
+        // the pool (factory bad-block marks, in real-firmware terms).
+        let mut bad_blocks = vec![false; geo.blocks];
+        for b in chip.retired_blocks() {
+            bad_blocks[b as usize] = true;
+        }
         let mut base = FtlBase {
             logical_pages,
             l2p: vec![None; logical_pages as usize],
@@ -235,14 +274,22 @@ impl FtlBase {
             frontiers_data: vec![None; geo.channels.max(1) as usize],
             data_cursor: 0,
             frontier_map: None,
-            free_blocks: (FIRST_POOL_BLOCK..geo.blocks as u32).collect(),
+            free_blocks: (FIRST_POOL_BLOCK..geo.blocks as u32)
+                .filter(|&b| !bad_blocks[b as usize])
+                .collect(),
             in_free: {
                 let mut v = vec![true; geo.blocks];
                 for mb in META_BLOCKS {
                     v[mb as usize] = false;
                 }
+                for (b, bad) in bad_blocks.iter().enumerate() {
+                    if *bad {
+                        v[b] = false;
+                    }
+                }
                 v
             },
+            bad_blocks,
             meta_cur: 0,
             ckpt_seq: 0,
             tx_horizon: 0,
@@ -365,6 +412,73 @@ impl FtlBase {
     /// page (empty when no table is live).
     pub fn xl2p_roots(&self) -> &[Ppa] {
         &self.xl2p_roots
+    }
+
+    /// Number of blocks in the bad-block table.
+    pub fn bad_block_count(&self) -> usize {
+        self.bad_blocks.iter().filter(|b| **b).count()
+    }
+
+    /// True if `block` has been retired to the bad-block table.
+    pub fn is_bad_block(&self, block: u32) -> bool {
+        self.bad_blocks
+            .get(block as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// True if `block` sits in an allocation path (free pool or an open
+    /// write frontier) — the auditor uses this to prove retired blocks
+    /// can never be handed out again.
+    pub fn is_allocatable(&self, block: u32) -> bool {
+        self.in_free.get(block as usize).copied().unwrap_or(false)
+            || self.frontiers_data.contains(&Some(block))
+            || self.frontier_map == Some(block)
+    }
+
+    /// Retired blocks in ascending order.
+    pub fn bad_block_list(&self) -> Vec<u32> {
+        self.bad_blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, bad)| **bad)
+            .map(|(b, _)| b as u32)
+            .collect()
+    }
+
+    /// Records an erase failure: the block leaves every allocation path
+    /// for good. Its live pages (if any) were copied out by the caller,
+    /// so retirement costs capacity, never data.
+    fn retire_block(&mut self, block: u32) {
+        if !self.bad_blocks[block as usize] {
+            self.bad_blocks[block as usize] = true;
+            self.stats.bad_block_retirements += 1;
+        }
+        self.in_free[block as usize] = false;
+        self.block_class[block as usize] = 0;
+    }
+
+    /// Removes `block` from the open write frontiers after a program
+    /// failure: the re-executed write must land on a fresh block. The
+    /// abandoned block keeps its valid pages until GC reclaims it (a
+    /// clean erase rehabilitates a suspect block for reuse).
+    fn abandon_frontier(&mut self, block: u32) {
+        for f in &mut self.frontiers_data {
+            if *f == Some(block) {
+                *f = None;
+            }
+        }
+        if self.frontier_map == Some(block) {
+            self.frontier_map = None;
+        }
+    }
+
+    /// Synchronous read with bounded ECC-failure retries, counted in
+    /// [`FtlStats::read_retries`].
+    fn read_retry(&mut self, ppa: Ppa, buf: &mut [u8]) -> Result<Oob> {
+        let (r, retries) = read_with_retries(&mut self.chip, ppa, buf);
+        self.stats.read_retries += retries;
+        Ok(r?)
     }
 
     fn check_lpn(&self, lpn: Lpn) -> Result<()> {
@@ -540,9 +654,32 @@ impl FtlBase {
             // Copy-backs ride the device queue: the read and the program
             // of one page are chained (`not_before`), but copies of
             // different pages overlap when source and destination sit on
-            // different channels, so GC steals less host time.
-            let (oob, read_done) = self.chip.read_queued(old, &mut buf, 0)?;
-            let dst = self.alloc_slot(oob.kind)?;
+            // different channels, so GC steals less host time. ECC
+            // failures on the source get bounded re-reads; the scratch
+            // buffer must be restored on every error path.
+            let (oob, read_done) = {
+                let mut r = self.chip.read_queued(old, &mut buf, 0);
+                let mut tries = 0;
+                while tries < READ_RETRY_LIMIT && matches!(r, Err(FlashError::Uncorrectable(_))) {
+                    tries += 1;
+                    self.stats.read_retries += 1;
+                    r = self.chip.read_queued(old, &mut buf, 0);
+                }
+                match r {
+                    Ok(v) => v,
+                    Err(e) => {
+                        self.scratch = buf;
+                        return Err(e.into());
+                    }
+                }
+            };
+            let mut dst = match self.alloc_slot(oob.kind) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.scratch = buf;
+                    return Err(e);
+                }
+            };
             // A GC copy of the *committed* version of a data page is
             // re-stamped tid = 0 so the recovery roll-forward treats it as
             // committed state even if its writer's X-L2P entry is long gone.
@@ -554,7 +691,30 @@ impl FtlBase {
                 new_oob.tid = 0;
                 new_oob.aux = 0;
             }
-            self.chip.program_queued(dst, &buf, new_oob, read_done)?;
+            // Copy programs get the same bounded re-execution as host
+            // writes: a failed copy-back must not lose the live page.
+            let mut attempts = 0;
+            loop {
+                match self.chip.program_queued(dst, &buf, new_oob, read_done) {
+                    Ok(_) => break,
+                    Err(FlashError::ProgramFailed(_)) if attempts < PROGRAM_RETRY_LIMIT => {
+                        attempts += 1;
+                        self.stats.program_retries += 1;
+                        self.abandon_frontier(dst.block);
+                        dst = match self.alloc_slot(oob.kind) {
+                            Ok(d) => d,
+                            Err(e) => {
+                                self.scratch = buf;
+                                return Err(e);
+                            }
+                        };
+                    }
+                    Err(e) => {
+                        self.scratch = buf;
+                        return Err(e.into());
+                    }
+                }
+            }
             self.scratch = buf;
             self.stats.gc_copies += 1;
             copied += 1;
@@ -594,9 +754,20 @@ impl FtlBase {
         }
         // The erase is queued too; the chip's per-unit busy tracking
         // already orders it after the in-flight reads from this block.
-        self.chip.erase_queued(victim, 0)?;
-        self.free_blocks.push_back(victim);
-        self.in_free[victim as usize] = true;
+        match self.chip.erase_queued(victim, 0) {
+            Ok(_) => {
+                self.free_blocks.push_back(victim);
+                self.in_free[victim as usize] = true;
+            }
+            Err(FlashError::EraseFailed(_)) => {
+                // Every live page was already copied out above, so losing
+                // the block costs capacity, not data. Retire it; the
+                // refreshed meta root below persists the table.
+                self.retire_block(victim);
+                meta_stale = true;
+            }
+            Err(e) => return Err(e.into()),
+        }
         self.stats.gc_runs += 1;
         // The validity ratio (the paper's aging knob) concerns *data*
         // blocks; recycling nearly-dead mapping blocks is bookkept apart.
@@ -624,7 +795,7 @@ impl FtlBase {
         self.check_lpn(lpn)?;
         match self.l2p[lpn as usize] {
             Some(ppa) => {
-                self.chip.read(ppa, buf)?;
+                self.read_retry(ppa, buf)?;
             }
             None => {
                 let overhead = self.chip.config().timings.cmd_overhead_ns / 4;
@@ -635,9 +806,10 @@ impl FtlBase {
         Ok(())
     }
 
-    /// Reads a page at a known physical address (e.g. an X-L2P version).
+    /// Reads a page at a known physical address (e.g. an X-L2P version),
+    /// with bounded ECC-failure retries.
     pub fn read_at(&mut self, ppa: Ppa, buf: &mut [u8]) -> Result<Oob> {
-        Ok(self.chip.read(ppa, buf)?)
+        self.read_retry(ppa, buf)
     }
 
     /// Programs a page of any kind into the log frontier and marks it
@@ -666,21 +838,32 @@ impl FtlBase {
         hook: &mut dyn GcHook,
     ) -> Result<Ppa> {
         self.maybe_gc(hook)?;
-        let dst = self.alloc_slot(kind)?;
-        self.chip.program(
-            dst,
-            buf,
-            Oob {
+        let mut attempts = 0;
+        loop {
+            let dst = self.alloc_slot(kind)?;
+            let oob = Oob {
                 lpn,
                 seq: 0,
                 tid,
                 kind,
                 aux,
-            },
-        )?;
-        self.valid.mark_valid(dst);
-        self.note_program(kind);
-        Ok(dst)
+            };
+            match self.chip.program(dst, buf, oob) {
+                Ok(_) => {
+                    self.valid.mark_valid(dst);
+                    self.note_program(kind);
+                    return Ok(dst);
+                }
+                Err(FlashError::ProgramFailed(_)) if attempts < PROGRAM_RETRY_LIMIT => {
+                    // Re-execute on a fresh block; the torn page was never
+                    // marked valid and GC reclaims it with the block.
+                    attempts += 1;
+                    self.stats.program_retries += 1;
+                    self.abandon_frontier(dst.block);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Queued variant of [`FtlBase::program_raw_aux`]: dispatches the
@@ -700,22 +883,30 @@ impl FtlBase {
         hook: &mut dyn GcHook,
     ) -> Result<(Ppa, Nanos)> {
         self.maybe_gc(hook)?;
-        let dst = self.alloc_slot(kind)?;
-        let (_, done) = self.chip.program_queued(
-            dst,
-            buf,
-            Oob {
+        let mut attempts = 0;
+        loop {
+            let dst = self.alloc_slot(kind)?;
+            let oob = Oob {
                 lpn,
                 seq: 0,
                 tid,
                 kind,
                 aux,
-            },
-            not_before,
-        )?;
-        self.valid.mark_valid(dst);
-        self.note_program(kind);
-        Ok((dst, done))
+            };
+            match self.chip.program_queued(dst, buf, oob, not_before) {
+                Ok((_, done)) => {
+                    self.valid.mark_valid(dst);
+                    self.note_program(kind);
+                    return Ok((dst, done));
+                }
+                Err(FlashError::ProgramFailed(_)) if attempts < PROGRAM_RETRY_LIMIT => {
+                    attempts += 1;
+                    self.stats.program_retries += 1;
+                    self.abandon_frontier(dst.block);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     fn note_program(&mut self, kind: PageKind) {
@@ -831,12 +1022,20 @@ impl FtlBase {
         // points at have finished on their channels.
         self.chip.drain();
         let geo = self.chip.config().geometry;
+        // The bad-block list shares the meta page's pointer area with the
+        // slab and X-L2P pointers. The chip's own health marks are
+        // authoritative (recovery unions both), so if a dying drive ever
+        // accumulates more retirements than fit, truncating the persisted
+        // list is safe — unlike panicking in `MetaPage::encode`.
+        let bad_cap = MetaPage::max_pointers(geo.page_size)
+            .saturating_sub(self.map_locs.len() + self.xl2p_roots.len());
         let page = MetaPage {
             logical_pages: self.logical_pages,
             ckpt_seq: self.ckpt_seq,
             tx_horizon: self.tx_horizon,
             xl2p_roots: self.xl2p_roots.clone(),
             map_locs: self.map_locs.clone(),
+            bad_blocks: self.bad_block_list().into_iter().take(bad_cap).collect(),
         };
         let buf = page.encode(geo.page_size, geo.pages_per_block);
         let (block, wp) = match self.chip.write_point(META_BLOCKS[self.meta_cur]) {
@@ -951,7 +1150,7 @@ impl FtlBase {
                         if oob.kind != PageKind::Meta {
                             continue;
                         }
-                        if chip.read(ppa, &mut buf).is_err() {
+                        if read_with_retries(&mut chip, ppa, &mut buf).0.is_err() {
                             continue;
                         }
                         if let Some(m) = MetaPage::decode(&buf, geo.pages_per_block) {
@@ -966,11 +1165,25 @@ impl FtlBase {
         let (_, meta_cur, meta_page) = newest.ok_or(DevError::NotFormatted)?;
         let logical_pages = meta_page.logical_pages;
 
-        // 2. Load the checkpointed L2P.
+        // Bad-block table: the union of what the last persisted root knew
+        // and what the chip's own health marks report (a block retired
+        // after the last meta write is only in the latter).
+        let mut bad_blocks = vec![false; geo.blocks];
+        for b in chip.retired_blocks() {
+            bad_blocks[b as usize] = true;
+        }
+        for b in &meta_page.bad_blocks {
+            if (*b as usize) < geo.blocks {
+                bad_blocks[*b as usize] = true;
+            }
+        }
+
+        // 2. Load the checkpointed L2P (with ECC-failure retries; the
+        //    slab pages are the mapping's only persisted copy).
         let mut l2p: Vec<Option<Ppa>> = vec![None; logical_pages as usize];
         for (slab, loc) in meta_page.map_locs.iter().enumerate() {
             if let Some(ppa) = loc {
-                chip.read(*ppa, &mut buf)?;
+                read_with_retries(&mut chip, *ppa, &mut buf).0?;
                 meta::decode_slab(&mut l2p, slab, &buf, geo.pages_per_block);
             }
         }
@@ -1028,7 +1241,7 @@ impl FtlBase {
                     }
                 }
             }
-            if !programmed_any {
+            if !programmed_any && !bad_blocks[b as usize] {
                 free_blocks.push_back(b);
                 in_free[b as usize] = true;
             }
@@ -1042,7 +1255,7 @@ impl FtlBase {
             let mut bytes = Vec::with_capacity(meta_page.xl2p_roots.len() * geo.page_size);
             let mut seq = 0;
             for root in &meta_page.xl2p_roots {
-                let oob = chip.read(*root, &mut buf)?;
+                let oob = read_with_retries(&mut chip, *root, &mut buf).0?;
                 seq = seq.max(oob.seq);
                 bytes.extend_from_slice(&buf);
             }
@@ -1072,6 +1285,7 @@ impl FtlBase {
             frontier_map: None,
             free_blocks,
             in_free,
+            bad_blocks,
             meta_cur,
             ckpt_seq: meta_page.ckpt_seq,
             // This boot's recovery establishes a new horizon: no live
@@ -1402,5 +1616,126 @@ mod tests {
         assert_eq!(&bytes[g.page_size()..], table[1].as_slice());
         g.clear_xl2p_roots();
         assert!(g.xl2p_roots().is_empty());
+    }
+
+    // --- fault handling ---------------------------------------------------
+
+    use xftl_flash::{FaultKind, FaultPlan, FaultTrigger};
+
+    #[test]
+    fn program_failure_retries_on_fresh_slot() {
+        let mut f = base(16, 32);
+        // Fail the next program attempt, wherever it lands (one-shot).
+        f.chip_mut()
+            .set_fault_plan(FaultPlan::new(1).trigger(FaultTrigger::new(FaultKind::ProgramFail)));
+        let data = page(&f, 0x42);
+        f.write_committed(0, &data, &mut NoHook).unwrap();
+        assert_eq!(f.stats().program_retries, 1);
+        assert_eq!(f.chip.stats().program_fails, 1);
+        let mut out = page(&f, 0);
+        f.read_committed(0, &mut out).unwrap();
+        assert_eq!(out, data, "retried write must expose the intended data");
+    }
+
+    #[test]
+    fn uncorrectable_read_is_retried() {
+        let mut f = base(16, 32);
+        let data = page(&f, 0x7C);
+        f.write_committed(5, &data, &mut NoHook).unwrap();
+        // One bit-flip burst beyond ECC strength; the re-read decodes.
+        f.chip_mut()
+            .set_fault_plan(FaultPlan::new(3).trigger(FaultTrigger::new(FaultKind::ReadFlips(64))));
+        let mut out = page(&f, 0);
+        f.read_committed(5, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(f.stats().read_retries, 1);
+        assert_eq!(f.chip.stats().uncorrectable_reads, 1);
+    }
+
+    #[test]
+    fn erase_failure_retires_block_and_survives_recovery() {
+        let mut f = base(16, 32);
+        // Fail the first erase the FTL issues (a GC victim; the meta ring
+        // blocks are fault-exempt by default).
+        f.chip_mut()
+            .set_fault_plan(FaultPlan::new(2).trigger(FaultTrigger::new(FaultKind::EraseFail)));
+        for i in 0..600u64 {
+            let data = vec![(i % 251) as u8; f.page_size()];
+            f.write_committed(i % 8, &data, &mut NoHook).unwrap();
+        }
+        assert_eq!(f.stats().bad_block_retirements, 1);
+        assert_eq!(f.bad_block_count(), 1);
+        let bad = f.bad_block_list()[0];
+        assert!(!f.in_free[bad as usize], "retired block back in free pool");
+        f.checkpoint(&mut NoHook).unwrap();
+        let chip = f.into_chip();
+        let (mut g, log) = FtlBase::recover(chip).unwrap();
+        for e in &log.events {
+            if e.kind == PageKind::Data && e.tid == 0 {
+                g.apply_event(e.lpn, e.ppa);
+            }
+        }
+        assert!(g.is_bad_block(bad), "retirement lost across recovery");
+        assert!(!g.in_free[bad as usize]);
+        assert!(!g.free_blocks.contains(&bad));
+        for lpn in 0..8u64 {
+            let mut out = vec![0u8; g.page_size()];
+            g.read_committed(lpn, &mut out).unwrap();
+            assert_eq!(out[0] as u64, (592 + lpn) % 251, "lpn {lpn} corrupted");
+        }
+    }
+
+    #[test]
+    fn format_excludes_preretired_blocks() {
+        // "Factory" bad block: retire block 5 before handing the chip to
+        // the FTL; format must keep it out of the pool.
+        let mut chip = FlashChip::new(FlashConfig::tiny(16), SimClock::new());
+        chip.set_fault_plan(
+            FaultPlan::new(4).trigger(FaultTrigger::new(FaultKind::EraseFail).on_block(5)),
+        );
+        assert!(chip.erase(5).is_err());
+        let mut f = FtlBase::format(chip, 32).unwrap();
+        assert!(f.is_bad_block(5));
+        assert!(!f.in_free[5]);
+        let data = vec![1u8; f.page_size()];
+        for i in 0..400u64 {
+            f.write_committed(i % 8, &data, &mut NoHook).unwrap();
+            if let Some(ppa) = f.l2p_get(i % 8) {
+                assert_ne!(ppa.block, 5, "write landed on a retired block");
+            }
+        }
+    }
+
+    #[test]
+    fn background_faults_do_not_lose_committed_data() {
+        // Steady background fault rates well above the acceptance floor:
+        // every committed write must stay readable through retries, GC
+        // relocations, retirements, and a recovery pass.
+        let mut f = base(24, 32);
+        f.chip_mut().set_fault_plan(FaultPlan::background(
+            0xFA11, 5e-3, // program fails
+            5e-3, // erase fails
+            2e-2, // correctable flips
+            2e-3, // uncorrectable bursts
+        ));
+        for i in 0..1_000u64 {
+            let data = vec![(i % 251) as u8; f.page_size()];
+            f.write_committed(i % 8, &data, &mut NoHook).unwrap();
+        }
+        let s = *f.stats();
+        assert!(s.program_retries > 0, "no program fault ever fired");
+        f.checkpoint(&mut NoHook).unwrap();
+        let chip = f.into_chip();
+        let (mut g, log) = FtlBase::recover(chip).unwrap();
+        for e in &log.events {
+            if e.kind == PageKind::Data && e.tid == 0 {
+                g.apply_event(e.lpn, e.ppa);
+            }
+        }
+        for lpn in 0..8u64 {
+            let mut out = vec![0u8; g.page_size()];
+            g.read_committed(lpn, &mut out).unwrap();
+            assert_eq!(out[0] as u64, (992 + lpn) % 251, "lpn {lpn} corrupted");
+        }
     }
 }

@@ -6,8 +6,10 @@
 //!
 //! * **Meta page** — the checkpoint root, written to the reserved meta
 //!   block (block 0). Holds the exported capacity, the checkpoint sequence
-//!   number, the flash location of the persisted X-L2P table (if any), and
-//!   the locations of every L2P mapping slab.
+//!   number, the flash location of the persisted X-L2P table (if any), the
+//!   locations of every L2P mapping slab, and the bad-block table (blocks
+//!   retired after erase failures; the chip's own health marks are
+//!   authoritative, the persisted list lets recovery cross-check them).
 //! * **Map slab** — one page-sized slice of the L2P table:
 //!   `page_size / 8` entries of 8 bytes each (`0` = unmapped, otherwise
 //!   linear physical address + 1).
@@ -18,11 +20,11 @@ use crate::dev::Lpn;
 
 /// Magic number identifying a meta page ("XFTLMETA" as bytes).
 pub const META_MAGIC: u64 = 0x5846_544C_4D45_5441;
-/// Current on-flash format version.
-pub const META_VERSION: u64 = 1;
+/// Current on-flash format version. Version 2 added the bad-block table.
+pub const META_VERSION: u64 = 2;
 
-/// Fixed header size of a meta page in bytes (7 u64 fields).
-const META_HEADER: usize = 56;
+/// Fixed header size of a meta page in bytes (8 u64 fields).
+const META_HEADER: usize = 64;
 
 /// Parsed contents of a meta (checkpoint-root) page.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +45,10 @@ pub struct MetaPage {
     /// Flash location of each L2P mapping slab (`None` = never persisted,
     /// meaning every entry of that slab is unmapped).
     pub map_locs: Vec<Option<Ppa>>,
+    /// Blocks retired after erase failures, ascending. Recovery unions
+    /// this with the chip's own health marks, so a root written before
+    /// the latest retirement still recovers correctly.
+    pub bad_blocks: Vec<u32>,
 }
 
 fn put_u64(buf: &mut [u8], off: usize, v: u64) {
@@ -71,8 +77,8 @@ fn decode_opt_ppa(v: u64, pages_per_block: usize) -> Option<Ppa> {
 }
 
 impl MetaPage {
-    /// Maximum combined number of X-L2P roots and map slabs a meta page of
-    /// `page_size` can index.
+    /// Maximum combined number of X-L2P roots, map slabs, and bad-block
+    /// entries a meta page of `page_size` can index.
     pub fn max_pointers(page_size: usize) -> usize {
         (page_size - META_HEADER) / 8
     }
@@ -84,7 +90,8 @@ impl MetaPage {
     /// constructor validates this).
     pub fn encode(&self, page_size: usize, pages_per_block: usize) -> Vec<u8> {
         assert!(
-            self.map_locs.len() + self.xl2p_roots.len() <= Self::max_pointers(page_size),
+            self.map_locs.len() + self.xl2p_roots.len() + self.bad_blocks.len()
+                <= Self::max_pointers(page_size),
             "mapping pointers overflow a single meta page"
         );
         let mut buf = vec![0u8; page_size];
@@ -95,6 +102,7 @@ impl MetaPage {
         put_u64(&mut buf, 32, self.tx_horizon);
         put_u64(&mut buf, 40, self.xl2p_roots.len() as u64);
         put_u64(&mut buf, 48, self.map_locs.len() as u64);
+        put_u64(&mut buf, 56, self.bad_blocks.len() as u64);
         let mut off = META_HEADER;
         for root in &self.xl2p_roots {
             put_u64(&mut buf, off, encode_opt_ppa(Some(*root), pages_per_block));
@@ -102,6 +110,10 @@ impl MetaPage {
         }
         for loc in &self.map_locs {
             put_u64(&mut buf, off, encode_opt_ppa(*loc, pages_per_block));
+            off += 8;
+        }
+        for bad in &self.bad_blocks {
+            put_u64(&mut buf, off, u64::from(*bad));
             off += 8;
         }
         buf
@@ -117,7 +129,8 @@ impl MetaPage {
         }
         let roots = get_u64(buf, 40) as usize;
         let count = get_u64(buf, 48) as usize;
-        if META_HEADER + (roots + count) * 8 > buf.len() {
+        let bad = get_u64(buf, 56) as usize;
+        if META_HEADER + (roots + count + bad) * 8 > buf.len() {
             return None;
         }
         let mut off = META_HEADER;
@@ -131,12 +144,18 @@ impl MetaPage {
             map_locs.push(decode_opt_ppa(get_u64(buf, off), pages_per_block));
             off += 8;
         }
+        let mut bad_blocks = Vec::with_capacity(bad);
+        for _ in 0..bad {
+            bad_blocks.push(u32::try_from(get_u64(buf, off)).ok()?);
+            off += 8;
+        }
         Some(MetaPage {
             logical_pages: get_u64(buf, 16),
             ckpt_seq: get_u64(buf, 24),
             tx_horizon: get_u64(buf, 32),
             xl2p_roots,
             map_locs,
+            bad_blocks,
         })
     }
 }
@@ -194,6 +213,21 @@ mod tests {
             tx_horizon: 17,
             xl2p_roots: vec![Ppa::new(3, 4), Ppa::new(5, 6)],
             map_locs: vec![None, Some(Ppa::new(1, 2)), None],
+            bad_blocks: vec![7, 11],
+        };
+        let buf = m.encode(512, PPB);
+        assert_eq!(MetaPage::decode(&buf, PPB), Some(m));
+    }
+
+    #[test]
+    fn empty_bad_block_table_roundtrips() {
+        let m = MetaPage {
+            logical_pages: 8,
+            ckpt_seq: 1,
+            tx_horizon: 0,
+            xl2p_roots: vec![],
+            map_locs: vec![Some(Ppa::new(2, 0))],
+            bad_blocks: vec![],
         };
         let buf = m.encode(512, PPB);
         assert_eq!(MetaPage::decode(&buf, PPB), Some(m));
@@ -213,6 +247,7 @@ mod tests {
             tx_horizon: 0,
             xl2p_roots: vec![],
             map_locs: vec![],
+            bad_blocks: vec![],
         };
         let mut buf = m.encode(512, PPB);
         put_u64(&mut buf, 8, 99);

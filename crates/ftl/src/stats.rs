@@ -33,6 +33,15 @@ pub struct FtlStats {
     pub commit_record_writes: u64,
     /// Checkpoints taken (mapping-table persist events).
     pub checkpoints: u64,
+    /// Programs re-executed on a fresh block after a program-status
+    /// failure (host writes and GC copies alike).
+    pub program_retries: u64,
+    /// Re-issues of reads that returned an uncorrectable ECC error
+    /// (transient bit-flip bursts usually decode on retry).
+    pub read_retries: u64,
+    /// Blocks permanently retired to the bad-block table after an erase
+    /// failure.
+    pub bad_block_retirements: u64,
 }
 
 impl FtlStats {
@@ -73,6 +82,9 @@ impl Sub for FtlStats {
             xl2p_writes: self.xl2p_writes - rhs.xl2p_writes,
             commit_record_writes: self.commit_record_writes - rhs.commit_record_writes,
             checkpoints: self.checkpoints - rhs.checkpoints,
+            program_retries: self.program_retries - rhs.program_retries,
+            read_retries: self.read_retries - rhs.read_retries,
+            bad_block_retirements: self.bad_block_retirements - rhs.bad_block_retirements,
         }
     }
 }

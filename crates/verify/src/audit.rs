@@ -20,12 +20,17 @@
 //!   matching OOB metadata; for active (uncommitted) entries the old
 //!   committed version is still programmed too (GC must never reclaim a
 //!   pinned rollback copy); and `committed_len() <= len() <= capacity()`.
+//! * **Bad-block discipline** — a block the chip has retired (erase
+//!   failure) holds no programmed or torn pages (the failed erase still
+//!   wipes the cells, and nothing may program it afterwards), is present
+//!   in the FTL's bad-block table, and sits on no allocation path (free
+//!   pool or open write frontier).
 
 use std::collections::HashMap;
 use std::fmt;
 
 use xftl_core::{TxStatus, XFtl};
-use xftl_flash::{FlashChip, PageKind, PageProbe, Ppa};
+use xftl_flash::{BlockHealth, FlashChip, PageKind, PageProbe, Ppa};
 use xftl_ftl::{FtlBase, Lpn, PageMappedFtl, Tid, TxFlashFtl};
 
 use crate::shadow::ShadowDevice;
@@ -41,6 +46,8 @@ pub struct AuditReport {
     pub mapped_lpns: u64,
     /// X-L2P entries checked (0 for non-transactional FTLs).
     pub xl2p_entries: usize,
+    /// Blocks the chip has retired after erase failures.
+    pub retired_blocks: u64,
 }
 
 /// A violated physics or metadata invariant.
@@ -162,6 +169,27 @@ pub enum AuditViolation {
         /// Total entry count.
         len: usize,
     },
+    /// A retired block holds a programmed or torn page: the FTL reused a
+    /// block the chip already reported an erase failure on.
+    RetiredBlockReused {
+        /// Retired block.
+        block: u32,
+        /// Non-erased page found on it.
+        page: u32,
+        /// Observed page state (`"programmed"` or `"torn"`).
+        state: &'static str,
+    },
+    /// The chip retired a block but the FTL's bad-block table does not
+    /// list it — a future format/recovery could hand it back out.
+    RetiredBlockUntracked {
+        /// Retired block missing from the table.
+        block: u32,
+    },
+    /// A retired block sits in the free pool or an open write frontier.
+    RetiredBlockAllocatable {
+        /// Retired block on an allocation path.
+        block: u32,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -246,6 +274,19 @@ impl fmt::Display for AuditViolation {
                 f,
                 "X-L2P table reports {committed} committed entries out of {len} total"
             ),
+            AuditViolation::RetiredBlockReused { block, page, state } => write!(
+                f,
+                "retired block {block} holds a {state} page {page} — the FTL reused a \
+                 block that failed erase"
+            ),
+            AuditViolation::RetiredBlockUntracked { block } => write!(
+                f,
+                "chip retired block {block} but the FTL bad-block table does not list it"
+            ),
+            AuditViolation::RetiredBlockAllocatable { block } => write!(
+                f,
+                "retired block {block} is still on an allocation path (free pool or frontier)"
+            ),
         }
     }
 }
@@ -263,6 +304,10 @@ pub fn audit_chip(chip: &FlashChip) -> Result<AuditReport, AuditViolation> {
     let mut report = AuditReport::default();
     let mut seen: HashMap<u64, Ppa> = HashMap::new();
     for block in 0..geo.blocks as u32 {
+        let retired = chip.block_health(block) == BlockHealth::Retired;
+        if retired {
+            report.retired_blocks += 1;
+        }
         let write_point = chip
             .write_point(block)
             .unwrap_or(geo.pages_per_block as u32);
@@ -276,12 +321,28 @@ pub fn audit_chip(chip: &FlashChip) -> Result<AuditReport, AuditViolation> {
                     }
                 }
                 PageProbe::Torn => {
+                    if retired {
+                        // A failed erase still wipes the cells, so any
+                        // later content proves a post-retirement program.
+                        return Err(AuditViolation::RetiredBlockReused {
+                            block,
+                            page,
+                            state: "torn",
+                        });
+                    }
                     if page >= write_point {
                         return Err(AuditViolation::ProgramBeyondWritePoint { block, page });
                     }
                     report.torn_pages += 1;
                 }
                 PageProbe::Programmed(oob) => {
+                    if retired {
+                        return Err(AuditViolation::RetiredBlockReused {
+                            block,
+                            page,
+                            state: "programmed",
+                        });
+                    }
                     if page >= write_point {
                         return Err(AuditViolation::ProgramBeyondWritePoint { block, page });
                     }
@@ -326,6 +387,18 @@ pub fn audit_chip(chip: &FlashChip) -> Result<AuditReport, AuditViolation> {
 pub fn audit_base(base: &FtlBase) -> Result<AuditReport, AuditViolation> {
     let chip = base.chip();
     let mut report = audit_chip(chip)?;
+    // Bad-block discipline: every block the chip retired must be in the
+    // FTL's table and off every allocation path. (The FTL table may list
+    // *more* blocks than the chip if a recovered root outlives a chip
+    // swap; that direction is harmless and not checked.)
+    for block in chip.retired_blocks() {
+        if !base.is_bad_block(block) {
+            return Err(AuditViolation::RetiredBlockUntracked { block });
+        }
+        if base.is_allocatable(block) {
+            return Err(AuditViolation::RetiredBlockAllocatable { block });
+        }
+    }
     for lpn in 0..base.capacity_pages() {
         let Some(ppa) = base.l2p_get(lpn) else {
             continue;
@@ -555,6 +628,66 @@ mod tests {
             msg.starts_with("flash auditor:"),
             "unexpected message: {msg}"
         );
+    }
+
+    #[test]
+    fn mutation_reused_retired_block_is_caught() {
+        use xftl_flash::{FaultKind, FaultPlan, FaultTrigger, Oob};
+        let mut dev = fresh_xftl(32, 64);
+        let ps = dev.page_size();
+        dev.write(0, &vec![1; ps]).unwrap();
+        // Retire a pooled block via a forced erase failure...
+        let chip = dev.base_mut().chip_mut();
+        chip.set_fault_plan(
+            FaultPlan::new(9).trigger(FaultTrigger::new(FaultKind::EraseFail).on_block(20)),
+        );
+        assert!(chip.erase(20).is_err());
+        // ...then emulate a buggy allocator silently handing it back out.
+        // The program physically succeeds — real NAND does not police
+        // retirement — so only the auditor can catch the reuse.
+        chip.program(Ppa::new(20, 0), &vec![7u8; ps], Oob::data(63))
+            .unwrap();
+        let err = audit_chip(dev.base().chip()).unwrap_err();
+        assert!(
+            matches!(err, AuditViolation::RetiredBlockReused { block: 20, .. }),
+            "expected RetiredBlockReused, got: {err}"
+        );
+    }
+
+    #[test]
+    fn mutation_untracked_retirement_is_caught() {
+        use xftl_flash::{FaultKind, FaultPlan, FaultTrigger};
+        let mut dev = fresh_xftl(32, 64);
+        let chip = dev.base_mut().chip_mut();
+        chip.set_fault_plan(
+            FaultPlan::new(10).trigger(FaultTrigger::new(FaultKind::EraseFail).on_block(21)),
+        );
+        assert!(chip.erase(21).is_err());
+        // The FTL never saw the failure (injected behind its back), so its
+        // bad-block table is stale: retired on-chip yet still pooled.
+        let err = audit_base(dev.base()).unwrap_err();
+        assert!(
+            matches!(err, AuditViolation::RetiredBlockUntracked { block: 21 }),
+            "expected RetiredBlockUntracked, got: {err}"
+        );
+    }
+
+    #[test]
+    fn fault_driven_retirement_audits_green_through_the_ftl() {
+        use xftl_flash::{FaultKind, FaultPlan, FaultTrigger};
+        let mut dev = fresh_xftl(32, 64);
+        let ps = dev.page_size();
+        // The first GC erase fails; the FTL must retire the victim and
+        // keep every structure consistent with the chip's health marks.
+        dev.base_mut()
+            .chip_mut()
+            .set_fault_plan(FaultPlan::new(11).trigger(FaultTrigger::new(FaultKind::EraseFail)));
+        for i in 0..1_200u64 {
+            dev.write(i % 16, &vec![(i % 251) as u8; ps]).unwrap();
+        }
+        assert!(dev.base().bad_block_count() >= 1);
+        let report = audit_xftl(&dev).unwrap();
+        assert_eq!(report.retired_blocks, 1);
     }
 
     #[test]

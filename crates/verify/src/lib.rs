@@ -20,6 +20,9 @@
 //!   device-global OOB sequence monotonicity, and X-L2P sanity: every
 //!   pinned physical page is still programmed, GC never reclaimed a pinned
 //!   old version, and the table's committed count never exceeds its size.
+//!   It also enforces bad-block discipline: a block the chip retired after
+//!   an erase failure holds no data, is listed in the FTL's persisted
+//!   bad-block table, and can never be allocated again.
 //!
 //! The oracle deliberately knows nothing about how the FTLs work — it is a
 //! specification, not a re-implementation. Failed operations (a power fuse

@@ -8,7 +8,7 @@ use std::rc::Rc;
 
 use xftl_core::XFtl;
 use xftl_db::{Connection, DbJournalMode, SharedFs};
-use xftl_flash::{FlashChip, FlashConfigBuilder, Nanos, SimClock};
+use xftl_flash::{FaultPlan, FlashChip, FlashConfigBuilder, Nanos, SimClock};
 use xftl_fs::{FileSystem, FsConfig, FsStats, JournalMode};
 use xftl_ftl::{
     AtomicWriteFtl, BlockDevice, CmdId, DevCounters, FtlStats, GcPolicy, IoCmd, LinkConfig, Lpn,
@@ -216,6 +216,42 @@ pub struct RigConfig {
     pub channels: Option<u32>,
     /// Seed for aging and workload randomness.
     pub seed: u64,
+    /// Background NAND fault environment installed on the chip before
+    /// formatting (the plan is a property of the silicon and survives
+    /// every power cycle). `None` = perfect flash.
+    pub fault: Option<FaultEnv>,
+}
+
+/// Background fault rates for a rig, in per-operation probabilities.
+/// This is the `Copy`-able parameter form of [`FaultPlan::background`];
+/// the rig builds the actual plan (and its deterministic RNG stream)
+/// from it at format time.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEnv {
+    /// Seed of the fault plan's dedicated RNG stream.
+    pub seed: u64,
+    /// Program status-failure probability per page program.
+    pub program_fail: f64,
+    /// Erase status-failure probability per block erase (each first
+    /// failure retires the block permanently).
+    pub erase_fail: f64,
+    /// Correctable bit-flip probability per page read.
+    pub read_flip: f64,
+    /// Uncorrectable (beyond ECC strength) probability per page read.
+    pub uncorrectable: f64,
+}
+
+impl FaultEnv {
+    /// The fault plan this environment describes.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::background(
+            self.seed,
+            self.program_fail,
+            self.erase_fail,
+            self.read_flip,
+            self.uncorrectable,
+        )
+    }
 }
 
 /// Aging parameters: fill the drive, then churn, before mkfs.
@@ -243,6 +279,7 @@ impl RigConfig {
             gc_policy: GcPolicy::Greedy,
             channels: None,
             seed: 42,
+            fault: None,
         }
     }
 }
@@ -291,7 +328,10 @@ impl Rig {
             Profile::OpenSsd => LinkConfig::SATA2,
             Profile::S830 => LinkConfig::SATA3,
         };
-        let chip = FlashChip::new(flash_cfg, clock.clone());
+        let mut chip = FlashChip::new(flash_cfg, clock.clone());
+        if let Some(env) = cfg.fault {
+            chip.set_fault_plan(env.plan());
+        }
         let mut dev = match cfg.mode {
             Mode::XFtl => AnyDev::X(SataLink::new(
                 XFtl::format_with_capacity(chip, cfg.logical_pages, cfg.xl2p_capacity)
@@ -639,6 +679,54 @@ mod tests {
             four < one,
             "4 channels ({four} ns) should beat 1 channel ({one} ns)"
         );
+    }
+
+    #[test]
+    fn faulty_rig_runs_sql_and_recovers_correctly() {
+        // A rig built over misbehaving silicon must answer SQL queries
+        // exactly as a clean one does: the FTL's retry and bad-block
+        // machinery absorbs every injected fault below the host.
+        for mode in [Mode::Rbj, Mode::XFtl] {
+            let rig = Rig::build(RigConfig {
+                fault: Some(FaultEnv {
+                    seed: 0xBAD_F1A5,
+                    program_fail: 1e-2,
+                    erase_fail: 5e-3,
+                    read_flip: 5e-2,
+                    uncorrectable: 1e-3,
+                }),
+                ..RigConfig::small(mode)
+            });
+            {
+                let mut db = rig.open_db("t.db");
+                db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INT)")
+                    .unwrap();
+                for i in 0..200i64 {
+                    db.execute_with(
+                        "INSERT OR REPLACE INTO t VALUES (?, ?)",
+                        &[xftl_db::Value::Int(i % 50), xftl_db::Value::Int(i)],
+                    )
+                    .unwrap();
+                }
+            }
+            let snap = rig.snapshot();
+            assert!(
+                snap.flash.program_fails > 0 || snap.flash.corrected_reads > 0,
+                "{mode:?}: fault environment never fired"
+            );
+            let (rig, _) = rig.crash_and_recover();
+            let mut db = rig.open_db("t.db");
+            for id in 0..50i64 {
+                let rows = db
+                    .query_with("SELECT v FROM t WHERE id = ?", &[xftl_db::Value::Int(id)])
+                    .unwrap();
+                assert_eq!(
+                    rows[0][0],
+                    xftl_db::Value::Int(150 + id),
+                    "{mode:?}: id {id} after faulty run + recovery"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::rc::Rc;
 
 use xftl_core::XFtl;
 use xftl_db::{Connection, DbJournalMode, Value};
-use xftl_flash::{FlashChip, FlashConfig, SimClock};
+use xftl_flash::{FaultPlan, FlashChip, FlashConfig, SimClock};
 use xftl_fs::{FileSystem, FsConfig, JournalMode};
 use xftl_ftl::PageMappedFtl;
 #[cfg(feature = "verify")]
@@ -23,6 +23,25 @@ use xftl_verify::ShadowDevice;
 
 const BLOCKS: usize = 300;
 const LOGICAL: u64 = 2_200;
+
+/// Fixed seed for the background fault process, so every fuse position of
+/// the sweep replays the identical fault schedule (all randomness flows
+/// from the workspace `simrand` shim through [`FaultPlan`]).
+const FAULT_SEED: u64 = 0xF417_5EED;
+
+/// Every crash point in the sweep also runs against live NAND faults:
+/// program-status failures, erase failures (block retirements), and read
+/// bit-flips — all at or above the 1e-3/op acceptance floor. The FTL's
+/// retry/retirement machinery must make them invisible to the stack, and
+/// under `--features verify` the oracle and auditor prove it.
+fn background_faults() -> FaultPlan {
+    FaultPlan::background(
+        FAULT_SEED, 1e-3, // program-status failures
+        1e-3, // erase failures
+        2e-2, // correctable bit-flips
+        1e-3, // uncorrectable ECC bursts (bounded re-reads decode them)
+    )
+}
 
 // --- verify wiring ------------------------------------------------------
 // With the `verify` feature, both device personalities run behind the
@@ -151,7 +170,8 @@ enum Dev {
 
 fn build(mode: DbJournalMode) -> (Rc<RefCell<FileSystem<Dev>>>, SimClock) {
     let clock = SimClock::new();
-    let chip = FlashChip::new(FlashConfig::tiny(BLOCKS), clock.clone());
+    let mut chip = FlashChip::new(FlashConfig::tiny(BLOCKS), clock.clone());
+    chip.set_fault_plan(background_faults());
     let dev = match mode {
         DbJournalMode::Off => Dev::X(wrap_x(XFtl::format(chip, LOGICAL).unwrap())),
         _ => Dev::Plain(wrap_plain(PageMappedFtl::format(chip, LOGICAL).unwrap())),

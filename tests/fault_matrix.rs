@@ -1,0 +1,351 @@
+//! Deterministic fault-schedule matrix: every NAND fault kind (program
+//! failure, erase failure, correctable bit-flips, uncorrectable ECC
+//! bursts) crossed with every injection point (user write, GC copy-back,
+//! the commit-time X-L2P flush, recovery replay). The FTL's retry and
+//! bad-block machinery must make each cell invisible to the host:
+//! committed transactions survive, aborted transactions stay invisible,
+//! and plain writes keep their last acknowledged value.
+//!
+//! All randomness flows from the workspace `simrand` shim through a
+//! [`FaultPlan`] seeded by `XFTL_FAULT_SEED` (default fixed), so each cell
+//! replays the identical schedule in CI. Under `--features verify` the
+//! whole matrix additionally runs behind the shadow oracle with a
+//! flash-physics audit after recovery.
+
+// Test/demo code: unwrap/expect on a setup failure is the right failure
+// mode here; clippy.toml's `allow-unwrap-in-tests` only covers `#[test]`
+// fns, not the shared helpers, so the allow is restated file-wide.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use xftl_core::XFtl;
+use xftl_flash::{FaultKind, FaultPlan, FaultTrigger, FlashChip, FlashConfig, SimClock};
+use xftl_ftl::{BlockDevice, TxBlockDevice};
+#[cfg(feature = "verify")]
+use xftl_verify::ShadowDevice;
+
+const BLOCKS: usize = 24;
+const LOGICAL: u64 = 48;
+
+/// Seed for every fault plan in this file; override with
+/// `XFTL_FAULT_SEED=<n>` to replay a different deterministic schedule.
+fn fault_seed() -> u64 {
+    std::env::var("XFTL_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xFA17_B10C)
+}
+
+// --- verify wiring ------------------------------------------------------
+
+#[cfg(feature = "verify")]
+type Dev = ShadowDevice<XFtl>;
+#[cfg(not(feature = "verify"))]
+type Dev = XFtl;
+
+fn wrap(d: XFtl) -> Dev {
+    #[cfg(feature = "verify")]
+    {
+        ShadowDevice::new(d)
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        d
+    }
+}
+
+fn ftl(d: &Dev) -> &XFtl {
+    #[cfg(feature = "verify")]
+    {
+        d.inner()
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        d
+    }
+}
+
+fn ftl_mut(d: &mut Dev) -> &mut XFtl {
+    #[cfg(feature = "verify")]
+    {
+        d.inner_mut()
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        d
+    }
+}
+
+/// Power-cycles and recovers the device; `arm` may install a fault plan on
+/// the cold chip so the faults hit recovery's own replay reads/writes.
+/// Under `verify` the oracle model rides across the cycle, sweeps the
+/// committed image, and audits the flash metadata.
+fn power_cycle_and_recover(d: Dev, arm: Option<FaultPlan>) -> Dev {
+    #[cfg(feature = "verify")]
+    {
+        let (inner, model) = d.into_parts();
+        let mut chip = inner.into_chip();
+        chip.power_cycle();
+        if let Some(plan) = arm {
+            chip.set_fault_plan(plan);
+        }
+        let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+        dev.verify_recovered();
+        dev.audit();
+        dev
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        let mut chip = d.into_chip();
+        chip.power_cycle();
+        if let Some(plan) = arm {
+            chip.set_fault_plan(plan);
+        }
+        XFtl::recover(chip).unwrap()
+    }
+}
+
+/// Where in the schedule the fault trigger is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InjectAt {
+    /// Right before a batch of plain host writes.
+    UserWrite,
+    /// Right before churn that forces garbage collection (the trigger's
+    /// first matching op is a GC copy-back read/program or victim erase).
+    GcCopy,
+    /// Right before `commit`, whose first flash programs persist the
+    /// X-L2P table and the checkpoint root.
+    CommitFlush,
+    /// On the cold chip before `recover`, so the trigger's first matching
+    /// op belongs to the recovery scan/replay (or, for op classes recovery
+    /// never issues outside the fault-exempt meta ring, to the
+    /// post-recovery traffic).
+    RecoveryReplay,
+}
+
+fn plan_for(kind: FaultKind) -> FaultPlan {
+    FaultPlan::new(fault_seed()).trigger(FaultTrigger::new(kind))
+}
+
+fn arm(dev: &mut Dev, kind: FaultKind) {
+    ftl_mut(dev)
+        .base_mut()
+        .chip_mut()
+        .set_fault_plan(plan_for(kind));
+}
+
+/// One matrix cell: runs the fixed schedule with `kind` armed at `point`
+/// and proves the host-visible contract held.
+fn run_cell(kind: FaultKind, point: InjectAt) {
+    let ctx = format!("cell ({kind:?}, {point:?})");
+    let clock = SimClock::new();
+    let chip = FlashChip::new(FlashConfig::tiny(BLOCKS), clock);
+    let mut dev = wrap(XFtl::format(chip, LOGICAL).unwrap());
+    let ps = dev.page_size();
+    // Expected committed value of lpns 0..16, maintained alongside writes.
+    let mut expect = vec![0u8; 16];
+    let write_plain = |dev: &mut Dev, expect: &mut Vec<u8>, lpn: u64, fill: u8| {
+        dev.write(lpn, &vec![fill; ps]).unwrap();
+        expect[lpn as usize] = fill;
+    };
+
+    // Phase A: baseline image.
+    for lpn in 0..16u64 {
+        write_plain(&mut dev, &mut expect, lpn, 1);
+    }
+    dev.flush().unwrap();
+
+    // Phase B: plain host writes — the UserWrite injection point.
+    if point == InjectAt::UserWrite {
+        arm(&mut dev, kind);
+    }
+    for lpn in 0..8u64 {
+        write_plain(&mut dev, &mut expect, lpn, 2);
+    }
+
+    // Phase C: two transactions; tid 7 commits (through the X-L2P flush),
+    // tid 8 aborts and must stay invisible forever.
+    for lpn in 0..4u64 {
+        dev.write_tx(7, lpn, &vec![3u8; ps]).unwrap();
+    }
+    for lpn in 4..8u64 {
+        dev.write_tx(8, lpn, &vec![4u8; ps]).unwrap();
+    }
+    if point == InjectAt::CommitFlush {
+        arm(&mut dev, kind);
+    }
+    dev.commit(7).unwrap();
+    for lpn in 0..4u64 {
+        expect[lpn as usize] = 3;
+    }
+    dev.abort(8).unwrap();
+
+    // Phase D: churn far beyond physical capacity to force GC — the GcCopy
+    // injection point. Any still-pending erase/program trigger from an
+    // earlier point also fires here at the latest.
+    if point == InjectAt::GcCopy {
+        arm(&mut dev, kind);
+    }
+    for i in 0..600u64 {
+        let lpn = 8 + (i % 8);
+        write_plain(&mut dev, &mut expect, lpn, (i % 200) as u8);
+    }
+    assert!(ftl(&dev).base().stats().gc_runs > 0, "{ctx}: GC never ran");
+    dev.flush().unwrap();
+
+    // Crash and recover — the RecoveryReplay injection point arms the
+    // cold chip so the trigger sees recovery's own slab/X-L2P reads and
+    // checkpoint writes first.
+    let recovery_plan = (point == InjectAt::RecoveryReplay).then(|| plan_for(kind));
+    let mut dev = power_cycle_and_recover(dev, recovery_plan);
+
+    // Post-recovery traffic: catches triggers whose op class recovery
+    // never issued (e.g. an erase fault armed for replay), and proves the
+    // recovered device still writes/GCs correctly.
+    for i in 0..200u64 {
+        let lpn = 8 + (i % 8);
+        write_plain(&mut dev, &mut expect, lpn, 20 + (i % 100) as u8);
+    }
+
+    // The host-visible contract: committed transaction applied in full,
+    // aborted transaction invisible, plain writes at their last value.
+    let mut buf = vec![0u8; ps];
+    for lpn in 0..16u64 {
+        dev.read(lpn, &mut buf).unwrap();
+        assert_eq!(
+            buf[0], expect[lpn as usize],
+            "{ctx}: lpn {lpn} lost its committed value"
+        );
+        assert!(
+            buf.iter().all(|&b| b == buf[0]),
+            "{ctx}: lpn {lpn} holds a torn page"
+        );
+    }
+    // Aborted tid 8 wrote fill 4 over lpns 4..8; committed state there is
+    // the phase-B fill 2 — checked above via `expect`, restated for the
+    // matrix's headline claim:
+    for lpn in 4..8u64 {
+        assert_eq!(expect[lpn as usize], 2, "{ctx}: aborted tx leaked");
+    }
+    // Every cell must actually have injected its fault: the one-shot
+    // trigger is consumed by the end of the schedule.
+    let chip = ftl(&dev).base().chip();
+    let pending = chip.fault_plan().map_or(0, FaultPlan::pending_triggers);
+    assert_eq!(pending, 0, "{ctx}: fault trigger never fired");
+    if matches!(kind, FaultKind::EraseFail) {
+        assert_eq!(chip.retired_blocks().len(), 1, "{ctx}: no block retired");
+        assert!(ftl(&dev).base().is_bad_block(chip.retired_blocks()[0]));
+    }
+    #[cfg(feature = "verify")]
+    dev.audit();
+}
+
+const KINDS: [FaultKind; 4] = [
+    FaultKind::ProgramFail,
+    FaultKind::EraseFail,
+    FaultKind::ReadFlips(2),  // within ECC strength: corrected in place
+    FaultKind::ReadFlips(64), // beyond ECC strength: uncorrectable, re-read
+];
+
+#[test]
+fn fault_matrix_user_write() {
+    for kind in KINDS {
+        run_cell(kind, InjectAt::UserWrite);
+    }
+}
+
+#[test]
+fn fault_matrix_gc_copy() {
+    for kind in KINDS {
+        run_cell(kind, InjectAt::GcCopy);
+    }
+}
+
+#[test]
+fn fault_matrix_commit_flush() {
+    for kind in KINDS {
+        run_cell(kind, InjectAt::CommitFlush);
+    }
+}
+
+#[test]
+fn fault_matrix_recovery_replay() {
+    for kind in KINDS {
+        run_cell(kind, InjectAt::RecoveryReplay);
+    }
+}
+
+/// The whole matrix at once: background rates for every fault class at or
+/// above the 1e-3/op acceptance floor run across the entire schedule,
+/// including recovery, instead of single targeted triggers.
+#[test]
+fn fault_soak_background_rates() {
+    let clock = SimClock::new();
+    let chip = FlashChip::new(FlashConfig::tiny(BLOCKS), clock);
+    let mut dev = wrap(XFtl::format(chip, LOGICAL).unwrap());
+    let ps = dev.page_size();
+    let plan = || {
+        FaultPlan::background(
+            fault_seed(),
+            1e-2, // program-status failures
+            5e-3, // erase failures
+            5e-2, // correctable bit-flips
+            2e-3, // uncorrectable ECC bursts
+        )
+    };
+    ftl_mut(&mut dev)
+        .base_mut()
+        .chip_mut()
+        .set_fault_plan(plan());
+    let mut expect = [0u8; 16];
+    let mut buf = vec![0u8; ps];
+    for lpn in 0..16u64 {
+        dev.write(lpn, &vec![1u8; ps]).unwrap();
+        expect[lpn as usize] = 1;
+    }
+    for round in 0..5u64 {
+        for lpn in 0..4u64 {
+            dev.write_tx(10 + round, lpn, &vec![30 + round as u8; ps])
+                .unwrap();
+        }
+        if round % 2 == 0 {
+            dev.commit(10 + round).unwrap();
+            for lpn in 0..4u64 {
+                expect[lpn as usize] = 30 + round as u8;
+            }
+        } else {
+            dev.abort(10 + round).unwrap();
+        }
+        for i in 0..200u64 {
+            let lpn = 8 + (i % 8);
+            let fill = (round * 7 + i % 97) as u8;
+            dev.write(lpn, &vec![fill; ps]).unwrap();
+            expect[lpn as usize] = fill;
+        }
+        // Read traffic each round, so the bit-flip processes get pages to
+        // chew on (this workload's GC victims are pure garbage, so GC
+        // alone issues almost no reads). Several sweeps per round keep
+        // the flip-count expectation high enough (~20) that the
+        // "correctable flips fired" assertion below holds for any seed,
+        // not just the default one.
+        for sweep in 0..4u64 {
+            for lpn in 0..16u64 {
+                dev.read(lpn, &mut buf).unwrap();
+                assert_eq!(
+                    buf[0], expect[lpn as usize],
+                    "round {round} sweep {sweep}: lpn {lpn}"
+                );
+            }
+        }
+    }
+    dev.flush().unwrap();
+    let flash = ftl(&dev).base().flash_stats();
+    assert!(flash.program_fails > 0, "program faults never fired");
+    assert!(flash.corrected_reads > 0, "correctable flips never fired");
+    let mut dev = power_cycle_and_recover(dev, Some(plan()));
+    for lpn in 0..16u64 {
+        dev.read(lpn, &mut buf).unwrap();
+        assert_eq!(buf[0], expect[lpn as usize], "lpn {lpn} corrupted");
+    }
+    #[cfg(feature = "verify")]
+    dev.audit();
+}

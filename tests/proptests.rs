@@ -23,7 +23,7 @@ use xftl_db::record::{
     decode_record, encode_index_key, encode_index_prefix, encode_record, index_key_rowid,
 };
 use xftl_db::{btree, Value};
-use xftl_flash::{FlashChip, FlashConfig, SimClock};
+use xftl_flash::{FaultKind, FaultPlan, FaultTrigger, FlashChip, FlashConfig, SimClock};
 use xftl_fs::{FileSystem, FsConfig, JournalMode};
 use xftl_ftl::{BlockDevice, PageMappedFtl, TxBlockDevice, TxFlashFtl};
 
@@ -476,6 +476,113 @@ fn xftl_transactions_match_model() {
             }
         }
         // Final crash: only committed state survives.
+        let mut dev = x_crash(dev, 64);
+        let mut buf = vec![0u8; ps];
+        for lpn in 0..24u64 {
+            dev.read(lpn, &mut buf).unwrap();
+            assert_eq!(
+                buf[0],
+                committed.get(&lpn).copied().unwrap_or(0),
+                "case {case}: lpn {lpn} after recovery"
+            );
+        }
+    }
+}
+
+// --- X-FTL transactional semantics vs model, under injected faults -------------
+
+/// Generates a deterministic fault environment alongside the command
+/// schedule: modest background rates (kept low enough that bounded FTL
+/// retries always converge) plus up to three one-shot triggers aimed at
+/// random ops, blocks, or logical pages. Every draw comes from the case
+/// RNG, so a failing case replays from its printed seed alone.
+fn rand_fault_plan(rng: &mut StdRng) -> FaultPlan {
+    let seed = rng.gen_range(0u64..=u64::MAX);
+    let mut plan = FaultPlan::new(seed)
+        .program_fail_rate(rng.gen_range(0.0..4e-3))
+        .erase_fail_rate(rng.gen_range(0.0..2e-3))
+        .read_flip_rate(rng.gen_range(0.0..4e-2))
+        .uncorrectable_rate(rng.gen_range(0.0..2e-3));
+    for _ in 0..rng.gen_range(0usize..4) {
+        let kind = match rng.gen_range(0u32..4) {
+            0 => FaultKind::ProgramFail,
+            1 => FaultKind::EraseFail,
+            2 => FaultKind::ReadFlips(rng.gen_range(1u32..=4)),
+            _ => FaultKind::ReadFlips(64), // far past ECC: uncorrectable
+        };
+        let trigger = FaultTrigger::new(kind);
+        // Erases carry no logical page, so an LPN selector would never
+        // match an EraseFail; steer those at ops or physical blocks.
+        let trigger = match rng.gen_range(0u32..3) {
+            0 => trigger.at_op(rng.gen_range(0u64..2_000)),
+            1 => trigger.on_block(rng.gen_range(2u32..40)),
+            _ if !matches!(kind, FaultKind::EraseFail) => trigger.on_lpn(rng.gen_range(0u64..24)),
+            _ => trigger.on_block(rng.gen_range(2u32..40)),
+        };
+        plan = plan.trigger(trigger);
+    }
+    plan
+}
+
+/// Family 7's transactional model must keep holding when the chip runs
+/// under a generated [`FaultPlan`]: program failures, block retirements,
+/// and read errors are the FTL's problem to retry and remap — never
+/// visible in the committed image, to in-flight readers, or (under
+/// `--features verify`) to the shadow oracle and flash auditor.
+#[test]
+fn xftl_transactions_match_model_under_faults() {
+    for case in 0..32u64 {
+        let mut rng = case_rng(10, case);
+        let plan = rand_fault_plan(&mut rng);
+        let ops = rand_tx_ops(&mut rng);
+        let clock = SimClock::new();
+        let mut chip = FlashChip::new(FlashConfig::tiny(40), clock);
+        // Installed before format so even the first metadata writes run
+        // in the fault environment; the plan survives every power cycle.
+        chip.set_fault_plan(plan);
+        let mut dev = x_format(chip, 24, 64);
+        let ps = dev.page_size();
+        let mut committed: HashMap<u64, u8> = HashMap::new();
+        let mut pending: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                TxOp::Write { tid, lpn, byte } => {
+                    dev.write_tx(*tid, *lpn, &vec![*byte; ps]).unwrap();
+                    pending.entry(*tid).or_default().insert(*lpn, *byte);
+                }
+                TxOp::PlainWrite { lpn, byte } => {
+                    dev.write(*lpn, &vec![*byte; ps]).unwrap();
+                    committed.insert(*lpn, *byte);
+                }
+                TxOp::Commit { tid } => {
+                    dev.commit(*tid).unwrap();
+                    for (lpn, byte) in pending.remove(tid).unwrap_or_default() {
+                        committed.insert(lpn, byte);
+                    }
+                }
+                TxOp::Abort { tid } => {
+                    dev.abort(*tid).unwrap();
+                    pending.remove(tid);
+                }
+                TxOp::Flush => dev.flush().unwrap(),
+                TxOp::Crash => {
+                    dev = x_crash(dev, 64);
+                    pending.clear();
+                }
+            }
+            let mut buf = vec![0u8; ps];
+            for lpn in 0..24u64 {
+                dev.read(lpn, &mut buf).unwrap();
+                let expect = committed.get(&lpn).copied().unwrap_or(0);
+                assert_eq!(buf[0], expect, "case {case}: lpn {lpn} after {op:?}");
+            }
+            for (tid, writes) in &pending {
+                for (lpn, byte) in writes {
+                    dev.read_tx(*tid, *lpn, &mut buf).unwrap();
+                    assert_eq!(buf[0], *byte, "case {case}");
+                }
+            }
+        }
         let mut dev = x_crash(dev, 64);
         let mut buf = vec![0u8; ps];
         for lpn in 0..24u64 {

@@ -288,7 +288,10 @@ fn multi_database_crash_recovery() {
 /// the shadow oracle wrapped around the device. Every page the stack
 /// reads — B-tree nodes, inodes, data — is checked against the reference
 /// model as it streams by, and a crash + recovery must reproduce exactly
-/// the committed image (rolled-back SQL batches and all).
+/// the committed image (rolled-back SQL batches and all). The chip also
+/// runs a seeded background NAND fault process (program/erase failures,
+/// bit-flips, all at or above the 1e-3/op floor): the FTL's retry and
+/// bad-block machinery must keep every fault invisible to the SQL layer.
 #[cfg(feature = "verify")]
 #[test]
 fn full_stack_runs_green_under_shadow_oracle() {
@@ -296,11 +299,12 @@ fn full_stack_runs_green_under_shadow_oracle() {
     use std::rc::Rc;
     use xftl_core::XFtl;
     use xftl_db::{Connection, DbJournalMode};
-    use xftl_flash::{FlashChip, FlashConfig, SimClock};
+    use xftl_flash::{FaultPlan, FlashChip, FlashConfig, SimClock};
     use xftl_fs::{FileSystem, FsConfig, JournalMode};
     use xftl_verify::ShadowDevice;
 
-    let chip = FlashChip::new(FlashConfig::tiny(300), SimClock::new());
+    let mut chip = FlashChip::new(FlashConfig::tiny(300), SimClock::new());
+    chip.set_fault_plan(FaultPlan::background(0x57AC_FA17, 2e-3, 2e-3, 2e-2, 1e-3));
     let dev = ShadowDevice::new(XFtl::format(chip, 2_200).unwrap());
     let fs = FileSystem::mkfs_tx(
         dev,

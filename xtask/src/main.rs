@@ -52,6 +52,25 @@ fn banned_patterns() -> Vec<(&'static str, &'static str)> {
             concat!("from_", "entropy"),
             "OS-seeded randomness (use a seeded StdRng)",
         ),
+        // Fault schedules must replay from their printed seed alone, so
+        // every random draw in a fault plan goes through the in-tree
+        // simrand stream — no ad-hoc entropy or hand-rolled generators.
+        (
+            concat!("rand::", "random"),
+            "ambient randomness (fault plans and RNG streams take explicit simrand seeds)",
+        ),
+        (
+            concat!("Random", "State"),
+            "OS-randomized hasher (derive seeds explicitly, not from hash entropy)",
+        ),
+        (
+            concat!("63641362238", "46793005"),
+            "hand-rolled LCG (use the seeded simrand StdRng)",
+        ),
+        (
+            concat!("0x2545F4914", "F6CDD1D"),
+            "hand-rolled xorshift* (use the seeded simrand StdRng)",
+        ),
     ]
 }
 
