@@ -1,8 +1,12 @@
 //! Runs the ablation studies (X-L2P capacity, atomic-write baseline,
-//! WAL checkpoint interval, barrier cost).
+//! WAL checkpoint interval, barrier cost) and writes
+//! `BENCH_ablation.json`.
 use xftl_bench::experiments::ablation;
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    print!("{}", ablation::all(quick));
+    let scale = RunScale::from_args();
+    metrics::reset();
+    print!("{}", ablation::all(scale != RunScale::Full));
+    write_report("ablation", scale);
 }

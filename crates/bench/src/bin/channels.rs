@@ -1,16 +1,18 @@
 //! Regenerates the channel-scaling ablation (FIO IOPS vs channel count,
-//! plus per-channel busy time and queue-depth stats).
+//! plus per-channel busy time and queue-depth stats), writing
+//! `BENCH_channels.json` next to the text table.
 use xftl_bench::experiments::channel_exp::channel_scaling;
 use xftl_bench::experiments::fio_exp::FioScale;
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    print!(
-        "{}",
-        channel_scaling(if quick {
-            FioScale::quick()
-        } else {
-            FioScale::full()
-        })
-    );
+    let scale = RunScale::from_args();
+    metrics::reset();
+    let fio = match scale {
+        RunScale::Full => FioScale::full(),
+        RunScale::Quick => FioScale::quick(),
+        RunScale::Smoke => FioScale::smoke(),
+    };
+    print!("{}", channel_scaling(fio));
+    write_report("channels", scale);
 }

@@ -1,15 +1,17 @@
 //! Regenerates the fault-rate ablation (commit latency, throughput and
-//! block retirement vs background NAND fault severity).
+//! block retirement vs background NAND fault severity), writing
+//! `BENCH_faults.json` next to the text table.
 use xftl_bench::experiments::fault_exp::{fault_sweep, FaultScale};
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    print!(
-        "{}",
-        fault_sweep(if quick {
-            FaultScale::quick()
-        } else {
-            FaultScale::full()
-        })
-    );
+    let scale = RunScale::from_args();
+    metrics::reset();
+    let fl = match scale {
+        RunScale::Full => FaultScale::full(),
+        RunScale::Quick => FaultScale::quick(),
+        RunScale::Smoke => FaultScale::smoke(),
+    };
+    print!("{}", fault_sweep(fl));
+    write_report("faults", scale);
 }

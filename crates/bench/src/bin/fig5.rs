@@ -1,18 +1,21 @@
 //! Regenerates Figure 5 (synthetic workload, execution time vs
-//! transaction size, three GC-validity regimes).
+//! transaction size, three GC-validity regimes) and `BENCH_fig5.json`.
 use xftl_bench::experiments::synthetic_exp::{fig5, SynScale};
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick {
-        SynScale::quick()
-    } else {
-        SynScale::full()
+    let scale = RunScale::from_args();
+    metrics::reset();
+    let syn = match scale {
+        RunScale::Full => SynScale::full(),
+        RunScale::Quick => SynScale::quick(),
+        RunScale::Smoke => SynScale::smoke(),
     };
-    let sweep: Vec<usize> = if quick {
-        vec![1, 5, 20]
-    } else {
-        vec![1, 5, 10, 15, 20]
+    let sweep: Vec<usize> = match scale {
+        RunScale::Full => vec![1, 5, 10, 15, 20],
+        RunScale::Quick => vec![1, 5, 20],
+        RunScale::Smoke => vec![1, 5],
     };
-    print!("{}", fig5(scale, &sweep));
+    print!("{}", fig5(syn, &sweep));
+    write_report("fig5", scale);
 }

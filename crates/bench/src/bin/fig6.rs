@@ -1,14 +1,18 @@
-//! Regenerates Figure 6 (FTL-side write and GC counts vs validity).
+//! Regenerates Figure 6 (FTL-side write and GC counts vs validity) and
+//! `BENCH_fig6.json`.
 use xftl_bench::experiments::synthetic_exp::{fig6, SynScale};
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = RunScale::from_args();
+    metrics::reset();
     print!(
         "{}",
-        fig6(if quick {
-            SynScale::quick()
-        } else {
-            SynScale::full()
+        fig6(match scale {
+            RunScale::Full => SynScale::full(),
+            RunScale::Quick => SynScale::quick(),
+            RunScale::Smoke => SynScale::smoke(),
         })
     );
+    write_report("fig6", scale);
 }

@@ -1,7 +1,18 @@
-//! Regenerates Figure 7 (smartphone workload performance).
+//! Regenerates Figure 7 (smartphone workload performance) and
+//! `BENCH_fig7.json`.
 use xftl_bench::experiments::android_exp::fig7;
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    print!("{}", fig7(if quick { 0.05 } else { 1.0 }));
+    let scale = RunScale::from_args();
+    metrics::reset();
+    print!(
+        "{}",
+        fig7(match scale {
+            RunScale::Full => 1.0,
+            RunScale::Quick => 0.05,
+            RunScale::Smoke => 0.02,
+        })
+    );
+    write_report("fig7", scale);
 }

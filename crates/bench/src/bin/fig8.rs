@@ -1,14 +1,17 @@
-//! Regenerates Figure 8 (FIO single-thread IOPS).
+//! Regenerates Figure 8 (FIO single-thread IOPS) and `BENCH_fig8.json`.
 use xftl_bench::experiments::fio_exp::{fig8, FioScale};
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = RunScale::from_args();
+    metrics::reset();
     print!(
         "{}",
-        fig8(if quick {
-            FioScale::quick()
-        } else {
-            FioScale::full()
+        fig8(match scale {
+            RunScale::Full => FioScale::full(),
+            RunScale::Quick => FioScale::quick(),
+            RunScale::Smoke => FioScale::smoke(),
         })
     );
+    write_report("fig8", scale);
 }

@@ -1,14 +1,18 @@
-//! Regenerates Figure 9 (FIO 16 jobs, S830 vs OpenSSD X-FTL).
+//! Regenerates Figure 9 (FIO 16 jobs, S830 vs OpenSSD X-FTL) and
+//! `BENCH_fig9.json`.
 use xftl_bench::experiments::fio_exp::{fig9, FioScale};
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = RunScale::from_args();
+    metrics::reset();
     print!(
         "{}",
-        fig9(if quick {
-            FioScale::quick()
-        } else {
-            FioScale::full()
+        fig9(match scale {
+            RunScale::Full => FioScale::full(),
+            RunScale::Quick => FioScale::quick(),
+            RunScale::Smoke => FioScale::smoke(),
         })
     );
+    write_report("fig9", scale);
 }

@@ -1,14 +1,17 @@
-//! Regenerates Table 1 (I/O count breakdown).
+//! Regenerates Table 1 (I/O count breakdown) and `BENCH_table1.json`.
 use xftl_bench::experiments::synthetic_exp::{table1, SynScale};
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = RunScale::from_args();
+    metrics::reset();
     print!(
         "{}",
-        table1(if quick {
-            SynScale::quick()
-        } else {
-            SynScale::full()
+        table1(match scale {
+            RunScale::Full => SynScale::full(),
+            RunScale::Quick => SynScale::quick(),
+            RunScale::Smoke => SynScale::smoke(),
         })
     );
+    write_report("table1", scale);
 }

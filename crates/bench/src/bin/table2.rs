@@ -1,7 +1,18 @@
-//! Regenerates Table 2 (Android trace characteristics).
+//! Regenerates Table 2 (Android trace characteristics) and
+//! `BENCH_table2.json`.
 use xftl_bench::experiments::android_exp::table2;
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    print!("{}", table2(if quick { 0.05 } else { 1.0 }));
+    let scale = RunScale::from_args();
+    metrics::reset();
+    print!(
+        "{}",
+        table2(match scale {
+            RunScale::Full => 1.0,
+            RunScale::Quick => 0.05,
+            RunScale::Smoke => 0.02,
+        })
+    );
+    write_report("table2", scale);
 }

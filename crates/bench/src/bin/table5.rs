@@ -1,14 +1,18 @@
-//! Regenerates Table 5 (restart time after power failure).
+//! Regenerates Table 5 (restart time after power failure) and
+//! `BENCH_table5.json`.
 use xftl_bench::experiments::recovery_exp::{table5, RecoveryScale};
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = RunScale::from_args();
+    metrics::reset();
     print!(
         "{}",
-        table5(if quick {
-            RecoveryScale::quick()
-        } else {
-            RecoveryScale::full()
+        table5(match scale {
+            RunScale::Full => RecoveryScale::full(),
+            RunScale::Quick => RecoveryScale::quick(),
+            RunScale::Smoke => RecoveryScale::smoke(),
         })
     );
+    write_report("table5", scale);
 }

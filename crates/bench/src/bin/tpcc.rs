@@ -1,14 +1,18 @@
-//! Regenerates Tables 3-4 (TPC-C mixes and throughput).
+//! Regenerates Tables 3-4 (TPC-C mixes and throughput) and
+//! `BENCH_tpcc.json`.
 use xftl_bench::experiments::tpcc_exp::{tables_3_4, TpccExpScale};
+use xftl_bench::{metrics, write_report, RunScale};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = RunScale::from_args();
+    metrics::reset();
     print!(
         "{}",
-        tables_3_4(if quick {
-            TpccExpScale::quick()
-        } else {
-            TpccExpScale::full()
+        tables_3_4(match scale {
+            RunScale::Full => TpccExpScale::full(),
+            RunScale::Quick => TpccExpScale::quick(),
+            RunScale::Smoke => TpccExpScale::smoke(),
         })
     );
+    write_report("tpcc", scale);
 }

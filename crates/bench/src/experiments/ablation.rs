@@ -15,6 +15,7 @@ use xftl_ftl::{AtomicWriteFtl, BlockDevice, TxBlockDevice, TxFlashFtl};
 use xftl_workloads::rig::{Mode, Rig, RigConfig};
 use xftl_workloads::synthetic::{self, SyntheticConfig};
 
+use crate::metrics::{self, mode_key};
 use crate::report::{secs, Table};
 
 /// Ablation 1: X-L2P capacity sweep on the synthetic workload.
@@ -53,6 +54,14 @@ pub fn xl2p_capacity(quick: bool) -> String {
         let r = synthetic::run_transactions(&mut db, &rig.clock, &syn);
         drop(db);
         let snap = rig.snapshot();
+        metrics::metric(
+            format!("ablation.xl2p.cap{cap}.elapsed_ns"),
+            r.elapsed_ns as f64,
+        );
+        metrics::metric(
+            format!("ablation.xl2p.cap{cap}.xl2p_writes"),
+            snap.ftl.xl2p_writes as f64,
+        );
         t.row(vec![
             cap.to_string(),
             secs(r.elapsed_ns),
@@ -109,6 +118,11 @@ pub fn atomic_write_baseline(quick: bool) -> String {
         }
         let elapsed = clock.now() - t0;
         let s = dev.stats();
+        metrics::metric("ablation.aw.xftl.elapsed_ns", elapsed as f64);
+        metrics::metric(
+            "ablation.aw.xftl.programs",
+            dev.flash_stats().programs as f64,
+        );
         t.row(vec![
             "X-FTL".to_string(),
             secs(elapsed),
@@ -135,6 +149,11 @@ pub fn atomic_write_baseline(quick: bool) -> String {
         }
         let elapsed = clock.now() - t0;
         let s = dev.stats();
+        metrics::metric("ablation.aw.one_call.elapsed_ns", elapsed as f64);
+        metrics::metric(
+            "ablation.aw.one_call.programs",
+            dev.flash_stats().programs as f64,
+        );
         t.row(vec![
             "atomic-write (one call/txn)".to_string(),
             secs(elapsed),
@@ -163,6 +182,11 @@ pub fn atomic_write_baseline(quick: bool) -> String {
         }
         let elapsed = clock.now() - t0;
         let s = dev.stats();
+        metrics::metric("ablation.aw.txflash_scc.elapsed_ns", elapsed as f64);
+        metrics::metric(
+            "ablation.aw.txflash_scc.programs",
+            dev.flash_stats().programs as f64,
+        );
         t.row(vec![
             "TxFlash SCC (one cycle/txn)".to_string(),
             secs(elapsed),
@@ -189,6 +213,11 @@ pub fn atomic_write_baseline(quick: bool) -> String {
         }
         let elapsed = clock.now() - t0;
         let s = dev.stats();
+        metrics::metric("ablation.aw.steal.elapsed_ns", elapsed as f64);
+        metrics::metric(
+            "ablation.aw.steal.programs",
+            dev.flash_stats().programs as f64,
+        );
         t.row(vec![
             "atomic-write (steal: call/page)".to_string(),
             secs(elapsed),
@@ -245,6 +274,14 @@ pub fn wal_checkpoint_interval(quick: bool) -> String {
         let r = synthetic::run_transactions(&mut db, &rig.clock, &syn);
         let stats = *db.pager_stats();
         drop(db);
+        metrics::metric(
+            format!("ablation.walck.i{interval}.elapsed_ns"),
+            r.elapsed_ns as f64,
+        );
+        metrics::metric(
+            format!("ablation.walck.i{interval}.checkpoints"),
+            stats.checkpoints as f64,
+        );
         t.row(vec![
             interval.to_string(),
             secs(r.elapsed_ns),
@@ -282,6 +319,11 @@ pub fn barrier_cost(quick: bool) -> String {
         }
         let elapsed = clock.now() - t0;
         let s = dev.stats();
+        metrics::metric(format!("ablation.barrier.k{k}.elapsed_ns"), elapsed as f64);
+        metrics::metric(
+            format!("ablation.barrier.k{k}.map_meta_pages"),
+            (s.map_writes + s.meta_writes) as f64,
+        );
         t.row(vec![
             k.to_string(),
             secs(elapsed),
@@ -336,6 +378,14 @@ pub fn multi_file_commit(quick: bool) -> String {
         }
         let elapsed = rig.clock.now() - t0;
         let fsyncs: u64 = dbs.iter().map(|d| d.pager_stats().fsyncs).sum();
+        metrics::metric(
+            format!("ablation.multifile.{}.elapsed_ns", mode_key(mode)),
+            elapsed as f64,
+        );
+        metrics::metric(
+            format!("ablation.multifile.{}.fsyncs", mode_key(mode)),
+            fsyncs as f64,
+        );
         let extra = match mode {
             Mode::Rbj => format!("{} masters + {} journals", txns, txns * files),
             _ => "none".to_string(),
@@ -400,6 +450,13 @@ pub fn journal_finalization(quick: bool) -> String {
         }
         let elapsed = rig.clock.now() - t0;
         let s = db.pager_stats();
+        let key = label
+            .split_whitespace()
+            .next()
+            .unwrap_or(label)
+            .to_ascii_lowercase();
+        metrics::metric(format!("ablation.jfin.{key}.elapsed_ns"), elapsed as f64);
+        metrics::metric(format!("ablation.jfin.{key}.fsyncs"), s.fsyncs as f64);
         t.row(vec![
             label.to_string(),
             secs(elapsed),

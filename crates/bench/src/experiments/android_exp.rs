@@ -3,7 +3,13 @@
 use xftl_workloads::android::{self, TraceSpec, ALL_TRACES};
 use xftl_workloads::rig::{Mode, Rig, RigConfig};
 
+use crate::metrics;
 use crate::report::{ratio, secs, Table};
+
+/// Stable lowercase key for a trace name in metric names.
+fn trace_key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
 
 /// Builds a rig sized for a trace replay (fresh drive, ample space — the
 /// paper's smartphone runs are not GC-bound).
@@ -62,6 +68,10 @@ pub fn table2(scale: f64) -> String {
         let rig = trace_rig(Mode::Wal, spec, scale);
         let ops = android::synthesize(spec, scale, 42);
         let r = android::replay(&rig, spec, &ops);
+        metrics::metric(
+            format!("table2.{}.pages_per_txn", trace_key(spec.name)),
+            r.measured_pages_per_txn,
+        );
         measured.push(format!("{:.2}", r.measured_pages_per_txn));
     }
     t.row(measured);
@@ -84,6 +94,14 @@ pub fn fig7(scale: f64) -> String {
             let rig = trace_rig(mode, spec, scale);
             let ops = android::synthesize(spec, scale, 42);
             let r = android::replay(&rig, spec, &ops);
+            metrics::metric(
+                format!(
+                    "fig7.{}.{}.elapsed_ns",
+                    trace_key(spec.name),
+                    metrics::mode_key(mode)
+                ),
+                r.elapsed_ns as f64,
+            );
             times.push(r.elapsed_ns);
         }
         t.row(vec![

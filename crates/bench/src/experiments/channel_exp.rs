@@ -15,6 +15,7 @@ use xftl_workloads::fio::{self, FioConfig};
 use xftl_workloads::rig::{Mode, Profile, Rig, RigConfig};
 
 use crate::experiments::fio_exp::{FioScale, FsSetup};
+use crate::metrics;
 use crate::report::{millis, Table};
 
 /// Channel counts swept by the experiment.
@@ -62,6 +63,11 @@ fn run_point(setup: FsSetup, channels: u32, scale: &FioScale) -> Point {
         },
     );
     let flash = rig.snapshot().flash - before;
+    if setup == FsSetup::XFtlOff {
+        // Queue-wait / chip-op latency distributions behind the X-FTL
+        // rows of the report.
+        metrics::hists(&format!("channels.ch{channels}"), &rig.telemetry());
+    }
     Point {
         iops: r.iops,
         flash,
@@ -88,6 +94,17 @@ pub fn channel_scaling(scale: FioScale) -> String {
         let x = run_point(FsSetup::XFtlOff, ch, &scale);
         let o = run_point(FsSetup::Ordered, ch, &scale);
         let f = run_point(FsSetup::Full, ch, &scale);
+        metrics::metric(format!("channels.ch{ch}.xftl_iops"), x.iops);
+        metrics::metric(format!("channels.ch{ch}.ordered_iops"), o.iops);
+        metrics::metric(format!("channels.ch{ch}.full_iops"), f.iops);
+        metrics::metric(
+            format!("channels.ch{ch}.queued_ops"),
+            x.flash.queued_ops as f64,
+        );
+        metrics::metric(
+            format!("channels.ch{ch}.queue_wait_ns"),
+            x.flash.queue_wait_ns as f64,
+        );
         let speedup = x.iops / x_points.first().map_or(x.iops, |p| p.iops);
         t.row(vec![
             ch.to_string(),

@@ -15,6 +15,7 @@
 use xftl_workloads::rig::{FaultEnv, Mode, Rig, RigConfig, Snapshot};
 use xftl_workloads::synthetic::{self, SyntheticConfig};
 
+use crate::metrics;
 use crate::report::{millis, Table};
 
 /// Scale of the fault sweep.
@@ -39,6 +40,14 @@ impl FaultScale {
         FaultScale {
             tuples: 9_000,
             txns: 250,
+        }
+    }
+
+    /// The minimal configuration for the CI `bench-smoke` job.
+    pub fn smoke() -> Self {
+        FaultScale {
+            tuples: 5_000,
+            txns: 120,
         }
     }
 
@@ -167,6 +176,12 @@ pub fn run_point(mode: Mode, env: Option<FaultEnv>, scale: &FaultScale) -> Fault
     db.reset_stats();
     let result = synthetic::run_transactions(&mut db, &rig.clock, &syn);
     drop(db);
+    // Latency distributions under fault load; the sink keeps the last
+    // (hence harshest-sweep) run per mode.
+    metrics::hists(
+        &format!("faults.{}", metrics::mode_key(mode)),
+        &rig.telemetry(),
+    );
     let snap = rig.snapshot();
     let secs = result.elapsed_ns as f64 / 1e9;
     FaultPoint {
@@ -226,6 +241,15 @@ pub fn fault_sweep(scale: FaultScale) -> String {
         // a genuine harness failure, not a reportable outcome.
         let x = run_point(Mode::XFtl, sev.env, &scale);
         any_dead |= rbj.is_none() || wal.is_none();
+        metrics::metric(
+            format!("faults.{}.xftl_commit_ns", sev.label),
+            x.commit_ns as f64,
+        );
+        metrics::metric(format!("faults.{}.xftl_tps", sev.label), x.tps);
+        metrics::metric(
+            format!("faults.{}.retired_blocks", sev.label),
+            x.snap.ftl.bad_block_retirements as f64,
+        );
         t.row(vec![
             sev.label.to_string(),
             cell_ms(rbj.as_ref()),

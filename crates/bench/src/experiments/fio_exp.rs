@@ -4,6 +4,7 @@ use xftl_fs::JournalMode;
 use xftl_workloads::fio::{self, FioConfig};
 use xftl_workloads::rig::{Mode, Profile, Rig, RigConfig};
 
+use crate::metrics;
 use crate::report::Table;
 
 /// FIO experiment scale.
@@ -33,6 +34,14 @@ impl FioScale {
             duration_secs: 4,
         }
     }
+
+    /// The minimal scale for the CI `bench-smoke` job.
+    pub fn smoke() -> Self {
+        FioScale {
+            file_bytes: 8 * 1024 * 1024,
+            duration_secs: 2,
+        }
+    }
 }
 
 /// The FS configurations of Figure 8.
@@ -51,6 +60,15 @@ impl FsSetup {
             FsSetup::XFtlOff => "X-FTL (journaling off)",
             FsSetup::Ordered => "ordered journaling",
             FsSetup::Full => "full journaling",
+        }
+    }
+
+    /// Stable lowercase key for metric names.
+    pub fn key(self) -> &'static str {
+        match self {
+            FsSetup::XFtlOff => "xftl",
+            FsSetup::Ordered => "ordered",
+            FsSetup::Full => "full",
         }
     }
 }
@@ -109,6 +127,9 @@ pub fn fig8(scale: FioScale) -> String {
         let x = run_point(FsSetup::XFtlOff, Profile::OpenSsd, 1, wpf, &scale);
         let o = run_point(FsSetup::Ordered, Profile::OpenSsd, 1, wpf, &scale);
         let f = run_point(FsSetup::Full, Profile::OpenSsd, 1, wpf, &scale);
+        metrics::metric(format!("fig8.wpf{wpf}.xftl_iops"), x);
+        metrics::metric(format!("fig8.wpf{wpf}.ordered_iops"), o);
+        metrics::metric(format!("fig8.wpf{wpf}.full_iops"), f);
         t.row(vec![
             wpf.to_string(),
             format!("{x:.0}"),
@@ -139,6 +160,9 @@ pub fn fig9(scale: FioScale) -> String {
         let so = run_point(FsSetup::Ordered, Profile::S830, 16, wpf, &scale);
         let x = run_point(FsSetup::XFtlOff, Profile::OpenSsd, 16, wpf, &scale);
         let sf = run_point(FsSetup::Full, Profile::S830, 16, wpf, &scale);
+        metrics::metric(format!("fig9.wpf{wpf}.s830_ordered_iops"), so);
+        metrics::metric(format!("fig9.wpf{wpf}.openssd_xftl_iops"), x);
+        metrics::metric(format!("fig9.wpf{wpf}.s830_full_iops"), sf);
         t.row(vec![
             wpf.to_string(),
             format!("{so:.0}"),

@@ -11,6 +11,7 @@ use xftl_ftl::{PageMappedFtl, SataLink};
 use xftl_workloads::rig::{link_for, AnyDev, Mode, Rig, RigConfig};
 use xftl_workloads::synthetic::{self, SyntheticConfig};
 
+use crate::metrics::{self, mode_key};
 use crate::report::{millis, Table};
 
 /// One Table 5 measurement.
@@ -47,6 +48,14 @@ impl RecoveryScale {
         RecoveryScale {
             tuples: 2_000,
             txns_before_crash: 40,
+        }
+    }
+
+    /// The minimal scale for the CI `bench-smoke` job.
+    pub fn smoke() -> Self {
+        RecoveryScale {
+            tuples: 1_500,
+            txns_before_crash: 30,
         }
     }
 }
@@ -144,6 +153,9 @@ pub fn table5(scale: RecoveryScale) -> String {
     ]);
     for mode in [Mode::Rbj, Mode::Wal, Mode::XFtl] {
         let m = measure(mode, scale);
+        let key = mode_key(mode);
+        metrics::metric(format!("table5.{key}.restart_ns"), m.restart_ns as f64);
+        metrics::metric(format!("table5.{key}.common_ns"), m.common_ns as f64);
         t.row(vec![
             mode.label().to_string(),
             millis(m.restart_ns),

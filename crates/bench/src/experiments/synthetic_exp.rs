@@ -6,6 +6,7 @@ use xftl_ftl::GcPolicy;
 use xftl_workloads::rig::{Aging, Mode, Rig, RigConfig, Snapshot};
 use xftl_workloads::synthetic::{self, SyntheticConfig};
 
+use crate::metrics::{self, mode_key};
 use crate::report::{ratio, secs, Table};
 
 /// A GC-validity regime: the paper ages the OpenSSD so victims carry
@@ -33,6 +34,15 @@ impl Validity {
             Validity::V30 => "30%",
             Validity::V50 => "50%",
             Validity::V70 => "70%",
+        }
+    }
+
+    /// Stable key for metric names (`v30`/`v50`/`v70`).
+    pub fn key(self) -> &'static str {
+        match self {
+            Validity::V30 => "v30",
+            Validity::V50 => "v50",
+            Validity::V70 => "v70",
         }
     }
 
@@ -77,6 +87,14 @@ impl SynScale {
         SynScale {
             tuples: 6_000,
             txns: 120,
+        }
+    }
+
+    /// The minimal configuration for the CI `bench-smoke` job.
+    pub fn smoke() -> Self {
+        SynScale {
+            tuples: 3_000,
+            txns: 60,
         }
     }
 
@@ -159,10 +177,14 @@ pub fn run_cell(mode: Mode, validity: Validity, updates: usize, scale: SynScale)
     };
     synthetic::run_transactions(&mut db, &rig.clock, &warm);
     rig.reset_stats();
+    rig.telemetry().reset();
     db.reset_stats();
     let result = synthetic::run_transactions(&mut db, &rig.clock, &syn);
     let stats = *db.pager_stats();
     drop(db);
+    // Per-layer latency distributions of the measured phase (the sink
+    // keeps the last cell run per mode, deterministically).
+    metrics::hists(&format!("syn.{}", mode_key(mode)), &rig.telemetry());
     let snap = rig.snapshot();
     SynCell {
         mode,
@@ -200,6 +222,16 @@ pub fn fig5(scale: SynScale, updates_sweep: &[usize]) -> String {
             let rbj = run_cell(Mode::Rbj, validity, u, scale);
             let wal = run_cell(Mode::Wal, validity, u, scale);
             let x = run_cell(Mode::XFtl, validity, u, scale);
+            for c in [&rbj, &wal, &x] {
+                metrics::metric(
+                    format!(
+                        "fig5.{}.u{u}.{}.elapsed_ns",
+                        validity.key(),
+                        mode_key(c.mode)
+                    ),
+                    c.elapsed_ns as f64,
+                );
+            }
             let mv = [rbj, wal, x]
                 .iter()
                 .filter_map(|c| c.measured_validity)
@@ -249,6 +281,21 @@ pub fn table1(scale: SynScale) -> String {
         let c = run_cell(mode, Validity::V50, 5, scale);
         let fs_overhead = c.snap.fs.overhead_writes();
         let total = c.db_writes + c.journal_writes + fs_overhead;
+        let m = mode_key(mode);
+        metrics::metric(format!("table1.{m}.db_writes"), c.db_writes as f64);
+        metrics::metric(
+            format!("table1.{m}.journal_writes"),
+            c.journal_writes as f64,
+        );
+        metrics::metric(format!("table1.{m}.fs_writes"), fs_overhead as f64);
+        metrics::metric(format!("table1.{m}.fsyncs"), c.fsyncs as f64);
+        metrics::metric(
+            format!("table1.{m}.ftl_programs"),
+            c.snap.flash.programs as f64,
+        );
+        metrics::metric(format!("table1.{m}.ftl_reads"), c.snap.flash.reads as f64);
+        metrics::metric(format!("table1.{m}.gc_runs"), c.snap.ftl.gc_runs as f64);
+        metrics::metric(format!("table1.{m}.erases"), c.snap.flash.erases as f64);
         t.row(vec![
             mode.label().to_string(),
             c.db_writes.to_string(),
@@ -278,6 +325,11 @@ pub fn fig6(scale: SynScale) -> String {
         let rbj = run_cell(Mode::Rbj, validity, 5, scale);
         let wal = run_cell(Mode::Wal, validity, 5, scale);
         let x = run_cell(Mode::XFtl, validity, 5, scale);
+        for c in [&rbj, &wal, &x] {
+            let key = format!("fig6.{}.{}", validity.key(), mode_key(c.mode));
+            metrics::metric(format!("{key}.programs"), c.snap.flash.programs as f64);
+            metrics::metric(format!("{key}.gc_runs"), c.snap.ftl.gc_runs as f64);
+        }
         wt.row(vec![
             validity.label().to_string(),
             rbj.snap.flash.programs.to_string(),

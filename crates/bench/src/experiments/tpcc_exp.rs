@@ -6,7 +6,13 @@ use xftl_workloads::tpcc::{
     WRITE_INTENSIVE,
 };
 
+use crate::metrics;
 use crate::report::Table;
+
+/// Stable lowercase key for a mix name in metric names.
+fn mix_key(name: &str) -> String {
+    name.to_ascii_lowercase().replace('-', "_")
+}
 
 /// The four named mixes of Table 3.
 pub const MIXES: [(&str, TpccMix); 4] = [
@@ -45,6 +51,14 @@ impl TpccExpScale {
                 initial_orders: 10,
             },
             txns_per_mix: 40,
+        }
+    }
+
+    /// The minimal configuration for the CI `bench-smoke` job.
+    pub fn smoke() -> Self {
+        TpccExpScale {
+            txns_per_mix: 20,
+            ..Self::quick()
         }
     }
 }
@@ -110,6 +124,10 @@ pub fn tables_3_4(s: TpccExpScale) -> String {
     ));
     let wal = run_mode(Mode::Wal, &s);
     let x = run_mode(Mode::XFtl, &s);
+    for (i, (name, _)) in MIXES.iter().enumerate() {
+        metrics::metric(format!("table4.{}.wal_tpm", mix_key(name)), wal[i]);
+        metrics::metric(format!("table4.{}.xftl_tpm", mix_key(name)), x[i]);
+    }
     let mut t4 = Table::new(vec![
         "",
         "Write-int.",

@@ -30,4 +30,60 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod experiments;
+pub mod metrics;
 pub mod report;
+
+/// The scale a bench binary runs at, parsed from its CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Paper-quality scale (the default).
+    Full,
+    /// Reduced scale for `cargo bench` runs (`--quick`).
+    Quick,
+    /// Minimal scale for the CI `bench-smoke` job (`--smoke`): small
+    /// enough to finish in minutes, large enough that every mode
+    /// ordering the paper claims still holds.
+    Smoke,
+}
+
+impl RunScale {
+    /// Parses `--smoke` / `--quick` from the process arguments
+    /// (`--smoke` wins if both are given).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--smoke") {
+            RunScale::Smoke
+        } else if args.iter().any(|a| a == "--quick") {
+            RunScale::Quick
+        } else {
+            RunScale::Full
+        }
+    }
+
+    /// The label stamped into the report's `meta.scale`.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunScale::Full => "full",
+            RunScale::Quick => "quick",
+            RunScale::Smoke => "smoke",
+        }
+    }
+}
+
+/// Drains the metric sink into a [`xftl_trace::BenchReport`] and writes
+/// it as `BENCH_<name>.json` in the current directory. Every bench
+/// binary calls this after printing its text tables; because the whole
+/// stack runs on the simulated clock, two runs at the same scale write
+/// byte-identical files.
+pub fn write_report(name: &str, scale: RunScale) {
+    let mut report = xftl_trace::BenchReport::new(name);
+    report.meta("scale", scale.label());
+    metrics::drain_into(&mut report);
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, report.to_json()).expect("write bench report");
+    eprintln!(
+        "wrote {path} ({} metrics, {} histograms)",
+        report.metrics.len(),
+        report.hists.len()
+    );
+}

@@ -40,6 +40,10 @@ impl Table {
                 let w = widths.get(i).copied().unwrap_or(cell.len());
                 line.push_str(&format!("{cell:>w$}"));
             }
+            // An empty or short-of-width cell in the last column would
+            // leave the line padded with trailing spaces, making golden-
+            // text diffs whitespace-unstable; strip them.
+            line.truncate(line.trim_end().len());
             line.push('\n');
             line
         };
@@ -87,6 +91,22 @@ mod tests {
         assert!(s.contains("X-FTL"));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn no_line_carries_trailing_whitespace() {
+        // Empty cells in the last column used to render as a full-width
+        // run of spaces at the end of the line.
+        let mut t = Table::new(vec!["mode", "time", "note"]);
+        t.row(vec!["RBJ", "123.45", "a long trailing note"]);
+        t.row(vec!["X-FTL", "1.2", ""]);
+        t.row(vec!["WAL", "9.9", " "]);
+        let s = t.render();
+        for line in s.lines() {
+            assert_eq!(line, line.trim_end(), "trailing whitespace in {line:?}");
+        }
+        // Alignment is preserved where the cells are non-empty.
+        assert!(s.contains("a long trailing note"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use xftl_ftl::{
     BlockDevice, CmdId, CmdQueue, DevCounters, DevError, FtlBase, FtlStats, IoCmd, Lpn, NoHook,
     Result, Tid, TxBlockDevice,
 };
+use xftl_trace::{OpClass, Recorder};
 
 use crate::xl2p::{TxStatus, Xl2pError, Xl2pTable};
 
@@ -344,6 +345,7 @@ impl TxBlockDevice for XFtl {
 
     fn commit(&mut self, tid: Tid) -> Result<()> {
         self.base.counters_mut().commits += 1;
+        let t_start = self.base.clock().now();
         // Commit is a full queue barrier: the X-L2P table write below
         // drains the chip, so retiring every outstanding ticket here
         // keeps the ledger bounded even for hosts that never flush.
@@ -352,6 +354,10 @@ impl TxBlockDevice for XFtl {
             // Read-only transaction: nothing to persist, but commit is
             // still a queue barrier for earlier batches.
             self.base.drain();
+            let t_end = self.base.clock().now();
+            self.base
+                .recorder()
+                .record_span(OpClass::TxCommit, tid, 0, t_start, t_end);
             return Ok(());
         }
         // Step 1: flip statuses in device RAM.
@@ -373,11 +379,16 @@ impl TxBlockDevice for XFtl {
         if self.table.committed_len() > self.table.capacity() / 2 {
             self.checkpoint_and_release()?;
         }
+        let t_end = self.base.clock().now();
+        self.base
+            .recorder()
+            .record_span(OpClass::TxCommit, tid, 0, t_start, t_end);
         Ok(())
     }
 
     fn abort(&mut self, tid: Tid) -> Result<()> {
         self.base.counters_mut().aborts += 1;
+        let t_start = self.base.clock().now();
         // §5.3: two steps, no flash writes — drop the transaction's
         // *active* entries, invalidate their pages. Entries that already
         // committed (and the committed versions in L2P) are untouchable:
@@ -388,6 +399,10 @@ impl TxBlockDevice for XFtl {
         // Whatever batches the aborting host had in flight are dead; no
         // one will wait on their tickets.
         self.queue.retire(CmdId(u64::MAX));
+        let t_end = self.base.clock().now();
+        self.base
+            .recorder()
+            .record_span(OpClass::TxAbort, tid, 0, t_start, t_end);
         Ok(())
     }
 

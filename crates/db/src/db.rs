@@ -44,8 +44,23 @@ impl<D: BlockDevice> Connection<D> {
         self.execute_with(sql, &[])
     }
 
+    /// Installs a telemetry handle and its timestamp clock on the pager
+    /// (pass clones of the stack-wide pair) so SQL statements, page
+    /// fetches, and commit flushes are recorded.
+    pub fn set_recorder(&mut self, clock: xftl_flash::SimClock, recorder: xftl_trace::Telemetry) {
+        self.pager.set_recorder(clock, recorder);
+    }
+
     /// Executes one SQL statement with `?` positional parameters.
     pub fn execute_with(&mut self, sql: &str, params: &[Value]) -> Result<ExecOutcome> {
+        let t0 = self.pager.span_start();
+        let out = self.execute_inner(sql, params);
+        self.pager
+            .record_span(xftl_trace::OpClass::SqlStatement, 0, 0, t0);
+        out
+    }
+
+    fn execute_inner(&mut self, sql: &str, params: &[Value]) -> Result<ExecOutcome> {
         let stmt = parse(sql)?;
         match stmt {
             Stmt::Begin => {

@@ -20,8 +20,10 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
+use xftl_flash::{Nanos, SimClock};
 use xftl_fs::{FileSystem, Ino};
 use xftl_ftl::{BlockDevice, Tid};
+use xftl_trace::{OpClass, Recorder, Telemetry};
 
 use crate::error::{DbError, Result};
 
@@ -172,6 +174,11 @@ pub struct Pager<D: BlockDevice> {
     pub wal_autocheckpoint: u32,
 
     stats: PagerStats,
+
+    /// Telemetry sink plus the clock that timestamps its spans; absent
+    /// until [`Pager::set_recorder`] installs them.
+    recorder: Telemetry,
+    clock: Option<SimClock>,
 }
 
 impl<D: BlockDevice> Pager<D> {
@@ -216,6 +223,8 @@ impl<D: BlockDevice> Pager<D> {
             wal_last_commit_end: 0,
             wal_autocheckpoint: 1000,
             stats: PagerStats::default(),
+            recorder: Telemetry::disabled(),
+            clock: None,
         };
         if mode.is_rollback() {
             pager.recover_hot_journal()?;
@@ -305,6 +314,23 @@ impl<D: BlockDevice> Pager<D> {
         self.in_tx
     }
 
+    /// Installs a telemetry handle and the simulated clock that
+    /// timestamps its spans (pass clones of the stack-wide pair).
+    pub fn set_recorder(&mut self, clock: SimClock, recorder: Telemetry) {
+        self.clock = Some(clock);
+        self.recorder = recorder;
+    }
+
+    pub(crate) fn span_start(&self) -> Option<Nanos> {
+        self.clock.as_ref().map(SimClock::now)
+    }
+
+    pub(crate) fn record_span(&self, op: OpClass, tid: u64, lpn: u64, t_start: Option<Nanos>) {
+        if let (Some(clock), Some(t0)) = (&self.clock, t_start) {
+            self.recorder.record_span(op, tid, lpn, t0, clock.now());
+        }
+    }
+
     /// Begins a transaction.
     pub fn begin(&mut self) -> Result<()> {
         if self.in_tx {
@@ -328,11 +354,13 @@ impl<D: BlockDevice> Pager<D> {
             self.end_tx();
             return Ok(());
         }
+        let t0 = self.span_start();
         match self.mode {
             m if m.is_rollback() => self.commit_rollback_mode()?,
             DbJournalMode::Wal => self.commit_wal_mode()?,
             _ => self.commit_off_mode()?,
         }
+        self.record_span(OpClass::PagerFlush, self.tid.unwrap_or(0), 0, t0);
         self.end_tx();
         Ok(())
     }
@@ -935,12 +963,14 @@ impl<D: BlockDevice> Pager<D> {
     fn read_page_raw(&mut self, pgno: PageNo) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; self.page_size];
         self.stats.reads += 1;
+        let t0 = self.span_start();
         if self.mode == DbJournalMode::Wal {
             if let Some(&off) = self.wal_index.get(&pgno) {
                 let Some(ino) = self.wal_ino else {
                     unreachable!("WAL open")
                 };
                 self.fs.borrow_mut().read(ino, off, &mut buf, None)?;
+                self.record_span(OpClass::PagerFetch, 0, u64::from(pgno), t0);
                 return Ok(buf);
             }
         }
@@ -951,6 +981,7 @@ impl<D: BlockDevice> Pager<D> {
             &mut buf,
             tid,
         )?;
+        self.record_span(OpClass::PagerFetch, tid.unwrap_or(0), u64::from(pgno), t0);
         Ok(buf)
     }
 

@@ -34,6 +34,7 @@ use crate::error::{FlashError, Result};
 use crate::fault::{FaultKind, FaultOp, FaultPlan};
 use crate::stats::{FlashStats, MAX_CHANNELS, QUEUE_DEPTH_BUCKETS};
 use std::fmt;
+use xftl_trace::{OpClass, Recorder, Telemetry};
 
 /// Physical page address: (block, page-within-block).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -227,6 +228,9 @@ pub struct FlashChip {
     /// cycles: the fault environment is a property of the silicon, not of
     /// the boot.
     fault: Option<FaultPlan>,
+    /// Telemetry sink; disabled by default. Host-side measurement, so it
+    /// survives power cycles like [`FlashStats`] does.
+    recorder: Telemetry,
 }
 
 impl FlashChip {
@@ -249,7 +253,20 @@ impl FlashChip {
             dead: false,
             health: vec![BlockHealth::Good; config.geometry.blocks],
             fault: None,
+            recorder: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; all chip-level latencies are recorded
+    /// into it from then on. Layers above fetch it via
+    /// [`FlashChip::recorder`] so one handle serves the whole stack.
+    pub fn set_recorder(&mut self, recorder: Telemetry) {
+        self.recorder = recorder;
+    }
+
+    /// The installed telemetry handle (disabled unless set).
+    pub fn recorder(&self) -> &Telemetry {
+        &self.recorder
     }
 
     /// Device configuration.
@@ -431,6 +448,11 @@ impl FlashChip {
     fn note_channel_busy(&mut self, sched: &Sched) {
         self.stats.busy_channel_ns[sched.channel.min(MAX_CHANNELS - 1)] += sched.service;
         self.stats.queue_wait_ns += sched.wait;
+        // Only contended commands feed the wait histogram; an uncontended
+        // zero would otherwise drown the distribution.
+        if sched.wait > 0 {
+            self.recorder.record(OpClass::ChanQueueWait, sched.wait);
+        }
     }
 
     /// Schedules a read-shaped operation: cell array first, then the bus.
@@ -509,6 +531,7 @@ impl FlashChip {
             });
         }
         let read_ns = self.config.timings.read_ns;
+        let t_entry = self.clock.now();
         // Firmware dispatch is serial; media + bus time overlaps per lane.
         self.clock.advance(self.config.timings.cmd_overhead_ns);
         if !sync {
@@ -523,11 +546,13 @@ impl FlashChip {
         } else {
             self.outstanding.push(sched.done);
         }
-        let lpn = match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
+        let (lpn, tid) = match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
             Page::Erased => return Err(FlashError::ReadErased(ppa)),
             Page::Torn => return Err(FlashError::TornPage(ppa)),
-            Page::Programmed { oob, .. } => oob.lpn,
+            Page::Programmed { oob, .. } => (oob.lpn, oob.tid),
         };
+        self.recorder
+            .record_span(OpClass::ChipRead, tid, lpn, t_entry, sched.done);
         // Fault model: bit flips surface on valid programmed pages. The
         // stall of the ECC failure path is charged to the serial firmware
         // dispatch clock (the controller blocks on correction/retry).
@@ -537,10 +562,13 @@ impl FlashChip {
                 if bits <= ecc.correctable_bits {
                     self.stats.corrected_reads += 1;
                     self.stats.fault_stall_ns += ecc.correction_ns;
+                    self.recorder.record(OpClass::EccCorrect, ecc.correction_ns);
                     self.clock.advance(ecc.correction_ns);
                 } else {
                     self.stats.uncorrectable_reads += 1;
                     self.stats.fault_stall_ns += ecc.uncorrectable_ns;
+                    self.recorder
+                        .record(OpClass::EccCorrect, ecc.uncorrectable_ns);
                     self.clock.advance(ecc.uncorrectable_ns);
                     return Err(FlashError::Uncorrectable(ppa));
                 }
@@ -586,6 +614,7 @@ impl FlashChip {
         self.check_alive()?;
         self.check_range(ppa)?;
         let t = self.config.timings;
+        let t_entry = self.clock.now();
         // OOB-only read: a quarter of the command overhead plus a short
         // cell access and transfer of the spare area.
         self.clock.advance(t.cmd_overhead_ns / 4);
@@ -599,6 +628,8 @@ impl FlashChip {
         self.stats.busy_read_ns += t.cmd_overhead_ns / 4 + sched.service;
         self.note_channel_busy(&sched);
         self.clock.advance_to(sched.done);
+        self.recorder
+            .record_span(OpClass::ChipOobRead, 0, 0, t_entry, sched.done);
         Ok(
             match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
                 Page::Erased => PageProbe::Erased,
@@ -636,6 +667,7 @@ impl FlashChip {
                 expected_page: block.write_point,
             });
         }
+        let t_entry = self.clock.now();
         self.clock.advance(self.config.timings.cmd_overhead_ns);
         if !sync {
             self.note_arrival();
@@ -705,6 +737,8 @@ impl FlashChip {
         } else {
             self.outstanding.push(sched.done);
         }
+        self.recorder
+            .record_span(OpClass::ChipProgram, oob.tid, oob.lpn, t_entry, sched.done);
         Ok((oob, sched.done))
     }
 
@@ -739,6 +773,7 @@ impl FlashChip {
             // Erase is modelled as atomic: power loss before it takes effect.
             return Err(FlashError::PowerLost);
         }
+        let t_entry = self.clock.now();
         self.clock.advance(self.config.timings.cmd_overhead_ns);
         if !sync {
             self.note_arrival();
@@ -788,6 +823,8 @@ impl FlashChip {
             // A clean erase clears the suspicion left by a program fail.
             self.health[block as usize] = BlockHealth::Good;
         }
+        self.recorder
+            .record_span(OpClass::ChipErase, 0, u64::from(block), t_entry, sched.done);
         Ok(sched.done)
     }
 

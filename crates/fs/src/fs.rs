@@ -36,7 +36,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use xftl_flash::{Nanos, SimClock};
 use xftl_ftl::{BlockDevice, CmdId, IoCmd, Lpn, Tid, TxBlockDevice};
+use xftl_trace::{OpClass, Recorder, Telemetry};
 
 use crate::alloc::BlockBitmap;
 use crate::cache::PageCache;
@@ -186,6 +188,11 @@ pub struct FileSystem<D: BlockDevice> {
     /// Monotone counter standing in for mtime.
     op_counter: u64,
     stats: FsStats,
+    /// Telemetry sink plus the clock that timestamps its spans; both
+    /// absent until [`FileSystem::set_recorder`] installs them (the
+    /// device is generic, so the shared clock must be handed in).
+    recorder: Telemetry,
+    clock: Option<SimClock>,
     /// Transactional command table; `Some` iff mounted via a `*_tx`
     /// constructor. `Off` mode guarantees it is present.
     tx: Option<TxOps<D>>,
@@ -257,6 +264,8 @@ impl<D: BlockDevice> FileSystem<D> {
             next_tid: 1,
             op_counter: 1,
             stats: FsStats::default(),
+            recorder: Telemetry::disabled(),
+            clock: None,
             tx,
         })
     }
@@ -325,6 +334,8 @@ impl<D: BlockDevice> FileSystem<D> {
             next_tid: 1,
             op_counter: 1,
             stats: FsStats::default(),
+            recorder: Telemetry::disabled(),
+            clock: None,
             tx,
         };
         fs.dir = fs.load_dir()?;
@@ -630,6 +641,28 @@ impl<D: BlockDevice> FileSystem<D> {
         Ok(())
     }
 
+    // --- telemetry ---------------------------------------------------------
+
+    /// Installs a telemetry handle and the simulated clock that
+    /// timestamps its spans. The device layer below carries its own
+    /// handle; pass a clone of the same one so the whole stack shares a
+    /// single sink.
+    pub fn set_recorder(&mut self, clock: SimClock, recorder: Telemetry) {
+        self.clock = Some(clock);
+        self.recorder = recorder;
+    }
+
+    fn span_start(&self) -> Option<Nanos> {
+        self.clock.as_ref().map(SimClock::now)
+    }
+
+    fn record_fsync(&self, tid: Tid, t_start: Option<Nanos>) {
+        if let (Some(clock), Some(t0)) = (&self.clock, t_start) {
+            self.recorder
+                .record_span(OpClass::FsFsync, tid, 0, t0, clock.now());
+        }
+    }
+
     // --- durability --------------------------------------------------------
 
     /// `fsync(ino)`. In `Off` mode the sync becomes a device transaction:
@@ -638,13 +671,17 @@ impl<D: BlockDevice> FileSystem<D> {
     /// modes this is the classic ext4 sequence with two barriers.
     pub fn fsync(&mut self, ino: Ino, tid: Option<Tid>) -> Result<()> {
         self.stats.fsyncs += 1;
+        let t0 = self.span_start();
         let dirty = self.cache.dirty_of(ino);
-        self.sync_pages(&dirty, tid)
+        self.sync_pages(&dirty, tid)?;
+        self.record_fsync(tid.unwrap_or(0), t0);
+        Ok(())
     }
 
     /// Syncs every dirty page of every file plus all metadata.
     pub fn sync_all(&mut self) -> Result<()> {
         self.stats.fsyncs += 1;
+        let t0 = self.span_start();
         let dirty = self.cache.dirty_all();
         self.sync_pages(&dirty, None)?;
         if self.mode != JournalMode::Off {
@@ -653,6 +690,7 @@ impl<D: BlockDevice> FileSystem<D> {
         }
         self.dev.flush()?;
         self.flush_trims()?;
+        self.record_fsync(0, t0);
         Ok(())
     }
 
@@ -660,7 +698,10 @@ impl<D: BlockDevice> FileSystem<D> {
     /// SQLite's directory fsync achieves).
     pub fn sync_meta(&mut self, tid: Option<Tid>) -> Result<()> {
         self.stats.fsyncs += 1;
-        self.sync_pages(&[], tid)
+        let t0 = self.span_start();
+        self.sync_pages(&[], tid)?;
+        self.record_fsync(tid.unwrap_or(0), t0);
+        Ok(())
     }
 
     /// `Off`-mode only: writes a file's dirty pages (and dirty metadata)

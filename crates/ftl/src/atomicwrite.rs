@@ -225,6 +225,11 @@ impl AtomicWriteFtl {
     pub fn base_mut(&mut self) -> &mut FtlBase {
         &mut self.base
     }
+
+    /// Read-only engine access (statistics, telemetry).
+    pub fn base(&self) -> &FtlBase {
+        &self.base
+    }
 }
 
 impl BlockDevice for AtomicWriteFtl {

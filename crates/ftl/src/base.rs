@@ -29,6 +29,7 @@
 use std::collections::VecDeque;
 
 use xftl_flash::{FlashChip, FlashError, Nanos, Oob, PageKind, PageProbe, Ppa, SimClock};
+use xftl_trace::{OpClass, Recorder, Telemetry};
 
 use crate::dev::{DevCounters, Lpn, Tid};
 use crate::error::{DevError, Result};
@@ -380,6 +381,12 @@ impl FtlBase {
         &self.chip
     }
 
+    /// The telemetry handle installed on the underlying chip (disabled
+    /// unless one was set before format/recover).
+    pub fn recorder(&self) -> &Telemetry {
+        self.chip.recorder()
+    }
+
     /// Direct chip access, for failure injection in tests and benches.
     pub fn chip_mut(&mut self) -> &mut FlashChip {
         &mut self.chip
@@ -650,6 +657,7 @@ impl FtlBase {
             if !self.valid.is_valid(old) {
                 continue;
             }
+            let t_copy = self.chip.clock().now();
             let mut buf = std::mem::take(&mut self.scratch);
             // Copy-backs ride the device queue: the read and the program
             // of one page are chained (`not_before`), but copies of
@@ -694,9 +702,9 @@ impl FtlBase {
             // Copy programs get the same bounded re-execution as host
             // writes: a failed copy-back must not lose the live page.
             let mut attempts = 0;
-            loop {
+            let prog_done = loop {
                 match self.chip.program_queued(dst, &buf, new_oob, read_done) {
-                    Ok(_) => break,
+                    Ok((_, done)) => break done,
                     Err(FlashError::ProgramFailed(_)) if attempts < PROGRAM_RETRY_LIMIT => {
                         attempts += 1;
                         self.stats.program_retries += 1;
@@ -714,8 +722,11 @@ impl FtlBase {
                         return Err(e.into());
                     }
                 }
-            }
+            };
             self.scratch = buf;
+            self.chip
+                .recorder()
+                .record_span(OpClass::GcCopy, 0, oob.lpn, t_copy, prog_done);
             self.stats.gc_copies += 1;
             copied += 1;
             self.valid.mark_invalid(old);
@@ -793,6 +804,7 @@ impl FtlBase {
     /// (the device never returns stale neighbours' data).
     pub fn read_committed(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
         self.check_lpn(lpn)?;
+        let t_start = self.chip.clock().now();
         match self.l2p[lpn as usize] {
             Some(ppa) => {
                 self.read_retry(ppa, buf)?;
@@ -803,6 +815,10 @@ impl FtlBase {
                 buf.fill(0);
             }
         }
+        let t_end = self.chip.clock().now();
+        self.chip
+            .recorder()
+            .record_span(OpClass::FtlHostRead, 0, lpn, t_start, t_end);
         Ok(())
     }
 
@@ -929,7 +945,13 @@ impl FtlBase {
         hook: &mut dyn GcHook,
     ) -> Result<Ppa> {
         self.check_lpn(lpn)?;
-        self.program_raw(PageKind::Data, lpn, tid, buf, hook)
+        let t_start = self.chip.clock().now();
+        let dst = self.program_raw(PageKind::Data, lpn, tid, buf, hook)?;
+        let t_end = self.chip.clock().now();
+        self.chip
+            .recorder()
+            .record_span(OpClass::FtlHostWrite, tid, lpn, t_start, t_end);
+        Ok(dst)
     }
 
     /// Queued copy-on-write data write (the device's batched `write_tx`
@@ -942,7 +964,12 @@ impl FtlBase {
         hook: &mut dyn GcHook,
     ) -> Result<(Ppa, Nanos)> {
         self.check_lpn(lpn)?;
-        self.program_raw_queued(PageKind::Data, lpn, tid, 0, buf, 0, hook)
+        let t_start = self.chip.clock().now();
+        let (dst, done) = self.program_raw_queued(PageKind::Data, lpn, tid, 0, buf, 0, hook)?;
+        self.chip
+            .recorder()
+            .record_span(OpClass::FtlHostWrite, tid, lpn, t_start, done);
+        Ok((dst, done))
     }
 
     /// Ordinary page write: copy-on-write plus immediate L2P update,
@@ -1135,6 +1162,7 @@ impl FtlBase {
     /// the committed X-L2P entries).
     pub fn recover(mut chip: FlashChip) -> Result<(FtlBase, RecoveryLog)> {
         chip.power_cycle();
+        let t_recover = chip.clock().now();
         let geo = chip.config().geometry;
 
         // 1. Newest valid checkpoint root across both meta blocks.
@@ -1298,6 +1326,10 @@ impl FtlBase {
             in_gc: false,
             chip,
         };
+        let t_end = base.chip.clock().now();
+        base.chip
+            .recorder()
+            .record_span(OpClass::RecoveryReplay, 0, 0, t_recover, t_end);
         Ok((
             base,
             RecoveryLog {

@@ -25,6 +25,7 @@
 use std::collections::HashMap;
 
 use xftl_flash::{FlashChip, Oob, PageKind, Ppa, SimClock};
+use xftl_trace::{OpClass, Recorder};
 
 use crate::base::{FtlBase, GcHook, NoHook, RecoveryLog};
 use crate::dev::{BlockDevice, DevCounters, Lpn, Tid, TxBlockDevice};
@@ -277,27 +278,37 @@ impl TxBlockDevice for TxFlashFtl {
 
     fn commit(&mut self, tid: Tid) -> Result<()> {
         self.base.counters_mut().commits += 1;
+        let t_start = self.base.clock().now();
         self.flush_pending(tid, true)?;
         self.pending.remove(&tid);
-        let Some(pages) = self.hook.programmed.remove(&tid) else {
-            return Ok(()); // read-only transaction
-        };
-        // The cycle is durably closed: fold the newest version of every
-        // page into the committed mapping.
-        for (lpn, ppa) in pages {
-            self.base.fold_mapping(lpn, ppa);
+        let folds = self.hook.programmed.remove(&tid);
+        if let Some(pages) = folds {
+            // The cycle is durably closed: fold the newest version of
+            // every page into the committed mapping.
+            for (lpn, ppa) in pages {
+                self.base.fold_mapping(lpn, ppa);
+            }
         }
+        let t_end = self.base.clock().now();
+        self.base
+            .recorder()
+            .record_span(OpClass::TxCommit, tid, 0, t_start, t_end);
         Ok(())
     }
 
     fn abort(&mut self, tid: Tid) -> Result<()> {
         self.base.counters_mut().aborts += 1;
+        let t_start = self.base.clock().now();
         self.pending.remove(&tid);
         if let Some(pages) = self.hook.programmed.remove(&tid) {
             for (_, ppa) in pages {
                 self.base.invalidate(ppa);
             }
         }
+        let t_end = self.base.clock().now();
+        self.base
+            .recorder()
+            .record_span(OpClass::TxAbort, tid, 0, t_start, t_end);
         Ok(())
     }
 }

@@ -1,0 +1,152 @@
+//! Operation classes: the fixed vocabulary of latency attribution.
+//!
+//! One histogram per class gives the per-layer breakdown the paper's
+//! argument needs — *where* in the stack time is paid: raw chip ops,
+//! channel queueing, FTL work, device transactions, file-system
+//! synchronization, or the database above it all.
+
+use crate::event::Layer;
+
+/// The operation classes the stack records latencies for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum OpClass {
+    /// Full-page NAND read (command overhead + cell + bus).
+    ChipRead,
+    /// NAND page program.
+    ChipProgram,
+    /// NAND block erase.
+    ChipErase,
+    /// OOB-only probe (recovery scans, GC validity checks).
+    ChipOobRead,
+    /// In-line ECC correction stall on a read.
+    EccCorrect,
+    /// Time a chip command waited for its channel/way to free up.
+    ChanQueueWait,
+    /// FTL host-attributed logical page read.
+    FtlHostRead,
+    /// FTL host-attributed logical page write (plain or copy-on-write).
+    FtlHostWrite,
+    /// One page relocated by garbage collection.
+    GcCopy,
+    /// Device-level transaction commit (X-FTL commit protocol).
+    TxCommit,
+    /// Device-level transaction abort.
+    TxAbort,
+    /// Crash-recovery replay (checkpoint load + log scan + fold).
+    RecoveryReplay,
+    /// File-system fsync (journal commit and/or device flush).
+    FsFsync,
+    /// Pager page fetch (cache miss service).
+    PagerFetch,
+    /// Pager commit flush (force-write of a transaction's dirty pages).
+    PagerFlush,
+    /// One SQL statement, parse to completion.
+    SqlStatement,
+}
+
+/// Number of operation classes.
+pub const N_OPS: usize = 16;
+
+impl OpClass {
+    /// All classes, in declaration (= report) order.
+    pub const ALL: [OpClass; N_OPS] = [
+        OpClass::ChipRead,
+        OpClass::ChipProgram,
+        OpClass::ChipErase,
+        OpClass::ChipOobRead,
+        OpClass::EccCorrect,
+        OpClass::ChanQueueWait,
+        OpClass::FtlHostRead,
+        OpClass::FtlHostWrite,
+        OpClass::GcCopy,
+        OpClass::TxCommit,
+        OpClass::TxAbort,
+        OpClass::RecoveryReplay,
+        OpClass::FsFsync,
+        OpClass::PagerFetch,
+        OpClass::PagerFlush,
+        OpClass::SqlStatement,
+    ];
+
+    /// Stable snake_case name used in reports and event streams.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::ChipRead => "chip_read",
+            OpClass::ChipProgram => "chip_program",
+            OpClass::ChipErase => "chip_erase",
+            OpClass::ChipOobRead => "chip_oob_read",
+            OpClass::EccCorrect => "ecc_correct",
+            OpClass::ChanQueueWait => "chan_queue_wait",
+            OpClass::FtlHostRead => "ftl_host_read",
+            OpClass::FtlHostWrite => "ftl_host_write",
+            OpClass::GcCopy => "gc_copy",
+            OpClass::TxCommit => "tx_commit",
+            OpClass::TxAbort => "tx_abort",
+            OpClass::RecoveryReplay => "recovery_replay",
+            OpClass::FsFsync => "fs_fsync",
+            OpClass::PagerFetch => "pager_fetch",
+            OpClass::PagerFlush => "pager_flush",
+            OpClass::SqlStatement => "sql_statement",
+        }
+    }
+
+    /// The stack layer that records this class.
+    pub fn layer(self) -> Layer {
+        match self {
+            OpClass::ChipRead
+            | OpClass::ChipProgram
+            | OpClass::ChipErase
+            | OpClass::ChipOobRead
+            | OpClass::EccCorrect
+            | OpClass::ChanQueueWait => Layer::Flash,
+            OpClass::FtlHostRead
+            | OpClass::FtlHostWrite
+            | OpClass::GcCopy
+            | OpClass::TxCommit
+            | OpClass::TxAbort
+            | OpClass::RecoveryReplay => Layer::Ftl,
+            OpClass::FsFsync => Layer::Fs,
+            OpClass::PagerFetch | OpClass::PagerFlush | OpClass::SqlStatement => Layer::Db,
+        }
+    }
+
+    /// Index into per-class arrays (declaration order).
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_complete_and_index_stable() {
+        assert_eq!(OpClass::ALL.len(), N_OPS);
+        for (i, op) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(op.idx(), i, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for a in OpClass::ALL {
+            for b in OpClass::ALL {
+                if a != b {
+                    assert_ne!(a.name(), b.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_layer_is_covered() {
+        for layer in [Layer::Flash, Layer::Ftl, Layer::Fs, Layer::Db] {
+            assert!(
+                OpClass::ALL.iter().any(|o| o.layer() == layer),
+                "{layer:?} has no op class"
+            );
+        }
+    }
+}

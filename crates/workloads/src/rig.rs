@@ -15,6 +15,8 @@ use xftl_ftl::{
     PageMappedFtl, Result, SataLink, Tid, TxBlockDevice,
 };
 
+use xftl_trace::Telemetry;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -182,6 +184,18 @@ impl AnyDev {
             AnyDev::AtomicW(d) => d.inner_mut().reset_stats(),
         }
     }
+
+    /// The telemetry handle installed on the underlying chip. All clones
+    /// share one sink, so this is how upper layers (and a rig recovered
+    /// from a crash) rejoin the stack-wide telemetry: the chip carries the
+    /// handle across power cycles.
+    pub fn recorder(&self) -> Telemetry {
+        match self {
+            AnyDev::Plain(d) => d.inner().base().recorder().clone(),
+            AnyDev::X(d) => d.inner().base().recorder().clone(),
+            AnyDev::AtomicW(d) => d.inner().base().recorder().clone(),
+        }
+    }
 }
 
 /// Rig parameters.
@@ -329,6 +343,9 @@ impl Rig {
             Profile::S830 => LinkConfig::SATA3,
         };
         let mut chip = FlashChip::new(flash_cfg, clock.clone());
+        // One telemetry handle serves every layer; installed on the chip
+        // pre-format so the FTL, file system, and database all clone it.
+        chip.set_recorder(Telemetry::new());
         if let Some(env) = cfg.fault {
             chip.set_fault_plan(env.plan());
         }
@@ -358,11 +375,13 @@ impl Rig {
             journal_pages: 256.min(cfg.logical_pages / 8).max(16),
             cache_pages: cfg.fs_cache_pages,
         };
-        let fs = match cfg.fs_mode() {
+        let mut fs = match cfg.fs_mode() {
             JournalMode::Off => FileSystem::mkfs_tx(dev, JournalMode::Off, fs_cfg),
             mode => FileSystem::mkfs(dev, mode, fs_cfg),
         }
         .expect("mkfs");
+        let telemetry = fs.device().recorder();
+        fs.set_recorder(clock.clone(), telemetry);
         Rig {
             fs: Rc::new(RefCell::new(fs)),
             clock,
@@ -372,7 +391,16 @@ impl Rig {
 
     /// Opens a database on the rig, in the mode's journal configuration.
     pub fn open_db(&self, name: &str) -> Connection<AnyDev> {
-        Connection::open(Rc::clone(&self.fs), name, self.cfg.mode.db_mode()).expect("open db")
+        let mut conn =
+            Connection::open(Rc::clone(&self.fs), name, self.cfg.mode.db_mode()).expect("open db");
+        conn.set_recorder(self.clock.clone(), self.telemetry());
+        conn
+    }
+
+    /// The stack-wide telemetry handle (histograms and, with the `trace`
+    /// feature, the structured event ring).
+    pub fn telemetry(&self) -> Telemetry {
+        self.fs.borrow().device().recorder()
     }
 
     /// The configuration this rig was built with.
@@ -418,7 +446,7 @@ impl Rig {
 
     /// Reassembles a rig around a recovered device.
     pub fn reassemble(dev: AnyDev, clock: SimClock, cfg: RigConfig) -> Rig {
-        let fs = Self::mount_any(dev, &cfg);
+        let fs = Self::mount_any(dev, &clock, &cfg);
         Rig {
             fs: Rc::new(RefCell::new(fs)),
             clock,
@@ -426,12 +454,17 @@ impl Rig {
         }
     }
 
-    fn mount_any(dev: AnyDev, cfg: &RigConfig) -> FileSystem<AnyDev> {
-        match cfg.fs_mode() {
+    fn mount_any(dev: AnyDev, clock: &SimClock, cfg: &RigConfig) -> FileSystem<AnyDev> {
+        // The chip carried the telemetry handle through the power cycle;
+        // rejoin the freshly mounted file system to it.
+        let telemetry = dev.recorder();
+        let mut fs = match cfg.fs_mode() {
             JournalMode::Off => FileSystem::mount_tx(dev, JournalMode::Off, cfg.fs_cache_pages),
             mode => FileSystem::mount(dev, mode, cfg.fs_cache_pages),
         }
-        .expect("mount")
+        .expect("mount");
+        fs.set_recorder(clock.clone(), telemetry);
+        fs
     }
 
     /// Simulates a power loss and full recovery: the file system and all
@@ -480,7 +513,7 @@ impl Rig {
             AnyDev::X(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
             AnyDev::AtomicW(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
         }
-        let fs = Self::mount_any(dev, &cfg);
+        let fs = Self::mount_any(dev, &clock, &cfg);
         (
             Rig {
                 fs: Rc::new(RefCell::new(fs)),

@@ -1,15 +1,25 @@
 //! # xtask — repository automation
 //!
-//! Run with `cargo run -p xtask -- <command>`. The only command today is
-//! `lint-sim`, the determinism wall: the whole simulator is driven by the
-//! shared [`SimClock`], so any host wall-clock read, host sleep, or
-//! OS-seeded randomness inside simulator code silently breaks
-//! reproducibility without failing a single test. `lint-sim` greps the
-//! source tree for the banned constructs and fails loudly instead.
+//! Run with `cargo run -p xtask -- <command>`. Two commands:
+//!
+//! - `lint-sim` — the determinism wall: the whole simulator is driven by
+//!   the shared [`SimClock`], so any host wall-clock read, host sleep, or
+//!   OS-seeded randomness inside simulator code silently breaks
+//!   reproducibility without failing a single test. `lint-sim` greps the
+//!   source tree for the banned constructs and fails loudly instead.
+//! - `bench-check [fresh] [baseline]` — the perf-regression gate: parses
+//!   a freshly generated bench report (default `BENCH_all.json`) and the
+//!   committed baseline (default `BENCH_BASELINE.json`) and compares
+//!   every metric with a per-metric tolerance (counts exact, simulated
+//!   latencies/throughputs within 10 %). Missing or unexpected metrics
+//!   are violations too, so the baseline can't silently go stale.
 //!
 //! A line that legitimately needs the host clock (e.g. a benchmark
 //! harness measuring *host* elapsed time) carries a
-//! `lint-sim: allow` marker comment and is skipped.
+//! `lint-sim: allow` marker comment and is skipped — except inside
+//! `crates/trace`, where no waiver is honoured: the telemetry layer is
+//! the thing whose determinism everything else leans on, so it may only
+//! ever ingest SimClock timestamps.
 //!
 //! `lint-sim` also enforces that every crate root carries
 //! `#![forbid(unsafe_code)]`, keeping the workspace-level deny from being
@@ -24,8 +34,15 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// The waiver marker: a matched line containing this string is accepted.
+use xftl_trace::BenchReport;
+
+/// The waiver marker: a matched line containing this string is accepted
+/// (everywhere except `crates/trace` — see [`NO_WAIVER_DIR`]).
 const ALLOW_MARKER: &str = "lint-sim: allow";
+
+/// Directory whose sources get no waivers and stricter patterns: the
+/// telemetry crate must only ever ingest SimClock timestamps.
+const NO_WAIVER_DIR: &str = "crates/trace";
 
 /// Banned source constructs. Assembled with `concat!` so this file does
 /// not itself contain the contiguous tokens it bans.
@@ -74,6 +91,16 @@ fn banned_patterns() -> Vec<(&'static str, &'static str)> {
     ]
 }
 
+/// Patterns banned inside [`NO_WAIVER_DIR`] on top of the global set:
+/// any `std::time` reach-through (`Duration` parsing included) is out —
+/// the trace crate's only time type is the simulated `Nanos`.
+fn trace_only_patterns() -> Vec<(&'static str, &'static str)> {
+    vec![(
+        concat!("std::", "time"),
+        "host time types in the telemetry crate (ingest SimClock Nanos only)",
+    )]
+}
+
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
@@ -102,20 +129,32 @@ fn lint_sim(root: &Path) -> usize {
     }
     files.sort();
 
+    let trace_only = trace_only_patterns();
+    let no_waiver_root = root.join(NO_WAIVER_DIR);
     let mut violations = 0;
     let mut report = String::new();
     for file in &files {
         let Ok(text) = fs::read_to_string(file) else {
             continue;
         };
+        let no_waiver = file.starts_with(&no_waiver_root);
         for (idx, line) in text.lines().enumerate() {
-            if line.contains(ALLOW_MARKER) {
+            if line.contains(ALLOW_MARKER) && !no_waiver {
                 continue;
             }
             for (pat, why) in &banned {
                 if line.contains(pat) {
                     violations += 1;
                     let _ = writeln!(report, "{}:{}: `{pat}` — {why}", file.display(), idx + 1,);
+                }
+            }
+            if no_waiver {
+                for (pat, why) in &trace_only {
+                    if line.contains(pat) {
+                        violations += 1;
+                        let _ =
+                            writeln!(report, "{}:{}: `{pat}` — {why}", file.display(), idx + 1,);
+                    }
                 }
             }
         }
@@ -156,6 +195,108 @@ fn lint_sim(root: &Path) -> usize {
     violations
 }
 
+// --- bench-check: the perf-regression gate -------------------------------
+
+/// Relative tolerance for one metric, chosen by naming convention: the
+/// simulation is deterministic, so *counts* must match the baseline
+/// exactly, while simulated *latencies and throughputs* — which shift
+/// whenever the timing model is deliberately improved — get 10 % before
+/// the gate demands a baseline refresh.
+fn tolerance_for(name: &str) -> f64 {
+    let timing_suffixes = ["_ns", "_iops", "_tps", "_tpm", "pages_per_txn"];
+    if timing_suffixes.iter().any(|s| name.ends_with(s)) {
+        0.10
+    } else {
+        0.0
+    }
+}
+
+fn within(base: f64, fresh: f64, tol: f64) -> bool {
+    if tol == 0.0 {
+        return base == fresh;
+    }
+    // Scale-relative band, with an absolute floor so a 0-vs-1 jitter on
+    // a near-zero latency doesn't trip the gate.
+    (fresh - base).abs() <= tol * base.abs().max(1.0)
+}
+
+/// Flattens a report's metrics plus histogram summaries into one
+/// comparable `(name, value)` list. Histogram fields inherit the field
+/// suffix (`count` exact, `*_ns` tolerant) via [`tolerance_for`].
+fn flatten(report: &BenchReport) -> Vec<(String, f64)> {
+    let mut out = report.metrics.clone();
+    for (name, s) in &report.hists {
+        out.push((format!("{name}.count"), s.count as f64));
+        out.push((format!("{name}.sum_ns"), s.sum_ns as f64));
+        out.push((format!("{name}.p50_ns"), s.p50_ns as f64));
+        out.push((format!("{name}.p95_ns"), s.p95_ns as f64));
+        out.push((format!("{name}.p99_ns"), s.p99_ns as f64));
+        out.push((format!("{name}.max_ns"), s.max_ns as f64));
+    }
+    out
+}
+
+/// Compares a fresh report against the committed baseline. Returns one
+/// human-readable line per violation; empty means the gate passes.
+fn compare_reports(baseline: &BenchReport, fresh: &BenchReport) -> Vec<String> {
+    let base = flatten(baseline);
+    let new = flatten(fresh);
+    let mut violations = Vec::new();
+    for (name, b) in &base {
+        match new.iter().find(|(n, _)| n == name) {
+            None => violations.push(format!("missing metric `{name}` (baseline has {b})")),
+            Some((_, f)) => {
+                let tol = tolerance_for(name);
+                if !within(*b, *f, tol) {
+                    violations.push(format!(
+                        "`{name}`: fresh {f} vs baseline {b} (tolerance {:.0}%)",
+                        tol * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for (name, f) in &new {
+        if !base.iter().any(|(n, _)| n == name) {
+            violations.push(format!(
+                "new metric `{name}` = {f} not in baseline (refresh BENCH_BASELINE.json)"
+            ));
+        }
+    }
+    violations
+}
+
+fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    BenchReport::from_json(&text).map_err(|e| format!("cannot parse {}: {}", path.display(), e.msg))
+}
+
+/// The `bench-check` command body: loads both reports, prints every
+/// violation, returns the violation count.
+fn bench_check(fresh_path: &Path, baseline_path: &Path) -> Result<usize, String> {
+    let baseline = load_report(baseline_path)?;
+    let fresh = load_report(fresh_path)?;
+    if baseline.meta != fresh.meta {
+        return Err(format!(
+            "report meta mismatch (fresh {:?} vs baseline {:?}) — compare runs at the same scale",
+            fresh.meta, baseline.meta
+        ));
+    }
+    let violations = compare_reports(&baseline, &fresh);
+    for v in &violations {
+        println!("bench-check: {v}");
+    }
+    println!(
+        "bench-check: {} vs {}: {} metric(s) compared, {} violation(s)",
+        fresh_path.display(),
+        baseline_path.display(),
+        flatten(&baseline).len(),
+        violations.len(),
+    );
+    Ok(violations.len())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     // CARGO_MANIFEST_DIR points at xtask/; the repo root is its parent.
@@ -170,8 +311,31 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("bench-check") => {
+            let fresh = args
+                .get(2)
+                .map_or_else(|| root.join("BENCH_all.json"), PathBuf::from);
+            let baseline = args
+                .get(3)
+                .map_or_else(|| root.join("BENCH_BASELINE.json"), PathBuf::from);
+            match bench_check(&fresh, &baseline) {
+                Ok(0) => ExitCode::SUCCESS,
+                Ok(_) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("bench-check: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint-sim");
+            eprintln!(
+                "usage: cargo run -p xtask -- <command>\n\
+                 \n\
+                 commands:\n\
+                 \x20 lint-sim                        wall-clock/entropy leak check\n\
+                 \x20 bench-check [fresh] [baseline]  compare bench reports\n\
+                 \x20                                 (defaults: BENCH_all.json BENCH_BASELINE.json)"
+            );
             ExitCode::FAILURE
         }
     }
@@ -194,6 +358,89 @@ mod tests {
                 assert!(!line.contains(pat), "self-match on pattern {pat}: {line}");
             }
         }
+    }
+
+    fn report_with(metrics: &[(&str, f64)]) -> BenchReport {
+        let mut r = BenchReport::new("all");
+        r.meta("scale", "smoke");
+        for (n, v) in metrics {
+            r.metric(n, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn bench_check_passes_on_identical_reports() {
+        let base = report_with(&[
+            ("table1.xftl.fsyncs", 12.0),
+            ("fig5.v50.u5.xftl.elapsed_ns", 1e9),
+        ]);
+        assert!(compare_reports(&base, &base.clone()).is_empty());
+    }
+
+    #[test]
+    fn bench_check_tolerates_small_timing_drift_only() {
+        let base = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1e9)]);
+        // 8% latency drift: inside the 10% band.
+        let fresh = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1.08e9)]);
+        assert!(compare_reports(&base, &fresh).is_empty());
+        // 12% drift: violation (the negative test of the acceptance
+        // criteria — a perturbed metric must fail the gate).
+        let fresh = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1.12e9)]);
+        assert_eq!(compare_reports(&base, &fresh).len(), 1);
+    }
+
+    #[test]
+    fn bench_check_counts_are_exact() {
+        let base = report_with(&[("table1.xftl.fsyncs", 12.0)]);
+        let fresh = report_with(&[("table1.xftl.fsyncs", 13.0)]);
+        assert_eq!(compare_reports(&base, &fresh).len(), 1);
+    }
+
+    #[test]
+    fn bench_check_flags_missing_and_extra_metrics() {
+        let base = report_with(&[("a.count", 1.0), ("b.count", 2.0)]);
+        let fresh = report_with(&[("a.count", 1.0), ("c.count", 3.0)]);
+        let v = compare_reports(&base, &fresh);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("missing metric `b.count`")));
+        assert!(v.iter().any(|m| m.contains("new metric `c.count`")));
+    }
+
+    #[test]
+    fn bench_check_compares_histogram_summaries() {
+        use xftl_trace::{OpClass, Recorder, Telemetry};
+        let mk = |lat: u64| {
+            let t = Telemetry::new();
+            t.record(OpClass::TxCommit, lat);
+            let mut r = BenchReport::new("all");
+            r.attach_telemetry(&t);
+            r
+        };
+        let base = mk(1_000_000);
+        // Same count, latency shifted far beyond 10%: the *_ns hist
+        // fields trip, the count field does not.
+        let fresh = mk(2_000_000);
+        let v = compare_reports(&base, &fresh);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|m| m.contains("_ns")), "{v:?}");
+    }
+
+    #[test]
+    fn trace_crate_gets_no_waivers() {
+        // A waiver marker inside crates/trace must NOT suppress a match;
+        // synthesize the scan logic's inputs directly.
+        let root = Path::new("/repo");
+        let no_waiver_root = root.join(NO_WAIVER_DIR);
+        let in_trace = root.join("crates/trace/src/hist.rs");
+        let outside = root.join("crates/flash/src/chip.rs");
+        assert!(in_trace.starts_with(&no_waiver_root));
+        assert!(!outside.starts_with(&no_waiver_root));
+        // And the trace-only pattern bans std::time reach-through.
+        let line = format!("use std::{}::Duration; // lint-sim: allow", "time");
+        assert!(trace_only_patterns()
+            .iter()
+            .any(|(pat, _)| line.contains(pat)));
     }
 
     #[test]
