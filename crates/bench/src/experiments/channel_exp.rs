@@ -21,6 +21,13 @@ use crate::report::{millis, Table};
 /// Channel counts swept by the experiment.
 pub const CHANNEL_SWEEP: [u32; 3] = [1, 2, 4];
 
+/// Queue depths swept by the commit-pipeline experiment (X-FTL only —
+/// the journal modes have no split-phase commit to pipeline).
+pub const QDEPTH_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Channel count the queue-depth sweep runs at.
+const QDEPTH_CHANNELS: u32 = 4;
+
 const JOBS: usize = 4;
 const WRITES_PER_FSYNC: usize = 10;
 
@@ -43,15 +50,16 @@ fn channel_rig(setup: FsSetup, channels: u32, scale: &FioScale) -> Rig {
     })
 }
 
-/// One measured point plus the flash-level stats behind it.
+/// One measured point plus the flash- and FTL-level stats behind it.
 struct Point {
     iops: f64,
     flash: FlashStats,
+    ftl: xftl_ftl::FtlStats,
 }
 
-fn run_point(setup: FsSetup, channels: u32, scale: &FioScale) -> Point {
+fn run_point(setup: FsSetup, channels: u32, queue_depth: usize, scale: &FioScale) -> Point {
     let rig = channel_rig(setup, channels, scale);
-    let before = rig.snapshot().flash;
+    let before = rig.snapshot();
     let r = fio::run(
         &rig,
         &FioConfig {
@@ -60,17 +68,19 @@ fn run_point(setup: FsSetup, channels: u32, scale: &FioScale) -> Point {
             writes_per_fsync: WRITES_PER_FSYNC,
             duration_secs: scale.duration_secs,
             seed: 7,
+            queue_depth,
         },
     );
-    let flash = rig.snapshot().flash - before;
-    if setup == FsSetup::XFtlOff {
+    let after = rig.snapshot();
+    if setup == FsSetup::XFtlOff && queue_depth == 1 {
         // Queue-wait / chip-op latency distributions behind the X-FTL
         // rows of the report.
         metrics::hists(&format!("channels.ch{channels}"), &rig.telemetry());
     }
     Point {
         iops: r.iops,
-        flash,
+        flash: after.flash - before.flash,
+        ftl: after.ftl - before.ftl,
     }
 }
 
@@ -91,9 +101,9 @@ pub fn channel_scaling(scale: FioScale) -> String {
     ]);
     let mut x_points: Vec<Point> = Vec::new();
     for &ch in &CHANNEL_SWEEP {
-        let x = run_point(FsSetup::XFtlOff, ch, &scale);
-        let o = run_point(FsSetup::Ordered, ch, &scale);
-        let f = run_point(FsSetup::Full, ch, &scale);
+        let x = run_point(FsSetup::XFtlOff, ch, 1, &scale);
+        let o = run_point(FsSetup::Ordered, ch, 1, &scale);
+        let f = run_point(FsSetup::Full, ch, 1, &scale);
         metrics::metric(format!("channels.ch{ch}.xftl_iops"), x.iops);
         metrics::metric(format!("channels.ch{ch}.ordered_iops"), o.iops);
         metrics::metric(format!("channels.ch{ch}.full_iops"), f.iops);
@@ -146,6 +156,53 @@ pub fn channel_scaling(scale: FioScale) -> String {
     }
     out.push_str(&u.render());
     out.push('\n');
+
+    // Commit-pipeline sweep: IOPS vs split-phase queue depth on the
+    // X-FTL rig. Depth 1 is the classic blocking fsync; deeper queues
+    // overlap tx N+1's writes with tx N's in-flight commit and let the
+    // device coalesce staged commits into one group flush (fewer meta
+    // programs per commit).
+    out.push_str(&format!(
+        "Commit pipeline: X-FTL IOPS vs queue depth ({QDEPTH_CHANNELS} channels):\n\n"
+    ));
+    let mut q = Table::new(vec![
+        "queue depth",
+        "IOPS",
+        "speedup",
+        "group flushes",
+        "commits coalesced",
+        "coalesce ratio",
+    ]);
+    let mut base_iops = None;
+    for &qd in &QDEPTH_SWEEP {
+        let p = run_point(FsSetup::XFtlOff, QDEPTH_CHANNELS, qd, &scale);
+        let flushes = p.ftl.group_commit_flushes;
+        let coalesced = p.ftl.commits_coalesced;
+        metrics::metric(format!("channels.qd{qd}.xftl_iops"), p.iops);
+        metrics::metric(
+            format!("channels.qd{qd}.group_commit_flushes"),
+            flushes as f64,
+        );
+        metrics::metric(
+            format!("channels.qd{qd}.commits_coalesced"),
+            coalesced as f64,
+        );
+        let base = *base_iops.get_or_insert(p.iops);
+        q.row(vec![
+            qd.to_string(),
+            format!("{:.0}", p.iops),
+            format!("{:.2}x", p.iops / base),
+            flushes.to_string(),
+            coalesced.to_string(),
+            if flushes > 0 {
+                format!("{:.2}", coalesced as f64 / flushes as f64)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    out.push_str(&q.render());
+    out.push('\n');
     out
 }
 
@@ -163,16 +220,16 @@ mod tests {
     #[test]
     fn iops_scale_with_channels_and_mode_order_holds() {
         let scale = tiny_scale();
-        let x1 = run_point(FsSetup::XFtlOff, 1, &scale);
-        let x4 = run_point(FsSetup::XFtlOff, 4, &scale);
+        let x1 = run_point(FsSetup::XFtlOff, 1, 1, &scale);
+        let x4 = run_point(FsSetup::XFtlOff, 4, 1, &scale);
         assert!(
             x4.iops > x1.iops,
             "4 channels ({:.0}) should beat 1 ({:.0})",
             x4.iops,
             x1.iops
         );
-        let o4 = run_point(FsSetup::Ordered, 4, &scale);
-        let f4 = run_point(FsSetup::Full, 4, &scale);
+        let o4 = run_point(FsSetup::Ordered, 4, 1, &scale);
+        let f4 = run_point(FsSetup::Full, 4, 1, &scale);
         assert!(x4.iops > o4.iops, "X-FTL should beat ordered at 4 channels");
         assert!(o4.iops > f4.iops, "ordered should beat full at 4 channels");
         // The stats the report prints must actually be populated.
@@ -180,6 +237,33 @@ mod tests {
         assert!(
             x4.flash.busy_channel_ns.iter().filter(|&&b| b > 0).count() >= 2,
             "work should spread over multiple channels"
+        );
+    }
+
+    #[test]
+    fn commit_pipeline_scales_with_queue_depth() {
+        let scale = tiny_scale();
+        let q1 = run_point(FsSetup::XFtlOff, 4, 1, &scale);
+        let q8 = run_point(FsSetup::XFtlOff, 4, 8, &scale);
+        assert!(
+            q8.iops > q1.iops,
+            "queue depth 8 ({:.0}) should beat depth 1 ({:.0})",
+            q8.iops,
+            q1.iops
+        );
+        // The win must come from group commit actually coalescing: fewer
+        // meta programs than commits.
+        assert!(q8.ftl.group_commit_flushes > 0, "no group flushes recorded");
+        assert!(
+            q8.ftl.commits_coalesced > q8.ftl.group_commit_flushes,
+            "commits ({}) should outnumber group flushes ({})",
+            q8.ftl.commits_coalesced,
+            q8.ftl.group_commit_flushes
+        );
+        // Depth 1 flushes every commit alone: one commit per group.
+        assert_eq!(
+            q1.ftl.commits_coalesced, q1.ftl.group_commit_flushes,
+            "depth 1 should never coalesce"
         );
     }
 }

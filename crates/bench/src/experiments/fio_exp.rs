@@ -92,12 +92,17 @@ fn fio_rig(setup: FsSetup, profile: Profile, scale: &FioScale) -> Rig {
     })
 }
 
+/// Queue depth of the pipelined X-FTL rows in Figure 9. The ext4 setups
+/// have no split-phase commit, so their rows always run at depth 1.
+pub const FIG9_QUEUE_DEPTH: usize = 8;
+
 /// One measured IOPS point.
 pub fn run_point(
     setup: FsSetup,
     profile: Profile,
     jobs: usize,
     writes_per_fsync: usize,
+    queue_depth: usize,
     scale: &FioScale,
 ) -> f64 {
     let rig = fio_rig(setup, profile, scale);
@@ -109,6 +114,7 @@ pub fn run_point(
             writes_per_fsync,
             duration_secs: scale.duration_secs,
             seed: 7,
+            queue_depth,
         },
     );
     r.iops
@@ -124,9 +130,9 @@ pub fn fig8(scale: FioScale) -> String {
     ));
     let mut t = Table::new(vec!["pages/fsync", "X-FTL", "ordered", "full"]);
     for wpf in [1usize, 5, 10, 15, 20] {
-        let x = run_point(FsSetup::XFtlOff, Profile::OpenSsd, 1, wpf, &scale);
-        let o = run_point(FsSetup::Ordered, Profile::OpenSsd, 1, wpf, &scale);
-        let f = run_point(FsSetup::Full, Profile::OpenSsd, 1, wpf, &scale);
+        let x = run_point(FsSetup::XFtlOff, Profile::OpenSsd, 1, wpf, 1, &scale);
+        let o = run_point(FsSetup::Ordered, Profile::OpenSsd, 1, wpf, 1, &scale);
+        let f = run_point(FsSetup::Full, Profile::OpenSsd, 1, wpf, 1, &scale);
         metrics::metric(format!("fig8.wpf{wpf}.xftl_iops"), x);
         metrics::metric(format!("fig8.wpf{wpf}.ordered_iops"), o);
         metrics::metric(format!("fig8.wpf{wpf}.full_iops"), f);
@@ -149,24 +155,38 @@ pub fn fig8(scale: FioScale) -> String {
 /// the old board still lands between the new drive's journaling modes.
 pub fn fig9(scale: FioScale) -> String {
     let mut out = String::new();
-    out.push_str("=== Figure 9: FIO benchmark, X-FTL vs S830 SSD (16 jobs; 8 KB IOPS) ===\n\n");
+    out.push_str(&format!(
+        "=== Figure 9: FIO benchmark, X-FTL vs S830 SSD (16 jobs; 8 KB IOPS; \
+         X-FTL commit pipeline at queue depth {FIG9_QUEUE_DEPTH}) ===\n\n"
+    ));
     let mut t = Table::new(vec![
         "pages/fsync",
         "S830 ordered",
         "OpenSSD X-FTL",
+        "X-FTL qd=1",
         "S830 full",
     ]);
     for wpf in [1usize, 5, 10, 15, 20] {
-        let so = run_point(FsSetup::Ordered, Profile::S830, 16, wpf, &scale);
-        let x = run_point(FsSetup::XFtlOff, Profile::OpenSsd, 16, wpf, &scale);
-        let sf = run_point(FsSetup::Full, Profile::S830, 16, wpf, &scale);
+        let so = run_point(FsSetup::Ordered, Profile::S830, 16, wpf, 1, &scale);
+        let x = run_point(
+            FsSetup::XFtlOff,
+            Profile::OpenSsd,
+            16,
+            wpf,
+            FIG9_QUEUE_DEPTH,
+            &scale,
+        );
+        let x1 = run_point(FsSetup::XFtlOff, Profile::OpenSsd, 16, wpf, 1, &scale);
+        let sf = run_point(FsSetup::Full, Profile::S830, 16, wpf, 1, &scale);
         metrics::metric(format!("fig9.wpf{wpf}.s830_ordered_iops"), so);
         metrics::metric(format!("fig9.wpf{wpf}.openssd_xftl_iops"), x);
+        metrics::metric(format!("fig9.wpf{wpf}.openssd_xftl_qd1_iops"), x1);
         metrics::metric(format!("fig9.wpf{wpf}.s830_full_iops"), sf);
         t.row(vec![
             wpf.to_string(),
             format!("{so:.0}"),
             format!("{x:.0}"),
+            format!("{x1:.0}"),
             format!("{sf:.0}"),
         ]);
     }

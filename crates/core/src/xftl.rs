@@ -8,7 +8,7 @@
 //! instead of the L2P table, and `commit` makes one small table write plus
 //! a meta-root update (Figure 4).
 //!
-//! ## Commit protocol (Figure 4)
+//! ## Commit protocol (Figure 4), pipelined
 //!
 //! 1. flip the transaction's X-L2P entries to *Committed* in device RAM;
 //! 2. write the X-L2P table copy-on-write to fresh flash pages and point
@@ -20,16 +20,36 @@
 //! at any instant leaves either the old committed state or the new one
 //! reachable — never neither.
 //!
+//! The command set is split-phase: `commit_submit(tid)` performs step 1
+//! only and *stages* the transaction into the current commit group, and
+//! `commit_wait(ticket)` triggers the **group flush** — steps 2 and 3 for
+//! every staged transaction at once, sharing a single X-L2P table write
+//! and a single meta-root program. Between submit and flush the staged
+//! versions are visible (reads are routed through the X-L2P table) but
+//! not durable; the next transaction's data writes stream into the
+//! channel queues underneath the staged commits, which is where the
+//! pipeline's throughput comes from. Any operation that must order after
+//! a staged fold (a plain write/trim to a staged page, a checkpoint, a
+//! flush) forces the group flush first, so the one-writer-at-a-time
+//! semantics of the blocking command are preserved exactly.
+//!
+//! A power loss before the group flush loses every staged transaction
+//! *whole*: the persisted X-L2P table still shows their entries Active
+//! (or absent), so recovery aborts them — the unacknowledged commit
+//! never half-applies.
+//!
 //! ## Abort
 //!
 //! Two RAM-only steps (§5.3): drop the transaction's entries and invalidate
 //! its flash pages. No flash write is needed: a crash turns in-flight
 //! transactions into aborts for free.
 
+use std::collections::HashMap;
+
 use xftl_flash::{FlashChip, PageKind, SimClock};
 use xftl_ftl::{
-    BlockDevice, CmdId, CmdQueue, DevCounters, DevError, FtlBase, FtlStats, IoCmd, Lpn, NoHook,
-    Result, Tid, TxBlockDevice,
+    BlockDevice, CmdId, CmdQueue, CommitTicket, DevCounters, DevError, FtlBase, FtlStats, IoCmd,
+    Lpn, NoHook, Result, Tid, TxBlockDevice,
 };
 use xftl_trace::{OpClass, Recorder};
 
@@ -59,6 +79,17 @@ pub struct XFtl {
     base: FtlBase,
     table: Xl2pTable,
     queue: CmdQueue,
+    /// Transactions staged by `commit_submit` into the open commit group,
+    /// in submission order (= fold order at the group flush). A tid may
+    /// appear twice if it was reused and committed twice in one window.
+    staged: Vec<Tid>,
+    /// Newest staged writer per logical page: reads of a staged page are
+    /// routed through the (GC-chased) X-L2P entry of this tid instead of
+    /// the not-yet-updated L2P table.
+    staged_writers: HashMap<Lpn, Tid>,
+    /// Id the open commit group's ticket carries; groups flush in order,
+    /// so a ticket is durable exactly when its id is below this counter.
+    next_group: u64,
 }
 
 impl XFtl {
@@ -79,6 +110,9 @@ impl XFtl {
             base: FtlBase::format(chip, logical_pages)?,
             table: Xl2pTable::new(xl2p_capacity),
             queue: CmdQueue::default(),
+            staged: Vec::new(),
+            staged_writers: HashMap::new(),
+            next_group: 1,
         })
     }
 
@@ -147,18 +181,109 @@ impl XFtl {
                 base,
                 table: Xl2pTable::new(xl2p_capacity),
                 queue: CmdQueue::default(),
+                staged: Vec::new(),
+                staged_writers: HashMap::new(),
+                next_group: 1,
             },
             breakdown,
         ))
     }
 
     /// Checkpoints the L2P table and releases committed X-L2P entries,
-    /// whose folds the checkpoint now covers.
+    /// whose folds the checkpoint now covers. Staged commits flush first:
+    /// releasing an entry whose fold has not been applied would lose the
+    /// commit while the device is still running.
     fn checkpoint_and_release(&mut self) -> Result<()> {
+        self.flush_staged_commits()?;
+        self.checkpoint_and_release_raw()
+    }
+
+    /// The release itself, for callers that already flushed (or are the
+    /// flush): persist the L2P, drop the folded entries.
+    fn checkpoint_and_release_raw(&mut self) -> Result<()> {
         self.base.clear_xl2p_roots();
         self.base.checkpoint(&mut self.table)?;
         self.table.release_committed();
         Ok(())
+    }
+
+    /// The group flush — steps 2 and 3 of Figure 4 for *every* staged
+    /// transaction at once: one copy-on-write X-L2P table write and one
+    /// meta-root program make the whole group durable, then the folds are
+    /// applied in submission order. This is where concurrent
+    /// `commit_submit`s coalesce; with N staged commits the meta-page
+    /// cost is 1/N per transaction.
+    fn flush_staged_commits(&mut self) -> Result<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let t_start = self.base.clock().now();
+        // The persist below drains the chip at its durability barrier, so
+        // every outstanding ticket is retired here (ledger bound, as in
+        // the classic blocking commit).
+        self.queue.retire(CmdId(u64::MAX));
+        // Step 2 (durability point), once for the whole group.
+        let pages = self
+            .table
+            .encode_pages(self.base.page_size(), self.base.pages_per_block());
+        self.base.persist_xl2p(&pages, &mut self.table)?;
+        // Step 3: fold in submission order, so a page committed by two
+        // staged transactions ends up at the later writer's version.
+        let staged = std::mem::take(&mut self.staged);
+        self.staged_writers.clear();
+        for &tid in &staged {
+            // Only *committed* entries fold: the host may have started
+            // writing the transaction's next batch after commit_submit,
+            // and those still-active versions must not leak into the L2P.
+            let folds: Vec<(Lpn, xftl_flash::Ppa)> = self
+                .table
+                .entries_of(tid)
+                .filter(|e| e.status == crate::xl2p::TxStatus::Committed)
+                .map(|e| (e.lpn, e.ppa))
+                .collect();
+            for (lpn, ppa) in folds {
+                self.base.fold_mapping(lpn, ppa);
+            }
+        }
+        self.next_group += 1;
+        let stats = self.base.stats_mut();
+        stats.group_commit_flushes += 1;
+        stats.commits_coalesced += staged.len() as u64;
+        let t_end = self.base.clock().now();
+        for &tid in &staged {
+            self.base
+                .recorder()
+                .record_span(OpClass::TxCommit, tid, 0, t_start, t_end);
+        }
+        self.base.recorder().record_span(
+            OpClass::GroupCommitCoalesce,
+            0,
+            staged.len() as u64,
+            t_start,
+            t_end,
+        );
+        // Housekeeping: once committed entries crowd the table, persist
+        // the L2P and release them.
+        if self.table.committed_len() > self.table.capacity() / 2 {
+            self.checkpoint_and_release_raw()?;
+        }
+        Ok(())
+    }
+
+    /// Routes a read of `lpn` through the staged (committed but not yet
+    /// folded) version if one exists. Returns `true` if it served the
+    /// read. The X-L2P entry is consulted at read time, so GC relocations
+    /// of the staged page are chased for free.
+    fn read_staged(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<bool> {
+        let Some(&tid) = self.staged_writers.get(&lpn) else {
+            return Ok(false);
+        };
+        let Some(entry) = self.table.lookup(tid, lpn) else {
+            return Ok(false);
+        };
+        let ppa = entry.ppa;
+        self.base.read_at(ppa, buf)?;
+        Ok(true)
     }
 
     /// Pre-write bookkeeping shared by `write_tx` and `submit_tx`: ensure
@@ -246,6 +371,18 @@ impl XFtl {
     pub fn xl2p(&self) -> &Xl2pTable {
         &self.table
     }
+
+    /// Transactions staged in the open commit group (submitted, visible,
+    /// not yet durable), in submission order — for audits and tests.
+    pub fn staged_tids(&self) -> &[Tid] {
+        &self.staged
+    }
+
+    /// True if `lpn` has a staged commit fold that the L2P table does not
+    /// reflect yet — for audits.
+    pub fn lpn_has_staged_fold(&self, lpn: Lpn) -> bool {
+        self.staged_writers.contains_key(&lpn)
+    }
 }
 
 impl BlockDevice for XFtl {
@@ -259,21 +396,35 @@ impl BlockDevice for XFtl {
 
     fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
         self.base.counters_mut().host_reads += 1;
+        // A staged commit's version is visible before it is durable.
+        if self.read_staged(lpn, buf)? {
+            return Ok(());
+        }
         self.base.read_committed(lpn, buf)
     }
 
     fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        // A plain write to a staged page must order after the staged
+        // fold, or the fold would later clobber it: flush the group.
+        if self.staged_writers.contains_key(&lpn) {
+            self.flush_staged_commits()?;
+        }
         self.base.counters_mut().host_writes += 1;
         self.base.write_committed(lpn, buf, &mut self.table)
     }
 
     fn trim(&mut self, lpn: Lpn) -> Result<()> {
+        if self.staged_writers.contains_key(&lpn) {
+            self.flush_staged_commits()?;
+        }
         self.base.counters_mut().trims += 1;
         self.base.trim_lpn(lpn)
     }
 
     fn flush(&mut self) -> Result<()> {
         self.base.counters_mut().flushes += 1;
+        // Everything staged must be durable when flush returns.
+        self.flush_staged_commits()?;
         // A flush is also a full queue barrier.
         self.base.drain();
         self.queue.retire(CmdId(u64::MAX));
@@ -288,6 +439,14 @@ impl BlockDevice for XFtl {
     }
 
     fn submit(&mut self, cmds: &[IoCmd<'_>]) -> Result<CmdId> {
+        // Same ordering rule as the unbatched paths: plain traffic to a
+        // staged page forces the group flush first.
+        if cmds.iter().any(|c| match c {
+            IoCmd::Write { lpn, .. } | IoCmd::Trim { lpn } => self.staged_writers.contains_key(lpn),
+            IoCmd::Barrier => false,
+        }) {
+            self.flush_staged_commits()?;
+        }
         self.base.counters_mut().batches += 1;
         let mut done = 0;
         for cmd in cmds {
@@ -303,6 +462,18 @@ impl BlockDevice for XFtl {
                 IoCmd::Trim { lpn } => {
                     self.base.counters_mut().trims += 1;
                     self.base.trim_lpn(*lpn)?;
+                }
+                IoCmd::Barrier => {
+                    // Ordering without draining: raise the queue's
+                    // completion floor over everything issued so far and
+                    // over this batch's earlier commands.
+                    self.base.counters_mut().barriers += 1;
+                    self.queue.raise_barrier();
+                    done = done.max(self.queue.horizon());
+                    let now = self.base.clock().now();
+                    self.base
+                        .recorder()
+                        .record_span(OpClass::BarrierDispatch, 0, 0, now, now);
                 }
             }
         }
@@ -321,14 +492,20 @@ impl TxBlockDevice for XFtl {
     fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
         self.base.counters_mut().host_reads += 1;
         // §5.3: if the reader wrote this page, return its own version;
-        // otherwise the committed copy from the L2P table.
+        // otherwise the newest committed copy — which may still be a
+        // staged (unflushed) commit's version rather than the L2P's.
         match self.table.lookup(tid, lpn) {
             Some(entry) => {
                 let ppa = entry.ppa;
                 self.base.read_at(ppa, buf)?;
                 Ok(())
             }
-            None => self.base.read_committed(lpn, buf),
+            None => {
+                if self.read_staged(lpn, buf)? {
+                    return Ok(());
+                }
+                self.base.read_committed(lpn, buf)
+            }
         }
     }
 
@@ -343,46 +520,53 @@ impl TxBlockDevice for XFtl {
         Ok(())
     }
 
-    fn commit(&mut self, tid: Tid) -> Result<()> {
+    fn commit_submit(&mut self, tid: Tid) -> Result<CommitTicket> {
         self.base.counters_mut().commits += 1;
-        let t_start = self.base.clock().now();
-        // Commit is a full queue barrier: the X-L2P table write below
-        // drains the chip, so retiring every outstanding ticket here
-        // keeps the ledger bounded even for hosts that never flush.
-        self.queue.retire(CmdId(u64::MAX));
+        let now = self.base.clock().now();
         if !self.table.has_tid(tid) {
-            // Read-only transaction: nothing to persist, but commit is
-            // still a queue barrier for earlier batches.
-            self.base.drain();
-            let t_end = self.base.clock().now();
+            // Read-only (or unknown) transaction: nothing to persist —
+            // the commit is durable by vacuity, so the ticket is
+            // immediate. The queue-barrier duty moves to commit_wait.
             self.base
                 .recorder()
-                .record_span(OpClass::TxCommit, tid, 0, t_start, t_end);
+                .record_span(OpClass::TxCommit, tid, 0, now, now);
+            return Ok(CommitTicket::immediate(tid));
+        }
+        // Step 1 of Figure 4, now: flip statuses in device RAM. The new
+        // versions are visible (reads route through the X-L2P entries)
+        // from this instant; durability waits for the group flush.
+        self.table.mark_committed(tid);
+        let lpns: Vec<Lpn> = self.table.entries_of(tid).map(|e| e.lpn).collect();
+        for lpn in lpns {
+            self.staged_writers.insert(lpn, tid);
+        }
+        self.staged.push(tid);
+        self.base.recorder().record_span(
+            OpClass::CommitPipelineDepth,
+            tid,
+            self.staged.len() as u64,
+            now,
+            now,
+        );
+        Ok(CommitTicket::new(tid, CmdId(self.next_group)))
+    }
+
+    fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+        if ticket.is_immediate() {
+            // Read-only commit: still a full queue barrier, exactly as
+            // the blocking command always was.
+            self.base.drain();
+            self.queue.retire(CmdId(u64::MAX));
             return Ok(());
         }
-        // Step 1: flip statuses in device RAM.
-        self.table.mark_committed(tid);
-        // Step 2 (durability point): CoW-write the X-L2P table and update
-        // the checkpoint root to reference it.
-        let pages = self
-            .table
-            .encode_pages(self.base.page_size(), self.base.pages_per_block());
-        self.base.persist_xl2p(&pages, &mut self.table)?;
-        // Step 3: re-map committed LPNs; old versions become reclaimable.
-        let folds: Vec<(Lpn, xftl_flash::Ppa)> =
-            self.table.entries_of(tid).map(|e| (e.lpn, e.ppa)).collect();
-        for (lpn, ppa) in folds {
-            self.base.fold_mapping(lpn, ppa);
+        // Groups flush in order, so the ticket's group is durable iff its
+        // id is already behind the group counter; otherwise it is the
+        // open group — flush it (coalescing everything staged so far).
+        if ticket.group().0 >= self.next_group {
+            self.flush_staged_commits()?;
         }
-        // Housekeeping: once committed entries crowd the table, persist the
-        // L2P and release them.
-        if self.table.committed_len() > self.table.capacity() / 2 {
-            self.checkpoint_and_release()?;
-        }
-        let t_end = self.base.clock().now();
-        self.base
-            .recorder()
-            .record_span(OpClass::TxCommit, tid, 0, t_start, t_end);
+        // The flush drained the chip at its durability barrier; a ticket
+        // from an earlier group has nothing left to wait for.
         Ok(())
     }
 
@@ -407,6 +591,15 @@ impl TxBlockDevice for XFtl {
     }
 
     fn submit_tx(&mut self, tid: Tid, pages: &[(Lpn, &[u8])]) -> Result<CmdId> {
+        // tid 0 is plain traffic: same staged-page ordering rule as
+        // `write`/`submit`, or the group's fold would clobber the batch.
+        if tid == 0
+            && pages
+                .iter()
+                .any(|(lpn, _)| self.staged_writers.contains_key(lpn))
+        {
+            self.flush_staged_commits()?;
+        }
         self.base.counters_mut().batches += 1;
         let mut done = 0;
         for (lpn, data) in pages {
@@ -742,6 +935,143 @@ mod tests {
         let mut d = dev();
         assert!(d.commit(42).is_ok());
         assert!(d.abort(42).is_ok());
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_submits_into_one_meta_program() {
+        let chip = FlashChip::new(FlashConfig::tiny(16), SimClock::new());
+        let mut d = XFtl::format_with_capacity(chip, 32, 24).unwrap();
+        let a = page(&d, 0xA1);
+        let b = page(&d, 0xB2);
+        d.write_tx(1, 0, &a).unwrap();
+        d.write_tx(2, 1, &b).unwrap();
+        let before = d.flash_stats().programs;
+        let t1 = d.commit_submit(1).unwrap();
+        let t2 = d.commit_submit(2).unwrap();
+        assert_eq!(
+            d.flash_stats().programs,
+            before,
+            "commit_submit stages without programming"
+        );
+        assert_eq!(d.staged_tids(), &[1, 2]);
+        // Redeeming the later ticket flushes the whole group.
+        d.commit_wait(t2).unwrap();
+        let cost = d.flash_stats().programs - before;
+        assert_eq!(cost, 2, "two commits share 1 X-L2P page + 1 meta page");
+        // The earlier ticket's group already flushed: free.
+        d.commit_wait(t1).unwrap();
+        assert_eq!(d.flash_stats().programs - before, 2);
+        assert_eq!(d.stats().group_commit_flushes, 1);
+        assert_eq!(d.stats().commits_coalesced, 2);
+        let mut out = page(&d, 0);
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, a);
+        d.read(1, &mut out).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn staged_commit_is_visible_before_its_group_flushes() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        let new = page(&d, 2);
+        d.write(0, &old).unwrap();
+        d.write_tx(7, 0, &new).unwrap();
+        let ticket = d.commit_submit(7).unwrap();
+        let before = d.flash_stats().programs;
+        let mut out = page(&d, 0);
+        // Plain readers and other transactions see the staged version...
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, new);
+        d.read_tx(9, 0, &mut out).unwrap();
+        assert_eq!(out, new);
+        // ...without the read forcing the flush.
+        assert_eq!(d.flash_stats().programs, before, "reads program nothing");
+        assert_eq!(d.staged_tids(), &[7]);
+        d.commit_wait(ticket).unwrap();
+        assert!(d.staged_tids().is_empty());
+    }
+
+    #[test]
+    fn crash_between_submit_and_wait_loses_the_whole_transaction() {
+        let mut d = dev();
+        let old = page(&d, 1);
+        let new = page(&d, 2);
+        d.write(0, &old).unwrap();
+        d.write(1, &old).unwrap();
+        d.flush().unwrap();
+        d.write_tx(9, 0, &new).unwrap();
+        d.write_tx(9, 1, &new).unwrap();
+        let ticket = d.commit_submit(9).unwrap();
+        assert!(!ticket.is_immediate());
+        // Power fails before commit_wait: the unacknowledged commit must
+        // vanish whole — all-or-nothing, never half.
+        let mut d2 = XFtl::recover(d.into_chip()).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, old);
+        d2.read(1, &mut out).unwrap();
+        assert_eq!(out, old);
+    }
+
+    #[test]
+    fn plain_write_to_staged_page_flushes_the_group_first() {
+        let mut d = dev();
+        let v1 = page(&d, 1);
+        let v2 = page(&d, 2);
+        let v3 = page(&d, 3);
+        d.write(0, &v1).unwrap();
+        d.write_tx(4, 0, &v2).unwrap();
+        let ticket = d.commit_submit(4).unwrap();
+        // The plain write must order after the staged fold.
+        d.write(0, &v3).unwrap();
+        assert_eq!(d.stats().group_commit_flushes, 1, "conflict forced flush");
+        let mut out = page(&d, 0);
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, v3, "later plain write wins over the staged commit");
+        d.commit_wait(ticket).unwrap();
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, v3);
+        // And the order survives a crash.
+        let mut d2 = XFtl::recover(d.into_chip()).unwrap();
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, v3);
+    }
+
+    #[test]
+    fn pipelined_commits_beat_blocking_commits() {
+        // tx N+1's data writes overlap tx N's in-flight commit: the
+        // split-phase pipeline must finish the same work in less
+        // simulated time than the blocking loop.
+        let run = |pipelined: bool| -> u64 {
+            let cfg = xftl_flash::FlashConfigBuilder::tiny().channels(4).build();
+            let chip = FlashChip::new(cfg, SimClock::new());
+            let mut d = XFtl::format_with_capacity(chip, 64, 64).unwrap();
+            let clock = d.clock();
+            let data = vec![0x5Au8; d.page_size()];
+            let t0 = clock.now();
+            let mut tickets = Vec::new();
+            for tid in 1..=8u64 {
+                let batch: Vec<(Lpn, &[u8])> =
+                    (0..4u64).map(|i| (tid * 4 + i, &data[..])).collect();
+                d.submit_tx(tid, &batch).unwrap();
+                if pipelined {
+                    tickets.push(d.commit_submit(tid).unwrap());
+                } else {
+                    d.commit(tid).unwrap();
+                }
+            }
+            for t in tickets {
+                d.commit_wait(t).unwrap();
+            }
+            clock.now() - t0
+        };
+        let blocking = run(false);
+        let pipelined = run(true);
+        assert!(
+            pipelined < blocking,
+            "pipelined commits ({pipelined} ns) must beat blocking ({blocking} ns)"
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use xftl_flash::{Nanos, SimClock};
 use xftl_fs::{FileSystem, Ino};
-use xftl_ftl::{BlockDevice, Tid};
+use xftl_ftl::{BlockDevice, CommitTicket, Tid};
 use xftl_trace::{OpClass, Recorder, Telemetry};
 
 use crate::error::{DbError, Result};
@@ -827,6 +827,68 @@ impl<D: BlockDevice> Pager<D> {
         // Single fsync: force-write plus device commit (§4.3).
         self.fs.borrow_mut().fsync(self.db_ino, Some(tid))?;
         self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Split-phase commit. In `Off` mode the force-write ends with a
+    /// `commit_submit` instead of the blocking commit: the transaction is
+    /// visible once this returns, and the ticket names the device group
+    /// flush that will make it durable. The caller keeps issuing the next
+    /// transaction's writes while this one's commit is in flight, redeeming
+    /// tickets with [`Pager::commit_wait`] (a queue-depth > 1 commit
+    /// pipeline). Journal modes have no split phase — they commit blocking
+    /// here and hand back an already-durable ticket.
+    pub fn commit_submit(&mut self) -> Result<CommitTicket> {
+        if self.mode != DbJournalMode::Off {
+            self.commit()?;
+            return Ok(CommitTicket::immediate(0));
+        }
+        if !self.in_tx {
+            return Err(DbError::TxState("no transaction active"));
+        }
+        if self.dirty_in_tx.is_empty() {
+            self.end_tx();
+            return Ok(CommitTicket::immediate(0));
+        }
+        let t0 = self.span_start();
+        self.write_header()?;
+        let Some(tid) = self.tid else {
+            unreachable!("Off-mode tx has a tid")
+        };
+        let mut dirty: Vec<PageNo> = self.dirty_in_tx.iter().copied().collect();
+        dirty.sort_unstable();
+        for pgno in dirty {
+            let data = match self.cache.get_mut(&pgno) {
+                Some(f) => {
+                    f.dirty = false;
+                    f.data.clone()
+                }
+                // Spilled: already stolen to the device under this tid.
+                None => continue,
+            };
+            self.fs.borrow_mut().write(
+                self.db_ino,
+                pgno as u64 * self.page_size as u64,
+                &data,
+                Some(tid),
+            )?;
+            self.stats.db_writes += 1;
+        }
+        let ticket = self.fs.borrow_mut().fsync_submit(self.db_ino, tid)?;
+        self.stats.fsyncs += 1;
+        self.record_span(OpClass::PagerFlush, tid, 0, t0);
+        self.end_tx();
+        Ok(ticket)
+    }
+
+    /// Blocks until the commit named by `ticket` is durable. Tickets from
+    /// the journal-mode fallback (or an empty transaction) are already
+    /// durable and return immediately.
+    pub fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+        if ticket.is_immediate() {
+            return Ok(());
+        }
+        self.fs.borrow_mut().fsync_wait(ticket)?;
         Ok(())
     }
 

@@ -37,7 +37,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use xftl_flash::{Nanos, SimClock};
-use xftl_ftl::{BlockDevice, CmdId, IoCmd, Lpn, Tid, TxBlockDevice};
+use xftl_ftl::{BlockDevice, CmdId, CommitTicket, IoCmd, Lpn, Tid, TxBlockDevice};
 use xftl_trace::{OpClass, Recorder, Telemetry};
 
 use crate::alloc::BlockBitmap;
@@ -113,6 +113,8 @@ struct TxOps<D> {
     read_tx: fn(&mut D, Tid, Lpn, &mut [u8]) -> xftl_ftl::Result<()>,
     write_tx: fn(&mut D, Tid, Lpn, &[u8]) -> xftl_ftl::Result<()>,
     commit: fn(&mut D, Tid) -> xftl_ftl::Result<()>,
+    commit_submit: fn(&mut D, Tid) -> xftl_ftl::Result<CommitTicket>,
+    commit_wait: fn(&mut D, CommitTicket) -> xftl_ftl::Result<()>,
     abort: fn(&mut D, Tid) -> xftl_ftl::Result<()>,
     submit_tx: SubmitTxFn<D>,
 }
@@ -126,6 +128,8 @@ impl<D: TxBlockDevice> TxOps<D> {
             read_tx: D::read_tx,
             write_tx: D::write_tx,
             commit: D::commit,
+            commit_submit: D::commit_submit,
+            commit_wait: D::commit_wait,
             abort: D::abort,
             submit_tx: D::submit_tx,
         }
@@ -746,6 +750,56 @@ impl<D: BlockDevice> FileSystem<D> {
         }
         let ops = self.tx_ops()?;
         (ops.commit)(&mut self.dev, tid)?;
+        self.stats.barriers += 1;
+        Ok(())
+    }
+
+    /// `Off`-mode only: split-phase fsync. Writes the file's dirty pages
+    /// (and dirty metadata) as one queued batch under `tid`, then issues
+    /// `commit_submit` instead of the blocking commit — the transaction
+    /// becomes *visible* immediately and the returned ticket names the
+    /// group flush that will make it *durable*. Callers overlap the next
+    /// transaction's writes with this one's in-flight commit and redeem
+    /// the ticket with [`FileSystem::fsync_wait`].
+    pub fn fsync_submit(&mut self, ino: Ino, tid: Tid) -> Result<CommitTicket> {
+        if self.mode != JournalMode::Off {
+            return Err(FsError::NeedsTxDevice);
+        }
+        let ops = self.tx_ops()?;
+        self.stats.fsyncs += 1;
+        let t0 = self.span_start();
+        let dirty = self.cache.dirty_of(ino);
+        let mut pages: Vec<(Lpn, Vec<u8>)> = Vec::with_capacity(dirty.len());
+        for lpn in dirty {
+            let Some(p) = self.cache.get_mut(lpn) else {
+                unreachable!("dirty page in cache")
+            };
+            p.dirty = false;
+            p.tid = None;
+            pages.push((lpn, p.data.clone()));
+        }
+        self.stats.data_writes += pages.len() as u64;
+        let metas = self.collect_meta_images()?;
+        self.stats.meta_writes += metas.len() as u64;
+        pages.extend(metas);
+        if !pages.is_empty() {
+            let batch: Vec<(Lpn, &[u8])> = pages.iter().map(|(l, d)| (*l, d.as_slice())).collect();
+            (ops.submit_tx)(&mut self.dev, tid, &batch)?;
+        }
+        let ticket = (ops.commit_submit)(&mut self.dev, tid)?;
+        self.record_fsync(tid, t0);
+        Ok(ticket)
+    }
+
+    /// Redeems a ticket from [`FileSystem::fsync_submit`], blocking until
+    /// the group flush carrying that commit is durable. Counts as the
+    /// barrier the split fsync deferred.
+    pub fn fsync_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+        if self.mode != JournalMode::Off {
+            return Err(FsError::NeedsTxDevice);
+        }
+        let ops = self.tx_ops()?;
+        (ops.commit_wait)(&mut self.dev, ticket)?;
         self.stats.barriers += 1;
         Ok(())
     }

@@ -332,6 +332,12 @@ impl FtlBase {
         &self.stats
     }
 
+    /// Mutable statistics access for the wrapping device (e.g. the X-FTL
+    /// group-commit accounting, which the engine itself cannot observe).
+    pub fn stats_mut(&mut self) -> &mut FtlStats {
+        &mut self.stats
+    }
+
     /// Host-visible command counters (maintained by the wrapping device).
     pub fn counters(&self) -> &DevCounters {
         &self.counters

@@ -13,12 +13,21 @@
 //! whether a device speaks it is a compile-time property of the type, not a
 //! runtime probe, so hosts that need transactions take `D: TxBlockDevice`
 //! and the "command not supported" failure mode does not exist.
+//!
+//! Commit itself is split-phase, in the style of the barrier-enabled IO
+//! stack: [`TxBlockDevice::commit_submit`] stages the commit and returns a
+//! [`CommitTicket`] without waiting for durability, and
+//! [`TxBlockDevice::commit_wait`] redeems the ticket, blocking until the
+//! commit group containing the transaction is on the media. The classic
+//! blocking `commit(tid)` survives as a provided wrapper (submit then
+//! wait), and [`IoCmd::Barrier`] gives batched submissions an ordering
+//! fence that — unlike `flush` — does not drain the queue.
 
 use std::collections::VecDeque;
 
 use xftl_flash::Nanos;
 
-use crate::error::Result;
+use crate::error::{DevError, Result};
 
 /// Logical page number, the host-visible address unit (one 8 KB page).
 pub type Lpn = u64;
@@ -46,6 +55,12 @@ pub enum IoCmd<'a> {
         /// The page to trim.
         lpn: Lpn,
     },
+    /// Ordering fence: commands after the barrier may not be reordered
+    /// ahead of commands before it, but — unlike `flush` — the device does
+    /// not drain its queue or persist anything. This is the
+    /// order-preserving barrier of the barrier-enabled IO stack: ordering
+    /// is decoupled from the durability wait.
+    Barrier,
 }
 
 /// Completion ticket for a queued batch.
@@ -64,19 +79,46 @@ impl CmdId {
 
 /// Ticket ledger for queueing devices: pairs each issued [`CmdId`] with
 /// the simulated-clock instant its batch completes on the media. Devices
-/// embed one and use it to implement `submit`/`complete_until`.
+/// embed one and use it to implement `submit`/`complete_until`, and it is
+/// where [`IoCmd::Barrier`] is honored: a barrier raises an ordering
+/// floor (the completion horizon of everything issued so far) without
+/// draining, so later batches complete no earlier than earlier ones.
 #[derive(Debug, Default)]
 pub struct CmdQueue {
     issued: u64,
     pending: VecDeque<(u64, Nanos)>,
+    /// Latest completion instant among all tickets ever issued.
+    latest_done: Nanos,
+    /// Ordering floor set by the last barrier: tickets issued after the
+    /// barrier report completion no earlier than this.
+    horizon: Nanos,
 }
 
 impl CmdQueue {
-    /// Mints the next ticket for a batch completing at `done`.
+    /// Mints the next ticket for a batch completing at `done`. If a
+    /// barrier was raised, the reported completion is floored at the
+    /// barrier's horizon so the batch is ordered after everything that
+    /// preceded the fence.
     pub fn issue(&mut self, done: Nanos) -> CmdId {
+        let done = done.max(self.horizon);
+        self.latest_done = self.latest_done.max(done);
         self.issued += 1;
         self.pending.push_back((self.issued, done));
         CmdId(self.issued)
+    }
+
+    /// Raises the ordering floor to cover every ticket issued so far —
+    /// ordering without draining. Returns the ticket of the newest batch
+    /// the fence covers ([`CmdId::IMMEDIATE`] when nothing was issued
+    /// yet), so callers can still wait on the pre-barrier prefix.
+    pub fn raise_barrier(&mut self) -> CmdId {
+        self.horizon = self.latest_done;
+        CmdId(self.issued)
+    }
+
+    /// The current ordering floor (0 until a barrier is raised).
+    pub fn horizon(&self) -> Nanos {
+        self.horizon
     }
 
     /// Retires every ticket up to `barrier` and returns the latest
@@ -117,6 +159,55 @@ pub struct DevCounters {
     pub trims: u64,
     /// Queued batches accepted via `submit`/`submit_tx`.
     pub batches: u64,
+    /// Ordering barriers dispatched via [`IoCmd::Barrier`].
+    pub barriers: u64,
+}
+
+/// Receipt for a staged (submitted but not yet durable) commit.
+///
+/// Returned by [`TxBlockDevice::commit_submit`] and redeemed by
+/// [`TxBlockDevice::commit_wait`]. It is a newtype over the commit
+/// *group* ticket — not a bare [`CmdId`] — so commit receipts cannot be
+/// confused with batch tickets, and it is `#[must_use]`: dropping one
+/// without waiting means the transaction may silently never become
+/// durable, which the compiler now flags.
+#[must_use = "a submitted commit is not durable until commit_wait is called on its ticket"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitTicket {
+    tid: Tid,
+    group: CmdId,
+}
+
+impl CommitTicket {
+    /// Ticket for a commit staged into the group identified by `group`.
+    pub fn new(tid: Tid, group: CmdId) -> Self {
+        CommitTicket { tid, group }
+    }
+
+    /// Ticket for a commit that was already durable (or had nothing to
+    /// persist — e.g. a read-only transaction) when `commit_submit`
+    /// returned.
+    pub fn immediate(tid: Tid) -> Self {
+        CommitTicket {
+            tid,
+            group: CmdId::IMMEDIATE,
+        }
+    }
+
+    /// The transaction this ticket belongs to.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// The commit group the transaction was staged into.
+    pub fn group(&self) -> CmdId {
+        self.group
+    }
+
+    /// Whether the commit was already durable at submission.
+    pub fn is_immediate(&self) -> bool {
+        self.group == CmdId::IMMEDIATE
+    }
 }
 
 /// A page-addressed storage device.
@@ -164,6 +255,9 @@ pub trait BlockDevice {
             match cmd {
                 IoCmd::Write { lpn, data } => self.write(*lpn, data)?,
                 IoCmd::Trim { lpn } => self.trim(*lpn)?,
+                // A synchronous device services commands in order, so the
+                // fence holds trivially and costs nothing.
+                IoCmd::Barrier => {}
             }
         }
         Ok(CmdId::IMMEDIATE)
@@ -173,8 +267,18 @@ pub trait BlockDevice {
     /// submitted before it — has completed on the media. Completion is a
     /// *timing* property (simulated clock); it does not imply the mapping
     /// is durable, which still takes a `flush`/`commit`.
-    fn complete_until(&mut self, _barrier: CmdId) -> Result<()> {
-        Ok(())
+    ///
+    /// The default is for devices that never queue: waiting on
+    /// [`CmdId::IMMEDIATE`] succeeds (the batch completed at submission),
+    /// but a *real* ticket cannot have come from this device, so the wait
+    /// fails with [`DevError::NotQueued`] instead of silently ignoring
+    /// the barrier. Queueing devices override this.
+    fn complete_until(&mut self, barrier: CmdId) -> Result<()> {
+        if barrier == CmdId::IMMEDIATE {
+            Ok(())
+        } else {
+            Err(DevError::NotQueued)
+        }
     }
 }
 
@@ -193,8 +297,28 @@ pub trait TxBlockDevice: BlockDevice {
     /// committed copy stays readable and reclaimable only after commit.
     fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()>;
 
-    /// Atomically and durably commits every page written by `tid`.
-    fn commit(&mut self, tid: Tid) -> Result<()>;
+    /// Split-phase commit, phase 1: atomically *stages* every page written
+    /// by `tid` for commit and returns immediately with a ticket. The new
+    /// versions become visible to subsequent reads at once (the commit is
+    /// ordered), but durability is deferred: the device may coalesce
+    /// several staged commits into one group and persist them with a
+    /// single meta-page program. Power loss before the group persists
+    /// loses the *whole* transaction (never part of it).
+    fn commit_submit(&mut self, tid: Tid) -> Result<CommitTicket>;
+
+    /// Split-phase commit, phase 2: blocks until the commit group named by
+    /// `ticket` is durable on the media. Redeeming a ticket also makes
+    /// every commit submitted before it durable (groups are ordered).
+    /// Waiting twice on the same ticket is a harmless no-op.
+    fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()>;
+
+    /// Atomically and durably commits every page written by `tid` —
+    /// the classic blocking command, kept as a thin wrapper over the
+    /// split-phase pair for hosts that do not pipeline.
+    fn commit(&mut self, tid: Tid) -> Result<()> {
+        let ticket = self.commit_submit(tid)?;
+        self.commit_wait(ticket)
+    }
 
     /// Discards every page written by `tid`; the committed copies remain.
     fn abort(&mut self, tid: Tid) -> Result<()>;
@@ -221,6 +345,8 @@ mod tests {
         writes: Vec<Lpn>,
         trims: Vec<Lpn>,
         tx_writes: Vec<(Tid, Lpn)>,
+        commits: Vec<Tid>,
+        waits: Vec<Tid>,
     }
 
     impl BlockDevice for Rec {
@@ -257,7 +383,12 @@ mod tests {
             self.tx_writes.push((tid, lpn));
             Ok(())
         }
-        fn commit(&mut self, _: Tid) -> Result<()> {
+        fn commit_submit(&mut self, tid: Tid) -> Result<CommitTicket> {
+            self.commits.push(tid);
+            Ok(CommitTicket::immediate(tid))
+        }
+        fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+            self.waits.push(ticket.tid());
             Ok(())
         }
         fn abort(&mut self, _: Tid) -> Result<()> {
@@ -296,5 +427,70 @@ mod tests {
         let id = d.submit_tx(7, &batch).unwrap();
         assert_eq!(id, CmdId::IMMEDIATE);
         assert_eq!(d.tx_writes, vec![(7, 10), (7, 11)]);
+    }
+
+    #[test]
+    fn default_submit_accepts_barrier_as_ordering_noop() {
+        let mut d = Rec::default();
+        let page = [0u8; 512];
+        let id = d
+            .submit(&[
+                IoCmd::Write {
+                    lpn: 1,
+                    data: &page,
+                },
+                IoCmd::Barrier,
+                IoCmd::Write {
+                    lpn: 2,
+                    data: &page,
+                },
+            ])
+            .unwrap();
+        assert_eq!(id, CmdId::IMMEDIATE);
+        assert_eq!(d.writes, vec![1, 2], "fence preserves service order");
+    }
+
+    #[test]
+    fn default_complete_until_rejects_foreign_tickets() {
+        let mut d = Rec::default();
+        d.complete_until(CmdId::IMMEDIATE).unwrap();
+        assert_eq!(
+            d.complete_until(CmdId(3)),
+            Err(DevError::NotQueued),
+            "a device that never queues cannot honor a real ticket"
+        );
+    }
+
+    #[test]
+    fn blocking_commit_wraps_submit_and_wait() {
+        let mut d = Rec::default();
+        d.commit(9).unwrap();
+        assert_eq!(d.commits, vec![9]);
+        assert_eq!(d.waits, vec![9], "wrapper redeems the ticket it staged");
+    }
+
+    #[test]
+    fn commit_ticket_accessors_and_immediacy() {
+        let t = CommitTicket::new(4, CmdId(17));
+        assert_eq!(t.tid(), 4);
+        assert_eq!(t.group(), CmdId(17));
+        assert!(!t.is_immediate());
+        let i = CommitTicket::immediate(4);
+        assert!(i.is_immediate());
+        assert_eq!(i.group(), CmdId::IMMEDIATE);
+    }
+
+    #[test]
+    fn queue_barrier_orders_without_draining() {
+        let mut q = CmdQueue::default();
+        let a = q.issue(100);
+        assert_eq!(q.horizon(), 0);
+        let fence = q.raise_barrier();
+        assert_eq!(fence, a, "fence covers the pre-barrier prefix");
+        assert_eq!(q.horizon(), 100);
+        assert_eq!(q.outstanding(), 1, "barrier does not drain the queue");
+        // A fast post-barrier batch may not complete before the fence.
+        let b = q.issue(40);
+        assert_eq!(q.retire(b), Some(100), "completion floored at horizon");
     }
 }

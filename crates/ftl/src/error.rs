@@ -28,6 +28,11 @@ pub enum DevError {
     /// The flash contains no valid format/checkpoint metadata to recover
     /// from.
     NotFormatted,
+    /// A completion wait named a real (queued) ticket on a device that
+    /// never queues: the default `complete_until` cannot honor a barrier
+    /// it has no ledger for, so instead of silently ignoring it the wait
+    /// fails loudly. Waiting on [`crate::CmdId::IMMEDIATE`] is always fine.
+    NotQueued,
 }
 
 impl fmt::Display for DevError {
@@ -39,6 +44,9 @@ impl fmt::Display for DevError {
             DevError::UnknownTid(tid) => write!(f, "unknown transaction id {tid}"),
             DevError::XL2pFull => write!(f, "X-L2P table full of active transactions"),
             DevError::NotFormatted => write!(f, "no valid device format metadata found"),
+            DevError::NotQueued => {
+                write!(f, "completion wait on a ticket this device never queued")
+            }
         }
     }
 }

@@ -52,7 +52,9 @@ pub mod validity;
 
 pub use atomicwrite::AtomicWriteFtl;
 pub use base::{FtlBase, GcHook, GcPolicy, NoHook, RecoveryLog, ScanEvent, WearSummary};
-pub use dev::{BlockDevice, CmdId, CmdQueue, DevCounters, IoCmd, Lpn, Tid, TxBlockDevice, NO_TID};
+pub use dev::{
+    BlockDevice, CmdId, CmdQueue, CommitTicket, DevCounters, IoCmd, Lpn, Tid, TxBlockDevice, NO_TID,
+};
 pub use error::{DevError, Result};
 pub use pagemap::PageMappedFtl;
 pub use sata::{LinkConfig, SataLink};

@@ -136,6 +136,13 @@ impl BlockDevice for PageMappedFtl {
                     self.base.counters_mut().trims += 1;
                     self.base.trim_lpn(*lpn)?;
                 }
+                IoCmd::Barrier => {
+                    // Ordering without draining: later commands complete
+                    // no earlier than everything already issued.
+                    self.base.counters_mut().barriers += 1;
+                    self.queue.raise_barrier();
+                    done = done.max(self.queue.horizon());
+                }
             }
         }
         Ok(self.queue.issue(done))

@@ -11,7 +11,7 @@
 
 use xftl_flash::{Nanos, SimClock};
 
-use crate::dev::{BlockDevice, CmdId, DevCounters, IoCmd, Lpn, Tid, TxBlockDevice};
+use crate::dev::{BlockDevice, CmdId, CommitTicket, DevCounters, IoCmd, Lpn, Tid, TxBlockDevice};
 use crate::error::Result;
 
 /// Link speed and protocol overhead parameters.
@@ -116,7 +116,7 @@ impl<D: BlockDevice> BlockDevice for SataLink<D> {
             .iter()
             .map(|c| match c {
                 IoCmd::Write { data, .. } => data.len(),
-                IoCmd::Trim { .. } => 0,
+                IoCmd::Trim { .. } | IoCmd::Barrier => 0,
             })
             .sum();
         self.charge(payload);
@@ -140,8 +140,21 @@ impl<D: TxBlockDevice> TxBlockDevice for SataLink<D> {
         self.inner.write_tx(tid, lpn, buf)
     }
 
-    fn commit(&mut self, tid: Tid) -> Result<()> {
+    fn commit_submit(&mut self, tid: Tid) -> Result<CommitTicket> {
         // commit/abort ride on the trim command (§5.2): payload-free.
+        self.charge(0);
+        self.inner.commit_submit(tid)
+    }
+
+    fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+        self.charge(0);
+        self.inner.commit_wait(ticket)
+    }
+
+    fn commit(&mut self, tid: Tid) -> Result<()> {
+        // Blocking commit is ONE link command, not two: forward the
+        // wrapped device's own submit+wait rather than paying the wire
+        // twice through the default wrapper.
         self.charge(0);
         self.inner.commit(tid)
     }

@@ -42,6 +42,12 @@ pub struct FtlStats {
     /// Blocks permanently retired to the bad-block table after an erase
     /// failure.
     pub bad_block_retirements: u64,
+    /// Group-commit flushes: X-L2P persist events that made one or more
+    /// staged commits durable with a single meta-page program.
+    pub group_commit_flushes: u64,
+    /// Transactions whose commits were made durable by those flushes; the
+    /// ratio to `group_commit_flushes` is the mean coalescing factor.
+    pub commits_coalesced: u64,
 }
 
 impl FtlStats {
@@ -85,6 +91,8 @@ impl Sub for FtlStats {
             program_retries: self.program_retries - rhs.program_retries,
             read_retries: self.read_retries - rhs.read_retries,
             bad_block_retirements: self.bad_block_retirements - rhs.bad_block_retirements,
+            group_commit_flushes: self.group_commit_flushes - rhs.group_commit_flushes,
+            commits_coalesced: self.commits_coalesced - rhs.commits_coalesced,
         }
     }
 }

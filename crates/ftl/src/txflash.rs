@@ -28,8 +28,8 @@ use xftl_flash::{FlashChip, Oob, PageKind, Ppa, SimClock};
 use xftl_trace::{OpClass, Recorder};
 
 use crate::base::{FtlBase, GcHook, NoHook, RecoveryLog};
-use crate::dev::{BlockDevice, DevCounters, Lpn, Tid, TxBlockDevice};
-use crate::error::Result;
+use crate::dev::{BlockDevice, CommitTicket, DevCounters, Lpn, Tid, TxBlockDevice};
+use crate::error::{DevError, Result};
 use crate::stats::FtlStats;
 
 /// Cycle-closing flag in the auxiliary OOB word; the low 31 bits hold the
@@ -276,7 +276,12 @@ impl TxBlockDevice for TxFlashFtl {
         Ok(())
     }
 
-    fn commit(&mut self, tid: Tid) -> Result<()> {
+    fn commit_submit(&mut self, tid: Tid) -> Result<CommitTicket> {
+        // SCC's commit is inherently synchronous: durability *is* the
+        // closing page's program, which this device does not queue. The
+        // whole commit happens here and the ticket comes back immediate —
+        // `commit_wait` has nothing left to do. (The contrast with
+        // X-FTL's coalescing group flush is the point of the baseline.)
         self.base.counters_mut().commits += 1;
         let t_start = self.base.clock().now();
         self.flush_pending(tid, true)?;
@@ -293,7 +298,16 @@ impl TxBlockDevice for TxFlashFtl {
         self.base
             .recorder()
             .record_span(OpClass::TxCommit, tid, 0, t_start, t_end);
-        Ok(())
+        Ok(CommitTicket::immediate(tid))
+    }
+
+    fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+        if ticket.is_immediate() {
+            Ok(())
+        } else {
+            // This device only ever issues immediate tickets.
+            Err(DevError::NotQueued)
+        }
     }
 
     fn abort(&mut self, tid: Tid) -> Result<()> {

@@ -43,10 +43,18 @@ pub enum OpClass {
     PagerFlush,
     /// One SQL statement, parse to completion.
     SqlStatement,
+    /// Dispatch of an `IoCmd::Barrier` ordering fence (no drain).
+    BarrierDispatch,
+    /// One group-commit flush; the span's `bytes` field carries the
+    /// number of staged commits the flush coalesced into one meta write.
+    GroupCommitCoalesce,
+    /// Commit-pipeline depth sample at `commit_submit` time; the span's
+    /// `bytes` field carries the staged-commit count after submission.
+    CommitPipelineDepth,
 }
 
 /// Number of operation classes.
-pub const N_OPS: usize = 16;
+pub const N_OPS: usize = 19;
 
 impl OpClass {
     /// All classes, in declaration (= report) order.
@@ -67,6 +75,9 @@ impl OpClass {
         OpClass::PagerFetch,
         OpClass::PagerFlush,
         OpClass::SqlStatement,
+        OpClass::BarrierDispatch,
+        OpClass::GroupCommitCoalesce,
+        OpClass::CommitPipelineDepth,
     ];
 
     /// Stable snake_case name used in reports and event streams.
@@ -88,6 +99,9 @@ impl OpClass {
             OpClass::PagerFetch => "pager_fetch",
             OpClass::PagerFlush => "pager_flush",
             OpClass::SqlStatement => "sql_statement",
+            OpClass::BarrierDispatch => "barrier_dispatch",
+            OpClass::GroupCommitCoalesce => "group_commit_coalesce",
+            OpClass::CommitPipelineDepth => "commit_pipeline_depth",
         }
     }
 
@@ -105,7 +119,10 @@ impl OpClass {
             | OpClass::GcCopy
             | OpClass::TxCommit
             | OpClass::TxAbort
-            | OpClass::RecoveryReplay => Layer::Ftl,
+            | OpClass::RecoveryReplay
+            | OpClass::BarrierDispatch
+            | OpClass::GroupCommitCoalesce
+            | OpClass::CommitPipelineDepth => Layer::Ftl,
             OpClass::FsFsync => Layer::Fs,
             OpClass::PagerFetch | OpClass::PagerFlush | OpClass::SqlStatement => Layer::Db,
         }

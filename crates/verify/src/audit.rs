@@ -46,6 +46,8 @@ pub struct AuditReport {
     pub mapped_lpns: u64,
     /// X-L2P entries checked (0 for non-transactional FTLs).
     pub xl2p_entries: usize,
+    /// X-L2P entries belonging to staged (submitted, unflushed) commits.
+    pub staged_entries: usize,
     /// Blocks the chip has retired after erase failures.
     pub retired_blocks: u64,
 }
@@ -438,11 +440,13 @@ pub fn audit_base(base: &FtlBase) -> Result<AuditReport, AuditViolation> {
 ///
 /// For every entry the pinned new version must be a live programmed data
 /// page with matching OOB (`tid` may have been re-stamped to 0 by GC only
-/// for committed, already-folded entries). For every *active* entry the
-/// old committed version — the rollback copy — must still be programmed.
-/// Committed entries whose mapping has since been superseded by a later
-/// transaction are exempt from the liveness check: their page is
-/// legitimately reclaimable garbage awaiting `release_committed`.
+/// for committed, already-folded entries). For every *active* entry — and
+/// every entry of a staged, not-yet-flushed commit group — the old
+/// committed version, the rollback copy, must still be programmed.
+/// Committed entries whose fold already landed and whose mapping has
+/// since been superseded by a later transaction are exempt from the
+/// liveness check: their page is legitimately reclaimable garbage
+/// awaiting `release_committed`.
 ///
 /// # Errors
 /// The first violated invariant.
@@ -466,7 +470,16 @@ pub fn audit_xftl(dev: &XFtl) -> Result<AuditReport, AuditViolation> {
     for entry in table.iter() {
         report.xl2p_entries += 1;
         let current = base.l2p_get(entry.lpn);
-        if entry.status == TxStatus::Committed && current != Some(entry.ppa) {
+        // A committed entry of a staged (submitted, unflushed) commit is
+        // the live read path for its page even though the L2P does not
+        // point at it yet: it gets the full liveness check, and — like an
+        // active entry — its old L2P version must survive as the rollback
+        // copy, because a crash before the group flush loses the commit.
+        let staged = entry.status == TxStatus::Committed && dev.staged_tids().contains(&entry.tid);
+        if staged {
+            report.staged_entries += 1;
+        }
+        if entry.status == TxStatus::Committed && !staged && current != Some(entry.ppa) {
             // Folded and already superseded: the pinned page is garbage.
             continue;
         }
@@ -505,7 +518,7 @@ pub fn audit_xftl(dev: &XFtl) -> Result<AuditReport, AuditViolation> {
                 }
             }
         }
-        if entry.status == TxStatus::Active {
+        if entry.status == TxStatus::Active || staged {
             if let Some(old) = current {
                 let state = match chip.probe_silent(old) {
                     PageProbe::Programmed(_) => None,
@@ -610,6 +623,52 @@ mod tests {
         dev.flush().unwrap();
         let report = dev.audit().unwrap();
         assert_eq!(report.mapped_lpns, 16);
+    }
+
+    #[test]
+    fn staged_commits_are_audited_live_until_their_group_flushes() {
+        let mut dev = fresh_xftl(32, 64);
+        let ps = dev.page_size();
+        dev.write(0, &vec![1; ps]).unwrap();
+        dev.write(1, &vec![2; ps]).unwrap();
+        dev.write_tx(5, 0, &vec![3; ps]).unwrap();
+        dev.write_tx(6, 1, &vec![4; ps]).unwrap();
+        let t5 = dev.commit_submit(5).unwrap();
+        let t6 = dev.commit_submit(6).unwrap();
+        let report = audit_xftl(&dev).unwrap();
+        assert_eq!(report.staged_entries, 2, "both staged commits checked");
+        dev.commit_wait(t6).unwrap();
+        dev.commit_wait(t5).unwrap();
+        let report = audit_xftl(&dev).unwrap();
+        assert_eq!(
+            report.staged_entries, 0,
+            "flushed group leaves nothing staged"
+        );
+    }
+
+    #[test]
+    fn mutation_lost_staged_rollback_copy_is_caught() {
+        let mut dev = fresh_xftl(32, 64);
+        let ps = dev.page_size();
+        dev.write(5, &vec![1; ps]).unwrap();
+        dev.write_tx(9, 5, &vec![2; ps]).unwrap();
+        let _ticket = dev.commit_submit(9).unwrap();
+        // The commit is staged, not durable: a crash still rolls back to
+        // the old version, so reclaiming it now is a GC bug.
+        let old = dev.base().l2p_get(5).unwrap();
+        dev.base_mut().chip_mut().erase(old.block).unwrap();
+        // The wiped rollback copy is also the L2P-current page, so the
+        // audit may trip on either check; what matters is that the loss
+        // is not silently tolerated just because the entry is Committed.
+        let err = audit_xftl(&dev).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AuditViolation::Xl2pPinnedOldLost { tid: 9, lpn: 5, .. }
+                    | AuditViolation::MappedPageMissing { lpn: 5, .. }
+            ),
+            "expected a pinned-old/mapped-page loss, got: {err}"
+        );
     }
 
     #[test]

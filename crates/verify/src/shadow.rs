@@ -29,11 +29,28 @@
 //! value for one page and the old value for another is caught exactly by
 //! this narrowing: the first read commits the model to one world and the
 //! second read contradicts it.
+//!
+//! ## In-flight (split-phase) commits
+//!
+//! A successful `commit_submit` makes the transaction's versions visible
+//! at once — the model folds them into the committed image — but they are
+//! not durable until the commit group flushes. Each submitted-unflushed
+//! commit is tracked with the pre-submit value of every page it wrote, so
+//! a crash can roll visibility back to the old image and re-open the
+//! outcome as an all-or-nothing in-doubt transaction (the group flush is
+//! one X-L2P table write plus one meta program: it either covered the
+//! whole group or none of it). A successful `commit_wait` (or `flush`, or
+//! plain traffic to a staged page, which forces the device to flush the
+//! group first) retires the records as durable. While a page has a staged
+//! writer, reads of it prove nothing about the durable worlds underneath,
+//! so world-narrowing is suspended for that page.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt::Write as _;
 
-use xftl_ftl::{BlockDevice, CmdId, DevCounters, IoCmd, Lpn, Result, Tid, TxBlockDevice, NO_TID};
+use xftl_ftl::{
+    BlockDevice, CmdId, CommitTicket, DevCounters, IoCmd, Lpn, Result, Tid, TxBlockDevice, NO_TID,
+};
 
 /// Short printable digest of a page's contents for panic diagnostics.
 fn digest(data: &[u8]) -> String {
@@ -57,6 +74,19 @@ struct DoubtTx {
     pages: BTreeMap<Lpn, Vec<u8>>,
 }
 
+/// A commit acknowledged at `commit_submit` but not yet durable: its
+/// group flush is still pending. `pages` maps each written page to
+/// (pre-submit committed value, staged value); `None` = absent (zeros).
+#[derive(Debug, Clone)]
+struct UnflushedCommit {
+    tid: Tid,
+    /// Commit-group id the device's ticket carried; groups flush in
+    /// order, so a successful wait on group `g` makes every record with
+    /// `group <= g` durable.
+    group: u64,
+    pages: BTreeMap<Lpn, (Option<Vec<u8>>, Vec<u8>)>,
+}
+
 /// The trivially-correct in-memory reference model of a transactional
 /// block device. See the [module docs](self) for the in-doubt machinery.
 #[derive(Debug)]
@@ -77,6 +107,9 @@ pub struct ShadowModel {
     unsynced_trims: HashMap<Lpn, Vec<Vec<u8>>>,
     /// Failed commits awaiting all-or-nothing resolution.
     doubt_txns: Vec<DoubtTx>,
+    /// Commits submitted but not yet flushed (split-phase pipeline), in
+    /// submission order: visible in `committed`, not yet durable.
+    unflushed: Vec<UnflushedCommit>,
     checked_reads: u64,
 }
 
@@ -91,6 +124,7 @@ impl ShadowModel {
             doubt_pages: HashMap::new(),
             unsynced_trims: HashMap::new(),
             doubt_txns: Vec::new(),
+            unflushed: Vec::new(),
             checked_reads: 0,
         }
     }
@@ -113,8 +147,11 @@ impl ShadowModel {
     /// Models a power loss: every uncommitted transaction view dies with
     /// the device RAM. In-doubt worlds persist — they describe the flash.
     /// Trims that never reached a checkpoint become in-doubt pages: the
-    /// recovery scan may resurrect the pre-trim value.
+    /// recovery scan may resurrect the pre-trim value. Commits whose
+    /// group flush never landed roll visibility back and become in-doubt
+    /// transactions.
     pub fn crash(&mut self) {
+        self.spill_unflushed(u64::MAX);
         self.pending.clear();
         self.pending_doubt.clear();
         let trims: Vec<(Lpn, Vec<Vec<u8>>)> = self.unsynced_trims.drain().collect();
@@ -135,7 +172,106 @@ impl ShadowModel {
         for tx in &self.doubt_txns {
             s.extend(tx.pages.keys().copied());
         }
+        for rec in &self.unflushed {
+            s.extend(rec.pages.keys().copied());
+        }
         s
+    }
+
+    /// Number of commits submitted but not yet durable.
+    pub fn unflushed_commits(&self) -> usize {
+        self.unflushed.len()
+    }
+
+    /// True if a staged (submitted, unflushed) commit wrote `lpn`.
+    fn lpn_is_staged(&self, lpn: Lpn) -> bool {
+        self.unflushed.iter().any(|r| r.pages.contains_key(&lpn))
+    }
+
+    /// Plain traffic reaching a staged page forces the device to flush
+    /// the open commit group first (the split-phase ordering rule), so
+    /// everything staged became durable before the command ran.
+    fn note_plain_conflict(&mut self, lpn: Lpn) {
+        if self.lpn_is_staged(lpn) {
+            self.mark_unflushed_durable(u64::MAX);
+        }
+    }
+
+    /// The group flush landed for every record with `group <= group`:
+    /// their staged values are durable. The fold carries the newest
+    /// program sequence for those pages, so older worlds — resurrectable
+    /// trims, failed-write candidates, failed-commit outcomes — vanish.
+    fn mark_unflushed_durable(&mut self, group: u64) {
+        let (durable, keep): (Vec<_>, Vec<_>) =
+            self.unflushed.drain(..).partition(|rec| rec.group <= group);
+        self.unflushed = keep;
+        for rec in durable {
+            for lpn in rec.pages.into_keys() {
+                self.unsynced_trims.remove(&lpn);
+                self.doubt_pages.remove(&lpn);
+                let mut i = 0;
+                while i < self.doubt_txns.len() {
+                    self.doubt_txns[i].pages.remove(&lpn);
+                    if self.doubt_txns[i].pages.is_empty() {
+                        self.doubt_txns.remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Models the loss (or in-doubt outcome) of unflushed commit groups
+    /// `..= group`: visibility rolls back to the pre-submit image and
+    /// each record re-opens as an all-or-nothing in-doubt transaction.
+    /// Pages written by more than one spilled record can't keep the
+    /// all-or-nothing shape (their worlds interleave); those records
+    /// degrade to per-page doubt — a sound superset.
+    fn spill_unflushed(&mut self, group: u64) {
+        let (spill, keep): (Vec<_>, Vec<_>) =
+            self.unflushed.drain(..).partition(|rec| rec.group <= group);
+        self.unflushed = keep;
+        if spill.is_empty() {
+            return;
+        }
+        // Roll visibility back in reverse submission order, landing on
+        // the pre-record baseline even when records chain on one page.
+        for rec in spill.iter().rev() {
+            for (lpn, (old, _new)) in &rec.pages {
+                match old {
+                    Some(v) => {
+                        self.committed.insert(*lpn, v.clone());
+                    }
+                    None => {
+                        self.committed.remove(lpn);
+                    }
+                }
+            }
+        }
+        let mut counts: HashMap<Lpn, usize> = HashMap::new();
+        for rec in &spill {
+            for lpn in rec.pages.keys() {
+                *counts.entry(*lpn).or_default() += 1;
+            }
+        }
+        for rec in spill {
+            if rec.pages.keys().any(|l| counts[l] > 1) {
+                for (lpn, (_, new)) in rec.pages {
+                    self.doubt_pages.entry(lpn).or_default().push(new);
+                }
+            } else {
+                let pages: BTreeMap<Lpn, Vec<u8>> = rec
+                    .pages
+                    .into_iter()
+                    .map(|(lpn, (_, new))| (lpn, new))
+                    .collect();
+                self.doubt_txns.push(DoubtTx {
+                    tid: rec.tid,
+                    pages,
+                });
+            }
+        }
     }
 
     fn committed_bytes(&self, lpn: Lpn) -> &[u8] {
@@ -279,6 +415,12 @@ impl ShadowModel {
     /// pages still holding the old value panics — that is the torn-commit
     /// (all-or-nothing) check.
     fn resolve_committed(&mut self, lpn: Lpn, observed: &[u8]) {
+        // A staged (unflushed-commit) page reads from the copy-on-write
+        // version, not the durable image: the observation proves nothing
+        // about the worlds a crash could expose, so don't narrow them.
+        if self.lpn_is_staged(lpn) {
+            return;
+        }
         let any_doubt = self.doubt_pages.contains_key(&lpn)
             || self.doubt_txns.iter().any(|tx| tx.pages.contains_key(&lpn));
         if !any_doubt {
@@ -392,6 +534,34 @@ impl ShadowModel {
         // Maybe-recorded batch pages become per-page committed doubts:
         // each was either part of the committed transaction or never
         // existed.
+        if let Some(pages) = self.pending_doubt.remove(&tid) {
+            for (lpn, data) in pages {
+                self.doubt_write(lpn, &data);
+            }
+        }
+    }
+
+    /// A `commit_submit` succeeded: the transaction's versions become
+    /// visible now; durability waits for the group flush. Only the
+    /// committed image moves — older worlds (trim resurrections,
+    /// failed-write candidates) stay open until the group proves durable,
+    /// because a crash before the flush would re-expose them.
+    fn apply_commit_submit(&mut self, tid: Tid, group: u64) {
+        let pages = self.pending.remove(&tid).unwrap_or_default();
+        let mut rec: BTreeMap<Lpn, (Option<Vec<u8>>, Vec<u8>)> = BTreeMap::new();
+        for (lpn, data) in pages {
+            let old = self.committed.get(&lpn).cloned();
+            self.committed.insert(lpn, data.clone());
+            rec.insert(lpn, (old, data));
+        }
+        if !rec.is_empty() {
+            self.unflushed.push(UnflushedCommit {
+                tid,
+                group,
+                pages: rec,
+            });
+        }
+        // Maybe-recorded batch pages: same worlds as in `apply_commit`.
         if let Some(pages) = self.pending_doubt.remove(&tid) {
             for (lpn, data) in pages {
                 self.doubt_write(lpn, &data);
@@ -537,10 +707,17 @@ impl<D: BlockDevice> BlockDevice for ShadowDevice<D> {
     fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
         match self.inner.write(lpn, buf) {
             Ok(()) => {
+                self.model.note_plain_conflict(lpn);
                 self.model.apply_write(lpn, buf);
                 Ok(())
             }
             Err(e) => {
+                // The device flushes the open commit group before a plain
+                // write to a staged page; dying here leaves the group in
+                // doubt alongside the page itself.
+                if self.model.lpn_is_staged(lpn) {
+                    self.model.spill_unflushed(u64::MAX);
+                }
                 self.model.doubt_write(lpn, buf);
                 Err(e)
             }
@@ -550,10 +727,14 @@ impl<D: BlockDevice> BlockDevice for ShadowDevice<D> {
     fn trim(&mut self, lpn: Lpn) -> Result<()> {
         match self.inner.trim(lpn) {
             Ok(()) => {
+                self.model.note_plain_conflict(lpn);
                 self.model.apply_trim(lpn);
                 Ok(())
             }
             Err(e) => {
+                if self.model.lpn_is_staged(lpn) {
+                    self.model.spill_unflushed(u64::MAX);
+                }
                 self.model.doubt_write(lpn, &[]);
                 Err(e)
             }
@@ -565,8 +746,10 @@ impl<D: BlockDevice> BlockDevice for ShadowDevice<D> {
         // FTLs roll forward all committed data pages at recovery whether or
         // not a flush intervened, so the committed image is unchanged here.
         // Trims are the exception — only the checkpoint a flush forces
-        // makes them durable.
+        // makes them durable. A flush also drives the open commit group
+        // to durability.
         self.inner.flush()?;
+        self.model.mark_unflushed_durable(u64::MAX);
         self.model.apply_flush();
         Ok(())
     }
@@ -580,18 +763,36 @@ impl<D: BlockDevice> BlockDevice for ShadowDevice<D> {
             Ok(id) => {
                 for cmd in cmds {
                     match cmd {
-                        IoCmd::Write { lpn, data } => self.model.apply_write(*lpn, data),
-                        IoCmd::Trim { lpn } => self.model.apply_trim(*lpn),
+                        IoCmd::Write { lpn, data } => {
+                            self.model.note_plain_conflict(*lpn);
+                            self.model.apply_write(*lpn, data);
+                        }
+                        IoCmd::Trim { lpn } => {
+                            self.model.note_plain_conflict(*lpn);
+                            self.model.apply_trim(*lpn);
+                        }
+                        // An ordering fence: no data moves, nothing to
+                        // mirror.
+                        IoCmd::Barrier => {}
                     }
                 }
                 Ok(id)
             }
             Err(e) => {
+                if cmds.iter().any(|c| match c {
+                    IoCmd::Write { lpn, .. } | IoCmd::Trim { lpn } => {
+                        self.model.lpn_is_staged(*lpn)
+                    }
+                    IoCmd::Barrier => false,
+                }) {
+                    self.model.spill_unflushed(u64::MAX);
+                }
                 // Any prefix of the batch may have been serviced.
                 for cmd in cmds {
                     match cmd {
                         IoCmd::Write { lpn, data } => self.model.doubt_write(*lpn, data),
                         IoCmd::Trim { lpn } => self.model.doubt_write(*lpn, &[]),
+                        IoCmd::Barrier => {}
                     }
                 }
                 Err(e)
@@ -616,6 +817,7 @@ impl<D: TxBlockDevice> TxBlockDevice for ShadowDevice<D> {
             Ok(()) => {
                 if tid == NO_TID {
                     // tid 0 is non-transactional traffic by contract.
+                    self.model.note_plain_conflict(lpn);
                     self.model.apply_write(lpn, buf);
                 } else {
                     self.model.apply_tx_write(tid, lpn, buf);
@@ -624,6 +826,9 @@ impl<D: TxBlockDevice> TxBlockDevice for ShadowDevice<D> {
             }
             Err(e) => {
                 if tid == NO_TID {
+                    if self.model.lpn_is_staged(lpn) {
+                        self.model.spill_unflushed(u64::MAX);
+                    }
                     self.model.doubt_write(lpn, buf);
                 }
                 // For tid != 0 a failed write_tx records nothing in the
@@ -634,14 +839,41 @@ impl<D: TxBlockDevice> TxBlockDevice for ShadowDevice<D> {
         }
     }
 
-    fn commit(&mut self, tid: Tid) -> Result<()> {
-        match self.inner.commit(tid) {
-            Ok(()) => {
-                self.model.apply_commit(tid);
-                Ok(())
+    fn commit_submit(&mut self, tid: Tid) -> Result<CommitTicket> {
+        match self.inner.commit_submit(tid) {
+            Ok(ticket) => {
+                if ticket.is_immediate() {
+                    // The device completed the commit synchronously (a
+                    // read-only transaction, or a personality with no
+                    // pipeline): it is durable now.
+                    self.model.apply_commit(tid);
+                } else {
+                    self.model.apply_commit_submit(tid, ticket.group().0);
+                }
+                Ok(ticket)
             }
             Err(e) => {
                 self.model.doubt_commit(tid);
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+        let (group, immediate) = (ticket.group().0, ticket.is_immediate());
+        match self.inner.commit_wait(ticket) {
+            Ok(()) => {
+                if !immediate {
+                    self.model.mark_unflushed_durable(group);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // The group flush died mid-program: every record it was
+                // to cover is now in doubt, all-or-nothing.
+                if !immediate {
+                    self.model.spill_unflushed(group);
+                }
                 Err(e)
             }
         }
@@ -665,6 +897,7 @@ impl<D: TxBlockDevice> TxBlockDevice for ShadowDevice<D> {
             Ok(id) => {
                 for (lpn, data) in pages {
                     if tid == NO_TID {
+                        self.model.note_plain_conflict(*lpn);
                         self.model.apply_write(*lpn, data);
                     } else {
                         self.model.apply_tx_write(tid, *lpn, data);
@@ -674,6 +907,9 @@ impl<D: TxBlockDevice> TxBlockDevice for ShadowDevice<D> {
             }
             Err(e) => {
                 if tid == NO_TID {
+                    if pages.iter().any(|(lpn, _)| self.model.lpn_is_staged(*lpn)) {
+                        self.model.spill_unflushed(u64::MAX);
+                    }
                     for (lpn, data) in pages {
                         self.model.doubt_write(*lpn, data);
                     }
@@ -870,8 +1106,11 @@ mod tests {
         fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
             self.0.write_tx(tid, lpn, buf)
         }
-        fn commit(&mut self, tid: Tid) -> Result<()> {
-            self.0.commit(tid)
+        fn commit_submit(&mut self, tid: Tid) -> Result<CommitTicket> {
+            self.0.commit_submit(tid)
+        }
+        fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+            self.0.commit_wait(ticket)
         }
         fn abort(&mut self, _tid: Tid) -> Result<()> {
             Ok(()) // the seeded bug: rollback dropped on the floor
@@ -932,8 +1171,11 @@ mod tests {
         fn write_tx(&mut self, _tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
             self.0.write(lpn, buf) // the seeded bug: no copy-on-write
         }
-        fn commit(&mut self, tid: Tid) -> Result<()> {
-            self.0.commit(tid)
+        fn commit_submit(&mut self, tid: Tid) -> Result<CommitTicket> {
+            self.0.commit_submit(tid)
+        }
+        fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+            self.0.commit_wait(ticket)
         }
         fn abort(&mut self, tid: Tid) -> Result<()> {
             self.0.abort(tid)

@@ -163,6 +163,9 @@ fn recover_x(d: XDev) -> XDev {
 }
 
 #[derive(Debug)]
+// One Dev per test scenario, never in collections; the X-FTL variant's
+// commit-pipeline state tips clippy's size ratio.
+#[allow(clippy::large_enum_variant)]
 enum Dev {
     Plain(PlainDev),
     X(XDev),
@@ -199,7 +202,9 @@ fn build(mode: DbJournalMode) -> (Rc<RefCell<FileSystem<Dev>>>, SimClock) {
 // Forward the device traits through the enum.
 mod devimpl {
     use super::Dev;
-    use xftl_ftl::{BlockDevice, CmdId, DevCounters, IoCmd, Lpn, Result, Tid, TxBlockDevice};
+    use xftl_ftl::{
+        BlockDevice, CmdId, CommitTicket, DevCounters, IoCmd, Lpn, Result, Tid, TxBlockDevice,
+    };
 
     impl BlockDevice for Dev {
         fn page_size(&self) -> usize {
@@ -271,6 +276,18 @@ mod devimpl {
         fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
             match self {
                 Dev::X(d) => d.write_tx(tid, lpn, buf),
+                Dev::Plain(_) => panic!("test bug: tx command on the page-mapping personality"),
+            }
+        }
+        fn commit_submit(&mut self, tid: Tid) -> Result<CommitTicket> {
+            match self {
+                Dev::X(d) => d.commit_submit(tid),
+                Dev::Plain(_) => panic!("test bug: tx command on the page-mapping personality"),
+            }
+        }
+        fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+            match self {
+                Dev::X(d) => d.commit_wait(ticket),
                 Dev::Plain(_) => panic!("test bug: tx command on the page-mapping personality"),
             }
         }
@@ -544,6 +561,160 @@ fn oracle_fuse_mid_commit_resolves_all_or_nothing() {
     for lpn in 1..6u64 {
         dev.read(lpn, &mut buf).unwrap();
         assert_eq!(buf[0], world, "torn commit: lpn {lpn} in another world");
+    }
+}
+
+/// Power cut in the split-phase window: two transactions commit_submit
+/// (visible, staged in the same group) but the power dies before any
+/// commit_wait. No group flush ever ran, so the whole group must vanish —
+/// the oracle carries both as in-doubt worlds across the cycle and the
+/// recovered image must sit in the all-old world for every page.
+#[cfg(feature = "verify")]
+#[test]
+fn oracle_power_cut_between_submit_and_wait_loses_group() {
+    use xftl_ftl::{BlockDevice, TxBlockDevice};
+    let chip = FlashChip::new(FlashConfig::tiny(40), SimClock::new());
+    let mut dev = ShadowDevice::new(XFtl::format(chip, 64).unwrap());
+    let ps = dev.page_size();
+    let old = vec![0x11u8; ps];
+    let new = vec![0x22u8; ps];
+    for lpn in 0..6u64 {
+        dev.write(lpn, &old).unwrap();
+    }
+    dev.flush().unwrap();
+    for lpn in 0..3u64 {
+        dev.write_tx(3, lpn, &new).unwrap();
+    }
+    for lpn in 3..6u64 {
+        dev.write_tx(4, lpn, &new).unwrap();
+    }
+    let a = dev.commit_submit(3).unwrap();
+    let b = dev.commit_submit(4).unwrap();
+    assert!(
+        !a.is_immediate() && !b.is_immediate(),
+        "X-FTL stages commits"
+    );
+    // Both are visible now, before any flush.
+    let mut buf = vec![0u8; ps];
+    dev.read(0, &mut buf).unwrap();
+    assert_eq!(buf[0], 0x22, "submitted commit must be visible");
+
+    // Power dies with the group staged: tickets a and b are never redeemed.
+    let (ftl, model) = dev.into_parts();
+    let mut chip = ftl.into_chip();
+    chip.power_cycle();
+    let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+    dev.verify_recovered();
+    dev.audit();
+
+    // Nothing of the staged group was ever programmed durably.
+    for lpn in 0..6u64 {
+        dev.read(lpn, &mut buf).unwrap();
+        assert_eq!(
+            buf[0], 0x11,
+            "unflushed group survived the crash: lpn {lpn}"
+        );
+    }
+}
+
+/// Two concurrent `commit_submit`s redeemed by one `commit_wait` must
+/// coalesce into a single group flush — one X-L2P persist and one
+/// meta-root program for both transactions — with every read and the
+/// recovery image still checked by the oracle.
+#[cfg(feature = "verify")]
+#[test]
+fn oracle_group_commit_coalesces_two_commits_into_one_flush() {
+    use xftl_ftl::{BlockDevice, TxBlockDevice};
+    let chip = FlashChip::new(FlashConfig::tiny(40), SimClock::new());
+    let mut dev = ShadowDevice::new(XFtl::format(chip, 64).unwrap());
+    let ps = dev.page_size();
+    let new = vec![0x22u8; ps];
+    for lpn in 0..3u64 {
+        dev.write_tx(3, lpn, &new).unwrap();
+    }
+    for lpn in 3..6u64 {
+        dev.write_tx(4, lpn, &new).unwrap();
+    }
+    let before = *dev.inner().stats();
+    let a = dev.commit_submit(3).unwrap();
+    let b = dev.commit_submit(4).unwrap();
+    dev.commit_wait(b).unwrap();
+    dev.commit_wait(a).unwrap();
+    let delta = *dev.inner().stats() - before;
+    assert_eq!(
+        delta.group_commit_flushes, 1,
+        "both commits share one flush"
+    );
+    assert_eq!(delta.commits_coalesced, 2, "the flush retired both commits");
+
+    // The single flush made both durable: power-cycle and re-check every
+    // page through the oracle's recovery sweep plus a flash audit.
+    let (ftl, model) = dev.into_parts();
+    let mut chip = ftl.into_chip();
+    chip.power_cycle();
+    let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+    dev.verify_recovered();
+    dev.audit();
+    let mut buf = vec![0u8; ps];
+    for lpn in 0..6u64 {
+        dev.read(lpn, &mut buf).unwrap();
+        assert_eq!(buf[0], 0x22, "coalesced commit lost lpn {lpn}");
+    }
+}
+
+/// Fuse in the middle of a *group* flush: two staged commits share one
+/// X-L2P persist, so a torn flush must take or lose them together — the
+/// all-or-nothing unit is the group, not the transaction. The oracle's
+/// in-doubt worlds (spilled when commit_wait fails) enforce exactly that
+/// across the power cycle.
+#[cfg(feature = "verify")]
+#[test]
+fn oracle_fuse_mid_group_flush_is_all_or_nothing() {
+    use xftl_ftl::{BlockDevice, TxBlockDevice};
+    let chip = FlashChip::new(FlashConfig::tiny(40), SimClock::new());
+    let mut dev = ShadowDevice::new(XFtl::format(chip, 64).unwrap());
+    let ps = dev.page_size();
+    let old = vec![0x11u8; ps];
+    let new = vec![0x22u8; ps];
+    for lpn in 0..6u64 {
+        dev.write(lpn, &old).unwrap();
+    }
+    dev.flush().unwrap();
+    for lpn in 0..3u64 {
+        dev.write_tx(3, lpn, &new).unwrap();
+    }
+    for lpn in 3..6u64 {
+        dev.write_tx(4, lpn, &new).unwrap();
+    }
+    let a = dev.commit_submit(3).unwrap();
+    let _b = dev.commit_submit(4).unwrap();
+    // Redeeming the first ticket flushes the whole staged group — several
+    // programs (X-L2P table pages + checkpoint root). A two-op fuse dies
+    // mid-flush.
+    dev.inner_mut().base_mut().chip_mut().arm_power_fuse(2);
+    assert!(
+        dev.commit_wait(a).is_err(),
+        "fuse must kill the group flush"
+    );
+
+    let (ftl, model) = dev.into_parts();
+    let mut chip = ftl.into_chip();
+    chip.power_cycle();
+    let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+    dev.verify_recovered();
+    dev.audit();
+
+    // Every page of BOTH transactions must land in the same world.
+    let mut buf = vec![0u8; ps];
+    dev.read(0, &mut buf).unwrap();
+    let world = buf[0];
+    assert!(world == 0x11 || world == 0x22, "unknown world {world:#x}");
+    for lpn in 1..6u64 {
+        dev.read(lpn, &mut buf).unwrap();
+        assert_eq!(
+            buf[0], world,
+            "torn group flush: lpn {lpn} in another world"
+        );
     }
 }
 

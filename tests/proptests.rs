@@ -312,10 +312,29 @@ fn fs_matches_model() {
 
 #[derive(Debug, Clone)]
 enum TxOp {
-    Write { tid: u64, lpn: u64, byte: u8 },
-    PlainWrite { lpn: u64, byte: u8 },
-    Commit { tid: u64 },
-    Abort { tid: u64 },
+    Write {
+        tid: u64,
+        lpn: u64,
+        byte: u8,
+    },
+    PlainWrite {
+        lpn: u64,
+        byte: u8,
+    },
+    Commit {
+        tid: u64,
+    },
+    /// Split-phase: stage the commit (visible immediately) and keep the
+    /// ticket outstanding.
+    CommitSubmit {
+        tid: u64,
+    },
+    /// Redeem the newest outstanding ticket — its group covers everything
+    /// currently staged, so the whole pipeline drains durable.
+    CommitWait,
+    Abort {
+        tid: u64,
+    },
     Flush,
     Crash,
 }
@@ -328,7 +347,7 @@ fn rand_tx_ops(rng: &mut StdRng) -> Vec<TxOp> {
     // keeping plain writes on pages 20..24.
     let n = rng.gen_range(1usize..50);
     (0..n)
-        .map(|_| match rng.gen_range(0u32..11) {
+        .map(|_| match rng.gen_range(0u32..13) {
             0..=3 => {
                 let tid = rng.gen_range(1u64..5);
                 let row = rng.gen_range(0u64..5);
@@ -349,9 +368,53 @@ fn rand_tx_ops(rng: &mut StdRng) -> Vec<TxOp> {
                 tid: rng.gen_range(1u64..5),
             },
             9 => TxOp::Flush,
-            _ => TxOp::Crash,
+            10 => TxOp::Crash,
+            11 => TxOp::CommitSubmit {
+                tid: rng.gen_range(1u64..5),
+            },
+            _ => TxOp::CommitWait,
         })
         .collect()
+}
+
+/// Resolves the post-crash state of the split-phase model. Group commits
+/// flush strictly in submission order and a group is all-or-nothing, so
+/// whatever internal flushes (capacity checkpoints, conflict flushes)
+/// happened before the crash, the surviving image must equal `durable`
+/// plus some *prefix* of the staged records. Returns that world.
+fn resolve_crash_world<D: BlockDevice>(
+    dev: &mut D,
+    durable: &HashMap<u64, u8>,
+    staged: &[HashMap<u64, u8>],
+    case: u64,
+) -> HashMap<u64, u8> {
+    let ps = dev.page_size();
+    let mut buf = vec![0u8; ps];
+    let mut image = [0u8; 24];
+    for lpn in 0..24u64 {
+        dev.read(lpn, &mut buf).unwrap();
+        image[usize::try_from(lpn).unwrap()] = buf[0];
+    }
+    let mut world = durable.clone();
+    let mut k = 0usize;
+    loop {
+        let matched = (0..24u64).all(|lpn| {
+            image[usize::try_from(lpn).unwrap()] == world.get(&lpn).copied().unwrap_or(0)
+        });
+        if matched {
+            return world;
+        }
+        assert!(
+            k < staged.len(),
+            "case {case}: post-crash image matches no prefix of the {} staged commit(s)\n\
+             image: {image:?}\ndurable: {durable:?}\nstaged: {staged:?}",
+            staged.len()
+        );
+        for (lpn, byte) in &staged[k] {
+            world.insert(*lpn, *byte);
+        }
+        k += 1;
+    }
 }
 
 // With the `verify` feature the FTL model tests run through the shadow
@@ -420,8 +483,10 @@ fn t_crash(dev: TDev) -> TDev {
 }
 
 /// X-FTL's committed state always equals a model where transactional
-/// writes become visible only at commit, vanish on abort, and crashes
-/// abort everything in flight while preserving all committed data.
+/// writes become visible only at commit (blocking or submitted), vanish
+/// on abort, and crashes preserve durable data plus — group-atomically,
+/// in submission order — any staged split-phase commits an internal
+/// flush happened to persist.
 #[test]
 fn xftl_transactions_match_model() {
     for case in 0..48u64 {
@@ -431,8 +496,13 @@ fn xftl_transactions_match_model() {
         let chip = FlashChip::new(FlashConfig::tiny(40), clock);
         let mut dev = x_format(chip, 24, 64);
         let ps = dev.page_size();
-        // committed[lpn] and per-tid pending writes.
-        let mut committed: HashMap<u64, u8> = HashMap::new();
+        // What reads return / what certainly survives a crash / staged
+        // split-phase records (visible, not yet certainly durable) in
+        // submission order / outstanding tickets, oldest first.
+        let mut visible: HashMap<u64, u8> = HashMap::new();
+        let mut durable: HashMap<u64, u8> = HashMap::new();
+        let mut staged_model: Vec<HashMap<u64, u8>> = Vec::new();
+        let mut outstanding = Vec::new();
         let mut pending: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
         for op in &ops {
             match op {
@@ -442,29 +512,86 @@ fn xftl_transactions_match_model() {
                 }
                 TxOp::PlainWrite { lpn, byte } => {
                     dev.write(*lpn, &vec![*byte; ps]).unwrap();
-                    committed.insert(*lpn, *byte);
+                    // A plain write landing on a staged page forces the
+                    // device to flush the group first (the fold must not
+                    // clobber the new batch), so the pipeline drains here.
+                    if staged_model.iter().any(|rec| rec.contains_key(lpn)) {
+                        for rec in staged_model.drain(..) {
+                            durable.extend(rec);
+                        }
+                    }
+                    visible.insert(*lpn, *byte);
+                    durable.insert(*lpn, *byte);
                 }
                 TxOp::Commit { tid } => {
                     dev.commit(*tid).unwrap();
-                    for (lpn, byte) in pending.remove(tid).unwrap_or_default() {
-                        committed.insert(lpn, byte);
+                    let writes = pending.remove(tid).unwrap_or_default();
+                    // Blocking commit = submit + wait: a *real* commit
+                    // flushes the whole staged pipeline along with this
+                    // tx. An empty transaction is durable by vacuity —
+                    // its ticket is immediate, so nothing need flush.
+                    if !writes.is_empty() {
+                        for rec in staged_model.drain(..) {
+                            durable.extend(rec);
+                        }
+                    }
+                    for (lpn, byte) in writes {
+                        visible.insert(lpn, byte);
+                        durable.insert(lpn, byte);
+                    }
+                }
+                TxOp::CommitSubmit { tid } => {
+                    let t = dev.commit_submit(*tid).unwrap();
+                    outstanding.push(t);
+                    let writes = pending.remove(tid).unwrap_or_default();
+                    for (lpn, byte) in &writes {
+                        visible.insert(*lpn, *byte);
+                    }
+                    // An immediate ticket stages nothing — waiting on it
+                    // later is only a queue barrier, never a flush.
+                    if !t.is_immediate() {
+                        staged_model.push(writes);
+                    }
+                }
+                TxOp::CommitWait => {
+                    // The newest ticket's group covers everything staged;
+                    // older tickets become no-ops once it flushes. An
+                    // immediate ticket never implies a group flush.
+                    if let Some(t) = outstanding.pop() {
+                        dev.commit_wait(t).unwrap();
+                        if !t.is_immediate() {
+                            for rec in staged_model.drain(..) {
+                                durable.extend(rec);
+                            }
+                        }
                     }
                 }
                 TxOp::Abort { tid } => {
                     dev.abort(*tid).unwrap();
                     pending.remove(tid);
                 }
-                TxOp::Flush => dev.flush().unwrap(),
+                TxOp::Flush => {
+                    dev.flush().unwrap();
+                    for rec in staged_model.drain(..) {
+                        durable.extend(rec);
+                    }
+                }
                 TxOp::Crash => {
                     dev = x_crash(dev, 64);
                     pending.clear();
+                    // Tickets die with the power; resolve which prefix of
+                    // the staged pipeline an internal flush saved.
+                    outstanding.clear();
+                    durable = resolve_crash_world(&mut dev, &durable, &staged_model, case);
+                    staged_model.clear();
+                    visible = durable.clone();
                 }
             }
             // Committed view must match the model at every step.
             let mut buf = vec![0u8; ps];
             for lpn in 0..24u64 {
                 dev.read(lpn, &mut buf).unwrap();
-                let expect = committed.get(&lpn).copied().unwrap_or(0);
+                let expect = visible.get(&lpn).copied().unwrap_or(0);
                 assert_eq!(buf[0], expect, "case {case}: lpn {lpn} after {op:?}");
             }
             // Each in-flight transaction sees its own writes.
@@ -475,17 +602,9 @@ fn xftl_transactions_match_model() {
                 }
             }
         }
-        // Final crash: only committed state survives.
+        // Final crash: durable state plus a staged prefix survives.
         let mut dev = x_crash(dev, 64);
-        let mut buf = vec![0u8; ps];
-        for lpn in 0..24u64 {
-            dev.read(lpn, &mut buf).unwrap();
-            assert_eq!(
-                buf[0],
-                committed.get(&lpn).copied().unwrap_or(0),
-                "case {case}: lpn {lpn} after recovery"
-            );
-        }
+        resolve_crash_world(&mut dev, &durable, &staged_model, case);
     }
 }
 
@@ -542,7 +661,10 @@ fn xftl_transactions_match_model_under_faults() {
         chip.set_fault_plan(plan);
         let mut dev = x_format(chip, 24, 64);
         let ps = dev.page_size();
-        let mut committed: HashMap<u64, u8> = HashMap::new();
+        let mut visible: HashMap<u64, u8> = HashMap::new();
+        let mut durable: HashMap<u64, u8> = HashMap::new();
+        let mut staged_model: Vec<HashMap<u64, u8>> = Vec::new();
+        let mut outstanding = Vec::new();
         let mut pending: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
         for op in &ops {
             match op {
@@ -552,28 +674,75 @@ fn xftl_transactions_match_model_under_faults() {
                 }
                 TxOp::PlainWrite { lpn, byte } => {
                     dev.write(*lpn, &vec![*byte; ps]).unwrap();
-                    committed.insert(*lpn, *byte);
+                    // Plain write over a staged page ⇒ the device flushed
+                    // the group before programming the new version.
+                    if staged_model.iter().any(|rec| rec.contains_key(lpn)) {
+                        for rec in staged_model.drain(..) {
+                            durable.extend(rec);
+                        }
+                    }
+                    visible.insert(*lpn, *byte);
+                    durable.insert(*lpn, *byte);
                 }
                 TxOp::Commit { tid } => {
                     dev.commit(*tid).unwrap();
-                    for (lpn, byte) in pending.remove(tid).unwrap_or_default() {
-                        committed.insert(lpn, byte);
+                    let writes = pending.remove(tid).unwrap_or_default();
+                    // Only a non-empty commit flushes the staged pipeline;
+                    // an empty one redeems an immediate ticket (barrier).
+                    if !writes.is_empty() {
+                        for rec in staged_model.drain(..) {
+                            durable.extend(rec);
+                        }
+                    }
+                    for (lpn, byte) in writes {
+                        visible.insert(lpn, byte);
+                        durable.insert(lpn, byte);
+                    }
+                }
+                TxOp::CommitSubmit { tid } => {
+                    let t = dev.commit_submit(*tid).unwrap();
+                    outstanding.push(t);
+                    let writes = pending.remove(tid).unwrap_or_default();
+                    for (lpn, byte) in &writes {
+                        visible.insert(*lpn, *byte);
+                    }
+                    if !t.is_immediate() {
+                        staged_model.push(writes);
+                    }
+                }
+                TxOp::CommitWait => {
+                    if let Some(t) = outstanding.pop() {
+                        dev.commit_wait(t).unwrap();
+                        if !t.is_immediate() {
+                            for rec in staged_model.drain(..) {
+                                durable.extend(rec);
+                            }
+                        }
                     }
                 }
                 TxOp::Abort { tid } => {
                     dev.abort(*tid).unwrap();
                     pending.remove(tid);
                 }
-                TxOp::Flush => dev.flush().unwrap(),
+                TxOp::Flush => {
+                    dev.flush().unwrap();
+                    for rec in staged_model.drain(..) {
+                        durable.extend(rec);
+                    }
+                }
                 TxOp::Crash => {
                     dev = x_crash(dev, 64);
                     pending.clear();
+                    outstanding.clear();
+                    durable = resolve_crash_world(&mut dev, &durable, &staged_model, case);
+                    staged_model.clear();
+                    visible = durable.clone();
                 }
             }
             let mut buf = vec![0u8; ps];
             for lpn in 0..24u64 {
                 dev.read(lpn, &mut buf).unwrap();
-                let expect = committed.get(&lpn).copied().unwrap_or(0);
+                let expect = visible.get(&lpn).copied().unwrap_or(0);
                 assert_eq!(buf[0], expect, "case {case}: lpn {lpn} after {op:?}");
             }
             for (tid, writes) in &pending {
@@ -584,15 +753,7 @@ fn xftl_transactions_match_model_under_faults() {
             }
         }
         let mut dev = x_crash(dev, 64);
-        let mut buf = vec![0u8; ps];
-        for lpn in 0..24u64 {
-            dev.read(lpn, &mut buf).unwrap();
-            assert_eq!(
-                buf[0],
-                committed.get(&lpn).copied().unwrap_or(0),
-                "case {case}: lpn {lpn} after recovery"
-            );
-        }
+        resolve_crash_world(&mut dev, &durable, &staged_model, case);
     }
 }
 
@@ -628,6 +789,19 @@ fn txflash_transactions_match_model() {
                         committed.insert(lpn, byte);
                     }
                 }
+                TxOp::CommitSubmit { tid } => {
+                    // The synchronous personality has no pipeline: submit
+                    // IS the durable commit and the ticket is immediate.
+                    let t = dev.commit_submit(*tid).unwrap();
+                    assert!(t.is_immediate(), "case {case}: TxFlash staged a commit");
+                    dev.commit_wait(t).unwrap();
+                    for (lpn, byte) in pending.remove(tid).unwrap_or_default() {
+                        committed.insert(lpn, byte);
+                    }
+                }
+                // Immediate tickets are redeemed on the spot above;
+                // nothing is ever outstanding.
+                TxOp::CommitWait => {}
                 TxOp::Abort { tid } => {
                     dev.abort(*tid).unwrap();
                     pending.remove(tid);

@@ -133,6 +133,7 @@ fn fio_mode_ordering() {
         writes_per_fsync: 5,
         duration_secs: 3,
         seed: 3,
+        queue_depth: 1,
     };
     let x = fio::run(&rig(Mode::XFtl), &cfg).iops;
     let ordered = fio::run(&rig(Mode::Wal), &cfg).iops;

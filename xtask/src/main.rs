@@ -266,6 +266,47 @@ fn compare_reports(baseline: &BenchReport, fresh: &BenchReport) -> Vec<String> {
     violations
 }
 
+/// The commit-pipeline gate: beyond matching the baseline, the fresh
+/// report must exhibit the split-phase win itself — deeper queues raise
+/// X-FTL IOPS. A regression that serializes the pipeline (every
+/// commit_submit flushing immediately, say) would keep all depth-1
+/// numbers bit-identical to the baseline, so only a direct qd1-vs-qdN
+/// comparison catches it.
+fn pipeline_gate(fresh: &BenchReport) -> Vec<String> {
+    let get = |name: &str| {
+        fresh
+            .metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    };
+    let mut violations = Vec::new();
+    let pairs = [
+        (
+            "channels.qd1.xftl_iops",
+            "channels.qd8.xftl_iops",
+            "queue-depth sweep",
+        ),
+        (
+            "fig9.wpf10.openssd_xftl_qd1_iops",
+            "fig9.wpf10.openssd_xftl_iops",
+            "fig9 pipelined row",
+        ),
+    ];
+    for (shallow, deep, what) in pairs {
+        match (get(shallow), get(deep)) {
+            (Some(q1), Some(qn)) if qn <= q1 => violations.push(format!(
+                "commit-pipeline win lost in {what}: `{deep}` {qn:.0} <= `{shallow}` {q1:.0}"
+            )),
+            (None, _) | (_, None) => violations.push(format!(
+                "{what} metrics missing (`{shallow}` / `{deep}`) — pipeline gate cannot run"
+            )),
+            _ => {}
+        }
+    }
+    violations
+}
+
 fn load_report(path: &Path) -> Result<BenchReport, String> {
     let text =
         fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -283,7 +324,8 @@ fn bench_check(fresh_path: &Path, baseline_path: &Path) -> Result<usize, String>
             fresh.meta, baseline.meta
         ));
     }
-    let violations = compare_reports(&baseline, &fresh);
+    let mut violations = compare_reports(&baseline, &fresh);
+    violations.extend(pipeline_gate(&fresh));
     for v in &violations {
         println!("bench-check: {v}");
     }
@@ -424,6 +466,28 @@ mod tests {
         let v = compare_reports(&base, &fresh);
         assert!(!v.is_empty());
         assert!(v.iter().all(|m| m.contains("_ns")), "{v:?}");
+    }
+
+    #[test]
+    fn pipeline_gate_demands_a_queue_depth_win() {
+        let winning = report_with(&[
+            ("channels.qd1.xftl_iops", 700.0),
+            ("channels.qd8.xftl_iops", 1400.0),
+            ("fig9.wpf10.openssd_xftl_qd1_iops", 717.0),
+            ("fig9.wpf10.openssd_xftl_iops", 1300.0),
+        ]);
+        assert!(pipeline_gate(&winning).is_empty());
+        // A serialized pipeline (deep == shallow) is a regression.
+        let flat = report_with(&[
+            ("channels.qd1.xftl_iops", 700.0),
+            ("channels.qd8.xftl_iops", 700.0),
+            ("fig9.wpf10.openssd_xftl_qd1_iops", 717.0),
+            ("fig9.wpf10.openssd_xftl_iops", 1300.0),
+        ]);
+        assert_eq!(pipeline_gate(&flat).len(), 1);
+        // Dropping the sweep entirely must not silently pass.
+        let missing = report_with(&[("channels.qd1.xftl_iops", 700.0)]);
+        assert_eq!(pipeline_gate(&missing).len(), 2);
     }
 
     #[test]
