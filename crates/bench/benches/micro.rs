@@ -14,7 +14,7 @@
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::rc::Rc;
-use std::time::Instant; // lint-sim: allow — this bench measures *host* time by design
+use std::time::Instant; // xftl-analyze: allow(sim-clock): this bench measures *host* time by design
 
 use xftl_core::{XFtl, Xl2pTable};
 use xftl_db::{record, Connection, DbJournalMode, Value};
@@ -26,13 +26,13 @@ use xftl_ftl::{BlockDevice, PageMappedFtl, TxBlockDevice, TxFlashFtl};
 /// run sized so each case takes roughly 0.2 s of wall clock.
 fn bench(name: &str, mut f: impl FnMut()) {
     const CALIBRATION: u32 = 32;
-    let t0 = Instant::now(); // lint-sim: allow
+    let t0 = Instant::now(); // xftl-analyze: allow(sim-clock): calibration pass timing host wall clock
     for _ in 0..CALIBRATION {
         f();
     }
     let per_iter = t0.elapsed().as_nanos().max(1) / CALIBRATION as u128;
     let iters = (200_000_000 / per_iter).clamp(8, 2_000_000) as u32;
-    let t1 = Instant::now(); // lint-sim: allow
+    let t1 = Instant::now(); // xftl-analyze: allow(sim-clock): measured run timing host wall clock
     for _ in 0..iters {
         f();
     }

@@ -1,7 +1,7 @@
 //! Figure 5, Table 1 and Figure 6: the synthetic partsupp workload under
 //! varying transaction sizes and GC-validity regimes.
 
-use xftl_flash::clock::SECOND;
+use xftl_flash::SECOND;
 use xftl_ftl::GcPolicy;
 use xftl_workloads::rig::{Aging, Mode, Rig, RigConfig, Snapshot};
 use xftl_workloads::synthetic::{self, SyntheticConfig};

@@ -21,7 +21,7 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use xftl_flash::{Nanos, SimClock};
-use xftl_fs::{FileSystem, Ino};
+use xftl_fs::{FileSystem, FsError, Ino};
 use xftl_ftl::{BlockDevice, CommitTicket, Tid};
 use xftl_trace::{OpClass, Recorder, Telemetry};
 
@@ -433,11 +433,14 @@ impl<D: BlockDevice> Pager<D> {
         }
         // DELETE mode creates the journal per transaction (Figure 1);
         // TRUNCATE/PERSIST reuse the file left by the previous commit.
+        // Only a missing file falls through to create — a device failure
+        // must propagate, not silently spawn a fresh journal.
         let name = self.journal_name();
-        let existing = self.fs.borrow().open(&name).ok();
+        let existing = self.fs.borrow().open(&name);
         let ino = match existing {
-            Some(ino) => ino,
-            None => self.fs.borrow_mut().create(&name)?,
+            Ok(ino) => ino,
+            Err(FsError::NotFound) => self.fs.borrow_mut().create(&name)?,
+            Err(e) => return Err(e.into()),
         };
         // Header placeholder (record count 0) fills the first page.
         let hdr = self.encode_journal_header(0);

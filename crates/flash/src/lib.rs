@@ -62,7 +62,7 @@ pub mod fault;
 pub mod stats;
 
 pub use chip::{BlockHealth, FlashChip, Oob, PageKind, PageProbe, Ppa};
-pub use clock::{Nanos, SimClock, Stopwatch};
+pub use clock::{Nanos, SimClock, Stopwatch, SECOND};
 pub use config::{FlashConfig, FlashConfigBuilder, FlashGeometry, FlashTimings};
 pub use error::{FlashError, Result};
 pub use fault::{EccConfig, FaultKind, FaultOp, FaultPlan, FaultTrigger};

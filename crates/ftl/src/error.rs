@@ -55,7 +55,12 @@ impl std::error::Error for DevError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DevError::Flash(e) => Some(e),
-            _ => None,
+            DevError::BadLpn(_)
+            | DevError::OutOfSpace
+            | DevError::UnknownTid(_)
+            | DevError::XL2pFull
+            | DevError::NotFormatted
+            | DevError::NotQueued => None,
         }
     }
 }

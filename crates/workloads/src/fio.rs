@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use xftl_flash::clock::SECOND;
+use xftl_flash::SECOND;
 use xftl_fs::Ino;
 use xftl_ftl::CommitTicket;
 

@@ -12,8 +12,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use xftl_db::{Connection, Value};
-use xftl_flash::clock::SECOND;
 use xftl_flash::SimClock;
+use xftl_flash::SECOND;
 use xftl_ftl::BlockDevice;
 
 /// Host CPU time charged per SQL statement (SQLite parse + VM execution

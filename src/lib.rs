@@ -4,6 +4,8 @@
 //! cross-crate [integration tests](../tests); the library surface simply
 //! re-exports the workspace crates for convenient one-import use.
 
+#![forbid(unsafe_code)]
+
 pub use xftl_core as core;
 pub use xftl_db as db;
 pub use xftl_flash as flash;

@@ -1,0 +1,471 @@
+//! A minimal Rust lexer for the `xftl-analyze` engine.
+//!
+//! The workspace build is hermetic (no crates.io, so no `syn`); this
+//! lexer supplies the token-level facts the lints need while staying a
+//! few hundred lines. It understands exactly the parts of the grammar
+//! that matter for *not lying about source structure*:
+//!
+//! - line (`//`) and nested block (`/* */`) comments are skipped, which
+//!   kills the false-positive class the old grep-based `lint-sim` had
+//!   (a banned construct mentioned in a doc comment is not a use);
+//! - string, raw-string, byte-string and char literals are single
+//!   tokens, so their *contents* never look like code;
+//! - lifetimes (`'a`) are distinguished from char literals (`'a'`);
+//! - the three multi-char separators structural analysis needs
+//!   (`::`, `->`, `=>`) are fused into one token each — everything
+//!   else stays a single-character punct so `Vec<Vec<u8>>` still
+//!   closes two angle depths.
+//!
+//! Waiver comments (`// xftl-analyze: allow(<lint>): <justification>`)
+//! are the one piece of comment content the engine *does* care about;
+//! the lexer extracts them as [`WaiverDecl`]s while skipping the
+//! comment itself.
+
+/// Token kind. The lexer is lossless about *identity* (every token
+/// carries its text) but lossy about trivia (whitespace, comments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `match`, `IoCmd`, …).
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` never reads as a char.
+    Lifetime,
+    /// Numeric literal (underscores preserved in the text).
+    Num,
+    /// String/char/byte literal of any flavour, quotes included.
+    Str,
+    /// Punctuation: single chars plus the fused `::`, `->`, `=>`.
+    Punct,
+    /// `(`, `[` or `{`.
+    Open,
+    /// `)`, `]` or `}`.
+    Close,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A waiver comment found while lexing:
+/// `// xftl-analyze: allow(<lint>): <justification>`.
+///
+/// `justification` is the trimmed text after the second colon; an empty
+/// justification is recorded as such and *rejected* by the engine (a
+/// waiver must say why).
+#[derive(Debug, Clone)]
+pub struct WaiverDecl {
+    pub lint: String,
+    pub justification: String,
+    pub line: u32,
+}
+
+/// Marker that introduces a waiver inside a `//` comment.
+pub const WAIVER_MARKER: &str = "xftl-analyze: allow(";
+
+/// Lex `src` into tokens plus any waiver declarations found in
+/// comments. The lexer never fails: unrecognised bytes become
+/// single-char puncts, which is good enough for analysis (the real
+/// compiler is the authority on validity).
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<WaiverDecl>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    toks: Vec<Tok>,
+    waivers: Vec<WaiverDecl>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            toks: Vec::new(),
+            waivers: Vec::new(),
+        }
+    }
+
+    fn peek(&self, off: usize) -> u8 {
+        *self.src.get(self.pos + off).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> (Vec<Tok>, Vec<WaiverDecl>) {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' | b'b'
+                    if self.raw_string_lookahead().is_some()
+                        || (b == b'b' && self.peek(1) == b'"') =>
+                {
+                    self.string_like(line, col);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    // Byte char literal b'x'.
+                    self.bump();
+                    self.char_literal(line, col, "b");
+                }
+                b'"' => self.string_like(line, col),
+                b'\'' => self.quote(line, col),
+                b'0'..=b'9' => self.number(line, col),
+                _ if is_ident_start(b) => self.ident(line, col),
+                b'(' | b'[' | b'{' => {
+                    self.bump();
+                    self.push(TokKind::Open, (b as char).to_string(), line, col);
+                }
+                b')' | b']' | b'}' => {
+                    self.bump();
+                    self.push(TokKind::Close, (b as char).to_string(), line, col);
+                }
+                b':' if self.peek(1) == b':' => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "::".into(), line, col);
+                }
+                b'-' if self.peek(1) == b'>' => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "->".into(), line, col);
+                }
+                b'=' if self.peek(1) == b'>' => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "=>".into(), line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, (b as char).to_string(), line, col);
+                }
+            }
+        }
+        (self.toks, self.waivers)
+    }
+
+    /// `//` comment: skip to end of line, but first mine it for a
+    /// waiver declaration.
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // The marker must open the comment (after the `//`/`///`/`//!`
+        // leader): a doc comment *describing* the waiver syntax — in
+        // backticks or in an indented example — is prose, not a waiver.
+        let content = text
+            .strip_prefix("//")
+            .map_or(text.as_str(), |c| c.strip_prefix(['/', '!']).unwrap_or(c))
+            .trim_start();
+        if let Some(rest) = content.strip_prefix(WAIVER_MARKER) {
+            if let Some(close) = rest.find(')') {
+                let lint = rest[..close].trim().to_string();
+                let after = rest[close + 1..].trim_start();
+                let justification = after
+                    .strip_prefix(':')
+                    .map_or(String::new(), |j| j.trim().to_string());
+                self.waivers.push(WaiverDecl {
+                    lint,
+                    justification,
+                    line,
+                });
+            }
+        }
+    }
+
+    /// Nested `/* */` comment.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// If the cursor sits on a raw-string opener (`r"`, `r#"`, `br#"`,
+    /// …), returns the number of `#`s; `None` otherwise.
+    fn raw_string_lookahead(&self) -> Option<usize> {
+        let mut off = 0;
+        if self.peek(off) == b'b' {
+            off += 1;
+        }
+        if self.peek(off) != b'r' {
+            return None;
+        }
+        off += 1;
+        let mut hashes = 0;
+        while self.peek(off) == b'#' {
+            off += 1;
+            hashes += 1;
+        }
+        (self.peek(off) == b'"').then_some(hashes)
+    }
+
+    /// Any `"`-delimited literal: plain, byte, raw (with `#` fences).
+    fn string_like(&mut self, line: u32, col: u32) {
+        let raw = self.raw_string_lookahead();
+        let start = self.pos;
+        // Consume prefix bytes up to and including the opening quote.
+        while self.peek(0) != b'"' {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        match raw {
+            Some(hashes) => loop {
+                if self.pos >= self.src.len() {
+                    break;
+                }
+                if self.peek(0) == b'"' {
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != b'#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    self.bump();
+                    if ok {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                } else {
+                    self.bump();
+                }
+            },
+            None => loop {
+                if self.pos >= self.src.len() {
+                    break;
+                }
+                match self.bump() {
+                    b'"' => break,
+                    b'\\' => {
+                        self.bump();
+                    }
+                    _ => {}
+                }
+            },
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    /// A `'`: either a char literal or a lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        // Lifetime: 'ident not followed by a closing quote.
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            self.bump(); // '
+            let start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokKind::Lifetime, format!("'{name}"), line, col);
+        } else {
+            self.char_literal(line, col, "");
+        }
+    }
+
+    /// Char literal body starting at the opening `'` (prefix already
+    /// consumed for `b'x'`).
+    fn char_literal(&mut self, line: u32, col: u32, prefix: &str) {
+        let start = self.pos;
+        self.bump(); // opening '
+        loop {
+            if self.pos >= self.src.len() {
+                break;
+            }
+            match self.bump() {
+                b'\'' => break,
+                b'\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+        let body = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Str, format!("{prefix}{body}"), line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        // Greedy over the characters numeric literals may contain; `1e9`
+        // and `0x2545F4914F6CDD1D` and `1_000u64` each stay one token.
+        while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.') {
+            // Don't swallow `..` range punctuation or a method call on a
+            // literal (`1.max(x)`).
+            if self.peek(0) == b'.' && !self.peek(1).is_ascii_digit() {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Num, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line, col);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).0.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src =
+            "// std::time::Instant in a comment\nlet s = \"Instant::now()\"; /* SystemTime */ f();";
+        let t = texts(src);
+        assert!(t.contains(&"let".to_string()));
+        assert!(t.contains(&"\"Instant::now()\"".to_string()));
+        assert!(!t.contains(&"Instant".to_string()));
+        assert!(!t.contains(&"SystemTime".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = lex("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let n = b'q'; }").0;
+        assert!(t
+            .iter()
+            .any(|tok| tok.kind == TokKind::Lifetime && tok.text == "'a"));
+        assert!(t
+            .iter()
+            .any(|tok| tok.kind == TokKind::Str && tok.text == "'z'"));
+        assert!(t
+            .iter()
+            .any(|tok| tok.kind == TokKind::Str && tok.text == "b'q'"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let t = lex(r####"let s = r#"quote " inside"#; g();"####).0;
+        assert!(t.iter().any(|tok| tok.kind == TokKind::Str));
+        assert!(t.iter().any(|tok| tok.is_ident("g")));
+    }
+
+    #[test]
+    fn fused_puncts_and_positions() {
+        let t = lex("a::b -> c => d").0;
+        let puncts: Vec<&str> = t
+            .iter()
+            .filter(|x| x.kind == TokKind::Punct)
+            .map(|x| x.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["::", "->", "=>"]);
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+    }
+
+    #[test]
+    fn shift_ops_stay_single_chars_for_angle_depth() {
+        let t = texts("Vec<Vec<u8>>");
+        assert_eq!(t, vec!["Vec", "<", "Vec", "<", "u8", ">", ">"]);
+    }
+
+    #[test]
+    fn waiver_comments_are_extracted() {
+        let (_, w) = lex("f(); // xftl-analyze: allow(sim-clock): bench measures host time\n");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].lint, "sim-clock");
+        assert_eq!(w[0].justification, "bench measures host time");
+        assert_eq!(w[0].line, 1);
+
+        let (_, w) = lex("g(); // xftl-analyze: allow(ticket-leak)\n");
+        assert_eq!(w.len(), 1);
+        assert!(w[0].justification.is_empty(), "no colon → no justification");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = texts("/* a /* b */ still comment */ live");
+        assert_eq!(t, vec!["live"]);
+    }
+
+    #[test]
+    fn numbers_keep_underscores_and_hex() {
+        let t = lex("let a = 6_364_136_223_846_793_005u64; let b = 0x2545F4914F6CDD1D;").0;
+        assert!(t
+            .iter()
+            .any(|x| x.kind == TokKind::Num && x.text.starts_with("6_364")));
+        assert!(t
+            .iter()
+            .any(|x| x.kind == TokKind::Num && x.text.starts_with("0x2545")));
+    }
+}

@@ -1,0 +1,123 @@
+//! `sim-clock`: the determinism wall, at the AST level.
+//!
+//! The whole simulator runs on the shared `SimClock`; a host wall-clock
+//! read, a host sleep, or OS-seeded randomness silently breaks
+//! reproducibility without failing a single test. The old `lint-sim`
+//! greped source *lines* for banned substrings, which meant a doc
+//! comment mentioning `Instant::now` tripped it; this pass matches
+//! *path expressions and use-trees* over the token stream, so comments
+//! and string literals can never fire it.
+//!
+//! Inside `crates/trace` the rules tighten (any `std::time` reach-
+//! through is banned — the telemetry crate ingests SimClock `Nanos`
+//! only) and no waiver is honoured there.
+//!
+//! Waivers: `// xftl-analyze: allow(sim-clock): <why>` — legitimate
+//! only where *host* time is the measurand (e.g. the micro-bench
+//! harness timing real CPU work).
+
+use super::{emit, SourceFile, Violation};
+use crate::analyze::lexer::TokKind;
+
+/// Banned path shapes, as segment windows: a path whose segments
+/// contain the window consecutively is a violation. Segments are
+/// separate string literals, so this table never matches itself.
+fn banned() -> Vec<(Vec<&'static str>, &'static str)> {
+    vec![
+        (
+            vec!["std", "time", "Instant"],
+            "host wall clock (use SimClock)",
+        ),
+        (vec!["Instant", "now"], "host wall clock (use SimClock)"),
+        (vec!["SystemTime"], "host wall clock (use SimClock)"),
+        (
+            vec!["thread", "sleep"],
+            "host sleep (simulated time never needs it)",
+        ),
+        (
+            vec!["thread_rng"],
+            "OS-seeded randomness (use a seeded StdRng)",
+        ),
+        (
+            vec!["from_entropy"],
+            "OS-seeded randomness (use a seeded StdRng)",
+        ),
+        (
+            vec!["rand", "random"],
+            "ambient randomness (fault plans and RNG streams take explicit simrand seeds)",
+        ),
+        (
+            vec!["RandomState"],
+            "OS-randomized hasher (derive seeds explicitly, not from hash entropy)",
+        ),
+    ]
+}
+
+/// Banned numeric literals: the multipliers of hand-rolled LCG /
+/// xorshift* generators, which bypass the seeded simrand stream.
+const MAGIC_DEC: &str = "6364136223846793005";
+const MAGIC_HEX: &str = "0x2545f4914f6cdd1d";
+
+pub fn run(f: &SourceFile, out: &mut Vec<Violation>) {
+    let patterns = banned();
+    let in_trace = f.region() == "crates/trace";
+    for i in 0..f.toks.len() {
+        let t = &f.toks[i];
+        match t.kind {
+            TokKind::Ident if f.path_starts_at(i) => {
+                let segs = f.path_at(i);
+                for (pat, why) in &patterns {
+                    let hit = segs
+                        .windows(pat.len())
+                        .any(|w| w.iter().zip(pat.iter()).all(|(a, b)| a == b));
+                    if hit {
+                        emit(
+                            out,
+                            "sim-clock",
+                            f,
+                            i,
+                            format!("`{}` — {why}", segs.join("::")),
+                        );
+                        break;
+                    }
+                }
+                if in_trace && segs.len() >= 2 && segs[0] == "std" && segs[1] == "time" {
+                    emit(
+                        out,
+                        "sim-clock",
+                        f,
+                        i,
+                        format!(
+                            "`{}` — host time types in the telemetry crate (ingest SimClock Nanos only)",
+                            segs.join("::")
+                        ),
+                    );
+                }
+            }
+            TokKind::Num => {
+                let norm: String = t.text.to_lowercase().replace('_', "");
+                for magic in [MAGIC_DEC, MAGIC_HEX] {
+                    if let Some(rest) = norm.strip_prefix(magic) {
+                        if rest.is_empty() || rest.starts_with('u') || rest.starts_with('i') {
+                            let gen = if magic == MAGIC_DEC {
+                                "LCG"
+                            } else {
+                                "xorshift*"
+                            };
+                            emit(
+                                out,
+                                "sim-clock",
+                                f,
+                                i,
+                                format!(
+                                    "hand-rolled {gen} multiplier (use the seeded simrand StdRng)"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

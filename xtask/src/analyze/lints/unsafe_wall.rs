@@ -1,0 +1,54 @@
+//! `unsafe-wall`: every crate root must carry `#![forbid(unsafe_code)]`.
+//!
+//! The workspace-level `[workspace.lints] unsafe_code = "deny"` can be
+//! re-allowed by any module; a crate-root `forbid` cannot. This lint
+//! keeps the forbid present in every crate root (plus the xtask
+//! binary/library roots), exactly as the old `lint-sim` did — but as a
+//! real inner-attribute check on the token stream, so a doc-comment
+//! mention of the attribute no longer satisfies it.
+//!
+//! No waiver makes sense for this lint; a missing forbid is always a
+//! violation.
+
+use super::{SourceFile, Violation};
+use crate::analyze::lexer::TokKind;
+
+/// True when `path` is a crate root the wall applies to.
+pub fn is_crate_root(path: &str) -> bool {
+    if path == "src/lib.rs" || path == "xtask/src/lib.rs" || path == "xtask/src/main.rs" {
+        return true;
+    }
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some((_crate, tail)) = rest.split_once('/') {
+            return tail == "src/lib.rs";
+        }
+    }
+    false
+}
+
+pub fn run(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_crate_root(&f.path) {
+        return;
+    }
+    // Look for the inner attribute `#![forbid(unsafe_code)]` as real
+    // token structure: `#` `!` `[` forbid `(` unsafe_code `)` `]`.
+    let has = f.toks.windows(7).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].kind == TokKind::Open
+            && w[2].text == "["
+            && w[3].is_ident("forbid")
+            && w[4].kind == TokKind::Open
+            && w[5].is_ident("unsafe_code")
+            && w[6].kind == TokKind::Close
+    });
+    if !has {
+        out.push(Violation {
+            lint: "unsafe-wall",
+            path: f.path.clone(),
+            line: 1,
+            col: 1,
+            msg: "crate root missing #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+}

@@ -1,0 +1,249 @@
+//! `bench-check` — the perf-regression gate.
+//!
+//! Parses a freshly generated bench report (default `BENCH_all.json`)
+//! and the committed baseline (default `BENCH_BASELINE.json`) and
+//! compares every metric with a per-metric tolerance (counts exact,
+//! simulated latencies/throughputs within 10 %). Missing or unexpected
+//! metrics are violations too, so the baseline can't silently go stale.
+//! On top of the baseline match, the pipeline gate demands the
+//! split-phase commit win itself: deeper queues must raise X-FTL IOPS.
+
+use std::fs;
+use std::path::Path;
+
+use xftl_trace::BenchReport;
+
+/// Relative tolerance for one metric, chosen by naming convention: the
+/// simulation is deterministic, so *counts* must match the baseline
+/// exactly, while simulated *latencies and throughputs* — which shift
+/// whenever the timing model is deliberately improved — get 10 % before
+/// the gate demands a baseline refresh.
+fn tolerance_for(name: &str) -> f64 {
+    let timing_suffixes = ["_ns", "_iops", "_tps", "_tpm", "pages_per_txn"];
+    if timing_suffixes.iter().any(|s| name.ends_with(s)) {
+        0.10
+    } else {
+        0.0
+    }
+}
+
+fn within(base: f64, fresh: f64, tol: f64) -> bool {
+    if tol == 0.0 {
+        return base == fresh;
+    }
+    // Scale-relative band, with an absolute floor so a 0-vs-1 jitter on
+    // a near-zero latency doesn't trip the gate.
+    (fresh - base).abs() <= tol * base.abs().max(1.0)
+}
+
+/// Flattens a report's metrics plus histogram summaries into one
+/// comparable `(name, value)` list. Histogram fields inherit the field
+/// suffix (`count` exact, `*_ns` tolerant) via [`tolerance_for`].
+fn flatten(report: &BenchReport) -> Vec<(String, f64)> {
+    let mut out = report.metrics.clone();
+    for (name, s) in &report.hists {
+        out.push((format!("{name}.count"), s.count as f64));
+        out.push((format!("{name}.sum_ns"), s.sum_ns as f64));
+        out.push((format!("{name}.p50_ns"), s.p50_ns as f64));
+        out.push((format!("{name}.p95_ns"), s.p95_ns as f64));
+        out.push((format!("{name}.p99_ns"), s.p99_ns as f64));
+        out.push((format!("{name}.max_ns"), s.max_ns as f64));
+    }
+    out
+}
+
+/// Compares a fresh report against the committed baseline. Returns one
+/// human-readable line per violation; empty means the gate passes.
+pub fn compare_reports(baseline: &BenchReport, fresh: &BenchReport) -> Vec<String> {
+    let base = flatten(baseline);
+    let new = flatten(fresh);
+    let mut violations = Vec::new();
+    for (name, b) in &base {
+        match new.iter().find(|(n, _)| n == name) {
+            None => violations.push(format!("missing metric `{name}` (baseline has {b})")),
+            Some((_, f)) => {
+                let tol = tolerance_for(name);
+                if !within(*b, *f, tol) {
+                    violations.push(format!(
+                        "`{name}`: fresh {f} vs baseline {b} (tolerance {:.0}%)",
+                        tol * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for (name, f) in &new {
+        if !base.iter().any(|(n, _)| n == name) {
+            violations.push(format!(
+                "new metric `{name}` = {f} not in baseline (refresh BENCH_BASELINE.json)"
+            ));
+        }
+    }
+    violations
+}
+
+/// The commit-pipeline gate: beyond matching the baseline, the fresh
+/// report must exhibit the split-phase win itself — deeper queues raise
+/// X-FTL IOPS. A regression that serializes the pipeline (every
+/// commit_submit flushing immediately, say) would keep all depth-1
+/// numbers bit-identical to the baseline, so only a direct qd1-vs-qdN
+/// comparison catches it.
+pub fn pipeline_gate(fresh: &BenchReport) -> Vec<String> {
+    let get = |name: &str| {
+        fresh
+            .metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    };
+    let mut violations = Vec::new();
+    let pairs = [
+        (
+            "channels.qd1.xftl_iops",
+            "channels.qd8.xftl_iops",
+            "queue-depth sweep",
+        ),
+        (
+            "fig9.wpf10.openssd_xftl_qd1_iops",
+            "fig9.wpf10.openssd_xftl_iops",
+            "fig9 pipelined row",
+        ),
+    ];
+    for (shallow, deep, what) in pairs {
+        match (get(shallow), get(deep)) {
+            (Some(q1), Some(qn)) if qn <= q1 => violations.push(format!(
+                "commit-pipeline win lost in {what}: `{deep}` {qn:.0} <= `{shallow}` {q1:.0}"
+            )),
+            (None, _) | (_, None) => violations.push(format!(
+                "{what} metrics missing (`{shallow}` / `{deep}`) — pipeline gate cannot run"
+            )),
+            _ => {}
+        }
+    }
+    violations
+}
+
+fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    BenchReport::from_json(&text).map_err(|e| format!("cannot parse {}: {}", path.display(), e.msg))
+}
+
+/// The `bench-check` command body: loads both reports, prints every
+/// violation, returns the violation count.
+pub fn bench_check(fresh_path: &Path, baseline_path: &Path) -> Result<usize, String> {
+    let baseline = load_report(baseline_path)?;
+    let fresh = load_report(fresh_path)?;
+    if baseline.meta != fresh.meta {
+        return Err(format!(
+            "report meta mismatch (fresh {:?} vs baseline {:?}) — compare runs at the same scale",
+            fresh.meta, baseline.meta
+        ));
+    }
+    let mut violations = compare_reports(&baseline, &fresh);
+    violations.extend(pipeline_gate(&fresh));
+    for v in &violations {
+        println!("bench-check: {v}");
+    }
+    println!(
+        "bench-check: {} vs {}: {} metric(s) compared, {} violation(s)",
+        fresh_path.display(),
+        baseline_path.display(),
+        flatten(&baseline).len(),
+        violations.len(),
+    );
+    Ok(violations.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(metrics: &[(&str, f64)]) -> BenchReport {
+        let mut r = BenchReport::new("all");
+        r.meta("scale", "smoke");
+        for (n, v) in metrics {
+            r.metric(n, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn bench_check_passes_on_identical_reports() {
+        let base = report_with(&[
+            ("table1.xftl.fsyncs", 12.0),
+            ("fig5.v50.u5.xftl.elapsed_ns", 1e9),
+        ]);
+        assert!(compare_reports(&base, &base.clone()).is_empty());
+    }
+
+    #[test]
+    fn bench_check_tolerates_small_timing_drift_only() {
+        let base = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1e9)]);
+        // 8% latency drift: inside the 10% band.
+        let fresh = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1.08e9)]);
+        assert!(compare_reports(&base, &fresh).is_empty());
+        // 12% drift: violation (the negative test of the acceptance
+        // criteria — a perturbed metric must fail the gate).
+        let fresh = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1.12e9)]);
+        assert_eq!(compare_reports(&base, &fresh).len(), 1);
+    }
+
+    #[test]
+    fn bench_check_counts_are_exact() {
+        let base = report_with(&[("table1.xftl.fsyncs", 12.0)]);
+        let fresh = report_with(&[("table1.xftl.fsyncs", 13.0)]);
+        assert_eq!(compare_reports(&base, &fresh).len(), 1);
+    }
+
+    #[test]
+    fn bench_check_flags_missing_and_extra_metrics() {
+        let base = report_with(&[("a.count", 1.0), ("b.count", 2.0)]);
+        let fresh = report_with(&[("a.count", 1.0), ("c.count", 3.0)]);
+        let v = compare_reports(&base, &fresh);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("missing metric `b.count`")));
+        assert!(v.iter().any(|m| m.contains("new metric `c.count`")));
+    }
+
+    #[test]
+    fn bench_check_compares_histogram_summaries() {
+        use xftl_trace::{OpClass, Recorder, Telemetry};
+        let mk = |lat: u64| {
+            let t = Telemetry::new();
+            t.record(OpClass::TxCommit, lat);
+            let mut r = BenchReport::new("all");
+            r.attach_telemetry(&t);
+            r
+        };
+        let base = mk(1_000_000);
+        // Same count, latency shifted far beyond 10%: the *_ns hist
+        // fields trip, the count field does not.
+        let fresh = mk(2_000_000);
+        let v = compare_reports(&base, &fresh);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|m| m.contains("_ns")), "{v:?}");
+    }
+
+    #[test]
+    fn pipeline_gate_demands_a_queue_depth_win() {
+        let winning = report_with(&[
+            ("channels.qd1.xftl_iops", 700.0),
+            ("channels.qd8.xftl_iops", 1400.0),
+            ("fig9.wpf10.openssd_xftl_qd1_iops", 717.0),
+            ("fig9.wpf10.openssd_xftl_iops", 1300.0),
+        ]);
+        assert!(pipeline_gate(&winning).is_empty());
+        // A serialized pipeline (deep == shallow) is a regression.
+        let flat = report_with(&[
+            ("channels.qd1.xftl_iops", 700.0),
+            ("channels.qd8.xftl_iops", 700.0),
+            ("fig9.wpf10.openssd_xftl_qd1_iops", 717.0),
+            ("fig9.wpf10.openssd_xftl_iops", 1300.0),
+        ]);
+        assert_eq!(pipeline_gate(&flat).len(), 1);
+        // Dropping the sweep entirely must not silently pass.
+        let missing = report_with(&[("channels.qd1.xftl_iops", 700.0)]);
+        assert_eq!(pipeline_gate(&missing).len(), 2);
+    }
+}

@@ -1,0 +1,18 @@
+//! # xtask — repository automation library
+//!
+//! The binary (`src/main.rs`) is a thin CLI over two subsystems:
+//!
+//! - [`analyze`] — the `xftl-analyze` static analysis engine: an
+//!   AST-level lint suite encoding X-FTL's domain invariants
+//!   (ticket-leak, layering, error-discard, wildcard-arm, sim-clock,
+//!   unsafe-wall), with span diagnostics, JSON findings reports,
+//!   justified waivers, and a fixture-backed mutation self-test. The
+//!   old grep-based `lint-sim` survives as a CLI alias running the
+//!   determinism subset (`sim-clock` + `unsafe-wall`).
+//! - [`benchcheck`] — the perf-regression gate comparing a fresh
+//!   `BENCH_all.json` against the committed `BENCH_BASELINE.json`.
+
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod benchcheck;

@@ -1,366 +1,133 @@
 //! # xtask — repository automation
 //!
-//! Run with `cargo run -p xtask -- <command>`. Two commands:
+//! Run with `cargo run -p xtask -- <command>`:
 //!
-//! - `lint-sim` — the determinism wall: the whole simulator is driven by
-//!   the shared [`SimClock`], so any host wall-clock read, host sleep, or
-//!   OS-seeded randomness inside simulator code silently breaks
-//!   reproducibility without failing a single test. `lint-sim` greps the
-//!   source tree for the banned constructs and fails loudly instead.
-//! - `bench-check [fresh] [baseline]` — the perf-regression gate: parses
-//!   a freshly generated bench report (default `BENCH_all.json`) and the
-//!   committed baseline (default `BENCH_BASELINE.json`) and compares
-//!   every metric with a per-metric tolerance (counts exact, simulated
-//!   latencies/throughputs within 10 %). Missing or unexpected metrics
-//!   are violations too, so the baseline can't silently go stale.
+//! - `analyze [--json PATH] [--features LIST] [--lints LIST]` — the
+//!   `xftl-analyze` static analysis engine: AST-level domain lints over
+//!   the whole workspace with rustc-style span diagnostics, a JSON
+//!   findings report (default `ANALYZE_REPORT.json`), and a
+//!   `BENCH_`-style summary line. Exits nonzero on any violation.
+//! - `analyze --selftest` — mutation self-test: every lint must fire on
+//!   its seeded fixture violation and stay quiet on the clean twin; a
+//!   lint that cannot fire is a failure naming the lint.
+//! - `lint-sim` — alias for the determinism subset (`sim-clock` +
+//!   `unsafe-wall`), preserving the historic command the CI and docs
+//!   reference. The old line-grep implementation is gone; this runs on
+//!   the same engine, so comments and strings can no longer trip it.
+//! - `bench-check [fresh] [baseline]` — the perf-regression gate over
+//!   `BENCH_*.json` reports (see [`xtask::benchcheck`]).
 //!
-//! A line that legitimately needs the host clock (e.g. a benchmark
-//! harness measuring *host* elapsed time) carries a
-//! `lint-sim: allow` marker comment and is skipped — except inside
-//! `crates/trace`, where no waiver is honoured: the telemetry layer is
-//! the thing whose determinism everything else leans on, so it may only
-//! ever ingest SimClock timestamps.
-//!
-//! `lint-sim` also enforces that every crate root carries
-//! `#![forbid(unsafe_code)]`, keeping the workspace-level deny from being
-//! re-allowed locally.
-//!
-//! [`SimClock`]: ../xftl_flash/clock/struct.SimClock.html
+//! Waiver policy, lint catalogue, and the fixture corpus are documented
+//! in DESIGN.md ("Static analysis") and in [`xtask::analyze`].
 
 #![forbid(unsafe_code)]
 
-use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xftl_trace::BenchReport;
+use xtask::analyze::{self, Config};
+use xtask::benchcheck;
 
-/// The waiver marker: a matched line containing this string is accepted
-/// (everywhere except `crates/trace` — see [`NO_WAIVER_DIR`]).
-const ALLOW_MARKER: &str = "lint-sim: allow";
-
-/// Directory whose sources get no waivers and stricter patterns: the
-/// telemetry crate must only ever ingest SimClock timestamps.
-const NO_WAIVER_DIR: &str = "crates/trace";
-
-/// Banned source constructs. Assembled with `concat!` so this file does
-/// not itself contain the contiguous tokens it bans.
-fn banned_patterns() -> Vec<(&'static str, &'static str)> {
-    vec![
-        (
-            concat!("std::time::", "Instant"),
-            "host wall clock (use SimClock)",
-        ),
-        (
-            concat!("Instant::", "now"),
-            "host wall clock (use SimClock)",
-        ),
-        (concat!("System", "Time"), "host wall clock (use SimClock)"),
-        (
-            concat!("thread::", "sleep"),
-            "host sleep (simulated time never needs it)",
-        ),
-        (
-            concat!("thread_", "rng"),
-            "OS-seeded randomness (use a seeded StdRng)",
-        ),
-        (
-            concat!("from_", "entropy"),
-            "OS-seeded randomness (use a seeded StdRng)",
-        ),
-        // Fault schedules must replay from their printed seed alone, so
-        // every random draw in a fault plan goes through the in-tree
-        // simrand stream — no ad-hoc entropy or hand-rolled generators.
-        (
-            concat!("rand::", "random"),
-            "ambient randomness (fault plans and RNG streams take explicit simrand seeds)",
-        ),
-        (
-            concat!("Random", "State"),
-            "OS-randomized hasher (derive seeds explicitly, not from hash entropy)",
-        ),
-        (
-            concat!("63641362238", "46793005"),
-            "hand-rolled LCG (use the seeded simrand StdRng)",
-        ),
-        (
-            concat!("0x2545F4914", "F6CDD1D"),
-            "hand-rolled xorshift* (use the seeded simrand StdRng)",
-        ),
-    ]
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR points at xtask/; the repo root is its parent.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
 }
 
-/// Patterns banned inside [`NO_WAIVER_DIR`] on top of the global set:
-/// any `std::time` reach-through (`Duration` parsing included) is out —
-/// the trace crate's only time type is the simulated `Nanos`.
-fn trace_only_patterns() -> Vec<(&'static str, &'static str)> {
-    vec![(
-        concat!("std::", "time"),
-        "host time types in the telemetry crate (ingest SimClock Nanos only)",
-    )]
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
+/// `analyze` subcommand: parses flags, runs the engine, writes the
+/// report, prints diagnostics + summary.
+fn run_analyze(args: &[String], lints: Option<Vec<&'static str>>) -> ExitCode {
+    let root = repo_root();
+    let mut cfg = Config::default();
+    if let Some(lints) = lints {
+        cfg.lints = lints;
     }
-}
-
-/// Scans simulator source for banned wall-clock / entropy constructs and
-/// checks every crate root forbids `unsafe`. Returns the number of
-/// violations found, printing each.
-fn lint_sim(root: &Path) -> usize {
-    let banned = banned_patterns();
-    let mut files = Vec::new();
-    for dir in ["crates", "src", "tests", "examples"] {
-        collect_rs_files(&root.join(dir), &mut files);
-    }
-    files.sort();
-
-    let trace_only = trace_only_patterns();
-    let no_waiver_root = root.join(NO_WAIVER_DIR);
-    let mut violations = 0;
-    let mut report = String::new();
-    for file in &files {
-        let Ok(text) = fs::read_to_string(file) else {
-            continue;
-        };
-        let no_waiver = file.starts_with(&no_waiver_root);
-        for (idx, line) in text.lines().enumerate() {
-            if line.contains(ALLOW_MARKER) && !no_waiver {
-                continue;
-            }
-            for (pat, why) in &banned {
-                if line.contains(pat) {
-                    violations += 1;
-                    let _ = writeln!(report, "{}:{}: `{pat}` — {why}", file.display(), idx + 1,);
+    let mut json_path = root.join("ANALYZE_REPORT.json");
+    let mut selftest = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--selftest" => selftest = true,
+            "--json" => {
+                if let Some(p) = args.get(i + 1) {
+                    json_path = PathBuf::from(p);
+                    i += 1;
                 }
             }
-            if no_waiver {
-                for (pat, why) in &trace_only {
-                    if line.contains(pat) {
-                        violations += 1;
-                        let _ =
-                            writeln!(report, "{}:{}: `{pat}` — {why}", file.display(), idx + 1,);
-                    }
+            "--features" => {
+                if let Some(list) = args.get(i + 1) {
+                    cfg.features = list
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    i += 1;
                 }
             }
-        }
-    }
-
-    // Crate-root unsafe wall: every lib.rs under crates/, plus this file.
-    let mut roots: Vec<PathBuf> = Vec::new();
-    if let Ok(entries) = fs::read_dir(root.join("crates")) {
-        for entry in entries.flatten() {
-            let lib = entry.path().join("src/lib.rs");
-            if lib.is_file() {
-                roots.push(lib);
+            "--lints" => {
+                if let Some(list) = args.get(i + 1) {
+                    let wanted: Vec<&'static str> = analyze::lints::LINTS
+                        .into_iter()
+                        .filter(|l| list.split(',').any(|w| w.trim() == *l))
+                        .collect();
+                    cfg.lints = wanted;
+                    i += 1;
+                }
+            }
+            other => {
+                eprintln!("analyze: unknown flag `{other}`");
+                return ExitCode::FAILURE;
             }
         }
+        i += 1;
     }
-    roots.push(root.join("xtask/src/main.rs"));
-    roots.sort();
-    for lib in &roots {
-        let Ok(text) = fs::read_to_string(lib) else {
-            continue;
-        };
-        if !text.contains(concat!("#![forbid(", "unsafe_code)]")) {
-            violations += 1;
-            let _ = writeln!(
-                report,
-                "{}: crate root missing #![forbid(unsafe_code)]",
-                lib.display(),
+
+    if selftest {
+        let failures = analyze::selftest(&root);
+        if failures.is_empty() {
+            println!(
+                "analyze --selftest: all {} lints proven live against the fixture corpus",
+                analyze::lints::LINTS.len()
             );
+            return ExitCode::SUCCESS;
         }
+        for f in &failures {
+            eprintln!("analyze --selftest: {f}");
+        }
+        return ExitCode::FAILURE;
     }
 
-    print!("{report}");
-    println!(
-        "lint-sim: scanned {} files, {} crate roots, {violations} violation(s)",
-        files.len(),
-        roots.len(),
-    );
-    violations
-}
-
-// --- bench-check: the perf-regression gate -------------------------------
-
-/// Relative tolerance for one metric, chosen by naming convention: the
-/// simulation is deterministic, so *counts* must match the baseline
-/// exactly, while simulated *latencies and throughputs* — which shift
-/// whenever the timing model is deliberately improved — get 10 % before
-/// the gate demands a baseline refresh.
-fn tolerance_for(name: &str) -> f64 {
-    let timing_suffixes = ["_ns", "_iops", "_tps", "_tpm", "pages_per_txn"];
-    if timing_suffixes.iter().any(|s| name.ends_with(s)) {
-        0.10
+    let analysis = analyze::analyze_repo(&root, &cfg);
+    print!("{}", analysis.render_text());
+    if let Err(e) = fs::write(&json_path, analysis.to_json()) {
+        eprintln!("analyze: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{}", analysis.summary_line());
+    if analysis.violations.is_empty() {
+        ExitCode::SUCCESS
     } else {
-        0.0
+        ExitCode::FAILURE
     }
-}
-
-fn within(base: f64, fresh: f64, tol: f64) -> bool {
-    if tol == 0.0 {
-        return base == fresh;
-    }
-    // Scale-relative band, with an absolute floor so a 0-vs-1 jitter on
-    // a near-zero latency doesn't trip the gate.
-    (fresh - base).abs() <= tol * base.abs().max(1.0)
-}
-
-/// Flattens a report's metrics plus histogram summaries into one
-/// comparable `(name, value)` list. Histogram fields inherit the field
-/// suffix (`count` exact, `*_ns` tolerant) via [`tolerance_for`].
-fn flatten(report: &BenchReport) -> Vec<(String, f64)> {
-    let mut out = report.metrics.clone();
-    for (name, s) in &report.hists {
-        out.push((format!("{name}.count"), s.count as f64));
-        out.push((format!("{name}.sum_ns"), s.sum_ns as f64));
-        out.push((format!("{name}.p50_ns"), s.p50_ns as f64));
-        out.push((format!("{name}.p95_ns"), s.p95_ns as f64));
-        out.push((format!("{name}.p99_ns"), s.p99_ns as f64));
-        out.push((format!("{name}.max_ns"), s.max_ns as f64));
-    }
-    out
-}
-
-/// Compares a fresh report against the committed baseline. Returns one
-/// human-readable line per violation; empty means the gate passes.
-fn compare_reports(baseline: &BenchReport, fresh: &BenchReport) -> Vec<String> {
-    let base = flatten(baseline);
-    let new = flatten(fresh);
-    let mut violations = Vec::new();
-    for (name, b) in &base {
-        match new.iter().find(|(n, _)| n == name) {
-            None => violations.push(format!("missing metric `{name}` (baseline has {b})")),
-            Some((_, f)) => {
-                let tol = tolerance_for(name);
-                if !within(*b, *f, tol) {
-                    violations.push(format!(
-                        "`{name}`: fresh {f} vs baseline {b} (tolerance {:.0}%)",
-                        tol * 100.0
-                    ));
-                }
-            }
-        }
-    }
-    for (name, f) in &new {
-        if !base.iter().any(|(n, _)| n == name) {
-            violations.push(format!(
-                "new metric `{name}` = {f} not in baseline (refresh BENCH_BASELINE.json)"
-            ));
-        }
-    }
-    violations
-}
-
-/// The commit-pipeline gate: beyond matching the baseline, the fresh
-/// report must exhibit the split-phase win itself — deeper queues raise
-/// X-FTL IOPS. A regression that serializes the pipeline (every
-/// commit_submit flushing immediately, say) would keep all depth-1
-/// numbers bit-identical to the baseline, so only a direct qd1-vs-qdN
-/// comparison catches it.
-fn pipeline_gate(fresh: &BenchReport) -> Vec<String> {
-    let get = |name: &str| {
-        fresh
-            .metrics
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
-    };
-    let mut violations = Vec::new();
-    let pairs = [
-        (
-            "channels.qd1.xftl_iops",
-            "channels.qd8.xftl_iops",
-            "queue-depth sweep",
-        ),
-        (
-            "fig9.wpf10.openssd_xftl_qd1_iops",
-            "fig9.wpf10.openssd_xftl_iops",
-            "fig9 pipelined row",
-        ),
-    ];
-    for (shallow, deep, what) in pairs {
-        match (get(shallow), get(deep)) {
-            (Some(q1), Some(qn)) if qn <= q1 => violations.push(format!(
-                "commit-pipeline win lost in {what}: `{deep}` {qn:.0} <= `{shallow}` {q1:.0}"
-            )),
-            (None, _) | (_, None) => violations.push(format!(
-                "{what} metrics missing (`{shallow}` / `{deep}`) — pipeline gate cannot run"
-            )),
-            _ => {}
-        }
-    }
-    violations
-}
-
-fn load_report(path: &Path) -> Result<BenchReport, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    BenchReport::from_json(&text).map_err(|e| format!("cannot parse {}: {}", path.display(), e.msg))
-}
-
-/// The `bench-check` command body: loads both reports, prints every
-/// violation, returns the violation count.
-fn bench_check(fresh_path: &Path, baseline_path: &Path) -> Result<usize, String> {
-    let baseline = load_report(baseline_path)?;
-    let fresh = load_report(fresh_path)?;
-    if baseline.meta != fresh.meta {
-        return Err(format!(
-            "report meta mismatch (fresh {:?} vs baseline {:?}) — compare runs at the same scale",
-            fresh.meta, baseline.meta
-        ));
-    }
-    let mut violations = compare_reports(&baseline, &fresh);
-    violations.extend(pipeline_gate(&fresh));
-    for v in &violations {
-        println!("bench-check: {v}");
-    }
-    println!(
-        "bench-check: {} vs {}: {} metric(s) compared, {} violation(s)",
-        fresh_path.display(),
-        baseline_path.display(),
-        flatten(&baseline).len(),
-        violations.len(),
-    );
-    Ok(violations.len())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    // CARGO_MANIFEST_DIR points at xtask/; the repo root is its parent.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
     match args.get(1).map(String::as_str) {
-        Some("lint-sim") => {
-            if lint_sim(&root) == 0 {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+        Some("analyze") => run_analyze(&args[2..], None),
+        // Historic alias: the determinism wall, now on the AST engine.
+        Some("lint-sim") => run_analyze(&args[2..], Some(vec!["sim-clock", "unsafe-wall"])),
         Some("bench-check") => {
+            let root = repo_root();
             let fresh = args
                 .get(2)
                 .map_or_else(|| root.join("BENCH_all.json"), PathBuf::from);
             let baseline = args
                 .get(3)
                 .map_or_else(|| root.join("BENCH_BASELINE.json"), PathBuf::from);
-            match bench_check(&fresh, &baseline) {
+            match benchcheck::bench_check(&fresh, &baseline) {
                 Ok(0) => ExitCode::SUCCESS,
                 Ok(_) => ExitCode::FAILURE,
                 Err(e) => {
@@ -374,144 +141,13 @@ fn main() -> ExitCode {
                 "usage: cargo run -p xtask -- <command>\n\
                  \n\
                  commands:\n\
-                 \x20 lint-sim                        wall-clock/entropy leak check\n\
-                 \x20 bench-check [fresh] [baseline]  compare bench reports\n\
-                 \x20                                 (defaults: BENCH_all.json BENCH_BASELINE.json)"
+                 \x20 analyze [--json P] [--features L] [--lints L]  domain lint suite (JSON report + summary)\n\
+                 \x20 analyze --selftest               prove every lint live against the fixtures\n\
+                 \x20 lint-sim                         determinism wall (sim-clock + unsafe-wall)\n\
+                 \x20 bench-check [fresh] [baseline]   compare bench reports\n\
+                 \x20                                  (defaults: BENCH_all.json BENCH_BASELINE.json)"
             );
             ExitCode::FAILURE
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn patterns_do_not_match_their_own_definitions() {
-        // This file assembles patterns with concat!, so linting the xtask
-        // source itself (not scanned, but belt and braces) finds nothing.
-        let text = fs::read_to_string(file!()).unwrap_or_default();
-        for (pat, _) in banned_patterns() {
-            for line in text.lines() {
-                if line.contains(ALLOW_MARKER) {
-                    continue;
-                }
-                assert!(!line.contains(pat), "self-match on pattern {pat}: {line}");
-            }
-        }
-    }
-
-    fn report_with(metrics: &[(&str, f64)]) -> BenchReport {
-        let mut r = BenchReport::new("all");
-        r.meta("scale", "smoke");
-        for (n, v) in metrics {
-            r.metric(n, *v);
-        }
-        r
-    }
-
-    #[test]
-    fn bench_check_passes_on_identical_reports() {
-        let base = report_with(&[
-            ("table1.xftl.fsyncs", 12.0),
-            ("fig5.v50.u5.xftl.elapsed_ns", 1e9),
-        ]);
-        assert!(compare_reports(&base, &base.clone()).is_empty());
-    }
-
-    #[test]
-    fn bench_check_tolerates_small_timing_drift_only() {
-        let base = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1e9)]);
-        // 8% latency drift: inside the 10% band.
-        let fresh = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1.08e9)]);
-        assert!(compare_reports(&base, &fresh).is_empty());
-        // 12% drift: violation (the negative test of the acceptance
-        // criteria — a perturbed metric must fail the gate).
-        let fresh = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1.12e9)]);
-        assert_eq!(compare_reports(&base, &fresh).len(), 1);
-    }
-
-    #[test]
-    fn bench_check_counts_are_exact() {
-        let base = report_with(&[("table1.xftl.fsyncs", 12.0)]);
-        let fresh = report_with(&[("table1.xftl.fsyncs", 13.0)]);
-        assert_eq!(compare_reports(&base, &fresh).len(), 1);
-    }
-
-    #[test]
-    fn bench_check_flags_missing_and_extra_metrics() {
-        let base = report_with(&[("a.count", 1.0), ("b.count", 2.0)]);
-        let fresh = report_with(&[("a.count", 1.0), ("c.count", 3.0)]);
-        let v = compare_reports(&base, &fresh);
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert!(v.iter().any(|m| m.contains("missing metric `b.count`")));
-        assert!(v.iter().any(|m| m.contains("new metric `c.count`")));
-    }
-
-    #[test]
-    fn bench_check_compares_histogram_summaries() {
-        use xftl_trace::{OpClass, Recorder, Telemetry};
-        let mk = |lat: u64| {
-            let t = Telemetry::new();
-            t.record(OpClass::TxCommit, lat);
-            let mut r = BenchReport::new("all");
-            r.attach_telemetry(&t);
-            r
-        };
-        let base = mk(1_000_000);
-        // Same count, latency shifted far beyond 10%: the *_ns hist
-        // fields trip, the count field does not.
-        let fresh = mk(2_000_000);
-        let v = compare_reports(&base, &fresh);
-        assert!(!v.is_empty());
-        assert!(v.iter().all(|m| m.contains("_ns")), "{v:?}");
-    }
-
-    #[test]
-    fn pipeline_gate_demands_a_queue_depth_win() {
-        let winning = report_with(&[
-            ("channels.qd1.xftl_iops", 700.0),
-            ("channels.qd8.xftl_iops", 1400.0),
-            ("fig9.wpf10.openssd_xftl_qd1_iops", 717.0),
-            ("fig9.wpf10.openssd_xftl_iops", 1300.0),
-        ]);
-        assert!(pipeline_gate(&winning).is_empty());
-        // A serialized pipeline (deep == shallow) is a regression.
-        let flat = report_with(&[
-            ("channels.qd1.xftl_iops", 700.0),
-            ("channels.qd8.xftl_iops", 700.0),
-            ("fig9.wpf10.openssd_xftl_qd1_iops", 717.0),
-            ("fig9.wpf10.openssd_xftl_iops", 1300.0),
-        ]);
-        assert_eq!(pipeline_gate(&flat).len(), 1);
-        // Dropping the sweep entirely must not silently pass.
-        let missing = report_with(&[("channels.qd1.xftl_iops", 700.0)]);
-        assert_eq!(pipeline_gate(&missing).len(), 2);
-    }
-
-    #[test]
-    fn trace_crate_gets_no_waivers() {
-        // A waiver marker inside crates/trace must NOT suppress a match;
-        // synthesize the scan logic's inputs directly.
-        let root = Path::new("/repo");
-        let no_waiver_root = root.join(NO_WAIVER_DIR);
-        let in_trace = root.join("crates/trace/src/hist.rs");
-        let outside = root.join("crates/flash/src/chip.rs");
-        assert!(in_trace.starts_with(&no_waiver_root));
-        assert!(!outside.starts_with(&no_waiver_root));
-        // And the trace-only pattern bans std::time reach-through.
-        let line = format!("use std::{}::Duration; // lint-sim: allow", "time");
-        assert!(trace_only_patterns()
-            .iter()
-            .any(|(pat, _)| line.contains(pat)));
-    }
-
-    #[test]
-    fn repo_passes_lint_sim() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .parent()
-            .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
-        assert_eq!(lint_sim(&root), 0);
     }
 }

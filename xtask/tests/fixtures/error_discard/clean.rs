@@ -1,0 +1,25 @@
+// xftl-analyze-fixture: path=crates/fixture/src/probe.rs
+//! Clean twin: the same call, propagated with `?` and matched — both
+//! legitimate handlings the lint must not flag.
+
+pub enum DevError {
+    Boom,
+}
+
+pub type Result<T> = std::result::Result<T, DevError>;
+
+fn submit() -> Result<()> {
+    Ok(())
+}
+
+pub fn propagates() -> Result<()> {
+    submit()?;
+    Ok(())
+}
+
+pub fn matches_it() -> bool {
+    match submit() {
+        Ok(()) => true,
+        Err(DevError::Boom) => false,
+    }
+}

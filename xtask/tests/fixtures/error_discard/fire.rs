@@ -1,0 +1,16 @@
+// xftl-analyze-fixture: path=crates/fixture/src/probe.rs
+//! Seeded violation: a domain `Result` silently dropped with `let _ =`.
+
+pub enum DevError {
+    Boom,
+}
+
+pub type Result<T> = std::result::Result<T, DevError>;
+
+fn submit() -> Result<()> {
+    Ok(())
+}
+
+pub fn caller() {
+    let _ = submit();
+}

@@ -1,0 +1,10 @@
+// xftl-analyze-fixture: path=crates/db/src/probe.rs
+//! Clean twin: crates/db may take simulated time types (`SimClock`,
+//! `Nanos`) from the flash crate root; everything else goes through
+//! the device trait.
+
+use xftl_flash::{Nanos, SimClock};
+
+pub fn stamp(clock: &SimClock) -> Nanos {
+    clock.now()
+}

@@ -1,0 +1,9 @@
+// xftl-analyze-fixture: path=crates/db/src/probe.rs
+//! Seeded violation: crates/db reaching past TxBlockDevice into flash
+//! internals — both a non-allowlisted item and a module reach-through.
+
+use xftl_flash::chip::FlashChip;
+
+pub fn peek(chip: &FlashChip) -> usize {
+    chip.geometry().pages_per_block
+}

@@ -1,0 +1,10 @@
+// xftl-analyze-fixture: path=crates/fixture/src/probe.rs
+//! Clean twin: simulated time only. `sim-clock` must stay quiet here —
+//! mentioning an Instant in a comment or a string literal is not a use.
+
+pub fn elapsed_ns(clock: &xftl_flash::SimClock) -> u64 {
+    // The string below would trip a grep-based scanner; the AST engine
+    // knows "std::time::Instant" here is data, not a path.
+    let _label = "std::time::Instant";
+    clock.now()
+}

@@ -1,0 +1,11 @@
+// xftl-analyze-fixture: path=crates/fixture/src/probe.rs
+//! Seeded violation: host wall clock reaching into library code. The
+//! selftest asserts `sim-clock` fires here; if it goes quiet the lint
+//! is dead and CI fails naming it.
+
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,20 @@
+// xftl-analyze-fixture: path=crates/fixture/src/probe.rs
+//! Clean twin: every ticket flows onward — into a wait, or out of the
+//! function as its return value.
+
+pub struct CommitTicket(pub u32);
+
+fn commit_submit() -> CommitTicket {
+    CommitTicket(1)
+}
+
+fn commit_wait(_t: CommitTicket) {}
+
+pub fn submits_then_waits() {
+    let t = commit_submit();
+    commit_wait(t);
+}
+
+pub fn hands_ticket_to_caller() -> CommitTicket {
+    commit_submit()
+}

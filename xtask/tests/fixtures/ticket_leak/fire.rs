@@ -1,0 +1,14 @@
+// xftl-analyze-fixture: path=crates/fixture/src/probe.rs
+//! Seeded violation: a commit ticket discarded with `let _ =`. The
+//! split-phase API's whole point is that the ticket reaches a wait —
+//! dropping it turns a durable commit into a maybe.
+
+pub struct CommitTicket(pub u32);
+
+fn commit_submit() -> CommitTicket {
+    CommitTicket(1)
+}
+
+pub fn fire_and_forget() {
+    let _ = commit_submit();
+}

@@ -1,0 +1,6 @@
+// xftl-analyze-fixture: path=crates/fixture/src/lib.rs
+//! Clean twin: the wall is up.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

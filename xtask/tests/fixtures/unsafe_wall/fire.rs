@@ -1,0 +1,4 @@
+// xftl-analyze-fixture: path=crates/fixture/src/lib.rs
+//! Seeded violation: a crate root with no `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

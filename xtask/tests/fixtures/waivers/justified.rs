@@ -1,0 +1,5 @@
+// xftl-analyze-fixture: path=crates/fixture/src/probe.rs
+//! A justified waiver outside crates/trace: the violation on its line
+//! is suppressed and reported under `waivers` in the JSON findings.
+
+use std::time::Instant; // xftl-analyze: allow(sim-clock): fixture proves a justified waiver suppresses

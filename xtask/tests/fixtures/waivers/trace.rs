@@ -1,0 +1,10 @@
+// xftl-analyze-fixture: path=crates/trace/src/probe.rs
+//! A perfectly-formed, justified waiver inside crates/trace: it must be
+//! IGNORED — the telemetry crate is the determinism anchor everything
+//! else leans on, so no waiver is honoured there.
+
+use std::time::Instant; // xftl-analyze: allow(sim-clock): trying to sneak wall clock into trace
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,9 @@
+// xftl-analyze-fixture: path=crates/fixture/src/probe.rs
+//! A waiver with no justification text: the underlying violation must
+//! stand AND the bare waiver itself is a `waiver` violation.
+
+use std::time::Instant; // xftl-analyze: allow(sim-clock):
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

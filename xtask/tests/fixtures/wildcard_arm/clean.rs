@@ -1,0 +1,29 @@
+// xftl-analyze-fixture: path=crates/fixture/src/probe.rs
+//! Clean twin: every variant named (an or-pattern is fine — it still
+//! fails to compile when a variant is added). The match over a
+//! *non-protocol* enum keeps its wildcard untouched.
+
+pub enum DevError {
+    Flash,
+    OutOfSpace,
+}
+
+pub enum Verbosity {
+    Quiet,
+    Loud,
+    Debug,
+}
+
+pub fn retryable(e: &DevError) -> bool {
+    match e {
+        DevError::Flash => true,
+        DevError::OutOfSpace => false,
+    }
+}
+
+pub fn noisy(v: &Verbosity) -> bool {
+    match v {
+        Verbosity::Loud => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,16 @@
+// xftl-analyze-fixture: path=crates/fixture/src/probe.rs
+//! Seeded violation: a `_ =>` arm in a match over a protocol enum. A
+//! new `DevError` variant would silently fall into the wildcard instead
+//! of forcing a decision at this site.
+
+pub enum DevError {
+    Flash,
+    OutOfSpace,
+}
+
+pub fn retryable(e: &DevError) -> bool {
+    match e {
+        DevError::Flash => true,
+        _ => false,
+    }
+}
