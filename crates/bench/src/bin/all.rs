@@ -42,6 +42,12 @@ fn main() {
     print!("{}", fio_exp::fig8(fio));
     print!("{}", fio_exp::fig9(fio));
     print!("{}", channel_exp::channel_scaling(fio));
+    let conc = match scale {
+        RunScale::Full => concurrent_exp::ConcScale::full(),
+        RunScale::Quick => concurrent_exp::ConcScale::quick(),
+        RunScale::Smoke => concurrent_exp::ConcScale::smoke(),
+    };
+    print!("{}", concurrent_exp::concurrent_scaling(conc));
     let rec = match scale {
         RunScale::Full => recovery_exp::RecoveryScale::full(),
         RunScale::Quick => recovery_exp::RecoveryScale::quick(),

@@ -1,0 +1,17 @@
+//! Regenerates the concurrent-writer scaling sweep (MVCC snapshot
+//! commit throughput and conflict rate vs writer count, disjoint and
+//! Zipfian regimes), writing `BENCH_concurrent.json` next to the table.
+use xftl_bench::experiments::concurrent_exp::{concurrent_scaling, ConcScale};
+use xftl_bench::{metrics, write_report, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    metrics::reset();
+    let conc = match scale {
+        RunScale::Full => ConcScale::full(),
+        RunScale::Quick => ConcScale::quick(),
+        RunScale::Smoke => ConcScale::smoke(),
+    };
+    print!("{}", concurrent_scaling(conc));
+    write_report("concurrent", scale);
+}

@@ -18,6 +18,7 @@
 //! | Table 5 | `experiments::recovery_exp::table5` | `table5` |
 //! | (ablations) | `experiments::ablation` | `ablation` |
 //! | (channel scaling) | `experiments::channel_exp::channel_scaling` | `channels` |
+//! | (concurrent writers) | `experiments::concurrent_exp::concurrent_scaling` | `concurrent` |
 //! | (fault sweep) | `experiments::fault_exp::fault_sweep` | `faults` |
 
 #![warn(missing_docs)]

@@ -43,6 +43,33 @@
 //! Two RAM-only steps (§5.3): drop the transaction's entries and invalidate
 //! its flash pages. No flash write is needed: a crash turns in-flight
 //! transactions into aborts for free.
+//!
+//! ## MVCC: snapshots, version chains, first-committer-wins
+//!
+//! The copy-on-write X-L2P design already retains every pre-image a
+//! transaction displaces; promoting that into multi-version concurrency
+//! control costs only RAM bookkeeping:
+//!
+//! * `begin(tid)` captures the device's **commit sequence** (bumped by
+//!   every `commit_submit` and, while snapshots are active, every plain
+//!   write/trim). All MVCC machinery is inert while no snapshot is
+//!   registered — legacy hosts see bit-identical behavior.
+//! * While any snapshot is active, a fold that would invalidate the
+//!   displaced version *retains* it instead, appending `(old_seq, ppa)`
+//!   to the page's RAM-only version chain in the X-L2P table.
+//! * `read_tx(tid, lpn)` for a snapshot transaction resolves, in order:
+//!   its own X-L2P entry, the newest staged commit at or below its
+//!   snapshot, the L2P copy if its fold sequence is old enough, else a
+//!   chain walk to the newest retained version at or below the snapshot.
+//! * `commit_submit` validates first-committer-wins: if any page the
+//!   transaction wrote has a committed version newer than its snapshot,
+//!   the transaction aborts with [`DevError::Conflict`] (its versions
+//!   feed GC, its write intents release) — the winner is always the
+//!   first committer, deterministically.
+//! * Chains prune as snapshots retire; pruned copies are invalidated
+//!   (GC food). Everything is RAM-only: a power cut kills snapshots,
+//!   and recovery rebuilds validity from L2P membership, so retained
+//!   versions orphaned by a crash become garbage automatically.
 
 use std::collections::HashMap;
 
@@ -90,6 +117,19 @@ pub struct XFtl {
     /// Id the open commit group's ticket carries; groups flush in order,
     /// so a ticket is durable exactly when its id is below this counter.
     next_group: u64,
+    /// Global commit sequence: the MVCC visibility clock. Bumped by every
+    /// `commit_submit` that stages pages and, while snapshots are active,
+    /// by every plain write/trim. RAM-only — it resets at recovery, which
+    /// is sound because snapshots never survive power loss either.
+    commit_seq: u64,
+    /// Active snapshot per transaction: the commit sequence `begin(tid)`
+    /// captured. Present only between `begin` and the transaction's
+    /// commit/abort/conflict resolution.
+    snapshots: HashMap<Tid, u64>,
+    /// Commit sequence assigned to each staged-but-unflushed commit, so
+    /// snapshot readers can tell which staged versions their snapshot
+    /// already saw. Cleared by the group flush.
+    staged_seq_of: HashMap<Tid, u64>,
 }
 
 impl XFtl {
@@ -113,6 +153,9 @@ impl XFtl {
             staged: Vec::new(),
             staged_writers: HashMap::new(),
             next_group: 1,
+            commit_seq: 0,
+            snapshots: HashMap::new(),
+            staged_seq_of: HashMap::new(),
         })
     }
 
@@ -184,6 +227,9 @@ impl XFtl {
                 staged: Vec::new(),
                 staged_writers: HashMap::new(),
                 next_group: 1,
+                commit_seq: 0,
+                snapshots: HashMap::new(),
+                staged_seq_of: HashMap::new(),
             },
             breakdown,
         ))
@@ -229,9 +275,12 @@ impl XFtl {
         self.base.persist_xl2p(&pages, &mut self.table)?;
         // Step 3: fold in submission order, so a page committed by two
         // staged transactions ends up at the later writer's version.
+        // Displaced versions a live snapshot can still see are retained
+        // in the RAM version chains instead of being invalidated.
         let staged = std::mem::take(&mut self.staged);
         self.staged_writers.clear();
         for &tid in &staged {
+            let seq = self.staged_seq_of.get(&tid).copied().unwrap_or(0);
             // Only *committed* entries fold: the host may have started
             // writing the transaction's next batch after commit_submit,
             // and those still-active versions must not leak into the L2P.
@@ -242,9 +291,22 @@ impl XFtl {
                 .map(|e| (e.lpn, e.ppa))
                 .collect();
             for (lpn, ppa) in folds {
-                self.base.fold_mapping(lpn, ppa);
+                let old_seq = self.table.l2p_seq_of(lpn);
+                if self.snapshot_sees(old_seq) {
+                    let old = self.base.l2p_get(lpn);
+                    if old != Some(ppa) {
+                        self.table.retain_version(lpn, old_seq, old);
+                        self.base.stats_mut().versions_retained += 1;
+                        let displaced = self.base.fold_mapping_retain(lpn, ppa);
+                        debug_assert_eq!(displaced, old);
+                    }
+                } else {
+                    self.base.fold_mapping(lpn, ppa);
+                }
+                self.table.note_l2p_version(lpn, seq);
             }
         }
+        self.staged_seq_of.clear();
         self.next_group += 1;
         let stats = self.base.stats_mut();
         stats.group_commit_flushes += 1;
@@ -267,6 +329,172 @@ impl XFtl {
         if self.table.committed_len() > self.table.capacity() / 2 {
             self.checkpoint_and_release_raw()?;
         }
+        // Retention is deliberately coarse (any active snapshot retains);
+        // drop whatever no snapshot can actually reach.
+        self.prune_dead_versions();
+        Ok(())
+    }
+
+    /// Oldest active snapshot, the horizon below which retained versions
+    /// are still readable.
+    fn min_snapshot(&self) -> Option<u64> {
+        self.snapshots.values().copied().min()
+    }
+
+    /// True if some active snapshot can still see a version whose
+    /// sequence is `seq` — the retention test. A version newer than
+    /// every snapshot is invisible to all of them (they each see
+    /// something older), so displacing it frees the copy immediately.
+    fn snapshot_sees(&self, seq: u64) -> bool {
+        self.snapshots.values().any(|&s| s >= seq)
+    }
+
+    /// Invalidates every retained version no active snapshot can read —
+    /// the discarded copies become GC food.
+    fn prune_dead_versions(&mut self) {
+        let freed = self.table.prune_versions(self.min_snapshot());
+        if freed.is_empty() {
+            return;
+        }
+        self.base.stats_mut().versions_pruned += freed.len() as u64;
+        for ppa in freed {
+            self.base.invalidate(ppa);
+        }
+    }
+
+    /// Releases `tid`'s snapshot (if it holds one) and prunes versions
+    /// only that snapshot still needed.
+    fn release_snapshot(&mut self, tid: Tid) {
+        if self.snapshots.remove(&tid).is_some() {
+            self.prune_dead_versions();
+        }
+    }
+
+    /// Bumps the visibility clock and, when the displaced version of
+    /// `lpn` differs from the freshly-written `ppa`, retains it in the
+    /// version chain before pointing the L2P at the new copy. The plain
+    /// write/trim path under active snapshots.
+    fn retain_and_fold(&mut self, lpn: Lpn, ppa: xftl_flash::Ppa) {
+        self.commit_seq += 1;
+        let seq = self.commit_seq;
+        let old_seq = self.table.l2p_seq_of(lpn);
+        if self.snapshot_sees(old_seq) {
+            let old = self.base.l2p_get(lpn);
+            if old != Some(ppa) {
+                self.table.retain_version(lpn, old_seq, old);
+                self.base.stats_mut().versions_retained += 1;
+                let displaced = self.base.fold_mapping_retain(lpn, ppa);
+                debug_assert_eq!(displaced, old);
+            }
+        } else {
+            self.base.fold_mapping(lpn, ppa);
+        }
+        self.table.note_plain_version(lpn, seq);
+    }
+
+    /// Plain committed write, snapshot-aware: with no snapshots active it
+    /// is the classic fold (bit-identical legacy behavior); otherwise the
+    /// displaced version is retained for snapshot readers.
+    fn write_plain(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+        if self.snapshots.is_empty() {
+            self.base.write_committed(lpn, buf, &mut self.table)?;
+        } else {
+            let ppa = self.base.write_cow(lpn, 0, buf, &mut self.table)?;
+            self.retain_and_fold(lpn, ppa);
+        }
+        // The overwrite's own data program is now the page's durable
+        // record; a stale committed entry left behind would resurrect
+        // the old version if a later commit re-persisted the table.
+        self.table.supersede_committed(lpn, 0);
+        Ok(())
+    }
+
+    /// Queued flavor of [`XFtl::write_plain`] for the batched paths.
+    fn write_plain_queued(&mut self, lpn: Lpn, buf: &[u8]) -> Result<u64> {
+        let done = if self.snapshots.is_empty() {
+            self.base
+                .write_committed_queued(lpn, buf, &mut self.table)?
+        } else {
+            let (ppa, done) = self.base.write_cow_queued(lpn, 0, buf, &mut self.table)?;
+            self.retain_and_fold(lpn, ppa);
+            done
+        };
+        self.table.supersede_committed(lpn, 0);
+        Ok(done)
+    }
+
+    /// Snapshot-aware trim: the dropped mapping's copy is retained while
+    /// any snapshot might still read it.
+    fn trim_plain(&mut self, lpn: Lpn) -> Result<()> {
+        if self.snapshots.is_empty() {
+            return self.base.trim_lpn(lpn);
+        }
+        self.commit_seq += 1;
+        let seq = self.commit_seq;
+        let old_seq = self.table.l2p_seq_of(lpn);
+        if self.snapshot_sees(old_seq) {
+            if let Some(old) = self.base.trim_lpn_retain(lpn)? {
+                self.table.retain_version(lpn, old_seq, Some(old));
+                self.base.stats_mut().versions_retained += 1;
+            }
+        } else {
+            self.base.trim_lpn(lpn)?;
+        }
+        self.table.note_plain_version(lpn, seq);
+        Ok(())
+    }
+
+    /// Serves a snapshot transaction's read of a page it did not write:
+    /// the version visible at its begin snapshot, wherever that version
+    /// lives — a staged commit, the L2P table, or the retained chain.
+    fn read_snapshot(&mut self, tid: Tid, snap: u64, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+        let t_start = self.base.clock().now();
+        // Newest staged (submitted, unflushed) commit the snapshot saw.
+        let mut staged_ppa = None;
+        for &stid in self.staged.iter().rev() {
+            if self.staged_seq_of.get(&stid).copied().unwrap_or(0) > snap {
+                continue;
+            }
+            if let Some(e) = self.table.lookup(stid, lpn) {
+                if e.status == TxStatus::Committed {
+                    staged_ppa = Some(e.ppa);
+                    break;
+                }
+            }
+        }
+        if let Some(ppa) = staged_ppa {
+            self.base.read_at(ppa, buf)?;
+        } else if self.table.l2p_seq_of(lpn) <= snap {
+            self.base.read_committed(lpn, buf)?;
+        } else {
+            match self.table.version_at(lpn, snap) {
+                Some((chain_len, at)) => {
+                    match at {
+                        Some(ppa) => {
+                            self.base.read_at(ppa, buf)?;
+                        }
+                        // The page did not exist at the snapshot.
+                        None => buf.fill(0),
+                    }
+                    let now = self.base.clock().now();
+                    self.base.recorder().record_span(
+                        OpClass::VersionChainLen,
+                        tid,
+                        chain_len as u64,
+                        now,
+                        now,
+                    );
+                }
+                // Nothing retained that old: every version the snapshot
+                // could see has been pruned away or never tracked (a
+                // pre-MVCC page) — the committed copy is the best answer.
+                None => self.base.read_committed(lpn, buf)?,
+            }
+        }
+        let t_end = self.base.clock().now();
+        self.base
+            .recorder()
+            .record_span(OpClass::SnapshotRead, tid, lpn, t_start, t_end);
         Ok(())
     }
 
@@ -324,6 +552,7 @@ impl XFtl {
                 self.base.invalidate(superseded);
             }
             Err(Xl2pError::Full) => unreachable!("capacity checked by reserve_tx_slot"),
+            Err(Xl2pError::Conflict) => unreachable!("upsert runs no conflict checks"),
         }
     }
 
@@ -383,6 +612,22 @@ impl XFtl {
     pub fn lpn_has_staged_fold(&self, lpn: Lpn) -> bool {
         self.staged_writers.contains_key(&lpn)
     }
+
+    /// The commit-sequence snapshot `tid` is reading at, if it began one
+    /// that has not yet resolved (commit, abort, or conflict).
+    pub fn snapshot_of(&self, tid: Tid) -> Option<u64> {
+        self.snapshots.get(&tid).copied()
+    }
+
+    /// Number of active snapshot transactions.
+    pub fn active_snapshots(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Current MVCC visibility clock (RAM-only; resets at recovery).
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq
+    }
 }
 
 impl BlockDevice for XFtl {
@@ -410,7 +655,7 @@ impl BlockDevice for XFtl {
             self.flush_staged_commits()?;
         }
         self.base.counters_mut().host_writes += 1;
-        self.base.write_committed(lpn, buf, &mut self.table)
+        self.write_plain(lpn, buf)
     }
 
     fn trim(&mut self, lpn: Lpn) -> Result<()> {
@@ -418,7 +663,7 @@ impl BlockDevice for XFtl {
             self.flush_staged_commits()?;
         }
         self.base.counters_mut().trims += 1;
-        self.base.trim_lpn(lpn)
+        self.trim_plain(lpn)
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -453,15 +698,11 @@ impl BlockDevice for XFtl {
             match cmd {
                 IoCmd::Write { lpn, data } => {
                     self.base.counters_mut().host_writes += 1;
-                    done = done.max(self.base.write_committed_queued(
-                        *lpn,
-                        data,
-                        &mut self.table,
-                    )?);
+                    done = done.max(self.write_plain_queued(*lpn, data)?);
                 }
                 IoCmd::Trim { lpn } => {
                     self.base.counters_mut().trims += 1;
-                    self.base.trim_lpn(*lpn)?;
+                    self.trim_plain(*lpn)?;
                 }
                 IoCmd::Barrier => {
                     // Ordering without draining: raise the queue's
@@ -489,11 +730,20 @@ impl BlockDevice for XFtl {
 }
 
 impl TxBlockDevice for XFtl {
+    fn begin(&mut self, tid: Tid) -> Result<()> {
+        // tid 0 is plain traffic; it has no transaction to snapshot.
+        if tid != 0 {
+            self.snapshots.insert(tid, self.commit_seq);
+        }
+        Ok(())
+    }
+
     fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
         self.base.counters_mut().host_reads += 1;
         // §5.3: if the reader wrote this page, return its own version;
-        // otherwise the newest committed copy — which may still be a
-        // staged (unflushed) commit's version rather than the L2P's.
+        // otherwise the version its snapshot pins (for a snapshot
+        // transaction), or the newest committed copy — which may still be
+        // a staged (unflushed) commit's version rather than the L2P's.
         match self.table.lookup(tid, lpn) {
             Some(entry) => {
                 let ppa = entry.ppa;
@@ -501,6 +751,9 @@ impl TxBlockDevice for XFtl {
                 Ok(())
             }
             None => {
+                if let Some(&snap) = self.snapshots.get(&tid) {
+                    return self.read_snapshot(tid, snap, lpn, buf);
+                }
                 if self.read_staged(lpn, buf)? {
                     return Ok(());
                 }
@@ -527,20 +780,62 @@ impl TxBlockDevice for XFtl {
             // Read-only (or unknown) transaction: nothing to persist —
             // the commit is durable by vacuity, so the ticket is
             // immediate. The queue-barrier duty moves to commit_wait.
+            // A read-only snapshot resolves here: release it.
+            self.release_snapshot(tid);
             self.base
                 .recorder()
                 .record_span(OpClass::TxCommit, tid, 0, now, now);
             return Ok(CommitTicket::immediate(tid));
         }
+        if let Some(&snap) = self.snapshots.get(&tid) {
+            // A snapshot tid recommitting while still staged would fold
+            // both commits under one sequence; flush the open group so
+            // every commit keeps its own visibility point.
+            if self.staged.contains(&tid) {
+                self.flush_staged_commits()?;
+            }
+            // First-committer-wins: if any page this transaction wrote
+            // gained a newer committed version after its snapshot, this
+            // (later) committer loses and aborts cleanly — its versions
+            // feed GC, its write intents release, and the host retries
+            // on a fresh snapshot.
+            if self.table.check_first_committer(tid, snap).is_err() {
+                for ppa in self.table.remove_active_of_tid(tid) {
+                    self.base.invalidate(ppa);
+                }
+                self.release_snapshot(tid);
+                // Whatever batches the loser had in flight are dead.
+                self.queue.retire(CmdId(u64::MAX));
+                self.base.stats_mut().conflict_aborts += 1;
+                let t_end = self.base.clock().now();
+                self.base
+                    .recorder()
+                    .record_span(OpClass::ConflictAbort, tid, 0, now, t_end);
+                return Err(DevError::Conflict);
+            }
+        }
         // Step 1 of Figure 4, now: flip statuses in device RAM. The new
         // versions are visible (reads route through the X-L2P entries)
         // from this instant; durability waits for the group flush.
-        self.table.mark_committed(tid);
-        let lpns: Vec<Lpn> = self.table.entries_of(tid).map(|e| e.lpn).collect();
+        // Only entries that were still Active belong to *this* commit —
+        // leftover Committed entries of a reused tid keep their earlier
+        // commit's sequence.
+        let lpns: Vec<Lpn> = self
+            .table
+            .entries_of(tid)
+            .filter(|e| e.status == TxStatus::Active)
+            .map(|e| e.lpn)
+            .collect();
+        self.commit_seq += 1;
+        let seq = self.commit_seq;
+        self.table.mark_committed(tid, seq);
+        self.staged_seq_of.insert(tid, seq);
         for lpn in lpns {
             self.staged_writers.insert(lpn, tid);
+            self.table.note_committed_version(lpn, seq);
         }
         self.staged.push(tid);
+        self.release_snapshot(tid);
         self.base.recorder().record_span(
             OpClass::CommitPipelineDepth,
             tid,
@@ -580,6 +875,9 @@ impl TxBlockDevice for XFtl {
         for ppa in self.table.remove_active_of_tid(tid) {
             self.base.invalidate(ppa);
         }
+        // An aborting snapshot transaction releases its snapshot (and its
+        // write intents, via the entry removal above).
+        self.release_snapshot(tid);
         // Whatever batches the aborting host had in flight are dead; no
         // one will wait on their tickets.
         self.queue.retire(CmdId(u64::MAX));
@@ -605,10 +903,7 @@ impl TxBlockDevice for XFtl {
         for (lpn, data) in pages {
             self.base.counters_mut().host_writes += 1;
             if tid == 0 {
-                done = done.max(
-                    self.base
-                        .write_committed_queued(*lpn, data, &mut self.table)?,
-                );
+                done = done.max(self.write_plain_queued(*lpn, data)?);
                 continue;
             }
             self.reserve_tx_slot(tid, *lpn)?;
@@ -717,6 +1012,54 @@ mod tests {
         assert_eq!(out, a);
         d2.read(4, &mut out).unwrap();
         assert_eq!(out, b);
+    }
+
+    #[test]
+    fn plain_overwrite_survives_a_later_commit_and_crash() {
+        // A committed entry for lpn 15 lingers in the X-L2P table after
+        // commit(1); the plain overwrite must supersede it, or commit(3)
+        // would re-persist the stale entry at a newer table sequence and
+        // recovery would fold 22 back over 13.
+        let chip = FlashChip::new(FlashConfig::tiny(40), SimClock::new());
+        let mut d = XFtl::format_with_capacity(chip, 24, 64).unwrap();
+        let old = page(&d, 22);
+        let new = page(&d, 13);
+        let other = page(&d, 5);
+        d.write_tx(1, 15, &old).unwrap();
+        d.commit(1).unwrap();
+        d.write(15, &new).unwrap();
+        d.write_tx(3, 0, &other).unwrap();
+        d.commit(3).unwrap();
+        let mut d2 = XFtl::recover_with_capacity(d.into_chip(), 64).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(15, &mut out).unwrap();
+        assert_eq!(
+            out, new,
+            "stale committed entry resurrected the old version"
+        );
+        d2.read(0, &mut out).unwrap();
+        assert_eq!(out, other);
+    }
+
+    #[test]
+    fn overlapping_staged_commits_survive_a_crash_in_order() {
+        // Two split-phase commits on the same page: the second submit
+        // must flush the first group, or one persisted table would hold
+        // two committed entries for lpn 7 with no recoverable order.
+        let chip = FlashChip::new(FlashConfig::tiny(40), SimClock::new());
+        let mut d = XFtl::format_with_capacity(chip, 24, 64).unwrap();
+        let first = page(&d, 0x11);
+        let second = page(&d, 0x22);
+        d.write_tx(1, 7, &first).unwrap();
+        let t1 = d.commit_submit(1).unwrap();
+        d.write_tx(2, 7, &second).unwrap();
+        let t2 = d.commit_submit(2).unwrap();
+        d.commit_wait(t2).unwrap();
+        d.commit_wait(t1).unwrap();
+        let mut d2 = XFtl::recover_with_capacity(d.into_chip(), 64).unwrap();
+        let mut out = page(&d2, 0);
+        d2.read(7, &mut out).unwrap();
+        assert_eq!(out, second, "later committer's version must win recovery");
     }
 
     #[test]
@@ -1118,6 +1461,212 @@ mod tests {
         let mut out = page(&d2, 0);
         d2.read(0, &mut out).unwrap();
         assert_eq!(out, old);
+    }
+
+    #[test]
+    fn disjoint_snapshot_writers_both_commit() {
+        let mut d = dev();
+        let a = page(&d, 0xA1);
+        let b = page(&d, 0xB2);
+        d.begin(1).unwrap();
+        d.begin(2).unwrap();
+        d.write_tx(1, 0, &a).unwrap();
+        d.write_tx(2, 1, &b).unwrap();
+        assert_eq!(d.xl2p().writers_of(0), &[1]);
+        assert_eq!(d.xl2p().writers_of(1), &[2]);
+        let t1 = d.commit_submit(1).unwrap();
+        let t2 = d.commit_submit(2).unwrap();
+        d.commit_wait(t2).unwrap();
+        d.commit_wait(t1).unwrap();
+        let mut out = page(&d, 0);
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, a);
+        d.read(1, &mut out).unwrap();
+        assert_eq!(out, b);
+        assert_eq!(d.stats().conflict_aborts, 0);
+        assert_eq!(d.active_snapshots(), 0);
+    }
+
+    #[test]
+    fn overlapping_snapshot_writers_first_committer_wins() {
+        let mut d = dev();
+        let base_v = page(&d, 0x10);
+        let v1 = page(&d, 0x11);
+        let v2 = page(&d, 0x22);
+        d.write(5, &base_v).unwrap();
+        d.begin(1).unwrap();
+        d.begin(2).unwrap();
+        d.write_tx(1, 5, &v1).unwrap();
+        d.write_tx(2, 5, &v2).unwrap();
+        assert_eq!(d.xl2p().writers_of(5), &[1, 2], "both intents registered");
+        // First committer wins...
+        d.commit(1).unwrap();
+        // ...and the second deterministically loses, aborting cleanly.
+        assert_eq!(d.commit_submit(2), Err(DevError::Conflict));
+        assert_eq!(d.stats().conflict_aborts, 1);
+        assert_eq!(d.xl2p().writers_of(5), &[] as &[Tid], "intents released");
+        assert_eq!(d.active_snapshots(), 0, "loser's snapshot released");
+        let mut out = page(&d, 0);
+        d.read(5, &mut out).unwrap();
+        assert_eq!(out, v1, "winner's version is current");
+        // The loser retries on a fresh snapshot and succeeds.
+        d.begin(2).unwrap();
+        d.write_tx(2, 5, &v2).unwrap();
+        d.commit(2).unwrap();
+        d.read(5, &mut out).unwrap();
+        assert_eq!(out, v2);
+    }
+
+    #[test]
+    fn snapshot_reader_ignores_concurrent_commits() {
+        let mut d = dev();
+        let v1 = page(&d, 1);
+        let v2 = page(&d, 2);
+        d.write(0, &v1).unwrap();
+        d.begin(9).unwrap();
+        let mut out = page(&d, 0);
+        d.read_tx(9, 0, &mut out).unwrap();
+        assert_eq!(out, v1);
+        // A concurrent writer commits a newer version: staged first...
+        d.begin(2).unwrap();
+        d.write_tx(2, 0, &v2).unwrap();
+        let t = d.commit_submit(2).unwrap();
+        d.read_tx(9, 0, &mut out).unwrap();
+        assert_eq!(out, v1, "staged commit is invisible to the snapshot");
+        // ...then folded into the L2P (group flush): still invisible.
+        d.commit_wait(t).unwrap();
+        d.read_tx(9, 0, &mut out).unwrap();
+        assert_eq!(out, v1, "folded commit is served from the version chain");
+        assert!(d.xl2p().retained_versions() > 0);
+        // Plain readers see the newest version all along.
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, v2);
+        // The read-only snapshot commits; its pinned version is pruned.
+        d.commit(9).unwrap();
+        assert_eq!(d.xl2p().retained_versions(), 0);
+        assert!(d.stats().versions_pruned > 0);
+        d.read_tx(9, 0, &mut out).unwrap();
+        assert_eq!(out, v2, "after release the tid reads committed state");
+    }
+
+    #[test]
+    fn snapshot_survives_plain_overwrites_and_trims() {
+        let mut d = dev();
+        let v1 = page(&d, 1);
+        let v2 = page(&d, 2);
+        d.write(3, &v1).unwrap();
+        d.begin(7).unwrap();
+        // Plain traffic races past the snapshot: overwrite, then trim.
+        d.write(3, &v2).unwrap();
+        let mut out = page(&d, 0);
+        d.read_tx(7, 3, &mut out).unwrap();
+        assert_eq!(out, v1, "snapshot outlives a plain overwrite");
+        d.trim(3).unwrap();
+        d.read_tx(7, 3, &mut out).unwrap();
+        assert_eq!(out, v1, "snapshot outlives a trim");
+        d.read(3, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0), "plain readers see the trim");
+        // A page born after the snapshot reads as zeros for the snapshot.
+        d.write(4, &v2).unwrap();
+        d.read_tx(7, 4, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0), "not yet born at the snapshot");
+        d.abort(7).unwrap();
+        assert_eq!(d.xl2p().retained_versions(), 0);
+    }
+
+    #[test]
+    fn snapshot_abort_releases_intents_and_versions() {
+        let mut d = dev();
+        let a = page(&d, 1);
+        d.begin(4).unwrap();
+        d.write_tx(4, 0, &a).unwrap();
+        assert_eq!(d.xl2p().writers_of(0), &[4]);
+        let before = d.flash_stats().programs;
+        d.abort(4).unwrap();
+        assert_eq!(d.flash_stats().programs, before, "abort stays RAM-only");
+        assert_eq!(d.xl2p().writers_of(0), &[] as &[Tid]);
+        assert_eq!(d.active_snapshots(), 0);
+        // The page is free for the next writer, no conflict.
+        d.begin(5).unwrap();
+        d.write_tx(5, 0, &a).unwrap();
+        d.commit(5).unwrap();
+    }
+
+    #[test]
+    fn conflict_check_scopes_to_written_pages_only() {
+        // A snapshot writer conflicts only on pages *it wrote* — commits
+        // to other pages do not poison it (no false positives).
+        let mut d = dev();
+        let a = page(&d, 1);
+        let b = page(&d, 2);
+        d.begin(1).unwrap();
+        d.write_tx(1, 0, &a).unwrap();
+        // Concurrent commits to a different page and a plain write.
+        d.begin(2).unwrap();
+        d.write_tx(2, 1, &b).unwrap();
+        d.commit(2).unwrap();
+        d.write(2, &b).unwrap();
+        d.commit(1).unwrap();
+        let mut out = page(&d, 0);
+        d.read(0, &mut out).unwrap();
+        assert_eq!(out, a);
+        assert_eq!(d.stats().conflict_aborts, 0);
+    }
+
+    #[test]
+    fn plain_overwrite_conflicts_snapshot_writer() {
+        // First-committer-wins also guards against plain (tid 0) traffic
+        // overwriting a page a snapshot writer has in flight.
+        let mut d = dev();
+        let a = page(&d, 1);
+        let b = page(&d, 2);
+        d.write(0, &a).unwrap();
+        d.begin(1).unwrap();
+        d.write_tx(1, 0, &b).unwrap();
+        d.write(0, &b).unwrap(); // plain overwrite wins the race
+        assert_eq!(d.commit_submit(1), Err(DevError::Conflict));
+    }
+
+    #[test]
+    fn snapshots_die_at_power_loss() {
+        let mut d = dev();
+        let v1 = page(&d, 1);
+        let v2 = page(&d, 2);
+        d.write(0, &v1).unwrap();
+        d.begin(9).unwrap();
+        d.begin(3).unwrap();
+        d.write_tx(3, 0, &v2).unwrap();
+        d.commit(3).unwrap(); // retained v1 pinned for tid 9's snapshot
+        assert!(d.xl2p().retained_versions() > 0);
+        let mut d2 = XFtl::recover(d.into_chip()).unwrap();
+        assert_eq!(d2.active_snapshots(), 0);
+        assert_eq!(d2.xl2p().retained_versions(), 0);
+        assert_eq!(d2.commit_seq(), 0, "the visibility clock resets");
+        let mut out = page(&d2, 0);
+        d2.read_tx(9, 0, &mut out).unwrap();
+        assert_eq!(out, v2, "post-crash reads are read-committed");
+    }
+
+    #[test]
+    fn retained_versions_survive_gc_relocation() {
+        let mut d = dev();
+        let keep = page(&d, 0x77);
+        let newer = page(&d, 0x88);
+        d.write(30, &keep).unwrap();
+        d.begin(9).unwrap();
+        d.write(30, &newer).unwrap(); // v_keep retained for tid 9
+                                      // Churn plain writes to force GC while the chain pins v_keep.
+        let junk = page(&d, 0x01);
+        for i in 0..300u64 {
+            d.write(i % 6, &junk).unwrap();
+        }
+        assert!(d.stats().gc_runs > 0);
+        let mut out = page(&d, 0);
+        d.read_tx(9, 30, &mut out).unwrap();
+        assert_eq!(out, keep, "GC relocation chased the retained version");
+        d.read(30, &mut out).unwrap();
+        assert_eq!(out, newer);
+        d.abort(9).unwrap();
     }
 
     #[test]

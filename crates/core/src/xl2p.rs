@@ -29,12 +29,20 @@ pub enum Xl2pError {
     /// the caller must release committed entries (checkpoint) or make the
     /// host commit/abort an active transaction first.
     Full,
+    /// First-committer-wins validation failed: some page this snapshot
+    /// transaction wrote already has a committed version newer than the
+    /// transaction's begin snapshot. The loser must abort and retry on a
+    /// fresh snapshot.
+    Conflict,
 }
 
 impl fmt::Display for Xl2pError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Xl2pError::Full => write!(f, "X-L2P table is full"),
+            Xl2pError::Conflict => {
+                write!(f, "snapshot write conflicts with a newer committed version")
+            }
         }
     }
 }
@@ -45,6 +53,7 @@ impl From<Xl2pError> for DevError {
     fn from(e: Xl2pError) -> Self {
         match e {
             Xl2pError::Full => DevError::XL2pFull,
+            Xl2pError::Conflict => DevError::Conflict,
         }
     }
 }
@@ -71,6 +80,13 @@ pub struct Entry {
     pub ppa: Ppa,
     /// Owning transaction's status.
     pub status: TxStatus,
+    /// Commit-sequence ordinal stamped when the entry turns Committed
+    /// (0 while Active). RAM-only bookkeeping — not part of the 16-byte
+    /// flash layout — but it governs the *order* entries are serialized
+    /// in: committed entries persist ascending by ordinal, so recovery
+    /// can fold two commits of the same page in commit order simply by
+    /// applying them in decode order.
+    pub seq: u64,
 }
 
 /// Magic prefix of a persisted X-L2P table page ("XL2PTBLE").
@@ -94,13 +110,46 @@ fn get_u32(page: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(bytes)
 }
 
+/// One retained pre-image in a per-LPN version chain: the page version
+/// that was current until commit sequence `seq` superseded it. `ppa` is
+/// `None` when the page had no committed copy yet (reads as zeros).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Version {
+    /// Commit sequence at which this version *became* current (0 for the
+    /// primordial "never written" version).
+    pub seq: u64,
+    /// Flash location of the retained copy, or `None` for an unwritten /
+    /// trimmed page.
+    pub ppa: Option<Ppa>,
+}
+
 /// The in-DRAM X-L2P table with O(1) lookup by `(tid, lpn)` and by `tid`.
+///
+/// Since the MVCC work it also owns the snapshot-read side tables. All of
+/// them are RAM-only and never serialized: snapshots do not survive power
+/// loss, and recovery rebuilds page validity from L2P membership, so
+/// retained chain versions orphaned by a crash become garbage for free.
 #[derive(Debug)]
 pub struct Xl2pTable {
     capacity: usize,
     entries: Vec<Entry>,
     by_page: HashMap<(Tid, Lpn), usize>,
     by_tid: HashMap<Tid, Vec<usize>>,
+    /// Per-LPN chains of retained superseded versions, ascending by `seq`.
+    chains: HashMap<Lpn, Vec<Version>>,
+    /// Commit sequence of the newest committed version of each LPN — the
+    /// value first-committer-wins validation compares snapshots against.
+    /// Bumped at `commit_submit` (visibility point), ahead of the fold.
+    current_seq: HashMap<Lpn, u64>,
+    /// Commit sequence of the version the L2P table currently points at.
+    /// Trails `current_seq` while a staged commit awaits its group flush.
+    l2p_seq: HashMap<Lpn, u64>,
+    /// Per-LPN write-intent table: every transaction holding an *active*
+    /// X-L2P entry for the page. Mirrors the active entries exactly
+    /// (intents register at `upsert`, release at `mark_committed` or
+    /// entry removal); replaces the old implicit one-writer-per-page
+    /// assumption.
+    intents: HashMap<Lpn, Vec<Tid>>,
 }
 
 impl Xl2pTable {
@@ -112,6 +161,10 @@ impl Xl2pTable {
             entries: Vec::with_capacity(capacity),
             by_page: HashMap::new(),
             by_tid: HashMap::new(),
+            chains: HashMap::new(),
+            current_seq: HashMap::new(),
+            l2p_seq: HashMap::new(),
+            intents: HashMap::new(),
         }
     }
 
@@ -180,6 +233,12 @@ impl Xl2pTable {
             let was_active = self.entries[i].status == TxStatus::Active;
             self.entries[i].ppa = ppa;
             self.entries[i].status = TxStatus::Active;
+            self.entries[i].seq = 0;
+            if !was_active {
+                // A committed slot repurposed for a new write becomes an
+                // intent again.
+                self.intents.entry(lpn).or_default().push(tid);
+            }
             return Ok(was_active.then_some(old));
         }
         if self.is_full() {
@@ -191,28 +250,60 @@ impl Xl2pTable {
             lpn,
             ppa,
             status: TxStatus::Active,
+            seq: 0,
         });
         self.by_page.insert((tid, lpn), i);
         self.by_tid.entry(tid).or_default().push(i);
+        self.intents.entry(lpn).or_default().push(tid);
         Ok(None)
     }
 
-    /// Flips every entry of `tid` to committed. Returns the number flipped.
-    pub fn mark_committed(&mut self, tid: Tid) -> usize {
+    /// Flips every entry of `tid` to committed, stamping the commit's
+    /// sequence ordinal (see [`Entry::seq`]). Returns the number flipped.
+    /// The committed pages stop being write *intents* — the tid has won
+    /// them — so they leave the intent table here.
+    pub fn mark_committed(&mut self, tid: Tid, seq: u64) -> usize {
         let mut n = 0;
+        let mut lpns = Vec::new();
         if let Some(idxs) = self.by_tid.get(&tid) {
             for &i in idxs {
+                if self.entries[i].status == TxStatus::Active {
+                    lpns.push(self.entries[i].lpn);
+                    self.entries[i].seq = seq;
+                }
                 self.entries[i].status = TxStatus::Committed;
                 n += 1;
             }
         }
+        for lpn in lpns {
+            self.remove_intent(lpn, tid);
+        }
         n
     }
 
+    /// Drops `tid` from the intent list of `lpn`, if present.
+    fn remove_intent(&mut self, lpn: Lpn, tid: Tid) {
+        if let Some(tids) = self.intents.get_mut(&lpn) {
+            if let Some(pos) = tids.iter().position(|&t| t == tid) {
+                tids.remove(pos);
+            }
+            if tids.is_empty() {
+                self.intents.remove(&lpn);
+            }
+        }
+    }
+
     /// Removes the entry at slot `i` (swap-remove), fixing both indices.
+    /// The single choke point through which every entry leaves the table,
+    /// so the write-intent table stays an exact mirror.
     fn remove_index(&mut self, i: usize) -> Entry {
         let e = self.entries.swap_remove(i);
         self.by_page.remove(&(e.tid, e.lpn));
+        if e.status == TxStatus::Active {
+            // Committed entries already left the intent table at
+            // `mark_committed`; only an aborted intent is still listed.
+            self.remove_intent(e.lpn, e.tid);
+        }
         let last = self.entries.len(); // old index of the moved entry
         if let Some(v) = self.by_tid.get_mut(&e.tid) {
             v.retain(|&slot| slot != i);
@@ -275,6 +366,160 @@ impl Xl2pTable {
         }
     }
 
+    /// Removes every *committed* entry for `lpn` belonging to a
+    /// transaction other than `keep` — called when a newer version
+    /// supersedes the page: a plain overwrite (`keep = 0`) or a later
+    /// transactional commit (`keep` = the new writer). The removed
+    /// entries' folds are already applied, and the newer version carries
+    /// its own durable record (the overwrite's data program, or the new
+    /// commit's table write). Leaving them in the table would let a
+    /// later `persist` resurrect the old version at recovery: recovered
+    /// folds apply at the *table page's* program sequence, which is
+    /// newer than the overwrite's. Returns the number removed.
+    pub fn supersede_committed(&mut self, lpn: Lpn, keep: Tid) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        while i < self.entries.len() {
+            let e = &self.entries[i];
+            if e.lpn == lpn && e.tid != keep && e.status == TxStatus::Committed {
+                self.remove_index(i);
+                n += 1;
+            } else {
+                i += 1;
+            }
+        }
+        n
+    }
+
+    // --- MVCC side tables (RAM-only, never persisted) ----------------------
+
+    /// The transactions currently holding a write intent on `lpn`, in
+    /// intent-registration order.
+    pub fn writers_of(&self, lpn: Lpn) -> &[Tid] {
+        self.intents.get(&lpn).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of pages with at least one registered write intent.
+    pub fn intent_pages(&self) -> usize {
+        self.intents.len()
+    }
+
+    /// Commit sequence of the newest committed version of `lpn` (0 if the
+    /// page was never committed under sequence tracking).
+    pub fn current_seq_of(&self, lpn: Lpn) -> u64 {
+        self.current_seq.get(&lpn).copied().unwrap_or(0)
+    }
+
+    /// Commit sequence of the version the L2P table points at.
+    pub fn l2p_seq_of(&self, lpn: Lpn) -> u64 {
+        self.l2p_seq.get(&lpn).copied().unwrap_or(0)
+    }
+
+    /// Records that `seq` became the newest committed version of `lpn`
+    /// at `commit_submit` time (visible at once, folded into L2P later).
+    pub fn note_committed_version(&mut self, lpn: Lpn, seq: u64) {
+        self.current_seq.insert(lpn, seq);
+    }
+
+    /// Records that the L2P fold of `lpn` caught up to `seq`.
+    pub fn note_l2p_version(&mut self, lpn: Lpn, seq: u64) {
+        self.l2p_seq.insert(lpn, seq);
+    }
+
+    /// Records a plain (non-transactional) overwrite or trim of `lpn`:
+    /// visibility and L2P advance together.
+    pub fn note_plain_version(&mut self, lpn: Lpn, seq: u64) {
+        self.current_seq.insert(lpn, seq);
+        self.l2p_seq.insert(lpn, seq);
+    }
+
+    /// First-committer-wins validation for a snapshot transaction about to
+    /// commit: every page it wrote (its *active* entries) must still be at
+    /// the version its snapshot saw. A newer committed version of any such
+    /// page means a concurrent writer won the race — the caller aborts
+    /// this transaction with [`Xl2pError::Conflict`].
+    pub fn check_first_committer(&self, tid: Tid, snapshot: u64) -> Result<(), Xl2pError> {
+        let conflicted = self
+            .entries_of(tid)
+            .any(|e| e.status == TxStatus::Active && self.current_seq_of(e.lpn) > snapshot);
+        if conflicted {
+            Err(Xl2pError::Conflict)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Retains a displaced version in `lpn`'s chain for active snapshot
+    /// readers: the copy at `ppa` (or the unwritten state, for `None`)
+    /// was current from sequence `seq` until now.
+    pub fn retain_version(&mut self, lpn: Lpn, seq: u64, ppa: Option<Ppa>) {
+        let chain = self.chains.entry(lpn).or_default();
+        debug_assert!(
+            chain.last().is_none_or(|v| v.seq <= seq),
+            "version chains append in ascending seq order"
+        );
+        chain.push(Version { seq, ppa });
+    }
+
+    /// The retained version of `lpn` visible at `snapshot`, along with the
+    /// chain length walked to find it: the newest chain entry whose `seq`
+    /// is at or below the snapshot. `None` means the chain retains nothing
+    /// that old (the L2P copy or a plain-traffic fallback applies).
+    pub fn version_at(&self, lpn: Lpn, snapshot: u64) -> Option<(usize, Option<Ppa>)> {
+        let chain = self.chains.get(&lpn)?;
+        chain
+            .iter()
+            .rev()
+            .find(|v| v.seq <= snapshot)
+            .map(|v| (chain.len(), v.ppa))
+    }
+
+    /// Number of retained versions for `lpn`.
+    pub fn chain_len(&self, lpn: Lpn) -> usize {
+        self.chains.get(&lpn).map_or(0, Vec::len)
+    }
+
+    /// Total retained versions across all pages.
+    pub fn retained_versions(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    /// Drops every retained version no active snapshot can still read and
+    /// returns the freed flash copies for invalidation (GC food). A chain
+    /// entry is dead once the sequence that *superseded* it — the next
+    /// entry's seq, or the L2P version's seq for the newest entry — is at
+    /// or below the oldest active snapshot (`None` = no snapshots at all,
+    /// everything is dead). Seqs ascend along a chain, so the dead set is
+    /// always a prefix.
+    pub fn prune_versions(&mut self, min_snapshot: Option<u64>) -> Vec<Ppa> {
+        let mut freed = Vec::new();
+        let l2p_seq = &self.l2p_seq;
+        self.chains.retain(|&lpn, chain| {
+            let newest_next = l2p_seq.get(&lpn).copied().unwrap_or(0);
+            let keep_from = match min_snapshot {
+                None => chain.len(),
+                Some(s) => {
+                    let mut k = 0;
+                    while k < chain.len() {
+                        let next_seq = chain.get(k + 1).map_or(newest_next, |v| v.seq);
+                        if next_seq > s {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    k
+                }
+            };
+            for v in chain.drain(..keep_from) {
+                if let Some(ppa) = v.ppa {
+                    freed.push(ppa);
+                }
+            }
+            !chain.is_empty()
+        });
+        freed
+    }
+
     /// Serializes the table into whole flash pages of `page_size` bytes
     /// (the commit-time copy-on-write write of Figure 4).
     pub fn encode_pages(&self, page_size: usize, pages_per_block: usize) -> Vec<Vec<u8>> {
@@ -286,8 +531,17 @@ impl Xl2pTable {
             buf[0..8].copy_from_slice(&TABLE_MAGIC.to_le_bytes());
             return vec![buf];
         }
+        // Committed entries persist in commit order (recovery folds them
+        // in decode order, and two commits of the same page must fold
+        // later-commit-last). The in-RAM vector cannot serve as that
+        // order: swap-removes of released neighbours shuffle it.
+        let mut ordered: Vec<Entry> = self.entries.clone();
+        ordered.sort_by_key(|e| match e.status {
+            TxStatus::Active => 0,
+            TxStatus::Committed => e.seq,
+        });
         let mut pages = Vec::new();
-        for chunk in self.entries.chunks(per_page) {
+        for chunk in ordered.chunks(per_page) {
             let mut buf = vec![0u8; page_size];
             buf[0..8].copy_from_slice(&TABLE_MAGIC.to_le_bytes());
             buf[8..16].copy_from_slice(&(chunk.len() as u64).to_le_bytes());
@@ -339,6 +593,7 @@ impl Xl2pTable {
                     lpn,
                     ppa: Ppa::from_linear(lin, pages_per_block),
                     status,
+                    seq: 0,
                 });
             }
         }
@@ -348,15 +603,26 @@ impl Xl2pTable {
 
 /// The X-L2P table chases garbage-collected pages: when GC relocates a
 /// pinned version, the entry follows it (the L2P side is handled inside
-/// the engine).
+/// the engine). Retained chain versions are valid pages too — GC may move
+/// them regardless of the tid stamped in their OOB, so the chain chase
+/// runs for every relocated data page.
 impl GcHook for Xl2pTable {
     fn relocated(&mut self, oob: &Oob, old: Ppa, new: Ppa) {
-        if oob.kind != PageKind::Data || oob.tid == 0 {
+        if oob.kind != PageKind::Data {
             return;
         }
-        if let Some(&i) = self.by_page.get(&(oob.tid, oob.lpn)) {
-            if self.entries[i].ppa == old {
-                self.entries[i].ppa = new;
+        if oob.tid != 0 {
+            if let Some(&i) = self.by_page.get(&(oob.tid, oob.lpn)) {
+                if self.entries[i].ppa == old {
+                    self.entries[i].ppa = new;
+                }
+            }
+        }
+        if let Some(chain) = self.chains.get_mut(&oob.lpn) {
+            for v in chain.iter_mut() {
+                if v.ppa == Some(old) {
+                    v.ppa = Some(new);
+                }
             }
         }
     }
@@ -406,7 +672,7 @@ mod tests {
         t.upsert(1, 0, p(0, 0)).unwrap();
         t.upsert(1, 1, p(0, 1)).unwrap();
         t.upsert(2, 2, p(0, 2)).unwrap();
-        assert_eq!(t.mark_committed(1), 2);
+        assert_eq!(t.mark_committed(1, 1), 2);
         assert_eq!(t.committed_len(), 2);
         assert_eq!(t.lookup(2, 2).unwrap().status, TxStatus::Active);
     }
@@ -435,7 +701,7 @@ mod tests {
         // invalidation.
         let mut t = Xl2pTable::new(8);
         t.upsert(1, 0, p(0, 0)).unwrap();
-        t.mark_committed(1);
+        t.mark_committed(1, 1);
         assert_eq!(
             t.upsert(1, 0, p(0, 1)).unwrap(),
             None,
@@ -451,7 +717,7 @@ mod tests {
     fn abort_after_commit_is_noop_on_committed_entries() {
         let mut t = Xl2pTable::new(8);
         t.upsert(4, 3, p(1, 0)).unwrap();
-        t.mark_committed(4);
+        t.mark_committed(4, 1);
         t.upsert(4, 5, p(1, 1)).unwrap(); // reused tid, active again
         let removed = t.remove_active_of_tid(4);
         assert_eq!(removed, vec![p(1, 1)]);
@@ -465,7 +731,7 @@ mod tests {
         // active entries across a release.
         let mut t = Xl2pTable::new(8);
         t.upsert(2, 0, p(0, 0)).unwrap();
-        t.mark_committed(2);
+        t.mark_committed(2, 1);
         t.upsert(2, 1, p(0, 1)).unwrap(); // reuse: new ACTIVE entry
         t.release_committed();
         assert!(t.lookup(2, 0).is_none(), "committed entry released");
@@ -478,7 +744,7 @@ mod tests {
         let mut t = Xl2pTable::new(8);
         t.upsert(1, 0, p(0, 0)).unwrap();
         t.upsert(2, 1, p(0, 1)).unwrap();
-        t.mark_committed(1);
+        t.mark_committed(1, 1);
         t.release_committed();
         assert_eq!(t.len(), 1);
         assert!(t.lookup(2, 1).is_some());
@@ -491,7 +757,7 @@ mod tests {
         for i in 0..10u64 {
             t.upsert(7, i, p(1, i as u32)).unwrap();
         }
-        t.mark_committed(7);
+        t.mark_committed(7, 1);
         t.upsert(9, 100, p(2, 0)).unwrap();
         let pages = t.encode_pages(512, 8);
         assert_eq!(pages.len(), 1);
@@ -541,6 +807,103 @@ mod tests {
     fn decode_skips_garbage() {
         assert!(Xl2pTable::decode_pages(&[0u8; 512], 512, 8).is_empty());
         assert!(Xl2pTable::decode_pages(&[0xFF; 512], 512, 8).is_empty());
+    }
+
+    #[test]
+    fn intents_mirror_entries() {
+        let mut t = Xl2pTable::new(8);
+        t.upsert(1, 7, p(0, 0)).unwrap();
+        t.upsert(2, 7, p(0, 1)).unwrap();
+        t.upsert(2, 8, p(0, 2)).unwrap();
+        assert_eq!(t.writers_of(7), &[1, 2]);
+        assert_eq!(t.writers_of(8), &[2]);
+        assert_eq!(t.intent_pages(), 2);
+        // A rewrite reuses the slot: no duplicate intent.
+        t.upsert(1, 7, p(0, 3)).unwrap();
+        assert_eq!(t.writers_of(7), &[1, 2]);
+        // Abort releases only the aborting tid's intents.
+        t.remove_active_of_tid(2);
+        assert_eq!(t.writers_of(7), &[1]);
+        assert!(t.writers_of(8).is_empty());
+        // Commit releases the intent even though the entry stays resident
+        // (Committed) until the next L2P checkpoint.
+        t.mark_committed(1, 1);
+        assert_eq!(t.intent_pages(), 0);
+        assert_eq!(t.len(), 1);
+        // Repurposing the committed slot re-registers the intent.
+        t.upsert(1, 7, p(0, 4)).unwrap();
+        assert_eq!(t.writers_of(7), &[1]);
+        t.remove_tid(1);
+        assert_eq!(t.intent_pages(), 0);
+    }
+
+    #[test]
+    fn first_committer_check_flags_newer_versions() {
+        let mut t = Xl2pTable::new(8);
+        t.upsert(1, 5, p(0, 0)).unwrap();
+        // Nothing newer than the snapshot: clean.
+        assert_eq!(t.check_first_committer(1, 3), Ok(()));
+        // A concurrent writer committed lpn 5 at seq 4 > snapshot 3.
+        t.note_committed_version(5, 4);
+        assert_eq!(t.check_first_committer(1, 3), Err(Xl2pError::Conflict));
+        // A later snapshot that saw seq 4 is unaffected.
+        assert_eq!(t.check_first_committer(1, 4), Ok(()));
+        // Committed entries are past validation; only active ones count.
+        t.mark_committed(1, 1);
+        assert_eq!(t.check_first_committer(1, 3), Ok(()));
+    }
+
+    #[test]
+    fn conflict_error_converts_to_dev_error() {
+        assert_eq!(DevError::from(Xl2pError::Conflict), DevError::Conflict);
+        assert_eq!(
+            Xl2pError::Conflict.to_string(),
+            "snapshot write conflicts with a newer committed version"
+        );
+    }
+
+    #[test]
+    fn version_chain_visibility_and_pruning() {
+        let mut t = Xl2pTable::new(8);
+        // lpn 9: unwritten until seq 2, then v1@p(1,0) until seq 5, then
+        // v2@p(1,1) until seq 8; L2P now holds v3 (seq 8).
+        t.retain_version(9, 0, None);
+        t.retain_version(9, 2, Some(p(1, 0)));
+        t.retain_version(9, 5, Some(p(1, 1)));
+        t.note_plain_version(9, 8);
+        assert_eq!(t.version_at(9, 1), Some((3, None)));
+        assert_eq!(t.version_at(9, 2), Some((3, Some(p(1, 0)))));
+        assert_eq!(t.version_at(9, 4), Some((3, Some(p(1, 0)))));
+        assert_eq!(t.version_at(9, 7), Some((3, Some(p(1, 1)))));
+        assert_eq!(t.chain_len(9), 3);
+        // Oldest snapshot at 4: the primordial version (superseded at 2)
+        // is dead, v1 (superseded at 5 > 4) must stay.
+        assert_eq!(t.prune_versions(Some(4)), Vec::new());
+        assert_eq!(t.chain_len(9), 2);
+        assert_eq!(t.version_at(9, 4), Some((2, Some(p(1, 0)))));
+        // No snapshots left: everything is reclaimable.
+        let mut freed = t.prune_versions(None);
+        freed.sort();
+        assert_eq!(freed, vec![p(1, 0), p(1, 1)]);
+        assert_eq!(t.retained_versions(), 0);
+        assert!(t.version_at(9, 7).is_none());
+    }
+
+    #[test]
+    fn gc_hook_chases_retained_chain_versions() {
+        let mut t = Xl2pTable::new(4);
+        t.retain_version(3, 1, Some(p(2, 5)));
+        // Chain versions carry whatever tid originally wrote them — the
+        // chase must work even for plain (tid 0) pre-images.
+        let oob = Oob {
+            lpn: 3,
+            seq: 7,
+            tid: 0,
+            kind: PageKind::Data,
+            aux: 0,
+        };
+        t.relocated(&oob, p(2, 5), p(6, 0));
+        assert_eq!(t.version_at(3, 1), Some((1, Some(p(6, 0)))));
     }
 
     #[test]

@@ -71,12 +71,32 @@ impl<D: BlockDevice> Connection<D> {
                 self.explicit_tx = true;
                 Ok(ExecOutcome::Done { rows_affected: 0 })
             }
+            Stmt::BeginConcurrent => {
+                if self.explicit_tx {
+                    return Err(DbError::TxState("nested BEGIN"));
+                }
+                self.pager.begin_concurrent()?;
+                // Schema re-read under the snapshot: another connection on
+                // the same file may have committed DDL since this catalog
+                // was loaded.
+                self.catalog = Catalog::load(&mut self.pager)?;
+                self.explicit_tx = true;
+                Ok(ExecOutcome::Done { rows_affected: 0 })
+            }
             Stmt::Commit => {
                 if !self.explicit_tx {
                     return Err(DbError::TxState("COMMIT without BEGIN"));
                 }
                 self.explicit_tx = false;
-                self.pager.commit()?;
+                if let Err(e) = self.pager.commit() {
+                    if e == DbError::Conflict {
+                        // A `BEGIN CONCURRENT` loser: the pager already
+                        // rolled back; restore the committed schema before
+                        // reporting the retryable error.
+                        self.catalog = Catalog::load(&mut self.pager)?;
+                    }
+                    return Err(e);
+                }
                 Ok(ExecOutcome::Done { rows_affected: 0 })
             }
             Stmt::Rollback => {

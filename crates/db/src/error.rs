@@ -24,6 +24,11 @@ pub enum DbError {
     Constraint(String),
     /// No transaction is active / a transaction is already active.
     TxState(&'static str),
+    /// A `BEGIN CONCURRENT` transaction lost first-committer-wins
+    /// validation: another transaction committed an overlapping page
+    /// first. The transaction has already been rolled back; retry it on
+    /// a fresh snapshot (SQLite's `SQLITE_BUSY_SNAPSHOT`).
+    Conflict,
     /// Database file is corrupt.
     Corrupt(&'static str),
 }
@@ -39,6 +44,9 @@ impl fmt::Display for DbError {
             DbError::Type(m) => write!(f, "type error: {m}"),
             DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
             DbError::TxState(m) => write!(f, "transaction state error: {m}"),
+            DbError::Conflict => {
+                write!(f, "transaction conflict: an overlapping commit won (retry)")
+            }
             DbError::Corrupt(m) => write!(f, "database corrupt: {m}"),
         }
     }

@@ -1048,8 +1048,8 @@ pub fn run_stmt<D: BlockDevice>(
             }
             Ok(ExecOutcome::Done { rows_affected: n })
         }
-        Stmt::Begin | Stmt::Commit | Stmt::Rollback => Err(DbError::TxState(
-            "transaction control handled by the connection",
-        )),
+        Stmt::Begin | Stmt::BeginConcurrent | Stmt::Commit | Stmt::Rollback => Err(
+            DbError::TxState("transaction control handled by the connection"),
+        ),
     }
 }

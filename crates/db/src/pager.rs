@@ -144,6 +144,10 @@ pub struct Pager<D: BlockDevice> {
 
     in_tx: bool,
     tid: Option<Tid>,
+    /// Open transaction was started with [`Pager::begin_concurrent`]: it
+    /// holds a device snapshot and validates first-committer-wins at
+    /// commit.
+    concurrent: bool,
     dirty_in_tx: HashSet<PageNo>,
 
     // Rollback-journal state.
@@ -156,6 +160,11 @@ pub struct Pager<D: BlockDevice> {
     master_name: Option<String>,
     /// Page count at transaction start (journal restores it on rollback).
     tx_orig_page_count: u32,
+    /// Header triple (page_count, freelist_head, schema_root) at
+    /// `BEGIN CONCURRENT`: the header page is only force-written when the
+    /// triple changed, so disjoint concurrent writers do not all collide
+    /// on page 0.
+    tx_orig_header: (u32, u32, u32),
 
     // WAL state.
     wal_ino: Option<Ino>,
@@ -208,6 +217,7 @@ impl<D: BlockDevice> Pager<D> {
             schema_root: 0,
             in_tx: false,
             tid: None,
+            concurrent: false,
             dirty_in_tx: HashSet::new(),
             journal_ino: None,
             journaled: Vec::new(),
@@ -215,6 +225,7 @@ impl<D: BlockDevice> Pager<D> {
             journal_synced_records: 0,
             master_name: None,
             tx_orig_page_count: 1,
+            tx_orig_header: (1, 0, 0),
             wal_ino: None,
             wal_index: HashMap::new(),
             wal_end: 0,
@@ -344,25 +355,75 @@ impl<D: BlockDevice> Pager<D> {
         Ok(())
     }
 
+    /// Begins a snapshot (`BEGIN CONCURRENT`) transaction, `Off` mode
+    /// only. The transaction reads the database as of this call; its
+    /// writes validate first-committer-wins inside the device at commit,
+    /// and a loser surfaces as [`DbError::Conflict`] already rolled back.
+    /// The pager cache is cleared so every page is re-fetched under the
+    /// snapshot — another connection on the same file system may have
+    /// committed since the cache was filled.
+    pub fn begin_concurrent(&mut self) -> Result<()> {
+        if self.mode != DbJournalMode::Off {
+            return Err(DbError::TxState("BEGIN CONCURRENT needs journal mode Off"));
+        }
+        if self.in_tx {
+            return Err(DbError::TxState("transaction already active"));
+        }
+        let tid = self.fs.borrow_mut().begin_tx_concurrent()?;
+        self.in_tx = true;
+        self.concurrent = true;
+        self.tid = Some(tid);
+        self.cache.clear();
+        // Header fields re-read under the snapshot: a concurrent commit
+        // by another connection must not bleed into this transaction.
+        self.load_header()?;
+        self.tx_orig_page_count = self.page_count;
+        self.tx_orig_header = (self.page_count, self.freelist_head, self.schema_root);
+        Ok(())
+    }
+
     /// Commits the open transaction using the mode's protocol.
     pub fn commit(&mut self) -> Result<()> {
         if !self.in_tx {
             return Err(DbError::TxState("no transaction active"));
         }
         if self.dirty_in_tx.is_empty() && self.journal_ino.is_none() {
-            // Read-only transaction: nothing to make durable.
+            // Read-only transaction: nothing to make durable — but a
+            // snapshot transaction still holds device state to release.
+            if self.concurrent {
+                if let Some(tid) = self.tid {
+                    self.fs.borrow_mut().abort_tx(tid)?;
+                }
+            }
             self.end_tx();
             return Ok(());
         }
         let t0 = self.span_start();
-        match self.mode {
-            m if m.is_rollback() => self.commit_rollback_mode()?,
-            DbJournalMode::Wal => self.commit_wal_mode()?,
-            _ => self.commit_off_mode()?,
+        let res = match self.mode {
+            m if m.is_rollback() => self.commit_rollback_mode(),
+            DbJournalMode::Wal => self.commit_wal_mode(),
+            _ => self.commit_off_mode(),
+        };
+        if let Err(e) = res {
+            return Err(self.unwind_conflict(e)?);
         }
         self.record_span(OpClass::PagerFlush, self.tid.unwrap_or(0), 0, t0);
         self.end_tx();
         Ok(())
+    }
+
+    /// Conflict cleanup for a `BEGIN CONCURRENT` loser: the device and
+    /// file system have already rolled the transaction back, so only the
+    /// pager's own state needs unwinding. Maps the device error to
+    /// [`DbError::Conflict`]; any other error passes through untouched.
+    fn unwind_conflict(&mut self, e: DbError) -> Result<DbError> {
+        if !(self.concurrent && e == DbError::Fs(FsError::Dev(xftl_ftl::DevError::Conflict))) {
+            return Ok(e);
+        }
+        self.drop_dirty_cache();
+        self.end_tx();
+        self.load_header()?;
+        Ok(DbError::Conflict)
     }
 
     /// Rolls the open transaction back.
@@ -406,6 +467,13 @@ impl<D: BlockDevice> Pager<D> {
     fn end_tx(&mut self) {
         self.in_tx = false;
         self.tid = None;
+        if self.concurrent {
+            // Pages fetched under the snapshot may trail commits made by
+            // other connections meanwhile; drop them so later reads
+            // refetch current state.
+            self.cache.clear();
+            self.concurrent = false;
+        }
         self.dirty_in_tx.clear();
         self.journaled.clear();
         self.journaled_set.clear();
@@ -804,7 +872,14 @@ impl<D: BlockDevice> Pager<D> {
     // --- Off (X-FTL) protocol ---------------------------------------------------
 
     fn commit_off_mode(&mut self) -> Result<()> {
-        self.write_header()?;
+        // A concurrent transaction skips the header force-write when
+        // nothing in it changed: otherwise every pair of writers would
+        // collide on page 0 and first-committer-wins would serialize them
+        // all. (Real `BEGIN CONCURRENT` has the same page-1 hotspot.)
+        let header = (self.page_count, self.freelist_head, self.schema_root);
+        if !self.concurrent || header != self.tx_orig_header {
+            self.write_header()?;
+        }
         let Some(tid) = self.tid else {
             unreachable!("Off-mode tx has a tid")
         };
@@ -850,34 +925,48 @@ impl<D: BlockDevice> Pager<D> {
             return Err(DbError::TxState("no transaction active"));
         }
         if self.dirty_in_tx.is_empty() {
+            if self.concurrent {
+                if let Some(tid) = self.tid {
+                    self.fs.borrow_mut().abort_tx(tid)?;
+                }
+            }
             self.end_tx();
             return Ok(CommitTicket::immediate(0));
         }
         let t0 = self.span_start();
-        self.write_header()?;
+        let header = (self.page_count, self.freelist_head, self.schema_root);
+        if !self.concurrent || header != self.tx_orig_header {
+            self.write_header()?;
+        }
         let Some(tid) = self.tid else {
             unreachable!("Off-mode tx has a tid")
         };
-        let mut dirty: Vec<PageNo> = self.dirty_in_tx.iter().copied().collect();
-        dirty.sort_unstable();
-        for pgno in dirty {
-            let data = match self.cache.get_mut(&pgno) {
-                Some(f) => {
-                    f.dirty = false;
-                    f.data.clone()
-                }
-                // Spilled: already stolen to the device under this tid.
-                None => continue,
-            };
-            self.fs.borrow_mut().write(
-                self.db_ino,
-                pgno as u64 * self.page_size as u64,
-                &data,
-                Some(tid),
-            )?;
-            self.stats.db_writes += 1;
-        }
-        let ticket = self.fs.borrow_mut().fsync_submit(self.db_ino, tid)?;
+        let res = (|| {
+            let mut dirty: Vec<PageNo> = self.dirty_in_tx.iter().copied().collect();
+            dirty.sort_unstable();
+            for pgno in dirty {
+                let data = match self.cache.get_mut(&pgno) {
+                    Some(f) => {
+                        f.dirty = false;
+                        f.data.clone()
+                    }
+                    // Spilled: already stolen to the device under this tid.
+                    None => continue,
+                };
+                self.fs.borrow_mut().write(
+                    self.db_ino,
+                    pgno as u64 * self.page_size as u64,
+                    &data,
+                    Some(tid),
+                )?;
+                self.stats.db_writes += 1;
+            }
+            self.fs.borrow_mut().fsync_submit(self.db_ino, tid)
+        })();
+        let ticket = match res {
+            Ok(t) => t,
+            Err(e) => return Err(self.unwind_conflict(e.into())?),
+        };
         self.stats.fsyncs += 1;
         self.record_span(OpClass::PagerFlush, tid, 0, t0);
         self.end_tx();

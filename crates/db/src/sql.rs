@@ -309,6 +309,9 @@ pub enum Stmt {
         where_: Option<Expr>,
     },
     Begin,
+    /// `BEGIN CONCURRENT`: snapshot transaction with first-committer-wins
+    /// validation at COMMIT (journal mode Off only).
+    BeginConcurrent,
     Commit,
     Rollback,
 }
@@ -452,6 +455,9 @@ impl Parser {
             return Ok(Stmt::Delete { table, where_ });
         }
         if self.kw("BEGIN") {
+            if self.kw("CONCURRENT") {
+                return Ok(Stmt::BeginConcurrent);
+            }
             let _ = self.kw("TRANSACTION") || self.kw("IMMEDIATE") || self.kw("EXCLUSIVE");
             return Ok(Stmt::Begin);
         }
@@ -1132,6 +1138,21 @@ mod tests {
         assert!(matches!(parse("BEGIN TRANSACTION").unwrap(), Stmt::Begin));
         assert!(matches!(parse("COMMIT;").unwrap(), Stmt::Commit));
         assert!(matches!(parse("ROLLBACK").unwrap(), Stmt::Rollback));
+    }
+
+    #[test]
+    fn parses_begin_concurrent() {
+        assert!(matches!(
+            parse("BEGIN CONCURRENT").unwrap(),
+            Stmt::BeginConcurrent
+        ));
+        assert!(matches!(
+            parse("begin concurrent;").unwrap(),
+            Stmt::BeginConcurrent
+        ));
+        // The modifier must not swallow plain BEGIN variants.
+        assert!(matches!(parse("BEGIN IMMEDIATE").unwrap(), Stmt::Begin));
+        assert!(matches!(parse("BEGIN").unwrap(), Stmt::Begin));
     }
 
     #[test]

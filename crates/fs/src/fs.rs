@@ -33,7 +33,7 @@
 //! As in SQLite (which holds a database-level write lock), the aborting
 //! transaction is assumed to be the volume's only in-flight mutator.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use xftl_flash::{Nanos, SimClock};
@@ -110,6 +110,7 @@ impl Default for FsConfig {
 /// exist for a non-transactional `D`) while every other code path stays
 /// monomorphic over `D: BlockDevice`.
 struct TxOps<D> {
+    begin: fn(&mut D, Tid) -> xftl_ftl::Result<()>,
     read_tx: fn(&mut D, Tid, Lpn, &mut [u8]) -> xftl_ftl::Result<()>,
     write_tx: fn(&mut D, Tid, Lpn, &[u8]) -> xftl_ftl::Result<()>,
     commit: fn(&mut D, Tid) -> xftl_ftl::Result<()>,
@@ -125,6 +126,7 @@ type SubmitTxFn<D> = fn(&mut D, Tid, &[(Lpn, &[u8])]) -> xftl_ftl::Result<CmdId>
 impl<D: TxBlockDevice> TxOps<D> {
     fn new() -> Self {
         TxOps {
+            begin: D::begin,
             read_tx: D::read_tx,
             write_tx: D::write_tx,
             commit: D::commit,
@@ -200,6 +202,11 @@ pub struct FileSystem<D: BlockDevice> {
     /// Transactional command table; `Some` iff mounted via a `*_tx`
     /// constructor. `Off` mode guarantees it is present.
     tx: Option<TxOps<D>>,
+    /// Transactions opened with [`FileSystem::begin_tx_concurrent`]: they
+    /// hold a device snapshot, so their reads and writes bypass the
+    /// shared page cache (which always reflects newest state) and talk
+    /// to the device directly under their tid.
+    snapshot_tids: HashSet<Tid>,
 }
 
 impl<D: BlockDevice> FileSystem<D> {
@@ -271,6 +278,7 @@ impl<D: BlockDevice> FileSystem<D> {
             recorder: Telemetry::disabled(),
             clock: None,
             tx,
+            snapshot_tids: HashSet::new(),
         })
     }
 
@@ -341,6 +349,7 @@ impl<D: BlockDevice> FileSystem<D> {
             recorder: Telemetry::disabled(),
             clock: None,
             tx,
+            snapshot_tids: HashSet::new(),
         };
         fs.dir = fs.load_dir()?;
         Ok(fs)
@@ -402,6 +411,31 @@ impl<D: BlockDevice> FileSystem<D> {
         let tid = self.next_tid;
         self.next_tid += 1;
         tid
+    }
+
+    /// Allocates a transaction id *and* captures a device snapshot for it
+    /// (the `BEGIN CONCURRENT` entry point). The transaction's reads see
+    /// the volume as of this call; its writes go to the device
+    /// immediately, bypassing the shared page cache, and stay invisible
+    /// until commit. At commit the device runs first-committer-wins
+    /// validation: if another transaction committed an overlapping page
+    /// first, the commit fails with `DevError::Conflict` and the device
+    /// has already rolled the loser back. `Off` mode only.
+    pub fn begin_tx_concurrent(&mut self) -> Result<Tid> {
+        if self.mode != JournalMode::Off {
+            return Err(FsError::NeedsTxDevice);
+        }
+        let ops = self.tx_ops()?;
+        let tid = self.begin_tx();
+        (ops.begin)(&mut self.dev, tid)?;
+        self.snapshot_tids.insert(tid);
+        Ok(tid)
+    }
+
+    /// True if `tid` was opened with [`FileSystem::begin_tx_concurrent`]
+    /// and has neither committed nor aborted yet.
+    pub fn is_snapshot_tid(&self, tid: Tid) -> bool {
+        self.snapshot_tids.contains(&tid)
     }
 
     // --- namespace ---------------------------------------------------------
@@ -487,6 +521,11 @@ impl<D: BlockDevice> FileSystem<D> {
     /// transaction so stolen evictions reach the device as `write_tx`.
     pub fn write(&mut self, ino: Ino, offset: u64, data: &[u8], tid: Option<Tid>) -> Result<()> {
         self.check_file(ino)?;
+        if let Some(t) = tid {
+            if self.snapshot_tids.contains(&t) {
+                return self.write_snapshot(ino, offset, data, t);
+            }
+        }
         let ps = self.page_size() as u64;
         let mut off = offset;
         let mut rest = data;
@@ -539,6 +578,11 @@ impl<D: BlockDevice> FileSystem<D> {
         tid: Option<Tid>,
     ) -> Result<usize> {
         self.check_file(ino)?;
+        if let Some(t) = tid {
+            if self.snapshot_tids.contains(&t) {
+                return self.read_snapshot(ino, offset, buf, t);
+            }
+        }
         let size = self.inodes[ino as usize].size;
         if offset >= size {
             return Ok(0);
@@ -566,6 +610,83 @@ impl<D: BlockDevice> FileSystem<D> {
                         // under extreme pressure; the bytes are already out.
                         self.evict_if_needed()?;
                     }
+                }
+            }
+            done += take;
+        }
+        Ok(want)
+    }
+
+    /// Snapshot-transaction write path: read-modify-write straight to the
+    /// device under `tid`, bypassing the shared page cache (whose copies
+    /// track newest committed state, not this transaction's snapshot).
+    /// Clean cached copies of the touched pages are evicted so the cache
+    /// cannot serve stale bytes to plain readers after this transaction
+    /// commits. File size still grows, but mtime maintenance is skipped:
+    /// dirtying the shared inode page from every concurrent writer would
+    /// make any two of them conflict at commit. Likewise, concurrent
+    /// writers that *allocate* (grow files or directories) share bitmap
+    /// and inode pages and may conflict — pre-size files for conflict-free
+    /// disjoint workloads.
+    fn write_snapshot(&mut self, ino: Ino, offset: u64, data: &[u8], tid: Tid) -> Result<()> {
+        let ops = self.tx_ops()?;
+        let ps = self.page_size() as u64;
+        let mut off = offset;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let idx = off / ps;
+            let in_page = (off % ps) as usize;
+            let take = rest.len().min(ps as usize - in_page);
+            let lpn = self.ensure_block(ino, idx)?;
+            let full_overwrite = in_page == 0 && take == ps as usize;
+            let mut page = vec![0u8; ps as usize];
+            if !full_overwrite && self.block_may_have_data(ino, idx) {
+                self.stats.reads += 1;
+                (ops.read_tx)(&mut self.dev, tid, lpn, &mut page)?;
+            }
+            page[in_page..in_page + take].copy_from_slice(&rest[..take]);
+            (ops.write_tx)(&mut self.dev, tid, lpn, &page)?;
+            self.stats.data_writes += 1;
+            if self.cache.get(lpn).is_some_and(|p| !p.dirty) {
+                self.cache.remove(lpn);
+            }
+            off += take as u64;
+            rest = &rest[take..];
+        }
+        let end = offset + data.len() as u64;
+        if end > self.inodes[ino as usize].size {
+            self.inodes[ino as usize].size = end;
+            self.mark_inode_dirty(ino);
+        }
+        Ok(())
+    }
+
+    /// Snapshot-transaction read path: every page comes from the device
+    /// under `tid` (`read_tx` serves the transaction's own writes first,
+    /// then the version visible at its snapshot). The shared page cache is
+    /// neither consulted — it reflects newest committed state — nor
+    /// populated, so plain readers keep their read-committed view.
+    fn read_snapshot(&mut self, ino: Ino, offset: u64, buf: &mut [u8], tid: Tid) -> Result<usize> {
+        let ops = self.tx_ops()?;
+        let size = self.inodes[ino as usize].size;
+        if offset >= size {
+            return Ok(0);
+        }
+        let want = buf.len().min((size - offset) as usize);
+        let ps = self.page_size() as u64;
+        let mut done = 0usize;
+        while done < want {
+            let off = offset + done as u64;
+            let idx = off / ps;
+            let in_page = (off % ps) as usize;
+            let take = (want - done).min(ps as usize - in_page);
+            match self.block_of(ino, idx)? {
+                None => buf[done..done + take].fill(0), // hole
+                Some(lpn) => {
+                    let mut page = vec![0u8; ps as usize];
+                    self.stats.reads += 1;
+                    (ops.read_tx)(&mut self.dev, tid, lpn, &mut page)?;
+                    buf[done..done + take].copy_from_slice(&page[in_page..in_page + take]);
                 }
             }
             done += take;
@@ -674,12 +795,52 @@ impl<D: BlockDevice> FileSystem<D> {
     /// `commit(tid)` — the paper's single-fsync commit path. In journal
     /// modes this is the classic ext4 sequence with two barriers.
     pub fn fsync(&mut self, ino: Ino, tid: Option<Tid>) -> Result<()> {
+        if let Some(t) = tid {
+            if self.snapshot_tids.contains(&t) {
+                return self.fsync_snapshot(t);
+            }
+        }
         self.stats.fsyncs += 1;
         let t0 = self.span_start();
         let dirty = self.cache.dirty_of(ino);
         self.sync_pages(&dirty, tid)?;
         self.record_fsync(tid.unwrap_or(0), t0);
         Ok(())
+    }
+
+    /// Commit of a snapshot transaction: its data pages are already on
+    /// the device (writes bypassed the cache), so only dirty metadata
+    /// images ride along before the device commit runs first-committer-
+    /// wins validation. A losing transaction surfaces as [`FsError::Dev`]
+    /// wrapping `DevError::Conflict`; the device has already rolled it
+    /// back, and the in-RAM metadata is re-read from committed state
+    /// before the error propagates.
+    fn fsync_snapshot(&mut self, tid: Tid) -> Result<()> {
+        let ops = self.tx_ops()?;
+        self.stats.fsyncs += 1;
+        let t0 = self.span_start();
+        let metas = self.collect_meta_images()?;
+        self.stats.meta_writes += metas.len() as u64;
+        let res = (|| {
+            if !metas.is_empty() {
+                let batch: Vec<(Lpn, &[u8])> =
+                    metas.iter().map(|(l, d)| (*l, d.as_slice())).collect();
+                (ops.submit_tx)(&mut self.dev, tid, &batch)?;
+            }
+            (ops.commit)(&mut self.dev, tid)
+        })();
+        self.snapshot_tids.remove(&tid);
+        match res {
+            Ok(()) => {
+                self.stats.barriers += 1;
+                self.record_fsync(tid, t0);
+                Ok(())
+            }
+            Err(e) => {
+                self.reload_metadata()?;
+                Err(e.into())
+            }
+        }
     }
 
     /// Syncs every dirty page of every file plus all metadata.
@@ -765,6 +926,9 @@ impl<D: BlockDevice> FileSystem<D> {
         if self.mode != JournalMode::Off {
             return Err(FsError::NeedsTxDevice);
         }
+        if self.snapshot_tids.contains(&tid) {
+            return self.fsync_submit_snapshot(tid);
+        }
         let ops = self.tx_ops()?;
         self.stats.fsyncs += 1;
         let t0 = self.span_start();
@@ -789,6 +953,37 @@ impl<D: BlockDevice> FileSystem<D> {
         let ticket = (ops.commit_submit)(&mut self.dev, tid)?;
         self.record_fsync(tid, t0);
         Ok(ticket)
+    }
+
+    /// Split-phase flavor of [`FileSystem::fsync_snapshot`]: validation
+    /// and visibility happen at `commit_submit`, durability at the group
+    /// flush named by the returned ticket. Conflicts surface here, not at
+    /// the wait.
+    fn fsync_submit_snapshot(&mut self, tid: Tid) -> Result<CommitTicket> {
+        let ops = self.tx_ops()?;
+        self.stats.fsyncs += 1;
+        let t0 = self.span_start();
+        let metas = self.collect_meta_images()?;
+        self.stats.meta_writes += metas.len() as u64;
+        let res = (|| {
+            if !metas.is_empty() {
+                let batch: Vec<(Lpn, &[u8])> =
+                    metas.iter().map(|(l, d)| (*l, d.as_slice())).collect();
+                (ops.submit_tx)(&mut self.dev, tid, &batch)?;
+            }
+            (ops.commit_submit)(&mut self.dev, tid)
+        })();
+        self.snapshot_tids.remove(&tid);
+        match res {
+            Ok(ticket) => {
+                self.record_fsync(tid, t0);
+                Ok(ticket)
+            }
+            Err(e) => {
+                self.reload_metadata()?;
+                Err(e.into())
+            }
+        }
     }
 
     /// Redeems a ticket from [`FileSystem::fsync_submit`], blocking until
@@ -921,6 +1116,7 @@ impl<D: BlockDevice> FileSystem<D> {
     /// The aborting transaction must be the volume's only in-flight
     /// mutator (SQLite guarantees this with its database write lock).
     pub fn abort_tx(&mut self, tid: Tid) -> Result<()> {
+        self.snapshot_tids.remove(&tid);
         self.cache.drop_tid(tid);
         if self.mode == JournalMode::Off {
             let ops = self.tx_ops()?;

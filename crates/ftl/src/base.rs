@@ -100,6 +100,15 @@ pub enum GcPolicy {
     Fifo,
 }
 
+/// Reserved transaction id stamped on GC copies of snapshot-retained
+/// pre-images (valid tid-0 data pages the L2P no longer points at).
+/// Snapshots die with device RAM, so these copies are garbage after any
+/// power loss — the stamp keeps the recovery roll-forward from mistaking
+/// a freshly relocated *old* version (whose program sequence is newer
+/// than the overwrite's) for committed state. No host transaction may
+/// use this id.
+pub const RETAINED_COPY_TID: Tid = Tid::MAX;
+
 /// Callback invoked when garbage collection moves a live page, so mapping
 /// state outside the engine (the X-L2P table, atomic-write commit records)
 /// can chase the page to its new address.
@@ -698,12 +707,22 @@ impl FtlBase {
             // re-stamped tid = 0 so the recovery roll-forward treats it as
             // committed state even if its writer's X-L2P entry is long gone.
             let mut new_oob = oob;
-            if oob.kind == PageKind::Data && self.l2p[oob.lpn as usize] == Some(old) {
-                if oob.tid != 0 && oob.aux != 0 {
-                    need_ckpt = true;
+            if oob.kind == PageKind::Data {
+                if self.l2p[oob.lpn as usize] == Some(old) {
+                    if oob.tid != 0 && oob.aux != 0 {
+                        need_ckpt = true;
+                    }
+                    new_oob.tid = 0;
+                    new_oob.aux = 0;
+                } else if oob.tid == 0 {
+                    // A valid tid-0 page the L2P does not point at is a
+                    // snapshot-retained pre-image. Its copy gets a fresh
+                    // (newer) program sequence, so left stamped tid 0 the
+                    // recovery roll-forward would resurrect the superseded
+                    // version over the page's current state. Mark it as a
+                    // retained copy, which recovery never folds.
+                    new_oob.tid = RETAINED_COPY_TID;
                 }
-                new_oob.tid = 0;
-                new_oob.aux = 0;
             }
             // Copy programs get the same bounded re-execution as host
             // writes: a failed copy-back must not lose the live page.
@@ -1032,6 +1051,23 @@ impl FtlBase {
         self.valid.mark_invalid(ppa);
     }
 
+    /// Points the committed mapping of `lpn` at `ppa` but keeps the
+    /// displaced version *valid* and returns it: the caller retains it in
+    /// a version chain for active snapshot readers and invalidates it
+    /// later via [`FtlBase::invalidate`] once no snapshot can reach it.
+    /// Recovery rebuilds validity from L2P membership, so retained
+    /// versions that die in a power loss become garbage automatically.
+    pub fn fold_mapping_retain(&mut self, lpn: Lpn, ppa: Ppa) -> Option<Ppa> {
+        let old = self.l2p[lpn as usize];
+        if old == Some(ppa) {
+            return None;
+        }
+        self.l2p[lpn as usize] = Some(ppa);
+        self.valid.mark_valid(ppa);
+        self.mark_slab_dirty(lpn);
+        old
+    }
+
     /// Drops the committed mapping of `lpn` and reclaims its flash copy.
     pub fn trim_lpn(&mut self, lpn: Lpn) -> Result<()> {
         self.check_lpn(lpn)?;
@@ -1040,6 +1076,19 @@ impl FtlBase {
             self.mark_slab_dirty(lpn);
         }
         Ok(())
+    }
+
+    /// Drops the committed mapping of `lpn` but keeps the displaced copy
+    /// valid and returns it — the snapshot-era counterpart of
+    /// [`FtlBase::trim_lpn`], for callers retaining the pre-image in a
+    /// version chain.
+    pub fn trim_lpn_retain(&mut self, lpn: Lpn) -> Result<Option<Ppa>> {
+        self.check_lpn(lpn)?;
+        let old = self.l2p[lpn as usize].take();
+        if old.is_some() {
+            self.mark_slab_dirty(lpn);
+        }
+        Ok(old)
     }
 
     fn mark_slab_dirty(&mut self, lpn: Lpn) {

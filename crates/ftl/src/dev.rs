@@ -293,6 +293,24 @@ pub trait TxBlockDevice: BlockDevice {
     /// uncommitted version if it wrote one, otherwise the committed copy.
     fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()>;
 
+    /// Opens transaction `tid` with snapshot semantics: the device captures
+    /// its commit sequence number, and every later `read_tx(tid, ..)` sees
+    /// the page versions visible at that instant (plus the transaction's
+    /// own writes), no matter what other writers commit in between. At
+    /// `commit_submit` the device validates first-committer-wins and fails
+    /// the transaction with [`DevError::Conflict`] if a newer version of
+    /// any written page committed after the snapshot.
+    ///
+    /// The default is the snapshot-less contract every pre-MVCC device
+    /// implements implicitly: `begin` is accepted and reads stay
+    /// read-committed. Layering wrappers (SATA link, shadow oracle, rig
+    /// personalities) must forward this explicitly — the default would
+    /// silently swallow the snapshot on its way to the inner device.
+    fn begin(&mut self, tid: Tid) -> Result<()> {
+        let _ = tid;
+        Ok(())
+    }
+
     /// Copy-on-write page write on behalf of transaction `tid`; the old
     /// committed copy stays readable and reclaimable only after commit.
     fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()>;

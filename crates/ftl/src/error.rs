@@ -33,6 +33,12 @@ pub enum DevError {
     /// it has no ledger for, so instead of silently ignoring it the wait
     /// fails loudly. Waiting on [`crate::CmdId::IMMEDIATE`] is always fine.
     NotQueued,
+    /// First-committer-wins validation failed at `commit_submit`: another
+    /// transaction committed a newer version of a page this snapshot
+    /// transaction wrote. The device has already aborted the loser
+    /// (discarded its versions, released its write intents); the host
+    /// just retries the whole transaction on a fresh snapshot.
+    Conflict,
 }
 
 impl fmt::Display for DevError {
@@ -47,6 +53,12 @@ impl fmt::Display for DevError {
             DevError::NotQueued => {
                 write!(f, "completion wait on a ticket this device never queued")
             }
+            DevError::Conflict => {
+                write!(
+                    f,
+                    "snapshot transaction lost first-committer-wins validation"
+                )
+            }
         }
     }
 }
@@ -60,7 +72,8 @@ impl std::error::Error for DevError {
             | DevError::UnknownTid(_)
             | DevError::XL2pFull
             | DevError::NotFormatted
-            | DevError::NotQueued => None,
+            | DevError::NotQueued
+            | DevError::Conflict => None,
         }
     }
 }

@@ -130,6 +130,11 @@ impl<D: BlockDevice> BlockDevice for SataLink<D> {
 }
 
 impl<D: TxBlockDevice> TxBlockDevice for SataLink<D> {
+    fn begin(&mut self, tid: Tid) -> Result<()> {
+        self.charge(0);
+        self.inner.begin(tid)
+    }
+
     fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
         self.charge(buf.len());
         self.inner.read_tx(tid, lpn, buf)

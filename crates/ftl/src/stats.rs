@@ -48,6 +48,16 @@ pub struct FtlStats {
     /// Transactions whose commits were made durable by those flushes; the
     /// ratio to `group_commit_flushes` is the mean coalescing factor.
     pub commits_coalesced: u64,
+    /// Snapshot transactions aborted at `commit_submit` because another
+    /// writer committed a newer version of a page they wrote
+    /// (first-committer-wins losers).
+    pub conflict_aborts: u64,
+    /// Superseded page versions retained in the RAM version chains for
+    /// active snapshot readers instead of being invalidated at fold time.
+    pub versions_retained: u64,
+    /// Retained versions pruned (invalidated, handed to GC) once no
+    /// active snapshot could still read them.
+    pub versions_pruned: u64,
 }
 
 impl FtlStats {
@@ -93,6 +103,9 @@ impl Sub for FtlStats {
             bad_block_retirements: self.bad_block_retirements - rhs.bad_block_retirements,
             group_commit_flushes: self.group_commit_flushes - rhs.group_commit_flushes,
             commits_coalesced: self.commits_coalesced - rhs.commits_coalesced,
+            conflict_aborts: self.conflict_aborts - rhs.conflict_aborts,
+            versions_retained: self.versions_retained - rhs.versions_retained,
+            versions_pruned: self.versions_pruned - rhs.versions_pruned,
         }
     }
 }

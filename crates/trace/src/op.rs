@@ -51,10 +51,19 @@ pub enum OpClass {
     /// Commit-pipeline depth sample at `commit_submit` time; the span's
     /// `bytes` field carries the staged-commit count after submission.
     CommitPipelineDepth,
+    /// Snapshot-visible read: a `read_tx` served from the version visible
+    /// at the transaction's begin snapshot rather than the newest copy.
+    SnapshotRead,
+    /// First-committer-wins loser: `commit_submit` detected a newer
+    /// committed version of a written page and aborted the transaction.
+    ConflictAbort,
+    /// Version-chain walk depth sample on a snapshot read; the span's
+    /// `bytes` field carries the retained-chain length for the page.
+    VersionChainLen,
 }
 
 /// Number of operation classes.
-pub const N_OPS: usize = 19;
+pub const N_OPS: usize = 22;
 
 impl OpClass {
     /// All classes, in declaration (= report) order.
@@ -78,6 +87,9 @@ impl OpClass {
         OpClass::BarrierDispatch,
         OpClass::GroupCommitCoalesce,
         OpClass::CommitPipelineDepth,
+        OpClass::SnapshotRead,
+        OpClass::ConflictAbort,
+        OpClass::VersionChainLen,
     ];
 
     /// Stable snake_case name used in reports and event streams.
@@ -102,6 +114,9 @@ impl OpClass {
             OpClass::BarrierDispatch => "barrier_dispatch",
             OpClass::GroupCommitCoalesce => "group_commit_coalesce",
             OpClass::CommitPipelineDepth => "commit_pipeline_depth",
+            OpClass::SnapshotRead => "snapshot_read",
+            OpClass::ConflictAbort => "conflict_abort",
+            OpClass::VersionChainLen => "version_chain_len",
         }
     }
 
@@ -122,7 +137,10 @@ impl OpClass {
             | OpClass::RecoveryReplay
             | OpClass::BarrierDispatch
             | OpClass::GroupCommitCoalesce
-            | OpClass::CommitPipelineDepth => Layer::Ftl,
+            | OpClass::CommitPipelineDepth
+            | OpClass::SnapshotRead
+            | OpClass::ConflictAbort
+            | OpClass::VersionChainLen => Layer::Ftl,
             OpClass::FsFsync => Layer::Fs,
             OpClass::PagerFetch | OpClass::PagerFlush | OpClass::SqlStatement => Layer::Db,
         }

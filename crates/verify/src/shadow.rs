@@ -44,12 +44,37 @@
 //! group first) retires the records as durable. While a page has a staged
 //! writer, reads of it prove nothing about the durable worlds underneath,
 //! so world-narrowing is suspended for that page.
+//!
+//! ## Snapshot transactions (MVCC)
+//!
+//! A transaction the host opened with [`TxBlockDevice::begin`] reads from
+//! a frozen copy of the committed image taken at `begin` time, and its
+//! commit is validated first-committer-wins. The model mirrors both
+//! sides:
+//!
+//! * every change to the committed image ticks a monotone clock and
+//!   stamps the changed page; `begin(tid)` records the clock, and the
+//!   model keeps a full clone of the committed image (plus the then-open
+//!   doubt candidates) as the tid's frozen view. Reads by the tid of
+//!   pages it did not write must match the view — not the live image —
+//!   which is the snapshot-isolation check.
+//! * a commit the device *admits* while some written page carries a
+//!   newer stamp than the snapshot is a lost update — panic. A commit the
+//!   device *refuses* with `Conflict` while no written page was
+//!   overwritten after the snapshot is a spurious conflict — also panic.
+//!   Pages whose stamp is uncertain (failed writes, crash worlds) are
+//!   excluded from both directions of the check.
+//!
+//! Snapshots are RAM-only on the device, so [`ShadowModel::crash`] drops
+//! every view; the clock itself survives (it orders history, it is not
+//! state).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt::Write as _;
 
 use xftl_ftl::{
-    BlockDevice, CmdId, CommitTicket, DevCounters, IoCmd, Lpn, Result, Tid, TxBlockDevice, NO_TID,
+    BlockDevice, CmdId, CommitTicket, DevCounters, DevError, IoCmd, Lpn, Result, Tid,
+    TxBlockDevice, NO_TID,
 };
 
 /// Short printable digest of a page's contents for panic diagnostics.
@@ -87,6 +112,29 @@ struct UnflushedCommit {
     pages: BTreeMap<Lpn, (Option<Vec<u8>>, Vec<u8>)>,
 }
 
+/// The committed image as a snapshot transaction saw it at `begin`:
+/// the frozen page values plus the doubt candidates that were open then
+/// (a read through the snapshot may surface either world).
+#[derive(Debug, Clone)]
+struct SnapshotView {
+    pages: HashMap<Lpn, Vec<u8>>,
+    doubt: HashMap<Lpn, Vec<Vec<u8>>>,
+}
+
+impl SnapshotView {
+    fn matches(&self, lpn: Lpn, observed: &[u8]) -> bool {
+        let base_ok = match self.pages.get(&lpn) {
+            Some(v) => v == observed,
+            None => observed.iter().all(|&b| b == 0),
+        };
+        base_ok
+            || self
+                .doubt
+                .get(&lpn)
+                .is_some_and(|cands| cands.iter().any(|c| c == observed))
+    }
+}
+
 /// The trivially-correct in-memory reference model of a transactional
 /// block device. See the [module docs](self) for the in-doubt machinery.
 #[derive(Debug)]
@@ -110,6 +158,19 @@ pub struct ShadowModel {
     /// Commits submitted but not yet flushed (split-phase pipeline), in
     /// submission order: visible in `committed`, not yet durable.
     unflushed: Vec<UnflushedCommit>,
+    /// Monotone clock ticked on every committed-image change. Survives
+    /// crashes (it orders history; it is not device state).
+    commit_counter: u64,
+    /// Clock stamp of the last committed-image change per page.
+    page_seq: HashMap<Lpn, u64>,
+    /// Pages whose stamp is uncertain (a failed write may or may not have
+    /// landed; a crash re-opened old worlds): first-committer-wins
+    /// decisions touching them are accepted either way.
+    seq_doubt: HashSet<Lpn>,
+    /// Active snapshot transactions: tid → clock value at `begin`.
+    snapshots: HashMap<Tid, u64>,
+    /// Frozen committed image per snapshot transaction.
+    snapshot_views: HashMap<Tid, SnapshotView>,
     checked_reads: u64,
 }
 
@@ -125,6 +186,11 @@ impl ShadowModel {
             unsynced_trims: HashMap::new(),
             doubt_txns: Vec::new(),
             unflushed: Vec::new(),
+            commit_counter: 0,
+            page_seq: HashMap::new(),
+            seq_doubt: HashSet::new(),
+            snapshots: HashMap::new(),
+            snapshot_views: HashMap::new(),
             checked_reads: 0,
         }
     }
@@ -154,6 +220,10 @@ impl ShadowModel {
         self.spill_unflushed(u64::MAX);
         self.pending.clear();
         self.pending_doubt.clear();
+        // Snapshots live in device RAM (the commit-sequence clock resets
+        // at recovery): every open view dies with the power.
+        self.snapshots.clear();
+        self.snapshot_views.clear();
         let trims: Vec<(Lpn, Vec<Vec<u8>>)> = self.unsynced_trims.drain().collect();
         for (lpn, cands) in trims {
             // A committed value implies a durable program newer than any
@@ -161,6 +231,13 @@ impl ShadowModel {
             if !self.committed.contains_key(&lpn) {
                 self.doubt_pages.entry(lpn).or_default().extend(cands);
             }
+        }
+        // Every page whose post-crash value is uncertain also has an
+        // uncertain change-clock: exclude it from first-committer-wins
+        // verdicts.
+        self.seq_doubt.extend(self.doubt_pages.keys().copied());
+        for tx in &self.doubt_txns {
+            self.seq_doubt.extend(tx.pages.keys().copied());
         }
     }
 
@@ -181,6 +258,101 @@ impl ShadowModel {
     /// Number of commits submitted but not yet durable.
     pub fn unflushed_commits(&self) -> usize {
         self.unflushed.len()
+    }
+
+    /// Number of snapshot transactions currently open in the model.
+    pub fn active_snapshots(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// The committed image changed for `lpn`: tick the clock and stamp
+    /// the page. The model stamps *every* change (the device only bumps
+    /// its sequence while snapshots are open) — harmless, because stamps
+    /// taken before a `begin` are never newer than that snapshot.
+    fn bump_page(&mut self, lpn: Lpn) {
+        self.commit_counter += 1;
+        self.page_seq.insert(lpn, self.commit_counter);
+    }
+
+    /// `begin(tid)` succeeded: record the clock and freeze the committed
+    /// view (including the doubt candidates open right now — a snapshot
+    /// read may legally surface any of those worlds).
+    pub fn apply_begin(&mut self, tid: Tid) {
+        let mut doubt: HashMap<Lpn, Vec<Vec<u8>>> = HashMap::new();
+        for (lpn, cands) in &self.doubt_pages {
+            doubt.entry(*lpn).or_default().extend(cands.iter().cloned());
+        }
+        for tx in &self.doubt_txns {
+            for (lpn, v) in &tx.pages {
+                doubt.entry(*lpn).or_default().push(v.clone());
+            }
+        }
+        self.snapshots.insert(tid, self.commit_counter);
+        self.snapshot_views.insert(
+            tid,
+            SnapshotView {
+                pages: self.committed.clone(),
+                doubt,
+            },
+        );
+    }
+
+    /// Pages `tid` wrote (surely or maybe) since its snapshot began.
+    fn written_lpns(&self, tid: Tid) -> Vec<Lpn> {
+        let mut lpns: BTreeSet<Lpn> = self
+            .pending
+            .get(&tid)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        if let Some(m) = self.pending_doubt.get(&tid) {
+            lpns.extend(m.keys().copied());
+        }
+        lpns.into_iter().collect()
+    }
+
+    /// The device admitted `tid`'s commit. For a snapshot transaction that
+    /// must mean first-committer-wins validation passed: no page it wrote
+    /// may carry a stamp newer than the snapshot.
+    ///
+    /// # Panics
+    /// When a written page was overwritten after the snapshot began (and
+    /// its stamp is not in doubt) — the device admitted a lost update.
+    fn validate_snapshot_commit(&mut self, tid: Tid) {
+        let Some(&snap) = self.snapshots.get(&tid) else {
+            return;
+        };
+        for lpn in self.written_lpns(tid) {
+            let seq = self.page_seq.get(&lpn).copied().unwrap_or(0);
+            assert!(
+                seq <= snap || self.seq_doubt.contains(&lpn),
+                "shadow oracle: commit(tid={tid}) was admitted but lpn {lpn} changed at \
+                 clock {seq}, after the snapshot began at {snap} — first-committer-wins \
+                 admitted a lost update",
+            );
+        }
+        self.snapshots.remove(&tid);
+        self.snapshot_views.remove(&tid);
+    }
+
+    /// The device refused `tid`'s commit with `Conflict` and aborted it.
+    /// The refusal must be legitimate: some written page really was
+    /// overwritten after the snapshot began (or its stamp is in doubt).
+    ///
+    /// # Panics
+    /// When no written page justifies the conflict — a spurious abort.
+    pub fn apply_conflict(&mut self, tid: Tid) {
+        if let Some(&snap) = self.snapshots.get(&tid) {
+            let legitimate = self.written_lpns(tid).into_iter().any(|lpn| {
+                self.page_seq.get(&lpn).copied().unwrap_or(0) > snap
+                    || self.seq_doubt.contains(&lpn)
+            });
+            assert!(
+                legitimate,
+                "shadow oracle: commit(tid={tid}) was refused with Conflict but no page \
+                 it wrote changed after its snapshot (clock {snap}) — spurious conflict",
+            );
+        }
+        self.apply_abort(tid);
     }
 
     /// True if a staged (submitted, unflushed) commit wrote `lpn`.
@@ -253,6 +425,9 @@ impl ShadowModel {
         for rec in &spill {
             for lpn in rec.pages.keys() {
                 *counts.entry(*lpn).or_default() += 1;
+                // Whether the group flush landed is unknown, so the
+                // page's change-clock is too.
+                self.seq_doubt.insert(*lpn);
             }
         }
         for rec in spill {
@@ -347,8 +522,15 @@ impl ShadowModel {
                     let doubt_ok = dv == observed;
                     let committed_ok =
                         sure_opt.is_none() && self.committed_view_matches(lpn, observed);
+                    // A snapshot transaction that falls past its own
+                    // writes reads its frozen view, not the live image.
+                    let view_ok = sure_opt.is_none()
+                        && self
+                            .snapshot_views
+                            .get(&tid)
+                            .is_some_and(|v| v.matches(lpn, observed));
                     assert!(
-                        sure_ok || doubt_ok || committed_ok,
+                        sure_ok || doubt_ok || committed_ok || view_ok,
                         "shadow oracle: read_tx(tid={tid}, lpn={lpn}) returned {} but no \
                          allowed world holds it (failed batch value {}, prior pending \
                          value {})",
@@ -356,14 +538,14 @@ impl ShadowModel {
                         digest(&dv),
                         sure_opt.as_ref().map_or_else(String::new, |v| digest(v)),
                     );
-                    if doubt_ok && !sure_ok && !committed_ok {
+                    if doubt_ok && !sure_ok && !committed_ok && !view_ok {
                         // The batch page did land: promote it to a real
                         // uncommitted write.
                         self.pending.entry(tid).or_default().insert(lpn, dv);
                         self.drop_pending_doubt(tid, lpn);
                     } else if !doubt_ok {
                         self.drop_pending_doubt(tid, lpn);
-                        if committed_ok {
+                        if committed_ok && !view_ok {
                             self.resolve_committed(lpn, observed);
                         }
                     }
@@ -374,6 +556,20 @@ impl ShadowModel {
                 // because other transactions' pending writes are never
                 // allowed values.
                 (None, None) => {}
+            }
+            // A snapshot transaction reads its frozen view, not the live
+            // committed image: later commits must stay invisible.
+            if let Some(view) = self.snapshot_views.get(&tid) {
+                assert!(
+                    view.matches(lpn, observed),
+                    "shadow oracle: read_tx(tid={tid}, lpn={lpn}) returned {} but the \
+                     snapshot's frozen view holds {} — snapshot isolation violated",
+                    digest(observed),
+                    view.pages
+                        .get(&lpn)
+                        .map_or_else(|| String::from("[zeros]"), |v| digest(v)),
+                );
+                return;
             }
         }
         let ok = self.committed_view_matches(lpn, observed);
@@ -465,6 +661,9 @@ impl ShadowModel {
     fn apply_write(&mut self, lpn: Lpn, data: &[u8]) {
         self.committed.insert(lpn, data.to_vec());
         self.doubt_pages.remove(&lpn);
+        self.bump_page(lpn);
+        // A sure write pins the page's change-clock again.
+        self.seq_doubt.remove(&lpn);
         // The fresh program carries the newest sequence number, so the
         // roll-forward scan can never resurrect a pre-trim page here.
         self.unsynced_trims.remove(&lpn);
@@ -515,6 +714,8 @@ impl ShadowModel {
             data.to_vec()
         };
         self.doubt_pages.entry(lpn).or_default().push(cand);
+        // The change may or may not have landed: the stamp is uncertain.
+        self.seq_doubt.insert(lpn);
     }
 
     fn apply_tx_write(&mut self, tid: Tid, lpn: Lpn, data: &[u8]) {
@@ -526,6 +727,7 @@ impl ShadowModel {
     }
 
     fn apply_commit(&mut self, tid: Tid) {
+        self.validate_snapshot_commit(tid);
         if let Some(pages) = self.pending.remove(&tid) {
             for (lpn, data) in pages {
                 self.apply_write(lpn, &data);
@@ -547,11 +749,13 @@ impl ShadowModel {
     /// failed-write candidates) stay open until the group proves durable,
     /// because a crash before the flush would re-expose them.
     fn apply_commit_submit(&mut self, tid: Tid, group: u64) {
+        self.validate_snapshot_commit(tid);
         let pages = self.pending.remove(&tid).unwrap_or_default();
         let mut rec: BTreeMap<Lpn, (Option<Vec<u8>>, Vec<u8>)> = BTreeMap::new();
         for (lpn, data) in pages {
             let old = self.committed.get(&lpn).cloned();
             self.committed.insert(lpn, data.clone());
+            self.bump_page(lpn);
             rec.insert(lpn, (old, data));
         }
         if !rec.is_empty() {
@@ -588,6 +792,8 @@ impl ShadowModel {
     fn apply_abort(&mut self, tid: Tid) {
         self.pending.remove(&tid);
         self.pending_doubt.remove(&tid);
+        self.snapshots.remove(&tid);
+        self.snapshot_views.remove(&tid);
     }
 
     fn doubt_submit_tx(&mut self, tid: Tid, pages: &[(Lpn, &[u8])]) {
@@ -806,6 +1012,12 @@ impl<D: BlockDevice> BlockDevice for ShadowDevice<D> {
 }
 
 impl<D: TxBlockDevice> TxBlockDevice for ShadowDevice<D> {
+    fn begin(&mut self, tid: Tid) -> Result<()> {
+        self.inner.begin(tid)?;
+        self.model.apply_begin(tid);
+        Ok(())
+    }
+
     fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
         self.inner.read_tx(tid, lpn, buf)?;
         self.model.check_read(Some(tid), lpn, buf);
@@ -851,6 +1063,13 @@ impl<D: TxBlockDevice> TxBlockDevice for ShadowDevice<D> {
                     self.model.apply_commit_submit(tid, ticket.group().0);
                 }
                 Ok(ticket)
+            }
+            // First-committer-wins refusal: the device aborted the
+            // transaction cleanly — verify the refusal was earned, then
+            // mirror the rollback.
+            Err(DevError::Conflict) => {
+                self.model.apply_conflict(tid);
+                Err(DevError::Conflict)
             }
             Err(e) => {
                 self.model.doubt_commit(tid);
@@ -1196,5 +1415,144 @@ mod tests {
         // exposes tid 7's uncommitted write.
         let mut buf = vec![0u8; dev.page_size()];
         dev.read(0, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn snapshot_history_passes_the_oracle() {
+        let mut dev = fresh(24, 48);
+        let old = page(&dev, 1);
+        let new = page(&dev, 2);
+        let mut buf = page(&dev, 0);
+
+        dev.write(5, &old).unwrap();
+        dev.begin(1).unwrap();
+        assert_eq!(dev.model().active_snapshots(), 1);
+
+        // A later committer moves the live image; the snapshot must not
+        // see it — and the oracle must accept the stale value it returns.
+        dev.write_tx(2, 5, &new).unwrap();
+        dev.commit(2).unwrap();
+        dev.read(5, &mut buf).unwrap();
+        assert_eq!(buf, new);
+        dev.read_tx(1, 5, &mut buf).unwrap();
+        assert_eq!(buf, old);
+        // Unborn pages read zeros through the view too.
+        dev.read_tx(1, 9, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+
+        // Disjoint write commits cleanly; the view is released.
+        dev.write_tx(1, 7, &new).unwrap();
+        dev.read_tx(1, 7, &mut buf).unwrap(); // read-your-own-writes
+        assert_eq!(buf, new);
+        dev.commit(1).unwrap();
+        assert_eq!(dev.model().active_snapshots(), 0);
+    }
+
+    #[test]
+    fn legitimate_conflict_passes_the_oracle() {
+        let mut dev = fresh(24, 48);
+        let a = page(&dev, 3);
+        let b = page(&dev, 4);
+        dev.begin(1).unwrap();
+        dev.begin(2).unwrap();
+        dev.write_tx(1, 5, &a).unwrap();
+        dev.write_tx(2, 5, &b).unwrap();
+        dev.commit(1).unwrap();
+        // First committer won page 5; tid 2 must lose, and the oracle
+        // verifies the refusal was earned (not spurious).
+        assert_eq!(dev.commit(2), Err(DevError::Conflict));
+        assert_eq!(dev.model().active_snapshots(), 0);
+        let mut buf = page(&dev, 0);
+        dev.read(5, &mut buf).unwrap();
+        assert_eq!(buf, a);
+        // The loser's snapshot is fully released: a retry on a fresh
+        // snapshot succeeds.
+        dev.begin(2).unwrap();
+        dev.write_tx(2, 5, &b).unwrap();
+        dev.commit(2).unwrap();
+        dev.read(5, &mut buf).unwrap();
+        assert_eq!(buf, b);
+    }
+
+    #[test]
+    fn snapshots_die_with_the_model_crash() {
+        let mut dev = fresh(24, 48);
+        let v = page(&dev, 6);
+        dev.write(3, &v).unwrap();
+        dev.begin(4).unwrap();
+        let (ftl, model) = dev.into_parts();
+        let mut chip = ftl.into_chip();
+        chip.power_cycle();
+        let dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+        assert_eq!(dev.model().active_snapshots(), 0);
+    }
+
+    /// Deliberately broken FTL: `begin` reports success but never
+    /// registers the snapshot, so the transaction reads the live image
+    /// and later commits skip first-committer-wins validation.
+    struct BrokenBegin(XFtl);
+
+    impl BlockDevice for BrokenBegin {
+        fn page_size(&self) -> usize {
+            self.0.page_size()
+        }
+        fn capacity_pages(&self) -> u64 {
+            self.0.capacity_pages()
+        }
+        fn read(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+            self.0.read(lpn, buf)
+        }
+        fn write(&mut self, lpn: Lpn, buf: &[u8]) -> Result<()> {
+            self.0.write(lpn, buf)
+        }
+        fn trim(&mut self, lpn: Lpn) -> Result<()> {
+            self.0.trim(lpn)
+        }
+        fn flush(&mut self) -> Result<()> {
+            self.0.flush()
+        }
+        fn counters(&self) -> DevCounters {
+            self.0.counters()
+        }
+    }
+
+    impl TxBlockDevice for BrokenBegin {
+        fn begin(&mut self, _tid: Tid) -> Result<()> {
+            Ok(()) // the seeded bug: snapshot registration dropped
+        }
+        fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
+            self.0.read_tx(tid, lpn, buf)
+        }
+        fn write_tx(&mut self, tid: Tid, lpn: Lpn, buf: &[u8]) -> Result<()> {
+            self.0.write_tx(tid, lpn, buf)
+        }
+        fn commit_submit(&mut self, tid: Tid) -> Result<CommitTicket> {
+            self.0.commit_submit(tid)
+        }
+        fn commit_wait(&mut self, ticket: CommitTicket) -> Result<()> {
+            self.0.commit_wait(ticket)
+        }
+        fn abort(&mut self, tid: Tid) -> Result<()> {
+            self.0.abort(tid)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow oracle")]
+    fn mutation_broken_begin_is_caught() {
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::tiny(24), clock);
+        let mut dev = ShadowDevice::new(BrokenBegin(XFtl::format(chip, 48).unwrap()));
+        let old = vec![1u8; dev.page_size()];
+        let new = vec![2u8; dev.page_size()];
+        dev.write(0, &old).unwrap();
+        dev.begin(1).unwrap();
+        // Another transaction commits over the page; the broken device
+        // never registered tid 1's snapshot, so its read leaks the new
+        // value — the oracle's frozen view still holds the old one.
+        dev.write_tx(2, 0, &new).unwrap();
+        dev.commit(2).unwrap();
+        let mut buf = vec![0u8; dev.page_size()];
+        dev.read_tx(1, 0, &mut buf).unwrap();
     }
 }

@@ -24,4 +24,7 @@ pub mod rig;
 pub mod synthetic;
 pub mod tpcc;
 
-pub use rig::{Aging, AnyDev, Mode, Profile, Rig, RigConfig, Snapshot};
+pub use rig::{
+    concurrent_fill, Aging, AnyDev, ConcurrentOutcome, ConcurrentPlan, Mode, Profile, Rig,
+    RigConfig, Snapshot,
+};

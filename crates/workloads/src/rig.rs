@@ -9,10 +9,10 @@ use std::rc::Rc;
 use xftl_core::XFtl;
 use xftl_db::{Connection, DbJournalMode, SharedFs};
 use xftl_flash::{FaultPlan, FlashChip, FlashConfigBuilder, Nanos, SimClock};
-use xftl_fs::{FileSystem, FsConfig, FsStats, JournalMode};
+use xftl_fs::{FileSystem, FsConfig, FsError, FsStats, Ino, JournalMode};
 use xftl_ftl::{
-    AtomicWriteFtl, BlockDevice, CmdId, CommitTicket, DevCounters, FtlStats, GcPolicy, IoCmd,
-    LinkConfig, Lpn, PageMappedFtl, Result, SataLink, Tid, TxBlockDevice,
+    AtomicWriteFtl, BlockDevice, CmdId, CommitTicket, DevCounters, DevError, FtlStats, GcPolicy,
+    IoCmd, LinkConfig, Lpn, PageMappedFtl, Result, SataLink, Tid, TxBlockDevice,
 };
 
 use xftl_trace::Telemetry;
@@ -129,6 +129,13 @@ impl BlockDevice for AnyDev {
 /// builds `Off`-mode volumes only over that personality. Reaching a tx
 /// command on another personality is a rig configuration bug and panics.
 impl TxBlockDevice for AnyDev {
+    fn begin(&mut self, tid: Tid) -> Result<()> {
+        match self {
+            AnyDev::X(d) => d.begin(tid),
+            _ => panic!("rig bug: transactional command on a non-X-FTL personality"),
+        }
+    }
+
     fn read_tx(&mut self, tid: Tid, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
         match self {
             AnyDev::X(d) => d.read_tx(tid, lpn, buf),
@@ -539,6 +546,167 @@ impl Rig {
             recovery_ns,
         )
     }
+
+    /// Creates (or reuses) `name` pre-sized to `pages` zeroed pages and
+    /// makes the allocation durable. Concurrent writers that only
+    /// overwrite pre-sized pages touch no shared allocator metadata —
+    /// bitmap or inode-map growth would make every writer pair conflict
+    /// at the device, drowning the interleavings the harness is after.
+    pub fn prepare_concurrent_file(&self, name: &str, pages: u64) -> Ino {
+        let mut fs = self.fs.borrow_mut();
+        let ino = if fs.exists(name) {
+            fs.open(name).expect("open concurrent file")
+        } else {
+            fs.create(name).expect("create concurrent file")
+        };
+        let ps = fs.page_size() as u64;
+        let zeros = vec![0u8; ps as usize];
+        for p in 0..pages {
+            fs.write(ino, p * ps, &zeros, None).expect("pre-size");
+        }
+        fs.sync_all().expect("pre-size sync");
+        ino
+    }
+
+    /// Runs one deterministic round of interleaved snapshot writers over
+    /// the X-FTL `begin`/first-committer-wins path: every writer opens a
+    /// snapshot transaction, their page writes interleave round-robin
+    /// (writer 0 step 0, writer 1 step 0, …, writer 0 step 1, …), then
+    /// each fsyncs — commits — in writer order. Conflict losers are
+    /// tallied, not fatal; any other error panics.
+    ///
+    /// Page images come from [`concurrent_fill`], so callers can verify
+    /// exactly which writer's version survived.
+    pub fn run_concurrent_writers(&self, ino: Ino, plan: &ConcurrentPlan) -> ConcurrentOutcome {
+        let mut fs = self.fs.borrow_mut();
+        let ps = fs.page_size() as u64;
+        let tids: Vec<Tid> = plan
+            .writers
+            .iter()
+            .map(|_| fs.begin_tx_concurrent().expect("begin concurrent"))
+            .collect();
+        let depth = plan.writers.iter().map(Vec::len).max().unwrap_or(0);
+        for step in 0..depth {
+            for (w, pages) in plan.writers.iter().enumerate() {
+                if let Some(&page) = pages.get(step) {
+                    let img = concurrent_fill(ps as usize, plan.tag, w, page);
+                    fs.write(ino, page * ps, &img, Some(tids[w]))
+                        .expect("snapshot write");
+                }
+            }
+        }
+        let mut committed = Vec::new();
+        let mut conflicted = Vec::new();
+        let mut commit_latency_ns = Vec::new();
+        for (w, &tid) in tids.iter().enumerate() {
+            let t0 = self.clock.now();
+            match fs.fsync(ino, Some(tid)) {
+                Ok(()) => {
+                    committed.push(w);
+                    commit_latency_ns.push(self.clock.now() - t0);
+                }
+                Err(FsError::Dev(DevError::Conflict)) => conflicted.push(w),
+                Err(e) => panic!("concurrent writer {w} (tid {tid}) failed: {e:?}"),
+            }
+        }
+        ConcurrentOutcome {
+            tids,
+            committed,
+            conflicted,
+            commit_latency_ns,
+        }
+    }
+
+    /// Like [`Rig::run_concurrent_writers`], but commits through the
+    /// split-phase pipeline: every writer's commit is *submitted* first —
+    /// first-committer-wins validation and visibility happen at the
+    /// submit — then the surviving tickets are redeemed in writer order.
+    /// Staged commits coalesce into shared group flushes, which is the
+    /// device-level scaling the concurrent bench measures. Each winner's
+    /// submit-to-durable latency lands in
+    /// [`ConcurrentOutcome::commit_latency_ns`].
+    pub fn run_concurrent_writers_pipelined(
+        &self,
+        ino: Ino,
+        plan: &ConcurrentPlan,
+    ) -> ConcurrentOutcome {
+        let mut fs = self.fs.borrow_mut();
+        let ps = fs.page_size() as u64;
+        let tids: Vec<Tid> = plan
+            .writers
+            .iter()
+            .map(|_| fs.begin_tx_concurrent().expect("begin concurrent"))
+            .collect();
+        let depth = plan.writers.iter().map(Vec::len).max().unwrap_or(0);
+        for step in 0..depth {
+            for (w, pages) in plan.writers.iter().enumerate() {
+                if let Some(&page) = pages.get(step) {
+                    let img = concurrent_fill(ps as usize, plan.tag, w, page);
+                    fs.write(ino, page * ps, &img, Some(tids[w]))
+                        .expect("snapshot write");
+                }
+            }
+        }
+        let mut conflicted = Vec::new();
+        let mut tickets: Vec<(usize, CommitTicket, Nanos)> = Vec::new();
+        for (w, &tid) in tids.iter().enumerate() {
+            let t0 = self.clock.now();
+            match fs.fsync_submit(ino, tid) {
+                Ok(ticket) => tickets.push((w, ticket, t0)),
+                Err(FsError::Dev(DevError::Conflict)) => conflicted.push(w),
+                Err(e) => panic!("concurrent writer {w} (tid {tid}) failed: {e:?}"),
+            }
+        }
+        let mut committed = Vec::new();
+        let mut commit_latency_ns = Vec::new();
+        for (w, ticket, t0) in tickets {
+            fs.fsync_wait(ticket).expect("fsync_wait");
+            committed.push(w);
+            commit_latency_ns.push(self.clock.now() - t0);
+        }
+        ConcurrentOutcome {
+            tids,
+            committed,
+            conflicted,
+            commit_latency_ns,
+        }
+    }
+}
+
+/// One deterministic multi-writer round for the MVCC harness: which
+/// pages of the shared file each writer overwrites, in issue order.
+#[derive(Debug, Clone)]
+pub struct ConcurrentPlan {
+    /// Per-writer page-index scripts (outer index = writer).
+    pub writers: Vec<Vec<u64>>,
+    /// Byte tag baked into every page image (disambiguates rounds).
+    pub tag: u8,
+}
+
+/// What one [`Rig::run_concurrent_writers`] round did.
+#[derive(Debug, Clone)]
+pub struct ConcurrentOutcome {
+    /// Device transaction id each writer ran under, in writer order.
+    pub tids: Vec<Tid>,
+    /// Writers (by index) whose commit was admitted, in commit order.
+    pub committed: Vec<usize>,
+    /// Writers (by index) that lost first-committer-wins validation.
+    pub conflicted: Vec<usize>,
+    /// Simulated commit latency of each admitted writer (parallel to
+    /// `committed`): fsync-start-to-durable for the blocking runner,
+    /// submit-to-redeemed for the pipelined one.
+    pub commit_latency_ns: Vec<Nanos>,
+}
+
+/// The page image writer `writer` writes for page `page` in a round
+/// tagged `tag`: a cheap, collision-free mix so two writers' images for
+/// the same page always differ.
+pub fn concurrent_fill(page_size: usize, tag: u8, writer: usize, page: u64) -> Vec<u8> {
+    let w = (writer as u8).wrapping_mul(31).wrapping_add(1);
+    let p = (page as u8).wrapping_mul(7);
+    (0..page_size)
+        .map(|i| tag ^ w ^ p.wrapping_add(i as u8))
+        .collect()
 }
 
 /// SATA link parameters for a hardware profile.

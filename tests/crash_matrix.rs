@@ -752,3 +752,87 @@ fn oracle_double_recovery_is_idempotent() {
     dev.read(0, &mut buf).unwrap();
     assert_eq!(buf[0], 1, "in-flight tx write survived double recovery");
 }
+
+/// Power cut with the full MVCC machinery engaged: two snapshot writers
+/// mid-flight, one commit durably flushed, and one more submitted but
+/// never redeemed. Recovery must keep the flushed commit, drop the
+/// staged group, evaporate both active writers (their snapshots, write
+/// intents, and retained versions are device RAM), and produce the same
+/// image when interrupted by a second power cycle — all under the
+/// oracle's durability sweep and flash audit.
+#[cfg(feature = "verify")]
+#[test]
+fn oracle_power_cut_with_live_snapshot_writers_keeps_commits_drops_intents() {
+    use xftl_ftl::{BlockDevice, TxBlockDevice};
+    let chip = FlashChip::new(FlashConfig::tiny(40), SimClock::new());
+    let mut dev = ShadowDevice::new(XFtl::format(chip, 64).unwrap());
+    let ps = dev.page_size();
+    let old = vec![0x11u8; ps];
+    for lpn in 0..8u64 {
+        dev.write(lpn, &old).unwrap();
+    }
+    dev.flush().unwrap();
+
+    // Four snapshot transactions on disjoint pages: two stay active,
+    // one commits durably (blocking), one is submitted but unflushed.
+    for tid in 1..=4u64 {
+        dev.begin(tid).unwrap();
+    }
+    dev.write_tx(1, 0, &vec![0xA1u8; ps]).unwrap();
+    dev.write_tx(1, 1, &vec![0xA1u8; ps]).unwrap();
+    dev.write_tx(2, 2, &vec![0xB2u8; ps]).unwrap();
+    dev.write_tx(2, 3, &vec![0xB2u8; ps]).unwrap();
+    dev.write_tx(3, 4, &vec![0xC3u8; ps]).unwrap();
+    dev.write_tx(3, 5, &vec![0xC3u8; ps]).unwrap();
+    dev.write_tx(4, 6, &vec![0xD4u8; ps]).unwrap();
+    dev.commit(4).unwrap(); // durable before the cut
+    let staged = dev.commit_submit(3).unwrap(); // visible, never redeemed
+    assert!(!staged.is_immediate(), "X-FTL stages commits");
+
+    // Pre-cut sanity: the staged version is visible, the live writers'
+    // versions are not, and the intent table tracks both live writers.
+    let mut buf = vec![0u8; ps];
+    dev.read(4, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xC3, "staged commit must be visible");
+    dev.read(0, &mut buf).unwrap();
+    assert_eq!(buf[0], 0x11, "active writer's version must not leak");
+    assert_eq!(dev.inner().xl2p().intent_pages(), 4, "two live writers");
+    assert_eq!(dev.inner().active_snapshots(), 2, "tids 1 and 2 still open");
+
+    // Power dies; recover twice (the second cycle interrupts nothing but
+    // must still reproduce the same image — recovery stays idempotent
+    // with MVCC state in the mix).
+    let (ftl, model) = dev.into_parts();
+    let mut chip = ftl.into_chip();
+    chip.power_cycle();
+    let first = XFtl::recover(chip).unwrap();
+    let mut chip = first.into_chip();
+    chip.power_cycle();
+    let mut dev = ShadowDevice::resume(XFtl::recover(chip).unwrap(), model);
+    dev.verify_recovered();
+    dev.audit();
+
+    // The flushed commit survived; everything else rolled back.
+    dev.read(6, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xD4, "flushed commit lost");
+    for lpn in [0u64, 1, 2, 3, 4, 5, 7] {
+        dev.read(lpn, &mut buf).unwrap();
+        assert_eq!(
+            buf[0], 0x11,
+            "uncommitted or unflushed version survived: lpn {lpn}"
+        );
+    }
+    // Snapshots, write intents, and retained versions are device RAM:
+    // recovery must come up with none of them.
+    assert_eq!(
+        dev.inner().active_snapshots(),
+        0,
+        "snapshot survived power loss"
+    );
+    assert_eq!(
+        dev.inner().xl2p().intent_pages(),
+        0,
+        "write intent survived"
+    );
+    assert_eq!(dev.inner().xl2p().retained_versions(), 0, "chain survived");
+}

@@ -25,7 +25,7 @@ use xftl_db::record::{
 use xftl_db::{btree, Value};
 use xftl_flash::{FaultKind, FaultPlan, FaultTrigger, FlashChip, FlashConfig, SimClock};
 use xftl_fs::{FileSystem, FsConfig, JournalMode};
-use xftl_ftl::{BlockDevice, PageMappedFtl, TxBlockDevice, TxFlashFtl};
+use xftl_ftl::{BlockDevice, DevError, PageMappedFtl, TxBlockDevice, TxFlashFtl};
 
 /// One generator per (family, case): fully determined by the pair, so any
 /// failing case replays from its printed seed alone.
@@ -951,5 +951,258 @@ fn sql_engine_matches_model() {
         let mut db = Connection::open(fs, "prop.db", DbJournalMode::Off).unwrap();
         let rows = db.query("SELECT id, v FROM t ORDER BY id").unwrap();
         assert_eq!(&rows, &expect, "case {case}");
+    }
+}
+
+// --- family 11: MVCC concurrent schedules vs the sequential model ---------------
+
+/// One step of a random concurrent schedule. Every transactional tid is
+/// opened with `begin` (a snapshot transaction); plain writes provide
+/// the non-transactional traffic that must conflict overlapping
+/// snapshot writers.
+#[derive(Debug, Clone)]
+enum MvccOp {
+    Begin { tid: u64 },
+    Write { tid: u64, lpn: u64, byte: u8 },
+    PlainWrite { lpn: u64, byte: u8 },
+    Commit { tid: u64 },
+    CommitSubmit { tid: u64 },
+    CommitWait,
+    Abort { tid: u64 },
+    Flush,
+    Crash,
+}
+
+/// Generates a schedule with 2–4 concurrently open snapshot writers.
+/// Tids are never reused, so each `begin` opens a fresh transaction and
+/// every commit outcome is attributable to exactly one snapshot.
+fn rand_mvcc_ops(rng: &mut StdRng) -> Vec<MvccOp> {
+    let n = rng.gen_range(40..100);
+    let mut ops = Vec::with_capacity(n);
+    let mut active: Vec<u64> = Vec::new();
+    let mut next_tid = 1u64;
+    for _ in 0..n {
+        let roll = rng.gen_range(0u32..100);
+        if roll < 22 {
+            if active.len() < 4 {
+                ops.push(MvccOp::Begin { tid: next_tid });
+                active.push(next_tid);
+                next_tid += 1;
+            }
+        } else if roll < 52 {
+            if let Some(i) = (!active.is_empty()).then(|| rng.gen_range(0..active.len())) {
+                ops.push(MvccOp::Write {
+                    tid: active[i],
+                    lpn: rng.gen_range(0u64..16),
+                    byte: rng.gen_range(1u8..=250),
+                });
+            }
+        } else if roll < 62 {
+            ops.push(MvccOp::PlainWrite {
+                lpn: rng.gen_range(0u64..16),
+                byte: rng.gen_range(1u8..=250),
+            });
+        } else if roll < 78 {
+            if let Some(i) = (!active.is_empty()).then(|| rng.gen_range(0..active.len())) {
+                let tid = active.swap_remove(i);
+                ops.push(if rng.gen_bool(0.5) {
+                    MvccOp::Commit { tid }
+                } else {
+                    MvccOp::CommitSubmit { tid }
+                });
+            }
+        } else if roll < 84 {
+            ops.push(MvccOp::CommitWait);
+        } else if roll < 91 {
+            if let Some(i) = (!active.is_empty()).then(|| rng.gen_range(0..active.len())) {
+                let tid = active.swap_remove(i);
+                ops.push(MvccOp::Abort { tid });
+            }
+        } else if roll < 96 {
+            ops.push(MvccOp::Flush);
+        } else {
+            ops.push(MvccOp::Crash);
+            active.clear();
+        }
+    }
+    ops
+}
+
+/// MVCC schedules match a sequential model with snapshot views and a
+/// page change-clock: a snapshot transaction reads its `begin`-time
+/// image (own writes excepted), commits succeed iff no written page
+/// changed after the snapshot (first-committer-wins, predicted
+/// *exactly*), losers roll back completely, and crashes keep the durable
+/// image plus a staged prefix while every snapshot dies with device RAM.
+#[test]
+fn xftl_mvcc_schedules_match_model() {
+    for case in 0..40u64 {
+        let mut rng = case_rng(11, case);
+        let ops = rand_mvcc_ops(&mut rng);
+        let clock = SimClock::new();
+        let chip = FlashChip::new(FlashConfig::tiny(40), clock);
+        let mut dev = x_format(chip, 24, 64);
+        let ps = dev.page_size();
+        // The sequential model: visible/durable images and the staged
+        // split-phase records as in family 7, plus the MVCC bookkeeping —
+        // a monotone change-clock per page, each open snapshot's clock
+        // value, and its frozen view of the visible image.
+        let mut visible: HashMap<u64, u8> = HashMap::new();
+        let mut durable: HashMap<u64, u8> = HashMap::new();
+        let mut staged_model: Vec<HashMap<u64, u8>> = Vec::new();
+        let mut outstanding = Vec::new();
+        let mut pending: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
+        let mut clock_m = 0u64;
+        let mut page_clock: HashMap<u64, u64> = HashMap::new();
+        let mut snaps: HashMap<u64, u64> = HashMap::new();
+        let mut views: HashMap<u64, HashMap<u64, u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                MvccOp::Begin { tid } => {
+                    dev.begin(*tid).unwrap();
+                    snaps.insert(*tid, clock_m);
+                    views.insert(*tid, visible.clone());
+                }
+                MvccOp::Write { tid, lpn, byte } => {
+                    dev.write_tx(*tid, *lpn, &vec![*byte; ps]).unwrap();
+                    pending.entry(*tid).or_default().insert(*lpn, *byte);
+                }
+                MvccOp::PlainWrite { lpn, byte } => {
+                    dev.write(*lpn, &vec![*byte; ps]).unwrap();
+                    if staged_model.iter().any(|rec| rec.contains_key(lpn)) {
+                        for rec in staged_model.drain(..) {
+                            durable.extend(rec);
+                        }
+                    }
+                    visible.insert(*lpn, *byte);
+                    durable.insert(*lpn, *byte);
+                    clock_m += 1;
+                    page_clock.insert(*lpn, clock_m);
+                }
+                MvccOp::Commit { tid } => {
+                    let writes = pending.remove(tid).unwrap_or_default();
+                    let snap = snaps.remove(tid).unwrap_or(u64::MAX);
+                    views.remove(tid);
+                    // First-committer-wins, predicted exactly. A
+                    // read-only snapshot never validates (durable by
+                    // vacuity).
+                    let conflict = !writes.is_empty()
+                        && writes
+                            .keys()
+                            .any(|l| page_clock.get(l).copied().unwrap_or(0) > snap);
+                    if conflict {
+                        assert_eq!(
+                            dev.commit(*tid),
+                            Err(DevError::Conflict),
+                            "case {case}: stale writer admitted at {op:?}"
+                        );
+                    } else {
+                        dev.commit(*tid)
+                            .unwrap_or_else(|e| panic!("case {case}: {op:?} refused: {e:?}"));
+                        if !writes.is_empty() {
+                            for rec in staged_model.drain(..) {
+                                durable.extend(rec);
+                            }
+                        }
+                        for (lpn, byte) in writes {
+                            visible.insert(lpn, byte);
+                            durable.insert(lpn, byte);
+                            clock_m += 1;
+                            page_clock.insert(lpn, clock_m);
+                        }
+                    }
+                }
+                MvccOp::CommitSubmit { tid } => {
+                    let writes = pending.remove(tid).unwrap_or_default();
+                    let snap = snaps.remove(tid).unwrap_or(u64::MAX);
+                    views.remove(tid);
+                    let conflict = !writes.is_empty()
+                        && writes
+                            .keys()
+                            .any(|l| page_clock.get(l).copied().unwrap_or(0) > snap);
+                    if conflict {
+                        assert_eq!(
+                            dev.commit_submit(*tid).map(|_| ()),
+                            Err(DevError::Conflict),
+                            "case {case}: stale writer admitted at {op:?}"
+                        );
+                    } else {
+                        let t = dev.commit_submit(*tid).unwrap();
+                        outstanding.push(t);
+                        for (lpn, byte) in &writes {
+                            visible.insert(*lpn, *byte);
+                            clock_m += 1;
+                            page_clock.insert(*lpn, clock_m);
+                        }
+                        if !t.is_immediate() {
+                            staged_model.push(writes);
+                        }
+                    }
+                }
+                MvccOp::CommitWait => {
+                    if let Some(t) = outstanding.pop() {
+                        dev.commit_wait(t).unwrap();
+                        if !t.is_immediate() {
+                            for rec in staged_model.drain(..) {
+                                durable.extend(rec);
+                            }
+                        }
+                    }
+                }
+                MvccOp::Abort { tid } => {
+                    dev.abort(*tid).unwrap();
+                    pending.remove(tid);
+                    snaps.remove(tid);
+                    views.remove(tid);
+                }
+                MvccOp::Flush => {
+                    dev.flush().unwrap();
+                    for rec in staged_model.drain(..) {
+                        durable.extend(rec);
+                    }
+                }
+                MvccOp::Crash => {
+                    dev = x_crash(dev, 64);
+                    pending.clear();
+                    outstanding.clear();
+                    snaps.clear();
+                    views.clear();
+                    durable = resolve_crash_world(&mut dev, &durable, &staged_model, case);
+                    staged_model.clear();
+                    visible = durable.clone();
+                    // Pre-crash stamps are all <= clock_m, so no snapshot
+                    // begun after recovery can conflict on them — exactly
+                    // the device's reset commit-sequence semantics.
+                }
+            }
+            // The committed view matches the model at every step…
+            let mut buf = vec![0u8; ps];
+            for lpn in 0..16u64 {
+                dev.read(lpn, &mut buf).unwrap();
+                let expect = visible.get(&lpn).copied().unwrap_or(0);
+                assert_eq!(buf[0], expect, "case {case}: lpn {lpn} after {op:?}");
+            }
+            // …and every open snapshot sees its own writes over its
+            // frozen begin-time view, never the live image.
+            for (tid, view) in &views {
+                for lpn in 0..16u64 {
+                    let expect = pending
+                        .get(tid)
+                        .and_then(|m| m.get(&lpn))
+                        .or_else(|| view.get(&lpn))
+                        .copied()
+                        .unwrap_or(0);
+                    dev.read_tx(*tid, lpn, &mut buf).unwrap();
+                    assert_eq!(
+                        buf[0], expect,
+                        "case {case}: snapshot tid {tid} lpn {lpn} after {op:?}"
+                    );
+                }
+            }
+        }
+        // Final crash: durable state plus a staged prefix survives, and
+        // every open snapshot is gone.
+        let mut dev = x_crash(dev, 64);
+        resolve_crash_world(&mut dev, &durable, &staged_model, case);
     }
 }

@@ -123,6 +123,36 @@ pub fn pipeline_gate(fresh: &BenchReport) -> Vec<String> {
     violations
 }
 
+/// The concurrent-writer gate: the MVCC claim itself must hold in the
+/// fresh report — four disjoint snapshot writers committing through the
+/// split-phase pipeline must out-commit a single writer. A regression
+/// that serializes snapshot commits (validation taking a global flush,
+/// say) would leave single-writer numbers identical to the baseline, so
+/// only the direct w1-vs-w4 comparison catches it.
+pub fn concurrent_gate(fresh: &BenchReport) -> Vec<String> {
+    let get = |name: &str| {
+        fresh
+            .metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    };
+    let (shallow, deep) = (
+        "concurrent.w1.disjoint_commit_tps",
+        "concurrent.w4.disjoint_commit_tps",
+    );
+    match (get(shallow), get(deep)) {
+        (Some(w1), Some(w4)) if w4 <= w1 => vec![format!(
+            "concurrent-writer win lost: `{deep}` {w4:.0} <= `{shallow}` {w1:.0}"
+        )],
+        (None, _) | (_, None) => vec![format!(
+            "concurrent sweep metrics missing (`{shallow}` / `{deep}`) — \
+             concurrent gate cannot run"
+        )],
+        _ => Vec::new(),
+    }
+}
+
 fn load_report(path: &Path) -> Result<BenchReport, String> {
     let text =
         fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -142,6 +172,7 @@ pub fn bench_check(fresh_path: &Path, baseline_path: &Path) -> Result<usize, Str
     }
     let mut violations = compare_reports(&baseline, &fresh);
     violations.extend(pipeline_gate(&fresh));
+    violations.extend(concurrent_gate(&fresh));
     for v in &violations {
         println!("bench-check: {v}");
     }
@@ -245,5 +276,23 @@ mod tests {
         // Dropping the sweep entirely must not silently pass.
         let missing = report_with(&[("channels.qd1.xftl_iops", 700.0)]);
         assert_eq!(pipeline_gate(&missing).len(), 2);
+    }
+
+    #[test]
+    fn concurrent_gate_demands_a_multi_writer_win() {
+        let winning = report_with(&[
+            ("concurrent.w1.disjoint_commit_tps", 900.0),
+            ("concurrent.w4.disjoint_commit_tps", 2100.0),
+        ]);
+        assert!(concurrent_gate(&winning).is_empty());
+        // Serialized snapshot commits (w4 == w1) are a regression.
+        let flat = report_with(&[
+            ("concurrent.w1.disjoint_commit_tps", 900.0),
+            ("concurrent.w4.disjoint_commit_tps", 900.0),
+        ]);
+        assert_eq!(concurrent_gate(&flat).len(), 1);
+        // Dropping the sweep must not silently pass.
+        let missing = report_with(&[("concurrent.w1.disjoint_commit_tps", 900.0)]);
+        assert_eq!(concurrent_gate(&missing).len(), 1);
     }
 }
