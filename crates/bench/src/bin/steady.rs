@@ -1,0 +1,20 @@
+//! GC steady-state soak for the demand-paged FTL: fill, then overwrite
+//! under Zipfian skew until garbage collection stabilizes, comparing
+//! greedy vs cost-benefit victim selection at a bounded mapping-cache
+//! budget. Writes `BENCH_steady.json` next to the text table. The CI
+//! soak lane runs `--quick` (the 100× device); `--smoke` rides the PR
+//! bench-smoke job; the default scale is the 64 GB-class device.
+use xftl_bench::experiments::steady_exp::{steady, SteadyScale};
+use xftl_bench::{metrics, write_report, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    metrics::reset();
+    let spec = match scale {
+        RunScale::Full => SteadyScale::full(),
+        RunScale::Quick => SteadyScale::quick(),
+        RunScale::Smoke => SteadyScale::smoke(),
+    };
+    print!("{}", steady(&spec));
+    write_report("steady", scale);
+}

@@ -7,5 +7,6 @@ pub mod concurrent_exp;
 pub mod fault_exp;
 pub mod fio_exp;
 pub mod recovery_exp;
+pub mod steady_exp;
 pub mod synthetic_exp;
 pub mod tpcc_exp;

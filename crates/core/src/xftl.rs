@@ -207,7 +207,7 @@ impl XFtl {
         }
         merged.sort_by_key(|&(seq, _, _)| seq);
         for (_, lpn, ppa) in merged {
-            base.apply_event(lpn, ppa);
+            base.apply_event(lpn, ppa)?;
         }
         // Persist the recovered state and retire the old X-L2P table; the
         // fresh checkpoint now owns every committed fold.
@@ -293,15 +293,15 @@ impl XFtl {
             for (lpn, ppa) in folds {
                 let old_seq = self.table.l2p_seq_of(lpn);
                 if self.snapshot_sees(old_seq) {
-                    let old = self.base.l2p_get(lpn);
+                    let old = self.base.l2p_get(lpn)?;
                     if old != Some(ppa) {
                         self.table.retain_version(lpn, old_seq, old);
                         self.base.stats_mut().versions_retained += 1;
-                        let displaced = self.base.fold_mapping_retain(lpn, ppa);
+                        let displaced = self.base.fold_mapping_retain(lpn, ppa)?;
                         debug_assert_eq!(displaced, old);
                     }
                 } else {
-                    self.base.fold_mapping(lpn, ppa);
+                    self.base.fold_mapping(lpn, ppa)?;
                 }
                 self.table.note_l2p_version(lpn, seq);
             }
@@ -374,22 +374,23 @@ impl XFtl {
     /// `lpn` differs from the freshly-written `ppa`, retains it in the
     /// version chain before pointing the L2P at the new copy. The plain
     /// write/trim path under active snapshots.
-    fn retain_and_fold(&mut self, lpn: Lpn, ppa: xftl_flash::Ppa) {
+    fn retain_and_fold(&mut self, lpn: Lpn, ppa: xftl_flash::Ppa) -> Result<()> {
         self.commit_seq += 1;
         let seq = self.commit_seq;
         let old_seq = self.table.l2p_seq_of(lpn);
         if self.snapshot_sees(old_seq) {
-            let old = self.base.l2p_get(lpn);
+            let old = self.base.l2p_get(lpn)?;
             if old != Some(ppa) {
                 self.table.retain_version(lpn, old_seq, old);
                 self.base.stats_mut().versions_retained += 1;
-                let displaced = self.base.fold_mapping_retain(lpn, ppa);
+                let displaced = self.base.fold_mapping_retain(lpn, ppa)?;
                 debug_assert_eq!(displaced, old);
             }
         } else {
-            self.base.fold_mapping(lpn, ppa);
+            self.base.fold_mapping(lpn, ppa)?;
         }
         self.table.note_plain_version(lpn, seq);
+        Ok(())
     }
 
     /// Plain committed write, snapshot-aware: with no snapshots active it
@@ -400,7 +401,7 @@ impl XFtl {
             self.base.write_committed(lpn, buf, &mut self.table)?;
         } else {
             let ppa = self.base.write_cow(lpn, 0, buf, &mut self.table)?;
-            self.retain_and_fold(lpn, ppa);
+            self.retain_and_fold(lpn, ppa)?;
         }
         // The overwrite's own data program is now the page's durable
         // record; a stale committed entry left behind would resurrect
@@ -416,7 +417,7 @@ impl XFtl {
                 .write_committed_queued(lpn, buf, &mut self.table)?
         } else {
             let (ppa, done) = self.base.write_cow_queued(lpn, 0, buf, &mut self.table)?;
-            self.retain_and_fold(lpn, ppa);
+            self.retain_and_fold(lpn, ppa)?;
             done
         };
         self.table.supersede_committed(lpn, 0);

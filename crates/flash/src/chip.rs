@@ -123,20 +123,65 @@ impl Oob {
     }
 }
 
+/// Stored contents of a programmed page.
+///
+/// Multi-gigabyte simulated devices would not fit in host RAM if every page
+/// kept a full byte buffer, so constant-fill pages (the common case in
+/// synthetic workloads) compress to a single byte. The representation is
+/// invisible above this layer: reads always materialise the full buffer,
+/// and the fault model never mutates stored contents (bit flips surface in
+/// the ECC path, not the cells), so compression cannot change observable
+/// behaviour.
+#[derive(Debug, Clone)]
+enum PageData {
+    /// Every byte of the page equals the given value.
+    Fill(u8),
+    /// Arbitrary contents.
+    Bytes(Box<[u8]>),
+}
+
+impl PageData {
+    fn capture(data: &[u8]) -> Self {
+        match data.first() {
+            Some(&b) if data.iter().all(|&x| x == b) => PageData::Fill(b),
+            _ => PageData::Bytes(data.into()),
+        }
+    }
+
+    fn copy_to(&self, buf: &mut [u8]) {
+        match self {
+            PageData::Fill(b) => buf.fill(*b),
+            PageData::Bytes(data) => buf.copy_from_slice(data),
+        }
+    }
+}
+
+/// Payload of a programmed page, boxed so the per-page footprint of the
+/// (mostly erased) array stays one machine word plus discriminant.
+#[derive(Debug, Clone)]
+struct ProgrammedPage {
+    data: PageData,
+    oob: Oob,
+}
+
 /// State of one physical page.
 #[derive(Debug, Clone)]
 enum Page {
     Erased,
-    Programmed {
-        data: Box<[u8]>,
-        oob: Oob,
-    },
+    Programmed(Box<ProgrammedPage>),
     /// Power was lost mid-program; contents are garbage and the embedded
     /// checksum fails. Reads return [`FlashError::TornPage`].
     Torn,
 }
 
+const ERASED_PAGE: Page = Page::Erased;
+
 /// One erase block.
+///
+/// `pages` grows lazily: programming is strictly in-order, so the vector
+/// only ever holds the prefix of pages written since the last erase, and an
+/// index at or past `pages.len()` is erased by construction. This keeps an
+/// erased multi-terabit array at essentially zero host-memory cost.
 #[derive(Debug, Clone)]
 struct Block {
     pages: Vec<Page>,
@@ -146,12 +191,25 @@ struct Block {
 }
 
 impl Block {
-    fn new(pages_per_block: usize) -> Self {
+    fn new(_pages_per_block: usize) -> Self {
         Block {
-            pages: vec![Page::Erased; pages_per_block],
+            pages: Vec::new(),
             write_point: 0,
             erase_count: 0,
         }
+    }
+
+    fn page(&self, idx: usize) -> &Page {
+        self.pages.get(idx).unwrap_or(&ERASED_PAGE)
+    }
+
+    /// Stores `page` at `idx`, padding any gap with erased pages (programs
+    /// are in-order, so in practice `idx == pages.len()`).
+    fn set_page(&mut self, idx: usize, page: Page) {
+        if idx >= self.pages.len() {
+            self.pages.resize_with(idx + 1, || Page::Erased);
+        }
+        self.pages[idx] = page;
     }
 }
 
@@ -546,10 +604,10 @@ impl FlashChip {
         } else {
             self.outstanding.push(sched.done);
         }
-        let (lpn, tid) = match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
+        let (lpn, tid) = match self.blocks[ppa.block as usize].page(ppa.page as usize) {
             Page::Erased => return Err(FlashError::ReadErased(ppa)),
             Page::Torn => return Err(FlashError::TornPage(ppa)),
-            Page::Programmed { oob, .. } => (oob.lpn, oob.tid),
+            Page::Programmed(p) => (p.oob.lpn, p.oob.tid),
         };
         self.recorder
             .record_span(OpClass::ChipRead, tid, lpn, t_entry, sched.done);
@@ -574,10 +632,10 @@ impl FlashChip {
                 }
             }
         }
-        match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
-            Page::Programmed { data, oob } => {
-                buf.copy_from_slice(data);
-                Ok((*oob, sched.done))
+        match self.blocks[ppa.block as usize].page(ppa.page as usize) {
+            Page::Programmed(p) => {
+                p.data.copy_to(buf);
+                Ok((p.oob, sched.done))
             }
             // Checked Programmed above; nothing mutates page state between.
             _ => Err(FlashError::ReadErased(ppa)),
@@ -631,10 +689,10 @@ impl FlashChip {
         self.recorder
             .record_span(OpClass::ChipOobRead, 0, 0, t_entry, sched.done);
         Ok(
-            match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
+            match self.blocks[ppa.block as usize].page(ppa.page as usize) {
                 Page::Erased => PageProbe::Erased,
                 Page::Torn => PageProbe::Torn,
-                Page::Programmed { oob, .. } => PageProbe::Programmed(*oob),
+                Page::Programmed(p) => PageProbe::Programmed(p.oob),
             },
         )
     }
@@ -657,7 +715,7 @@ impl FlashChip {
             });
         }
         let block = &self.blocks[ppa.block as usize];
-        match &block.pages[ppa.page as usize] {
+        match block.page(ppa.page as usize) {
             Page::Erased => {}
             _ => return Err(FlashError::ProgramOverwrite(ppa)),
         }
@@ -690,7 +748,7 @@ impl FlashChip {
             if fires {
                 self.dead = true;
                 let block = &mut self.blocks[ppa.block as usize];
-                block.pages[ppa.page as usize] = Page::Torn;
+                block.set_page(ppa.page as usize, Page::Torn);
                 block.write_point = ppa.page + 1;
                 self.stats.torn_pages += 1;
                 return Err(FlashError::PowerLost);
@@ -710,7 +768,7 @@ impl FlashChip {
                 self.stats.torn_pages += 1;
                 self.stats.fault_stall_ns += ecc.program_fail_ns;
                 let block = &mut self.blocks[ppa.block as usize];
-                block.pages[ppa.page as usize] = Page::Torn;
+                block.set_page(ppa.page as usize, Page::Torn);
                 block.write_point = ppa.page + 1;
                 if self.health[ppa.block as usize] == BlockHealth::Good {
                     self.health[ppa.block as usize] = BlockHealth::Suspect;
@@ -727,10 +785,13 @@ impl FlashChip {
         oob.seq = self.seq;
         self.seq += 1;
         let block = &mut self.blocks[ppa.block as usize];
-        block.pages[ppa.page as usize] = Page::Programmed {
-            data: data.into(),
-            oob,
-        };
+        block.set_page(
+            ppa.page as usize,
+            Page::Programmed(Box::new(ProgrammedPage {
+                data: PageData::capture(data),
+                oob,
+            })),
+        );
         block.write_point = ppa.page + 1;
         if sync {
             self.clock.advance_to(sched.done);
@@ -797,9 +858,8 @@ impl FlashChip {
                 None => false,
             };
         let b = &mut self.blocks[block as usize];
-        for p in &mut b.pages {
-            *p = Page::Erased;
-        }
+        b.pages.clear();
+        b.pages.shrink_to_fit();
         b.write_point = 0;
         b.erase_count += 1;
         if sync {
@@ -847,10 +907,30 @@ impl FlashChip {
     /// the introspection hook the `xftl-verify` oracle uses to audit the
     /// array between operations without perturbing the timing model.
     pub fn probe_silent(&self, ppa: Ppa) -> PageProbe {
-        match &self.blocks[ppa.block as usize].pages[ppa.page as usize] {
+        match self.blocks[ppa.block as usize].page(ppa.page as usize) {
             Page::Erased => PageProbe::Erased,
             Page::Torn => PageProbe::Torn,
-            Page::Programmed { oob, .. } => PageProbe::Programmed(*oob),
+            Page::Programmed(p) => PageProbe::Programmed(p.oob),
+        }
+    }
+
+    /// Reads a programmed page's contents and OOB without charging
+    /// simulated time or touching statistics, bypassing the fault model.
+    /// Like [`FlashChip::probe_silent`] this is **not** a host command: it
+    /// is the introspection hook auditors use to decode on-flash structures
+    /// (e.g. translation pages whose cache frame has been evicted) without
+    /// perturbing the timing model. Returns `None` unless the page is
+    /// programmed and `buf` matches the page size.
+    pub fn read_silent(&self, ppa: Ppa, buf: &mut [u8]) -> Option<Oob> {
+        if buf.len() != self.config.geometry.page_size {
+            return None;
+        }
+        match self.blocks.get(ppa.block as usize)?.page(ppa.page as usize) {
+            Page::Programmed(p) => {
+                p.data.copy_to(buf);
+                Some(p.oob)
+            }
+            _ => None,
         }
     }
 
@@ -872,7 +952,7 @@ impl FlashChip {
     /// True if the page has never been programmed since its last erase.
     pub fn is_erased(&self, ppa: Ppa) -> bool {
         matches!(
-            self.blocks[ppa.block as usize].pages[ppa.page as usize],
+            self.blocks[ppa.block as usize].page(ppa.page as usize),
             Page::Erased
         )
     }
@@ -1068,6 +1148,41 @@ mod tests {
         // Single-channel chip: all media time lands on channel 0.
         assert!(s.busy_channel_ns[0] > 0);
         assert_eq!(s.busy_channel_ns[1], 0);
+    }
+
+    #[test]
+    fn fill_and_mixed_contents_roundtrip() {
+        // Constant-fill pages compress internally; pages with mixed bytes
+        // do not. Both must read back exactly.
+        let mut c = chip();
+        let fill = page(&c, 0x5A);
+        let mut mixed = page(&c, 0);
+        for (i, b) in mixed.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        c.program(Ppa::new(0, 0), &fill, Oob::data(1)).unwrap();
+        c.program(Ppa::new(0, 1), &mixed, Oob::data(2)).unwrap();
+        let mut buf = page(&c, 0);
+        c.read(Ppa::new(0, 0), &mut buf).unwrap();
+        assert_eq!(buf, fill);
+        c.read(Ppa::new(0, 1), &mut buf).unwrap();
+        assert_eq!(buf, mixed);
+    }
+
+    #[test]
+    fn read_silent_sees_contents_without_time_or_stats() {
+        let mut c = chip();
+        let data = page(&c, 0x77);
+        let oob = c.program(Ppa::new(1, 0), &data, Oob::data(9)).unwrap();
+        let t = c.clock().now();
+        let stats = *c.stats();
+        let mut buf = page(&c, 0);
+        assert_eq!(c.read_silent(Ppa::new(1, 0), &mut buf), Some(oob));
+        assert_eq!(buf, data);
+        // Erased and torn pages yield None instead of an error.
+        assert_eq!(c.read_silent(Ppa::new(1, 1), &mut buf), None);
+        assert_eq!(c.clock().now(), t, "silent read must not charge time");
+        assert_eq!(c.stats(), &stats, "silent read must not touch stats");
     }
 
     #[test]

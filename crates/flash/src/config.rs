@@ -216,6 +216,51 @@ impl FlashConfigBuilder {
         }
     }
 
+    /// 100× the paper's 64 MB OpenSSD testbed: ~6.8 GB raw in 1 MB erase
+    /// blocks (8 KB pages × 128), spread over 8 channels × 2 ways with
+    /// S830-class timings. This is the CI soak-lane scale — big enough
+    /// that the mapping table cannot stay RAM-resident in a bounded cache,
+    /// small enough to reach GC steady state in minutes of host time.
+    pub fn scale_100x() -> Self {
+        FlashConfigBuilder {
+            config: FlashConfig {
+                geometry: FlashGeometry {
+                    channels: 8,
+                    ways: 2,
+                    ..FlashGeometry::openssd(6_800)
+                },
+                timings: FlashTimings::S830,
+            },
+        }
+    }
+
+    /// A 64 GB-class consumer drive: 16 KB pages × 256 pages/block (4 MB
+    /// erase blocks), 17,536 blocks ≈ 68.5 GB raw (~7% spare for GC
+    /// headroom over a 64 GB logical space), 8 channels × 4 ways. Only
+    /// feasible in host RAM because page contents fill-compress and the
+    /// demand-paged FTL keeps a bounded mapping cache.
+    pub fn scale_64g() -> Self {
+        FlashConfigBuilder {
+            config: FlashConfig {
+                geometry: FlashGeometry {
+                    page_size: 16 * 1024,
+                    pages_per_block: 256,
+                    blocks: 17_536,
+                    oob_bytes: 64,
+                    channels: 8,
+                    ways: 4,
+                },
+                timings: FlashTimings::S830,
+            },
+        }
+    }
+
+    /// A 256 GB-class drive: the [`scale_64g`](Self::scale_64g) geometry
+    /// with 4× the blocks (70,144 ≈ 274 GB raw).
+    pub fn scale_256g() -> Self {
+        Self::scale_64g().blocks(70_144)
+    }
+
     /// Sets the number of erase blocks (drive size).
     pub fn blocks(mut self, blocks: usize) -> Self {
         self.config.geometry.blocks = blocks;
@@ -310,6 +355,22 @@ mod tests {
         assert!(new.geometry.units() > old.geometry.units());
         assert_eq!(new.geometry.channels, 4);
         assert_eq!(new.geometry.ways, 2);
+    }
+
+    #[test]
+    fn scale_presets_hit_their_capacity_classes() {
+        let soak = FlashConfigBuilder::scale_100x().build();
+        let small = FlashConfig::openssd(64);
+        assert!(soak.geometry.capacity_bytes() >= 100 * small.geometry.capacity_bytes());
+        let g64 = FlashConfigBuilder::scale_64g().build();
+        assert!(g64.geometry.capacity_bytes() >= 64 << 30);
+        let g256 = FlashConfigBuilder::scale_256g().build();
+        assert!(g256.geometry.capacity_bytes() >= 256 << 30);
+        // All presets keep channel striping within the stats array bound.
+        for cfg in [soak, g64, g256] {
+            assert!(cfg.geometry.channels as usize <= crate::stats::MAX_CHANNELS);
+            assert!(cfg.geometry.units() > 1);
+        }
     }
 
     #[test]

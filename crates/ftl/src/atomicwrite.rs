@@ -74,7 +74,7 @@ impl AtomicWriteFtl {
     /// record vanish — the per-call all-or-nothing guarantee.
     pub fn recover(chip: FlashChip) -> Result<Self> {
         let (mut base, log) = FtlBase::recover(chip)?;
-        Self::replay(&mut base, &log);
+        Self::replay(&mut base, &log)?;
         base.checkpoint(&mut NoHook)?;
         Ok(AtomicWriteFtl {
             base,
@@ -83,7 +83,7 @@ impl AtomicWriteFtl {
         })
     }
 
-    fn replay(base: &mut FtlBase, log: &RecoveryLog) {
+    fn replay(base: &mut FtlBase, log: &RecoveryLog) -> Result<()> {
         // Sequence number of each group's commit record (records before
         // the checkpoint are not in the log; their groups are covered by
         // the checkpointed L2P).
@@ -117,8 +117,9 @@ impl AtomicWriteFtl {
         }
         folds.sort_by_key(|&(seq, _, _)| seq);
         for (_, lpn, ppa) in folds {
-            base.apply_event(lpn, ppa);
+            base.apply_event(lpn, ppa)?;
         }
+        Ok(())
     }
 
     /// Writes `pages` as one atomic group: every page lands, then a commit
@@ -164,7 +165,7 @@ impl AtomicWriteFtl {
         self.base.counters_mut().commits += 1;
         let pending = std::mem::take(&mut self.hook.pending);
         for (lpn, ppa) in pending {
-            self.base.fold_mapping(lpn, ppa);
+            self.base.fold_mapping(lpn, ppa)?;
         }
         self.release_records_if_needed()?;
         Ok(group)

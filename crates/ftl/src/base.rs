@@ -1,5 +1,6 @@
-//! Shared FTL machinery: block allocation, the in-RAM L2P table, greedy
-//! garbage collection, checkpointing, and the crash-recovery scan.
+//! Shared FTL machinery: block allocation, the demand-paged L2P mapping
+//! cache, garbage collection (greedy, FIFO, or cost-benefit), hot/cold
+//! write-frontier separation, checkpointing, and the crash-recovery scan.
 //!
 //! Both device personalities in this reproduction are thin assemblies of
 //! this engine:
@@ -25,12 +26,35 @@
 //! exceeds the checkpoint's, in sequence order — transactional pages
 //! (OOB `tid != 0`) are *not* replayed here; the X-FTL layer resolves them
 //! through the persisted X-L2P table.
+//!
+//! ## Demand-paged mapping
+//!
+//! The L2P table itself is no longer pinned in RAM. It is split into
+//! page-sized *slabs*; the authoritative copy of each slab is its
+//! translation page on flash (`PageKind::Map`, OOB `lpn` = slab index),
+//! and a [`MappingCache`] keeps a bounded set of hot slabs resident with
+//! CLOCK eviction. A lookup that misses demand-fetches the slab (a charged
+//! flash read — translation traffic is a first-class cost, exactly the
+//! DFTL trade); evicting a dirty slab batches up to
+//! [`MAP_FLUSH_BATCH`] dirty frames into translation-page programs under
+//! a *single* checkpoint-root write. That root reuses the old `ckpt_seq`:
+//! replaying post-checkpoint events over newer slab content is idempotent
+//! (folds are last-writer-wins in sequence order), so an eviction flush
+//! needs no full checkpoint to be crash-safe.
+//!
+//! Small devices keep every slab pointer inline in the root page; once
+//! the pointer table outgrows it, the root switches to a paged *global
+//! translation directory* (GTD): root → GTD pages (`PageKind::Map` with
+//! OOB `aux` = [`meta::GTD_AUX`], `lpn` = GTD page index) → translation
+//! pages. Formats choose the mode from geometry alone, so recovery can
+//! recompute it without trusting flash contents.
 
 use std::collections::VecDeque;
 
 use xftl_flash::{FlashChip, FlashError, Nanos, Oob, PageKind, PageProbe, Ppa, SimClock};
-use xftl_trace::{OpClass, Recorder, Telemetry};
+use xftl_trace::{HeatSketch, OpClass, Recorder, Telemetry};
 
+use crate::cmt::MappingCache;
 use crate::dev::{DevCounters, Lpn, Tid};
 use crate::error::{DevError, Result};
 use crate::meta::{self, MetaPage};
@@ -46,7 +70,10 @@ const META_BLOCKS: [u32; 2] = [0, 1];
 /// First block available for data/mapping allocation.
 const FIRST_POOL_BLOCK: u32 = 2;
 
-/// GC starts when the free-block pool drops below this.
+/// GC starts when the free-block pool drops below the low-water mark.
+/// This floor is the single-channel value; multi-channel devices raise
+/// it (see [`FtlBase::gc_low_water`]) because one GC pass can open a
+/// cold write frontier on every channel straight out of the pool.
 const GC_LOW_WATER: usize = 3;
 
 /// Minimum spare physical blocks the constructor insists on beyond the
@@ -64,6 +91,23 @@ const PROGRAM_RETRY_LIMIT: usize = 8;
 /// re-read usually decodes; a persistently dead page still fails after
 /// the retries.
 const READ_RETRY_LIMIT: usize = 4;
+
+/// Maximum dirty mapping slabs coalesced into one eviction flush. Each
+/// flush pays one checkpoint-root program regardless of how many
+/// translation pages ride along, so batching amortizes the root cost;
+/// the bound keeps a single host write's worst-case latency predictable.
+pub const MAP_FLUSH_BATCH: usize = 8;
+
+/// Write-heat counter slots for hot/cold separation (a one-row sketch;
+/// see [`xftl_trace::HeatSketch`]). Fixed, so RAM stays bounded at any
+/// device scale.
+const HEAT_SLOTS: usize = 1 << 16;
+
+/// Writes between heat-counter halvings.
+const HEAT_HALF_LIFE: u64 = 1 << 17;
+
+/// Heat estimate at or above which a data LPN writes to the hot frontier.
+const HOT_THRESHOLD: u8 = 2;
 
 /// Reads `ppa` with bounded re-issue on uncorrectable ECC errors,
 /// returning the final result and the number of retries consumed. Free
@@ -92,12 +136,21 @@ fn read_with_retries(
 ///   re-copied every cycle, so the mean victim validity tracks the
 ///   drive's overall utilization — this is exactly the "controlled aging"
 ///   knob of the paper's §6.3.1 (GC validity 30/50/70 %).
+/// * `CostBenefit` scores every candidate `(1 − u) / (1 + u) × age`
+///   (u = valid fraction, age = programs since the block last took a
+///   write) and collects the best scorer — the classic cleaning policy of
+///   Kawaguchi et al., which beats greedy under skewed workloads because
+///   it will eventually pick an old, half-valid cold block over a young,
+///   slightly-emptier hot block that is about to self-invalidate anyway.
+///   Data and mapping blocks are scored as separate victim classes, so
+///   translation-page churn cannot starve data cleaning (or vice versa).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[allow(missing_docs)] // the two policies are described above
+#[allow(missing_docs)] // the policies are described above
 pub enum GcPolicy {
     #[default]
     Greedy,
     Fifo,
+    CostBenefit,
 }
 
 /// Reserved transaction id stamped on GC copies of snapshot-retained
@@ -188,11 +241,19 @@ pub struct RecoveryLog {
 pub struct FtlBase {
     chip: FlashChip,
     logical_pages: u64,
-    l2p: Vec<Option<Ppa>>,
-    /// Flash home of each persisted L2P slab.
+    /// Residency and dirtiness of the demand-paged L2P (the CMT). The
+    /// authoritative mapping lives in translation pages on flash.
+    cmt: MappingCache,
+    /// Flash home of each persisted L2P slab (the GTD contents).
     map_locs: Vec<Option<Ppa>>,
-    /// Slabs whose in-RAM entries differ from their persisted copy.
-    map_dirty: Vec<bool>,
+    /// Paged-GTD mode: flash home of each GTD page (`None` until first
+    /// written) and which GTD pages have stale persisted copies. Both
+    /// empty in inline mode.
+    gtd_locs: Vec<Option<Ppa>>,
+    gtd_dirty: Vec<bool>,
+    /// True when the slab-pointer table outgrows the root page and rides
+    /// in GTD pages instead. Decided by geometry at format/recover.
+    gtd_paged: bool,
     /// Locations of the persisted X-L2P table pages (owned by the X-FTL
     /// layer; stored here because they ride in the meta page and are
     /// GC-relocatable).
@@ -202,6 +263,9 @@ pub struct FtlBase {
     block_class: Vec<u8>,
     /// Victim-selection policy.
     gc_policy: GcPolicy,
+    /// Sequence number of the most recent program into each block
+    /// (cost-benefit "age" reference; 0 = never programmed this boot).
+    block_last_seq: Vec<u64>,
     /// Data blocks in allocation order (FIFO victim cursor).
     alloc_order: VecDeque<u32>,
     /// Open write blocks for host data pages, one per flash channel, so
@@ -211,6 +275,16 @@ pub struct FtlBase {
     frontiers_data: Vec<Option<u32>>,
     /// Round-robin cursor over `frontiers_data`.
     data_cursor: usize,
+    /// Cold-data frontiers (GC copies and low-heat LPNs), one per
+    /// channel, used only when hot/cold separation is enabled.
+    frontiers_cold: Vec<Option<u32>>,
+    /// Round-robin cursor over `frontiers_cold`.
+    cold_cursor: usize,
+    /// Hot/cold separation switch (off by default: the paper's figures
+    /// run a single frontier per channel).
+    hot_cold: bool,
+    /// Per-LPN recent write frequency, feeding hot/cold placement.
+    heat: HeatSketch,
     /// Open write block for mapping-class pages (L2P slabs, X-L2P tables,
     /// commit records). Real FTLs — the OpenSSD included — segregate map
     /// blocks from data blocks; mixing them would let short-lived mapping
@@ -245,15 +319,26 @@ impl FtlBase {
     pub fn format(mut chip: FlashChip, logical_pages: u64) -> Result<FtlBase> {
         let geo = chip.config().geometry;
         let slabs = (logical_pages as usize).div_ceil(meta::entries_per_slab(geo.page_size));
-        // Reserve pointer slots for up to 8 X-L2P table pages.
+        // Reserve pointer slots for up to 8 X-L2P table pages. When the
+        // slab pointers themselves no longer fit inline, the root switches
+        // to paged-GTD mode and only the (much smaller) GTD pointer table
+        // must fit.
+        let gtd_paged = slabs + 8 > MetaPage::max_pointers(geo.page_size);
+        let gtd_pages = if gtd_paged {
+            meta::gtd_page_count(slabs, geo.page_size)
+        } else {
+            0
+        };
         assert!(
-            slabs + 8 <= MetaPage::max_pointers(geo.page_size),
-            "L2P needs {slabs} slabs; one meta page indexes at most {}",
+            if gtd_paged { gtd_pages } else { slabs } + 8 <= MetaPage::max_pointers(geo.page_size),
+            "mapping directory needs {gtd_pages}/{slabs} pointers; one meta page indexes at \
+             most {}",
             MetaPage::max_pointers(geo.page_size)
         );
         let data_blocks = geo.blocks.saturating_sub(META_BLOCKS.len());
-        let needed_blocks =
-            (logical_pages as usize + slabs).div_ceil(geo.pages_per_block) + MIN_SPARE_BLOCKS;
+        let needed_blocks = (logical_pages as usize + slabs + gtd_pages)
+            .div_ceil(geo.pages_per_block)
+            + MIN_SPARE_BLOCKS;
         assert!(
             data_blocks >= needed_blocks,
             "geometry too small: {data_blocks} data blocks < {needed_blocks} required \
@@ -271,18 +356,36 @@ impl FtlBase {
         for b in chip.retired_blocks() {
             bad_blocks[b as usize] = true;
         }
+        // A fresh format leaves every slab resident: no translation pages
+        // exist yet, and every frame is the all-unmapped slab (clean —
+        // eviction without a persisted copy just drops it, and a demand
+        // fetch with no `map_locs` entry reinstalls the same all-`None`
+        // frame). Budgeted residency starts when the wrapper calls
+        // [`FtlBase::set_map_cache_budget`].
+        let eps = meta::entries_per_slab(geo.page_size);
+        let mut cmt = MappingCache::new(slabs, eps, None);
+        for slab in 0..slabs {
+            cmt.install(slab, vec![None; eps].into_boxed_slice(), false);
+        }
         let mut base = FtlBase {
             logical_pages,
-            l2p: vec![None; logical_pages as usize],
+            cmt,
             map_locs: vec![None; slabs],
-            map_dirty: vec![false; slabs],
+            gtd_locs: vec![None; gtd_pages],
+            gtd_dirty: vec![true; gtd_pages],
+            gtd_paged,
             xl2p_roots: Vec::new(),
             valid: ValidityMap::new(geo.blocks, geo.pages_per_block),
             block_class: vec![0; geo.blocks],
             gc_policy: GcPolicy::Greedy,
+            block_last_seq: vec![0; geo.blocks],
             alloc_order: VecDeque::new(),
             frontiers_data: vec![None; geo.channels.max(1) as usize],
             data_cursor: 0,
+            frontiers_cold: vec![None; geo.channels.max(1) as usize],
+            cold_cursor: 0,
+            hot_cold: false,
+            heat: HeatSketch::new(HEAT_SLOTS, HEAT_HALF_LIFE),
             frontier_map: None,
             free_blocks: (FIRST_POOL_BLOCK..geo.blocks as u32)
                 .filter(|&b| !bad_blocks[b as usize])
@@ -413,21 +516,71 @@ impl FtlBase {
         self.chip
     }
 
-    /// Current committed mapping of `lpn`.
-    pub fn l2p_get(&self, lpn: Lpn) -> Option<Ppa> {
-        self.l2p[lpn as usize]
+    /// Current committed mapping of `lpn`. Demand-fetches the covering
+    /// slab if it is not resident (a charged flash read, possibly with an
+    /// eviction flush first) — translation traffic is a first-class cost.
+    pub fn l2p_get(&mut self, lpn: Lpn) -> Result<Option<Ppa>> {
+        let slab = self.cmt.slab_of_lpn(lpn);
+        self.ensure_resident(slab)?;
+        Ok(self.cmt.get(lpn).unwrap_or(None))
+    }
+
+    /// Side-effect-free mapping lookup for auditors and oracles: resident
+    /// slabs answer from RAM (no referenced-bit update); non-resident
+    /// slabs are answered by decoding the persisted translation page via
+    /// the chip's silent read — no clock, stats, or fault-plan activity.
+    pub fn l2p_peek(&self, lpn: Lpn) -> Option<Ppa> {
+        if lpn >= self.logical_pages {
+            return None;
+        }
+        if let Some(entry) = self.cmt.peek(lpn) {
+            return entry;
+        }
+        let slab = self.cmt.slab_of_lpn(lpn);
+        let loc = self.map_locs.get(slab).copied().flatten()?;
+        let mut buf = vec![0u8; self.page_size()];
+        self.chip.read_silent(loc, &mut buf)?;
+        let entries = meta::decode_slab_entries(&buf, self.pages_per_block());
+        entries
+            .get((lpn as usize) % self.cmt.entries_per_slab())
+            .copied()
+            .flatten()
+    }
+
+    /// The mapping cache's residency bookkeeping (budget, hit counters
+    /// live in [`FtlStats`]).
+    pub fn map_cache(&self) -> &MappingCache {
+        &self.cmt
+    }
+
+    /// Bounds the mapping cache to `budget` resident slabs (`None` =
+    /// unbounded), evicting down immediately. Dirty victims are flushed
+    /// to translation pages first, so this is safe at any point.
+    pub fn set_map_cache_budget(&mut self, budget: Option<usize>) -> Result<()> {
+        self.cmt.set_budget(budget);
+        while let Some(b) = self.cmt.budget() {
+            if self.cmt.resident() <= b {
+                break;
+            }
+            if !self.evict_one()? {
+                break;
+            }
+        }
+        Ok(())
     }
 
     /// Number of free (fully erased, pooled) blocks.
     pub fn free_block_count(&self) -> usize {
         self.free_blocks.len()
             + self.frontiers_data.iter().filter(|f| f.is_some()).count()
+            + self.frontiers_cold.iter().filter(|f| f.is_some()).count()
             + usize::from(self.frontier_map.is_some())
     }
 
-    /// True if any L2P slab has un-persisted changes.
+    /// True if any L2P slab has un-persisted changes. Non-resident slabs
+    /// are clean by invariant (eviction flushes before dropping).
     pub fn has_dirty_mapping(&self) -> bool {
-        self.map_dirty.iter().any(|&d| d)
+        self.cmt.any_dirty()
     }
 
     /// Locations of the persisted X-L2P table pages recorded in the meta
@@ -455,6 +608,7 @@ impl FtlBase {
     pub fn is_allocatable(&self, block: u32) -> bool {
         self.in_free.get(block as usize).copied().unwrap_or(false)
             || self.frontiers_data.contains(&Some(block))
+            || self.frontiers_cold.contains(&Some(block))
             || self.frontier_map == Some(block)
     }
 
@@ -485,7 +639,11 @@ impl FtlBase {
     /// abandoned block keeps its valid pages until GC reclaims it (a
     /// clean erase rehabilitates a suspect block for reuse).
     fn abandon_frontier(&mut self, block: u32) {
-        for f in &mut self.frontiers_data {
+        for f in self
+            .frontiers_data
+            .iter_mut()
+            .chain(&mut self.frontiers_cold)
+        {
             if *f == Some(block) {
                 *f = None;
             }
@@ -519,6 +677,14 @@ impl FtlBase {
     /// pages rotate over one frontier per channel, so back-to-back page
     /// allocations land on different channels and queued programs overlap.
     fn alloc_slot(&mut self, kind: PageKind) -> Result<Ppa> {
+        self.alloc_slot_class(kind, false)
+    }
+
+    /// [`FtlBase::alloc_slot`] with an explicit temperature: `cold` data
+    /// pages (GC copies, low-heat LPNs) fill their own per-channel
+    /// frontiers so hot churn and cold residue age in different blocks.
+    /// Only meaningful for `PageKind::Data`.
+    fn alloc_slot_class(&mut self, kind: PageKind, cold: bool) -> Result<Ppa> {
         let map_class = matches!(kind, PageKind::Map | PageKind::XL2p | PageKind::Commit);
         if map_class {
             loop {
@@ -540,24 +706,50 @@ impl FtlBase {
         }
         let channels = self.frontiers_data.len();
         for i in 0..channels {
-            let ch = (self.data_cursor + i) % channels;
-            if let Some(b) = self.frontiers_data[ch] {
+            let cursor = if cold {
+                self.cold_cursor
+            } else {
+                self.data_cursor
+            };
+            let ch = (cursor + i) % channels;
+            let open = if cold {
+                self.frontiers_cold[ch]
+            } else {
+                self.frontiers_data[ch]
+            };
+            if let Some(b) = open {
                 if let Some(wp) = self.chip.write_point(b) {
-                    self.data_cursor = (ch + 1) % channels;
+                    self.advance_cursor(cold, ch, channels);
                     return Ok(Ppa::new(b, wp));
                 }
-                self.frontiers_data[ch] = None;
+                if cold {
+                    self.frontiers_cold[ch] = None;
+                } else {
+                    self.frontiers_data[ch] = None;
+                }
             }
             if let Some(b) = self.pop_free_for_channel(ch) {
                 self.in_free[b as usize] = false;
                 self.block_class[b as usize] = 1;
                 self.alloc_order.push_back(b);
-                self.frontiers_data[ch] = Some(b);
-                self.data_cursor = (ch + 1) % channels;
+                if cold {
+                    self.frontiers_cold[ch] = Some(b);
+                } else {
+                    self.frontiers_data[ch] = Some(b);
+                }
+                self.advance_cursor(cold, ch, channels);
                 return Ok(Ppa::new(b, 0));
             }
         }
         Err(DevError::OutOfSpace)
+    }
+
+    fn advance_cursor(&mut self, cold: bool, ch: usize, channels: usize) {
+        if cold {
+            self.cold_cursor = (ch + 1) % channels;
+        } else {
+            self.data_cursor = (ch + 1) % channels;
+        }
     }
 
     /// Pops a free block that physically lives on channel `ch`, falling
@@ -575,33 +767,69 @@ impl FtlBase {
         self.free_blocks.pop_front()
     }
 
+    /// The geometry-scaled GC trigger: single-channel devices keep the
+    /// legacy floor, multi-channel devices hold two blocks of headroom
+    /// per channel so a GC pass that opens cold frontiers on every
+    /// channel cannot drain the pool mid-collection.
+    fn gc_low_water(&self) -> usize {
+        GC_LOW_WATER.max(2 * self.frontiers_data.len())
+    }
+
     /// Runs garbage collection until the free pool is back above the low
     ///-water mark. Wrappers call this before host writes.
     pub fn maybe_gc(&mut self, hook: &mut dyn GcHook) -> Result<()> {
         if self.in_gc {
             return Ok(()); // a checkpoint inside GC must not re-enter
         }
-        while self.free_blocks.len() < GC_LOW_WATER {
+        while self.free_blocks.len() < self.gc_low_water() {
             self.in_gc = true;
             let r = self.gc_once(hook);
             self.in_gc = false;
             r?;
         }
+        // GC's demand fetches bypass budget enforcement (see
+        // `ensure_resident`); trim the overshoot now that the pool is
+        // back above the water mark.
+        for _ in 0..self.cmt.over_budget_by() {
+            if !self.evict_one()? {
+                break;
+            }
+        }
         Ok(())
     }
 
     /// Sets the GC victim-selection policy (the experiment rig uses FIFO
-    /// to reproduce the paper's aged-drive regimes).
+    /// to reproduce the paper's aged-drive regimes; the steady-state
+    /// bench compares greedy against cost-benefit).
     pub fn set_gc_policy(&mut self, policy: GcPolicy) {
         self.gc_policy = policy;
+    }
+
+    /// The active GC victim-selection policy.
+    pub fn gc_policy(&self) -> GcPolicy {
+        self.gc_policy
+    }
+
+    /// Enables or disables hot/cold write-frontier separation. When on,
+    /// host data writes of low-heat LPNs and all GC data copies go to
+    /// per-channel cold frontiers instead of the (hot) data frontiers.
+    pub fn set_hot_cold(&mut self, enabled: bool) {
+        self.hot_cold = enabled;
     }
 
     fn is_victim_candidate(&self, b: u32) -> bool {
         !(b < FIRST_POOL_BLOCK
             || self.in_free[b as usize]
             || self.frontiers_data.contains(&Some(b))
+            || self.frontiers_cold.contains(&Some(b))
             || Some(b) == self.frontier_map
             || self.chip.write_point(b) == Some(0))
+    }
+
+    /// Records a successful program into `block` for the cost-benefit age
+    /// reference (the chip's global sequence counter doubles as a clock).
+    fn note_block_program(&mut self, block: u32) {
+        self.block_last_seq[block as usize] = self.chip.next_seq().saturating_sub(1);
     }
 
     /// Greedy fallback: fewest valid pages among closed, non-free,
@@ -625,7 +853,58 @@ impl FtlBase {
         }
     }
 
+    /// Cost-benefit selection: maximize `(1 − u) / (1 + u) × age`. The
+    /// benefit term is the reclaimable space over the copy cost (Kawaguchi
+    /// et al.); the age term (programs since the block last took a write)
+    /// lets old, moderately-valid cold blocks eventually beat young nearly
+    /// -empty hot blocks whose garbage is still accumulating. Data and
+    /// mapping blocks compete as separate classes — the best scorer of
+    /// each is computed and the global winner collected — so the stats can
+    /// attribute victims per class and neither class starves the other.
+    fn pick_victim_cost_benefit(&self) -> Option<u32> {
+        let geo = self.chip.config().geometry;
+        let now = self.chip.next_seq();
+        let ppb = geo.pages_per_block as f64;
+        let mut best: [Option<(f64, u32)>; 2] = [None, None];
+        for b in FIRST_POOL_BLOCK..geo.blocks as u32 {
+            if !self.is_victim_candidate(b) {
+                continue;
+            }
+            let valid = self.valid.valid_in_block(b);
+            if valid as usize >= geo.pages_per_block {
+                continue; // nothing reclaimable
+            }
+            let u = valid as f64 / ppb;
+            let age = now.saturating_sub(self.block_last_seq[b as usize]) as f64;
+            // All inputs are small exact integers, so the f64 score is a
+            // deterministic function of device state; ties break on the
+            // lower block index because `>` keeps the first maximum.
+            let score = (1.0 - u) / (1.0 + u) * age;
+            let class = usize::from(self.block_class[b as usize] == 2);
+            if best[class].is_none_or(|(s, _)| score > s) {
+                best[class] = Some((score, b));
+            }
+        }
+        match (best[0], best[1]) {
+            (Some((sd, bd)), Some((sm, bm))) => Some(if sm > sd { bm } else { bd }),
+            (Some((_, b)), None) | (None, Some((_, b))) => Some(b),
+            (None, None) => None,
+        }
+    }
+
     fn pick_victim(&mut self) -> Option<u32> {
+        if self.gc_policy == GcPolicy::CostBenefit {
+            // Urgent-GC fallback: with the free pool nearly drained, the
+            // age-weighted score must not pick a high-valid old block —
+            // copying most of a block while nearly out of space is how a
+            // device deadlocks. Greedy's min-valid victim maximizes the
+            // immediate net gain; cost-benefit resumes once headroom is
+            // back.
+            if self.free_blocks.len() <= self.frontiers_data.len() {
+                return self.pick_victim_greedy();
+            }
+            return self.pick_victim_cost_benefit();
+        }
         if self.gc_policy == GcPolicy::Fifo {
             let ppb = self.chip.config().geometry.pages_per_block as u32;
             // Oldest closed data block that yields at least one page.
@@ -696,7 +975,24 @@ impl FtlBase {
                     }
                 }
             };
-            let mut dst = match self.alloc_slot(oob.kind) {
+            // The committed-mapping test below may demand-fetch the
+            // covering slab (a charged translation read — part of GC's
+            // true cost in a demand-paged FTL).
+            let mapped_here = if oob.kind == PageKind::Data {
+                match self.l2p_get(oob.lpn) {
+                    Ok(entry) => entry == Some(old),
+                    Err(e) => {
+                        self.scratch = buf;
+                        return Err(e);
+                    }
+                }
+            } else {
+                false
+            };
+            // GC data copies are cold by definition — they survived a
+            // whole block's lifetime without being overwritten.
+            let cold_copy = self.hot_cold && oob.kind == PageKind::Data;
+            let mut dst = match self.alloc_slot_class(oob.kind, cold_copy) {
                 Ok(d) => d,
                 Err(e) => {
                     self.scratch = buf;
@@ -708,7 +1004,7 @@ impl FtlBase {
             // committed state even if its writer's X-L2P entry is long gone.
             let mut new_oob = oob;
             if oob.kind == PageKind::Data {
-                if self.l2p[oob.lpn as usize] == Some(old) {
+                if mapped_here {
                     if oob.tid != 0 && oob.aux != 0 {
                         need_ckpt = true;
                     }
@@ -734,7 +1030,7 @@ impl FtlBase {
                         attempts += 1;
                         self.stats.program_retries += 1;
                         self.abandon_frontier(dst.block);
-                        dst = match self.alloc_slot(oob.kind) {
+                        dst = match self.alloc_slot_class(oob.kind, cold_copy) {
                             Ok(d) => d,
                             Err(e) => {
                                 self.scratch = buf;
@@ -749,6 +1045,10 @@ impl FtlBase {
                 }
             };
             self.scratch = buf;
+            self.note_block_program(dst.block);
+            if cold_copy {
+                self.stats.cold_writes += 1;
+            }
             self.chip
                 .recorder()
                 .record_span(OpClass::GcCopy, 0, oob.lpn, t_copy, prog_done);
@@ -758,15 +1058,27 @@ impl FtlBase {
             self.valid.mark_valid(dst);
             match oob.kind {
                 PageKind::Data => {
-                    if self.l2p[oob.lpn as usize] == Some(old) {
-                        self.l2p[oob.lpn as usize] = Some(dst);
-                        self.mark_slab_dirty(oob.lpn);
+                    if mapped_here {
+                        // The slab is resident (the test above fetched
+                        // it) — update the cached entry in place.
+                        let slab = self.cmt.slab_of_lpn(oob.lpn);
+                        self.ensure_resident(slab)?;
+                        self.cmt.set(oob.lpn, Some(dst));
+                    }
+                }
+                PageKind::Map if oob.aux == meta::GTD_AUX => {
+                    // A relocated GTD page: the root lists these directly.
+                    let idx = oob.lpn as usize;
+                    if self.gtd_locs.get(idx).copied().flatten() == Some(old) {
+                        self.gtd_locs[idx] = Some(dst);
+                        meta_stale = true;
                     }
                 }
                 PageKind::Map => {
                     let idx = oob.lpn as usize;
                     if self.map_locs.get(idx).copied().flatten() == Some(old) {
                         self.map_locs[idx] = Some(dst);
+                        self.mark_gtd_dirty(idx);
                         meta_stale = true;
                     }
                 }
@@ -810,8 +1122,14 @@ impl FtlBase {
         if self.block_class[victim as usize] == 1 {
             self.stats.gc_victim_pages += geo.pages_per_block as u64;
             self.stats.gc_valid_pages += copied;
+            if self.gc_policy == GcPolicy::CostBenefit {
+                self.stats.gc_cb_data_victims += 1;
+            }
         } else {
             self.stats.gc_map_runs += 1;
+            if self.gc_policy == GcPolicy::CostBenefit {
+                self.stats.gc_cb_map_victims += 1;
+            }
         }
         self.block_class[victim as usize] = 0;
         if meta_stale {
@@ -830,7 +1148,7 @@ impl FtlBase {
     pub fn read_committed(&mut self, lpn: Lpn, buf: &mut [u8]) -> Result<()> {
         self.check_lpn(lpn)?;
         let t_start = self.chip.clock().now();
-        match self.l2p[lpn as usize] {
+        match self.l2p_get(lpn)? {
             Some(ppa) => {
                 self.read_retry(ppa, buf)?;
             }
@@ -879,9 +1197,10 @@ impl FtlBase {
         hook: &mut dyn GcHook,
     ) -> Result<Ppa> {
         self.maybe_gc(hook)?;
+        let cold = self.classify_write(kind, lpn);
         let mut attempts = 0;
         loop {
-            let dst = self.alloc_slot(kind)?;
+            let dst = self.alloc_slot_class(kind, cold)?;
             let oob = Oob {
                 lpn,
                 seq: 0,
@@ -893,6 +1212,7 @@ impl FtlBase {
                 Ok(_) => {
                     self.valid.mark_valid(dst);
                     self.note_program(kind);
+                    self.note_block_program(dst.block);
                     return Ok(dst);
                 }
                 Err(FlashError::ProgramFailed(_)) if attempts < PROGRAM_RETRY_LIMIT => {
@@ -905,6 +1225,23 @@ impl FtlBase {
                 Err(e) => return Err(e.into()),
             }
         }
+    }
+
+    /// Hot/cold placement decision for one host data write: records the
+    /// write in the heat sketch and routes low-heat LPNs cold. Non-data
+    /// kinds and disabled separation always go hot (the default frontier).
+    fn classify_write(&mut self, kind: PageKind, lpn: Lpn) -> bool {
+        if !self.hot_cold || kind != PageKind::Data {
+            return false;
+        }
+        self.heat.touch(lpn);
+        let hot = self.heat.is_hot(lpn, HOT_THRESHOLD);
+        if hot {
+            self.stats.hot_writes += 1;
+        } else {
+            self.stats.cold_writes += 1;
+        }
+        !hot
     }
 
     /// Queued variant of [`FtlBase::program_raw_aux`]: dispatches the
@@ -924,9 +1261,10 @@ impl FtlBase {
         hook: &mut dyn GcHook,
     ) -> Result<(Ppa, Nanos)> {
         self.maybe_gc(hook)?;
+        let cold = self.classify_write(kind, lpn);
         let mut attempts = 0;
         loop {
-            let dst = self.alloc_slot(kind)?;
+            let dst = self.alloc_slot_class(kind, cold)?;
             let oob = Oob {
                 lpn,
                 seq: 0,
@@ -938,6 +1276,7 @@ impl FtlBase {
                 Ok((_, done)) => {
                     self.valid.mark_valid(dst);
                     self.note_program(kind);
+                    self.note_block_program(dst.block);
                     return Ok((dst, done));
                 }
                 Err(FlashError::ProgramFailed(_)) if attempts < PROGRAM_RETRY_LIMIT => {
@@ -1001,8 +1340,7 @@ impl FtlBase {
     /// invalidating the previous version (the plain-FTL path).
     pub fn write_committed(&mut self, lpn: Lpn, buf: &[u8], hook: &mut dyn GcHook) -> Result<()> {
         let dst = self.write_cow(lpn, 0, buf, hook)?;
-        self.fold_mapping(lpn, dst);
-        Ok(())
+        self.fold_mapping(lpn, dst)
     }
 
     /// Queued committed write (the device's batched `write` path): the
@@ -1015,7 +1353,7 @@ impl FtlBase {
         hook: &mut dyn GcHook,
     ) -> Result<Nanos> {
         let (dst, done) = self.write_cow_queued(lpn, 0, buf, hook)?;
-        self.fold_mapping(lpn, dst);
+        self.fold_mapping(lpn, dst)?;
         Ok(done)
     }
 
@@ -1033,17 +1371,21 @@ impl FtlBase {
 
     /// Points the committed mapping of `lpn` at `ppa`, invalidating the
     /// previous version. Used by plain writes and by X-FTL commit folds.
-    pub fn fold_mapping(&mut self, lpn: Lpn, ppa: Ppa) {
-        let old = self.l2p[lpn as usize];
+    /// Fallible: the covering slab may need a demand fetch (and an
+    /// eviction flush) first.
+    pub fn fold_mapping(&mut self, lpn: Lpn, ppa: Ppa) -> Result<()> {
+        let slab = self.cmt.slab_of_lpn(lpn);
+        self.ensure_resident(slab)?;
+        let old = self.cmt.get(lpn).unwrap_or(None);
         if old == Some(ppa) {
-            return;
+            return Ok(());
         }
         if let Some(old) = old {
             self.valid.mark_invalid(old);
         }
-        self.l2p[lpn as usize] = Some(ppa);
+        self.cmt.set(lpn, Some(ppa));
         self.valid.mark_valid(ppa);
-        self.mark_slab_dirty(lpn);
+        Ok(())
     }
 
     /// Marks a physical page dead (superseded or aborted version).
@@ -1057,23 +1399,26 @@ impl FtlBase {
     /// later via [`FtlBase::invalidate`] once no snapshot can reach it.
     /// Recovery rebuilds validity from L2P membership, so retained
     /// versions that die in a power loss become garbage automatically.
-    pub fn fold_mapping_retain(&mut self, lpn: Lpn, ppa: Ppa) -> Option<Ppa> {
-        let old = self.l2p[lpn as usize];
+    pub fn fold_mapping_retain(&mut self, lpn: Lpn, ppa: Ppa) -> Result<Option<Ppa>> {
+        let slab = self.cmt.slab_of_lpn(lpn);
+        self.ensure_resident(slab)?;
+        let old = self.cmt.get(lpn).unwrap_or(None);
         if old == Some(ppa) {
-            return None;
+            return Ok(None);
         }
-        self.l2p[lpn as usize] = Some(ppa);
+        self.cmt.set(lpn, Some(ppa));
         self.valid.mark_valid(ppa);
-        self.mark_slab_dirty(lpn);
-        old
+        Ok(old)
     }
 
     /// Drops the committed mapping of `lpn` and reclaims its flash copy.
     pub fn trim_lpn(&mut self, lpn: Lpn) -> Result<()> {
         self.check_lpn(lpn)?;
-        if let Some(old) = self.l2p[lpn as usize].take() {
+        let slab = self.cmt.slab_of_lpn(lpn);
+        self.ensure_resident(slab)?;
+        if let Some(old) = self.cmt.get(lpn).unwrap_or(None) {
             self.valid.mark_invalid(old);
-            self.mark_slab_dirty(lpn);
+            self.cmt.set(lpn, None);
         }
         Ok(())
     }
@@ -1084,39 +1429,207 @@ impl FtlBase {
     /// version chain.
     pub fn trim_lpn_retain(&mut self, lpn: Lpn) -> Result<Option<Ppa>> {
         self.check_lpn(lpn)?;
-        let old = self.l2p[lpn as usize].take();
+        let slab = self.cmt.slab_of_lpn(lpn);
+        self.ensure_resident(slab)?;
+        let old = self.cmt.get(lpn).unwrap_or(None);
         if old.is_some() {
-            self.mark_slab_dirty(lpn);
+            self.cmt.set(lpn, None);
         }
         Ok(old)
     }
 
-    fn mark_slab_dirty(&mut self, lpn: Lpn) {
-        let slab = meta::slab_of(lpn, self.page_size());
-        self.map_dirty[slab] = true;
+    // --- demand-paged mapping engine ---------------------------------------
+
+    /// Marks the GTD page covering `slab` stale (no-op in inline mode).
+    fn mark_gtd_dirty(&mut self, slab: usize) {
+        if self.gtd_paged {
+            let g = meta::gtd_page_of(slab, self.page_size());
+            if let Some(d) = self.gtd_dirty.get_mut(g) {
+                *d = true;
+            }
+        }
+    }
+
+    /// Makes `slab` resident: counts the hit or miss, evicts down to the
+    /// budget (leaving room for the incoming frame), then installs the
+    /// slab — decoded from its translation page if one was ever written,
+    /// an all-unmapped frame otherwise.
+    fn ensure_resident(&mut self, slab: usize) -> Result<()> {
+        if self.cmt.is_resident(slab) {
+            self.stats.map_cache_hits += 1;
+            return Ok(());
+        }
+        self.stats.map_cache_misses += 1;
+        // While GC runs, demand fetches may overshoot the budget: a dirty
+        // eviction programs translation pages, and spending free blocks on
+        // those inside the critical low-pool section can out-consume what
+        // the victim reclaims. `maybe_gc` evicts back down afterwards,
+        // once the pool is replenished.
+        if !self.in_gc {
+            for _ in 0..self.cmt.over_budget_by() {
+                if !self.evict_one()? {
+                    break;
+                }
+            }
+        }
+        let geo = self.chip.config().geometry;
+        match self.map_locs.get(slab).copied().flatten() {
+            Some(loc) => {
+                let mut buf = vec![0u8; geo.page_size];
+                self.read_retry(loc, &mut buf)?;
+                let entries = meta::decode_slab_entries(&buf, geo.pages_per_block);
+                self.cmt.install(slab, entries, false);
+                self.stats.map_demand_loads += 1;
+            }
+            None => {
+                let eps = self.cmt.entries_per_slab();
+                self.cmt
+                    .install(slab, vec![None; eps].into_boxed_slice(), false);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evicts one CLOCK victim. A dirty victim first triggers a batched
+    /// flush (which also cleans other dirty slabs riding along), so the
+    /// dropped frame never holds the only copy of a mapping. Returns
+    /// `false` when nothing is resident.
+    fn evict_one(&mut self) -> Result<bool> {
+        let Some(victim) = self.cmt.pick_victim() else {
+            return Ok(false);
+        };
+        let was_dirty = self.cmt.is_dirty(victim);
+        if was_dirty {
+            self.flush_dirty_batch(victim)?;
+            self.stats.map_evictions_dirty += 1;
+        } else {
+            self.stats.map_evictions_clean += 1;
+        }
+        let (_, dirty) = self.cmt.evict(victim);
+        debug_assert!(!dirty, "evicted slab {victim} still dirty after flush");
+        Ok(true)
+    }
+
+    /// Writes `victim` plus up to [`MAP_FLUSH_BATCH`] − 1 more dirty
+    /// resident slabs to fresh translation pages, then persists the
+    /// refreshed directory with a *single* checkpoint-root program. The
+    /// root deliberately keeps the current `ckpt_seq`: replaying
+    /// post-checkpoint events over newer slab content is idempotent
+    /// (folds are last-writer-wins in sequence order), so an eviction
+    /// flush is crash-safe without a full checkpoint. The translation
+    /// programs bypass GC (they may run *inside* GC); the bounded batch
+    /// keeps pool consumption per host write small and the next host
+    /// write's `maybe_gc` restores the low-water mark.
+    fn flush_dirty_batch(&mut self, victim: usize) -> Result<()> {
+        let mut batch = vec![victim];
+        for slab in self.cmt.dirty_slabs() {
+            if batch.len() >= MAP_FLUSH_BATCH {
+                break;
+            }
+            if slab != victim {
+                batch.push(slab);
+            }
+        }
+        let geo = self.chip.config().geometry;
+        for slab in batch {
+            let buf = match self.cmt.entries(slab) {
+                Some(entries) => {
+                    meta::encode_slab_entries(entries, geo.page_size, geo.pages_per_block)
+                }
+                None => continue,
+            };
+            let dst = self.program_map_page_nogc(slab as u64, 0, &buf)?;
+            self.stats.map_writes += 1;
+            if let Some(old) = self.map_locs[slab].replace(dst) {
+                self.valid.mark_invalid(old);
+            }
+            self.mark_gtd_dirty(slab);
+            self.cmt.mark_clean(slab);
+        }
+        self.stats.map_flush_batches += 1;
+        self.write_meta()
+    }
+
+    /// Programs one `Map`-class page into the mapping frontier WITHOUT
+    /// running GC first — the eviction-flush and GTD write path, which
+    /// must work from inside GC itself. Queued; `write_meta`'s drain is
+    /// the durability barrier.
+    fn program_map_page_nogc(&mut self, lpn: Lpn, aux: u32, buf: &[u8]) -> Result<Ppa> {
+        let mut attempts = 0;
+        loop {
+            let dst = self.alloc_slot(PageKind::Map)?;
+            let oob = Oob {
+                lpn,
+                seq: 0,
+                tid: 0,
+                kind: PageKind::Map,
+                aux,
+            };
+            match self.chip.program_queued(dst, buf, oob, 0) {
+                Ok(_) => {
+                    self.valid.mark_valid(dst);
+                    self.note_block_program(dst.block);
+                    return Ok(dst);
+                }
+                Err(FlashError::ProgramFailed(_)) if attempts < PROGRAM_RETRY_LIMIT => {
+                    attempts += 1;
+                    self.stats.program_retries += 1;
+                    self.abandon_frontier(dst.block);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     // --- persistence -------------------------------------------------------
 
-    /// Appends a fresh checkpoint-root page to the meta ring.
+    /// Appends a fresh checkpoint-root page to the meta ring. In paged
+    /// mode, stale GTD pages are re-programmed first (root → GTD →
+    /// translation pages must all be consistent on flash).
     fn write_meta(&mut self) -> Result<()> {
         // Durability barrier: the root must not land before the pages it
         // points at have finished on their channels.
         self.chip.drain();
         let geo = self.chip.config().geometry;
+        if self.gtd_paged {
+            for g in 0..self.gtd_dirty.len() {
+                if !self.gtd_dirty[g] && self.gtd_locs[g].is_some() {
+                    continue;
+                }
+                let buf =
+                    meta::encode_gtd_page(&self.map_locs, g, geo.page_size, geo.pages_per_block);
+                let dst = self.program_map_page_nogc(g as u64, meta::GTD_AUX, &buf)?;
+                self.stats.gtd_writes += 1;
+                if let Some(old) = self.gtd_locs[g].replace(dst) {
+                    self.valid.mark_invalid(old);
+                }
+                self.gtd_dirty[g] = false;
+            }
+            // Second barrier: the GTD pages themselves must land before
+            // the root that points at them.
+            self.chip.drain();
+        }
+        let gtd_roots: Vec<Ppa> = self.gtd_locs.iter().copied().flatten().collect();
+        debug_assert_eq!(gtd_roots.len(), self.gtd_locs.len());
         // The bad-block list shares the meta page's pointer area with the
-        // slab and X-L2P pointers. The chip's own health marks are
+        // slab/GTD and X-L2P pointers. The chip's own health marks are
         // authoritative (recovery unions both), so if a dying drive ever
         // accumulates more retirements than fit, truncating the persisted
         // list is safe — unlike panicking in `MetaPage::encode`.
+        let inline_ptrs = if self.gtd_paged {
+            gtd_roots.len()
+        } else {
+            self.map_locs.len()
+        };
         let bad_cap = MetaPage::max_pointers(geo.page_size)
-            .saturating_sub(self.map_locs.len() + self.xl2p_roots.len());
+            .saturating_sub(inline_ptrs + self.xl2p_roots.len());
         let page = MetaPage {
             logical_pages: self.logical_pages,
             ckpt_seq: self.ckpt_seq,
             tx_horizon: self.tx_horizon,
             xl2p_roots: self.xl2p_roots.clone(),
             map_locs: self.map_locs.clone(),
+            gtd_locs: gtd_roots,
             bad_blocks: self.bad_block_list().into_iter().take(bad_cap).collect(),
         };
         let buf = page.encode(geo.page_size, geo.pages_per_block);
@@ -1155,22 +1668,32 @@ impl FtlBase {
     }
 
     fn checkpoint_internal(&mut self, hook: &mut dyn GcHook) -> Result<()> {
-        for slab in 0..self.map_dirty.len() {
-            if !self.map_dirty[slab] {
+        // Only resident slabs can be dirty (eviction flushes first), so a
+        // checkpoint never has to fault anything in.
+        for slab in self.cmt.dirty_slabs() {
+            // GC triggered by an earlier iteration's program can evict and
+            // flush slabs from this list; re-check before writing.
+            if !self.cmt.is_dirty(slab) {
                 continue;
             }
             let geo = self.chip.config().geometry;
-            let buf = meta::encode_slab(&self.l2p, slab, geo.page_size, geo.pages_per_block);
-            let old = self.map_locs[slab];
+            let buf = match self.cmt.entries(slab) {
+                Some(entries) => {
+                    meta::encode_slab_entries(entries, geo.page_size, geo.pages_per_block)
+                }
+                None => continue,
+            };
             // Slab writes are queued rather than awaited one by one;
             // write_meta below is the barrier.
             let (dst, _) =
                 self.program_raw_queued(PageKind::Map, slab as u64, 0, 0, &buf, 0, hook)?;
-            if let Some(old) = old {
+            // Re-read the old location *after* the program: the GC it may
+            // have run can itself relocate the previous translation page.
+            if let Some(old) = self.map_locs[slab].replace(dst) {
                 self.valid.mark_invalid(old);
             }
-            self.map_locs[slab] = Some(dst);
-            self.map_dirty[slab] = false;
+            self.mark_gtd_dirty(slab);
+            self.cmt.mark_clean(slab);
         }
         // The new root covers everything programmed so far.
         self.ckpt_seq = self.chip.next_seq() - 1;
@@ -1261,26 +1784,54 @@ impl FtlBase {
             }
         }
 
-        // 2. Load the checkpointed L2P (with ECC-failure retries; the
-        //    slab pages are the mapping's only persisted copy).
-        let mut l2p: Vec<Option<Ppa>> = vec![None; logical_pages as usize];
-        for (slab, loc) in meta_page.map_locs.iter().enumerate() {
-            if let Some(ppa) = loc {
-                read_with_retries(&mut chip, *ppa, &mut buf).0?;
-                meta::decode_slab(&mut l2p, slab, &buf, geo.pages_per_block);
+        // 2. Load the checkpointed mapping directory. Paged-GTD mode
+        //    (recomputed from geometry, exactly as format decides it)
+        //    first reads the GTD pages to fill the slab-pointer
+        //    placeholders the root decoded.
+        let slab_count = meta_page.map_locs.len();
+        let eps = meta::entries_per_slab(geo.page_size);
+        let gtd_paged = slab_count + 8 > MetaPage::max_pointers(geo.page_size);
+        let gtd_pages = if gtd_paged {
+            meta::gtd_page_count(slab_count, geo.page_size)
+        } else {
+            0
+        };
+        let mut map_locs = meta_page.map_locs.clone();
+        let mut valid = ValidityMap::new(geo.blocks, geo.pages_per_block);
+        let mut gtd_locs: Vec<Option<Ppa>> = vec![None; gtd_pages];
+        for (g, loc) in meta_page.gtd_locs.iter().enumerate().take(gtd_pages) {
+            read_with_retries(&mut chip, *loc, &mut buf).0?;
+            meta::decode_gtd_page(&mut map_locs, g, &buf, geo.pages_per_block);
+            valid.mark_valid(*loc);
+            gtd_locs[g] = Some(*loc);
+        }
+        // A GTD page the root failed to list (should be impossible) is
+        // re-created at the next meta write.
+        let gtd_dirty: Vec<bool> = gtd_locs.iter().map(Option::is_none).collect();
+
+        //    Stream every persisted translation page once (with ECC
+        //    retries; these pages are the mapping's only persisted copy)
+        //    into an unbounded cache — the wrapper re-applies its RAM
+        //    budget after recovery via `set_map_cache_budget`.
+        let mut cmt = MappingCache::new(slab_count, eps, None);
+        for (slab, loc) in map_locs.iter().enumerate() {
+            match loc {
+                Some(ppa) => {
+                    read_with_retries(&mut chip, *ppa, &mut buf).0?;
+                    let entries = meta::decode_slab_entries(&buf, geo.pages_per_block);
+                    for e in entries.iter().flatten() {
+                        valid.mark_valid(*e);
+                    }
+                    cmt.install(slab, entries, false);
+                    valid.mark_valid(*ppa);
+                }
+                None => cmt.install(slab, vec![None; eps].into_boxed_slice(), false),
             }
         }
 
         // 3. Scan the log for post-checkpoint pages and rebuild occupancy.
-        let mut valid = ValidityMap::new(geo.blocks, geo.pages_per_block);
-        for loc in meta_page.map_locs.iter().flatten() {
-            valid.mark_valid(*loc);
-        }
         for root in &meta_page.xl2p_roots {
             valid.mark_valid(*root);
-        }
-        for entry in l2p.iter().flatten() {
-            valid.mark_valid(*entry);
         }
         let mut events = Vec::new();
         let mut free_blocks = VecDeque::new();
@@ -1345,19 +1896,24 @@ impl FtlBase {
             Some((seq, bytes))
         };
 
-        let slabs = meta_page.map_locs.len();
         let ckpt_seq = meta_page.ckpt_seq;
         let prev_horizon = meta_page.tx_horizon;
         let chip_next_seq = chip.next_seq();
         let base = FtlBase {
             logical_pages,
-            l2p,
-            map_locs: meta_page.map_locs,
-            map_dirty: vec![false; slabs],
+            cmt,
+            map_locs,
+            gtd_locs,
+            gtd_dirty,
+            gtd_paged,
             xl2p_roots: meta_page.xl2p_roots,
             valid,
             block_class: block_class.clone(),
             gc_policy: GcPolicy::Greedy,
+            // Block ages reset at recovery: the OOB scan could rebuild
+            // them, but a uniform age only softens cost-benefit scoring
+            // for the first post-boot GC cycle.
+            block_last_seq: vec![0; geo.blocks],
             // Recovered data blocks re-enter the FIFO queue in index order
             // (allocation age is unknown after a crash).
             alloc_order: (FIRST_POOL_BLOCK..geo.blocks as u32)
@@ -1365,6 +1921,10 @@ impl FtlBase {
                 .collect(),
             frontiers_data: vec![None; geo.channels.max(1) as usize],
             data_cursor: 0,
+            frontiers_cold: vec![None; geo.channels.max(1) as usize],
+            cold_cursor: 0,
+            hot_cold: false,
+            heat: HeatSketch::new(HEAT_SLOTS, HEAT_HALF_LIFE),
             frontier_map: None,
             free_blocks,
             in_free,
@@ -1397,11 +1957,14 @@ impl FtlBase {
     }
 
     /// Replays one recovered data event: re-points the mapping of `lpn` at
-    /// `ppa`. Events must be applied in ascending sequence order.
-    pub fn apply_event(&mut self, lpn: Lpn, ppa: Ppa) {
-        if (lpn as usize) < self.l2p.len() {
-            self.fold_mapping(lpn, ppa);
+    /// `ppa`. Events must be applied in ascending sequence order; replays
+    /// are idempotent (last writer wins), which is what makes eviction
+    /// flushes crash-safe without refreshing `ckpt_seq`.
+    pub fn apply_event(&mut self, lpn: Lpn, ppa: Ppa) -> Result<()> {
+        if lpn < self.logical_pages {
+            self.fold_mapping(lpn, ppa)?;
         }
+        Ok(())
     }
 }
 
@@ -1455,9 +2018,9 @@ mod tests {
         let a = page(&f, 1);
         let b = page(&f, 2);
         f.write_committed(0, &a, &mut NoHook).unwrap();
-        let old = f.l2p_get(0).unwrap();
+        let old = f.l2p_get(0).unwrap().unwrap();
         f.write_committed(0, &b, &mut NoHook).unwrap();
-        let new = f.l2p_get(0).unwrap();
+        let new = f.l2p_get(0).unwrap().unwrap();
         assert_ne!(old, new);
         assert!(!f.valid.is_valid(old));
         assert!(f.valid.is_valid(new));
@@ -1472,7 +2035,7 @@ mod tests {
         let a = page(&f, 1);
         f.write_committed(5, &a, &mut NoHook).unwrap();
         f.trim_lpn(5).unwrap();
-        assert_eq!(f.l2p_get(5), None);
+        assert_eq!(f.l2p_get(5).unwrap(), None);
         let mut out = page(&f, 9);
         f.read_committed(5, &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0));
@@ -1552,7 +2115,7 @@ mod tests {
         assert_eq!(log.events.len(), 1);
         for e in &log.events {
             if e.kind == PageKind::Data && e.tid == 0 {
-                g.apply_event(e.lpn, e.ppa);
+                g.apply_event(e.lpn, e.ppa).unwrap();
             }
         }
         let mut out = page(&g, 0);
@@ -1574,7 +2137,7 @@ mod tests {
         let (mut g, log) = FtlBase::recover(chip).unwrap();
         for e in &log.events {
             if e.kind == PageKind::Data && e.tid == 0 {
-                g.apply_event(e.lpn, e.ppa);
+                g.apply_event(e.lpn, e.ppa).unwrap();
             }
         }
         let mut out = page(&g, 0);
@@ -1635,7 +2198,7 @@ mod tests {
         let (mut g, log) = FtlBase::recover(chip).unwrap();
         for e in &log.events {
             if e.kind == PageKind::Data && e.tid == 0 {
-                g.apply_event(e.lpn, e.ppa);
+                g.apply_event(e.lpn, e.ppa).unwrap();
             }
         }
         // Untouched pages must still hold their checkpointed content even
@@ -1679,7 +2242,7 @@ mod tests {
         let mut chans = Vec::new();
         for lpn in 0..4u64 {
             f.write_committed(lpn, &data, &mut NoHook).unwrap();
-            chans.push(geo.channel_of(f.l2p_get(lpn).unwrap().block));
+            chans.push(geo.channel_of(f.l2p_get(lpn).unwrap().unwrap().block));
         }
         assert_eq!(
             chans,
@@ -1759,7 +2322,7 @@ mod tests {
         let (mut g, log) = FtlBase::recover(chip).unwrap();
         for e in &log.events {
             if e.kind == PageKind::Data && e.tid == 0 {
-                g.apply_event(e.lpn, e.ppa);
+                g.apply_event(e.lpn, e.ppa).unwrap();
             }
         }
         assert!(g.is_bad_block(bad), "retirement lost across recovery");
@@ -1787,7 +2350,7 @@ mod tests {
         let data = vec![1u8; f.page_size()];
         for i in 0..400u64 {
             f.write_committed(i % 8, &data, &mut NoHook).unwrap();
-            if let Some(ppa) = f.l2p_get(i % 8) {
+            if let Some(ppa) = f.l2p_get(i % 8).unwrap() {
                 assert_ne!(ppa.block, 5, "write landed on a retired block");
             }
         }
@@ -1816,13 +2379,117 @@ mod tests {
         let (mut g, log) = FtlBase::recover(chip).unwrap();
         for e in &log.events {
             if e.kind == PageKind::Data && e.tid == 0 {
-                g.apply_event(e.lpn, e.ppa);
+                g.apply_event(e.lpn, e.ppa).unwrap();
             }
         }
         for lpn in 0..8u64 {
             let mut out = vec![0u8; g.page_size()];
             g.read_committed(lpn, &mut out).unwrap();
             assert_eq!(out[0] as u64, (992 + lpn) % 251, "lpn {lpn} corrupted");
+        }
+    }
+
+    #[test]
+    fn mapping_cache_budget_bounds_residency_and_flushes_dirty_victims() {
+        // 4 slabs (64 entries each at the tiny page size), budget 1: every
+        // cross-slab access evicts, and dirty victims program translation
+        // pages.
+        let mut f = base(64, 256);
+        f.set_map_cache_budget(Some(1)).unwrap();
+        let data = page(&f, 0x7C);
+        for round in 0..3u64 {
+            for slab in 0..4u64 {
+                f.write_committed(slab * 64 + round, &data, &mut NoHook)
+                    .unwrap();
+                assert!(f.map_cache().resident() <= 1, "budget exceeded");
+            }
+        }
+        let s = *f.stats();
+        assert!(s.map_cache_misses >= 11, "round-robin must thrash");
+        assert!(s.map_evictions_dirty > 0, "dirty victims must flush");
+        assert!(s.map_writes > 0, "translation pages must be programmed");
+        assert!(
+            s.map_flush_batches > 0,
+            "eviction flushes batch under one root"
+        );
+        // Every mapping answers correctly through demand fetches.
+        let mut out = page(&f, 0);
+        for slab in 0..4u64 {
+            for round in 0..3u64 {
+                f.read_committed(slab * 64 + round, &mut out).unwrap();
+                assert_eq!(out[0], 0x7C);
+            }
+        }
+        assert!(f.stats().map_demand_loads > 0, "no slab was ever re-read");
+    }
+
+    #[test]
+    fn paged_gtd_engages_and_survives_recovery() {
+        // 3_100 logical pages = 49 slabs at the tiny page size; 49 + 8
+        // exceeds one meta page's pointer capacity, so the directory goes
+        // to paged-GTD mode (the 64 GB-class presets land here too).
+        let mut f = base(520, 3_100);
+        let data = page(&f, 0x3D);
+        // Dirty a spread of slabs, then checkpoint: paged mode must
+        // program GTD pages (inline mode never touches that counter).
+        for lpn in (0..3_100u64).step_by(50) {
+            f.write_committed(lpn, &data, &mut NoHook).unwrap();
+        }
+        f.checkpoint(&mut NoHook).unwrap();
+        assert!(f.stats().gtd_writes > 0, "directory did not page out");
+        let expected: Vec<_> = (0..3_100u64).step_by(50).map(|l| f.l2p_peek(l)).collect();
+        let (g, _log) = FtlBase::recover(f.into_chip()).unwrap();
+        let recovered: Vec<_> = (0..3_100u64).step_by(50).map(|l| g.l2p_peek(l)).collect();
+        assert_eq!(expected, recovered, "paged GTD lost mappings");
+        assert!(recovered.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn cost_benefit_gc_classifies_victims_and_keeps_data() {
+        let mut f = base(24, 64);
+        f.set_gc_policy(GcPolicy::CostBenefit);
+        assert_eq!(f.gc_policy(), GcPolicy::CostBenefit);
+        f.set_map_cache_budget(Some(1)).unwrap();
+        // Skewed churn: a few pages rewritten constantly alongside cache
+        // thrash, so GC reclaims both data and mapping blocks.
+        let data = page(&f, 0x44);
+        for i in 0..2_000u64 {
+            f.write_committed(i % 48, &data, &mut NoHook).unwrap();
+        }
+        let s = *f.stats();
+        assert!(s.gc_runs > 0, "churn must trigger GC");
+        assert!(s.gc_cb_data_victims > 0, "no data-class victim scored");
+        assert!(
+            s.gc_cb_data_victims + s.gc_cb_map_victims <= s.gc_runs,
+            "victim classes overcounted"
+        );
+        let mut out = page(&f, 0);
+        for lpn in 0..48u64 {
+            f.read_committed(lpn, &mut out).unwrap();
+            assert_eq!(out[0], 0x44, "lpn {lpn} lost under cost-benefit GC");
+        }
+    }
+
+    #[test]
+    fn hot_cold_separation_routes_frontiers_by_heat() {
+        let mut f = base(24, 64);
+        f.set_hot_cold(true);
+        let data = page(&f, 0x55);
+        // Pages 0..4 are rewritten constantly (hot); 8..40 are written
+        // once (cold). The heat sketch must split the write frontiers.
+        for lpn in 8..40u64 {
+            f.write_committed(lpn, &data, &mut NoHook).unwrap();
+        }
+        for i in 0..600u64 {
+            f.write_committed(i % 4, &data, &mut NoHook).unwrap();
+        }
+        let s = *f.stats();
+        assert!(s.hot_writes > 0, "rewrite-heavy pages never ran hot");
+        assert!(s.cold_writes > 0, "single-touch pages never ran cold");
+        let mut out = page(&f, 0);
+        for lpn in (0..4u64).chain(8..40) {
+            f.read_committed(lpn, &mut out).unwrap();
+            assert_eq!(out[0], 0x55, "lpn {lpn} lost under hot/cold routing");
         }
     }
 }

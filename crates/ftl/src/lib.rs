@@ -9,8 +9,11 @@
 //!   (`read_tx`/`write_tx`/`commit`/`abort`) as a compile-time capability.
 //! * [`sata::SataLink`] — host-interface latency model (SATA 2/3).
 //! * [`base::FtlBase`] — the shared FTL engine: log-structured allocation,
-//!   in-RAM L2P with slab-granular persistence, greedy garbage collection,
-//!   checkpoint-root meta ring, and crash-recovery scanning.
+//!   a demand-paged L2P (bounded mapping cache over flash-resident
+//!   translation pages, with a two-level GTD once the directory outgrows
+//!   one meta page), greedy / FIFO / cost-benefit garbage collection with
+//!   optional hot/cold write-frontier separation, checkpoint-root meta
+//!   ring, and crash-recovery scanning.
 //! * [`pagemap::PageMappedFtl`] — the OpenSSD's original FTL (the paper's
 //!   baseline device for SQLite's RBJ and WAL modes).
 //! * [`atomicwrite::AtomicWriteFtl`] — the per-call atomic-write FTL of
@@ -41,6 +44,7 @@
 
 pub mod atomicwrite;
 pub mod base;
+pub mod cmt;
 pub mod dev;
 pub mod error;
 pub mod meta;
@@ -52,6 +56,7 @@ pub mod validity;
 
 pub use atomicwrite::AtomicWriteFtl;
 pub use base::{FtlBase, GcHook, GcPolicy, NoHook, RecoveryLog, ScanEvent, WearSummary};
+pub use cmt::MappingCache;
 pub use dev::{
     BlockDevice, CmdId, CmdQueue, CommitTicket, DevCounters, IoCmd, Lpn, Tid, TxBlockDevice, NO_TID,
 };

@@ -20,11 +20,18 @@ use crate::dev::Lpn;
 
 /// Magic number identifying a meta page ("XFTLMETA" as bytes).
 pub const META_MAGIC: u64 = 0x5846_544C_4D45_5441;
-/// Current on-flash format version. Version 2 added the bad-block table.
-pub const META_VERSION: u64 = 2;
+/// Current on-flash format version. Version 2 added the bad-block table;
+/// version 3 added the paged global translation directory (GTD) for
+/// devices whose slab-pointer table no longer fits inline in the root.
+pub const META_VERSION: u64 = 3;
 
-/// Fixed header size of a meta page in bytes (8 u64 fields).
-const META_HEADER: usize = 64;
+/// Fixed header size of a meta page in bytes (9 u64 fields).
+const META_HEADER: usize = 72;
+
+/// OOB `aux` tag distinguishing a GTD page from an ordinary translation
+/// page (both carry `PageKind::Map`; the `lpn` field holds the GTD page
+/// index resp. the slab index).
+pub const GTD_AUX: u32 = 1;
 
 /// Parsed contents of a meta (checkpoint-root) page.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +51,17 @@ pub struct MetaPage {
     pub xl2p_roots: Vec<Ppa>,
     /// Flash location of each L2P mapping slab (`None` = never persisted,
     /// meaning every entry of that slab is unmapped).
+    ///
+    /// In *inline* mode these pointers are stored in the root itself. In
+    /// *paged* mode (`gtd_locs` non-empty) the root only stores the GTD
+    /// page locations; decode then returns all-`None` placeholders of the
+    /// right length and recovery fills them by reading the GTD pages.
     pub map_locs: Vec<Option<Ppa>>,
+    /// Flash locations of the global-translation-directory pages, in
+    /// order. Empty in inline mode. Each GTD page holds a page worth of
+    /// slab pointers ([`gtd_pointers_per_page`]), giving the two-level
+    /// root → GTD → translation-page structure a 64–256 GB device needs.
+    pub gtd_locs: Vec<Ppa>,
     /// Blocks retired after erase failures, ascending. Recovery unions
     /// this with the chip's own health marks, so a root written before
     /// the latest retirement still recovers correctly.
@@ -89,8 +106,10 @@ impl MetaPage {
     /// If the pointer lists do not fit in `page_size` (the device
     /// constructor validates this).
     pub fn encode(&self, page_size: usize, pages_per_block: usize) -> Vec<u8> {
+        let paged = !self.gtd_locs.is_empty();
+        let map_slots = if paged { 0 } else { self.map_locs.len() };
         assert!(
-            self.map_locs.len() + self.xl2p_roots.len() + self.bad_blocks.len()
+            map_slots + self.gtd_locs.len() + self.xl2p_roots.len() + self.bad_blocks.len()
                 <= Self::max_pointers(page_size),
             "mapping pointers overflow a single meta page"
         );
@@ -103,14 +122,22 @@ impl MetaPage {
         put_u64(&mut buf, 40, self.xl2p_roots.len() as u64);
         put_u64(&mut buf, 48, self.map_locs.len() as u64);
         put_u64(&mut buf, 56, self.bad_blocks.len() as u64);
+        put_u64(&mut buf, 64, self.gtd_locs.len() as u64);
         let mut off = META_HEADER;
         for root in &self.xl2p_roots {
             put_u64(&mut buf, off, encode_opt_ppa(Some(*root), pages_per_block));
             off += 8;
         }
-        for loc in &self.map_locs {
-            put_u64(&mut buf, off, encode_opt_ppa(*loc, pages_per_block));
-            off += 8;
+        if paged {
+            for loc in &self.gtd_locs {
+                put_u64(&mut buf, off, encode_opt_ppa(Some(*loc), pages_per_block));
+                off += 8;
+            }
+        } else {
+            for loc in &self.map_locs {
+                put_u64(&mut buf, off, encode_opt_ppa(*loc, pages_per_block));
+                off += 8;
+            }
         }
         for bad in &self.bad_blocks {
             put_u64(&mut buf, off, u64::from(*bad));
@@ -119,7 +146,9 @@ impl MetaPage {
         buf
     }
 
-    /// Parses a meta page; `None` if the magic/version/shape is wrong.
+    /// Parses a meta page; `None` if the magic/version/shape is wrong. In
+    /// paged-GTD mode the returned `map_locs` are all-`None` placeholders
+    /// sized from the header; the caller reads `gtd_locs` to fill them.
     pub fn decode(buf: &[u8], pages_per_block: usize) -> Option<MetaPage> {
         if buf.len() < META_HEADER || get_u64(buf, 0) != META_MAGIC {
             return None;
@@ -130,7 +159,9 @@ impl MetaPage {
         let roots = get_u64(buf, 40) as usize;
         let count = get_u64(buf, 48) as usize;
         let bad = get_u64(buf, 56) as usize;
-        if META_HEADER + (roots + count + bad) * 8 > buf.len() {
+        let gtd = get_u64(buf, 64) as usize;
+        let inline_map = if gtd > 0 { 0 } else { count };
+        if META_HEADER + (roots + inline_map + gtd + bad) * 8 > buf.len() {
             return None;
         }
         let mut off = META_HEADER;
@@ -139,10 +170,19 @@ impl MetaPage {
             xl2p_roots.push(decode_opt_ppa(get_u64(buf, off), pages_per_block)?);
             off += 8;
         }
+        let mut gtd_locs = Vec::with_capacity(gtd);
         let mut map_locs = Vec::with_capacity(count);
-        for _ in 0..count {
-            map_locs.push(decode_opt_ppa(get_u64(buf, off), pages_per_block));
-            off += 8;
+        if gtd > 0 {
+            for _ in 0..gtd {
+                gtd_locs.push(decode_opt_ppa(get_u64(buf, off), pages_per_block)?);
+                off += 8;
+            }
+            map_locs.resize(count, None);
+        } else {
+            for _ in 0..count {
+                map_locs.push(decode_opt_ppa(get_u64(buf, off), pages_per_block));
+                off += 8;
+            }
         }
         let mut bad_blocks = Vec::with_capacity(bad);
         for _ in 0..bad {
@@ -155,9 +195,61 @@ impl MetaPage {
             tx_horizon: get_u64(buf, 32),
             xl2p_roots,
             map_locs,
+            gtd_locs,
             bad_blocks,
         })
     }
+}
+
+// --- global translation directory (GTD) pages ------------------------------
+
+/// Slab pointers per GTD page.
+pub fn gtd_pointers_per_page(page_size: usize) -> usize {
+    page_size / 8
+}
+
+/// Number of GTD pages needed to index `slabs` translation pages.
+pub fn gtd_page_count(slabs: usize, page_size: usize) -> usize {
+    slabs.div_ceil(gtd_pointers_per_page(page_size))
+}
+
+/// Serializes GTD page `gtd_idx`: the slice of slab pointers it covers.
+pub fn encode_gtd_page(
+    map_locs: &[Option<Ppa>],
+    gtd_idx: usize,
+    page_size: usize,
+    pages_per_block: usize,
+) -> Vec<u8> {
+    let per = gtd_pointers_per_page(page_size);
+    let mut buf = vec![0u8; page_size];
+    let start = gtd_idx * per;
+    for i in 0..per {
+        let entry = map_locs.get(start + i).copied().flatten();
+        put_u64(&mut buf, i * 8, encode_opt_ppa(entry, pages_per_block));
+    }
+    buf
+}
+
+/// Loads GTD page `gtd_idx` back into the slab-pointer table.
+pub fn decode_gtd_page(
+    map_locs: &mut [Option<Ppa>],
+    gtd_idx: usize,
+    buf: &[u8],
+    pages_per_block: usize,
+) {
+    let per = gtd_pointers_per_page(buf.len());
+    let start = gtd_idx * per;
+    for i in 0..per {
+        if start + i >= map_locs.len() {
+            break;
+        }
+        map_locs[start + i] = decode_opt_ppa(get_u64(buf, i * 8), pages_per_block);
+    }
+}
+
+/// Which GTD page indexes `slab`.
+pub fn gtd_page_of(slab: usize, page_size: usize) -> usize {
+    slab / gtd_pointers_per_page(page_size)
 }
 
 /// Entries of the L2P table stored per mapping slab page.
@@ -194,6 +286,31 @@ pub fn decode_slab(l2p: &mut [Option<Ppa>], slab_idx: usize, buf: &[u8], pages_p
     }
 }
 
+/// Serializes one cached slab frame (the demand-paged engine's unit of
+/// residency) into a translation page.
+pub fn encode_slab_entries(
+    entries: &[Option<Ppa>],
+    page_size: usize,
+    pages_per_block: usize,
+) -> Vec<u8> {
+    let eps = entries_per_slab(page_size);
+    debug_assert!(entries.len() <= eps);
+    let mut buf = vec![0u8; page_size];
+    for i in 0..eps {
+        let entry = entries.get(i).copied().flatten();
+        put_u64(&mut buf, i * 8, encode_opt_ppa(entry, pages_per_block));
+    }
+    buf
+}
+
+/// Parses a translation page into a freshly allocated slab frame.
+pub fn decode_slab_entries(buf: &[u8], pages_per_block: usize) -> Box<[Option<Ppa>]> {
+    let eps = entries_per_slab(buf.len());
+    (0..eps)
+        .map(|i| decode_opt_ppa(get_u64(buf, i * 8), pages_per_block))
+        .collect()
+}
+
 /// Which slab an LPN's mapping entry lives in.
 pub fn slab_of(lpn: Lpn, page_size: usize) -> usize {
     (lpn as usize) / entries_per_slab(page_size)
@@ -213,6 +330,7 @@ mod tests {
             tx_horizon: 17,
             xl2p_roots: vec![Ppa::new(3, 4), Ppa::new(5, 6)],
             map_locs: vec![None, Some(Ppa::new(1, 2)), None],
+            gtd_locs: vec![],
             bad_blocks: vec![7, 11],
         };
         let buf = m.encode(512, PPB);
@@ -227,6 +345,7 @@ mod tests {
             tx_horizon: 0,
             xl2p_roots: vec![],
             map_locs: vec![Some(Ppa::new(2, 0))],
+            gtd_locs: vec![],
             bad_blocks: vec![],
         };
         let buf = m.encode(512, PPB);
@@ -247,11 +366,75 @@ mod tests {
             tx_horizon: 0,
             xl2p_roots: vec![],
             map_locs: vec![],
+            gtd_locs: vec![],
             bad_blocks: vec![],
         };
         let mut buf = m.encode(512, PPB);
         put_u64(&mut buf, 8, 99);
         assert_eq!(MetaPage::decode(&buf, PPB), None);
+    }
+
+    #[test]
+    fn paged_meta_stores_gtd_not_map_locs() {
+        // 200 slabs would overflow a 512 B root inline; paged mode stores
+        // only the GTD pointers and decodes placeholder map_locs.
+        let slabs = 200;
+        let m = MetaPage {
+            logical_pages: 64 * slabs as u64,
+            ckpt_seq: 9,
+            tx_horizon: 2,
+            xl2p_roots: vec![Ppa::new(4, 1)],
+            map_locs: (0..slabs)
+                .map(|i| Some(Ppa::new(10 + i as u32, 0)))
+                .collect(),
+            gtd_locs: vec![
+                Ppa::new(7, 0),
+                Ppa::new(7, 1),
+                Ppa::new(7, 2),
+                Ppa::new(8, 0),
+            ],
+            bad_blocks: vec![3],
+        };
+        let buf = m.encode(512, PPB);
+        let d = MetaPage::decode(&buf, PPB).unwrap();
+        assert_eq!(d.gtd_locs, m.gtd_locs);
+        assert_eq!(d.map_locs.len(), slabs);
+        assert!(d.map_locs.iter().all(Option::is_none), "placeholders");
+        assert_eq!(d.xl2p_roots, m.xl2p_roots);
+        assert_eq!(d.bad_blocks, m.bad_blocks);
+        assert_eq!(d.ckpt_seq, 9);
+    }
+
+    #[test]
+    fn gtd_pages_roundtrip_slab_pointers() {
+        let ps = 512;
+        let per = gtd_pointers_per_page(ps);
+        let slabs = per + 7; // spills into a second GTD page
+        assert_eq!(gtd_page_count(slabs, ps), 2);
+        let mut map_locs: Vec<Option<Ppa>> = vec![None; slabs];
+        map_locs[0] = Some(Ppa::new(2, 3));
+        map_locs[per - 1] = Some(Ppa::new(4, 5));
+        map_locs[per + 3] = Some(Ppa::new(6, 7));
+        let p0 = encode_gtd_page(&map_locs, 0, ps, PPB);
+        let p1 = encode_gtd_page(&map_locs, 1, ps, PPB);
+        let mut out: Vec<Option<Ppa>> = vec![Some(Ppa::new(9, 9)); slabs];
+        decode_gtd_page(&mut out, 0, &p0, PPB);
+        decode_gtd_page(&mut out, 1, &p1, PPB);
+        assert_eq!(out, map_locs);
+        assert_eq!(gtd_page_of(per - 1, ps), 0);
+        assert_eq!(gtd_page_of(per, ps), 1);
+    }
+
+    #[test]
+    fn slab_entries_roundtrip() {
+        let ps = 512;
+        let eps = entries_per_slab(ps);
+        let mut entries: Vec<Option<Ppa>> = vec![None; eps];
+        entries[1] = Some(Ppa::new(3, 2));
+        entries[eps - 1] = Some(Ppa::new(1, 0));
+        let buf = encode_slab_entries(&entries, ps, PPB);
+        let out = decode_slab_entries(&buf, PPB);
+        assert_eq!(out.as_ref(), entries.as_slice());
     }
 
     #[test]

@@ -36,7 +36,7 @@ impl PageMappedFtl {
         let (mut base, log) = FtlBase::recover(chip)?;
         for e in &log.events {
             if e.kind == PageKind::Data && e.tid == 0 {
-                base.apply_event(e.lpn, e.ppa);
+                base.apply_event(e.lpn, e.ppa)?;
             }
         }
         base.checkpoint(&mut NoHook)?;

@@ -58,6 +58,31 @@ pub struct FtlStats {
     /// Retained versions pruned (invalidated, handed to GC) once no
     /// active snapshot could still read them.
     pub versions_pruned: u64,
+    /// Mapping-cache lookups that found the slab resident in RAM.
+    pub map_cache_hits: u64,
+    /// Mapping-cache lookups that missed (slab had to be made resident).
+    pub map_cache_misses: u64,
+    /// Cache misses that read a persisted translation page from flash
+    /// (the rest install fresh never-persisted slabs).
+    pub map_demand_loads: u64,
+    /// Clean frames dropped by eviction (no flash write needed).
+    pub map_evictions_clean: u64,
+    /// Dirty frames whose eviction forced a translation-page program.
+    pub map_evictions_dirty: u64,
+    /// Eviction flush batches: groups of dirty translation-page programs
+    /// coalesced under a single checkpoint-root write.
+    pub map_flush_batches: u64,
+    /// Global-translation-directory pages programmed (paged-GTD mode).
+    pub gtd_writes: u64,
+    /// Cost-benefit GC victims drawn from the data block class.
+    pub gc_cb_data_victims: u64,
+    /// Cost-benefit GC victims drawn from the mapping block class.
+    pub gc_cb_map_victims: u64,
+    /// Host data writes routed to the hot write frontier.
+    pub hot_writes: u64,
+    /// Data writes routed to the cold frontier (cold LPNs and GC copies)
+    /// while hot/cold separation is enabled.
+    pub cold_writes: u64,
 }
 
 impl FtlStats {
@@ -66,6 +91,7 @@ impl FtlStats {
         self.data_writes
             + self.gc_copies
             + self.map_writes
+            + self.gtd_writes
             + self.meta_writes
             + self.xl2p_writes
             + self.commit_record_writes
@@ -78,6 +104,16 @@ impl FtlStats {
             None
         } else {
             Some(self.gc_valid_pages as f64 / self.gc_victim_pages as f64)
+        }
+    }
+
+    /// Fraction of mapping lookups served from RAM, if any lookup ran.
+    pub fn map_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.map_cache_hits + self.map_cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.map_cache_hits as f64 / total as f64)
         }
     }
 }
@@ -106,6 +142,17 @@ impl Sub for FtlStats {
             conflict_aborts: self.conflict_aborts - rhs.conflict_aborts,
             versions_retained: self.versions_retained - rhs.versions_retained,
             versions_pruned: self.versions_pruned - rhs.versions_pruned,
+            map_cache_hits: self.map_cache_hits - rhs.map_cache_hits,
+            map_cache_misses: self.map_cache_misses - rhs.map_cache_misses,
+            map_demand_loads: self.map_demand_loads - rhs.map_demand_loads,
+            map_evictions_clean: self.map_evictions_clean - rhs.map_evictions_clean,
+            map_evictions_dirty: self.map_evictions_dirty - rhs.map_evictions_dirty,
+            map_flush_batches: self.map_flush_batches - rhs.map_flush_batches,
+            gtd_writes: self.gtd_writes - rhs.gtd_writes,
+            gc_cb_data_victims: self.gc_cb_data_victims - rhs.gc_cb_data_victims,
+            gc_cb_map_victims: self.gc_cb_map_victims - rhs.gc_cb_map_victims,
+            hot_writes: self.hot_writes - rhs.hot_writes,
+            cold_writes: self.cold_writes - rhs.cold_writes,
         }
     }
 }

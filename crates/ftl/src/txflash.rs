@@ -80,7 +80,7 @@ impl TxFlashFtl {
     /// `n`) are rolled forward; incomplete cycles vanish.
     pub fn recover(chip: FlashChip) -> Result<Self> {
         let (mut base, log) = FtlBase::recover(chip)?;
-        Self::replay(&mut base, &log);
+        Self::replay(&mut base, &log)?;
         base.checkpoint(&mut NoHook)?;
         Ok(TxFlashFtl {
             base,
@@ -89,7 +89,7 @@ impl TxFlashFtl {
         })
     }
 
-    fn replay(base: &mut FtlBase, log: &RecoveryLog) {
+    fn replay(base: &mut FtlBase, log: &RecoveryLog) -> Result<()> {
         // Group each tid's pages into *runs*: a run ends at a cycle-closing
         // page, so a reused transaction id yields separate runs, each
         // judged on its own. GC may duplicate positions (relocated copies
@@ -149,8 +149,9 @@ impl TxFlashFtl {
         }
         folds.sort_by_key(|&(seq, _, _)| seq);
         for (_, lpn, ppa) in folds {
-            base.apply_event(lpn, ppa);
+            base.apply_event(lpn, ppa)?;
         }
+        Ok(())
     }
 
     /// Programs the buffered page of `tid` with the given link word.
@@ -291,7 +292,7 @@ impl TxBlockDevice for TxFlashFtl {
             // The cycle is durably closed: fold the newest version of
             // every page into the committed mapping.
             for (lpn, ppa) in pages {
-                self.base.fold_mapping(lpn, ppa);
+                self.base.fold_mapping(lpn, ppa)?;
             }
         }
         let t_end = self.base.clock().now();

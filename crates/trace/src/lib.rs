@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod heat;
 pub mod hist;
 pub mod json;
 pub mod op;
@@ -33,6 +34,7 @@ pub mod recorder;
 pub mod report;
 
 pub use event::{Event, Layer, RING_CAPACITY};
+pub use heat::HeatSketch;
 pub use hist::{Hist, HistSummary};
 pub use json::{parse as parse_json, JsonError, JsonValue};
 pub use op::OpClass;

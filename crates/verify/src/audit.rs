@@ -402,7 +402,10 @@ pub fn audit_base(base: &FtlBase) -> Result<AuditReport, AuditViolation> {
         }
     }
     for lpn in 0..base.capacity_pages() {
-        let Some(ppa) = base.l2p_get(lpn) else {
+        // `l2p_peek` resolves non-resident slabs by silently reading the
+        // persisted translation page, so the audit itself perturbs neither
+        // the mapping cache nor the stats it is checking.
+        let Some(ppa) = base.l2p_peek(lpn) else {
             continue;
         };
         report.mapped_lpns += 1;
@@ -469,7 +472,7 @@ pub fn audit_xftl(dev: &XFtl) -> Result<AuditReport, AuditViolation> {
     let chip = base.chip();
     for entry in table.iter() {
         report.xl2p_entries += 1;
-        let current = base.l2p_get(entry.lpn);
+        let current = base.l2p_peek(entry.lpn);
         // A committed entry of a staged (submitted, unflushed) commit is
         // the live read path for its page even though the L2P does not
         // point at it yet: it gets the full liveness check, and — like an
@@ -655,7 +658,7 @@ mod tests {
         let _ticket = dev.commit_submit(9).unwrap();
         // The commit is staged, not durable: a crash still rolls back to
         // the old version, so reclaiming it now is a GC bug.
-        let old = dev.base().l2p_get(5).unwrap();
+        let old = dev.base().l2p_peek(5).unwrap();
         dev.base_mut().chip_mut().erase(old.block).unwrap();
         // The wiped rollback copy is also the L2P-current page, so the
         // audit may trip on either check; what matters is that the loss
@@ -679,7 +682,7 @@ mod tests {
         dev.write_tx(9, 5, &vec![2; ps]).unwrap();
         // Simulate a GC bug: erase the block holding the old committed
         // version that active tid 9 pins for rollback.
-        let old = dev.base().l2p_get(5).unwrap();
+        let old = dev.base().l2p_peek(5).unwrap();
         dev.base_mut().chip_mut().erase(old.block).unwrap();
         let err = audit_xftl(&dev).unwrap_err();
         let msg = err.to_string();

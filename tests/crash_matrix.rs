@@ -753,6 +753,112 @@ fn oracle_double_recovery_is_idempotent() {
     assert_eq!(buf[0], 1, "in-flight tx write survived double recovery");
 }
 
+/// Power cut in the middle of a dirty-slab eviction flush: with a
+/// one-slab mapping-cache budget every miss evicts, and a dirty victim
+/// programs its translation page before the fetch — the fuse kills
+/// exactly that program. Recovery must rebuild the identical mapping by
+/// OOB roll-forward (acknowledged writes intact, the never-programmed
+/// one absent), and the flash auditor — which now decodes translation
+/// pages and the GTD — must still pass on the torn image.
+#[cfg(feature = "verify")]
+#[test]
+fn oracle_fuse_mid_eviction_flush_recovers_acknowledged_writes() {
+    use xftl_ftl::BlockDevice;
+    const MAP_LOGICAL: u64 = 400;
+    let chip = FlashChip::new(FlashConfig::tiny(110), SimClock::new());
+    let mut dev = ShadowDevice::new(PageMappedFtl::format(chip, MAP_LOGICAL).unwrap());
+    dev.inner_mut()
+        .base_mut()
+        .set_map_cache_budget(Some(1))
+        .unwrap();
+    let ps = dev.page_size();
+    for lpn in 0..MAP_LOGICAL {
+        let fill = u8::try_from(lpn % 250).unwrap() + 1;
+        dev.write(lpn, &vec![fill; ps]).unwrap();
+    }
+    dev.flush().unwrap();
+    // Dirty the slab covering lpn 0, then touch a far slab: the miss
+    // must flush slab 0's translation page first, and the one-op fuse
+    // dies inside that eviction program.
+    dev.write(0, &vec![0xEE; ps]).unwrap();
+    dev.inner_mut().base_mut().chip_mut().arm_power_fuse(1);
+    assert!(
+        dev.write(390, &vec![0xDD; ps]).is_err(),
+        "fuse must fire in the eviction flush"
+    );
+
+    let (ftl, model) = dev.into_parts();
+    let mut chip = ftl.into_chip();
+    chip.power_cycle();
+    let mut dev = ShadowDevice::resume(PageMappedFtl::recover(chip).unwrap(), model);
+    dev.verify_recovered();
+    dev.audit();
+    dev.inner_mut()
+        .base_mut()
+        .set_map_cache_budget(Some(1))
+        .unwrap();
+    let mut buf = vec![0u8; ps];
+    dev.read(0, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xEE, "acknowledged write lost in eviction crash");
+    for lpn in 1..MAP_LOGICAL {
+        dev.read(lpn, &mut buf).unwrap();
+        let expect = u8::try_from(lpn % 250).unwrap() + 1;
+        assert_eq!(buf[0], expect, "lpn {lpn} corrupted by the torn eviction");
+    }
+}
+
+/// Recover twice in a row under a bounded mapping-cache budget, crashing
+/// first inside an eviction window: the second recovery — interrupting
+/// nothing but re-running the roll-forward checkpoint, GTD programs, and
+/// meta-root append of the first — must reproduce the *identical* L2P
+/// mapping and data image. Runs in every feature configuration.
+#[test]
+fn double_recovery_with_bounded_cache_is_idempotent() {
+    use xftl_ftl::BlockDevice;
+    const MAP_LOGICAL: u64 = 400;
+    let chip = FlashChip::new(FlashConfig::tiny(110), SimClock::new());
+    let mut dev = PageMappedFtl::format(chip, MAP_LOGICAL).unwrap();
+    dev.base_mut().set_map_cache_budget(Some(2)).unwrap();
+    let ps = dev.page_size();
+    for lpn in 0..MAP_LOGICAL {
+        let fill = u8::try_from(lpn % 250).unwrap() + 1;
+        dev.write(lpn, &vec![fill; ps]).unwrap();
+    }
+    dev.write(5, &vec![0xEE; ps]).unwrap();
+    // The next cross-slab write needs an eviction and a data program;
+    // the one-op fuse dies in whichever comes first.
+    dev.base_mut().chip_mut().arm_power_fuse(1);
+    assert!(
+        dev.write(300, &vec![0xDD; ps]).is_err(),
+        "fuse must fire mid-write"
+    );
+    let mut chip = dev.into_chip();
+    chip.power_cycle();
+    let first = PageMappedFtl::recover(chip).unwrap();
+    let mapping_first: Vec<_> = (0..MAP_LOGICAL).map(|l| first.base().l2p_peek(l)).collect();
+    // Immediate second power cycle: recovery's own writes must land in a
+    // state that recovers to the same mapping.
+    let mut chip = first.into_chip();
+    chip.power_cycle();
+    let mut second = PageMappedFtl::recover(chip).unwrap();
+    let mapping_second: Vec<_> = (0..MAP_LOGICAL)
+        .map(|l| second.base().l2p_peek(l))
+        .collect();
+    assert_eq!(
+        mapping_first, mapping_second,
+        "double recovery changed the mapping"
+    );
+    second.base_mut().set_map_cache_budget(Some(2)).unwrap();
+    let mut buf = vec![0u8; ps];
+    second.read(5, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xEE, "acknowledged write lost");
+    for lpn in (0..MAP_LOGICAL).filter(|l| *l != 5 && *l != 300) {
+        second.read(lpn, &mut buf).unwrap();
+        let expect = u8::try_from(lpn % 250).unwrap() + 1;
+        assert_eq!(buf[0], expect, "lpn {lpn} corrupted across recoveries");
+    }
+}
+
 /// Power cut with the full MVCC machinery engaged: two snapshot writers
 /// mid-flight, one commit durably flushed, and one more submitted but
 /// never redeemed. Recovery must keep the flushed commit, drop the

@@ -1206,3 +1206,137 @@ fn xftl_mvcc_schedules_match_model() {
         resolve_crash_world(&mut dev, &durable, &staged_model, case);
     }
 }
+
+// --- family 12: demand-paged mapping cache vs the full-RAM reference ------------
+
+/// One step of a random cache-pressure schedule. `Budget` re-bounds the
+/// mapping cache mid-run (an eviction storm when it shrinks), `Crash`
+/// power-cycles at an arbitrary point — including between a dirty
+/// eviction flush and the next checkpoint.
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Write { lpn: u64, byte: u8 },
+    Read { lpn: u64 },
+    Budget { slots: usize },
+    Flush,
+    Crash,
+}
+
+fn rand_cache_ops(rng: &mut StdRng, logical: u64, slabs: usize) -> Vec<CacheOp> {
+    let n = rng.gen_range(60usize..200);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..12) {
+            0..=5 => CacheOp::Write {
+                lpn: rng.gen_range(0..logical),
+                byte: rng.gen_range(1u8..=250),
+            },
+            6..=8 => CacheOp::Read {
+                lpn: rng.gen_range(0..logical),
+            },
+            9 => CacheOp::Budget {
+                slots: rng.gen_range(1..=slabs),
+            },
+            10 => CacheOp::Flush,
+            _ => CacheOp::Crash,
+        })
+        .collect()
+}
+
+/// A demand-paged device under a random mapping-cache budget and a
+/// random eviction schedule behaves exactly like the full-RAM device:
+/// every read agrees with an unbounded twin and with a byte model, the
+/// resident-slab count never exceeds the budget at an op boundary, and
+/// a crash at an arbitrary point — mid-schedule, dirty slabs evicted or
+/// not — recovers the *identical* L2P mapping the live device held.
+#[test]
+fn demand_paged_cache_matches_full_ram_model() {
+    for case in 0..24u64 {
+        let mut rng = case_rng(12, case);
+        // ~7 translation slabs at the tiny geometry (64 entries each), so
+        // every budget from 1 slab (thrash) to all of them is reachable.
+        let logical: u64 = 400;
+        let chip = || FlashChip::new(FlashConfig::tiny(110), SimClock::new());
+        let mut bounded = PageMappedFtl::format(chip(), logical).unwrap();
+        let mut full = PageMappedFtl::format(chip(), logical).unwrap();
+        let slabs = bounded.base().map_cache().slabs();
+        assert!(slabs >= 4, "geometry must exercise multiple slabs");
+        let mut budget = rng.gen_range(1..=slabs);
+        bounded
+            .base_mut()
+            .set_map_cache_budget(Some(budget))
+            .unwrap();
+        let ops = rand_cache_ops(&mut rng, logical, slabs);
+        let ps = bounded.page_size();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        let mut buf_a = vec![0u8; ps];
+        let mut buf_b = vec![0u8; ps];
+        // Stats reset at every power cycle; accumulate across them.
+        let mut misses = 0u64;
+        for op in &ops {
+            match op {
+                CacheOp::Write { lpn, byte } => {
+                    bounded.write(*lpn, &vec![*byte; ps]).unwrap();
+                    full.write(*lpn, &vec![*byte; ps]).unwrap();
+                    model.insert(*lpn, *byte);
+                }
+                CacheOp::Read { lpn } => {
+                    bounded.read(*lpn, &mut buf_a).unwrap();
+                    full.read(*lpn, &mut buf_b).unwrap();
+                    let expect = model.get(lpn).copied().unwrap_or(0);
+                    assert_eq!(buf_a[0], expect, "case {case}: bounded read at {op:?}");
+                    assert_eq!(buf_a, buf_b, "case {case}: devices disagree at {op:?}");
+                }
+                CacheOp::Budget { slots } => {
+                    budget = *slots;
+                    bounded
+                        .base_mut()
+                        .set_map_cache_budget(Some(budget))
+                        .unwrap();
+                }
+                CacheOp::Flush => {
+                    bounded.flush().unwrap();
+                    full.flush().unwrap();
+                }
+                CacheOp::Crash => {
+                    // The mapping the live device holds right now — dirty
+                    // resident slabs and persisted translation pages alike.
+                    let before: Vec<_> = (0..logical).map(|l| bounded.base().l2p_peek(l)).collect();
+                    misses += bounded.stats().map_cache_misses;
+                    bounded = PageMappedFtl::recover(bounded.into_chip()).unwrap();
+                    bounded
+                        .base_mut()
+                        .set_map_cache_budget(Some(budget))
+                        .unwrap();
+                    let after: Vec<_> = (0..logical).map(|l| bounded.base().l2p_peek(l)).collect();
+                    assert_eq!(before, after, "case {case}: recovery changed the mapping");
+                    full = PageMappedFtl::recover(full.into_chip()).unwrap();
+                }
+            }
+            // The budget bound holds at every op boundary.
+            assert!(
+                bounded.base().map_cache().resident() <= budget,
+                "case {case}: {} resident slabs over budget {budget} after {op:?}",
+                bounded.base().map_cache().resident(),
+            );
+        }
+        // Final crash for both devices: the whole logical space must read
+        // back identically (roll-forward finds even unflushed writes).
+        misses += bounded.stats().map_cache_misses;
+        let mut bounded = PageMappedFtl::recover(bounded.into_chip()).unwrap();
+        bounded
+            .base_mut()
+            .set_map_cache_budget(Some(budget))
+            .unwrap();
+        let mut full = PageMappedFtl::recover(full.into_chip()).unwrap();
+        for lpn in 0..logical {
+            bounded.read(lpn, &mut buf_a).unwrap();
+            full.read(lpn, &mut buf_b).unwrap();
+            let expect = model.get(&lpn).copied().unwrap_or(0);
+            assert_eq!(buf_a[0], expect, "case {case}: lpn {lpn} after recovery");
+            assert_eq!(buf_a, buf_b, "case {case}: lpn {lpn} devices diverged");
+        }
+        // The bounded run actually exercised demand paging.
+        misses += bounded.stats().map_cache_misses;
+        assert!(misses > 0, "case {case}: schedule never missed the cache");
+    }
+}

@@ -19,7 +19,7 @@ use xftl_trace::BenchReport;
 /// whenever the timing model is deliberately improved — get 10 % before
 /// the gate demands a baseline refresh.
 fn tolerance_for(name: &str) -> f64 {
-    let timing_suffixes = ["_ns", "_iops", "_tps", "_tpm", "pages_per_txn"];
+    let timing_suffixes = ["_ns", "_iops", "_tps", "_tpm", "_per_s", "pages_per_txn"];
     if timing_suffixes.iter().any(|s| name.ends_with(s)) {
         0.10
     } else {
@@ -52,19 +52,34 @@ fn flatten(report: &BenchReport) -> Vec<(String, f64)> {
     out
 }
 
-/// Compares a fresh report against the committed baseline. Returns one
-/// human-readable line per violation; empty means the gate passes.
-pub fn compare_reports(baseline: &BenchReport, fresh: &BenchReport) -> Vec<String> {
+/// Outcome of a baseline comparison: `violations` fail the gate,
+/// `warnings` are printed but let it pass.
+#[derive(Debug, Default)]
+pub struct Compared {
+    pub violations: Vec<String>,
+    pub warnings: Vec<String>,
+}
+
+/// Compares a fresh report against the committed baseline. Every
+/// baseline metric must be present and within tolerance — a baseline
+/// that goes stale is a hard failure either way. Metrics *new* in the
+/// fresh report are violations by default (the baseline must be
+/// refreshed deliberately), but `allow_new` downgrades exactly those to
+/// warnings so a PR that adds instrumentation can land before its
+/// baseline is re-blessed; missing metrics still fail.
+pub fn compare_reports(baseline: &BenchReport, fresh: &BenchReport, allow_new: bool) -> Compared {
     let base = flatten(baseline);
     let new = flatten(fresh);
-    let mut violations = Vec::new();
+    let mut out = Compared::default();
     for (name, b) in &base {
         match new.iter().find(|(n, _)| n == name) {
-            None => violations.push(format!("missing metric `{name}` (baseline has {b})")),
+            None => out
+                .violations
+                .push(format!("missing metric `{name}` (baseline has {b})")),
             Some((_, f)) => {
                 let tol = tolerance_for(name);
                 if !within(*b, *f, tol) {
-                    violations.push(format!(
+                    out.violations.push(format!(
                         "`{name}`: fresh {f} vs baseline {b} (tolerance {:.0}%)",
                         tol * 100.0
                     ));
@@ -74,12 +89,16 @@ pub fn compare_reports(baseline: &BenchReport, fresh: &BenchReport) -> Vec<Strin
     }
     for (name, f) in &new {
         if !base.iter().any(|(n, _)| n == name) {
-            violations.push(format!(
-                "new metric `{name}` = {f} not in baseline (refresh BENCH_BASELINE.json)"
-            ));
+            let line =
+                format!("new metric `{name}` = {f} not in baseline (refresh the baseline file)");
+            if allow_new {
+                out.warnings.push(line);
+            } else {
+                out.violations.push(line);
+            }
         }
     }
-    violations
+    out
 }
 
 /// The commit-pipeline gate: beyond matching the baseline, the fresh
@@ -153,6 +172,60 @@ pub fn concurrent_gate(fresh: &BenchReport) -> Vec<String> {
     }
 }
 
+/// The GC steady-state gate: the demand-paged-mapping claims must hold
+/// as *absolute* properties of the fresh report, independent of any
+/// baseline drift. The mapping cache must serve > 80 % of translations
+/// from RAM at the bench's bounded budget, cost-benefit victim
+/// selection must beat greedy on write amplification under Zipfian
+/// skew, and the resident-slab high-water mark must never exceed the
+/// configured budget. Metrics present in the report but out of bounds
+/// — or missing entirely — are violations; like the pipeline gate,
+/// this catches regressions that a re-blessed baseline would launder.
+pub fn steady_gate(fresh: &BenchReport) -> Vec<String> {
+    let get = |name: &str| {
+        fresh
+            .metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    };
+    let mut violations = Vec::new();
+    let mut need = |name: &str| {
+        let v = get(name);
+        if v.is_none() {
+            violations.push(format!("`{name}` missing — steady gate cannot run"));
+        }
+        v
+    };
+    let hit = need("steady.cb.map_cache_hit_rate");
+    let cb_wa = need("steady.cb.wa");
+    let greedy_wa = need("steady.greedy.wa");
+    let budget = need("steady.cb.cache_budget_slabs");
+    let resident = need("steady.cb.cache_resident_max");
+    if let Some(h) = hit {
+        if h <= 0.80 {
+            violations.push(format!(
+                "mapping-cache hit rate {h:.4} <= 0.80 — demand paging is thrashing"
+            ));
+        }
+    }
+    if let (Some(cb), Some(greedy)) = (cb_wa, greedy_wa) {
+        if cb >= greedy {
+            violations.push(format!(
+                "cost-benefit WA {cb:.4} >= greedy WA {greedy:.4} — victim-selection win lost"
+            ));
+        }
+    }
+    if let (Some(r), Some(b)) = (resident, budget) {
+        if r > b {
+            violations.push(format!(
+                "resident slabs peaked at {r:.0} over the budget of {b:.0} — cache bound broken"
+            ));
+        }
+    }
+    violations
+}
+
 fn load_report(path: &Path) -> Result<BenchReport, String> {
     let text =
         fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -160,8 +233,16 @@ fn load_report(path: &Path) -> Result<BenchReport, String> {
 }
 
 /// The `bench-check` command body: loads both reports, prints every
-/// violation, returns the violation count.
-pub fn bench_check(fresh_path: &Path, baseline_path: &Path) -> Result<usize, String> {
+/// violation, returns the violation count. The structural gates
+/// dispatch on the report name: the `all` report carries the pipeline
+/// and concurrent sweeps, the `steady` report carries the GC
+/// steady-state metrics (a future `all` that folds them in gets the
+/// steady gate too, keyed on metric presence).
+pub fn bench_check(
+    fresh_path: &Path,
+    baseline_path: &Path,
+    allow_new: bool,
+) -> Result<usize, String> {
     let baseline = load_report(baseline_path)?;
     let fresh = load_report(fresh_path)?;
     if baseline.meta != fresh.meta {
@@ -170,18 +251,29 @@ pub fn bench_check(fresh_path: &Path, baseline_path: &Path) -> Result<usize, Str
             fresh.meta, baseline.meta
         ));
     }
-    let mut violations = compare_reports(&baseline, &fresh);
-    violations.extend(pipeline_gate(&fresh));
-    violations.extend(concurrent_gate(&fresh));
+    let compared = compare_reports(&baseline, &fresh, allow_new);
+    let mut violations = compared.violations;
+    if fresh.name == "all" {
+        violations.extend(pipeline_gate(&fresh));
+        violations.extend(concurrent_gate(&fresh));
+    }
+    let has_steady = |r: &BenchReport| r.metrics.iter().any(|(n, _)| n.starts_with("steady."));
+    if fresh.name == "steady" || has_steady(&fresh) || has_steady(&baseline) {
+        violations.extend(steady_gate(&fresh));
+    }
+    for w in &compared.warnings {
+        println!("bench-check: warning: {w}");
+    }
     for v in &violations {
         println!("bench-check: {v}");
     }
     println!(
-        "bench-check: {} vs {}: {} metric(s) compared, {} violation(s)",
+        "bench-check: {} vs {}: {} metric(s) compared, {} violation(s), {} warning(s)",
         fresh_path.display(),
         baseline_path.display(),
         flatten(&baseline).len(),
         violations.len(),
+        compared.warnings.len(),
     );
     Ok(violations.len())
 }
@@ -205,7 +297,9 @@ mod tests {
             ("table1.xftl.fsyncs", 12.0),
             ("fig5.v50.u5.xftl.elapsed_ns", 1e9),
         ]);
-        assert!(compare_reports(&base, &base.clone()).is_empty());
+        assert!(compare_reports(&base, &base.clone(), false)
+            .violations
+            .is_empty());
     }
 
     #[test]
@@ -213,28 +307,43 @@ mod tests {
         let base = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1e9)]);
         // 8% latency drift: inside the 10% band.
         let fresh = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1.08e9)]);
-        assert!(compare_reports(&base, &fresh).is_empty());
+        assert!(compare_reports(&base, &fresh, false).violations.is_empty());
         // 12% drift: violation (the negative test of the acceptance
         // criteria — a perturbed metric must fail the gate).
         let fresh = report_with(&[("fig5.v50.u5.xftl.elapsed_ns", 1.12e9)]);
-        assert_eq!(compare_reports(&base, &fresh).len(), 1);
+        assert_eq!(compare_reports(&base, &fresh, false).violations.len(), 1);
     }
 
     #[test]
     fn bench_check_counts_are_exact() {
         let base = report_with(&[("table1.xftl.fsyncs", 12.0)]);
         let fresh = report_with(&[("table1.xftl.fsyncs", 13.0)]);
-        assert_eq!(compare_reports(&base, &fresh).len(), 1);
+        assert_eq!(compare_reports(&base, &fresh, false).violations.len(), 1);
     }
 
     #[test]
     fn bench_check_flags_missing_and_extra_metrics() {
         let base = report_with(&[("a.count", 1.0), ("b.count", 2.0)]);
         let fresh = report_with(&[("a.count", 1.0), ("c.count", 3.0)]);
-        let v = compare_reports(&base, &fresh);
+        let v = compare_reports(&base, &fresh, false).violations;
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().any(|m| m.contains("missing metric `b.count`")));
         assert!(v.iter().any(|m| m.contains("new metric `c.count`")));
+    }
+
+    #[test]
+    fn allow_new_downgrades_new_metrics_but_not_missing_ones() {
+        let base = report_with(&[("a.count", 1.0), ("b.count", 2.0)]);
+        let fresh = report_with(&[("a.count", 1.0), ("c.count", 3.0)]);
+        let out = compare_reports(&base, &fresh, true);
+        // The new metric is a warning, the missing one still fails.
+        assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+        assert!(out.violations[0].contains("missing metric `b.count`"));
+        assert_eq!(out.warnings.len(), 1, "{:?}", out.warnings);
+        assert!(out.warnings[0].contains("new metric `c.count`"));
+        // A drifted metric is never downgraded by --allow-new.
+        let drifted = report_with(&[("a.count", 7.0), ("b.count", 2.0)]);
+        assert_eq!(compare_reports(&base, &drifted, true).violations.len(), 1);
     }
 
     #[test]
@@ -251,7 +360,7 @@ mod tests {
         // Same count, latency shifted far beyond 10%: the *_ns hist
         // fields trip, the count field does not.
         let fresh = mk(2_000_000);
-        let v = compare_reports(&base, &fresh);
+        let v = compare_reports(&base, &fresh, false).violations;
         assert!(!v.is_empty());
         assert!(v.iter().all(|m| m.contains("_ns")), "{v:?}");
     }
@@ -294,5 +403,36 @@ mod tests {
         // Dropping the sweep must not silently pass.
         let missing = report_with(&[("concurrent.w1.disjoint_commit_tps", 900.0)]);
         assert_eq!(concurrent_gate(&missing).len(), 1);
+    }
+
+    fn steady_report(hit: f64, cb_wa: f64, greedy_wa: f64, resident: f64) -> BenchReport {
+        report_with(&[
+            ("steady.cb.map_cache_hit_rate", hit),
+            ("steady.cb.wa", cb_wa),
+            ("steady.greedy.wa", greedy_wa),
+            ("steady.cb.cache_budget_slabs", 100.0),
+            ("steady.cb.cache_resident_max", resident),
+        ])
+    }
+
+    #[test]
+    fn steady_gate_demands_hit_rate_and_wa_win() {
+        // The healthy shape: hot cache, cost-benefit beats greedy,
+        // residency under budget.
+        assert!(steady_gate(&steady_report(0.87, 2.8, 3.4, 100.0)).is_empty());
+        // Thrashing cache: hit rate at or under the 80% floor fails.
+        assert_eq!(steady_gate(&steady_report(0.80, 2.8, 3.4, 100.0)).len(), 1);
+        // Victim-selection win lost: cost-benefit WA >= greedy WA.
+        assert_eq!(steady_gate(&steady_report(0.87, 3.4, 3.4, 100.0)).len(), 1);
+        // Budget overrun: resident high-water mark above the budget.
+        assert_eq!(steady_gate(&steady_report(0.87, 2.8, 3.4, 101.0)).len(), 1);
+    }
+
+    #[test]
+    fn steady_gate_fails_when_metrics_are_missing() {
+        // Dropping the steady metrics entirely must not silently pass.
+        let v = steady_gate(&report_with(&[("steady.logical_pages", 1000.0)]));
+        assert_eq!(v.len(), 5, "{v:?}");
+        assert!(v.iter().all(|m| m.contains("missing")));
     }
 }

@@ -14,8 +14,11 @@
 //!   `unsafe-wall`), preserving the historic command the CI and docs
 //!   reference. The old line-grep implementation is gone; this runs on
 //!   the same engine, so comments and strings can no longer trip it.
-//! - `bench-check [fresh] [baseline]` — the perf-regression gate over
-//!   `BENCH_*.json` reports (see [`xtask::benchcheck`]).
+//! - `bench-check [fresh] [baseline] [--allow-new]` — the
+//!   perf-regression gate over `BENCH_*.json` reports (see
+//!   [`xtask::benchcheck`]). `--allow-new` downgrades metrics the
+//!   baseline lacks to warnings so instrumentation can land ahead of a
+//!   baseline re-bless; missing or drifted metrics still fail.
 //!
 //! Waiver policy, lint catalogue, and the fixture corpus are documented
 //! in DESIGN.md ("Static analysis") and in [`xtask::analyze`].
@@ -121,13 +124,27 @@ fn main() -> ExitCode {
         Some("lint-sim") => run_analyze(&args[2..], Some(vec!["sim-clock", "unsafe-wall"])),
         Some("bench-check") => {
             let root = repo_root();
-            let fresh = args
-                .get(2)
-                .map_or_else(|| root.join("BENCH_all.json"), PathBuf::from);
-            let baseline = args
-                .get(3)
-                .map_or_else(|| root.join("BENCH_BASELINE.json"), PathBuf::from);
-            match benchcheck::bench_check(&fresh, &baseline) {
+            let mut allow_new = false;
+            let mut paths = Vec::new();
+            for arg in &args[2..] {
+                match arg.as_str() {
+                    "--allow-new" => allow_new = true,
+                    other if other.starts_with("--") => {
+                        eprintln!("bench-check: unknown flag `{other}`");
+                        return ExitCode::FAILURE;
+                    }
+                    path => paths.push(PathBuf::from(path)),
+                }
+            }
+            let fresh = paths
+                .first()
+                .cloned()
+                .unwrap_or_else(|| root.join("BENCH_all.json"));
+            let baseline = paths
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| root.join("BENCH_BASELINE.json"));
+            match benchcheck::bench_check(&fresh, &baseline, allow_new) {
                 Ok(0) => ExitCode::SUCCESS,
                 Ok(_) => ExitCode::FAILURE,
                 Err(e) => {
@@ -144,7 +161,9 @@ fn main() -> ExitCode {
                  \x20 analyze [--json P] [--features L] [--lints L]  domain lint suite (JSON report + summary)\n\
                  \x20 analyze --selftest               prove every lint live against the fixtures\n\
                  \x20 lint-sim                         determinism wall (sim-clock + unsafe-wall)\n\
-                 \x20 bench-check [fresh] [baseline]   compare bench reports\n\
+                 \x20 bench-check [fresh] [baseline] [--allow-new]\n\
+                 \x20                                  compare bench reports; --allow-new downgrades\n\
+                 \x20                                  metrics absent from the baseline to warnings\n\
                  \x20                                  (defaults: BENCH_all.json BENCH_BASELINE.json)"
             );
             ExitCode::FAILURE
