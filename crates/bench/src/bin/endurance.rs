@@ -1,0 +1,17 @@
+//! Drives each journaling mode to device end-of-life under an
+//! erase-failure-heavy fault environment with aging enabled, writing
+//! `BENCH_endurance.json` next to the text tables.
+use xftl_bench::experiments::endurance_exp::{endurance_sweep, EnduranceScale};
+use xftl_bench::{metrics, write_report, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    metrics::reset();
+    let es = match scale {
+        RunScale::Full => EnduranceScale::full(),
+        RunScale::Quick => EnduranceScale::quick(),
+        RunScale::Smoke => EnduranceScale::smoke(),
+    };
+    print!("{}", endurance_sweep(es));
+    write_report("endurance", scale);
+}

@@ -49,9 +49,10 @@ pub fn xl2p_capacity(quick: bool) -> String {
             ..RigConfig::small(Mode::XFtl)
         });
         let mut db = rig.open_db("s.db");
-        synthetic::load_partsupply(&mut db, &syn);
+        synthetic::load_partsupply(&mut db, &syn).expect("partsupp load failed");
         rig.reset_stats();
-        let r = synthetic::run_transactions(&mut db, &rig.clock, &syn);
+        let r = synthetic::run_transactions(&mut db, &rig.clock, &syn)
+            .expect("transaction phase failed");
         drop(db);
         let snap = rig.snapshot();
         metrics::metric(
@@ -268,10 +269,11 @@ pub fn wal_checkpoint_interval(quick: bool) -> String {
         });
         let mut db = rig.open_db("s.db");
         db.pager_mut().wal_autocheckpoint = interval;
-        synthetic::load_partsupply(&mut db, &syn);
+        synthetic::load_partsupply(&mut db, &syn).expect("partsupp load failed");
         db.reset_stats();
         rig.reset_stats();
-        let r = synthetic::run_transactions(&mut db, &rig.clock, &syn);
+        let r = synthetic::run_transactions(&mut db, &rig.clock, &syn)
+            .expect("transaction phase failed");
         let stats = *db.pager_stats();
         drop(db);
         metrics::metric(

@@ -95,6 +95,7 @@ pub const FAULT_SWEEP: [Severity; 5] = [
             erase_fail: 1e-4,
             read_flip: 1e-3,
             uncorrectable: 1e-4,
+            aging: None,
         }),
     },
     Severity {
@@ -105,6 +106,7 @@ pub const FAULT_SWEEP: [Severity; 5] = [
             erase_fail: 1e-3,
             read_flip: 1e-2,
             uncorrectable: 2e-4,
+            aging: None,
         }),
     },
     Severity {
@@ -115,6 +117,7 @@ pub const FAULT_SWEEP: [Severity; 5] = [
             erase_fail: 2e-2,
             read_flip: 5e-2,
             uncorrectable: 5e-4,
+            aging: None,
         }),
     },
     Severity {
@@ -125,6 +128,7 @@ pub const FAULT_SWEEP: [Severity; 5] = [
             erase_fail: 6e-2,
             read_flip: 8e-2,
             uncorrectable: 1e-3,
+            aging: None,
         }),
     },
 ];
@@ -153,7 +157,15 @@ impl FaultPoint {
 
 /// Runs one (mode, severity) cell: build a rig over the fault
 /// environment, load partsupp, run the transaction phase.
-pub fn run_point(mode: Mode, env: Option<FaultEnv>, scale: &FaultScale) -> FaultPoint {
+///
+/// # Errors
+/// A device that dies mid-run surfaces as the typed end-of-life error
+/// (`DbError::ReadOnly` or a device `OutOfSpace`) instead of a panic.
+pub fn run_point(
+    mode: Mode,
+    env: Option<FaultEnv>,
+    scale: &FaultScale,
+) -> xftl_db::Result<FaultPoint> {
     let blocks = scale.blocks();
     let rig = Rig::build(RigConfig {
         blocks,
@@ -171,10 +183,10 @@ pub fn run_point(mode: Mode, env: Option<FaultEnv>, scale: &FaultScale) -> Fault
         ..SyntheticConfig::default()
     };
     let mut db = rig.open_db("fault.db");
-    synthetic::load_partsupply(&mut db, &syn);
+    synthetic::load_partsupply(&mut db, &syn)?;
     rig.reset_stats();
     db.reset_stats();
-    let result = synthetic::run_transactions(&mut db, &rig.clock, &syn);
+    let result = synthetic::run_transactions(&mut db, &rig.clock, &syn)?;
     drop(db);
     // Latency distributions under fault load; the sink keeps the last
     // (hence harshest-sweep) run per mode.
@@ -184,29 +196,30 @@ pub fn run_point(mode: Mode, env: Option<FaultEnv>, scale: &FaultScale) -> Fault
     );
     let snap = rig.snapshot();
     let secs = result.elapsed_ns as f64 / 1e9;
-    FaultPoint {
+    Ok(FaultPoint {
         commit_ns: result.elapsed_ns / result.txns as u64,
         tps: result.txns as f64 / secs,
         iops: (snap.flash.reads + snap.flash.programs) as f64 / secs,
         blocks,
         snap,
-    }
+    })
 }
 
-/// Runs one baseline cell, absorbing a mid-run `OutOfSpace` panic into
-/// `None`: a journaling mode whose write amplification drives enough
-/// erase traffic that block retirements exhaust the free pool really is
-/// dead at that severity, and the sweep reports that as a result rather
-/// than refusing to print the table.
+/// Runs one baseline cell, folding a mid-run device death into `None`: a
+/// journaling mode whose write amplification drives enough erase traffic
+/// that block retirements exhaust the free pool really is dead at that
+/// severity, and the sweep reports that as a result rather than refusing
+/// to print the table. Anything other than the typed end-of-life errors
+/// is a genuine harness failure and still panics.
 fn try_point(mode: Mode, env: Option<FaultEnv>, scale: &FaultScale) -> Option<FaultPoint> {
-    // Silence the default hook while the panic is expected: a dead
-    // baseline is a table cell, not a backtrace.
-    let prev = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let got =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_point(mode, env, scale))).ok();
-    std::panic::set_hook(prev);
-    got
+    use xftl_db::DbError;
+    use xftl_fs::FsError;
+    use xftl_ftl::DevError;
+    match run_point(mode, env, scale) {
+        Ok(p) => Some(p),
+        Err(DbError::ReadOnly | DbError::Fs(FsError::Dev(DevError::OutOfSpace))) => None,
+        Err(e) => panic!("fault sweep: {mode:?} failed for a non-endurance reason: {e}"),
+    }
 }
 
 fn cell_ms(p: Option<&FaultPoint>) -> String {
@@ -237,9 +250,9 @@ pub fn fault_sweep(scale: FaultScale) -> String {
     for sev in FAULT_SWEEP {
         let rbj = try_point(Mode::Rbj, sev.env, &scale);
         let wal = try_point(Mode::Wal, sev.env, &scale);
-        // X-FTL must survive every severity in the sweep; a panic here is
-        // a genuine harness failure, not a reportable outcome.
-        let x = run_point(Mode::XFtl, sev.env, &scale);
+        // X-FTL must survive every severity in the sweep; an error here
+        // is a genuine harness failure, not a reportable outcome.
+        let x = run_point(Mode::XFtl, sev.env, &scale).expect("X-FTL died in the fault sweep");
         any_dead |= rbj.is_none() || wal.is_none();
         metrics::metric(
             format!("faults.{}.xftl_commit_ns", sev.label),
@@ -323,13 +336,14 @@ mod tests {
         erase_fail: 8e-2,
         read_flip: 8e-2,
         uncorrectable: 1e-3,
+        aging: None,
     };
 
     #[test]
     fn xftl_degrades_gracefully_to_heavy_block_retirement() {
         let scale = FaultScale::quick();
-        let clean = run_point(Mode::XFtl, None, &scale);
-        let extreme = run_point(Mode::XFtl, Some(TORTURE), &scale);
+        let clean = run_point(Mode::XFtl, None, &scale).expect("clean run failed");
+        let extreme = run_point(Mode::XFtl, Some(TORTURE), &scale).expect("torture run failed");
         // The brutal regime must actually exercise every fault class…
         let f = &extreme.snap.flash;
         assert!(f.program_fails > 0, "program faults never fired");
@@ -360,8 +374,8 @@ mod tests {
     #[test]
     fn fault_severity_monotonically_costs_time() {
         let scale = FaultScale::quick();
-        let clean = run_point(Mode::XFtl, None, &scale);
-        let heavy = run_point(Mode::XFtl, FAULT_SWEEP[3].env, &scale);
+        let clean = run_point(Mode::XFtl, None, &scale).expect("clean run failed");
+        let heavy = run_point(Mode::XFtl, FAULT_SWEEP[3].env, &scale).expect("heavy run failed");
         // Fault handling charges real simulated time, so a heavy fault
         // regime can only slow the same workload down.
         assert!(heavy.snap.flash.fault_stall_ns > 0);

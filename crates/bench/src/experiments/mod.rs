@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod android_exp;
 pub mod channel_exp;
 pub mod concurrent_exp;
+pub mod endurance_exp;
 pub mod fault_exp;
 pub mod fio_exp;
 pub mod recovery_exp;

@@ -79,8 +79,8 @@ pub fn measure(mode: Mode, scale: RecoveryScale) -> RecoveryMeasurement {
     };
     {
         let mut db = rig.open_db("synthetic.db");
-        synthetic::load_partsupply(&mut db, &syn);
-        synthetic::run_transactions(&mut db, &rig.clock, &syn);
+        synthetic::load_partsupply(&mut db, &syn).expect("partsupp load failed");
+        synthetic::run_transactions(&mut db, &rig.clock, &syn).expect("transaction phase failed");
         // Leave an in-flight transaction with storage-resident state at
         // crash time: a small pager cache forces spills (hot journal in
         // RBJ, uncommitted frames in WAL, stolen tx pages on X-FTL).

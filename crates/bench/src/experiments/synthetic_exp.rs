@@ -168,18 +168,19 @@ pub fn run_cell(mode: Mode, validity: Validity, updates: usize, scale: SynScale)
         ..SyntheticConfig::default()
     };
     let mut db = rig.open_db("synthetic.db");
-    synthetic::load_partsupply(&mut db, &syn);
+    synthetic::load_partsupply(&mut db, &syn).expect("partsupp load failed");
     // Warm the GC into steady state before measuring, as the paper's
     // aged-drive setup does.
     let warm = SyntheticConfig {
         txns: (scale.txns / 4).max(10),
         ..syn
     };
-    synthetic::run_transactions(&mut db, &rig.clock, &warm);
+    synthetic::run_transactions(&mut db, &rig.clock, &warm).expect("warmup failed");
     rig.reset_stats();
     rig.telemetry().reset();
     db.reset_stats();
-    let result = synthetic::run_transactions(&mut db, &rig.clock, &syn);
+    let result =
+        synthetic::run_transactions(&mut db, &rig.clock, &syn).expect("transaction phase failed");
     let stats = *db.pager_stats();
     drop(db);
     // Per-layer latency distributions of the measured phase (the sink

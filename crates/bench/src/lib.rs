@@ -20,6 +20,7 @@
 //! | (channel scaling) | `experiments::channel_exp::channel_scaling` | `channels` |
 //! | (concurrent writers) | `experiments::concurrent_exp::concurrent_scaling` | `concurrent` |
 //! | (fault sweep) | `experiments::fault_exp::fault_sweep` | `faults` |
+//! | (endurance to end-of-life) | `experiments::endurance_exp::endurance_sweep` | `endurance` |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

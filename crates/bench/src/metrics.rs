@@ -23,8 +23,8 @@ static SINK: Mutex<Sink> = Mutex::new(Sink {
     hists: Vec::new(),
 });
 
-// `fault_exp` drives expected-dead baselines through `catch_unwind`; a
-// panic while the sink is held must not wedge the rest of the run.
+// A panicking experiment thread (e.g. a harness bug caught by a test's
+// `should_panic`) must not wedge the sink for the rest of the run.
 fn with_sink<R>(f: impl FnOnce(&mut Sink) -> R) -> R {
     f(&mut SINK.lock().unwrap_or_else(PoisonError::into_inner))
 }

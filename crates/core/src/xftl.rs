@@ -75,8 +75,8 @@ use std::collections::HashMap;
 
 use xftl_flash::{FlashChip, PageKind, SimClock};
 use xftl_ftl::{
-    BlockDevice, CmdId, CmdQueue, CommitTicket, DevCounters, DevError, FtlBase, FtlStats, IoCmd,
-    Lpn, NoHook, Result, Tid, TxBlockDevice,
+    BlockDevice, CmdId, CmdQueue, CommitTicket, DevCounters, DevError, DeviceState, FtlBase,
+    FtlStats, IoCmd, Lpn, NoHook, Result, Tid, TxBlockDevice,
 };
 use xftl_trace::{OpClass, Recorder};
 
@@ -210,9 +210,14 @@ impl XFtl {
             base.apply_event(lpn, ppa)?;
         }
         // Persist the recovered state and retire the old X-L2P table; the
-        // fresh checkpoint now owns every committed fold.
-        base.clear_xl2p_roots();
-        base.checkpoint(&mut NoHook)?;
+        // fresh checkpoint now owns every committed fold. A device that
+        // has degraded to read-only cannot take a checkpoint — keep the
+        // folds in RAM and the old roots on flash, and serve reads from
+        // the recovered mapping (re-recovery replays the same fold).
+        if base.device_state() != DeviceState::ReadOnly {
+            base.clear_xl2p_roots();
+            base.checkpoint(&mut NoHook)?;
+        }
         let t_end = clock.now();
         let breakdown = RecoveryBreakdown {
             total_ns: t_end - t0,
@@ -787,6 +792,13 @@ impl TxBlockDevice for XFtl {
                 .recorder()
                 .record_span(OpClass::TxCommit, tid, 0, now, now);
             return Ok(CommitTicket::immediate(tid));
+        }
+        // A writer transaction needs a durability flush (X-L2P persist +
+        // root write) that a read-only device can no longer perform.
+        // Refuse at submit time, before the commit becomes visible —
+        // commits acknowledged *before* the transition stay readable.
+        if self.base.device_state() == DeviceState::ReadOnly {
+            return Err(DevError::ReadOnly);
         }
         if let Some(&snap) = self.snapshots.get(&tid) {
             // A snapshot tid recommitting while still staged would fold

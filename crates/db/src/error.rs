@@ -31,6 +31,10 @@ pub enum DbError {
     Conflict,
     /// Database file is corrupt.
     Corrupt(&'static str),
+    /// The storage device has degraded to read-only mode (end of life):
+    /// statements that would write fail, queries keep working (SQLite's
+    /// `SQLITE_READONLY`).
+    ReadOnly,
 }
 
 impl fmt::Display for DbError {
@@ -48,6 +52,12 @@ impl fmt::Display for DbError {
                 write!(f, "transaction conflict: an overlapping commit won (retry)")
             }
             DbError::Corrupt(m) => write!(f, "database corrupt: {m}"),
+            DbError::ReadOnly => {
+                write!(
+                    f,
+                    "attempt to write a readonly database (device end-of-life)"
+                )
+            }
         }
     }
 }
@@ -56,13 +66,16 @@ impl std::error::Error for DbError {}
 
 impl From<FsError> for DbError {
     fn from(e: FsError) -> Self {
-        DbError::Fs(e)
+        match e {
+            FsError::ReadOnly => DbError::ReadOnly,
+            other => DbError::Fs(other),
+        }
     }
 }
 
 impl From<DevError> for DbError {
     fn from(e: DevError) -> Self {
-        DbError::Fs(FsError::Dev(e))
+        DbError::from(FsError::from(e))
     }
 }
 

@@ -31,7 +31,7 @@
 use crate::clock::{Nanos, SimClock};
 use crate::config::FlashConfig;
 use crate::error::{FlashError, Result};
-use crate::fault::{FaultKind, FaultOp, FaultPlan};
+use crate::fault::{EccEvent, FaultKind, FaultOp, FaultPlan};
 use crate::stats::{FlashStats, MAX_CHANNELS, QUEUE_DEPTH_BUCKETS};
 use std::fmt;
 use xftl_trace::{OpClass, Recorder, Telemetry};
@@ -162,6 +162,9 @@ impl PageData {
 struct ProgrammedPage {
     data: PageData,
     oob: Oob,
+    /// Simulated instant the program completed; retention aging measures
+    /// data age from here.
+    programmed_at: Nanos,
 }
 
 /// State of one physical page.
@@ -188,6 +191,14 @@ struct Block {
     /// Index of the next page that may legally be programmed.
     write_point: u32,
     erase_count: u64,
+    /// Full-page reads since the last erase; drives read-disturb aging.
+    reads: u64,
+    /// Bits ECC has corrected in this block since the last erase. The
+    /// FTL's scrubber reads this as its risk signal.
+    corrected_flips: u64,
+    /// Completion instant of the first program after the last erase;
+    /// retention aging of the whole block is measured from here.
+    first_program_at: Option<Nanos>,
 }
 
 impl Block {
@@ -196,6 +207,9 @@ impl Block {
             pages: Vec::new(),
             write_point: 0,
             erase_count: 0,
+            reads: 0,
+            corrected_flips: 0,
+            first_program_at: None,
         }
     }
 
@@ -286,6 +300,9 @@ pub struct FlashChip {
     /// cycles: the fault environment is a property of the silicon, not of
     /// the boot.
     fault: Option<FaultPlan>,
+    /// ECC outcome of the most recent full-page read, for FTL scrubber
+    /// feedback (real controllers expose this via a read-status register).
+    last_ecc: EccEvent,
     /// Telemetry sink; disabled by default. Host-side measurement, so it
     /// survives power cycles like [`FlashStats`] does.
     recorder: Telemetry,
@@ -311,6 +328,7 @@ impl FlashChip {
             dead: false,
             health: vec![BlockHealth::Good; config.geometry.blocks],
             fault: None,
+            last_ecc: EccEvent::Clean,
             recorder: Telemetry::disabled(),
         }
     }
@@ -604,26 +622,56 @@ impl FlashChip {
         } else {
             self.outstanding.push(sched.done);
         }
-        let (lpn, tid) = match self.blocks[ppa.block as usize].page(ppa.page as usize) {
-            Page::Erased => return Err(FlashError::ReadErased(ppa)),
-            Page::Torn => return Err(FlashError::TornPage(ppa)),
-            Page::Programmed(p) => (p.oob.lpn, p.oob.tid),
-        };
+        let (lpn, tid, programmed_at) =
+            match self.blocks[ppa.block as usize].page(ppa.page as usize) {
+                Page::Erased => return Err(FlashError::ReadErased(ppa)),
+                Page::Torn => return Err(FlashError::TornPage(ppa)),
+                Page::Programmed(p) => (p.oob.lpn, p.oob.tid, p.programmed_at),
+            };
+        // Every full-page read disturbs the block (physical state, counted
+        // whether or not a fault plan is installed).
+        self.blocks[ppa.block as usize].reads += 1;
         self.recorder
             .record_span(OpClass::ChipRead, tid, lpn, t_entry, sched.done);
-        // Fault model: bit flips surface on valid programmed pages. The
+        // Fault model: bit flips surface on valid programmed pages. Two
+        // sources stack: the plan's triggers/background rates, and the
+        // deterministic aging curve (read disturb + retention + wear). The
         // stall of the ECC failure path is charged to the serial firmware
         // dispatch clock (the controller blocks on correction/retry).
+        self.last_ecc = EccEvent::Clean;
         if let Some(plan) = &mut self.fault {
-            if let Some(FaultKind::ReadFlips(bits)) = plan.decide(FaultOp::Read, ppa, Some(lpn)) {
+            let fault_bits = match plan.decide(FaultOp::Read, ppa, Some(lpn)) {
+                Some(FaultKind::ReadFlips(bits)) => bits,
+                // Program/erase faults never fire on the read path.
+                Some(FaultKind::ProgramFail | FaultKind::EraseFail) | None => 0,
+            };
+            let aging_bits = match plan.aging_model() {
+                Some(model) if !plan.is_exempt(ppa.block) => {
+                    let b = &self.blocks[ppa.block as usize];
+                    let age = self.clock.now().saturating_sub(programmed_at);
+                    model.flips(b.reads, age, b.erase_count)
+                }
+                _ => 0,
+            };
+            let bits = fault_bits.saturating_add(aging_bits);
+            if bits > 0 {
                 let ecc = plan.ecc_config();
+                self.stats.aging_flips += u64::from(aging_bits);
                 if bits <= ecc.correctable_bits {
+                    self.last_ecc = EccEvent::Corrected(bits);
+                    self.blocks[ppa.block as usize].corrected_flips += u64::from(bits);
                     self.stats.corrected_reads += 1;
                     self.stats.fault_stall_ns += ecc.correction_ns;
                     self.recorder.record(OpClass::EccCorrect, ecc.correction_ns);
                     self.clock.advance(ecc.correction_ns);
                 } else {
+                    self.last_ecc = EccEvent::Uncorrectable(bits);
                     self.stats.uncorrectable_reads += 1;
+                    if aging_bits > 0 && fault_bits <= ecc.correctable_bits {
+                        // Aging pushed an otherwise-decodable page over the
+                        // budget: this is the loss a scrubber prevents.
+                        self.stats.aging_uncorrectable += 1;
+                    }
                     self.stats.fault_stall_ns += ecc.uncorrectable_ns;
                     self.recorder
                         .record(OpClass::EccCorrect, ecc.uncorrectable_ns);
@@ -790,9 +838,13 @@ impl FlashChip {
             Page::Programmed(Box::new(ProgrammedPage {
                 data: PageData::capture(data),
                 oob,
+                programmed_at: sched.done,
             })),
         );
         block.write_point = ppa.page + 1;
+        if block.first_program_at.is_none() {
+            block.first_program_at = Some(sched.done);
+        }
         if sync {
             self.clock.advance_to(sched.done);
         } else {
@@ -862,6 +914,11 @@ impl FlashChip {
         b.pages.shrink_to_fit();
         b.write_point = 0;
         b.erase_count += 1;
+        // An erase rewrites every cell: disturb and retention damage (and
+        // the ECC feedback that tracked it) reset with the charge.
+        b.reads = 0;
+        b.corrected_flips = 0;
+        b.first_program_at = None;
         if sync {
             self.clock.advance_to(sched.done);
         } else {
@@ -947,6 +1004,31 @@ impl FlashChip {
     /// Lifetime erase count of `block` (for wear statistics).
     pub fn erase_count(&self, block: u32) -> u64 {
         self.blocks[block as usize].erase_count
+    }
+
+    /// Full-page reads of `block` since its last erase (read-disturb
+    /// exposure). Free introspection for the FTL's scrub policy — real
+    /// firmware keeps this counter in controller SRAM.
+    pub fn block_read_count(&self, block: u32) -> u64 {
+        self.blocks[block as usize].reads
+    }
+
+    /// Bits ECC has corrected in `block` since its last erase — the
+    /// feedback signal a scrubber ranks relocation candidates by.
+    pub fn block_corrected_flips(&self, block: u32) -> u64 {
+        self.blocks[block as usize].corrected_flips
+    }
+
+    /// Completion instant of the first program after `block`'s last
+    /// erase, or `None` if the block is empty. Retention age of the
+    /// block's oldest data is `now - first_program_at`.
+    pub fn block_first_program_at(&self, block: u32) -> Option<Nanos> {
+        self.blocks[block as usize].first_program_at
+    }
+
+    /// ECC outcome of the most recent full-page read.
+    pub fn last_ecc_event(&self) -> EccEvent {
+        self.last_ecc
     }
 
     /// True if the page has never been programmed since its last erase.
@@ -1490,6 +1572,106 @@ mod tests {
             c.probe(Ppa::new(2, 0)).unwrap(),
             PageProbe::Programmed(_)
         ));
+    }
+
+    #[test]
+    fn read_disturb_ages_block_to_uncorrectable() {
+        use crate::fault::{AgingModel, EccEvent};
+        let mut c = chip();
+        let data = page(&c, 7);
+        c.program(Ppa::new(2, 0), &data, Oob::data(9)).unwrap();
+        // One flip every 10 reads past 50; ECC corrects 8 bits, so reads
+        // 51..=130 correct and read 141+ fails.
+        c.set_fault_plan(FaultPlan::new(1).aging(AgingModel {
+            read_disturb_threshold: 50,
+            reads_per_flip: 10,
+            ..AgingModel::inert()
+        }));
+        let mut buf = page(&c, 0);
+        for _ in 0..50 {
+            c.read(Ppa::new(2, 0), &mut buf).unwrap();
+        }
+        assert_eq!(c.last_ecc_event(), EccEvent::Clean);
+        assert_eq!(c.stats().corrected_reads, 0);
+        for _ in 0..80 {
+            c.read(Ppa::new(2, 0), &mut buf).unwrap();
+        }
+        assert!(matches!(c.last_ecc_event(), EccEvent::Corrected(_)));
+        assert!(c.stats().corrected_reads > 0);
+        assert!(c.stats().aging_flips > 0);
+        assert!(c.block_corrected_flips(2) > 0);
+        assert_eq!(c.block_read_count(2), 130);
+        for _ in 0..11 {
+            let _ = c.read(Ppa::new(2, 0), &mut buf);
+        }
+        assert_eq!(
+            c.read(Ppa::new(2, 0), &mut buf),
+            Err(FlashError::Uncorrectable(Ppa::new(2, 0)))
+        );
+        assert!(matches!(c.last_ecc_event(), EccEvent::Uncorrectable(_)));
+        assert!(c.stats().aging_uncorrectable > 0);
+        // OOB still probes: recovery scans survive aged-out data pages.
+        assert!(matches!(
+            c.probe(Ppa::new(2, 0)).unwrap(),
+            PageProbe::Programmed(_)
+        ));
+        // An erase heals the disturb damage entirely.
+        c.erase(2).unwrap();
+        assert_eq!(c.block_read_count(2), 0);
+        assert_eq!(c.block_corrected_flips(2), 0);
+        c.program(Ppa::new(2, 0), &data, Oob::data(9)).unwrap();
+        c.read(Ppa::new(2, 0), &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn retention_ages_old_data() {
+        use crate::fault::AgingModel;
+        let mut c = chip();
+        let data = page(&c, 7);
+        c.program(Ppa::new(2, 0), &data, Oob::data(9)).unwrap();
+        let ns_per_flip = crate::clock::SECOND;
+        c.set_fault_plan(FaultPlan::new(1).aging(AgingModel {
+            retention_threshold_ns: crate::clock::SECOND,
+            retention_ns_per_flip: ns_per_flip,
+            ..AgingModel::inert()
+        }));
+        let mut buf = page(&c, 0);
+        c.read(Ppa::new(2, 0), &mut buf).unwrap();
+        assert_eq!(
+            c.stats().aging_flips,
+            0,
+            "fresh data has no retention flips"
+        );
+        // Age the data far past the ECC budget (8 bits): 30 flips' worth.
+        c.clock().advance(31 * ns_per_flip);
+        assert_eq!(
+            c.read(Ppa::new(2, 0), &mut buf),
+            Err(FlashError::Uncorrectable(Ppa::new(2, 0)))
+        );
+        // Freshly rewritten data on another block decodes fine.
+        c.program(Ppa::new(3, 0), &data, Oob::data(9)).unwrap();
+        c.read(Ppa::new(3, 0), &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn aging_spares_exempt_blocks() {
+        use crate::fault::AgingModel;
+        let mut c = chip();
+        let data = page(&c, 7);
+        c.program(Ppa::new(0, 0), &data, Oob::data(1)).unwrap();
+        c.set_fault_plan(FaultPlan::new(1).aging(AgingModel {
+            read_disturb_threshold: 0,
+            reads_per_flip: 1,
+            ..AgingModel::inert()
+        }));
+        let mut buf = page(&c, 0);
+        // Block 0 is exempt (meta ring): unlimited reads stay clean.
+        for _ in 0..100 {
+            c.read(Ppa::new(0, 0), &mut buf).unwrap();
+        }
+        assert_eq!(c.stats().uncorrectable_reads, 0);
     }
 
     #[test]

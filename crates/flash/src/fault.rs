@@ -138,6 +138,84 @@ impl FaultTrigger {
     }
 }
 
+/// ECC feedback from one full-page read, surfaced by the chip so the FTL
+/// can steer its scrubber: a stream of `Corrected` events on one block is
+/// the early warning that precedes `Uncorrectable` data loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EccEvent {
+    /// The page decoded with no bit errors.
+    #[default]
+    Clean,
+    /// ECC corrected this many flipped bits in-line (read succeeded after
+    /// a correction stall).
+    Corrected(u32),
+    /// Flips exceeded the correction strength; the data did not decode.
+    Uncorrectable(u32),
+}
+
+/// Deterministic media-aging curve: read disturb, retention decay, and
+/// wear acceleration.
+///
+/// Real NAND accumulates raw bit errors from three processes: reads
+/// disturb the charge of neighbouring pages in the same block, stored
+/// charge leaks over time (retention), and both get worse as erase cycles
+/// wear the oxide. This model computes the *extra* flipped bits of one
+/// read as a pure function of physical state — the block's read count
+/// since its last erase, the page's age since program, and the block's
+/// lifetime erase count. No RNG is consulted, so installing an aging
+/// model never shifts the [`FaultPlan`] seed stream: `XFTL_FAULT_SEED`
+/// pins the background faults exactly as before.
+///
+/// The curve is piecewise linear: below each threshold a process
+/// contributes nothing; past it, one bit per `per_flip` step. Wear
+/// multiplies the sum once the erase count passes its threshold, modeling
+/// the end-of-life error-rate explosion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgingModel {
+    /// Reads of a block (since its last erase) before disturb flips start.
+    pub read_disturb_threshold: u64,
+    /// One disturb flip per this many reads past the threshold.
+    pub reads_per_flip: u64,
+    /// Page age (ns since program) before retention flips start.
+    pub retention_threshold_ns: Nanos,
+    /// One retention flip per this much age past the threshold.
+    pub retention_ns_per_flip: Nanos,
+    /// Erase count past which the disturb+retention sum is amplified.
+    pub wear_threshold: u64,
+    /// Amplification step: the sum is multiplied by
+    /// `1 + (erase_count - wear_threshold) / wear_per_step` (saturating).
+    pub wear_per_step: u64,
+}
+
+impl AgingModel {
+    /// A curve that never fires (all thresholds at the maximum). Useful
+    /// as a base for tests that enable one process at a time.
+    pub fn inert() -> Self {
+        AgingModel {
+            read_disturb_threshold: u64::MAX,
+            reads_per_flip: u64::MAX,
+            retention_threshold_ns: Nanos::MAX,
+            retention_ns_per_flip: Nanos::MAX,
+            wear_threshold: u64::MAX,
+            wear_per_step: u64::MAX,
+        }
+    }
+
+    /// Extra flipped bits for one read of a page whose block has seen
+    /// `reads` full-page reads since its last erase, whose data is
+    /// `age_ns` old, on a block with `erase_count` lifetime erases.
+    /// Deterministic; consumes no randomness.
+    pub fn flips(&self, reads: u64, age_ns: Nanos, erase_count: u64) -> u32 {
+        let disturb =
+            reads.saturating_sub(self.read_disturb_threshold) / self.reads_per_flip.max(1);
+        let retention =
+            age_ns.saturating_sub(self.retention_threshold_ns) / self.retention_ns_per_flip.max(1);
+        let wear_factor =
+            1 + erase_count.saturating_sub(self.wear_threshold) / self.wear_per_step.max(1);
+        u32::try_from((disturb + retention).saturating_mul(wear_factor)).unwrap_or(u32::MAX)
+    }
+}
+
 /// ECC strength and the latency cost of the failure paths.
 ///
 /// The latencies model a BCH/LDPC engine plus firmware handling on the
@@ -191,6 +269,7 @@ pub struct FaultPlan {
     /// keeps its meta root ring there, so the default exempts blocks 0-1.
     exempt: Vec<u32>,
     triggers: Vec<FaultTrigger>,
+    aging: Option<AgingModel>,
     ops_seen: u64,
 }
 
@@ -208,6 +287,7 @@ impl FaultPlan {
             uncorrectable_rate: 0.0,
             exempt: vec![0, 1],
             triggers: Vec::new(),
+            aging: None,
             ops_seen: 0,
         }
     }
@@ -274,9 +354,28 @@ impl FaultPlan {
         self
     }
 
+    /// Installs a deterministic media-aging curve. Aging flips stack on
+    /// top of any trigger/background flips for the same read and consume
+    /// no RNG draws, so the background fault stream is unchanged.
+    pub fn aging(mut self, model: AgingModel) -> Self {
+        self.aging = Some(model);
+        self
+    }
+
     /// The ECC model in force.
     pub fn ecc_config(&self) -> EccConfig {
         self.ecc
+    }
+
+    /// The aging curve in force, if any.
+    pub fn aging_model(&self) -> Option<AgingModel> {
+        self.aging
+    }
+
+    /// Whether `block` is on the fault-exempt list (never faulted, never
+    /// aged — the datasheet-guaranteed blocks holding the meta root ring).
+    pub fn is_exempt(&self, block: u32) -> bool {
+        self.exempt.contains(&block)
     }
 
     /// How many operations this plan has been consulted for. Trigger
@@ -450,6 +549,46 @@ mod tests {
             .filter(|_| plan.decide(FaultOp::Program, ppa(3), None).is_some())
             .count();
         assert!(fired > 50 && fired < 150, "fired {fired}/200 at p=0.5");
+    }
+
+    #[test]
+    fn aging_curve_is_piecewise_linear() {
+        let model = AgingModel {
+            read_disturb_threshold: 100,
+            reads_per_flip: 50,
+            retention_threshold_ns: 1_000,
+            retention_ns_per_flip: 500,
+            wear_threshold: 10,
+            wear_per_step: 5,
+        };
+        // Below every threshold: nothing.
+        assert_eq!(model.flips(100, 1_000, 10), 0);
+        // Disturb only: (300-100)/50 = 4.
+        assert_eq!(model.flips(300, 0, 0), 4);
+        // Retention only: (3000-1000)/500 = 4.
+        assert_eq!(model.flips(0, 3_000, 0), 4);
+        // Both, wear-amplified: (4+4) * (1 + (25-10)/5) = 32.
+        assert_eq!(model.flips(300, 3_000, 25), 32);
+    }
+
+    #[test]
+    fn inert_model_never_flips() {
+        let model = AgingModel::inert();
+        assert_eq!(model.flips(u64::MAX, Nanos::MAX, u64::MAX), 0);
+    }
+
+    #[test]
+    fn aging_does_not_shift_background_stream() {
+        let run = |aged: bool| {
+            let mut plan = FaultPlan::background(9, 0.05, 0.05, 0.1, 0.01);
+            if aged {
+                plan = plan.aging(AgingModel::inert());
+            }
+            (0..500)
+                .map(|i| plan.decide(FaultOp::Read, ppa(2 + i % 8), Some(i as u64)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -65,5 +65,5 @@ pub use chip::{BlockHealth, FlashChip, Oob, PageKind, PageProbe, Ppa};
 pub use clock::{Nanos, SimClock, Stopwatch, SECOND};
 pub use config::{FlashConfig, FlashConfigBuilder, FlashGeometry, FlashTimings};
 pub use error::{FlashError, Result};
-pub use fault::{EccConfig, FaultKind, FaultOp, FaultPlan, FaultTrigger};
+pub use fault::{AgingModel, EccConfig, EccEvent, FaultKind, FaultOp, FaultPlan, FaultTrigger};
 pub use stats::{FlashStats, MAX_CHANNELS, QUEUE_DEPTH_BUCKETS};

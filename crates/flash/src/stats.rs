@@ -43,6 +43,13 @@ pub struct FlashStats {
     pub corrected_reads: u64,
     /// Reads that exceeded the ECC correction strength.
     pub uncorrectable_reads: u64,
+    /// Total flipped bits attributed to the deterministic aging curve
+    /// (read disturb + retention + wear), corrected or not.
+    pub aging_flips: u64,
+    /// Uncorrectable reads that only aging pushed over the ECC budget
+    /// (the trigger/background flips alone would have decoded) — the
+    /// losses a scrubber exists to prevent.
+    pub aging_uncorrectable: u64,
     /// Extra simulated time spent in fault handling: ECC correction
     /// stalls, failed-program status polls, failed-erase retries.
     pub fault_stall_ns: Nanos,
@@ -120,6 +127,8 @@ impl Sub for FlashStats {
             erase_fails: self.erase_fails - rhs.erase_fails,
             corrected_reads: self.corrected_reads - rhs.corrected_reads,
             uncorrectable_reads: self.uncorrectable_reads - rhs.uncorrectable_reads,
+            aging_flips: self.aging_flips - rhs.aging_flips,
+            aging_uncorrectable: self.aging_uncorrectable - rhs.aging_uncorrectable,
             fault_stall_ns: self.fault_stall_ns - rhs.fault_stall_ns,
             busy_read_ns: self.busy_read_ns - rhs.busy_read_ns,
             busy_program_ns: self.busy_program_ns - rhs.busy_program_ns,

@@ -28,6 +28,9 @@ pub enum FsError {
     NeedsTxDevice,
     /// Operation requires a transaction id in this journal mode.
     NeedsTid,
+    /// The underlying device has degraded to read-only mode (end of
+    /// life): dirtying operations are refused, reads keep working.
+    ReadOnly,
 }
 
 impl fmt::Display for FsError {
@@ -48,6 +51,7 @@ impl fmt::Display for FsError {
                 )
             }
             FsError::NeedsTid => write!(f, "operation requires a transaction id in this mode"),
+            FsError::ReadOnly => write!(f, "volume is read-only (device end-of-life)"),
         }
     }
 }
@@ -63,7 +67,10 @@ impl std::error::Error for FsError {
 
 impl From<DevError> for FsError {
     fn from(e: DevError) -> Self {
-        FsError::Dev(e)
+        match e {
+            DevError::ReadOnly => FsError::ReadOnly,
+            other => FsError::Dev(other),
+        }
     }
 }
 

@@ -207,6 +207,10 @@ pub struct FileSystem<D: BlockDevice> {
     /// shared page cache (which always reflects newest state) and talk
     /// to the device directly under their tid.
     snapshot_tids: HashSet<Tid>,
+    /// True when mount found the device in end-of-life read-only mode
+    /// and skipped journal replay / header rewrite: the volume serves
+    /// the last checkpointed state, reads only.
+    mounted_read_only: bool,
 }
 
 impl<D: BlockDevice> FileSystem<D> {
@@ -279,6 +283,7 @@ impl<D: BlockDevice> FileSystem<D> {
             clock: None,
             tx,
             snapshot_tids: HashSet::new(),
+            mounted_read_only: false,
         })
     }
 
@@ -311,7 +316,7 @@ impl<D: BlockDevice> FileSystem<D> {
         let mut buf = vec![0u8; ps];
         dev.read(0, &mut buf)?;
         let sb = Superblock::decode(&buf)?;
-        let (journal, _replayed) = Journal::mount(&mut dev, &sb)?;
+        let (journal, _replayed, mounted_read_only) = Journal::mount(&mut dev, &sb)?;
         // Load the inode table.
         let mut inodes = Vec::with_capacity(sb.inode_count as usize);
         let ipp = sb.inodes_per_page() as usize;
@@ -350,6 +355,7 @@ impl<D: BlockDevice> FileSystem<D> {
             clock: None,
             tx,
             snapshot_tids: HashSet::new(),
+            mounted_read_only,
         };
         fs.dir = fs.load_dir()?;
         Ok(fs)
@@ -371,6 +377,14 @@ impl<D: BlockDevice> FileSystem<D> {
     /// Journal mode of this mount.
     pub fn mode(&self) -> JournalMode {
         self.mode
+    }
+
+    /// True when mount found the device in end-of-life read-only mode:
+    /// journal replay was skipped, so the volume serves the last
+    /// checkpointed state and every write path reports
+    /// [`FsError::ReadOnly`].
+    pub fn mounted_read_only(&self) -> bool {
+        self.mounted_read_only
     }
 
     /// File-system I/O statistics.

@@ -11,7 +11,7 @@
 //! to the device; a missing or mismatched commit page ends the replay —
 //! the classic all-or-nothing redo log.
 
-use xftl_ftl::{BlockDevice, IoCmd, Lpn};
+use xftl_ftl::{BlockDevice, DevError, IoCmd, Lpn};
 
 use crate::error::{FsError, Result};
 use crate::layout::Superblock;
@@ -71,9 +71,15 @@ impl Journal {
     }
 
     /// Loads the journal at mount time and replays every complete
-    /// transaction. Returns the journal plus the number of transactions
-    /// replayed.
-    pub fn mount<D: BlockDevice>(dev: &mut D, sb: &Superblock) -> Result<(Journal, u64)> {
+    /// transaction. Returns the journal, the number of transactions
+    /// replayed, and whether the device refused replay writes because it
+    /// reached end-of-life read-only mode.
+    ///
+    /// On a read-only device, replay stops at the first refused write
+    /// and the header is left untouched: home pages keep their last
+    /// checkpointed images — a consistent (if stale) state — and the
+    /// volume still mounts so committed data stays readable.
+    pub fn mount<D: BlockDevice>(dev: &mut D, sb: &Superblock) -> Result<(Journal, u64, bool)> {
         let ps = dev.page_size();
         let mut buf = vec![0u8; ps];
         dev.read(sb.jr_start, &mut buf)?;
@@ -93,10 +99,11 @@ impl Journal {
             pending: Vec::new(),
         };
         let mut replayed = 0;
+        let mut read_only = false;
         let mut off = tail_off;
         let mut seq = tail_seq;
         let capacity = j.region_pages - 1;
-        loop {
+        'replay: loop {
             // Descriptor?
             dev.read(j.abs(off), &mut buf)?;
             if get_u64(&buf, 0) != DESC_MAGIC || get_u64(&buf, 8) != seq {
@@ -121,22 +128,39 @@ impl Journal {
             for (i, home) in homes.iter().enumerate() {
                 let slot = j.wrap(off + 1 + i as u64);
                 dev.read(j.abs(slot), &mut pbuf)?;
-                dev.write(*home, &pbuf)?;
+                match dev.write(*home, &pbuf) {
+                    Ok(()) => {}
+                    Err(DevError::ReadOnly) => {
+                        read_only = true;
+                        break 'replay;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             replayed += 1;
             off = j.wrap(commit_off + 1);
             seq += 1;
         }
-        if replayed > 0 {
-            dev.flush()?;
+        if replayed > 0 && !read_only {
+            match dev.flush() {
+                Ok(()) | Err(DevError::ReadOnly) => {}
+                Err(e) => return Err(e.into()),
+            }
         }
-        // Reset: everything replayed is home; restart the log empty.
+        // Reset: everything replayed is home; restart the log empty. A
+        // read-only device keeps its persisted header (it cannot be
+        // rewritten, and no new transactions will ever append).
         j.head_off = off;
         j.next_seq = seq;
         j.tail_off = off;
         j.tail_seq = seq;
-        j.write_header(dev)?;
-        Ok((j, replayed))
+        if !read_only {
+            match j.write_header(dev) {
+                Ok(()) | Err(FsError::ReadOnly) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((j, replayed, read_only))
     }
 
     fn abs(&self, off: u64) -> Lpn {
@@ -292,7 +316,7 @@ mod tests {
         dev.flush().unwrap();
         // Crash before checkpoint: the home page was never written.
         let mut dev = PageMappedFtl::recover(dev.into_chip()).unwrap();
-        let (_, replayed) = Journal::mount(&mut dev, &sb).unwrap();
+        let (_, replayed, _) = Journal::mount(&mut dev, &sb).unwrap();
         assert_eq!(replayed, 1);
         let mut out = page(&dev, 0);
         dev.read(home, &mut out).unwrap();
@@ -309,7 +333,7 @@ mod tests {
         dev.flush().unwrap();
         // No commit page: crash.
         let mut dev = PageMappedFtl::recover(dev.into_chip()).unwrap();
-        let (_, replayed) = Journal::mount(&mut dev, &sb).unwrap();
+        let (_, replayed, _) = Journal::mount(&mut dev, &sb).unwrap();
         assert_eq!(replayed, 0);
         let mut out = page(&dev, 1);
         dev.read(home, &mut out).unwrap();
@@ -329,7 +353,7 @@ mod tests {
             dev.flush().unwrap();
         }
         let mut dev = PageMappedFtl::recover(dev.into_chip()).unwrap();
-        let (_, replayed) = Journal::mount(&mut dev, &sb).unwrap();
+        let (_, replayed, _) = Journal::mount(&mut dev, &sb).unwrap();
         assert_eq!(replayed, 3);
         let mut out = page(&dev, 0);
         dev.read(home, &mut out).unwrap();
@@ -353,7 +377,7 @@ mod tests {
         assert_eq!(out, image);
         // After checkpoint, a crash must not replay the old transaction.
         let mut dev = PageMappedFtl::recover(dev.into_chip()).unwrap();
-        let (_, replayed) = Journal::mount(&mut dev, &sb).unwrap();
+        let (_, replayed, _) = Journal::mount(&mut dev, &sb).unwrap();
         assert_eq!(replayed, 0);
     }
 
@@ -375,7 +399,7 @@ mod tests {
             dev.flush().unwrap();
         }
         let mut dev = PageMappedFtl::recover(dev.into_chip()).unwrap();
-        let (_, _) = Journal::mount(&mut dev, &sb).unwrap();
+        let (_, _, _) = Journal::mount(&mut dev, &sb).unwrap();
         let mut out = page(&dev, 0);
         dev.read(home, &mut out).unwrap();
         assert_eq!(out[0], 19, "latest image must win across wrap");

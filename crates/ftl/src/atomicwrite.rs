@@ -15,6 +15,7 @@ use xftl_flash::{FlashChip, Oob, PageKind, Ppa, SimClock};
 use crate::base::{FtlBase, GcHook, NoHook, RecoveryLog};
 use crate::dev::{BlockDevice, DevCounters, Lpn, Tid};
 use crate::error::Result;
+use crate::health::DeviceState;
 use crate::stats::FtlStats;
 
 /// Magic prefix of a commit-record page ("AWRECORD").
@@ -75,7 +76,11 @@ impl AtomicWriteFtl {
     pub fn recover(chip: FlashChip) -> Result<Self> {
         let (mut base, log) = FtlBase::recover(chip)?;
         Self::replay(&mut base, &log)?;
-        base.checkpoint(&mut NoHook)?;
+        // A device in end-of-life read-only mode cannot persist the
+        // recovered state; the replayed mapping serves reads from RAM.
+        if base.device_state() != DeviceState::ReadOnly {
+            base.checkpoint(&mut NoHook)?;
+        }
         Ok(AtomicWriteFtl {
             base,
             hook: RecordHook::default(),

@@ -57,6 +57,7 @@ use xftl_trace::{HeatSketch, OpClass, Recorder, Telemetry};
 use crate::cmt::MappingCache;
 use crate::dev::{DevCounters, Lpn, Tid};
 use crate::error::{DevError, Result};
+use crate::health::{DeviceState, ScrubConfig, ScrubReason};
 use crate::meta::{self, MetaPage};
 use crate::stats::FtlStats;
 use crate::validity::ValidityMap;
@@ -151,6 +152,16 @@ pub enum GcPolicy {
     Greedy,
     Fifo,
     CostBenefit,
+}
+
+/// Why a block is being collected (relocate-and-erase): normal space
+/// reclamation, a scrub of at-risk data, or static wear leveling. Decides
+/// which stats and trace class the copies charge to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollectKind {
+    Gc,
+    Scrub,
+    WearLevel,
 }
 
 /// Reserved transaction id stamped on GC copies of snapshot-retained
@@ -308,6 +319,17 @@ pub struct FtlBase {
     scratch: Vec<u8>,
     /// Guards against re-entering GC from a checkpoint issued inside GC.
     in_gc: bool,
+    /// Background-scrub / wear-leveling policy (`None` = disabled, the
+    /// historical behaviour).
+    scrub: Option<ScrubConfig>,
+    /// Host writes since the last scrub scan (compared against
+    /// [`ScrubConfig::interval_ops`]).
+    scrub_tick: u64,
+    /// Most recent scrub relocation, for tests and the experiment rig.
+    last_scrub: Option<(u32, ScrubReason)>,
+    /// Device-health lifecycle state. Forward-only; persisted in the
+    /// checkpoint root (meta v4) so it survives power cycles.
+    device_state: DeviceState,
 }
 
 impl FtlBase {
@@ -410,6 +432,10 @@ impl FtlBase {
             counters: DevCounters::default(),
             scratch: vec![0u8; geo.page_size],
             in_gc: false,
+            scrub: None,
+            scrub_tick: 0,
+            last_scrub: None,
+            device_state: DeviceState::Healthy,
             chip,
         };
         base.write_meta()?;
@@ -622,9 +648,107 @@ impl FtlBase {
             .collect()
     }
 
+    /// First block past the meta ring: the start of the data/map pool.
+    /// Auditors use this to scope wear checks to pool blocks (the meta
+    /// ring cycles on every root write and wears on its own schedule).
+    pub fn first_pool_block(&self) -> u32 {
+        FIRST_POOL_BLOCK
+    }
+
+    /// Current device-health state (see [`DeviceState`]).
+    pub fn device_state(&self) -> DeviceState {
+        self.device_state
+    }
+
+    /// Enables (`Some`) or disables (`None`) the background scrubber and
+    /// static wear leveling. Takes effect on the next GC tick.
+    pub fn set_scrub_config(&mut self, cfg: Option<ScrubConfig>) {
+        self.scrub = cfg;
+        self.scrub_tick = 0;
+    }
+
+    /// The active scrub policy, if any.
+    pub fn scrub_config(&self) -> Option<ScrubConfig> {
+        self.scrub
+    }
+
+    /// Most recent scrub relocation `(block, reason)`, if any ran.
+    pub fn last_scrub(&self) -> Option<(u32, ScrubReason)> {
+        self.last_scrub
+    }
+
+    /// Pool blocks the device needs to keep its write path alive: enough
+    /// to hold every logical page, the translation pages, and the spare
+    /// headroom the constructor insisted on. This is the format-time
+    /// sizing check re-evaluated against the current bad-block table.
+    fn required_pool_blocks(&self) -> usize {
+        let geo = self.chip.config().geometry;
+        (self.logical_pages as usize + self.map_locs.len() + self.gtd_locs.len())
+            .div_ceil(geo.pages_per_block)
+            + MIN_SPARE_BLOCKS
+    }
+
+    /// Pool blocks still usable: everything outside the meta ring and the
+    /// bad-block table.
+    fn usable_pool_blocks(&self) -> usize {
+        let geo = self.chip.config().geometry;
+        geo.blocks
+            .saturating_sub(META_BLOCKS.len())
+            .saturating_sub(self.bad_block_count())
+    }
+
+    /// Fails dirtying operations once the device has degraded to
+    /// read-only. Reads, meta/state persistence, and recovery bypass this
+    /// on purpose.
+    fn check_writable(&self) -> Result<()> {
+        if self.device_state == DeviceState::ReadOnly {
+            Err(DevError::ReadOnly)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Walks the health state machine forward (never backward) to `new`,
+    /// counting the entry and persisting the transition so it survives
+    /// power cycles. Persistence is best-effort: on a device dying hard
+    /// enough that even the root cannot be written, the RAM state still
+    /// gates writes and recovery re-derives degradation from the pool it
+    /// finds.
+    fn enter_state(&mut self, new: DeviceState) {
+        if new <= self.device_state {
+            return;
+        }
+        let t = self.chip.clock().now();
+        self.device_state = new;
+        match new {
+            DeviceState::Healthy => {}
+            DeviceState::Degraded => self.stats.degraded_entries += 1,
+            DeviceState::ReadOnly => self.stats.read_only_entries += 1,
+        }
+        self.chip
+            .recorder()
+            .record_span(OpClass::DegradedEntry, 0, new.as_u64(), t, t);
+        let _ = self.write_meta(); // xftl-analyze: allow(error-discard): best-effort persistence — on a device too far gone to write its root, the RAM state still gates writes and recovery re-derives degradation from the pool census
+    }
+
+    /// Classifies a pool-exhaustion failure: on a device that has lost
+    /// blocks to retirement this is end-of-life degradation (the device
+    /// goes read-only, permanently); on a healthy device it is the host
+    /// over-filling its over-provisioning (a transient, logical error).
+    fn space_error(&mut self) -> DevError {
+        if self.bad_block_count() > 0 {
+            self.enter_state(DeviceState::ReadOnly);
+            DevError::ReadOnly
+        } else {
+            DevError::OutOfSpace
+        }
+    }
+
     /// Records an erase failure: the block leaves every allocation path
     /// for good. Its live pages (if any) were copied out by the caller,
-    /// so retirement costs capacity, never data.
+    /// so retirement costs capacity, never data. Once retirements eat
+    /// into the spare headroom the format-time sizing guaranteed, the
+    /// device enters the `Degraded` state.
     fn retire_block(&mut self, block: u32) {
         if !self.bad_blocks[block as usize] {
             self.bad_blocks[block as usize] = true;
@@ -632,6 +756,9 @@ impl FtlBase {
         }
         self.in_free[block as usize] = false;
         self.block_class[block as usize] = 0;
+        if self.usable_pool_blocks() < self.required_pool_blocks() {
+            self.enter_state(DeviceState::Degraded);
+        }
     }
 
     /// Removes `block` from the open write frontiers after a program
@@ -694,7 +821,7 @@ impl FtlBase {
                     }
                     self.frontier_map = None;
                 }
-                match self.free_blocks.pop_front() {
+                match self.pop_free_min_wear() {
                     Some(b) => {
                         self.in_free[b as usize] = false;
                         self.block_class[b as usize] = 2;
@@ -752,19 +879,41 @@ impl FtlBase {
         }
     }
 
-    /// Pops a free block that physically lives on channel `ch`, falling
-    /// back to any free block: a frontier fed from the wrong channel still
-    /// beats an idle one (the stripe self-heals as blocks recycle).
+    /// Position of the least-worn free block satisfying `keep`, ties
+    /// broken by queue position (which on a fresh chip makes wear-aware
+    /// allocation identical to the historical FIFO order).
+    fn min_wear_pos(&self, keep: impl Fn(u32) -> bool) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (pos, &b) in self.free_blocks.iter().enumerate() {
+            if !keep(b) {
+                continue;
+            }
+            let e = self.chip.erase_count(b);
+            if best.is_none_or(|(be, _)| e < be) {
+                best = Some((e, pos));
+            }
+        }
+        best.map(|(_, pos)| pos)
+    }
+
+    /// Pops the least-worn free block (wear-aware frontier allocation:
+    /// fresh frontiers open on the coldest spare cells, spreading erase
+    /// load across the array).
+    fn pop_free_min_wear(&mut self) -> Option<u32> {
+        let pos = self.min_wear_pos(|_| true)?;
+        self.free_blocks.remove(pos)
+    }
+
+    /// Pops the least-worn free block that physically lives on channel
+    /// `ch`, falling back to the least-worn block on any channel: a
+    /// frontier fed from the wrong channel still beats an idle one (the
+    /// stripe self-heals as blocks recycle).
     fn pop_free_for_channel(&mut self, ch: usize) -> Option<u32> {
         let geo = self.chip.config().geometry;
-        if let Some(pos) = self
-            .free_blocks
-            .iter()
-            .position(|&b| geo.channel_of(b) == ch)
-        {
+        if let Some(pos) = self.min_wear_pos(|b| geo.channel_of(b) == ch) {
             return self.free_blocks.remove(pos);
         }
-        self.free_blocks.pop_front()
+        self.pop_free_min_wear()
     }
 
     /// The geometry-scaled GC trigger: single-channel devices keep the
@@ -776,7 +925,10 @@ impl FtlBase {
     }
 
     /// Runs garbage collection until the free pool is back above the low
-    ///-water mark. Wrappers call this before host writes.
+    ///-water mark. Wrappers call this before host writes. The background
+    /// scrubber and static wear leveling piggyback on this tick: every
+    /// [`ScrubConfig::interval_ops`] calls (and only with pool headroom
+    /// to spare) they each relocate at most one at-risk block.
     pub fn maybe_gc(&mut self, hook: &mut dyn GcHook) -> Result<()> {
         if self.in_gc {
             return Ok(()); // a checkpoint inside GC must not re-enter
@@ -785,7 +937,10 @@ impl FtlBase {
             self.in_gc = true;
             let r = self.gc_once(hook);
             self.in_gc = false;
-            r?;
+            match r {
+                Err(DevError::OutOfSpace) => return Err(self.space_error()),
+                other => other?,
+            }
         }
         // GC's demand fetches bypass budget enforcement (see
         // `ensure_resident`); trim the overshoot now that the pool is
@@ -795,7 +950,108 @@ impl FtlBase {
                 break;
             }
         }
+        if let Some(cfg) = self.scrub {
+            self.scrub_tick += 1;
+            if self.scrub_tick >= cfg.interval_ops.max(1)
+                && self.free_blocks.len() >= self.gc_low_water()
+            {
+                self.scrub_tick = 0;
+                match self
+                    .scrub_once(cfg, hook)
+                    .and_then(|()| self.wear_level_once(cfg, hook))
+                {
+                    Err(DevError::OutOfSpace) => return Err(self.space_error()),
+                    other => other?,
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Scores every closed block against the scrub thresholds and
+    /// relocates the riskiest one whose score crosses the trigger.
+    /// Deterministic integer math: each component contributes
+    /// `value * 1000 / threshold`, and a combined score ≥ 1000 — any one
+    /// threshold reached, or several near misses compounding — fires.
+    /// The reported reason is the dominant component.
+    fn scrub_once(&mut self, cfg: ScrubConfig, hook: &mut dyn GcHook) -> Result<()> {
+        let geo = self.chip.config().geometry;
+        let now = self.chip.clock().now();
+        let mut best: Option<(u64, u32, ScrubReason)> = None;
+        for b in FIRST_POOL_BLOCK..geo.blocks as u32 {
+            if !self.is_victim_candidate(b) {
+                continue;
+            }
+            let s_read = self.chip.block_read_count(b) * 1000 / cfg.read_threshold.max(1);
+            let s_flip = self.chip.block_corrected_flips(b) * 1000 / cfg.flip_threshold.max(1);
+            let s_age = if cfg.age_threshold_ns == Nanos::MAX {
+                0
+            } else {
+                let age = self
+                    .chip
+                    .block_first_program_at(b)
+                    .map_or(0, |t| now.saturating_sub(t));
+                age * 1000 / cfg.age_threshold_ns.max(1)
+            };
+            let score = s_read.saturating_add(s_flip).saturating_add(s_age);
+            if score < 1000 {
+                continue;
+            }
+            let reason = if s_flip >= s_read && s_flip >= s_age {
+                ScrubReason::EccFeedback
+            } else if s_read >= s_age {
+                ScrubReason::ReadDisturb
+            } else {
+                ScrubReason::Retention
+            };
+            if best.is_none_or(|(s, _, _)| score > s) {
+                best = Some((score, b, reason));
+            }
+        }
+        let Some((_, victim, reason)) = best else {
+            return Ok(());
+        };
+        self.in_gc = true;
+        let r = self.collect_block(victim, CollectKind::Scrub, hook);
+        self.in_gc = false;
+        r?;
+        self.last_scrub = Some((victim, reason));
+        Ok(())
+    }
+
+    /// Static wear leveling: when the erase-count spread between the
+    /// most-worn block and the coldest closed block exceeds the cap, the
+    /// cold block is relocated so its low-wear cells rejoin the free pool
+    /// (instead of sitting pinned under data that never changes while the
+    /// rest of the array wears out).
+    fn wear_level_once(&mut self, cfg: ScrubConfig, hook: &mut dyn GcHook) -> Result<()> {
+        let geo = self.chip.config().geometry;
+        let mut max_wear = 0u64;
+        for b in FIRST_POOL_BLOCK..geo.blocks as u32 {
+            if !self.bad_blocks[b as usize] {
+                max_wear = max_wear.max(self.chip.erase_count(b));
+            }
+        }
+        let mut coldest: Option<(u64, u32)> = None;
+        for b in FIRST_POOL_BLOCK..geo.blocks as u32 {
+            if !self.is_victim_candidate(b) {
+                continue;
+            }
+            let e = self.chip.erase_count(b);
+            if coldest.is_none_or(|(ce, _)| e < ce) {
+                coldest = Some((e, b));
+            }
+        }
+        let Some((cold_wear, victim)) = coldest else {
+            return Ok(());
+        };
+        if max_wear.saturating_sub(cold_wear) <= cfg.wear_delta_cap {
+            return Ok(());
+        }
+        self.in_gc = true;
+        let r = self.collect_block(victim, CollectKind::WearLevel, hook);
+        self.in_gc = false;
+        r
     }
 
     /// Sets the GC victim-selection policy (the experiment rig uses FIFO
@@ -934,11 +1190,29 @@ impl FtlBase {
         self.pick_victim_greedy()
     }
 
-    /// Collects one victim block: copies its live pages to the frontier,
-    /// fixes every table that pointed at them, erases it.
+    /// Picks a GC victim and collects it.
     fn gc_once(&mut self, hook: &mut dyn GcHook) -> Result<()> {
         let victim = self.pick_victim().ok_or(DevError::OutOfSpace)?;
+        self.collect_block(victim, CollectKind::Gc, hook)
+    }
+
+    /// Relocates every live page of `victim` to the frontier, fixes every
+    /// table that pointed at them, and erases the block. Shared by GC,
+    /// the background scrubber (whose erase also resets the block's
+    /// read-disturb and retention damage), and static wear leveling;
+    /// `why` attributes the copies to the right stats and trace class.
+    fn collect_block(
+        &mut self,
+        victim: u32,
+        why: CollectKind,
+        hook: &mut dyn GcHook,
+    ) -> Result<()> {
         let geo = self.chip.config().geometry;
+        let copy_class = match why {
+            CollectKind::Gc => OpClass::GcCopy,
+            CollectKind::Scrub => OpClass::ScrubCopy,
+            CollectKind::WearLevel => OpClass::WearLevelCopy,
+        };
         let mut meta_stale = false;
         // Set when a *committed* page that carries transactional cycle
         // metadata (TxFlash's aux link) is re-stamped: the remaining cycle
@@ -1051,8 +1325,12 @@ impl FtlBase {
             }
             self.chip
                 .recorder()
-                .record_span(OpClass::GcCopy, 0, oob.lpn, t_copy, prog_done);
-            self.stats.gc_copies += 1;
+                .record_span(copy_class, 0, oob.lpn, t_copy, prog_done);
+            match why {
+                CollectKind::Gc => self.stats.gc_copies += 1,
+                CollectKind::Scrub => self.stats.scrub_copies += 1,
+                CollectKind::WearLevel => self.stats.wear_level_copies += 1,
+            }
             copied += 1;
             self.valid.mark_invalid(old);
             self.valid.mark_valid(dst);
@@ -1116,20 +1394,27 @@ impl FtlBase {
             }
             Err(e) => return Err(e.into()),
         }
-        self.stats.gc_runs += 1;
-        // The validity ratio (the paper's aging knob) concerns *data*
-        // blocks; recycling nearly-dead mapping blocks is bookkept apart.
-        if self.block_class[victim as usize] == 1 {
-            self.stats.gc_victim_pages += geo.pages_per_block as u64;
-            self.stats.gc_valid_pages += copied;
-            if self.gc_policy == GcPolicy::CostBenefit {
-                self.stats.gc_cb_data_victims += 1;
+        match why {
+            CollectKind::Gc => {
+                self.stats.gc_runs += 1;
+                // The validity ratio (the paper's aging knob) concerns
+                // *data* blocks; recycling nearly-dead mapping blocks is
+                // bookkept apart.
+                if self.block_class[victim as usize] == 1 {
+                    self.stats.gc_victim_pages += geo.pages_per_block as u64;
+                    self.stats.gc_valid_pages += copied;
+                    if self.gc_policy == GcPolicy::CostBenefit {
+                        self.stats.gc_cb_data_victims += 1;
+                    }
+                } else {
+                    self.stats.gc_map_runs += 1;
+                    if self.gc_policy == GcPolicy::CostBenefit {
+                        self.stats.gc_cb_map_victims += 1;
+                    }
+                }
             }
-        } else {
-            self.stats.gc_map_runs += 1;
-            if self.gc_policy == GcPolicy::CostBenefit {
-                self.stats.gc_cb_map_victims += 1;
-            }
+            CollectKind::Scrub => self.stats.scrub_runs += 1,
+            CollectKind::WearLevel => self.stats.wear_level_runs += 1,
         }
         self.block_class[victim as usize] = 0;
         if meta_stale {
@@ -1196,11 +1481,16 @@ impl FtlBase {
         buf: &[u8],
         hook: &mut dyn GcHook,
     ) -> Result<Ppa> {
+        self.check_writable()?;
         self.maybe_gc(hook)?;
         let cold = self.classify_write(kind, lpn);
         let mut attempts = 0;
         loop {
-            let dst = self.alloc_slot_class(kind, cold)?;
+            let dst = match self.alloc_slot_class(kind, cold) {
+                Ok(d) => d,
+                Err(DevError::OutOfSpace) => return Err(self.space_error()),
+                Err(e) => return Err(e),
+            };
             let oob = Oob {
                 lpn,
                 seq: 0,
@@ -1260,11 +1550,16 @@ impl FtlBase {
         not_before: Nanos,
         hook: &mut dyn GcHook,
     ) -> Result<(Ppa, Nanos)> {
+        self.check_writable()?;
         self.maybe_gc(hook)?;
         let cold = self.classify_write(kind, lpn);
         let mut attempts = 0;
         loop {
-            let dst = self.alloc_slot_class(kind, cold)?;
+            let dst = match self.alloc_slot_class(kind, cold) {
+                Ok(d) => d,
+                Err(DevError::OutOfSpace) => return Err(self.space_error()),
+                Err(e) => return Err(e),
+            };
             let oob = Oob {
                 lpn,
                 seq: 0,
@@ -1631,6 +1926,7 @@ impl FtlBase {
             map_locs: self.map_locs.clone(),
             gtd_locs: gtd_roots,
             bad_blocks: self.bad_block_list().into_iter().take(bad_cap).collect(),
+            device_state: self.device_state,
         };
         let buf = page.encode(geo.page_size, geo.pages_per_block);
         let (block, wp) = match self.chip.write_point(META_BLOCKS[self.meta_cur]) {
@@ -1898,8 +2194,9 @@ impl FtlBase {
 
         let ckpt_seq = meta_page.ckpt_seq;
         let prev_horizon = meta_page.tx_horizon;
+        let persisted_state = meta_page.device_state;
         let chip_next_seq = chip.next_seq();
-        let base = FtlBase {
+        let mut base = FtlBase {
             logical_pages,
             cmt,
             map_locs,
@@ -1939,8 +2236,20 @@ impl FtlBase {
             counters: DevCounters::default(),
             scratch: vec![0u8; geo.page_size],
             in_gc: false,
+            scrub: None,
+            scrub_tick: 0,
+            last_scrub: None,
+            // The persisted state is a floor: transitions are forward-only
+            // across any number of power cycles.
+            device_state: persisted_state,
             chip,
         };
+        // A root written before the last retirement wave can under-report
+        // the device's health; re-derive degradation from the pool the
+        // scan actually found.
+        if base.usable_pool_blocks() < base.required_pool_blocks() {
+            base.device_state = base.device_state.max(DeviceState::Degraded);
+        }
         let t_end = base.chip.clock().now();
         base.chip
             .recorder()
@@ -2387,6 +2696,199 @@ mod tests {
             g.read_committed(lpn, &mut out).unwrap();
             assert_eq!(out[0] as u64, (992 + lpn) % 251, "lpn {lpn} corrupted");
         }
+    }
+
+    // --- end-of-life: aging, scrub, wear leveling, read-only ---------------
+
+    use xftl_flash::AgingModel;
+
+    #[test]
+    fn end_of_life_degrades_to_read_only_instead_of_panicking() {
+        let mut f = base(16, 32);
+        // Every pool-block erase fails: blocks retire one by one until the
+        // spare pool is gone (the meta ring is fault-exempt by default).
+        f.chip_mut().set_fault_plan(
+            FaultPlan::new(7).trigger(FaultTrigger::new(FaultKind::EraseFail).sticky()),
+        );
+        let mut acked = [None::<u8>; 8];
+        let mut err = None;
+        for i in 0..100_000u64 {
+            let byte = (i % 251) as u8;
+            let data = vec![byte; f.page_size()];
+            match f.write_committed(i % 8, &data, &mut NoHook) {
+                Ok(()) => acked[(i % 8) as usize] = Some(byte),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(DevError::ReadOnly), "exhaustion must be typed");
+        assert_eq!(f.device_state(), DeviceState::ReadOnly);
+        assert_eq!(f.stats().degraded_entries, 1, "must pass through Degraded");
+        assert_eq!(f.stats().read_only_entries, 1);
+        // Every acknowledged write stays readable after the transition.
+        for (lpn, byte) in acked.iter().enumerate() {
+            let mut out = vec![0u8; f.page_size()];
+            f.read_committed(lpn as u64, &mut out).unwrap();
+            assert_eq!(Some(out[0]), *byte, "lpn {lpn} lost at end of life");
+        }
+        // Dirtying operations keep failing, deterministically.
+        let data = vec![9u8; f.page_size()];
+        assert_eq!(
+            f.write_committed(0, &data, &mut NoHook),
+            Err(DevError::ReadOnly)
+        );
+
+        // The state survives a power cycle (persisted in the root), and
+        // recovery + reads still work on the read-only device.
+        let chip = f.into_chip();
+        let (mut g, log) = FtlBase::recover(chip).unwrap();
+        assert_eq!(g.device_state(), DeviceState::ReadOnly);
+        for e in &log.events {
+            if e.kind == PageKind::Data && e.tid == 0 {
+                g.apply_event(e.lpn, e.ppa).unwrap();
+            }
+        }
+        for (lpn, byte) in acked.iter().enumerate() {
+            let mut out = vec![0u8; g.page_size()];
+            g.read_committed(lpn as u64, &mut out).unwrap();
+            assert_eq!(Some(out[0]), *byte, "lpn {lpn} lost across power cycle");
+        }
+        assert_eq!(
+            g.write_committed(0, &data, &mut NoHook),
+            Err(DevError::ReadOnly),
+            "read-only mode must survive recovery"
+        );
+        // A second recovery is idempotent.
+        let (h, _) = FtlBase::recover(g.into_chip()).unwrap();
+        assert_eq!(h.device_state(), DeviceState::ReadOnly);
+    }
+
+    #[test]
+    fn overfill_without_retirements_stays_out_of_space() {
+        // `space_error` only escalates to ReadOnly when retirements prove
+        // the pool shrank; a healthy device reports plain OutOfSpace.
+        let mut f = base(16, 32);
+        assert_eq!(f.space_error(), DevError::OutOfSpace);
+        assert_eq!(f.device_state(), DeviceState::Healthy);
+        f.retire_block(9);
+        assert_eq!(f.space_error(), DevError::ReadOnly);
+        assert_eq!(f.device_state(), DeviceState::ReadOnly);
+    }
+
+    #[test]
+    fn scrubber_relocates_read_disturbed_blocks_before_data_loss() {
+        let mut f = base(16, 32);
+        // Uncorrectable at 300 + 9 × 30 = 570 reads of one block; the
+        // scrubber triggers at 150.
+        f.chip_mut()
+            .set_fault_plan(FaultPlan::new(9).aging(AgingModel {
+                read_disturb_threshold: 300,
+                reads_per_flip: 30,
+                ..AgingModel::inert()
+            }));
+        f.set_scrub_config(Some(ScrubConfig {
+            read_threshold: 150,
+            interval_ops: 4,
+            ..ScrubConfig::default()
+        }));
+        let data = page(&f, 0x3C);
+        // Fill the first data block so the hammered page sits in a closed
+        // block (open frontiers are not scrub candidates).
+        for lpn in 0..8u64 {
+            f.write_committed(lpn, &data, &mut NoHook).unwrap();
+        }
+        let mut out = page(&f, 0);
+        for i in 0..4000u64 {
+            f.read_committed(0, &mut out).unwrap();
+            assert_eq!(out[0], 0x3C);
+            if i % 4 == 0 {
+                // Host writes elsewhere drive the scrub tick.
+                f.write_committed(8 + i % 8, &data, &mut NoHook).unwrap();
+            }
+        }
+        assert!(f.stats().scrub_runs > 0, "scrubber never fired");
+        assert!(matches!(
+            f.last_scrub(),
+            Some((_, ScrubReason::ReadDisturb))
+        ));
+        let fs = f.flash_stats();
+        assert_eq!(
+            fs.aging_uncorrectable, 0,
+            "scrubber failed to stay ahead of read disturb"
+        );
+        assert_eq!(fs.uncorrectable_reads, 0);
+    }
+
+    #[test]
+    fn read_disturb_without_scrubber_loses_the_page() {
+        // Ablation of the test above: identical aging, no scrubber.
+        let mut f = base(16, 32);
+        f.chip_mut()
+            .set_fault_plan(FaultPlan::new(9).aging(AgingModel {
+                read_disturb_threshold: 300,
+                reads_per_flip: 30,
+                ..AgingModel::inert()
+            }));
+        let data = page(&f, 0x3C);
+        for lpn in 0..8u64 {
+            f.write_committed(lpn, &data, &mut NoHook).unwrap();
+        }
+        let mut out = page(&f, 0);
+        let mut failed = false;
+        for _ in 0..4000u64 {
+            if f.read_committed(0, &mut out).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "unscrubbed read disturb must go uncorrectable");
+        assert!(f.flash_stats().aging_uncorrectable > 0);
+    }
+
+    #[test]
+    fn wear_leveling_recycles_pinned_cold_blocks() {
+        let mut f = base(16, 32);
+        f.set_scrub_config(Some(ScrubConfig {
+            wear_delta_cap: 4,
+            interval_ops: 8,
+            ..ScrubConfig::default()
+        }));
+        // A fully valid cold block: greedy GC never picks it, so without
+        // wear leveling its low-wear cells would be pinned forever.
+        let cold = page(&f, 0xC0);
+        for lpn in 0..8u64 {
+            f.write_committed(lpn, &cold, &mut NoHook).unwrap();
+        }
+        let hot = page(&f, 0x07);
+        for i in 0..3000u64 {
+            f.write_committed(8 + i % 4, &hot, &mut NoHook).unwrap();
+        }
+        assert!(
+            f.stats().wear_level_runs > 0,
+            "wear leveling never relocated the cold block"
+        );
+        assert!(f.stats().wear_level_copies >= 8);
+        let mut out = page(&f, 0);
+        for lpn in 0..8u64 {
+            f.read_committed(lpn, &mut out).unwrap();
+            assert_eq!(out, cold, "cold data corrupted by wear leveling");
+        }
+    }
+
+    #[test]
+    fn allocation_prefers_least_worn_free_blocks() {
+        let mut f = base(16, 32);
+        // Pre-wear one pooled block; the first frontier must open on a
+        // colder one.
+        for _ in 0..10 {
+            f.chip_mut().erase(4).unwrap();
+        }
+        let data = page(&f, 1);
+        f.write_committed(0, &data, &mut NoHook).unwrap();
+        let ppa = f.l2p_get(0).unwrap().unwrap();
+        assert_ne!(ppa.block, 4, "frontier opened on the most-worn block");
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum DevError {
     /// (discarded its versions, released its write intents); the host
     /// just retries the whole transaction on a fresh snapshot.
     Conflict,
+    /// The device has degraded to read-only mode: retirements and wear
+    /// have shrunk the spare pool below what the write path needs, so
+    /// all dirtying operations are refused. Reads, snapshot queries, and
+    /// crash recovery keep working, and the state survives power cycles
+    /// (persisted in the checkpoint root).
+    ReadOnly,
 }
 
 impl fmt::Display for DevError {
@@ -59,6 +65,9 @@ impl fmt::Display for DevError {
                     "snapshot transaction lost first-committer-wins validation"
                 )
             }
+            DevError::ReadOnly => {
+                write!(f, "device is in read-only mode (end-of-life degradation)")
+            }
         }
     }
 }
@@ -73,7 +82,8 @@ impl std::error::Error for DevError {
             | DevError::XL2pFull
             | DevError::NotFormatted
             | DevError::NotQueued
-            | DevError::Conflict => None,
+            | DevError::Conflict
+            | DevError::ReadOnly => None,
         }
     }
 }

@@ -47,6 +47,7 @@ pub mod base;
 pub mod cmt;
 pub mod dev;
 pub mod error;
+pub mod health;
 pub mod meta;
 pub mod pagemap;
 pub mod sata;
@@ -61,6 +62,7 @@ pub use dev::{
     BlockDevice, CmdId, CmdQueue, CommitTicket, DevCounters, IoCmd, Lpn, Tid, TxBlockDevice, NO_TID,
 };
 pub use error::{DevError, Result};
+pub use health::{DeviceState, ScrubConfig, ScrubReason};
 pub use pagemap::PageMappedFtl;
 pub use sata::{LinkConfig, SataLink};
 pub use stats::FtlStats;

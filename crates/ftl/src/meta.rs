@@ -17,16 +17,20 @@
 use xftl_flash::Ppa;
 
 use crate::dev::Lpn;
+use crate::health::DeviceState;
 
 /// Magic number identifying a meta page ("XFTLMETA" as bytes).
 pub const META_MAGIC: u64 = 0x5846_544C_4D45_5441;
 /// Current on-flash format version. Version 2 added the bad-block table;
 /// version 3 added the paged global translation directory (GTD) for
-/// devices whose slab-pointer table no longer fits inline in the root.
-pub const META_VERSION: u64 = 3;
+/// devices whose slab-pointer table no longer fits inline in the root;
+/// version 4 added the persisted device-health state
+/// ([`crate::DeviceState`]), so a device that went read-only stays
+/// read-only across power cycles.
+pub const META_VERSION: u64 = 4;
 
-/// Fixed header size of a meta page in bytes (9 u64 fields).
-const META_HEADER: usize = 72;
+/// Fixed header size of a meta page in bytes (10 u64 fields).
+const META_HEADER: usize = 80;
 
 /// OOB `aux` tag distinguishing a GTD page from an ordinary translation
 /// page (both carry `PageKind::Map`; the `lpn` field holds the GTD page
@@ -66,6 +70,11 @@ pub struct MetaPage {
     /// this with the chip's own health marks, so a root written before
     /// the latest retirement still recovers correctly.
     pub bad_blocks: Vec<u32>,
+    /// Device-health state at the time this root was written. Recovery
+    /// adopts it as a floor: health transitions are forward-only, so a
+    /// stale root can under-report but the recovered device re-derives
+    /// anything worse from the pool it finds.
+    pub device_state: DeviceState,
 }
 
 fn put_u64(buf: &mut [u8], off: usize, v: u64) {
@@ -123,6 +132,7 @@ impl MetaPage {
         put_u64(&mut buf, 48, self.map_locs.len() as u64);
         put_u64(&mut buf, 56, self.bad_blocks.len() as u64);
         put_u64(&mut buf, 64, self.gtd_locs.len() as u64);
+        put_u64(&mut buf, 72, self.device_state.as_u64());
         let mut off = META_HEADER;
         for root in &self.xl2p_roots {
             put_u64(&mut buf, off, encode_opt_ppa(Some(*root), pages_per_block));
@@ -160,6 +170,7 @@ impl MetaPage {
         let count = get_u64(buf, 48) as usize;
         let bad = get_u64(buf, 56) as usize;
         let gtd = get_u64(buf, 64) as usize;
+        let device_state = DeviceState::from_u64(get_u64(buf, 72))?;
         let inline_map = if gtd > 0 { 0 } else { count };
         if META_HEADER + (roots + inline_map + gtd + bad) * 8 > buf.len() {
             return None;
@@ -197,6 +208,7 @@ impl MetaPage {
             map_locs,
             gtd_locs,
             bad_blocks,
+            device_state,
         })
     }
 }
@@ -332,6 +344,7 @@ mod tests {
             map_locs: vec![None, Some(Ppa::new(1, 2)), None],
             gtd_locs: vec![],
             bad_blocks: vec![7, 11],
+            device_state: DeviceState::Degraded,
         };
         let buf = m.encode(512, PPB);
         assert_eq!(MetaPage::decode(&buf, PPB), Some(m));
@@ -347,6 +360,7 @@ mod tests {
             map_locs: vec![Some(Ppa::new(2, 0))],
             gtd_locs: vec![],
             bad_blocks: vec![],
+            device_state: DeviceState::Healthy,
         };
         let buf = m.encode(512, PPB);
         assert_eq!(MetaPage::decode(&buf, PPB), Some(m));
@@ -368,10 +382,47 @@ mod tests {
             map_locs: vec![],
             gtd_locs: vec![],
             bad_blocks: vec![],
+            device_state: DeviceState::Healthy,
         };
         let mut buf = m.encode(512, PPB);
         put_u64(&mut buf, 8, 99);
         assert_eq!(MetaPage::decode(&buf, PPB), None);
+    }
+
+    #[test]
+    fn meta_rejects_unknown_device_state() {
+        let m = MetaPage {
+            logical_pages: 1,
+            ckpt_seq: 0,
+            tx_horizon: 0,
+            xl2p_roots: vec![],
+            map_locs: vec![],
+            gtd_locs: vec![],
+            bad_blocks: vec![],
+            device_state: DeviceState::Healthy,
+        };
+        let mut buf = m.encode(512, PPB);
+        put_u64(&mut buf, 72, 9);
+        assert_eq!(MetaPage::decode(&buf, PPB), None);
+    }
+
+    #[test]
+    fn read_only_state_roundtrips() {
+        let m = MetaPage {
+            logical_pages: 1,
+            ckpt_seq: 0,
+            tx_horizon: 0,
+            xl2p_roots: vec![],
+            map_locs: vec![],
+            gtd_locs: vec![],
+            bad_blocks: vec![],
+            device_state: DeviceState::ReadOnly,
+        };
+        let buf = m.encode(512, PPB);
+        assert_eq!(
+            MetaPage::decode(&buf, PPB).unwrap().device_state,
+            DeviceState::ReadOnly
+        );
     }
 
     #[test]
@@ -394,6 +445,7 @@ mod tests {
                 Ppa::new(8, 0),
             ],
             bad_blocks: vec![3],
+            device_state: DeviceState::Healthy,
         };
         let buf = m.encode(512, PPB);
         let d = MetaPage::decode(&buf, PPB).unwrap();

@@ -12,6 +12,7 @@ use xftl_flash::{FlashChip, PageKind, SimClock};
 use crate::base::{FtlBase, NoHook};
 use crate::dev::{BlockDevice, CmdId, CmdQueue, DevCounters, IoCmd, Lpn};
 use crate::error::Result;
+use crate::health::DeviceState;
 use crate::stats::FtlStats;
 
 /// A plain page-mapping FTL device.
@@ -31,7 +32,10 @@ impl PageMappedFtl {
     }
 
     /// Rebuilds the device from flash after a power loss, replaying
-    /// post-checkpoint writes, then persists the recovered state.
+    /// post-checkpoint writes, then persists the recovered state. A
+    /// device that reached end-of-life read-only mode skips the persist
+    /// step: the replayed mapping stays in RAM (re-recovery replays the
+    /// same log), and reads keep working.
     pub fn recover(chip: FlashChip) -> Result<Self> {
         let (mut base, log) = FtlBase::recover(chip)?;
         for e in &log.events {
@@ -39,7 +43,9 @@ impl PageMappedFtl {
                 base.apply_event(e.lpn, e.ppa)?;
             }
         }
-        base.checkpoint(&mut NoHook)?;
+        if base.device_state() != DeviceState::ReadOnly {
+            base.checkpoint(&mut NoHook)?;
+        }
         Ok(PageMappedFtl {
             base,
             queue: CmdQueue::default(),

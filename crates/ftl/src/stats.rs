@@ -83,6 +83,22 @@ pub struct FtlStats {
     /// Data writes routed to the cold frontier (cold LPNs and GC copies)
     /// while hot/cold separation is enabled.
     pub cold_writes: u64,
+    /// Background-scrub victims relocated (one block each) before their
+    /// accumulated read-disturb / retention damage crossed the ECC budget.
+    pub scrub_runs: u64,
+    /// Pages copied by scrub relocations.
+    pub scrub_copies: u64,
+    /// Static wear-leveling relocations: cold low-wear blocks recycled so
+    /// their cells rejoin the free pool.
+    pub wear_level_runs: u64,
+    /// Pages copied by wear-leveling relocations.
+    pub wear_level_copies: u64,
+    /// Transitions into the `Degraded` health state (0 or 1 per device
+    /// lifetime; the state machine is forward-only).
+    pub degraded_entries: u64,
+    /// Transitions into the `ReadOnly` health state (0 or 1 per device
+    /// lifetime).
+    pub read_only_entries: u64,
 }
 
 impl FtlStats {
@@ -153,6 +169,12 @@ impl Sub for FtlStats {
             gc_cb_map_victims: self.gc_cb_map_victims - rhs.gc_cb_map_victims,
             hot_writes: self.hot_writes - rhs.hot_writes,
             cold_writes: self.cold_writes - rhs.cold_writes,
+            scrub_runs: self.scrub_runs - rhs.scrub_runs,
+            scrub_copies: self.scrub_copies - rhs.scrub_copies,
+            wear_level_runs: self.wear_level_runs - rhs.wear_level_runs,
+            wear_level_copies: self.wear_level_copies - rhs.wear_level_copies,
+            degraded_entries: self.degraded_entries - rhs.degraded_entries,
+            read_only_entries: self.read_only_entries - rhs.read_only_entries,
         }
     }
 }

@@ -30,6 +30,7 @@ use xftl_trace::{OpClass, Recorder};
 use crate::base::{FtlBase, GcHook, NoHook, RecoveryLog};
 use crate::dev::{BlockDevice, CommitTicket, DevCounters, Lpn, Tid, TxBlockDevice};
 use crate::error::{DevError, Result};
+use crate::health::DeviceState;
 use crate::stats::FtlStats;
 
 /// Cycle-closing flag in the auxiliary OOB word; the low 31 bits hold the
@@ -81,7 +82,11 @@ impl TxFlashFtl {
     pub fn recover(chip: FlashChip) -> Result<Self> {
         let (mut base, log) = FtlBase::recover(chip)?;
         Self::replay(&mut base, &log)?;
-        base.checkpoint(&mut NoHook)?;
+        // A device in end-of-life read-only mode cannot persist the
+        // recovered state; the replayed mapping serves reads from RAM.
+        if base.device_state() != DeviceState::ReadOnly {
+            base.checkpoint(&mut NoHook)?;
+        }
         Ok(TxFlashFtl {
             base,
             pending: HashMap::new(),

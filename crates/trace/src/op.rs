@@ -60,10 +60,19 @@ pub enum OpClass {
     /// Version-chain walk depth sample on a snapshot read; the span's
     /// `bytes` field carries the retained-chain length for the page.
     VersionChainLen,
+    /// One page relocated by the background scrubber (at-risk block
+    /// rewritten before its aging damage crossed the ECC budget).
+    ScrubCopy,
+    /// One page relocated by static wear leveling (cold data moved off a
+    /// low-wear block so its cells rejoin the free pool).
+    WearLevelCopy,
+    /// Entry into a worse device-health state (`Degraded` or `ReadOnly`);
+    /// the span's `lpn` field carries the new state's encoding.
+    DegradedEntry,
 }
 
 /// Number of operation classes.
-pub const N_OPS: usize = 22;
+pub const N_OPS: usize = 25;
 
 impl OpClass {
     /// All classes, in declaration (= report) order.
@@ -90,6 +99,9 @@ impl OpClass {
         OpClass::SnapshotRead,
         OpClass::ConflictAbort,
         OpClass::VersionChainLen,
+        OpClass::ScrubCopy,
+        OpClass::WearLevelCopy,
+        OpClass::DegradedEntry,
     ];
 
     /// Stable snake_case name used in reports and event streams.
@@ -117,6 +129,9 @@ impl OpClass {
             OpClass::SnapshotRead => "snapshot_read",
             OpClass::ConflictAbort => "conflict_abort",
             OpClass::VersionChainLen => "version_chain_len",
+            OpClass::ScrubCopy => "scrub_copy",
+            OpClass::WearLevelCopy => "wear_level_copy",
+            OpClass::DegradedEntry => "degraded_entry",
         }
     }
 
@@ -140,7 +155,10 @@ impl OpClass {
             | OpClass::CommitPipelineDepth
             | OpClass::SnapshotRead
             | OpClass::ConflictAbort
-            | OpClass::VersionChainLen => Layer::Ftl,
+            | OpClass::VersionChainLen
+            | OpClass::ScrubCopy
+            | OpClass::WearLevelCopy
+            | OpClass::DegradedEntry => Layer::Ftl,
             OpClass::FsFsync => Layer::Fs,
             OpClass::PagerFetch | OpClass::PagerFlush | OpClass::SqlStatement => Layer::Db,
         }

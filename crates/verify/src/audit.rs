@@ -25,13 +25,18 @@
 //!   wipes the cells, and nothing may program it afterwards), is present
 //!   in the FTL's bad-block table, and sits on no allocation path (free
 //!   pool or open write frontier).
+//! * **Degradation discipline** — a device whose free pool is empty after
+//!   real block retirements must have left the `Healthy` state.
+//! * **Wear discipline** — with static wear leveling enabled, the
+//!   erase-count spread across usable pool blocks stays within ~2x the
+//!   configured `wear_delta_cap`.
 
 use std::collections::HashMap;
 use std::fmt;
 
 use xftl_core::{TxStatus, XFtl};
 use xftl_flash::{BlockHealth, FlashChip, PageKind, PageProbe, Ppa};
-use xftl_ftl::{FtlBase, Lpn, PageMappedFtl, Tid, TxFlashFtl};
+use xftl_ftl::{DeviceState, FtlBase, Lpn, PageMappedFtl, Tid, TxFlashFtl};
 
 use crate::shadow::ShadowDevice;
 
@@ -192,6 +197,28 @@ pub enum AuditViolation {
         /// Retired block on an allocation path.
         block: u32,
     },
+    /// With static wear leveling enabled, the erase-count spread across
+    /// usable pool blocks exceeds the policy's tolerance: the leveler is
+    /// failing to recycle cold blocks.
+    FrontierWearExcess {
+        /// Most-worn usable pool block.
+        hot_block: u32,
+        /// Its erase count.
+        hot_erases: u64,
+        /// Least-worn usable pool block.
+        cold_block: u32,
+        /// Its erase count.
+        cold_erases: u64,
+        /// Largest spread the configured `wear_delta_cap` tolerates.
+        allowed: u64,
+    },
+    /// The device still reports `Healthy` even though its free pool is
+    /// empty and blocks have been retired — the degradation state machine
+    /// missed an exhaustion transition.
+    StateHealthyButExhausted {
+        /// Number of retired blocks.
+        bad_blocks: usize,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -288,6 +315,23 @@ impl fmt::Display for AuditViolation {
             AuditViolation::RetiredBlockAllocatable { block } => write!(
                 f,
                 "retired block {block} is still on an allocation path (free pool or frontier)"
+            ),
+            AuditViolation::FrontierWearExcess {
+                hot_block,
+                hot_erases,
+                cold_block,
+                cold_erases,
+                allowed,
+            } => write!(
+                f,
+                "wear spread {spread} (block {hot_block}: {hot_erases} erases vs \
+                 block {cold_block}: {cold_erases}) exceeds the leveler's tolerance {allowed}",
+                spread = hot_erases - cold_erases
+            ),
+            AuditViolation::StateHealthyButExhausted { bad_blocks } => write!(
+                f,
+                "device reports Healthy with an empty free pool and {bad_blocks} retired \
+                 blocks — degradation transition missed"
             ),
         }
     }
@@ -399,6 +443,55 @@ pub fn audit_base(base: &FtlBase) -> Result<AuditReport, AuditViolation> {
         }
         if base.is_allocatable(block) {
             return Err(AuditViolation::RetiredBlockAllocatable { block });
+        }
+    }
+    // Degradation-state discipline: once blocks have actually been lost
+    // and the free pool has drained to nothing, the health state machine
+    // must have left `Healthy` — a device that silently writes on fumes
+    // is how acked commits get lost at end of life.
+    if base.device_state() == DeviceState::Healthy
+        && base.free_block_count() == 0
+        && base.bad_block_count() > 0
+    {
+        return Err(AuditViolation::StateHealthyButExhausted {
+            bad_blocks: base.bad_block_count(),
+        });
+    }
+    // Wear discipline: with the scrubber (and its static wear leveler)
+    // enabled, no usable pool block may lag the hottest block by more
+    // than ~2x the configured cap. The leveler relocates one block per
+    // tick, so transient spread above the 1x trigger threshold is
+    // legitimate; 2x plus a block of slack means it stopped working.
+    if let Some(cfg) = base.scrub_config() {
+        let geo = chip.config().geometry;
+        let mut hot: Option<(u32, u64)> = None;
+        let mut cold: Option<(u32, u64)> = None;
+        for block in base.first_pool_block()..geo.blocks as u32 {
+            if base.is_bad_block(block) {
+                continue;
+            }
+            let erases = chip.erase_count(block);
+            if hot.is_none_or(|(_, e)| erases > e) {
+                hot = Some((block, erases));
+            }
+            if cold.is_none_or(|(_, e)| erases < e) {
+                cold = Some((block, erases));
+            }
+        }
+        if let (Some((hot_block, hot_erases)), Some((cold_block, cold_erases))) = (hot, cold) {
+            let allowed = cfg
+                .wear_delta_cap
+                .saturating_mul(2)
+                .saturating_add(geo.pages_per_block as u64);
+            if hot_erases - cold_erases > allowed {
+                return Err(AuditViolation::FrontierWearExcess {
+                    hot_block,
+                    hot_erases,
+                    cold_block,
+                    cold_erases,
+                    allowed,
+                });
+            }
         }
     }
     for lpn in 0..base.capacity_pages() {

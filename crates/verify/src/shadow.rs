@@ -1071,6 +1071,11 @@ impl<D: TxBlockDevice> TxBlockDevice for ShadowDevice<D> {
                 self.model.apply_conflict(tid);
                 Err(DevError::Conflict)
             }
+            // End-of-life refusal: the guard fires before the commit
+            // gains any visibility, so nothing is in doubt — the
+            // transaction stays active with its uncommitted view intact
+            // (the caller may still abort it).
+            Err(DevError::ReadOnly) => Err(DevError::ReadOnly),
             Err(e) => {
                 self.model.doubt_commit(tid);
                 Err(e)

@@ -8,11 +8,12 @@ use std::rc::Rc;
 
 use xftl_core::XFtl;
 use xftl_db::{Connection, DbJournalMode, SharedFs};
-use xftl_flash::{FaultPlan, FlashChip, FlashConfigBuilder, Nanos, SimClock};
+use xftl_flash::{AgingModel, FaultPlan, FlashChip, FlashConfigBuilder, Nanos, SimClock};
 use xftl_fs::{FileSystem, FsConfig, FsError, FsStats, Ino, JournalMode};
 use xftl_ftl::{
-    AtomicWriteFtl, BlockDevice, CmdId, CommitTicket, DevCounters, DevError, FtlStats, GcPolicy,
-    IoCmd, LinkConfig, Lpn, PageMappedFtl, Result, SataLink, Tid, TxBlockDevice,
+    AtomicWriteFtl, BlockDevice, CmdId, CommitTicket, DevCounters, DevError, DeviceState, FtlStats,
+    GcPolicy, IoCmd, LinkConfig, Lpn, PageMappedFtl, Result, SataLink, ScrubConfig, Tid,
+    TxBlockDevice,
 };
 
 use xftl_trace::Telemetry;
@@ -219,6 +220,36 @@ impl AnyDev {
             AnyDev::AtomicW(d) => d.inner().base().recorder().clone(),
         }
     }
+
+    /// Installs (or clears) the background-scrub / wear-leveling policy
+    /// on whichever personality is inside. The policy lives in FTL RAM,
+    /// so the rig re-installs it after every simulated power cycle.
+    pub fn set_scrub_config(&mut self, cfg: Option<ScrubConfig>) {
+        match self {
+            AnyDev::Plain(d) => d.inner_mut().base_mut().set_scrub_config(cfg),
+            AnyDev::X(d) => d.inner_mut().base_mut().set_scrub_config(cfg),
+            AnyDev::AtomicW(d) => d.inner_mut().base_mut().set_scrub_config(cfg),
+        }
+    }
+
+    /// Current device-health state (persisted by the FTL; survives
+    /// power cycles).
+    pub fn device_state(&self) -> DeviceState {
+        match self {
+            AnyDev::Plain(d) => d.inner().base().device_state(),
+            AnyDev::X(d) => d.inner().base().device_state(),
+            AnyDev::AtomicW(d) => d.inner().base().device_state(),
+        }
+    }
+
+    /// Blocks retired to the bad-block table.
+    pub fn bad_block_count(&self) -> usize {
+        match self {
+            AnyDev::Plain(d) => d.inner().base().bad_block_count(),
+            AnyDev::X(d) => d.inner().base().bad_block_count(),
+            AnyDev::AtomicW(d) => d.inner().base().bad_block_count(),
+        }
+    }
 }
 
 /// Rig parameters.
@@ -257,6 +288,11 @@ pub struct RigConfig {
     /// formatting (the plan is a property of the silicon and survives
     /// every power cycle). `None` = perfect flash.
     pub fault: Option<FaultEnv>,
+    /// Background-scrub / static wear-leveling policy installed on the
+    /// FTL. Unlike the fault plan this is *host* configuration, not a
+    /// property of the silicon, so the rig re-installs it after every
+    /// simulated power cycle. `None` = scrubber off (the default).
+    pub scrub: Option<ScrubConfig>,
 }
 
 /// Background fault rates for a rig, in per-operation probabilities.
@@ -276,18 +312,26 @@ pub struct FaultEnv {
     pub read_flip: f64,
     /// Uncorrectable (beyond ECC strength) probability per page read.
     pub uncorrectable: f64,
+    /// Deterministic wear-out curve (read disturb, retention, erase
+    /// wear) layered under the probabilistic rates. `None` = silicon
+    /// that never ages.
+    pub aging: Option<AgingModel>,
 }
 
 impl FaultEnv {
     /// The fault plan this environment describes.
     pub fn plan(&self) -> FaultPlan {
-        FaultPlan::background(
+        let plan = FaultPlan::background(
             self.seed,
             self.program_fail,
             self.erase_fail,
             self.read_flip,
             self.uncorrectable,
-        )
+        );
+        match self.aging {
+            Some(model) => plan.aging(model),
+            None => plan,
+        }
     }
 }
 
@@ -317,6 +361,7 @@ impl RigConfig {
             channels: None,
             seed: 42,
             fault: None,
+            scrub: None,
         }
     }
 }
@@ -390,6 +435,7 @@ impl Rig {
             AnyDev::X(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
             AnyDev::AtomicW(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
         }
+        dev.set_scrub_config(cfg.scrub);
         if let Some(aging) = cfg.aging {
             age_device(&mut dev, aging, cfg.seed);
         }
@@ -420,6 +466,16 @@ impl Rig {
         conn
     }
 
+    /// Like [`Rig::open_db`], but surfaces the open error instead of
+    /// panicking. A database whose journal needs write-back cannot be
+    /// opened once the device degrades to end-of-life read-only mode;
+    /// the endurance experiments report that as a measured outcome.
+    pub fn try_open_db(&self, name: &str) -> xftl_db::Result<Connection<AnyDev>> {
+        let mut conn = Connection::open(Rc::clone(&self.fs), name, self.cfg.mode.db_mode())?;
+        conn.set_recorder(self.clock.clone(), self.telemetry());
+        Ok(conn)
+    }
+
     /// The stack-wide telemetry handle (histograms and, with the `trace`
     /// feature, the structured event ring).
     pub fn telemetry(&self) -> Telemetry {
@@ -429,6 +485,13 @@ impl Rig {
     /// The configuration this rig was built with.
     pub fn config(&self) -> &RigConfig {
         &self.cfg
+    }
+
+    /// Current device-health state ([`DeviceState::ReadOnly`] once the
+    /// free pool is exhausted by retired blocks — the end-of-life
+    /// experiments poll this between transactions).
+    pub fn device_state(&self) -> DeviceState {
+        self.fs.borrow().device().device_state()
     }
 
     /// Cross-layer statistics snapshot.
@@ -536,6 +599,7 @@ impl Rig {
             AnyDev::X(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
             AnyDev::AtomicW(d) => d.inner_mut().base_mut().set_gc_policy(cfg.gc_policy),
         }
+        dev.set_scrub_config(cfg.scrub);
         let fs = Self::mount_any(dev, &clock, &cfg);
         (
             Rig {
@@ -911,6 +975,7 @@ mod tests {
                     erase_fail: 5e-3,
                     read_flip: 5e-2,
                     uncorrectable: 1e-3,
+                    aging: None,
                 }),
                 ..RigConfig::small(mode)
             });

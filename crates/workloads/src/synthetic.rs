@@ -4,7 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use xftl_db::{Connection, Value};
+use xftl_db::{Connection, DbError, Value};
 use xftl_ftl::BlockDevice;
 
 use crate::rig::Rig;
@@ -40,12 +40,19 @@ impl Default for SyntheticConfig {
 }
 
 /// Creates and populates the partsupp table.
-pub fn load_partsupply<D: BlockDevice>(db: &mut Connection<D>, cfg: &SyntheticConfig) {
+///
+/// # Errors
+/// Propagates database errors — in particular the typed end-of-life
+/// refusals ([`DbError::ReadOnly`], device `OutOfSpace`) a fault-heavy
+/// environment can produce mid-load.
+pub fn load_partsupply<D: BlockDevice>(
+    db: &mut Connection<D>,
+    cfg: &SyntheticConfig,
+) -> xftl_db::Result<()> {
     db.execute(
         "CREATE TABLE partsupp (ps_id INTEGER PRIMARY KEY, ps_partkey INT, \
          ps_suppkey INT, ps_supplycost REAL, ps_comment TEXT)",
-    )
-    .expect("create partsupp");
+    )?;
     // Fixed fields take ~40 bytes in record form; the comment pads the
     // tuple to the configured width.
     let comment_len = cfg.tuple_bytes.saturating_sub(40);
@@ -58,7 +65,7 @@ pub fn load_partsupply<D: BlockDevice>(db: &mut Connection<D>, cfg: &SyntheticCo
     let batch = 500;
     let mut i = 0usize;
     while i < cfg.tuples {
-        db.execute("BEGIN").expect("begin load");
+        db.execute("BEGIN")?;
         for _ in 0..batch.min(cfg.tuples - i) {
             db.execute_with(
                 "INSERT INTO partsupp VALUES (?, ?, ?, ?, ?)",
@@ -69,12 +76,12 @@ pub fn load_partsupply<D: BlockDevice>(db: &mut Connection<D>, cfg: &SyntheticCo
                     Value::Real(rng.gen_range(1.0..1_000.0)),
                     Value::Text(comment.clone()),
                 ],
-            )
-            .expect("load row");
+            )?;
             i += 1;
         }
-        db.execute("COMMIT").expect("commit load");
+        db.execute("COMMIT")?;
     }
+    Ok(())
 }
 
 /// Outcome of a synthetic run.
@@ -88,52 +95,60 @@ pub struct SyntheticResult {
 
 /// Runs the transaction phase: `txns` transactions of
 /// `updates_per_txn` read-modify-write operations each.
+///
+/// # Errors
+/// Propagates database errors so harnesses can report a device that died
+/// mid-run (end-of-life `ReadOnly`, pool `OutOfSpace`) as a typed result
+/// instead of a panic.
 pub fn run_transactions<D: BlockDevice>(
     db: &mut Connection<D>,
     rig_clock: &xftl_flash::SimClock,
     cfg: &SyntheticConfig,
-) -> SyntheticResult {
+) -> xftl_db::Result<SyntheticResult> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF);
     let t0 = rig_clock.now();
     for _ in 0..cfg.txns {
         rig_clock.advance((2 + 2 * cfg.updates_per_txn as u64) * CPU_STMT_NS);
-        db.execute("BEGIN").expect("begin");
+        db.execute("BEGIN")?;
         for _ in 0..cfg.updates_per_txn {
             let key = rng.gen_range(1..=cfg.tuples as i64);
-            let rows = db
-                .query_with(
-                    "SELECT ps_supplycost FROM partsupp WHERE ps_id = ?",
-                    &[Value::Int(key)],
-                )
-                .expect("read tuple");
+            let rows = db.query_with(
+                "SELECT ps_supplycost FROM partsupp WHERE ps_id = ?",
+                &[Value::Int(key)],
+            )?;
             let cost = rows
                 .first()
                 .and_then(|r| r[0].as_f64())
-                .expect("tuple exists");
+                .ok_or(DbError::Corrupt("partsupp tuple missing"))?;
             db.execute_with(
                 "UPDATE partsupp SET ps_supplycost = ? WHERE ps_id = ?",
                 &[Value::Real((cost + 1.0) % 1_000.0), Value::Int(key)],
-            )
-            .expect("update tuple");
+            )?;
         }
-        db.execute("COMMIT").expect("commit");
+        db.execute("COMMIT")?;
     }
-    SyntheticResult {
+    Ok(SyntheticResult {
         elapsed_ns: rig_clock.now() - t0,
         txns: cfg.txns,
-    }
+    })
 }
 
 /// Convenience: build + load + run on a rig, returning the result and the
 /// final statistics snapshot.
-pub fn run_on_rig(rig: &Rig, cfg: &SyntheticConfig) -> (SyntheticResult, crate::rig::Snapshot) {
+///
+/// # Errors
+/// Propagates database errors from the load and transaction phases.
+pub fn run_on_rig(
+    rig: &Rig,
+    cfg: &SyntheticConfig,
+) -> xftl_db::Result<(SyntheticResult, crate::rig::Snapshot)> {
     let mut db = rig.open_db("synthetic.db");
-    load_partsupply(&mut db, cfg);
+    load_partsupply(&mut db, cfg)?;
     rig.reset_stats();
     db.reset_stats();
-    let result = run_transactions(&mut db, &rig.clock, cfg);
+    let result = run_transactions(&mut db, &rig.clock, cfg)?;
     drop(db);
-    (result, rig.snapshot())
+    Ok((result, rig.snapshot()))
 }
 
 #[cfg(test)]
@@ -156,10 +171,10 @@ mod tests {
         let rig = Rig::build(RigConfig::small(Mode::XFtl));
         let mut db = rig.open_db("s.db");
         let cfg = tiny_cfg();
-        load_partsupply(&mut db, &cfg);
+        load_partsupply(&mut db, &cfg).unwrap();
         let rows = db.query("SELECT COUNT(*) FROM partsupp").unwrap();
         assert_eq!(rows[0][0], Value::Int(400));
-        let r = run_transactions(&mut db, &rig.clock, &cfg);
+        let r = run_transactions(&mut db, &rig.clock, &cfg).unwrap();
         assert_eq!(r.txns, 20);
         assert!(r.elapsed_ns > 0);
     }
@@ -170,8 +185,10 @@ mod tests {
             let rig = Rig::build(RigConfig::small(Mode::Wal));
             let mut db = rig.open_db("s.db");
             let cfg = tiny_cfg();
-            load_partsupply(&mut db, &cfg);
-            run_transactions(&mut db, &rig.clock, &cfg).elapsed_ns
+            load_partsupply(&mut db, &cfg).unwrap();
+            run_transactions(&mut db, &rig.clock, &cfg)
+                .unwrap()
+                .elapsed_ns
         };
         assert_eq!(elapsed(()), elapsed(()), "simulation must be deterministic");
     }
@@ -186,7 +203,7 @@ mod tests {
             tuples: 10,
             ..tiny_cfg()
         };
-        load_partsupply(&mut db, &cfg);
+        load_partsupply(&mut db, &cfg).unwrap();
         let rows = db
             .query("SELECT ps_comment FROM partsupp WHERE ps_id = 1")
             .unwrap();

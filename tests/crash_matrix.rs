@@ -942,3 +942,154 @@ fn oracle_power_cut_with_live_snapshot_writers_keeps_commits_drops_intents() {
     );
     assert_eq!(dev.inner().xl2p().retained_versions(), 0, "chain survived");
 }
+
+/// Power cut inside a background scrub relocation, swept across fuse
+/// positions: a read-hammered block crosses the scrub threshold, the
+/// next GC tick starts relocating it, and the fuse kills the device
+/// somewhere in the copy/erase schedule. Recovery must roll forward to
+/// an image where every page holds its acknowledged value — a torn
+/// relocation is invisible (old copies valid until the new ones seal).
+#[test]
+fn crash_mid_scrub_relocation_sweep() {
+    use xftl_ftl::{BlockDevice, ScrubConfig};
+    let mut cut_mid_scrub = 0u32;
+    for fuse in 1..=20u64 {
+        let chip = FlashChip::new(FlashConfig::tiny(24), SimClock::new());
+        let mut dev = wrap_x(XFtl::format(chip, 48).unwrap());
+        x_ftl_mut(&mut dev)
+            .base_mut()
+            .set_scrub_config(Some(ScrubConfig {
+                read_threshold: 50,
+                interval_ops: 1,
+                ..ScrubConfig::default()
+            }));
+        let ps = dev.page_size();
+        // lpns 0..8 fill one block; lpn 8 closes it (an open write
+        // frontier is never a scrub victim).
+        for lpn in 0..9u64 {
+            let fill = u8::try_from(lpn).unwrap() + 1;
+            dev.write(lpn, &vec![fill; ps]).unwrap();
+        }
+        dev.flush().unwrap();
+        // Hammer the closed block past the scrub threshold.
+        let mut buf = vec![0u8; ps];
+        for _ in 0..60 {
+            dev.read(0, &mut buf).unwrap();
+        }
+        // The next write's GC tick fires the scrubber; the fuse lands
+        // somewhere inside the relocation (or, for late positions, in
+        // the host write after it).
+        x_ftl_mut(&mut dev)
+            .base_mut()
+            .chip_mut()
+            .arm_power_fuse(fuse);
+        let died = dev.write(9, &vec![0xAB; ps]).is_err();
+        let stats = *x_ftl(&dev).base().stats();
+        if died && stats.scrub_copies > 0 && stats.scrub_runs == 0 {
+            cut_mid_scrub += 1;
+        }
+        if !died {
+            continue; // fuse outlived the schedule: nothing to recover
+        }
+        let mut dev = recover_x(dev);
+        for lpn in 0..8u64 {
+            dev.read(lpn, &mut buf).unwrap();
+            let expect = u8::try_from(lpn).unwrap() + 1;
+            assert_eq!(
+                buf[0], expect,
+                "fuse {fuse}: lpn {lpn} lost in torn scrub relocation"
+            );
+        }
+    }
+    assert!(
+        cut_mid_scrub > 0,
+        "no fuse position landed inside a scrub relocation"
+    );
+}
+
+/// Double recovery with persisted health state: the device is driven to
+/// `Degraded` by bounded block retirements (still writable), then to
+/// `ReadOnly` by sticky erase failures. At each stage two back-to-back
+/// recoveries must come up in the same state — degradation is durable
+/// and recovery stays idempotent on a dying device.
+#[test]
+fn double_recovery_preserves_degraded_and_read_only_state() {
+    use xftl_flash::{FaultKind, FaultTrigger};
+    use xftl_ftl::{BlockDevice, DevError, DeviceState};
+
+    let chip = FlashChip::new(FlashConfig::tiny(40), SimClock::new());
+    let mut dev = wrap_x(XFtl::format(chip, 48).unwrap());
+    let ps = dev.page_size();
+    for lpn in 0..8u64 {
+        let fill = u8::try_from(lpn).unwrap() + 1;
+        dev.write(lpn, &vec![fill; ps]).unwrap();
+    }
+    dev.flush().unwrap();
+
+    // Stage 1: enough one-shot erase failures to shrink the usable pool
+    // below the format-time requirement (Degraded), with plenty of spare
+    // blocks left to keep writing.
+    let mut plan = FaultPlan::new(FAULT_SEED);
+    for _ in 0..28 {
+        plan = plan.trigger(FaultTrigger::new(FaultKind::EraseFail));
+    }
+    x_ftl_mut(&mut dev)
+        .base_mut()
+        .chip_mut()
+        .set_fault_plan(plan);
+    let mut i = 0u64;
+    while x_ftl(&dev).base().device_state() == DeviceState::Healthy {
+        let fill = (i % 100) as u8;
+        dev.write(8 + (i % 8), &vec![fill; ps]).unwrap();
+        i += 1;
+        assert!(i < 100_000, "retirements never degraded the device");
+    }
+    assert_eq!(x_ftl(&dev).base().device_state(), DeviceState::Degraded);
+
+    // Two back-to-back recoveries: Degraded persists through both (via
+    // the meta root and, independently, the bad-block census).
+    let mut dev = recover_x(recover_x(dev));
+    assert_eq!(
+        x_ftl(&dev).base().device_state(),
+        DeviceState::Degraded,
+        "Degraded state lost across double recovery"
+    );
+    // A degraded device still writes.
+    dev.write(8, &vec![0x77; ps]).unwrap();
+
+    // Stage 2: every further erase fails; the pool drains to read-only.
+    x_ftl_mut(&mut dev).base_mut().chip_mut().set_fault_plan(
+        FaultPlan::new(FAULT_SEED).trigger(FaultTrigger::new(FaultKind::EraseFail).sticky()),
+    );
+    let mut i = 0u64;
+    loop {
+        let fill = (i % 100) as u8;
+        match dev.write(8 + (i % 8), &vec![fill; ps]) {
+            Ok(()) => i += 1,
+            Err(e) => {
+                assert_eq!(e, DevError::ReadOnly, "wrong end-of-life error");
+                break;
+            }
+        }
+        assert!(i < 100_000, "pool exhaustion never went read-only");
+    }
+    assert_eq!(x_ftl(&dev).base().device_state(), DeviceState::ReadOnly);
+
+    let mut dev = recover_x(recover_x(dev));
+    assert_eq!(
+        x_ftl(&dev).base().device_state(),
+        DeviceState::ReadOnly,
+        "ReadOnly state lost across double recovery"
+    );
+    let mut buf = vec![0u8; ps];
+    for lpn in 0..8u64 {
+        dev.read(lpn, &mut buf).unwrap();
+        let expect = u8::try_from(lpn).unwrap() + 1;
+        assert_eq!(buf[0], expect, "lpn {lpn} lost at end of life");
+    }
+    assert_eq!(
+        dev.write(0, &vec![0xEE; ps]),
+        Err(DevError::ReadOnly),
+        "recovered device forgot it was read-only"
+    );
+}

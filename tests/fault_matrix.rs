@@ -18,8 +18,10 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use xftl_core::XFtl;
-use xftl_flash::{FaultKind, FaultPlan, FaultTrigger, FlashChip, FlashConfig, SimClock};
-use xftl_ftl::{BlockDevice, TxBlockDevice};
+use xftl_flash::{
+    AgingModel, FaultKind, FaultPlan, FaultTrigger, FlashChip, FlashConfig, SimClock,
+};
+use xftl_ftl::{BlockDevice, DevError, DeviceState, ScrubConfig, ScrubReason, TxBlockDevice};
 #[cfg(feature = "verify")]
 use xftl_verify::ShadowDevice;
 
@@ -272,6 +274,201 @@ fn fault_matrix_recovery_replay() {
     for kind in KINDS {
         run_cell(kind, InjectAt::RecoveryReplay);
     }
+}
+
+/// Read-disturb endurance cell: an aging model with a low disturb
+/// threshold hammers one hot page toward the uncorrectable cliff. With
+/// the background scrubber enabled the at-risk block is relocated before
+/// its flip count crosses the ECC budget and every read of the committed
+/// value succeeds; returns whether the page was lost so the ablation
+/// below can pin the scrubber's causal role.
+fn run_read_disturb_cell(scrubbed: bool) -> bool {
+    let ctx = format!("read-disturb cell (scrubbed: {scrubbed})");
+    let clock = SimClock::new();
+    let mut chip = FlashChip::new(FlashConfig::tiny(BLOCKS), clock);
+    // Flips start 300 reads in, one more every 30 reads: past the 8-bit
+    // ECC budget (uncorrectable) from read 570 of the same page.
+    chip.set_fault_plan(FaultPlan::new(fault_seed()).aging(AgingModel {
+        read_disturb_threshold: 300,
+        reads_per_flip: 30,
+        ..AgingModel::inert()
+    }));
+    let mut dev = wrap(XFtl::format(chip, LOGICAL).unwrap());
+    if scrubbed {
+        ftl_mut(&mut dev)
+            .base_mut()
+            .set_scrub_config(Some(ScrubConfig {
+                read_threshold: 150,
+                interval_ops: 4,
+                ..ScrubConfig::default()
+            }));
+    }
+    let ps = dev.page_size();
+
+    // Commit the value under threat through a real transaction, so the
+    // cell's claim is about acked commits, not scratch data.
+    for lpn in 0..8u64 {
+        dev.write_tx(5, lpn, &vec![7u8; ps]).unwrap();
+    }
+    dev.commit(5).unwrap();
+
+    // Hammer lpn 0; background writes every few reads give the GC tick
+    // (which hosts the scrub tick) a chance to run.
+    let mut buf = vec![0u8; ps];
+    let mut lost = false;
+    for i in 0..4000u64 {
+        match dev.read(0, &mut buf) {
+            Ok(()) => assert_eq!(buf[0], 7, "{ctx}: committed value changed"),
+            Err(e) => {
+                assert!(!scrubbed, "{ctx}: scrubbed read failed: {e:?}");
+                lost = true;
+                break;
+            }
+        }
+        if i % 4 == 0 {
+            let fill = (i % 100) as u8;
+            dev.write(8 + (i / 4) % 8, &vec![fill; ps]).unwrap();
+        }
+    }
+
+    if scrubbed {
+        let base = ftl(&dev).base();
+        assert!(base.stats().scrub_runs > 0, "{ctx}: scrubber never ran");
+        assert_eq!(
+            base.last_scrub().map(|(_, r)| r),
+            Some(ScrubReason::ReadDisturb),
+            "{ctx}: wrong scrub reason"
+        );
+        assert_eq!(
+            base.flash_stats().aging_uncorrectable,
+            0,
+            "{ctx}: a read crossed the ECC budget despite the scrubber"
+        );
+        // The whole committed image survived the hammering.
+        for lpn in 0..8u64 {
+            dev.read(lpn, &mut buf).unwrap();
+            assert_eq!(buf[0], 7, "{ctx}: lpn {lpn} lost its committed value");
+        }
+        #[cfg(feature = "verify")]
+        dev.audit();
+        let mut dev = power_cycle_and_recover(dev, None);
+        for lpn in 0..8u64 {
+            dev.read(lpn, &mut buf).unwrap();
+            assert_eq!(buf[0], 7, "{ctx}: lpn {lpn} lost after power cycle");
+        }
+    } else {
+        assert!(
+            ftl(&dev).base().flash_stats().aging_uncorrectable > 0,
+            "{ctx}: the unscrubbed ablation never hit the cliff"
+        );
+    }
+    lost
+}
+
+#[test]
+fn fault_matrix_read_disturb_scrubbed_survives() {
+    assert!(!run_read_disturb_cell(true));
+}
+
+#[test]
+fn fault_matrix_read_disturb_unscrubbed_loses_data() {
+    // The identical schedule without the scrubber loses the page: the
+    // scrubbed cell above survives *because of* the scrubber, not because
+    // the schedule was gentle.
+    assert!(run_read_disturb_cell(false));
+}
+
+/// End-of-life cell: sticky erase failures retire every GC victim until
+/// the device walks Healthy → Degraded → ReadOnly. The contract at the
+/// cliff edge: no panic, writes fail with `DevError::ReadOnly`, and every
+/// commit acked before the transition stays readable — through the
+/// transition and across a power cycle (oracle-swept under `verify`).
+#[test]
+fn fault_matrix_end_of_life_read_only() {
+    let clock = SimClock::new();
+    let chip = FlashChip::new(FlashConfig::tiny(BLOCKS), clock);
+    let mut dev = wrap(XFtl::format(chip, LOGICAL).unwrap());
+    let ps = dev.page_size();
+
+    // Acked state established while healthy: a committed transaction and
+    // a flushed plain image.
+    for lpn in 0..8u64 {
+        dev.write(lpn, &vec![1u8; ps]).unwrap();
+    }
+    for lpn in 0..4u64 {
+        dev.write_tx(5, lpn, &vec![3u8; ps]).unwrap();
+    }
+    dev.commit(5).unwrap();
+    dev.flush().unwrap();
+    let expect = |lpn: u64| if lpn < 4 { 3u8 } else { 1u8 };
+
+    // A transaction left open across the transition: its commit must be
+    // refused at submit time, not half-applied.
+    dev.write_tx(9, 6, &vec![9u8; ps]).unwrap();
+
+    // Now every erase fails, so each GC cycle retires its victim: the
+    // pool drains block by block into the bad-block table.
+    ftl_mut(&mut dev).base_mut().chip_mut().set_fault_plan(
+        FaultPlan::new(fault_seed()).trigger(FaultTrigger::new(FaultKind::EraseFail).sticky()),
+    );
+    let mut final_err = None;
+    for i in 0..20_000u64 {
+        let fill = (i % 100) as u8;
+        match dev.write(8 + (i % 8), &vec![fill; ps]) {
+            Ok(()) => {}
+            Err(e) => {
+                final_err = Some(e);
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        final_err,
+        Some(DevError::ReadOnly),
+        "wrong end-of-life error"
+    );
+    let base = ftl(&dev).base();
+    assert_eq!(base.device_state(), DeviceState::ReadOnly);
+    assert!(base.stats().degraded_entries > 0, "skipped Degraded");
+
+    // Writes and commits are refused; the open transaction is refused
+    // cleanly at submit time.
+    assert_eq!(
+        dev.write(0, &vec![0xEE; ps]),
+        Err(DevError::ReadOnly),
+        "plain write accepted on a read-only device"
+    );
+    assert_eq!(
+        dev.commit_submit(9).map(|_| ()),
+        Err(DevError::ReadOnly),
+        "commit accepted on a read-only device"
+    );
+
+    // Every acked commit is still readable at the cliff edge.
+    let mut buf = vec![0u8; ps];
+    for lpn in 0..8u64 {
+        dev.read(lpn, &mut buf).unwrap();
+        assert_eq!(buf[0], expect(lpn), "lpn {lpn} lost at transition");
+    }
+    #[cfg(feature = "verify")]
+    {
+        dev.verify_recovered();
+        dev.audit();
+    }
+
+    // ... and across a power cycle: recovery succeeds on a read-only
+    // device and the persisted state holds.
+    let mut dev = power_cycle_and_recover(dev, None);
+    assert_eq!(ftl(&dev).base().device_state(), DeviceState::ReadOnly);
+    for lpn in 0..8u64 {
+        dev.read(lpn, &mut buf).unwrap();
+        assert_eq!(buf[0], expect(lpn), "lpn {lpn} lost across power cycle");
+    }
+    assert_eq!(
+        dev.write(0, &vec![0xEE; ps]),
+        Err(DevError::ReadOnly),
+        "recovered device forgot it was read-only"
+    );
 }
 
 /// The whole matrix at once: background rates for every fault class at or

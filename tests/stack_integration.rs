@@ -36,10 +36,10 @@ fn synthetic_mode_ordering() {
     for mode in [Mode::Rbj, Mode::Wal, Mode::XFtl] {
         let r = rig(mode);
         let mut db = r.open_db("s.db");
-        synthetic::load_partsupply(&mut db, &small_syn());
+        synthetic::load_partsupply(&mut db, &small_syn()).unwrap();
         db.reset_stats();
         r.reset_stats();
-        let res = synthetic::run_transactions(&mut db, &r.clock, &small_syn());
+        let res = synthetic::run_transactions(&mut db, &r.clock, &small_syn()).unwrap();
         times.push(res.elapsed_ns);
     }
     let (rbj, wal, xftl) = (times[0], times[1], times[2]);
@@ -58,9 +58,9 @@ fn fsyncs_per_transaction_match_paper() {
     for (mode, expected) in [(Mode::Rbj, 3.0), (Mode::Wal, 1.0), (Mode::XFtl, 1.0)] {
         let r = rig(mode);
         let mut db = r.open_db("s.db");
-        synthetic::load_partsupply(&mut db, &small_syn());
+        synthetic::load_partsupply(&mut db, &small_syn()).unwrap();
         db.reset_stats();
-        let res = synthetic::run_transactions(&mut db, &r.clock, &small_syn());
+        let res = synthetic::run_transactions(&mut db, &r.clock, &small_syn()).unwrap();
         let per_txn = db.pager_stats().fsyncs as f64 / res.txns as f64;
         assert!(
             (per_txn - expected).abs() < 0.2,
@@ -85,10 +85,10 @@ fn device_write_amplification_ordering() {
     for mode in [Mode::Rbj, Mode::Wal, Mode::XFtl] {
         let r = rig(mode);
         let mut db = r.open_db("s.db");
-        synthetic::load_partsupply(&mut db, &small_syn());
+        synthetic::load_partsupply(&mut db, &small_syn()).unwrap();
         db.reset_stats();
         r.reset_stats();
-        synthetic::run_transactions(&mut db, &r.clock, &small_syn());
+        synthetic::run_transactions(&mut db, &r.clock, &small_syn()).unwrap();
         drop(db);
         let snap = r.snapshot();
         programs.push(snap.flash.programs);
@@ -111,10 +111,10 @@ fn xftl_halves_write_volume_vs_wal() {
     let snap_for = |mode: Mode| {
         let r = rig(mode);
         let mut db = r.open_db("s.db");
-        synthetic::load_partsupply(&mut db, &small_syn());
+        synthetic::load_partsupply(&mut db, &small_syn()).unwrap();
         db.reset_stats();
         r.reset_stats();
-        synthetic::run_transactions(&mut db, &r.clock, &small_syn());
+        synthetic::run_transactions(&mut db, &r.clock, &small_syn()).unwrap();
         drop(db);
         r.snapshot().flash.programs
     };
@@ -179,8 +179,8 @@ mod xftl_bench_shim {
         let r = rig(mode);
         {
             let mut db = r.open_db("s.db");
-            synthetic::load_partsupply(&mut db, &small_syn());
-            synthetic::run_transactions(&mut db, &r.clock, &small_syn());
+            synthetic::load_partsupply(&mut db, &small_syn()).unwrap();
+            synthetic::run_transactions(&mut db, &r.clock, &small_syn()).unwrap();
             db.pager_mut().set_cache_capacity(4);
             db.execute("BEGIN").unwrap();
             for i in 0..10i64 {

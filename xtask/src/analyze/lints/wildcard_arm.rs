@@ -23,7 +23,15 @@ use crate::analyze::lexer::TokKind;
 
 /// The protocol enums. Extend this list when a new protocol state
 /// machine lands (the GC/DFTL work from ROADMAP item 2 will).
-pub const PROTOCOL_ENUMS: [&str; 5] = ["IoCmd", "DevError", "FaultKind", "FaultOp", "Xl2pError"];
+pub const PROTOCOL_ENUMS: [&str; 7] = [
+    "IoCmd",
+    "DevError",
+    "FaultKind",
+    "FaultOp",
+    "Xl2pError",
+    "DeviceState",
+    "ScrubReason",
+];
 
 pub fn run(f: &SourceFile, reg: &Registry, out: &mut Vec<Violation>) {
     if !super::library_code(f, reg) {

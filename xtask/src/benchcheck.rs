@@ -226,6 +226,104 @@ pub fn steady_gate(fresh: &BenchReport) -> Vec<String> {
     violations
 }
 
+/// Structural gate over the endurance sweep (`BENCH_endurance.json`):
+/// X-FTL must keep every row readable *and* value-intact after
+/// end-of-life recovery at every swept severity, the scrubber must hold
+/// aging-induced uncorrectable reads at zero, and entry into the
+/// degraded device state must be monotone in severity — a milder wear
+/// environment degrading the device while a harsher one does not means
+/// the health state machine is keyed to the wrong signal.
+pub fn endurance_gate(fresh: &BenchReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    // Severity keys look like `endurance.s1_failing.xftl.txns`; the
+    // `s<rank>` prefix encodes the sweep order, mildest first.
+    let mut sevs: Vec<(u64, String)> = Vec::new();
+    for (n, _) in &fresh.metrics {
+        let Some(rest) = n.strip_prefix("endurance.") else {
+            continue;
+        };
+        let Some((sev, _)) = rest.split_once('.') else {
+            continue;
+        };
+        let Some(rank) = sev
+            .strip_prefix('s')
+            .and_then(|s| s.split('_').next())
+            .and_then(|d| d.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if !sevs.iter().any(|(_, s)| s == sev) {
+            sevs.push((rank, sev.to_string()));
+        }
+    }
+    sevs.sort();
+    if sevs.is_empty() {
+        violations.push("no `endurance.s<rank>_*` metrics — endurance gate cannot run".into());
+        return violations;
+    }
+    let get = |name: &str| {
+        fresh
+            .metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    };
+    let mut degraded = Vec::new();
+    for (_, sev) in &sevs {
+        let mut need = |metric: &str| {
+            let name = format!("endurance.{sev}.xftl.{metric}");
+            let v = get(&name);
+            if v.is_none() {
+                violations.push(format!("`{name}` missing — endurance gate cannot run"));
+            }
+            v
+        };
+        let readable = need("readable_fraction");
+        let intact = need("intact_fraction");
+        let uncorrectable = need("aging_uncorrectable");
+        degraded.push(need("degraded"));
+        if let Some(f) = readable {
+            if f < 1.0 {
+                violations.push(format!(
+                    "X-FTL readable fraction {f:.4} < 1.0 at `{sev}` — rows lost at end of life"
+                ));
+            }
+        }
+        if let Some(f) = intact {
+            if f < 1.0 {
+                violations.push(format!(
+                    "X-FTL intact fraction {f:.4} < 1.0 at `{sev}` — recovered values match no \
+                     acknowledged commit"
+                ));
+            }
+        }
+        if let Some(u) = uncorrectable {
+            if u != 0.0 {
+                violations.push(format!(
+                    "{u:.0} aging-induced uncorrectable read(s) at `{sev}` — the scrubber is not \
+                     relocating at-risk blocks in time"
+                ));
+            }
+        }
+    }
+    let mut milder_degraded: Option<&str> = None;
+    for ((_, sev), d) in sevs.iter().zip(&degraded) {
+        match d {
+            Some(v) if *v != 0.0 => milder_degraded = Some(sev),
+            Some(_) => {
+                if let Some(m) = milder_degraded {
+                    violations.push(format!(
+                        "`{sev}` left the device healthy although milder `{m}` degraded it — \
+                         degraded entry not monotone in severity"
+                    ));
+                }
+            }
+            None => {}
+        }
+    }
+    violations
+}
+
 fn load_report(path: &Path) -> Result<BenchReport, String> {
     let text =
         fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -260,6 +358,11 @@ pub fn bench_check(
     let has_steady = |r: &BenchReport| r.metrics.iter().any(|(n, _)| n.starts_with("steady."));
     if fresh.name == "steady" || has_steady(&fresh) || has_steady(&baseline) {
         violations.extend(steady_gate(&fresh));
+    }
+    let has_endurance =
+        |r: &BenchReport| r.metrics.iter().any(|(n, _)| n.starts_with("endurance."));
+    if fresh.name == "endurance" || has_endurance(&fresh) || has_endurance(&baseline) {
+        violations.extend(endurance_gate(&fresh));
     }
     for w in &compared.warnings {
         println!("bench-check: warning: {w}");
@@ -434,5 +537,92 @@ mod tests {
         let v = steady_gate(&report_with(&[("steady.logical_pages", 1000.0)]));
         assert_eq!(v.len(), 5, "{v:?}");
         assert!(v.iter().all(|m| m.contains("missing")));
+    }
+
+    fn endurance_cell(
+        sev: &str,
+        readable: f64,
+        intact: f64,
+        unc: f64,
+        deg: f64,
+    ) -> Vec<(String, f64)> {
+        vec![
+            (format!("endurance.{sev}.xftl.readable_fraction"), readable),
+            (format!("endurance.{sev}.xftl.intact_fraction"), intact),
+            (format!("endurance.{sev}.xftl.aging_uncorrectable"), unc),
+            (format!("endurance.{sev}.xftl.degraded"), deg),
+        ]
+    }
+
+    fn endurance_report(cells: Vec<Vec<(String, f64)>>) -> BenchReport {
+        let mut r = BenchReport::new("endurance");
+        r.meta("scale", "smoke");
+        for (n, v) in cells.into_iter().flatten() {
+            r.metric(&n, v);
+        }
+        r
+    }
+
+    #[test]
+    fn endurance_gate_passes_a_clean_sweep() {
+        let r = endurance_report(vec![
+            endurance_cell("s0_worn", 1.0, 1.0, 0.0, 0.0),
+            endurance_cell("s1_failing", 1.0, 1.0, 0.0, 1.0),
+            endurance_cell("s2_dying", 1.0, 1.0, 0.0, 1.0),
+        ]);
+        assert!(endurance_gate(&r).is_empty());
+    }
+
+    #[test]
+    fn endurance_gate_flags_readability_and_intactness_loss() {
+        let r = endurance_report(vec![
+            endurance_cell("s0_worn", 1.0, 1.0, 0.0, 0.0),
+            endurance_cell("s1_failing", 0.97, 0.92, 0.0, 1.0),
+        ]);
+        let v = endurance_gate(&r);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("readable fraction 0.9700"), "{v:?}");
+        assert!(v[1].contains("intact fraction 0.9200"), "{v:?}");
+    }
+
+    #[test]
+    fn endurance_gate_flags_scrubber_misses() {
+        let r = endurance_report(vec![endurance_cell("s0_worn", 1.0, 1.0, 3.0, 1.0)]);
+        let v = endurance_gate(&r);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("uncorrectable"), "{v:?}");
+    }
+
+    #[test]
+    fn endurance_gate_demands_monotone_degraded_entry() {
+        // The middle severity degrades, the harshest does not: the health
+        // state machine is keyed to the wrong signal.
+        let r = endurance_report(vec![
+            endurance_cell("s0_worn", 1.0, 1.0, 0.0, 0.0),
+            endurance_cell("s1_failing", 1.0, 1.0, 0.0, 1.0),
+            endurance_cell("s2_dying", 1.0, 1.0, 0.0, 0.0),
+        ]);
+        let v = endurance_gate(&r);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("not monotone"), "{v:?}");
+    }
+
+    #[test]
+    fn endurance_gate_fails_when_metrics_are_missing() {
+        // A report carrying only the transaction counts must not pass.
+        let r = report_with(&[
+            ("endurance.s0_worn.xftl.txns", 1500.0),
+            ("endurance.s1_failing.xftl.txns", 400.0),
+        ]);
+        let v = endurance_gate(&r);
+        assert_eq!(v.len(), 8, "{v:?}");
+        assert!(v.iter().all(|m| m.contains("missing")));
+    }
+
+    #[test]
+    fn endurance_gate_needs_the_sweep_at_all() {
+        let v = endurance_gate(&report_with(&[("endurance.other", 1.0)]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("cannot run"));
     }
 }

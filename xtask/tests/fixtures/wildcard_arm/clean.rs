@@ -1,7 +1,8 @@
 // xftl-analyze-fixture: path=crates/fixture/src/probe.rs
 //! Clean twin: every variant named (an or-pattern is fine — it still
 //! fails to compile when a variant is added). The match over a
-//! *non-protocol* enum keeps its wildcard untouched.
+//! *non-protocol* enum keeps its wildcard untouched. The health and
+//! scrub enums (`DeviceState`, `ScrubReason`) are matched exhaustively.
 
 pub enum DevError {
     Flash,
@@ -12,6 +13,19 @@ pub enum Verbosity {
     Quiet,
     Loud,
     Debug,
+}
+
+pub enum DeviceState {
+    Healthy,
+    Degraded,
+    ReadOnly,
+}
+
+pub enum ScrubReason {
+    ReadDisturb,
+    Retention,
+    EccFeedback,
+    WearLevel,
 }
 
 pub fn retryable(e: &DevError) -> bool {
@@ -25,5 +39,19 @@ pub fn noisy(v: &Verbosity) -> bool {
     match v {
         Verbosity::Loud => true,
         _ => false,
+    }
+}
+
+pub fn writable(s: &DeviceState) -> bool {
+    match s {
+        DeviceState::Healthy | DeviceState::Degraded => true,
+        DeviceState::ReadOnly => false,
+    }
+}
+
+pub fn urgent(r: &ScrubReason) -> bool {
+    match r {
+        ScrubReason::ReadDisturb | ScrubReason::EccFeedback => true,
+        ScrubReason::Retention | ScrubReason::WearLevel => false,
     }
 }

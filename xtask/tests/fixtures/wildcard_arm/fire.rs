@@ -1,16 +1,31 @@
 // xftl-analyze-fixture: path=crates/fixture/src/probe.rs
 //! Seeded violation: a `_ =>` arm in a match over a protocol enum. A
 //! new `DevError` variant would silently fall into the wildcard instead
-//! of forcing a decision at this site.
+//! of forcing a decision at this site. The health state machine's
+//! `DeviceState` is protocol too: a wildcard there would silently
+//! absorb a future degradation stage.
 
 pub enum DevError {
     Flash,
     OutOfSpace,
 }
 
+pub enum DeviceState {
+    Healthy,
+    Degraded,
+    ReadOnly,
+}
+
 pub fn retryable(e: &DevError) -> bool {
     match e {
         DevError::Flash => true,
         _ => false,
+    }
+}
+
+pub fn writable(s: &DeviceState) -> bool {
+    match s {
+        DeviceState::ReadOnly => false,
+        _ => true,
     }
 }
